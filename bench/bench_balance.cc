@@ -1,0 +1,92 @@
+// Reproduces Figure 2 (and Appendix Figures 8-9): the balance scenarios
+// Balance[noise, joins]. For each (noise p, joins j) cell it prints the
+// mean running time of the four schemes as the balance of the query
+// grows.
+//
+// Expected shape (paper §7.1): Natural is the worst performer and
+// degrades with balance; KL/KLM are best; Cover is the only scheme whose
+// running time *decreases* as balance increases (its iteration budget is
+// linear in |H|, which shrinks).
+
+#include <cstdio>
+
+#include "bench/bench_flags.h"
+#include "bench/harness.h"
+#include "bench/scenario.h"
+
+namespace cqa {
+namespace {
+
+int Run(const BenchFlags& flags) {
+  flags.PrintHeader("Figure 2 / Figures 8-9 — Balance scenarios");
+
+  ScenarioGridOptions options;
+  options.scale_factor = flags.scale_factor;
+  options.seed = flags.seed;
+  options.join_levels = {1, 3, 5};
+  options.queries_per_join = flags.queries_per_level;
+  options.noise_levels = {0.2, 0.6};
+  options.balance_targets = flags.Levels(false, {0.2, 0.5, 0.8, 1.0});
+  options.max_base_homomorphisms = 1000;
+  ScenarioGrid grid = ScenarioGrid::Build(options);
+
+  ApxParams params;
+  Rng rng(flags.seed ^ 0xB5297A4D);
+
+  size_t cover_improvement_cells = 0, cover_cells = 0;
+  size_t natural_worst_points = 0, total_points = 0;
+
+  for (double noise : options.noise_levels) {
+    for (size_t joins : options.join_levels) {
+      SeriesTable table("balance");
+      for (const ScenarioPair* pair :
+           grid.Select(joins, noise, std::nullopt)) {
+        PreprocessResult pre = BuildSynopses(*pair->db, pair->query);
+        for (const SchemeTiming& timing :
+             RunAllSchemes(pre, params, flags.timeout_seconds, rng)) {
+          table.Add(pair->balance_target, timing.scheme, timing);
+        }
+      }
+      char title[128];
+      std::snprintf(title, sizeof(title), "Balance[%.1f, %zu]", noise, joins);
+      table.Print(title);
+
+      // Cover trend across balance within this cell.
+      double first = table.Mean(options.balance_targets.front(),
+                                SchemeKind::kCover);
+      double last =
+          table.Mean(options.balance_targets.back(), SchemeKind::kCover);
+      if (first >= 0 && last >= 0) {
+        ++cover_cells;
+        if (last <= first) ++cover_improvement_cells;
+      }
+      for (double b : options.balance_targets) {
+        double natural = table.Mean(b, SchemeKind::kNatural);
+        if (natural < 0) continue;
+        ++total_points;
+        bool worst = true;
+        for (SchemeKind kind : AllSchemeKinds()) {
+          if (kind == SchemeKind::kNatural) continue;
+          if (table.Mean(b, kind) > natural) worst = false;
+        }
+        if (worst) ++natural_worst_points;
+      }
+    }
+  }
+
+  std::printf("## Take-home summary (paper §7.2)\n");
+  std::printf("cells where Cover improves from lowest to highest balance: "
+              "%zu/%zu\n",
+              cover_improvement_cells, cover_cells);
+  std::printf("points where Natural is the single worst performer:        "
+              "%zu/%zu\n",
+              natural_worst_points, total_points);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  return cqa::Run(cqa::BenchFlags::Parse(argc, argv));
+}

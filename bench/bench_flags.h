@@ -1,0 +1,77 @@
+#ifndef CQABENCH_BENCH_BENCH_FLAGS_H_
+#define CQABENCH_BENCH_BENCH_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace cqa {
+
+/// Common command-line knobs of the harness binaries. Defaults are sized
+/// so each binary finishes in a couple of minutes on one core; the paper's
+/// full grids (SF 1.0, 1-hour timeout) are reachable by flag.
+struct BenchFlags {
+  double scale_factor = 0.0008;
+  double timeout_seconds = 1.0;
+  uint64_t seed = 20210620;
+  size_t queries_per_level = 2;
+  /// Switches the binary from its quick default grid to a denser,
+  /// paper-like grid (10 noise levels, more queries per level).
+  bool full = false;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--sf=", 5) == 0) {
+        flags.scale_factor = std::atof(arg + 5);
+      } else if (std::strncmp(arg, "--timeout=", 10) == 0) {
+        flags.timeout_seconds = std::atof(arg + 10);
+      } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+        flags.seed = std::strtoull(arg + 7, nullptr, 10);
+      } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+        flags.queries_per_level = std::strtoull(arg + 10, nullptr, 10);
+      } else if (std::strcmp(arg, "--full") == 0) {
+        flags.full = true;
+        flags.queries_per_level = 5;
+      } else if (std::strcmp(arg, "--help") == 0) {
+        std::printf(
+            "flags: --sf=<scale factor> --timeout=<s per scheme run> "
+            "--seed=<n> --queries=<per level> --full\n");
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag %s (see --help)\n", arg);
+        std::exit(1);
+      }
+    }
+    return flags;
+  }
+
+  /// Noise/balance axis for the binary: the quick default or the paper's
+  /// ten levels under --full. `with_zero` prepends 0 (Boolean targets).
+  std::vector<double> Levels(bool with_zero,
+                             std::vector<double> quick) const {
+    std::vector<double> levels;
+    if (with_zero) levels.push_back(0.0);
+    if (full) {
+      for (int i = 1; i <= 10; ++i) levels.push_back(i / 10.0);
+    } else {
+      levels.insert(levels.end(), quick.begin(), quick.end());
+    }
+    return levels;
+  }
+
+  void PrintHeader(const char* figure) const {
+    std::printf(
+        "# %s\n# config: sf=%g timeout=%gs seed=%llu queries_per_level=%zu "
+        "epsilon=0.1 delta=0.25\n\n",
+        figure, scale_factor, timeout_seconds,
+        static_cast<unsigned long long>(seed), queries_per_level);
+  }
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_BENCH_BENCH_FLAGS_H_

@@ -1,0 +1,79 @@
+// Reproduces Figure 4 (and Appendix Figures 10-13): the join scenarios
+// Joins[noise, balance]. Because each join level carries a different
+// batch of queries, the paper plots the *share* of the total running time
+// each scheme takes at that join level instead of absolute seconds; this
+// binary prints the same normalized series.
+//
+// Expected shape (paper Appendix E): Boolean case — Natural takes a tiny
+// share everywhere, KLM beats KL at few joins but KL catches up (and may
+// pass it) as joins grow; non-Boolean case — Natural's share grows with
+// joins, KL(M) stay smallest.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_flags.h"
+#include "bench/harness.h"
+#include "bench/scenario.h"
+
+namespace cqa {
+namespace {
+
+int Run(const BenchFlags& flags) {
+  flags.PrintHeader("Figure 4 / Figures 10-13 — Join scenarios");
+
+  ScenarioGridOptions options;
+  options.scale_factor = flags.scale_factor;
+  options.seed = flags.seed;
+  options.join_levels = {1, 2, 3, 4, 5};
+  options.queries_per_join = flags.queries_per_level;
+  options.noise_levels = {0.2, 0.6};
+  options.balance_targets = {0.0, 0.5};
+  options.max_base_homomorphisms = 1000;
+  ScenarioGrid grid = ScenarioGrid::Build(options);
+
+  ApxParams params;
+  Rng rng(flags.seed ^ 0x68E31DA4);
+
+  for (double noise : options.noise_levels) {
+    for (double balance : options.balance_targets) {
+      // mean seconds per (joins, scheme), then normalized per join level.
+      std::map<size_t, std::map<SchemeKind, MeanVarAccumulator>> cells;
+      for (const ScenarioPair* pair :
+           grid.Select(std::nullopt, noise, balance)) {
+        PreprocessResult pre = BuildSynopses(*pair->db, pair->query);
+        for (const SchemeTiming& timing :
+             RunAllSchemes(pre, params, flags.timeout_seconds, rng)) {
+          cells[pair->joins][timing.scheme].Add(timing.seconds);
+        }
+      }
+      std::printf("## Joins[%.1f, %.1f] — share of running time (%%)\n",
+                  noise, balance);
+      std::printf("%-6s %10s %10s %10s %10s\n", "joins", "Natural", "KL",
+                  "KLM", "Cover");
+      for (auto& [joins, per_scheme] : cells) {
+        double total = 0.0;
+        for (SchemeKind kind : AllSchemeKinds()) {
+          total += per_scheme[kind].mean();
+        }
+        if (total <= 0.0) continue;
+        std::printf("%-6zu", joins);
+        for (SchemeKind kind :
+             {SchemeKind::kNatural, SchemeKind::kKl, SchemeKind::kKlm,
+              SchemeKind::kCover}) {
+          std::printf(" %9.1f%%", 100.0 * per_scheme[kind].mean() / total);
+        }
+        std::printf("\n");
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  return cqa::Run(cqa::BenchFlags::Parse(argc, argv));
+}

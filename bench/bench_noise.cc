@@ -1,0 +1,93 @@
+// Reproduces Figure 1 (and Appendix Figures 6-7): the noise scenarios
+// Noise[balance, joins]. For each (balance q, joins j) cell it prints the
+// mean running time of the four approximation schemes as the amount of
+// noise grows, averaged over the SQG queries of that join level — the
+// series the paper plots, at reduced scale.
+//
+// Expected shape (paper §7.1): for Boolean CQs (q = 0) Natural is flat
+// and fastest while KL/KLM/Cover degrade with noise; for non-Boolean CQs
+// Natural degrades fastest and KL(M) win.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_flags.h"
+#include "bench/harness.h"
+#include "bench/scenario.h"
+
+namespace cqa {
+namespace {
+
+int Run(const BenchFlags& flags) {
+  flags.PrintHeader("Figure 1 / Figures 6-7 — Noise scenarios");
+
+  ScenarioGridOptions options;
+  options.scale_factor = flags.scale_factor;
+  options.seed = flags.seed;
+  options.join_levels = {1, 3, 5};
+  options.queries_per_join = flags.queries_per_level;
+  options.noise_levels = flags.Levels(false, {0.2, 0.6, 1.0});
+  options.balance_targets = {0.0, 0.3, 0.5};
+  // Keep witness sets bounded so the four-scheme race, not the
+  // evaluator, dominates the budget (see EXPERIMENTS.md on scaling).
+  options.max_base_homomorphisms = 1000;
+  ScenarioGrid grid = ScenarioGrid::Build(options);
+
+  ApxParams params;
+  Rng rng(flags.seed ^ 0x9E3779B9);
+
+  // Take-home bookkeeping: wins per regime.
+  size_t boolean_cells = 0, boolean_natural_wins = 0;
+  size_t nonboolean_cells = 0, nonboolean_klm_or_kl_wins = 0;
+
+  for (double balance : options.balance_targets) {
+    for (size_t joins : options.join_levels) {
+      SeriesTable table("noise");
+      for (const ScenarioPair* pair :
+           grid.Select(joins, std::nullopt, balance)) {
+        PreprocessResult pre = BuildSynopses(*pair->db, pair->query);
+        for (const SchemeTiming& timing :
+             RunAllSchemes(pre, params, flags.timeout_seconds, rng)) {
+          table.Add(pair->noise, timing.scheme, timing);
+        }
+      }
+      char title[128];
+      std::snprintf(title, sizeof(title), "Noise[%.1f, %zu]", balance, joins);
+      table.Print(title);
+      for (double noise : options.noise_levels) {
+        if (table.Mean(noise, SchemeKind::kNatural) < 0) continue;
+        // Sub-10ms cells are jitter and all-timeout cells carry no
+        // ordering information; skip both in the tally.
+        double slowest = 0.0;
+        for (SchemeKind kind : AllSchemeKinds()) {
+          slowest = std::max(slowest, table.Mean(noise, kind));
+        }
+        if (slowest < 0.01 || table.AllTimedOut(noise)) continue;
+        SchemeKind winner = table.Winner(noise);
+        if (balance == 0.0) {
+          ++boolean_cells;
+          if (winner == SchemeKind::kNatural) ++boolean_natural_wins;
+        } else {
+          ++nonboolean_cells;
+          if (winner == SchemeKind::kKlm || winner == SchemeKind::kKl) {
+            ++nonboolean_klm_or_kl_wins;
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("## Take-home summary (paper §7.2)\n");
+  std::printf("Boolean cells won by Natural:        %zu/%zu\n",
+              boolean_natural_wins, boolean_cells);
+  std::printf("non-Boolean cells won by KL or KLM:  %zu/%zu\n",
+              nonboolean_klm_or_kl_wins, nonboolean_cells);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  return cqa::Run(cqa::BenchFlags::Parse(argc, argv));
+}

@@ -1,0 +1,23 @@
+// Reproduces Appendix Figure 15: the TPC-DS validation scenarios over the
+// snowflake-core subset schema. Eight positive TPC-DS templates (reduced
+// to CQs) are evaluated across noise 10%..80%.
+//
+// Expected shape (paper Appendix F): low-balance templates (Q1, Q60, Q62)
+// follow the Boolean regime (Natural best), mid/high-balance templates
+// (Q33, Q65, Q66, Q68) follow the non-Boolean regime (KLM best, Natural
+// degrading with noise).
+
+#include "bench/bench_flags.h"
+#include "bench/validation_common.h"
+#include "gen/tpcds.h"
+
+int main(int argc, char** argv) {
+  cqa::BenchFlags flags = cqa::BenchFlags::Parse(argc, argv);
+  flags.PrintHeader("Figure 15 — TPC-DS validation scenarios");
+  cqa::TpcdsOptions options;
+  options.scale_factor = flags.scale_factor;
+  options.seed = flags.seed;
+  cqa::Dataset base = cqa::GenerateTpcds(options);
+  return cqa::RunValidationScenarios(
+      base, cqa::TpcdsValidationQueries(*base.schema), flags);
+}

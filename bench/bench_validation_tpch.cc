@@ -1,0 +1,24 @@
+// Reproduces Figure 5 / Appendix Figure 14: the TPC-H validation
+// scenarios. The nine positive TPC-H templates (reduced to CQs) are
+// evaluated over eight inconsistent databases of noise 10%..80%.
+//
+// Expected shape (paper Appendix F): low-balance templates (Q1, Q4, Q6,
+// Q12, Q14 — effectively Boolean) behave like the Boolean stress tests
+// with Natural fastest; mid/high-balance templates (Q10, Q8) behave like
+// non-Boolean ones with KLM fastest and Natural degrading with noise;
+// highly selective Q19 is fast for every scheme.
+
+#include "bench/bench_flags.h"
+#include "bench/validation_common.h"
+#include "gen/tpch.h"
+
+int main(int argc, char** argv) {
+  cqa::BenchFlags flags = cqa::BenchFlags::Parse(argc, argv);
+  flags.PrintHeader("Figure 5 / Figure 14 — TPC-H validation scenarios");
+  cqa::TpchOptions options;
+  options.scale_factor = flags.scale_factor;
+  options.seed = flags.seed;
+  cqa::Dataset base = cqa::GenerateTpch(options);
+  return cqa::RunValidationScenarios(
+      base, cqa::TpchValidationQueries(*base.schema), flags);
+}

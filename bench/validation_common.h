@@ -1,0 +1,61 @@
+#ifndef CQABENCH_BENCH_VALIDATION_COMMON_H_
+#define CQABENCH_BENCH_VALIDATION_COMMON_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_flags.h"
+#include "bench/harness.h"
+#include "gen/dataset.h"
+#include "gen/noise.h"
+#include "gen/workloads.h"
+#include "query/evaluator.h"
+
+namespace cqa {
+
+/// Shared driver of the validation scenarios (Appendix F, Figures 5/14/15):
+/// for each workload query, build the 8 inconsistent databases of noise
+/// 10%..80%, run every scheme, and print the per-noise series together
+/// with the average/stddev of the query's balance across those databases
+/// (the annotation the paper places above each plot).
+inline int RunValidationScenarios(const Dataset& base,
+                                  const std::vector<NamedQuery>& workload,
+                                  const BenchFlags& flags) {
+  const std::vector<double> kNoise{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  ApxParams params;
+  Rng rng(flags.seed ^ 0xA341316C);
+
+  for (const NamedQuery& named : workload) {
+    CqEvaluator eval(base.db.get());
+    if (!eval.HasAnswer(named.query)) {
+      std::printf("## Validation[%s]: empty on this instance, skipped\n\n",
+                  named.name.c_str());
+      continue;
+    }
+    SeriesTable table("noise");
+    MeanVarAccumulator balance;
+    for (double p : kNoise) {
+      Database noisy = base.db->Clone();
+      NoiseOptions noise;
+      noise.p = p;
+      AddQueryAwareNoise(&noisy, named.query, noise, rng);
+      PreprocessResult pre = BuildSynopses(noisy, named.query);
+      balance.Add(pre.Balance());
+      for (const SchemeTiming& timing :
+           RunAllSchemes(pre, params, flags.timeout_seconds, rng)) {
+        table.Add(p, timing.scheme, timing);
+      }
+    }
+    char title[160];
+    std::snprintf(title, sizeof(title),
+                  "Validation[%s] — avg/std balance: %.2f%% / %.2f%%",
+                  named.name.c_str(), 100.0 * balance.mean(),
+                  100.0 * balance.stddev());
+    table.Print(title);
+  }
+  return 0;
+}
+
+}  // namespace cqa
+
+#endif  // CQABENCH_BENCH_VALIDATION_COMMON_H_

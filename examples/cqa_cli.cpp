@@ -1,0 +1,294 @@
+// cqa_cli — a command-line front end to the library, the workflow a
+// downstream user runs without writing C++:
+//
+//   cqa_cli gen    --schema=tpch --sf=0.0005 --out=DIR
+//   cqa_cli noise  --schema=tpch --data=DIR --out=DIR2 --p=0.5 \
+//                  --query='Q(N) :- ...'
+//   cqa_cli run    --schema=tpch --data=DIR2 --scheme=KLM \
+//                  --query='Q(N) :- ...' [--epsilon=0.1 --delta=0.25]
+//   cqa_cli prep   --schema=tpch --data=DIR2 --query='...' --out=FILE
+//   cqa_cli approx --syn=FILE --scheme=KL
+//   cqa_cli profile --schema=tpch --data=DIR2 --query='...'
+//   cqa_cli sql    --schema=tpch --query='Q(N) :- ...'
+//
+// Data directories hold dbgen-style .tbl files (one per relation).
+// `prep`/`approx` decouple the preprocessing step from the schemes via
+// the synopsis-set serialization; `profile` prints the static and dynamic
+// query parameters of §6.1 plus the advisor's recommendation.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "cqa/advisor.h"
+#include "cqa/apx_cqa.h"
+#include "cqa/rewriting.h"
+#include "cqa/synopsis_io.h"
+#include "gen/noise.h"
+#include "gen/tpcds.h"
+#include "gen/tpch.h"
+#include "query/parser.h"
+#include "storage/tbl_io.h"
+
+using namespace cqa;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cqa_cli <gen|noise|run|sql> --schema=<tpch|tpcds>\n"
+               "  gen    --sf=F --out=DIR [--seed=N]\n"
+               "  noise  --data=DIR --out=DIR --query=Q [--p=F] [--min=N "
+               "--max=N] [--seed=N]\n"
+               "  run    --data=DIR --query=Q [--scheme=Natural|KL|KLM|Cover]"
+               " [--epsilon=F --delta=F] [--timeout=S] [--seed=N]\n"
+               "  prep   --data=DIR --query=Q --out=FILE\n"
+               "  approx --syn=FILE [--scheme=...] [--epsilon=F --delta=F]\n"
+               "  profile --data=DIR --query=Q\n"
+               "  sql    --query=Q\n");
+  return 2;
+}
+
+Schema MakeSchema(const std::string& name) {
+  if (name == "tpcds") return MakeTpcdsSchema();
+  return MakeTpchSchema();
+}
+
+bool LoadData(const Schema& schema, const std::string& dir, Database* db) {
+  std::string error;
+  if (!ReadTblDirectory(db, dir, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ParseQueryFlag(const Schema& schema, const Args& args,
+                    ConjunctiveQuery* q) {
+  std::string text = args.Get("query", "");
+  if (text.empty()) {
+    std::fprintf(stderr, "error: --query is required\n");
+    return false;
+  }
+  std::string error;
+  if (!ParseCq(schema, text, q, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdGen(const Args& args) {
+  std::string out = args.Get("out", "");
+  if (out.empty()) return Usage();
+  std::filesystem::create_directories(out);
+  double sf = args.GetDouble("sf", 0.0005);
+  uint64_t seed = static_cast<uint64_t>(args.GetDouble("seed", 1));
+  Dataset d;
+  if (args.Get("schema", "tpch") == "tpcds") {
+    d = GenerateTpcds(TpcdsOptions{sf, seed});
+  } else {
+    d = GenerateTpch(TpchOptions{sf, seed});
+  }
+  std::string error;
+  if (!WriteTblDirectory(*d.db, out, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu facts across %zu relations to %s\n",
+              d.db->NumFacts(), d.db->NumRelations(), out.c_str());
+  return 0;
+}
+
+int CmdNoise(const Args& args) {
+  Schema schema = MakeSchema(args.Get("schema", "tpch"));
+  Database db(&schema);
+  if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
+  ConjunctiveQuery q;
+  if (!ParseQueryFlag(schema, args, &q)) return 1;
+  std::string out = args.Get("out", "");
+  if (out.empty()) return Usage();
+  std::filesystem::create_directories(out);
+
+  Rng rng(static_cast<uint64_t>(args.GetDouble("seed", 7)));
+  NoiseOptions options;
+  options.p = args.GetDouble("p", 0.5);
+  options.min_block_size = static_cast<size_t>(args.GetDouble("min", 2));
+  options.max_block_size = static_cast<size_t>(args.GetDouble("max", 5));
+  NoiseStats stats = AddQueryAwareNoise(&db, q, options, rng);
+  std::string error;
+  if (!WriteTblDirectory(db, out, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "noise: %zu relevant facts, %zu selected, %zu added; wrote %s\n",
+      stats.relevant_facts, stats.selected_facts, stats.facts_added,
+      out.c_str());
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  Schema schema = MakeSchema(args.Get("schema", "tpch"));
+  Database db(&schema);
+  if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
+  ConjunctiveQuery q;
+  if (!ParseQueryFlag(schema, args, &q)) return 1;
+
+  std::optional<SchemeKind> scheme = ParseSchemeKind(args.Get("scheme", "KLM"));
+  if (!scheme.has_value()) {
+    std::fprintf(stderr, "error: unknown scheme (Natural|KL|KLM|Cover)\n");
+    return 1;
+  }
+  ApxParams params;
+  params.epsilon = args.GetDouble("epsilon", 0.1);
+  params.delta = args.GetDouble("delta", 0.25);
+  double timeout = args.GetDouble("timeout", -1.0);
+
+  Rng rng(static_cast<uint64_t>(args.GetDouble("seed", 7)));
+  CqaRunResult run =
+      ApxCqa(db, q, *scheme, params, rng,
+             timeout > 0 ? Deadline(timeout) : Deadline::Infinite());
+  std::printf("# preprocessing %.4fs, scheme %.4fs, %zu samples%s\n",
+              run.preprocess_seconds, run.scheme_seconds, run.total_samples,
+              run.timed_out ? " (TIMED OUT, partial)" : "");
+  for (const CqaAnswer& a : run.answers) {
+    std::printf("%s\t%.6f\n", TupleToString(a.tuple).c_str(), a.frequency);
+  }
+  return 0;
+}
+
+int CmdPrep(const Args& args) {
+  Schema schema = MakeSchema(args.Get("schema", "tpch"));
+  Database db(&schema);
+  if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
+  ConjunctiveQuery q;
+  if (!ParseQueryFlag(schema, args, &q)) return 1;
+  std::string out = args.Get("out", "");
+  if (out.empty()) return Usage();
+  PreprocessResult pre = BuildSynopses(db, q);
+  std::string error;
+  if (!WriteSynopses(pre, out, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "preprocessed in %.4fs: %zu answers, %zu images, balance %.3f -> %s\n",
+      pre.stats().seconds, pre.NumAnswers(),
+      pre.stats().num_distinct_images, pre.Balance(), out.c_str());
+  return 0;
+}
+
+int CmdApprox(const Args& args) {
+  std::string path = args.Get("syn", "");
+  if (path.empty()) return Usage();
+  std::vector<AnswerSynopsis> synopses;
+  std::string error;
+  if (!ReadSynopses(path, &synopses, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::optional<SchemeKind> scheme =
+      ParseSchemeKind(args.Get("scheme", "KLM"));
+  if (!scheme.has_value()) {
+    std::fprintf(stderr, "error: unknown scheme (Natural|KL|KLM|Cover)\n");
+    return 1;
+  }
+  ApxParams params;
+  params.epsilon = args.GetDouble("epsilon", 0.1);
+  params.delta = args.GetDouble("delta", 0.25);
+  Rng rng(static_cast<uint64_t>(args.GetDouble("seed", 7)));
+  auto apx = ApxRelativeFreqScheme::Create(*scheme);
+  for (const AnswerSynopsis& as : synopses) {
+    ApxResult r = apx->Run(as.synopsis, params, rng);
+    std::printf("%s\t%.6f\n", TupleToString(as.answer).c_str(), r.estimate);
+  }
+  return 0;
+}
+
+int CmdProfile(const Args& args) {
+  Schema schema = MakeSchema(args.Get("schema", "tpch"));
+  Database db(&schema);
+  if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
+  ConjunctiveQuery q;
+  if (!ParseQueryFlag(schema, args, &q)) return 1;
+  PreprocessResult pre = BuildSynopses(db, q);
+  size_t conflicting = 0, blocks = 0;
+  for (const AnswerSynopsis& as : pre.answers()) {
+    blocks += as.synopsis.NumBlocks();
+    for (const Synopsis::Block& b : as.synopsis.blocks()) {
+      if (b.size > 1) ++conflicting;
+    }
+  }
+  std::printf("static parameters\n");
+  std::printf("  atoms:              %zu\n", q.NumAtoms());
+  std::printf("  joins:              %zu\n", q.NumJoins());
+  std::printf("  constants:          %zu\n", q.NumConstantOccurrences());
+  std::printf("  boolean:            %s\n", q.IsBoolean() ? "yes" : "no");
+  std::printf("dynamic parameters (w.r.t. the loaded database)\n");
+  std::printf("  output size |Q(D)|: %zu\n", pre.NumAnswers());
+  std::printf("  homomorphic size:   %zu\n",
+              pre.stats().num_distinct_images);
+  std::printf("  balance:            %.4f\n", pre.Balance());
+  std::printf("  synopsis blocks:    %zu (%zu conflicting)\n", blocks,
+              conflicting);
+  std::printf("  preprocessing:      %.4fs\n", pre.stats().seconds);
+  std::printf("recommended scheme:   %s\n",
+              SchemeKindName(RecommendScheme(pre)));
+  std::printf("  rationale:          %s\n", RecommendationRationale(pre));
+  return 0;
+}
+
+int CmdSql(const Args& args) {
+  Schema schema = MakeSchema(args.Get("schema", "tpch"));
+  ConjunctiveQuery q;
+  if (!ParseQueryFlag(schema, args, &q)) return 1;
+  for (size_t rid = 0; rid < schema.NumRelations(); ++rid) {
+    bool used = false;
+    for (const Atom& a : q.atoms()) used |= a.relation_id == rid;
+    if (used) {
+      std::printf("%s\n\n", RelationViewSql(schema.relation(rid), rid).c_str());
+    }
+  }
+  std::printf("%s\n", RewritingSql(schema, q).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) return Usage();
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr) return Usage();
+    args.flags[std::string(arg + 2, eq)] = std::string(eq + 1);
+  }
+  if (args.command == "gen") return CmdGen(args);
+  if (args.command == "noise") return CmdNoise(args);
+  if (args.command == "run") return CmdRun(args);
+  if (args.command == "prep") return CmdPrep(args);
+  if (args.command == "approx") return CmdApprox(args);
+  if (args.command == "profile") return CmdProfile(args);
+  if (args.command == "sql") return CmdSql(args);
+  return Usage();
+}

@@ -1,0 +1,82 @@
+// Scheme advisor: operationalizes the paper's take-home messages (§7.2).
+//
+// The preprocessing step already reveals the characteristic that decides
+// the indicated scheme:
+//   * Boolean queries / balance ≈ 0  ->  Natural
+//   * non-Boolean queries            ->  KLM
+// The advisor predicts the winner from the synopsis set, then races all
+// four schemes to verify the advice on two contrasting workloads.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "cqa/apx_cqa.h"
+#include "gen/noise.h"
+#include "gen/tpch.h"
+#include "query/parser.h"
+
+using namespace cqa;
+
+namespace {
+
+/// The decision rule distilled from the paper's experiments: queries
+/// whose answers behave like Boolean ones (balance near zero) are the
+/// Natural regime; anything else is KLM's.
+SchemeKind Advise(const PreprocessResult& pre) {
+  if (pre.Balance() < 0.05) return SchemeKind::kNatural;
+  return SchemeKind::kKlm;
+}
+
+void Race(const Database& base, const char* label,
+          const ConjunctiveQuery& q, double noise_p, Rng& rng) {
+  Database noisy = base.Clone();
+  NoiseOptions noise;
+  noise.p = noise_p;
+  AddQueryAwareNoise(&noisy, q, noise, rng);
+
+  PreprocessResult pre = BuildSynopses(noisy, q);
+  SchemeKind advice = Advise(pre);
+  std::printf("%s (noise %.0f%%)\n  balance=%.3f boolean=%s -> advised: %s\n",
+              label, 100.0 * noise_p, pre.Balance(),
+              q.IsBoolean() ? "yes" : "no", SchemeKindName(advice));
+
+  SchemeKind fastest = SchemeKind::kNatural;
+  double best = -1.0;
+  for (const SchemeTiming& t :
+       RunAllSchemes(pre, ApxParams{}, /*timeout_seconds=*/5.0, rng)) {
+    std::printf("    %-8s %8.4fs%s\n", SchemeKindName(t.scheme), t.seconds,
+                t.timed_out ? " (timeout)" : "");
+    if (best < 0 || t.seconds < best) {
+      best = t.seconds;
+      fastest = t.scheme;
+    }
+  }
+  std::printf("  measured fastest: %s — advice %s\n\n",
+              SchemeKindName(fastest),
+              fastest == advice ? "CONFIRMED" : "differs on this instance");
+}
+
+}  // namespace
+
+int main() {
+  TpchOptions options;
+  options.scale_factor = 0.0005;
+  Dataset d = GenerateTpch(options);
+  Rng rng(123);
+
+  // Workload A: a Boolean join query — the Natural regime.
+  ConjunctiveQuery boolean_q = MustParseCq(
+      *d.schema,
+      "Q() :- orders(OK, CK, OS, TP, OD, '1-URGENT', CL, SP, OC),"
+      " lineitem(OK, PK, SK, LN, QT, EP, DI, TX, 'R', LS, SD, CD, RD, SI,"
+      " SM, CM).");
+  Race(*d.db, "Boolean TPC-H query", boolean_q, 0.6, rng);
+
+  // Workload B: a non-Boolean projection-heavy query — the KLM regime.
+  ConjunctiveQuery wide_q = MustParseCq(
+      *d.schema,
+      "Q(OK, CK, OD) :- orders(OK, CK, OS, TP, OD, OP, CL, SP, OC),"
+      " customer(CK, CN, CA, NK, CP, CB, 'BUILDING', CC).");
+  Race(*d.db, "non-Boolean TPC-H query", wide_q, 0.6, rng);
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <set>
+
+#include "common/stopwatch.h"
+
+namespace cqa {
+
+std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
+                                        const ApxParams& params,
+                                        double timeout_seconds, Rng& rng) {
+  std::vector<SchemeTiming> timings;
+  for (SchemeKind scheme : AllSchemeKinds()) {
+    Stopwatch watch;
+    Deadline deadline(timeout_seconds);
+    CqaRunResult run =
+        ApxCqaOnSynopses(preprocessed, scheme, params, rng, deadline);
+    SchemeTiming timing;
+    timing.scheme = scheme;
+    timing.seconds = watch.ElapsedSeconds();
+    timing.timed_out = run.timed_out;
+    timing.num_answers = run.answers.size();
+    timings.push_back(timing);
+  }
+  return timings;
+}
+
+void SeriesTable::Add(double x, SchemeKind scheme,
+                      const SchemeTiming& timing) {
+  Cell& cell = cells_[{x, scheme}];
+  cell.seconds.Add(timing.seconds);
+  if (timing.timed_out) ++cell.timeouts;
+}
+
+void SeriesTable::Print(const std::string& title) const {
+  std::printf("## %s\n", title.c_str());
+  std::printf("%-10s %-8s %12s %10s\n", x_label_.c_str(), "scheme",
+              "mean_s", "timeouts");
+  std::set<double> xs;
+  for (const auto& [key, cell] : cells_) xs.insert(key.first);
+  for (double x : xs) {
+    for (SchemeKind scheme : AllSchemeKinds()) {
+      auto it = cells_.find({x, scheme});
+      if (it == cells_.end()) continue;
+      const Cell& cell = it->second;
+      std::printf("%-10.2f %-8s %12.4f %7zu/%zu\n", x,
+                  SchemeKindName(scheme), cell.seconds.mean(), cell.timeouts,
+                  cell.seconds.count());
+    }
+  }
+  std::printf("\n");
+}
+
+double SeriesTable::Mean(double x, SchemeKind scheme) const {
+  auto it = cells_.find({x, scheme});
+  if (it == cells_.end()) return -1.0;
+  return it->second.seconds.mean();
+}
+
+size_t SeriesTable::Timeouts(double x, SchemeKind scheme) const {
+  auto it = cells_.find({x, scheme});
+  if (it == cells_.end()) return 0;
+  return it->second.timeouts;
+}
+
+bool SeriesTable::AllTimedOut(double x) const {
+  bool any = false;
+  for (SchemeKind scheme : AllSchemeKinds()) {
+    auto it = cells_.find({x, scheme});
+    if (it == cells_.end()) continue;
+    any = true;
+    if (it->second.timeouts < it->second.seconds.count()) return false;
+  }
+  return any;
+}
+
+SchemeKind SeriesTable::Winner(double x) const {
+  SchemeKind best = SchemeKind::kNatural;
+  double best_mean = -1.0;
+  for (SchemeKind scheme : AllSchemeKinds()) {
+    double m = Mean(x, scheme);
+    if (m < 0) continue;
+    if (best_mean < 0 || m < best_mean) {
+      best_mean = m;
+      best = scheme;
+    }
+  }
+  return best;
+}
+
+}  // namespace cqa

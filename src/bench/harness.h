@@ -1,0 +1,69 @@
+#ifndef CQABENCH_BENCH_HARNESS_H_
+#define CQABENCH_BENCH_HARNESS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "cqa/apx_cqa.h"
+#include "cqa/preprocess.h"
+
+namespace cqa {
+
+/// Timing of one scheme over one database-query pair.
+struct SchemeTiming {
+  SchemeKind scheme = SchemeKind::kNatural;
+  double seconds = 0.0;
+  bool timed_out = false;
+  size_t num_answers = 0;
+};
+
+/// Runs every approximation scheme over one preprocessed pair with a
+/// per-scheme wall-clock budget (the paper's 1-hour timeout, scaled).
+/// Preprocessing time is excluded, matching the paper's reporting.
+std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
+                                        const ApxParams& params,
+                                        double timeout_seconds, Rng& rng);
+
+/// Accumulates (x, scheme) -> mean seconds + timeout counts and prints the
+/// series a paper figure plots: one row per (x, scheme) with the mean
+/// running time over the scenario's queries and `n_timeouts/n` — the
+/// integers the paper annotates its plots with.
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::string x_label) : x_label_(std::move(x_label)) {}
+
+  void Add(double x, SchemeKind scheme, const SchemeTiming& timing);
+
+  /// Prints "x <scheme>=<mean_s> ..." rows sorted by x, plus timeout
+  /// annotations; `title` identifies the figure/scenario.
+  void Print(const std::string& title) const;
+
+  /// Mean seconds for (x, scheme); -1 when absent. Timed-out runs count
+  /// with their (truncated) elapsed time, as a lower bound.
+  double Mean(double x, SchemeKind scheme) const;
+
+  /// Timed-out runs for (x, scheme); 0 when absent.
+  size_t Timeouts(double x, SchemeKind scheme) const;
+
+  /// True when every run of every scheme at x hit its deadline — the cell
+  /// carries no ordering information.
+  bool AllTimedOut(double x) const;
+
+  /// The scheme with the smallest mean at x (ties: first in enum order).
+  SchemeKind Winner(double x) const;
+
+ private:
+  struct Cell {
+    MeanVarAccumulator seconds;
+    size_t timeouts = 0;
+  };
+  std::string x_label_;
+  std::map<std::pair<double, SchemeKind>, Cell> cells_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_BENCH_HARNESS_H_

@@ -1,0 +1,138 @@
+#include "bench/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "gen/dqg.h"
+#include "gen/noise.h"
+#include "gen/sqg.h"
+#include "gen/tpch.h"
+#include "query/evaluator.h"
+
+namespace cqa {
+
+namespace {
+
+/// Generates one SQG base query with `joins` joins and two constants that
+/// is non-empty and not too large over the base instance.
+std::optional<ConjunctiveQuery> MakeBaseQuery(
+    const Dataset& base, const FkGraph& fk_graph, const ConstantPool& pool,
+    size_t joins, const ScenarioGridOptions& options, Rng& rng) {
+  SqgOptions sqg;
+  sqg.num_joins = joins;
+  sqg.num_constants = 2;
+  sqg.projection = 1.0;
+  // First pass requires a dense witness set (>= min homomorphisms, the
+  // regime the paper's 1 GB instances put every query in); the fallback
+  // pass accepts any non-empty query.
+  for (size_t floor : {options.min_base_homomorphisms, size_t{1}}) {
+    for (size_t attempt = 0; attempt < options.sqg_attempts; ++attempt) {
+      std::optional<ConjunctiveQuery> q =
+          GenerateStaticQuery(*base.schema, fk_graph, pool, sqg, rng);
+      if (!q.has_value()) continue;
+      CqEvaluator evaluator(base.db.get());
+      size_t homs = evaluator.CountHomomorphisms(
+          *q, options.max_base_homomorphisms + 1);
+      if (homs < floor || homs > options.max_base_homomorphisms) continue;
+      return q;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ScenarioGrid ScenarioGrid::Build(const ScenarioGridOptions& options) {
+  ScenarioGrid grid;
+  grid.options_ = options;
+
+  TpchOptions tpch;
+  tpch.scale_factor = options.scale_factor;
+  tpch.seed = options.seed * 1000003 + 17;
+  grid.base_ = GenerateTpch(tpch);
+  const Dataset& base = grid.base_;
+
+  Rng rng(options.seed);
+  FkGraph fk_graph = FkGraph::Build(base.foreign_keys);
+  ConstantPool pool = ConstantPool::FromDatabase(*base.db);
+
+  for (size_t joins : options.join_levels) {
+    for (size_t qi = 0; qi < options.queries_per_join; ++qi) {
+      std::optional<ConjunctiveQuery> q =
+          MakeBaseQuery(base, fk_graph, pool, joins, options, rng);
+      if (!q.has_value()) {
+        std::fprintf(stderr,
+                     "scenario: could not generate a base query with %zu "
+                     "joins; skipping\n",
+                     joins);
+        continue;
+      }
+      for (double noise : options.noise_levels) {
+        // D_Q[p]: clone the consistent base and inject query-aware noise.
+        auto noisy = std::make_shared<Database>(base.db->Clone());
+        NoiseOptions noise_options;
+        noise_options.p = noise;
+        noise_options.min_block_size = options.min_block_size;
+        noise_options.max_block_size = options.max_block_size;
+        AddQueryAwareNoise(noisy.get(), *q, noise_options, rng);
+
+        // Q_p[0]: the Boolean version.
+        std::vector<double> dqg_targets;
+        for (double target : options.balance_targets) {
+          if (target == 0.0) {
+            ScenarioPair pair;
+            pair.db = noisy;
+            pair.query = q->BooleanVersion();
+            pair.joins = joins;
+            pair.base_index = qi;
+            pair.noise = noise;
+            pair.balance_target = 0.0;
+            pair.balance_actual = 0.0;
+            grid.pairs_.push_back(std::move(pair));
+          } else {
+            dqg_targets.push_back(target);
+          }
+        }
+
+        // Q_p[q] for q > 0: DQG projections tuned on the noisy database.
+        if (!dqg_targets.empty()) {
+          DqgOptions dqg;
+          dqg.pool_size = options.dqg_pool_size;
+          std::vector<DqgResult> balanced =
+              GenerateBalancedQueries(*noisy, *q, dqg_targets, dqg, rng);
+          for (DqgResult& r : balanced) {
+            ScenarioPair pair;
+            pair.db = noisy;
+            pair.query = std::move(r.query);
+            pair.joins = joins;
+            pair.base_index = qi;
+            pair.noise = noise;
+            pair.balance_target = r.target;
+            pair.balance_actual = r.balance;
+            grid.pairs_.push_back(std::move(pair));
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<const ScenarioPair*> ScenarioGrid::Select(
+    std::optional<size_t> joins, std::optional<double> noise,
+    std::optional<double> balance_target) const {
+  std::vector<const ScenarioPair*> selected;
+  for (const ScenarioPair& pair : pairs_) {
+    if (joins.has_value() && pair.joins != *joins) continue;
+    if (noise.has_value() && std::abs(pair.noise - *noise) > 1e-9) continue;
+    if (balance_target.has_value() &&
+        std::abs(pair.balance_target - *balance_target) > 1e-9) {
+      continue;
+    }
+    selected.push_back(&pair);
+  }
+  return selected;
+}
+
+}  // namespace cqa

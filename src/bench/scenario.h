@@ -1,0 +1,82 @@
+#ifndef CQABENCH_BENCH_SCENARIO_H_
+#define CQABENCH_BENCH_SCENARIO_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/dataset.h"
+#include "query/cq.h"
+
+namespace cqa {
+
+/// One database-query pair of a test scenario (a member of the paper's
+/// P_H), tagged with the grid coordinates it was generated for.
+struct ScenarioPair {
+  /// The inconsistent database D_Q[p]; shared by all queries derived from
+  /// the same (base query, noise) cell.
+  std::shared_ptr<const Database> db;
+  /// The query Q_p[q] (the Boolean version when balance_target == 0).
+  ConjunctiveQuery query;
+  size_t joins = 0;
+  size_t base_index = 0;
+  double noise = 0.0;
+  double balance_target = 0.0;
+  /// Balance actually achieved by the DQG (0 for the Boolean version).
+  double balance_actual = 0.0;
+};
+
+/// Grid parameters for building the benchmark's database-query pairs
+/// (§6.2, reduced scale). Defaults give a single-core-friendly grid;
+/// the paper's full grid is joins 1..5 × 5 queries × noise 0.1..1.0 ×
+/// balance 0..1.0.
+struct ScenarioGridOptions {
+  double scale_factor = 0.001;
+  uint64_t seed = 7;
+  std::vector<size_t> join_levels = {1, 3, 5};
+  size_t queries_per_join = 2;
+  std::vector<double> noise_levels = {0.2, 0.6, 1.0};
+  /// 0 denotes the Boolean version Q_p[0]; other entries are DQG targets.
+  std::vector<double> balance_targets = {0.0, 0.3, 0.6, 1.0};
+  size_t min_block_size = 2;
+  size_t max_block_size = 5;
+  size_t dqg_pool_size = 64;
+  /// Base (consistent-database) queries whose homomorphism count exceeds
+  /// this are rejected, bounding the benchmark's footprint.
+  size_t max_base_homomorphisms = 4000;
+  /// Queries with fewer homomorphisms than this are rejected in a first
+  /// pass (falling back to any non-empty query when impossible). At the
+  /// paper's 1 GB scale every non-empty SQG query is witnessed by many
+  /// homomorphisms; this floor restores that density at small SF.
+  size_t min_base_homomorphisms = 50;
+  /// Attempts per SQG base query before giving up on a join level.
+  size_t sqg_attempts = 300;
+};
+
+/// The materialized grid: TPC-H base instance, SQG base queries, noisy
+/// databases and DQG-balanced queries — the reduced-scale counterpart of
+/// the paper's 2750-pair set P_H.
+class ScenarioGrid {
+ public:
+  static ScenarioGrid Build(const ScenarioGridOptions& options);
+
+  const std::vector<ScenarioPair>& pairs() const { return pairs_; }
+  const ScenarioGridOptions& options() const { return options_; }
+
+  /// Pairs matching the given coordinates (nullopt = any): the scenario
+  /// families Noise[q, j] (fix balance+joins), Balance[p, j] (fix
+  /// noise+joins) and Joins[p, q] (fix noise+balance) are selections.
+  std::vector<const ScenarioPair*> Select(
+      std::optional<size_t> joins, std::optional<double> noise,
+      std::optional<double> balance_target) const;
+
+ private:
+  ScenarioGridOptions options_;
+  Dataset base_;  // Keeps the schema alive for the noisy clones.
+  std::vector<ScenarioPair> pairs_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_BENCH_SCENARIO_H_

@@ -1,0 +1,29 @@
+#ifndef CQABENCH_COMMON_MACROS_H_
+#define CQABENCH_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checking. CQA_CHECK is active in all build modes: the
+// algorithms in this library are randomized, and a silently violated
+// invariant would surface as a statistically wrong answer rather than a
+// crash, which is far harder to debug.
+#define CQA_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CQA_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define CQA_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CQA_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // CQABENCH_COMMON_MACROS_H_

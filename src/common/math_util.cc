@@ -1,0 +1,73 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+void MeanVarAccumulator::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double MeanVarAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double MeanVarAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double LogSumExp(const std::vector<double>& log_terms) {
+  if (log_terms.empty()) return -std::numeric_limits<double>::infinity();
+  double max_term = *std::max_element(log_terms.begin(), log_terms.end());
+  if (!std::isfinite(max_term)) return max_term;
+  double sum = 0.0;
+  for (double t : log_terms) sum += std::exp(t - max_term);
+  return max_term + std::log(sum);
+}
+
+double ChiSquareStatistic(const std::vector<size_t>& observed,
+                          const std::vector<double>& expected_probabilities) {
+  CQA_CHECK(observed.size() == expected_probabilities.size());
+  size_t total = 0;
+  for (size_t o : observed) total += o;
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    double expected =
+        expected_probabilities[i] * static_cast<double>(total);
+    if (expected <= 0.0) {
+      CQA_CHECK_MSG(observed[i] == 0,
+                    "observation in a zero-probability bucket");
+      continue;
+    }
+    double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double ChiSquareCriticalValue(size_t degrees_of_freedom) {
+  // Wilson–Hilferty: X²_k(p) ≈ k(1 - 2/(9k) + z_p·sqrt(2/(9k)))³ with
+  // z_0.999 ≈ 3.09.
+  CQA_CHECK(degrees_of_freedom >= 1);
+  double k = static_cast<double>(degrees_of_freedom);
+  double z = 3.09;
+  double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+size_t CeilDiv(size_t a, size_t b) {
+  CQA_CHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+}  // namespace cqa

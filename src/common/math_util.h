@@ -1,0 +1,54 @@
+#ifndef CQABENCH_COMMON_MATH_UTIL_H_
+#define CQABENCH_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cqa {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the test suite to validate sampler expectations and by the
+/// benchmark harness to aggregate per-query timings.
+class MeanVarAccumulator {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// log(sum_i exp(log_terms[i])), stable. Returns -inf for an empty input.
+double LogSumExp(const std::vector<double>& log_terms);
+
+/// Pearson's chi-square statistic for observed counts against expected
+/// probabilities (which must sum to ~1; buckets with zero expectation are
+/// required to have zero observations). Used by the test suite to check
+/// that the samplers draw from exactly the distributions the lemmas
+/// assume (uniform over db(B), w_i-weighted over S•, ...).
+double ChiSquareStatistic(const std::vector<size_t>& observed,
+                          const std::vector<double>& expected_probabilities);
+
+/// Conservative critical value of the chi-square distribution at
+/// significance ~0.001 for the given degrees of freedom, via the
+/// Wilson–Hilferty approximation. Statistics below this are consistent
+/// with the hypothesized distribution.
+double ChiSquareCriticalValue(size_t degrees_of_freedom);
+
+/// Returns ceil(a / b) for positive integers.
+size_t CeilDiv(size_t a, size_t b);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_COMMON_MATH_UTIL_H_

@@ -1,0 +1,69 @@
+#include "common/rng.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  CQA_CHECK(lo <= hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  CQA_CHECK(n > 0);
+  return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+}
+
+double Rng::UniformReal() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformReal() < p;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  CQA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CQA_CHECK(w >= 0.0);
+    total += w;
+  }
+  CQA_CHECK(total > 0.0);
+  double r = UniformReal() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating-point slack: return the last index with positive weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  CQA_CHECK(k <= n);
+  // Floyd's algorithm: O(k) expected insertions, no O(n) scratch space.
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> result;
+  result.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = UniformIndex(j + 1);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  Shuffle(result);
+  return result;
+}
+
+}  // namespace cqa

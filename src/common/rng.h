@@ -1,0 +1,54 @@
+#ifndef CQABENCH_COMMON_RNG_H_
+#define CQABENCH_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cqa {
+
+/// Pseudo-random source used by every randomized component of the library.
+///
+/// Wraps the 64-bit Mersenne Twister (the generator the paper cites, [23]).
+/// All algorithms take an `Rng&` so experiments are reproducible from a
+/// single seed and tests can pin the stream.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5DEECE66DULL) : engine_(seed) {}
+
+  /// Uniform integer in the closed interval [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n);
+
+  /// Uniform real in [0, 1).
+  double UniformReal();
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index i with probability weights[i] / sum(weights).
+  /// Requires a non-empty vector with non-negative entries and positive sum.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[UniformIndex(i)]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_COMMON_RNG_H_

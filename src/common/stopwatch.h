@@ -1,0 +1,47 @@
+#ifndef CQABENCH_COMMON_STOPWATCH_H_
+#define CQABENCH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cqa {
+
+/// Monotonic wall-clock stopwatch used for timing scheme executions and
+/// enforcing per-run deadlines (the paper's 1-hour timeout, scaled down).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget. A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  Deadline() : limit_seconds_(-1.0) {}
+  explicit Deadline(double limit_seconds) : limit_seconds_(limit_seconds) {}
+
+  /// Deadline that never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const {
+    return limit_seconds_ >= 0.0 && watch_.ElapsedSeconds() >= limit_seconds_;
+  }
+
+  double limit_seconds() const { return limit_seconds_; }
+
+ private:
+  double limit_seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_COMMON_STOPWATCH_H_

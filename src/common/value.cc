@@ -1,0 +1,57 @@
+#include "common/value.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace cqa {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+size_t Value::Hash() const {
+  size_t seed = rep_.index();
+  switch (rep_.index()) {
+    case 0:
+      HashCombine(seed, std::hash<int64_t>{}(std::get<int64_t>(rep_)));
+      break;
+    case 1:
+      HashCombine(seed, std::hash<double>{}(std::get<double>(rep_)));
+      break;
+    case 2:
+      HashCombine(seed, std::hash<std::string>{}(std::get<std::string>(rep_)));
+      break;
+  }
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      os << v.AsInt();
+      break;
+    case ValueType::kDouble:
+      os << v.AsDouble();
+      break;
+    case ValueType::kString:
+      os << '\'' << v.AsString() << '\'';
+      break;
+  }
+  return os;
+}
+
+}  // namespace cqa

@@ -1,0 +1,75 @@
+#ifndef CQABENCH_COMMON_VALUE_H_
+#define CQABENCH_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace cqa {
+
+/// The type of a database value (and of a relation attribute).
+enum class ValueType { kInt, kDouble, kString };
+
+/// Returns a human-readable name ("int", "double", "string").
+const char* ValueTypeName(ValueType type);
+
+/// A single database constant: a tagged union of int64, double and string.
+///
+/// Values are ordered and hashable so they can serve as key components,
+/// join keys and members of the active domain. Comparisons across different
+/// runtime types order by type tag first (int < double < string); the
+/// library never relies on cross-type numeric coercion.
+class Value {
+ public:
+  /// Default-constructs the integer 0.
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(int v) : rep_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+  bool is_int() const { return rep_.index() == 0; }
+  bool is_double() const { return rep_.index() == 1; }
+  bool is_string() const { return rep_.index() == 2; }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Renders the value for debugging and table output. Strings are quoted.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.rep_ < b.rep_;
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Combines a hash into a seed (boost::hash_combine recipe).
+inline void HashCombine(size_t& seed, size_t h) {
+  seed ^= h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_COMMON_VALUE_H_

@@ -1,0 +1,39 @@
+#include "cqa/advisor.h"
+
+namespace cqa {
+
+namespace {
+
+/// A Boolean query's syn has (at most) the single empty answer tuple.
+bool IsBooleanLike(const PreprocessResult& preprocessed, double threshold) {
+  if (preprocessed.NumAnswers() == 0) return true;
+  if (preprocessed.NumAnswers() == 1 &&
+      preprocessed.answers()[0].answer.empty()) {
+    return true;
+  }
+  return preprocessed.Balance() < threshold;
+}
+
+}  // namespace
+
+SchemeKind RecommendScheme(const PreprocessResult& preprocessed,
+                           double boolean_balance_threshold) {
+  if (IsBooleanLike(preprocessed, boolean_balance_threshold)) {
+    return SchemeKind::kNatural;
+  }
+  return SchemeKind::kKlm;
+}
+
+const char* RecommendationRationale(const PreprocessResult& preprocessed,
+                                    double boolean_balance_threshold) {
+  if (IsBooleanLike(preprocessed, boolean_balance_threshold)) {
+    return "Boolean-like (balance ~ 0): images concentrate in few "
+           "synopses, R(H,B) is near 1, the natural sampling space wins "
+           "(take-home message 1)";
+  }
+  return "non-Boolean (balance > 0): many small synopses drive R(H,B) "
+         "towards 0, the symbolic space with the KLM sampler wins "
+         "(take-home message 2)";
+}
+
+}  // namespace cqa

@@ -1,0 +1,32 @@
+#ifndef CQABENCH_CQA_ADVISOR_H_
+#define CQABENCH_CQA_ADVISOR_H_
+
+#include "cqa/preprocess.h"
+#include "cqa/schemes.h"
+
+namespace cqa {
+
+/// The paper's take-home messages (§7.2) as a decision procedure.
+///
+/// After the preprocessing step one already knows the input
+/// characteristics that decide the indicated approximation scheme:
+///  * Boolean queries — and non-Boolean queries whose balance is close to
+///    zero, which "behave like Boolean" (Appendix F) — belong to the
+///    Natural regime: the single/average synopsis collects many images,
+///    R(H, B) sits near 1, and sampling the natural space is cheapest;
+///  * everything else belongs to the KLM regime: many synopses with few
+///    images each drive R(H, B) towards 0, where the symbolic space wins.
+///
+/// `boolean_balance_threshold` is the balance below which a non-Boolean
+/// query is treated as Boolean-like (the paper's validation queries with
+/// "average balance 0.00" fall here).
+SchemeKind RecommendScheme(const PreprocessResult& preprocessed,
+                           double boolean_balance_threshold = 0.05);
+
+/// One-line justification of the recommendation, for logs and tools.
+const char* RecommendationRationale(const PreprocessResult& preprocessed,
+                                    double boolean_balance_threshold = 0.05);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_ADVISOR_H_

@@ -1,0 +1,40 @@
+#include "cqa/apx_cqa.h"
+
+#include "common/stopwatch.h"
+
+namespace cqa {
+
+CqaRunResult ApxCqaOnSynopses(const PreprocessResult& preprocessed,
+                              SchemeKind scheme, const ApxParams& params,
+                              Rng& rng, const Deadline& deadline) {
+  CqaRunResult result;
+  result.preprocess_seconds = preprocessed.stats().seconds;
+  std::unique_ptr<ApxRelativeFreqScheme> apx =
+      ApxRelativeFreqScheme::Create(scheme);
+  Stopwatch watch;
+  for (const AnswerSynopsis& as : preprocessed.answers()) {
+    if (deadline.Expired()) {
+      result.timed_out = true;
+      break;
+    }
+    ApxResult apx_result = apx->Run(as.synopsis, params, rng, deadline);
+    result.total_samples += apx_result.samples;
+    if (apx_result.timed_out) {
+      result.timed_out = true;
+      break;
+    }
+    result.answers.push_back(
+        CqaAnswer{as.answer, apx_result.estimate, apx_result});
+  }
+  result.scheme_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+CqaRunResult ApxCqa(const Database& db, const ConjunctiveQuery& q,
+                    SchemeKind scheme, const ApxParams& params, Rng& rng,
+                    const Deadline& deadline) {
+  PreprocessResult preprocessed = BuildSynopses(db, q);
+  return ApxCqaOnSynopses(preprocessed, scheme, params, rng, deadline);
+}
+
+}  // namespace cqa

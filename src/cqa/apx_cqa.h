@@ -1,0 +1,53 @@
+#ifndef CQABENCH_CQA_APX_CQA_H_
+#define CQABENCH_CQA_APX_CQA_H_
+
+#include <vector>
+
+#include "cqa/preprocess.h"
+#include "cqa/schemes.h"
+#include "query/cq.h"
+#include "storage/database.h"
+
+namespace cqa {
+
+/// One entry of ans_{D,Σ}(Q): a candidate answer with its approximated
+/// relative frequency.
+struct CqaAnswer {
+  Tuple tuple;
+  double frequency = 0.0;
+  ApxResult detail;
+};
+
+/// Result of one ApxCQA[scheme] execution.
+struct CqaRunResult {
+  std::vector<CqaAnswer> answers;
+  /// Time spent computing syn_{Σ,Q}(D); excluded from scheme_seconds,
+  /// matching the paper's reporting ("running times ... do not consider
+  /// the time of the preprocessing step").
+  double preprocess_seconds = 0.0;
+  /// Time spent in the approximation scheme proper, across all synopses.
+  double scheme_seconds = 0.0;
+  /// Total samples drawn across synopses.
+  size_t total_samples = 0;
+  /// True if the deadline expired; `answers` is then incomplete.
+  bool timed_out = false;
+};
+
+/// Algorithm 1 (ApxCQA[ApxRelativeFreq]) with the §5 implementation: all
+/// synopses are computed by one preprocessing pass, then the scheme is
+/// invoked per (t̄, (H, B)) pair. The deadline budgets only the scheme
+/// phase (preprocessing is common to all schemes).
+CqaRunResult ApxCqa(const Database& db, const ConjunctiveQuery& q,
+                    SchemeKind scheme, const ApxParams& params, Rng& rng,
+                    const Deadline& deadline = Deadline());
+
+/// The scheme phase alone, for callers that computed the preprocessing
+/// once and want to run several schemes over it (the benchmark harness).
+CqaRunResult ApxCqaOnSynopses(const PreprocessResult& preprocessed,
+                              SchemeKind scheme, const ApxParams& params,
+                              Rng& rng,
+                              const Deadline& deadline = Deadline());
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_APX_CQA_H_

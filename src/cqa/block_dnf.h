@@ -1,0 +1,50 @@
+#ifndef CQABENCH_CQA_BLOCK_DNF_H_
+#define CQABENCH_CQA_BLOCK_DNF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cqa/synopsis.h"
+
+namespace cqa {
+
+/// A positive Block DNF formula (the paper's Appendix E footnote): the
+/// variables are partitioned into blocks X_1, ..., X_m, every clause is a
+/// conjunction of variables, and only assignments making *exactly one*
+/// variable per block true are considered. A database synopsis is such a
+/// formula: facts are variables, blocks are the partition, consistent
+/// homomorphic images are the clauses — and R(H, B) is the fraction of
+/// block-consistent assignments that satisfy it. This bridge exposes
+/// synopses to DNF-counting tooling (e.g. ADCS-style suites).
+struct BlockDnf {
+  /// A literal: variable `index` of block `block`.
+  struct Literal {
+    uint32_t block = 0;
+    uint32_t index = 0;
+  };
+
+  std::vector<size_t> block_sizes;
+  std::vector<std::vector<Literal>> clauses;
+
+  size_t NumVariables() const;
+  size_t NumBlocks() const { return block_sizes.size(); }
+  size_t NumClauses() const { return clauses.size(); }
+
+  /// Human-readable rendering: "(x1_0 & x3_2) | ..." with blocks listed.
+  std::string ToString() const;
+};
+
+/// The synopsis-to-formula translation described above.
+BlockDnf SynopsisToBlockDnf(const Synopsis& synopsis);
+
+/// The fraction of block-consistent assignments satisfying the formula,
+/// by enumeration — an independent oracle for R(H, B). Returns nullopt
+/// when the number of assignments exceeds `max_assignments`.
+std::optional<double> SatisfyingFraction(const BlockDnf& formula,
+                                         size_t max_assignments = 1 << 22);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_BLOCK_DNF_H_

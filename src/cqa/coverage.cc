@@ -1,0 +1,66 @@
+#include "cqa/coverage.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+namespace {
+constexpr size_t kDeadlineStride = 64;
+}  // namespace
+
+CoverageResult SelfAdjustingCoverage(const SymbolicSpace& space,
+                                     double epsilon, double delta, Rng& rng,
+                                     const Deadline& deadline) {
+  CQA_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  CQA_CHECK(delta > 0.0 && delta < 1.0);
+  const Synopsis& synopsis = space.synopsis();
+  const size_t h = synopsis.NumImages();
+  CQA_CHECK(h >= 1);
+
+  const double n_exact = 8.0 * (1.0 + epsilon) * static_cast<double>(h) *
+                         std::log(3.0 / delta) /
+                         ((1.0 - epsilon * epsilon / 8.0) * epsilon * epsilon);
+  const size_t budget = static_cast<size_t>(std::ceil(n_exact));
+
+  CoverageResult result;
+  Synopsis::Choice choice;
+  size_t steps = 0;
+  size_t total = 0;
+  size_t trials = 0;
+  while (true) {
+    // Outer sample: (i, I) uniform in S•. The index i is unused; the
+    // algorithm only needs I (the choice), exactly as in Algorithm 6.
+    space.SampleElement(rng, &choice);
+    while (true) {
+      ++steps;
+      if (steps > budget) goto finish;
+      if (steps % kDeadlineStride == 0 && deadline.Expired()) {
+        result.timed_out = true;
+        goto finish;
+      }
+      // Inner sample: j uniform in [|H|]; stop when H_j witnesses I.
+      size_t j = rng.UniformIndex(h);
+      if (synopsis.ImageContainedIn(j, choice)) break;
+    }
+    total = steps;
+    ++trials;
+  }
+finish:
+  result.steps = steps;
+  result.trials = trials;
+  // total/trials estimates |H| · |∪I_i| / |S•| (the expected number of
+  // j-draws until a hit). trials == 0 can only occur if the very first
+  // witness search exhausts the budget — vanishingly unlikely since the
+  // budget is Ω(|H| log(1/δ)/ε²) while a search needs |H| draws in
+  // expectation; report 0 coverage in that case.
+  if (trials > 0) {
+    result.normalized_estimate = static_cast<double>(total) /
+                                 (static_cast<double>(h) *
+                                  static_cast<double>(trials));
+  }
+  return result;
+}
+
+}  // namespace cqa

@@ -1,0 +1,40 @@
+#ifndef CQABENCH_CQA_COVERAGE_H_
+#define CQABENCH_CQA_COVERAGE_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "cqa/symbolic_space.h"
+
+namespace cqa {
+
+struct CoverageResult {
+  /// Estimate of |∪_i I_i| / |S•|, i.e. the union size normalized by the
+  /// symbolic space. Multiply by |S•|/|db(B)| (= SymbolicSpace::
+  /// total_weight()) to obtain R(H, B).
+  double normalized_estimate = 0.0;
+  /// Total inner-loop steps performed (the algorithm's deterministic
+  /// budget N bounds this).
+  size_t steps = 0;
+  /// Completed trials (outer samples whose witness search finished).
+  size_t trials = 0;
+  bool timed_out = false;
+};
+
+/// The self-adjusting coverage algorithm of Karp, Luby and Madras [15]
+/// (Algorithm 6 in the paper's appendix), solving UnionOfSets on the sets
+/// I_1, ..., I_n described by an admissible pair (H, B).
+///
+/// Unlike the Monte Carlo schemes, the step budget
+///   N = ⌈ 8(1+ε)|H| ln(3/δ) / ((1-ε²/8) ε²) ⌉
+/// is fixed deterministically, which makes the running time predictable —
+/// but linear in |H| with a large constant, the behaviour the paper's
+/// experiments single out.
+CoverageResult SelfAdjustingCoverage(const SymbolicSpace& space,
+                                     double epsilon, double delta, Rng& rng,
+                                     const Deadline& deadline = Deadline());
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_COVERAGE_H_

@@ -1,0 +1,58 @@
+#ifndef CQABENCH_CQA_EXACT_H_
+#define CQABENCH_CQA_EXACT_H_
+
+#include <optional>
+
+#include "cqa/synopsis.h"
+#include "query/cq.h"
+#include "storage/database.h"
+
+namespace cqa {
+
+/// Exact baselines for R(H, B) and R_{D,Σ,Q}(t̄).
+///
+/// These are exponential-time oracles: RelativeFreq is #P-hard, so they
+/// only serve small inputs — ground truth for tests, the (ε, δ)-guarantee
+/// validation of the randomized schemes, and the `exact` mode of the
+/// example binaries.
+
+/// R(H, B) by enumerating every database of db(B) (the natural space).
+/// Returns nullopt when |db(B)| exceeds `max_choices`.
+std::optional<double> ExactRatioByEnumeration(const Synopsis& synopsis,
+                                              size_t max_choices = 1 << 22);
+
+/// R(H, B) by inclusion–exclusion over the image subsets:
+///   R = Σ_{∅≠S⊆H, ∪S consistent} (-1)^{|S|+1} Π_{B ∈ blocks(∪S)} 1/|B|.
+/// Exact for |H| <= max_images (2^|H| subsets); nullopt beyond that.
+std::optional<double> ExactRatioInclusionExclusion(const Synopsis& synopsis,
+                                                   size_t max_images = 22);
+
+/// R(H, B) via connected-component decomposition. Images that share no
+/// block are independent events over the uniform choice of db(B), so
+///   R = 1 - Π_c (1 - R_c)
+/// over the components c of the image/block co-occurrence graph, each
+/// solved by inclusion–exclusion on its own images. This scales to far
+/// larger synopses than the monolithic oracles whenever image overlap is
+/// local; nullopt when some single component exceeds
+/// `max_component_images`.
+std::optional<double> ExactRatioDecomposed(const Synopsis& synopsis,
+                                           size_t max_component_images = 22);
+
+/// The relative frequency R_{D,Σ,Q}(t̄) by enumerating every repair of D
+/// and evaluating Q on each. Returns nullopt when the number of repairs
+/// exceeds `max_repairs`. `answer` must have |x̄| components.
+std::optional<double> ExactRelativeFrequencyByRepairs(
+    const Database& db, const ConjunctiveQuery& q, const Tuple& answer,
+    size_t max_repairs = 1 << 20);
+
+/// Certain-answer semantics: true iff t̄ ∈ Q(D') for *every* repair D'.
+/// Classic CQA, provided for comparison in examples; same exponential
+/// caveat as above (nullopt when over budget).
+std::optional<bool> IsCertainAnswerByRepairs(const Database& db,
+                                             const ConjunctiveQuery& q,
+                                             const Tuple& answer,
+                                             size_t max_repairs = 1 << 20);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_EXACT_H_

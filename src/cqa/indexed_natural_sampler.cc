@@ -1,0 +1,56 @@
+#include "cqa/indexed_natural_sampler.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+IndexedNaturalSampler::IndexedNaturalSampler(const Synopsis* synopsis)
+    : synopsis_(synopsis) {
+  CQA_CHECK(synopsis != nullptr);
+  CQA_CHECK_MSG(!synopsis->Empty(), "natural sampler requires H != {}");
+  const auto& blocks = synopsis->blocks();
+  images_by_fact_.resize(blocks.size());
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    images_by_fact_[b].resize(blocks[b].size);
+  }
+  const auto& images = synopsis->images();
+  image_sizes_.reserve(images.size());
+  for (uint32_t i = 0; i < images.size(); ++i) {
+    image_sizes_.push_back(static_cast<uint32_t>(images[i].facts.size()));
+    for (const Synopsis::ImageFact& f : images[i].facts) {
+      images_by_fact_[f.block][f.tid].push_back(i);
+    }
+  }
+  hits_.assign(images.size(), 0);
+  stamp_.assign(images.size(), 0);
+}
+
+double IndexedNaturalSampler::Draw(Rng& rng) {
+  const auto& blocks = synopsis_->blocks();
+  scratch_.resize(blocks.size());
+  if (++generation_ == 0) {
+    // Generation counter wrapped: clear stamps to avoid false matches.
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    generation_ = 1;
+  }
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    uint32_t tid = static_cast<uint32_t>(rng.UniformIndex(blocks[b].size));
+    scratch_[b] = tid;
+    for (uint32_t image : images_by_fact_[b][tid]) {
+      if (stamp_[image] != generation_) {
+        stamp_[image] = generation_;
+        hits_[image] = 0;
+      }
+      if (++hits_[image] == image_sizes_[image]) {
+        // All facts of this image were drawn: it survives. We still need
+        // to finish nothing — containment of one image suffices.
+        return 1.0;
+      }
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace cqa

@@ -1,0 +1,20 @@
+#include "cqa/kl_sampler.h"
+
+#include "common/macros.h"
+
+namespace cqa {
+
+KlSampler::KlSampler(const SymbolicSpace* space) : space_(space) {
+  CQA_CHECK(space != nullptr);
+}
+
+double KlSampler::Draw(Rng& rng) {
+  const Synopsis& synopsis = space_->synopsis();
+  size_t i = space_->SampleElement(rng, &scratch_);
+  for (size_t j = 0; j < i; ++j) {
+    if (synopsis.ImageContainedIn(j, scratch_)) return 0.0;
+  }
+  return 1.0;
+}
+
+}  // namespace cqa

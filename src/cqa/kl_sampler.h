@@ -1,0 +1,31 @@
+#ifndef CQABENCH_CQA_KL_SAMPLER_H_
+#define CQABENCH_CQA_KL_SAMPLER_H_
+
+#include "cqa/sampler.h"
+#include "cqa/symbolic_space.h"
+
+namespace cqa {
+
+/// Sampler 2 (SampleKL), after Karp and Luby: draws (i, I) uniformly from
+/// the symbolic space S• and returns 1 iff no j < i has I ∈ I_j, i.e. i is
+/// the first witness of I. (|db(B)|/|S•|)-good (Lemma 4.5):
+///   E[Draw] = R(H, B) · |db(B)| / |S•|.
+class KlSampler : public Sampler {
+ public:
+  /// The space (and its synopsis) must outlive the sampler.
+  explicit KlSampler(const SymbolicSpace* space);
+
+  double Draw(Rng& rng) override;
+  double GoodnessFactor() const override {
+    return 1.0 / space_->total_weight();
+  }
+  const char* name() const override { return "SampleKL"; }
+
+ private:
+  const SymbolicSpace* space_;
+  Synopsis::Choice scratch_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_KL_SAMPLER_H_

@@ -1,0 +1,22 @@
+#include "cqa/klm_sampler.h"
+
+#include "common/macros.h"
+
+namespace cqa {
+
+KlmSampler::KlmSampler(const SymbolicSpace* space) : space_(space) {
+  CQA_CHECK(space != nullptr);
+}
+
+double KlmSampler::Draw(Rng& rng) {
+  const Synopsis& synopsis = space_->synopsis();
+  space_->SampleElement(rng, &scratch_);
+  size_t k = 0;
+  for (size_t j = 0; j < synopsis.NumImages(); ++j) {
+    if (synopsis.ImageContainedIn(j, scratch_)) ++k;
+  }
+  CQA_CHECK(k >= 1);  // (i, I) ∈ S• implies H_i ⊆ I.
+  return 1.0 / static_cast<double>(k);
+}
+
+}  // namespace cqa

@@ -1,0 +1,33 @@
+#ifndef CQABENCH_CQA_KLM_SAMPLER_H_
+#define CQABENCH_CQA_KLM_SAMPLER_H_
+
+#include "cqa/sampler.h"
+#include "cqa/symbolic_space.h"
+
+namespace cqa {
+
+/// Sampler 3 (SampleKLM), the Karp–Luby–Madras variation (after the
+/// coverage estimator in Vazirani's presentation [26]): draws (i, I)
+/// uniformly from S• and returns 1/k where k = |{j : I ∈ I_j}| is the
+/// number of images witnessing I. (|db(B)|/|S•|)-good (Lemma 4.7), same
+/// expectation as SampleKL but smaller variance at the price of always
+/// scanning all of H.
+class KlmSampler : public Sampler {
+ public:
+  /// The space (and its synopsis) must outlive the sampler.
+  explicit KlmSampler(const SymbolicSpace* space);
+
+  double Draw(Rng& rng) override;
+  double GoodnessFactor() const override {
+    return 1.0 / space_->total_weight();
+  }
+  const char* name() const override { return "SampleKLM"; }
+
+ private:
+  const SymbolicSpace* space_;
+  Synopsis::Choice scratch_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_KLM_SAMPLER_H_

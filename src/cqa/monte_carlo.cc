@@ -1,0 +1,37 @@
+#include "cqa/monte_carlo.h"
+
+#include "cqa/opt_estimate.h"
+
+namespace cqa {
+
+namespace {
+constexpr size_t kDeadlineStride = 64;
+}  // namespace
+
+MonteCarloResult MonteCarloEstimate(Sampler& sampler, double epsilon,
+                                    double delta, Rng& rng,
+                                    const Deadline& deadline) {
+  MonteCarloResult result;
+  OptEstimateResult opt = OptEstimate(sampler, epsilon, delta, rng, deadline);
+  result.estimator_samples = opt.samples_used;
+  if (opt.timed_out) {
+    result.timed_out = true;
+    return result;
+  }
+
+  double sum = 0.0;
+  size_t n = opt.num_iterations;
+  for (size_t i = 0; i < n; ++i) {
+    sum += sampler.Draw(rng);
+    if (i % kDeadlineStride == 0 && deadline.Expired()) {
+      result.main_samples = i;
+      result.timed_out = true;
+      return result;
+    }
+  }
+  result.main_samples = n;
+  result.estimate = sum / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace cqa

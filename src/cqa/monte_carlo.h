@@ -1,0 +1,34 @@
+#ifndef CQABENCH_CQA_MONTE_CARLO_H_
+#define CQABENCH_CQA_MONTE_CARLO_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "cqa/sampler.h"
+
+namespace cqa {
+
+struct MonteCarloResult {
+  /// Mean of the main-phase samples: the (ε, δ)-approximation of
+  /// E[Sample((H, B))]. Divide by Sampler::GoodnessFactor() to recover
+  /// R(H, B).
+  double estimate = 0.0;
+  /// Samples consumed by OptEstimate.
+  size_t estimator_samples = 0;
+  /// Samples of the main loop (the N of Algorithm 2).
+  size_t main_samples = 0;
+  bool timed_out = false;
+};
+
+/// Algorithm 2, MonteCarlo[Sample]: asks OptEstimate for the optimal
+/// iteration count N, then averages N fresh samples. Under Lemma 4.2's
+/// conditions this is an efficient randomized approximation scheme for
+/// EV[Sample].
+MonteCarloResult MonteCarloEstimate(Sampler& sampler, double epsilon,
+                                    double delta, Rng& rng,
+                                    const Deadline& deadline = Deadline());
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_MONTE_CARLO_H_

@@ -1,0 +1,22 @@
+#include "cqa/natural_sampler.h"
+
+#include "common/macros.h"
+
+namespace cqa {
+
+NaturalSampler::NaturalSampler(const Synopsis* synopsis)
+    : synopsis_(synopsis) {
+  CQA_CHECK(synopsis != nullptr);
+  CQA_CHECK_MSG(!synopsis->Empty(), "natural sampler requires H != {}");
+}
+
+double NaturalSampler::Draw(Rng& rng) {
+  const std::vector<Synopsis::Block>& blocks = synopsis_->blocks();
+  scratch_.resize(blocks.size());
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    scratch_[b] = static_cast<uint32_t>(rng.UniformIndex(blocks[b].size));
+  }
+  return synopsis_->AnyImageContainedIn(scratch_) ? 1.0 : 0.0;
+}
+
+}  // namespace cqa

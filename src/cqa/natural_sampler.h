@@ -1,0 +1,28 @@
+#ifndef CQABENCH_CQA_NATURAL_SAMPLER_H_
+#define CQABENCH_CQA_NATURAL_SAMPLER_H_
+
+#include "cqa/sampler.h"
+#include "cqa/synopsis.h"
+
+namespace cqa {
+
+/// Sampler 1 (SampleNatural): draws I uniformly from the natural sampling
+/// space S = db(B) and returns 1 iff some image H ∈ H is contained in I.
+/// 1-good: E[Draw] = R(H, B) (Lemma 4.3).
+class NaturalSampler : public Sampler {
+ public:
+  /// The synopsis must be non-empty and outlive the sampler.
+  explicit NaturalSampler(const Synopsis* synopsis);
+
+  double Draw(Rng& rng) override;
+  double GoodnessFactor() const override { return 1.0; }
+  const char* name() const override { return "SampleNatural"; }
+
+ private:
+  const Synopsis* synopsis_;
+  Synopsis::Choice scratch_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_NATURAL_SAMPLER_H_

@@ -1,0 +1,73 @@
+#include "cqa/opt_estimate.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+namespace {
+
+constexpr double kLambda = 0.71828182845904523536;  // e - 2.
+constexpr size_t kDeadlineStride = 64;
+
+/// Υ(ε, δ) = 4λ ln(2/δ) / ε².
+double Upsilon(double epsilon, double delta) {
+  return 4.0 * kLambda * std::log(2.0 / delta) / (epsilon * epsilon);
+}
+
+}  // namespace
+
+OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
+                              Rng& rng, const Deadline& deadline) {
+  CQA_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  CQA_CHECK(delta > 0.0 && delta < 1.0);
+  OptEstimateResult result;
+
+  // Phase 1: stopping-rule algorithm with (min(1/2, √ε), δ/3). Terminates
+  // in expectation after Υ₁/μ samples, μ = E[Draw] > 0.
+  double eps1 = std::min(0.5, std::sqrt(epsilon));
+  double upsilon1 = 1.0 + (1.0 + eps1) * Upsilon(eps1, delta / 3.0);
+  double sum = 0.0;
+  size_t n1 = 0;
+  while (sum < upsilon1) {
+    sum += sampler.Draw(rng);
+    ++n1;
+    if (n1 % kDeadlineStride == 0 && deadline.Expired()) {
+      result.samples_used = n1;
+      result.timed_out = true;
+      return result;
+    }
+  }
+  result.mu_hat = upsilon1 / static_cast<double>(n1);
+
+  // Phase 2: variance estimation from paired samples.
+  double upsilon2 = 2.0 * (1.0 + std::sqrt(epsilon)) *
+                    (1.0 + 2.0 * std::sqrt(epsilon)) *
+                    (1.0 + std::log(1.5) / std::log(2.0 / delta)) *
+                    Upsilon(epsilon, delta);
+  size_t n2 = static_cast<size_t>(
+      std::ceil(upsilon2 * epsilon / result.mu_hat));
+  CQA_CHECK(n2 >= 1);
+  double s = 0.0;
+  for (size_t i = 0; i < n2; ++i) {
+    double x1 = sampler.Draw(rng);
+    double x2 = sampler.Draw(rng);
+    s += (x1 - x2) * (x1 - x2) / 2.0;
+    if (i % kDeadlineStride == 0 && deadline.Expired()) {
+      result.samples_used = n1 + 2 * i;
+      result.timed_out = true;
+      return result;
+    }
+  }
+  result.rho_hat =
+      std::max(s / static_cast<double>(n2), epsilon * result.mu_hat);
+
+  result.num_iterations = static_cast<size_t>(std::ceil(
+      upsilon2 * result.rho_hat / (result.mu_hat * result.mu_hat)));
+  CQA_CHECK(result.num_iterations >= 1);
+  result.samples_used = n1 + 2 * n2;
+  return result;
+}
+
+}  // namespace cqa

@@ -1,0 +1,49 @@
+#ifndef CQABENCH_CQA_OPT_ESTIMATE_H_
+#define CQABENCH_CQA_OPT_ESTIMATE_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "cqa/sampler.h"
+
+namespace cqa {
+
+/// Result of OptEstimate[Sample]((H, B), ε, δ).
+struct OptEstimateResult {
+  /// The (up to constants) optimal number of Monte Carlo iterations N such
+  /// that the mean of N samples is within relative error ε of E[Sample]
+  /// with probability >= 1 - δ.
+  size_t num_iterations = 0;
+  /// Samples consumed by the estimator itself (stopping-rule phase plus
+  /// variance phase).
+  size_t samples_used = 0;
+  /// Stopping-rule estimate of E[Sample].
+  double mu_hat = 0.0;
+  /// Variance estimate max{S/N₂, ε·μ̂}.
+  double rho_hat = 0.0;
+  /// True when the deadline expired before the estimate finished; the
+  /// other fields are then unusable.
+  bool timed_out = false;
+};
+
+/// The optimal Monte Carlo estimation algorithm of Dagum, Karp, Luby and
+/// Ross (SIAM J. Comput. 29(5), 2000) — the 𝒜𝒜 algorithm the paper's
+/// OptEstimate[Sample] relies on [8]. Requires 0 < ε < 1, 0 < δ < 1 and a
+/// sampler with E[Draw] > 0 on [0, 1]-valued outcomes.
+///
+/// Phase 1 runs the stopping-rule algorithm with (min(1/2, √ε), δ/3) to
+/// obtain μ̂; phase 2 estimates the variance ρ̂ from ⌈Υ₂·ε/μ̂⌉ sample pairs;
+/// the returned iteration count is N = ⌈Υ₂·ρ̂/μ̂²⌉ with
+/// Υ₂ = 2(1+√ε)(1+2√ε)(1+ln(3/2)/ln(2/δ))·Υ and Υ = 4(e-2)ln(2/δ)/ε².
+///
+/// The expected running time is proportional to 1/E[Draw] (phase 1) and to
+/// the relative variance (phase 2), which is exactly the cost asymmetry
+/// the paper's experiments expose between the samplers.
+OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
+                              Rng& rng,
+                              const Deadline& deadline = Deadline());
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_OPT_ESTIMATE_H_

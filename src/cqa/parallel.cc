@@ -1,0 +1,92 @@
+#include "cqa/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "cqa/opt_estimate.h"
+
+namespace cqa {
+
+MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
+                                            size_t num_threads,
+                                            double epsilon, double delta,
+                                            Rng& rng,
+                                            const Deadline& deadline) {
+  CQA_CHECK(num_threads >= 1);
+  MonteCarloResult result;
+
+  // Serial estimation phase.
+  std::unique_ptr<Sampler> estimator_sampler = factory();
+  OptEstimateResult opt =
+      OptEstimate(*estimator_sampler, epsilon, delta, rng, deadline);
+  result.estimator_samples = opt.samples_used;
+  if (opt.timed_out) {
+    result.timed_out = true;
+    return result;
+  }
+
+  const size_t n = opt.num_iterations;
+  if (num_threads == 1) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += estimator_sampler->Draw(rng);
+      if (i % 64 == 0 && deadline.Expired()) {
+        result.main_samples = i;
+        result.timed_out = true;
+        return result;
+      }
+    }
+    result.main_samples = n;
+    result.estimate = sum / static_cast<double>(n);
+    return result;
+  }
+
+  // Parallel main loop: disjoint iteration shares, independent RNG
+  // streams, one atomic flag for deadline propagation, sums combined at
+  // join time only.
+  std::vector<double> partial_sums(num_threads, 0.0);
+  std::vector<size_t> partial_counts(num_threads, 0);
+  std::atomic<bool> expired{false};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    uint64_t worker_seed = rng.engine()();
+    size_t share = n / num_threads + (t < n % num_threads ? 1 : 0);
+    workers.emplace_back([&, t, worker_seed, share] {
+      std::unique_ptr<Sampler> sampler = factory();
+      Rng worker_rng(worker_seed);
+      double sum = 0.0;
+      size_t count = 0;
+      for (size_t i = 0; i < share; ++i) {
+        if (i % 64 == 0 &&
+            (expired.load(std::memory_order_relaxed) || deadline.Expired())) {
+          expired.store(true, std::memory_order_relaxed);
+          break;
+        }
+        sum += sampler->Draw(worker_rng);
+        ++count;
+      }
+      partial_sums[t] = sum;
+      partial_counts[t] = count;
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t t = 0; t < num_threads; ++t) {
+    sum += partial_sums[t];
+    count += partial_counts[t];
+  }
+  result.main_samples = count;
+  if (expired.load() || count < n) {
+    result.timed_out = true;
+    return result;
+  }
+  result.estimate = sum / static_cast<double>(count);
+  return result;
+}
+
+}  // namespace cqa

@@ -1,0 +1,38 @@
+#ifndef CQABENCH_CQA_PARALLEL_H_
+#define CQABENCH_CQA_PARALLEL_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "cqa/monte_carlo.h"
+#include "cqa/sampler.h"
+
+namespace cqa {
+
+/// Factory producing independent sampler instances over the same
+/// admissible pair. Samplers keep per-draw scratch state, so each worker
+/// thread needs its own instance.
+using SamplerFactory = std::function<std::unique_ptr<Sampler>()>;
+
+/// Parallel variant of MonteCarlo[Sample] — the optimization the paper's
+/// appendix singles out as future work ("the performance ... can greatly
+/// benefit from a parallel implementation of the sampling phase without
+/// additional synchronization overhead").
+///
+/// OptEstimate runs serially (its sample count is tiny relative to the
+/// main loop); the N main-loop draws are then split across `num_threads`
+/// workers with independent RNG streams derived from `rng`, and the
+/// partial sums are combined once at the end — no synchronization on the
+/// hot path. With num_threads == 1 this is exactly MonteCarloEstimate.
+///
+/// The estimator keeps its (ε, δ) guarantee: the N draws are i.i.d. from
+/// the same distribution regardless of which thread produced them.
+MonteCarloResult ParallelMonteCarloEstimate(
+    const SamplerFactory& factory, size_t num_threads, double epsilon,
+    double delta, Rng& rng, const Deadline& deadline = Deadline());
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_PARALLEL_H_

@@ -1,0 +1,137 @@
+#include "cqa/preprocess.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace cqa {
+
+namespace {
+
+/// A fact in global (relation, block, tid) coordinates.
+struct GlobalFact {
+  size_t relation_id;
+  size_t block_id;
+  size_t tid;
+
+  friend bool operator<(const GlobalFact& a, const GlobalFact& b) {
+    if (a.relation_id != b.relation_id) return a.relation_id < b.relation_id;
+    if (a.block_id != b.block_id) return a.block_id < b.block_id;
+    return a.tid < b.tid;
+  }
+  friend bool operator==(const GlobalFact& a, const GlobalFact& b) {
+    return a.relation_id == b.relation_id && a.block_id == b.block_id &&
+           a.tid == b.tid;
+  }
+};
+
+/// Per-answer builder mapping global blocks to local synopsis blocks.
+struct SynopsisBuilder {
+  Synopsis synopsis;
+  std::unordered_map<size_t, size_t> local_block;  // packed key -> local id
+
+  static size_t PackKey(size_t relation_id, size_t block_id) {
+    // Relations are few (< 2^10); block ids fit comfortably in 54 bits.
+    return (relation_id << 54) | block_id;
+  }
+};
+
+}  // namespace
+
+double PreprocessResult::Balance() const {
+  if (answers_.empty() || stats_.num_distinct_images == 0) return 0.0;
+  return static_cast<double>(answers_.size()) /
+         static_cast<double>(stats_.num_distinct_images);
+}
+
+std::vector<FactRef> PreprocessResult::ImageFactRefs() const {
+  std::set<FactRef> facts;
+  for (const AnswerSynopsis& as : answers_) {
+    const std::vector<Synopsis::Block>& blocks = as.synopsis.blocks();
+    for (const Synopsis::Image& image : as.synopsis.images()) {
+      for (const Synopsis::ImageFact& f : image.facts) {
+        const Synopsis::Block& b = blocks[f.block];
+        size_t row =
+            block_index_.relation(b.relation_id).block(b.block_id)[f.tid];
+        facts.insert(FactRef{b.relation_id, row});
+      }
+    }
+  }
+  return std::vector<FactRef>(facts.begin(), facts.end());
+}
+
+PreprocessResult BuildSynopses(const Database& db, const ConjunctiveQuery& q,
+                               DatabaseIndexCache* cache) {
+  Stopwatch watch;
+  BlockIndex block_index = BlockIndex::Build(db);
+  PreprocessStats stats;
+
+  std::unordered_map<Tuple, size_t, TupleHash> answer_index;
+  std::vector<AnswerSynopsis> answers;
+  std::vector<SynopsisBuilder> builders;
+  std::set<std::vector<GlobalFact>> distinct_images;
+
+  CqEvaluator evaluator(&db, cache);
+  std::vector<GlobalFact> image;
+  evaluator.ForEachHomomorphism(q, [&](const Homomorphism& h) {
+    ++stats.num_homomorphisms;
+    // Translate the image to (rid, bid, tid) coordinates and check
+    // consistency: h(Q) |= Σ iff no block receives two distinct tuples.
+    image.clear();
+    for (const FactRef& f : h.image) {
+      const BlockAnnotation& ann =
+          block_index.relation(f.relation_id).annotation(f.row);
+      image.push_back(GlobalFact{f.relation_id, ann.block_id, ann.tuple_id});
+    }
+    std::sort(image.begin(), image.end());
+    image.erase(std::unique(image.begin(), image.end()), image.end());
+    for (size_t i = 1; i < image.size(); ++i) {
+      if (image[i].relation_id == image[i - 1].relation_id &&
+          image[i].block_id == image[i - 1].block_id) {
+        return true;  // Inconsistent image; skip.
+      }
+    }
+
+    Tuple answer = h.AnswerTuple(q);
+    auto [it, inserted] = answer_index.emplace(answer, builders.size());
+    if (inserted) {
+      answers.push_back(AnswerSynopsis{std::move(answer), Synopsis()});
+      builders.emplace_back();
+    }
+    SynopsisBuilder& builder = builders[it->second];
+
+    std::vector<Synopsis::ImageFact> local_facts;
+    local_facts.reserve(image.size());
+    for (const GlobalFact& g : image) {
+      size_t key = SynopsisBuilder::PackKey(g.relation_id, g.block_id);
+      auto [bit, block_inserted] =
+          builder.local_block.emplace(key, builder.synopsis.NumBlocks());
+      if (block_inserted) {
+        size_t size =
+            block_index.relation(g.relation_id).block(g.block_id).size();
+        builder.synopsis.AddBlock(
+            Synopsis::Block{size, g.relation_id, g.block_id});
+      }
+      local_facts.push_back(
+          Synopsis::ImageFact{static_cast<uint32_t>(bit->second),
+                              static_cast<uint32_t>(g.tid)});
+    }
+    if (builder.synopsis.AddImage(std::move(local_facts))) {
+      ++stats.num_images;
+      distinct_images.insert(image);
+    }
+    return true;
+  });
+
+  for (size_t i = 0; i < answers.size(); ++i) {
+    answers[i].synopsis = std::move(builders[i].synopsis);
+  }
+  stats.num_distinct_images = distinct_images.size();
+  stats.seconds = watch.ElapsedSeconds();
+  return PreprocessResult(std::move(answers), std::move(block_index), stats);
+}
+
+}  // namespace cqa

@@ -1,0 +1,79 @@
+#ifndef CQABENCH_CQA_PREPROCESS_H_
+#define CQABENCH_CQA_PREPROCESS_H_
+
+#include <vector>
+
+#include "cqa/synopsis.h"
+#include "query/evaluator.h"
+#include "storage/block_index.h"
+#include "storage/database.h"
+
+namespace cqa {
+
+/// A candidate answer together with its (Σ, Q)-synopsis.
+struct AnswerSynopsis {
+  Tuple answer;
+  Synopsis synopsis;
+};
+
+struct PreprocessStats {
+  /// Total homomorphisms from Q to D (consistent or not).
+  size_t num_homomorphisms = 0;
+  /// Σ_i |H_i|: consistent homomorphic images, counted per answer.
+  size_t num_images = 0;
+  /// |∪_i H_i|: globally distinct consistent images (the paper's
+  /// "homomorphic size of Q w.r.t. D").
+  size_t num_distinct_images = 0;
+  /// Wall-clock time of the preprocessing step.
+  double seconds = 0.0;
+};
+
+/// Output of the preprocessing step of §5: the set syn_{Σ,Q}(D) of pairs
+/// (t̄, (H, B)), with only-positive-frequency answers included, plus the
+/// block structure of the database it was computed against.
+class PreprocessResult {
+ public:
+  PreprocessResult(std::vector<AnswerSynopsis> answers, BlockIndex index,
+                   PreprocessStats stats)
+      : answers_(std::move(answers)),
+        block_index_(std::move(index)),
+        stats_(stats) {}
+
+  const std::vector<AnswerSynopsis>& answers() const { return answers_; }
+  const BlockIndex& block_index() const { return block_index_; }
+  const PreprocessStats& stats() const { return stats_; }
+
+  size_t NumAnswers() const { return answers_.size(); }
+
+  /// The balance of Q w.r.t. D (§6.1): |syn_{Σ,Q}(D)| / |∪_i H_i|, i.e.
+  /// the inverse of the average synopsis size. 0 when the query is empty.
+  /// A Boolean query with many images has balance close to 0; a query
+  /// whose every answer has a single witnessing image has balance 1.
+  double Balance() const;
+
+  /// Distinct facts appearing in some consistent homomorphic image — the
+  /// query-relevant portion of D the noise generator perturbs (§6.1).
+  std::vector<FactRef> ImageFactRefs() const;
+
+ private:
+  std::vector<AnswerSynopsis> answers_;
+  BlockIndex block_index_;
+  PreprocessStats stats_;
+};
+
+/// The preprocessing step: computes syn_{Σ,Q}(D) in one pass.
+///
+/// Mirrors the paper's SQL rewriting Q^rew (Appendix C): annotate every
+/// fact with (rid, bid, tid, kcnt) via the block index, enumerate all
+/// homomorphisms, keep the consistent images (no block mapped to two
+/// distinct tuple ids), and group them by answer tuple h(x̄). Runs in time
+/// polynomial in ||D|| (Lemma 4.1).
+///
+/// `cache` optionally shares evaluation indexes across calls on the same
+/// database.
+PreprocessResult BuildSynopses(const Database& db, const ConjunctiveQuery& q,
+                               DatabaseIndexCache* cache = nullptr);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_PREPROCESS_H_

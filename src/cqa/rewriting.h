@@ -1,0 +1,74 @@
+#ifndef CQABENCH_CQA_REWRITING_H_
+#define CQABENCH_CQA_REWRITING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cqa/preprocess.h"
+#include "query/cq.h"
+#include "storage/block_index.h"
+#include "storage/database.h"
+
+namespace cqa {
+
+/// The SQL rewriting Q^rew of Appendix C, in two forms:
+///  * the literal SQL text the paper executes on PostgreSQL (emitted for
+///    documentation, debugging, and for running the preprocessing on a
+///    real RDBMS);
+///  * an executable row pipeline over the in-memory engine that produces
+///    exactly the relation Q^rew(D) and derives enc(syn_{Σ,Q}(D)) from it
+///    in linear time — an independent implementation of the
+///    preprocessing step, used to cross-check BuildSynopses.
+
+/// Emits the `CREATE VIEW Q_R` statement for one relation: the base
+/// columns plus rid, bid (dense_rank over the key), tid (row_number within
+/// the key partition) and kcnt (partition cardinality).
+std::string RelationViewSql(const RelationSchema& rel, size_t rid);
+
+/// Emits the full Q^rew SELECT over the per-relation views: the answer
+/// attributes followed by (rid, bid, tid, kcnt) per atom, the join/constant
+/// conditions of the CQ as the WHERE clause, ordered by the answer.
+std::string RewritingSql(const Schema& schema, const ConjunctiveQuery& q);
+
+/// One tuple of Q^rew(D): the answer h(x̄) plus the block annotation of
+/// every atom's image fact.
+struct QrewRow {
+  Tuple answer;
+  struct AtomAnnotation {
+    size_t rid = 0;
+    size_t bid = 0;
+    size_t tid = 0;
+    size_t kcnt = 0;
+  };
+  std::vector<AtomAnnotation> atoms;
+};
+
+/// Evaluates Q^rew over the database: one row per homomorphism (not per
+/// consistent one — consistency filtering happens in the linear pass, as
+/// in Appendix C). Rows are sorted by answer tuple (the ORDER BY ᾱ).
+std::vector<QrewRow> ExecuteRewriting(const Database& db,
+                                      const ConjunctiveQuery& q,
+                                      const BlockIndex& index);
+
+/// The complete alternative preprocessing path: execute Q^rew, then build
+/// enc(syn_{Σ,Q}(D)) from its rows in linear time. Produces a result
+/// equivalent to BuildSynopses (same answers, images and blocks up to
+/// identifier naming).
+PreprocessResult BuildSynopsesViaRewriting(const Database& db,
+                                           const ConjunctiveQuery& q);
+
+/// Streaming preprocessing, after the Remark of Appendix C: because
+/// Q^rew orders its output by the answer attributes, the synopsis of one
+/// answer at a time suffices in memory. Invokes `fn` once per answer with
+/// positive relative frequency, in answer order; return false to stop.
+/// Answers whose homomorphisms are all inconsistent are skipped
+/// (Lemma 4.1(4)).
+using SynopsisCallback =
+    std::function<bool(const Tuple& answer, const Synopsis& synopsis)>;
+void ForEachSynopsis(const Database& db, const ConjunctiveQuery& q,
+                     const SynopsisCallback& fn);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_REWRITING_H_

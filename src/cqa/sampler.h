@@ -1,0 +1,31 @@
+#ifndef CQABENCH_CQA_SAMPLER_H_
+#define CQABENCH_CQA_SAMPLER_H_
+
+#include "common/rng.h"
+
+namespace cqa {
+
+/// A randomized procedure Sample((H, B)) producing numbers in [0, 1]
+/// (§4.2). Implementations are constructed over a fixed Synopsis and are
+/// `r`-good: E[Draw] = R(H, B) · GoodnessFactor(), with GoodnessFactor
+/// computable in polynomial time. A scheme recovers the relative frequency
+/// as (Monte Carlo mean) / GoodnessFactor().
+///
+/// Draw() may use internal scratch buffers and is not thread-safe; each
+/// worker should own its sampler.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Draws one sample in [0, 1].
+  virtual double Draw(Rng& rng) = 0;
+
+  /// The factor r such that E[Draw] = R(H, B) · r.
+  virtual double GoodnessFactor() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_SAMPLER_H_

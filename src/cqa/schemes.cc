@@ -1,0 +1,136 @@
+#include "cqa/schemes.h"
+
+#include "common/macros.h"
+#include "cqa/coverage.h"
+#include "cqa/kl_sampler.h"
+#include "cqa/klm_sampler.h"
+#include "cqa/monte_carlo.h"
+#include "cqa/natural_sampler.h"
+#include "cqa/parallel.h"
+#include "cqa/symbolic_space.h"
+
+namespace cqa {
+
+const char* SchemeKindName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNatural:
+      return "Natural";
+    case SchemeKind::kKl:
+      return "KL";
+    case SchemeKind::kKlm:
+      return "KLM";
+    case SchemeKind::kCover:
+      return "Cover";
+  }
+  return "?";
+}
+
+std::optional<SchemeKind> ParseSchemeKind(const std::string& name) {
+  for (SchemeKind kind : AllSchemeKinds()) {
+    if (name == SchemeKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<SchemeKind>& AllSchemeKinds() {
+  static const std::vector<SchemeKind>* kAll = new std::vector<SchemeKind>{
+      SchemeKind::kNatural, SchemeKind::kKl, SchemeKind::kKlm,
+      SchemeKind::kCover};
+  return *kAll;
+}
+
+namespace {
+
+/// Algorithm 3 (Natural): MonteCarlo over the natural space; 1-good.
+class NaturalScheme : public ApxRelativeFreqScheme {
+ public:
+  ApxResult Run(const Synopsis& synopsis, const ApxParams& params, Rng& rng,
+                const Deadline& deadline) const override {
+    ApxResult result;
+    if (synopsis.Empty()) return result;
+    MonteCarloResult mc;
+    if (params.num_threads > 1) {
+      mc = ParallelMonteCarloEstimate(
+          [&] { return std::make_unique<NaturalSampler>(&synopsis); },
+          params.num_threads, params.epsilon, params.delta, rng, deadline);
+    } else {
+      NaturalSampler sampler(&synopsis);
+      mc = MonteCarloEstimate(sampler, params.epsilon, params.delta, rng,
+                              deadline);
+    }
+    result.samples = mc.estimator_samples + mc.main_samples;
+    result.timed_out = mc.timed_out;
+    result.estimate = mc.estimate;  // GoodnessFactor() == 1.
+    return result;
+  }
+  SchemeKind kind() const override { return SchemeKind::kNatural; }
+};
+
+/// Algorithm 4 (KL / KLM): MonteCarlo over the symbolic space, converted
+/// back by the factor |S•|/|db(B)|.
+template <typename SamplerT, SchemeKind kKind>
+class SymbolicScheme : public ApxRelativeFreqScheme {
+ public:
+  ApxResult Run(const Synopsis& synopsis, const ApxParams& params, Rng& rng,
+                const Deadline& deadline) const override {
+    ApxResult result;
+    if (synopsis.Empty()) return result;
+    SymbolicSpace space(&synopsis);
+    MonteCarloResult mc;
+    if (params.num_threads > 1) {
+      mc = ParallelMonteCarloEstimate(
+          [&] { return std::make_unique<SamplerT>(&space); },
+          params.num_threads, params.epsilon, params.delta, rng, deadline);
+    } else {
+      SamplerT sampler(&space);
+      mc = MonteCarloEstimate(sampler, params.epsilon, params.delta, rng,
+                              deadline);
+    }
+    result.samples = mc.estimator_samples + mc.main_samples;
+    result.timed_out = mc.timed_out;
+    result.estimate = mc.estimate * space.total_weight();
+    return result;
+  }
+  SchemeKind kind() const override { return kKind; }
+};
+
+using KlScheme = SymbolicScheme<KlSampler, SchemeKind::kKl>;
+using KlmScheme = SymbolicScheme<KlmSampler, SchemeKind::kKlm>;
+
+/// Algorithm 5 (Cover): self-adjusting coverage over the symbolic space.
+class CoverScheme : public ApxRelativeFreqScheme {
+ public:
+  ApxResult Run(const Synopsis& synopsis, const ApxParams& params, Rng& rng,
+                const Deadline& deadline) const override {
+    ApxResult result;
+    if (synopsis.Empty()) return result;
+    SymbolicSpace space(&synopsis);
+    CoverageResult cov = SelfAdjustingCoverage(space, params.epsilon,
+                                               params.delta, rng, deadline);
+    result.samples = cov.steps;
+    result.timed_out = cov.timed_out;
+    result.estimate = cov.normalized_estimate * space.total_weight();
+    return result;
+  }
+  SchemeKind kind() const override { return SchemeKind::kCover; }
+};
+
+}  // namespace
+
+std::unique_ptr<ApxRelativeFreqScheme> ApxRelativeFreqScheme::Create(
+    SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNatural:
+      return std::make_unique<NaturalScheme>();
+    case SchemeKind::kKl:
+      return std::make_unique<KlScheme>();
+    case SchemeKind::kKlm:
+      return std::make_unique<KlmScheme>();
+    case SchemeKind::kCover:
+      return std::make_unique<CoverScheme>();
+  }
+  CQA_CHECK_MSG(false, "unknown scheme kind");
+  return nullptr;
+}
+
+}  // namespace cqa

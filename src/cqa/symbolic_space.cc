@@ -1,0 +1,46 @@
+#include "cqa/symbolic_space.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+SymbolicSpace::SymbolicSpace(const Synopsis* synopsis)
+    : synopsis_(synopsis) {
+  CQA_CHECK(synopsis != nullptr);
+  CQA_CHECK_MSG(!synopsis->Empty(), "symbolic space requires H != {}");
+  weights_ = synopsis->ImageWeights();
+  cumulative_.reserve(weights_.size());
+  double acc = 0.0;
+  for (double w : weights_) {
+    CQA_CHECK(w > 0.0);
+    acc += w;
+    cumulative_.push_back(acc);
+  }
+  total_weight_ = acc;
+}
+
+size_t SymbolicSpace::SampleElement(Rng& rng,
+                                    Synopsis::Choice* choice) const {
+  // Pick the image index i with probability w_i / Σ w_j.
+  double r = rng.UniformReal() * total_weight_;
+  size_t i = static_cast<size_t>(
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), r) -
+      cumulative_.begin());
+  if (i >= weights_.size()) i = weights_.size() - 1;  // FP slack.
+
+  // Pick I uniformly among the databases containing H_i: every block is
+  // free except those pinned by the image.
+  const std::vector<Synopsis::Block>& blocks = synopsis_->blocks();
+  choice->resize(blocks.size());
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    (*choice)[b] = static_cast<uint32_t>(rng.UniformIndex(blocks[b].size));
+  }
+  for (const Synopsis::ImageFact& f : synopsis_->images()[i].facts) {
+    (*choice)[f.block] = f.tid;
+  }
+  return i;
+}
+
+}  // namespace cqa

@@ -1,0 +1,45 @@
+#ifndef CQABENCH_CQA_SYMBOLIC_SPACE_H_
+#define CQABENCH_CQA_SYMBOLIC_SPACE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "cqa/synopsis.h"
+
+namespace cqa {
+
+/// The symbolic sampling space S• of §4.2:
+///   S• = { (i, I) | i ∈ [|H|], I ∈ db(B), H_i ⊆ I }.
+///
+/// All cardinalities are handled as ratios against |db(B)| so nothing
+/// overflows: w_i = |I_i|/|db(B)| = Π_{blocks of H_i} 1/|block| and
+/// |S•|/|db(B)| = Σ_i w_i. Sampling (i, I) uniformly from S• = draw
+/// i with probability w_i / Σ w_j, fix the facts of H_i, and choose the
+/// remaining blocks uniformly.
+class SymbolicSpace {
+ public:
+  /// The synopsis must be non-empty and outlive the space.
+  explicit SymbolicSpace(const Synopsis* synopsis);
+
+  const Synopsis& synopsis() const { return *synopsis_; }
+
+  /// |S•| / |db(B)| = Σ_i w_i. This is the `r`-goodness inverse: the
+  /// KL/KLM samplers are (|db(B)|/|S•|)-good.
+  double total_weight() const { return total_weight_; }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Draws (i, I) uniformly from S•. Overwrites *choice (resized to the
+  /// number of blocks) with I and returns i.
+  size_t SampleElement(Rng& rng, Synopsis::Choice* choice) const;
+
+ private:
+  const Synopsis* synopsis_;
+  std::vector<double> weights_;
+  std::vector<double> cumulative_;  // Prefix sums of weights_, for O(log n).
+  double total_weight_ = 0.0;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_SYMBOLIC_SPACE_H_

@@ -1,0 +1,97 @@
+#include "cqa/synopsis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+size_t Synopsis::AddBlock(Block block) {
+  CQA_CHECK(block.size >= 1);
+  blocks_.push_back(block);
+  return blocks_.size() - 1;
+}
+
+bool Synopsis::AddImage(std::vector<ImageFact> facts) {
+  CQA_CHECK_MSG(!facts.empty(), "an image must contain at least one fact");
+  std::sort(facts.begin(), facts.end());
+  facts.erase(std::unique(facts.begin(), facts.end()), facts.end());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    CQA_CHECK(facts[i].block < blocks_.size());
+    CQA_CHECK(facts[i].tid < blocks_[facts[i].block].size);
+    if (i > 0) {
+      CQA_CHECK_MSG(facts[i].block != facts[i - 1].block,
+                    "inconsistent image: two facts in one block");
+    }
+  }
+  if (!image_keys_.insert(facts).second) return false;
+  images_.push_back(Image{std::move(facts)});
+  return true;
+}
+
+double Synopsis::LogDbSize() const {
+  double log_size = 0.0;
+  for (const Block& b : blocks_) {
+    log_size += std::log10(static_cast<double>(b.size));
+  }
+  return log_size;
+}
+
+std::vector<double> Synopsis::ImageWeights() const {
+  std::vector<double> weights;
+  weights.reserve(images_.size());
+  for (const Image& image : images_) {
+    double w = 1.0;
+    for (const ImageFact& f : image.facts) {
+      w /= static_cast<double>(blocks_[f.block].size);
+    }
+    weights.push_back(w);
+  }
+  return weights;
+}
+
+double Synopsis::SymbolicToNaturalFactor() const {
+  double total = 0.0;
+  for (double w : ImageWeights()) total += w;
+  return total;
+}
+
+bool Synopsis::ImageContainedIn(size_t i, const Choice& choice) const {
+  CQA_CHECK(i < images_.size());
+  for (const ImageFact& f : images_[i].facts) {
+    if (choice[f.block] != f.tid) return false;
+  }
+  return true;
+}
+
+bool Synopsis::AnyImageContainedIn(const Choice& choice) const {
+  for (size_t i = 0; i < images_.size(); ++i) {
+    if (ImageContainedIn(i, choice)) return true;
+  }
+  return false;
+}
+
+std::string Synopsis::DebugString() const {
+  std::ostringstream os;
+  os << "Synopsis{blocks=[";
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    if (b > 0) os << ", ";
+    os << blocks_[b].size;
+  }
+  os << "], images=[";
+  for (size_t i = 0; i < images_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '{';
+    for (size_t j = 0; j < images_[i].facts.size(); ++j) {
+      if (j > 0) os << ' ';
+      os << images_[i].facts[j].block << ':' << images_[i].facts[j].tid;
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace cqa

@@ -1,0 +1,177 @@
+#include "cqa/synopsis_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cqa {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool AppendValue(const Value& v, std::string* line, std::string* error) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      line->append("i:");
+      line->append(std::to_string(v.AsInt()));
+      break;
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "d:%.17g", v.AsDouble());
+      line->append(buf);
+      break;
+    }
+    case ValueType::kString:
+      if (v.AsString().find('|') != std::string::npos ||
+          v.AsString().find('\n') != std::string::npos) {
+        return Fail(error, "string value contains '|' or newline");
+      }
+      line->append("s:");
+      line->append(v.AsString());
+      break;
+  }
+  line->push_back('|');
+  return true;
+}
+
+bool ParseValue(const std::string& field, Value* out, std::string* error) {
+  if (field.size() < 2 || field[1] != ':') {
+    return Fail(error, "malformed value field: " + field);
+  }
+  std::string body = field.substr(2);
+  switch (field[0]) {
+    case 'i': {
+      char* end = nullptr;
+      long long v = std::strtoll(body.c_str(), &end, 10);
+      if (end == body.c_str() || *end != '\0') {
+        return Fail(error, "bad int: " + body);
+      }
+      *out = Value(static_cast<int64_t>(v));
+      return true;
+    }
+    case 'd': {
+      char* end = nullptr;
+      double v = std::strtod(body.c_str(), &end);
+      if (end == body.c_str() || *end != '\0') {
+        return Fail(error, "bad double: " + body);
+      }
+      *out = Value(v);
+      return true;
+    }
+    case 's':
+      *out = Value(body);
+      return true;
+    default:
+      return Fail(error, "unknown value tag in: " + field);
+  }
+}
+
+std::vector<std::string> SplitBar(const std::string& line, size_t start) {
+  std::vector<std::string> fields;
+  size_t pos = start;
+  while (pos < line.size()) {
+    size_t bar = line.find('|', pos);
+    if (bar == std::string::npos) break;
+    fields.push_back(line.substr(pos, bar - pos));
+    pos = bar + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+bool WriteSynopses(const PreprocessResult& preprocessed,
+                   const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Fail(error, "cannot open " + path + " for writing");
+  out << "CQA_SYNOPSES 1\n";
+  std::string line;
+  for (const AnswerSynopsis& as : preprocessed.answers()) {
+    line = "A|";
+    for (const Value& v : as.answer) {
+      if (!AppendValue(v, &line, error)) return false;
+    }
+    out << line << '\n';
+    line = "B|";
+    for (const Synopsis::Block& b : as.synopsis.blocks()) {
+      line += std::to_string(b.size) + ',' + std::to_string(b.relation_id) +
+              ',' + std::to_string(b.block_id) + '|';
+    }
+    out << line << '\n';
+    line = "I|";
+    for (const Synopsis::Image& image : as.synopsis.images()) {
+      std::string facts;
+      for (const Synopsis::ImageFact& f : image.facts) {
+        if (!facts.empty()) facts.push_back(' ');
+        facts += std::to_string(f.block) + ':' + std::to_string(f.tid);
+      }
+      line += facts + '|';
+    }
+    out << line << '\n';
+  }
+  out.flush();
+  if (!out) return Fail(error, "write error on " + path);
+  return true;
+}
+
+bool ReadSynopses(const std::string& path, std::vector<AnswerSynopsis>* out,
+                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) return Fail(error, "cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "CQA_SYNOPSES 1") {
+    return Fail(error, path + ": bad header");
+  }
+  out->clear();
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::string where = path + ":" + std::to_string(line_number);
+    if (line.rfind("A|", 0) == 0) {
+      AnswerSynopsis as;
+      for (const std::string& field : SplitBar(line, 2)) {
+        Value v;
+        if (!ParseValue(field, &v, error)) return false;
+        as.answer.push_back(std::move(v));
+      }
+      out->push_back(std::move(as));
+    } else if (line.rfind("B|", 0) == 0) {
+      if (out->empty()) return Fail(error, where + ": B before A");
+      for (const std::string& field : SplitBar(line, 2)) {
+        size_t size = 0, rid = 0, bid = 0;
+        if (std::sscanf(field.c_str(), "%zu,%zu,%zu", &size, &rid, &bid) !=
+            3) {
+          return Fail(error, where + ": bad block: " + field);
+        }
+        out->back().synopsis.AddBlock(Synopsis::Block{size, rid, bid});
+      }
+    } else if (line.rfind("I|", 0) == 0) {
+      if (out->empty()) return Fail(error, where + ": I before A");
+      for (const std::string& field : SplitBar(line, 2)) {
+        std::vector<Synopsis::ImageFact> facts;
+        std::istringstream is(field);
+        std::string token;
+        while (is >> token) {
+          unsigned block = 0, tid = 0;
+          if (std::sscanf(token.c_str(), "%u:%u", &block, &tid) != 2) {
+            return Fail(error, where + ": bad image fact: " + token);
+          }
+          facts.push_back(Synopsis::ImageFact{block, tid});
+        }
+        if (facts.empty()) return Fail(error, where + ": empty image");
+        out->back().synopsis.AddImage(std::move(facts));
+      }
+    } else {
+      return Fail(error, where + ": unknown record: " + line);
+    }
+  }
+  return true;
+}
+
+}  // namespace cqa

@@ -1,0 +1,33 @@
+#ifndef CQABENCH_GEN_DATASET_H_
+#define CQABENCH_GEN_DATASET_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/schema.h"
+
+namespace cqa {
+
+/// A declared foreign-key dependency: attribute `attr` of relation `rel`
+/// references attribute `target_attr` of `target_rel`. The static query
+/// generator derives joinable attribute pairs from these (Appendix D).
+struct ForeignKey {
+  size_t rel = 0;
+  size_t attr = 0;
+  size_t target_rel = 0;
+  size_t target_attr = 0;
+};
+
+/// A generated benchmark instance: schema (with primary keys Σ), data, and
+/// the foreign-key graph. The schema is heap-allocated so the Database's
+/// back-pointer stays valid as the Dataset moves.
+struct Dataset {
+  std::unique_ptr<Schema> schema;
+  std::unique_ptr<Database> db;
+  std::vector<ForeignKey> foreign_keys;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_GEN_DATASET_H_

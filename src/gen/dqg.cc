@@ -1,0 +1,110 @@
+#include "gen/dqg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "storage/block_index.h"
+
+namespace cqa {
+
+namespace {
+
+/// A consistent homomorphism's data needed to score projections: the
+/// values of every variable.
+struct HomRecord {
+  Tuple assignment;
+};
+
+}  // namespace
+
+std::vector<DqgResult> GenerateBalancedQueries(
+    const Database& db, const ConjunctiveQuery& q,
+    const std::vector<double>& targets, const DqgOptions& options, Rng& rng,
+    DatabaseIndexCache* cache) {
+  // Enumerate homomorphisms once; record consistent ones and count the
+  // globally distinct images (the balance denominator, independent of the
+  // projection).
+  BlockIndex block_index = BlockIndex::Build(db);
+  std::set<std::vector<std::tuple<size_t, size_t, size_t>>> distinct_images;
+  std::vector<HomRecord> homs;
+  std::unordered_set<Tuple, TupleHash> distinct_assignments;
+  CqEvaluator evaluator(&db, cache);
+  evaluator.ForEachHomomorphism(q, [&](const Homomorphism& h) {
+    std::vector<std::tuple<size_t, size_t, size_t>> image;
+    for (const FactRef& f : h.image) {
+      const BlockAnnotation& ann =
+          block_index.relation(f.relation_id).annotation(f.row);
+      image.emplace_back(f.relation_id, ann.block_id, ann.tuple_id);
+    }
+    std::sort(image.begin(), image.end());
+    image.erase(std::unique(image.begin(), image.end()), image.end());
+    for (size_t i = 1; i < image.size(); ++i) {
+      if (std::get<0>(image[i]) == std::get<0>(image[i - 1]) &&
+          std::get<1>(image[i]) == std::get<1>(image[i - 1])) {
+        return true;  // Inconsistent image.
+      }
+    }
+    distinct_images.insert(std::move(image));
+    if (distinct_assignments.insert(h.assignment).second) {
+      homs.push_back(HomRecord{h.assignment});
+    }
+    return true;
+  });
+
+  std::vector<DqgResult> results;
+  if (distinct_images.empty()) return results;
+  const double denominator = static_cast<double>(distinct_images.size());
+
+  // Candidate projections: random non-empty subsets of the variables.
+  // (Projecting an attribute set of the participating relations is
+  // equivalent to selecting the variables at those positions.)
+  auto balance_of = [&](const std::vector<size_t>& vars) {
+    std::unordered_set<Tuple, TupleHash> answers;
+    for (const HomRecord& hom : homs) {
+      Tuple t;
+      t.reserve(vars.size());
+      for (size_t v : vars) t.push_back(hom.assignment[v]);
+      answers.insert(std::move(t));
+    }
+    return static_cast<double>(answers.size()) / denominator;
+  };
+
+  struct Candidate {
+    std::vector<size_t> vars;
+    double balance;
+  };
+  std::vector<Candidate> pool;
+  std::set<std::vector<size_t>> seen;
+  const size_t num_vars = q.num_vars();
+  CQA_CHECK(num_vars >= 1);
+  for (size_t i = 0; i < options.pool_size; ++i) {
+    size_t k = 1 + rng.UniformIndex(num_vars);
+    std::vector<size_t> vars = rng.SampleWithoutReplacement(num_vars, k);
+    std::sort(vars.begin(), vars.end());
+    if (!seen.insert(vars).second) continue;
+    double b = balance_of(vars);
+    pool.push_back(Candidate{std::move(vars), b});
+  }
+  if (pool.empty()) return results;
+
+  for (double target : targets) {
+    const Candidate* best = &pool[0];
+    for (const Candidate& c : pool) {
+      if (std::abs(c.balance - target) <
+          std::abs(best->balance - target)) {
+        best = &c;
+      }
+    }
+    DqgResult r;
+    r.query = q.WithAnswerVars(best->vars);
+    r.balance = best->balance;
+    r.target = target;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace cqa

@@ -1,0 +1,45 @@
+#ifndef CQABENCH_GEN_DQG_H_
+#define CQABENCH_GEN_DQG_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "query/cq.h"
+#include "query/evaluator.h"
+#include "storage/database.h"
+
+namespace cqa {
+
+struct DqgOptions {
+  /// Number of random projections explored (the paper runs its pool search
+  /// for t hours; we bound by candidates instead).
+  size_t pool_size = 256;
+};
+
+/// One output of the dynamic query generator.
+struct DqgResult {
+  ConjunctiveQuery query;
+  /// Achieved balance of `query` w.r.t. the database.
+  double balance = 0.0;
+  /// The target balance this query was selected for.
+  double target = 0.0;
+};
+
+/// The dynamic query generator (DQG) of §6.1: starting from `q`, explores
+/// a pool of re-projections (random subsets of the attributes of the
+/// relations occurring in q) and, for each target balance b_i, returns the
+/// pool query whose balance w.r.t. `db` is closest to b_i.
+///
+/// The balance of a projection is |Q(D)| / |∪H_i| where the homomorphic
+/// images do not depend on the projection, so the homomorphisms are
+/// enumerated once and every candidate is scored by counting the distinct
+/// projections of their answer assignments — equivalent to running the
+/// preprocessing per candidate, only much faster.
+std::vector<DqgResult> GenerateBalancedQueries(
+    const Database& db, const ConjunctiveQuery& q,
+    const std::vector<double>& targets, const DqgOptions& options, Rng& rng,
+    DatabaseIndexCache* cache = nullptr);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_GEN_DQG_H_

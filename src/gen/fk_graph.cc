@@ -1,0 +1,65 @@
+#include "gen/fk_graph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cqa {
+
+namespace {
+
+/// Minimal union-find over dense indexes.
+class UnionFind {
+ public:
+  size_t Find(size_t x) {
+    if (x >= parent_.size()) {
+      size_t old = parent_.size();
+      parent_.resize(x + 1);
+      for (size_t i = old; i <= x; ++i) parent_[i] = i;
+    }
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+FkGraph FkGraph::Build(const std::vector<ForeignKey>& foreign_keys) {
+  // Intern AttrRefs and union endpoints of every dependency.
+  std::map<AttrRef, size_t> ids;
+  std::vector<AttrRef> refs;
+  auto intern = [&](AttrRef r) {
+    auto [it, inserted] = ids.emplace(r, refs.size());
+    if (inserted) refs.push_back(r);
+    return it->second;
+  };
+  UnionFind uf;
+  for (const ForeignKey& fk : foreign_keys) {
+    size_t a = intern(AttrRef{fk.rel, fk.attr});
+    size_t b = intern(AttrRef{fk.target_rel, fk.target_attr});
+    uf.Find(a);
+    uf.Find(b);
+    uf.Union(a, b);
+  }
+
+  std::map<size_t, std::vector<AttrRef>> grouped;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    grouped[uf.Find(i)].push_back(refs[i]);
+  }
+  FkGraph graph;
+  for (auto& [root, members] : grouped) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    graph.classes_.push_back(std::move(members));
+  }
+  return graph;
+}
+
+}  // namespace cqa

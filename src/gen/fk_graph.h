@@ -1,0 +1,45 @@
+#ifndef CQABENCH_GEN_FK_GRAPH_H_
+#define CQABENCH_GEN_FK_GRAPH_H_
+
+#include <vector>
+
+#include "gen/dataset.h"
+
+namespace cqa {
+
+/// An attribute position of a schema relation.
+struct AttrRef {
+  size_t rel = 0;
+  size_t attr = 0;
+
+  friend bool operator==(const AttrRef& a, const AttrRef& b) {
+    return a.rel == b.rel && a.attr == b.attr;
+  }
+  friend bool operator<(const AttrRef& a, const AttrRef& b) {
+    if (a.rel != b.rel) return a.rel < b.rel;
+    return a.attr < b.attr;
+  }
+};
+
+/// Joinable-attribute analysis used by the static query generator
+/// (Appendix D): attributes connected through foreign-key dependencies
+/// form an equivalence class, and any two attributes of a class are
+/// joinable (e.g. c_nationkey ~ s_nationkey via nation.n_nationkey).
+class FkGraph {
+ public:
+  /// Builds the classes by union-find over the declared dependencies.
+  /// Classes with fewer than two members are dropped (nothing to join).
+  static FkGraph Build(const std::vector<ForeignKey>& foreign_keys);
+
+  const std::vector<std::vector<AttrRef>>& classes() const {
+    return classes_;
+  }
+  bool empty() const { return classes_.empty(); }
+
+ private:
+  std::vector<std::vector<AttrRef>> classes_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_GEN_FK_GRAPH_H_

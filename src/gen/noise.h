@@ -1,0 +1,58 @@
+#ifndef CQABENCH_GEN_NOISE_H_
+#define CQABENCH_GEN_NOISE_H_
+
+#include "common/rng.h"
+#include "query/cq.h"
+#include "storage/database.h"
+
+namespace cqa {
+
+/// Parameters of the query-aware noise generator (§6.1): `p` is the
+/// fraction of query-relevant facts whose block is inflated, and block
+/// sizes are drawn uniformly from [min_block_size, max_block_size].
+struct NoiseOptions {
+  double p = 0.5;
+  size_t min_block_size = 2;
+  size_t max_block_size = 5;
+};
+
+struct NoiseStats {
+  /// Query-relevant facts found by the preprocessing pass (|H| restricted
+  /// to relations with keys).
+  size_t relevant_facts = 0;
+  /// Facts whose block was selected for inflation (Σ_R ⌈p·|H_R|⌉).
+  size_t selected_facts = 0;
+  /// New conflicting facts inserted.
+  size_t facts_added = 0;
+};
+
+/// The query-aware noise generator for primary keys (§6.1).
+///
+/// Given a consistent database D, a query Q with Q(D) ≠ ∅ and the options
+/// above, mutates *db in place following the paper's three steps:
+///  1. compute syn_{Σ,Q}(D); the facts in its homomorphic images are the
+///     portion of D that can affect the query result;
+///  2. per relation R among those facts, select ⌈p·|H_R|⌉ of them;
+///  3. for each selected fact with key ā, draw a target block size
+///     s ∈ [ℓ, u] and add s-1 fresh facts R(ā, ū_j) whose non-key values
+///     are copied from a random R-fact with a different key — preserving
+///     the join patterns present in the data (crucial for multi-attribute
+///     foreign-key joins).
+///
+/// Never inserts a duplicate of an existing fact (databases are sets).
+/// The result is inconsistent w.r.t. Σ exactly on the inflated blocks.
+NoiseStats AddQueryAwareNoise(Database* db, const ConjunctiveQuery& q,
+                              const NoiseOptions& options, Rng& rng);
+
+/// The query-*oblivious* baseline the paper argues against (§6.1): the
+/// same block-inflating procedure, but the ⌈p·n⌉ facts are drawn from the
+/// whole database instead of the query-relevant portion. Because "we
+/// typically deal with very large databases, while only a small portion
+/// of them is needed to answer a query", most of this noise never reaches
+/// the query's synopses — the effect `bench_noise_ablation` quantifies.
+NoiseStats AddObliviousNoise(Database* db, const NoiseOptions& options,
+                             Rng& rng);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_GEN_NOISE_H_

@@ -1,0 +1,207 @@
+#include "gen/sqg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+ConstantPool ConstantPool::FromDatabase(const Database& db,
+                                        size_t max_per_attr) {
+  ConstantPool pool;
+  for (size_t rid = 0; rid < db.NumRelations(); ++rid) {
+    const Relation& rel = db.relation(rid);
+    for (size_t attr = 0; attr < rel.schema().arity(); ++attr) {
+      std::unordered_set<Value, ValueHash> seen;
+      std::vector<Value> values;
+      for (size_t row = 0; row < rel.size() && values.size() < max_per_attr;
+           ++row) {
+        const Value& v = rel.row(row)[attr];
+        if (seen.insert(v).second) values.push_back(v);
+      }
+      if (!values.empty()) {
+        pool.pool_.emplace((static_cast<uint64_t>(rid) << 32) | attr,
+                           std::move(values));
+      }
+    }
+  }
+  return pool;
+}
+
+const std::vector<Value>* ConstantPool::Get(size_t rel, size_t attr) const {
+  auto it = pool_.find((static_cast<uint64_t>(rel) << 32) | attr);
+  if (it == pool_.end()) return nullptr;
+  return &it->second;
+}
+
+namespace {
+
+/// Query under construction: one atom per relation, terms are either a
+/// variable id (into a union-find of unified variables) or a constant.
+struct DraftAtom {
+  size_t relation_id;
+  std::vector<Term> terms;  // Variable ids are draft-local (pre-renumber).
+};
+
+class Draft {
+ public:
+  explicit Draft(const Schema& schema) : schema_(&schema) {}
+
+  /// Atom index for `rel`, creating it with fresh variables on first use.
+  size_t AtomFor(size_t rel) {
+    auto it = atom_of_rel_.find(rel);
+    if (it != atom_of_rel_.end()) return it->second;
+    DraftAtom atom;
+    atom.relation_id = rel;
+    for (size_t i = 0; i < schema_->relation(rel).arity(); ++i) {
+      atom.terms.push_back(Term::Var(next_var_++));
+    }
+    atoms_.push_back(std::move(atom));
+    atom_of_rel_.emplace(rel, atoms_.size() - 1);
+    return atoms_.size() - 1;
+  }
+
+  bool HasAtoms() const { return !atoms_.empty(); }
+  const std::vector<DraftAtom>& atoms() const { return atoms_; }
+  std::vector<DraftAtom>& atoms() { return atoms_; }
+
+  /// Unifies the variables at two positions. Returns false when the
+  /// condition is redundant (already joined) or either position holds a
+  /// constant.
+  bool Join(size_t atom_a, size_t pos_a, size_t atom_b, size_t pos_b) {
+    Term& ta = atoms_[atom_a].terms[pos_a];
+    Term& tb = atoms_[atom_b].terms[pos_b];
+    if (ta.is_constant() || tb.is_constant()) return false;
+    size_t va = ta.var();
+    size_t vb = tb.var();
+    if (va == vb) return false;
+    for (DraftAtom& atom : atoms_) {
+      for (Term& t : atom.terms) {
+        if (t.is_variable() && t.var() == vb) t = Term::Var(va);
+      }
+    }
+    return true;
+  }
+
+  /// Number of occurrences of the variable at (atom, pos) across atoms.
+  size_t Occurrences(size_t atom, size_t pos) const {
+    const Term& t = atoms_[atom].terms[pos];
+    if (t.is_constant()) return 0;
+    size_t count = 0;
+    for (const DraftAtom& a : atoms_) {
+      for (const Term& u : a.terms) {
+        if (u.is_variable() && u.var() == t.var()) ++count;
+      }
+    }
+    return count;
+  }
+
+ private:
+  const Schema* schema_;
+  std::vector<DraftAtom> atoms_;
+  std::unordered_map<size_t, size_t> atom_of_rel_;
+  size_t next_var_ = 0;
+};
+
+}  // namespace
+
+std::optional<ConjunctiveQuery> GenerateStaticQuery(
+    const Schema& schema, const FkGraph& fk_graph, const ConstantPool& pool,
+    const SqgOptions& options, Rng& rng) {
+  Draft draft(schema);
+
+  // Join conditions R[k] = P[l] over joinable attribute pairs.
+  size_t joins_made = 0;
+  for (size_t attempt = 0;
+       joins_made < options.num_joins && attempt < options.max_attempts;
+       ++attempt) {
+    if (fk_graph.empty()) return std::nullopt;
+    const std::vector<AttrRef>& cls =
+        fk_graph.classes()[rng.UniformIndex(fk_graph.classes().size())];
+    AttrRef a = cls[rng.UniformIndex(cls.size())];
+    AttrRef b = cls[rng.UniformIndex(cls.size())];
+    if (a == b) continue;
+    size_t atom_a = draft.AtomFor(a.rel);
+    size_t atom_b = draft.AtomFor(b.rel);
+    if (draft.Join(atom_a, a.attr, atom_b, b.attr)) ++joins_made;
+  }
+  if (joins_made < options.num_joins) return std::nullopt;
+
+  // Constant conditions R[k] = a. To keep the query connected, constants
+  // are placed on relations already participating (or on a random relation
+  // when the query has no joins yet), at positions holding a non-join
+  // variable.
+  size_t constants_made = 0;
+  for (size_t attempt = 0;
+       constants_made < options.num_constants &&
+       attempt < options.max_attempts;
+       ++attempt) {
+    if (!draft.HasAtoms()) {
+      draft.AtomFor(rng.UniformIndex(schema.NumRelations()));
+    }
+    size_t atom = rng.UniformIndex(draft.atoms().size());
+    size_t rel = draft.atoms()[atom].relation_id;
+    size_t pos = rng.UniformIndex(schema.relation(rel).arity());
+    const Term& t = draft.atoms()[atom].terms[pos];
+    if (t.is_constant()) continue;
+    if (draft.Occurrences(atom, pos) > 1) continue;  // Keep join vars free.
+    const std::vector<Value>* values = pool.Get(rel, pos);
+    if (values == nullptr) continue;
+    draft.atoms()[atom].terms[pos] =
+        Term::Const((*values)[rng.UniformIndex(values->size())]);
+    ++constants_made;
+  }
+  if (constants_made < options.num_constants) return std::nullopt;
+
+  // Projection: choose ⌈p·|T|⌉ of the attribute positions of the
+  // participating relations; the answer variables are the (distinct)
+  // variables found there.
+  std::vector<std::pair<size_t, size_t>> var_positions;  // (atom, pos)
+  for (size_t i = 0; i < draft.atoms().size(); ++i) {
+    for (size_t pos = 0; pos < draft.atoms()[i].terms.size(); ++pos) {
+      if (draft.atoms()[i].terms[pos].is_variable()) {
+        var_positions.emplace_back(i, pos);
+      }
+    }
+  }
+  size_t num_projected = std::min(
+      var_positions.size(),
+      static_cast<size_t>(std::ceil(
+          options.projection * static_cast<double>(var_positions.size()))));
+  std::vector<size_t> chosen =
+      rng.SampleWithoutReplacement(var_positions.size(), num_projected);
+
+  // Renumber draft variables densely and assemble the query.
+  std::unordered_map<size_t, size_t> remap;
+  ConjunctiveQuery q;
+  for (const DraftAtom& da : draft.atoms()) {
+    Atom atom;
+    atom.relation_id = da.relation_id;
+    for (const Term& t : da.terms) {
+      if (t.is_constant()) {
+        atom.terms.push_back(t);
+      } else {
+        auto [it, inserted] = remap.emplace(t.var(), remap.size());
+        (void)inserted;
+        atom.terms.push_back(Term::Var(it->second));
+      }
+    }
+    q.AddAtom(std::move(atom));
+  }
+  std::set<size_t> answer_set;
+  std::vector<size_t> answer_vars;
+  for (size_t idx : chosen) {
+    auto [atom, pos] = var_positions[idx];
+    size_t v = remap.at(draft.atoms()[atom].terms[pos].var());
+    if (answer_set.insert(v).second) answer_vars.push_back(v);
+  }
+  std::sort(answer_vars.begin(), answer_vars.end());
+  q.SetAnswerVars(std::move(answer_vars));
+  q.Validate(schema);
+  return q;
+}
+
+}  // namespace cqa

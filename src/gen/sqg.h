@@ -1,0 +1,56 @@
+#ifndef CQABENCH_GEN_SQG_H_
+#define CQABENCH_GEN_SQG_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/fk_graph.h"
+#include "query/cq.h"
+#include "storage/database.h"
+
+namespace cqa {
+
+/// The function f of Appendix D: candidate constant values per attribute,
+/// harvested from the database's active domain (the paper instantiates f
+/// with "the set of constants occurring in D_H at attribute R[i]").
+class ConstantPool {
+ public:
+  /// Collects up to `max_per_attr` distinct values per attribute.
+  static ConstantPool FromDatabase(const Database& db,
+                                   size_t max_per_attr = 512);
+
+  /// Candidate constants for attribute `attr` of relation `rel`; nullptr
+  /// when none were harvested.
+  const std::vector<Value>* Get(size_t rel, size_t attr) const;
+
+ private:
+  std::unordered_map<uint64_t, std::vector<Value>> pool_;
+};
+
+/// Static query parameters (Appendix D): j join conditions, c occurrences
+/// of constants, and the fraction of attributes to project.
+struct SqgOptions {
+  size_t num_joins = 2;
+  size_t num_constants = 2;
+  double projection = 1.0;
+  /// Retry budget for drawing non-redundant join/constant conditions.
+  size_t max_attempts = 64;
+};
+
+/// The static query generator (SQG) of Appendix D.
+///
+/// Draws `num_joins` join conditions from the joinable attribute pairs of
+/// the FK graph (at most one atom per relation, reused across conditions),
+/// then `num_constants` constant conditions R[k] = a with a drawn from the
+/// constant pool, then projects ⌈projection·|T|⌉ of the attributes of the
+/// participating relations. Returns nullopt when the requested number of
+/// fresh conditions cannot be drawn within the attempt budget.
+std::optional<ConjunctiveQuery> GenerateStaticQuery(
+    const Schema& schema, const FkGraph& fk_graph, const ConstantPool& pool,
+    const SqgOptions& options, Rng& rng);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_GEN_SQG_H_

@@ -1,0 +1,256 @@
+#include "gen/text_pools.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace cqa {
+namespace text_pools {
+
+namespace {
+
+const std::vector<std::string>& Pool(
+    const std::vector<std::string>*& cached,
+    std::vector<std::string> (*make)()) {
+  if (cached == nullptr) cached = new std::vector<std::string>(make());
+  return *cached;
+}
+
+std::string Pick(const std::vector<std::string>& pool, Rng& rng) {
+  return pool[rng.UniformIndex(pool.size())];
+}
+
+}  // namespace
+
+const std::vector<std::string>& Regions() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                    "MIDDLE EAST"};
+  });
+}
+
+const std::vector<std::string>& Nations() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{
+        "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",         "EGYPT",
+        "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",          "INDONESIA",
+        "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",         "KENYA",
+        "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",          "ROMANIA",
+        "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+        "UNITED STATES"};
+  });
+}
+
+size_t NationRegion(size_t nation_index) {
+  // Region assignment from the TPC-H specification's nation table.
+  static constexpr size_t kRegion[25] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                         4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+  CQA_CHECK(nation_index < 25);
+  return kRegion[nation_index];
+}
+
+const std::vector<std::string>& MarketSegments() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                    "MACHINERY", "HOUSEHOLD"};
+  });
+}
+
+const std::vector<std::string>& OrderPriorities() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                    "4-NOT SPECIFIED", "5-LOW"};
+  });
+}
+
+const std::vector<std::string>& ShipModes() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{"REG AIR", "AIR",   "RAIL", "SHIP",
+                                    "TRUCK",   "MAIL",  "FOB"};
+  });
+}
+
+const std::vector<std::string>& ShipInstructions() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{"DELIVER IN PERSON", "COLLECT COD",
+                                    "NONE", "TAKE BACK RETURN"};
+  });
+}
+
+std::string RandomPartType(Rng& rng) {
+  static const char* kSyl1[] = {"STANDARD", "SMALL", "MEDIUM",
+                                "LARGE",    "ECONOMY", "PROMO"};
+  static const char* kSyl2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                                "POLISHED", "BRUSHED"};
+  static const char* kSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+  std::ostringstream os;
+  os << kSyl1[rng.UniformIndex(6)] << ' ' << kSyl2[rng.UniformIndex(5)] << ' '
+     << kSyl3[rng.UniformIndex(5)];
+  return os.str();
+}
+
+std::string RandomContainer(Rng& rng) {
+  static const char* kSize[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+  static const char* kKind[] = {"CASE", "BOX", "BAG", "JAR",
+                                "PKG",  "PACK", "CAN", "DRUM"};
+  std::ostringstream os;
+  os << kSize[rng.UniformIndex(5)] << ' ' << kKind[rng.UniformIndex(8)];
+  return os.str();
+}
+
+std::string RandomBrand(Rng& rng) {
+  std::ostringstream os;
+  os << "Brand#" << rng.UniformInt(1, 5) << rng.UniformInt(1, 5);
+  return os.str();
+}
+
+std::string RandomManufacturer(Rng& rng) {
+  std::ostringstream os;
+  os << "Manufacturer#" << rng.UniformInt(1, 5);
+  return os.str();
+}
+
+namespace {
+const std::vector<std::string>& ColorWords() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{
+        "almond", "antique", "aquamarine", "azure",  "beige",  "bisque",
+        "black",  "blanched", "blue",      "blush",  "brown",  "burlywood",
+        "chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+        "cream",  "cyan",   "dark",       "drab",   "firebrick", "floral",
+        "forest", "frosted", "gainsboro", "ghost",  "goldenrod", "green",
+        "grey",   "honeydew", "hot",      "indian", "ivory",  "khaki"};
+  });
+}
+
+const std::vector<std::string>& CommentWords() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{
+        "carefully", "quickly",  "furiously", "slyly",   "blithely",
+        "deposits",  "requests", "packages",  "accounts", "instructions",
+        "foxes",     "pinto",    "beans",     "theodolites", "dependencies",
+        "platelets", "ideas",    "sleep",     "haggle",  "nag",
+        "boost",     "wake",     "cajole",    "detect",  "integrate"};
+  });
+}
+}  // namespace
+
+std::string RandomPartName(Rng& rng) {
+  const std::vector<std::string>& words = ColorWords();
+  std::ostringstream os;
+  os << Pick(words, rng) << ' ' << Pick(words, rng) << ' ' << Pick(words, rng);
+  return os.str();
+}
+
+std::string RandomComment(Rng& rng, size_t words) {
+  const std::vector<std::string>& pool = CommentWords();
+  std::ostringstream os;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) os << ' ';
+    os << Pick(pool, rng);
+  }
+  return os.str();
+}
+
+std::string RandomPhone(Rng& rng, int64_t country_code) {
+  std::ostringstream os;
+  os << (10 + country_code) << '-' << rng.UniformInt(100, 999) << '-'
+     << rng.UniformInt(100, 999) << '-' << rng.UniformInt(1000, 9999);
+  return os.str();
+}
+
+std::string RandomAddress(Rng& rng) {
+  static const char* kAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789 ,";
+  size_t len = static_cast<size_t>(rng.UniformInt(10, 24));
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) s.push_back(kAlphabet[rng.UniformIndex(38)]);
+  return s;
+}
+
+std::string Padded(const char* prefix, int64_t number, int width) {
+  std::ostringstream os;
+  os << prefix;
+  std::string digits = std::to_string(number);
+  for (int i = static_cast<int>(digits.size()); i < width; ++i) os << '0';
+  os << digits;
+  return os.str();
+}
+
+const std::vector<std::string>& States() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{"AL", "CA", "FL", "GA", "IL", "MI",
+                                    "NY", "OH", "TN", "TX", "VA", "WA"};
+  });
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{"James",  "Mary",  "Robert", "Patricia",
+                                    "John",   "Linda", "Michael", "Barbara",
+                                    "David",  "Susan", "Richard", "Jessica",
+                                    "Joseph", "Sarah", "Thomas", "Karen"};
+  });
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{"Smith",  "Johnson", "Williams", "Brown",
+                                    "Jones",  "Garcia",  "Miller",   "Davis",
+                                    "Lopez",  "Wilson",  "Anderson", "Taylor",
+                                    "Moore",  "Jackson", "Martin",   "Lee"};
+  });
+}
+
+const std::vector<std::string>& ItemCategories() {
+  static const std::vector<std::string>* cached = nullptr;
+  return Pool(cached, [] {
+    return std::vector<std::string>{"Books", "Children", "Electronics",
+                                    "Home",  "Jewelry",  "Men",
+                                    "Music", "Shoes",    "Sports", "Women"};
+  });
+}
+
+}  // namespace text_pools
+
+namespace dates {
+
+int64_t DayOffsetToYmd(int64_t offset) {
+  CQA_CHECK(offset >= 0);
+  static constexpr int kMonthDays[12] = {31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+  int64_t year = kTpchStartYear;
+  while (true) {
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    int64_t days_in_year = leap ? 366 : 365;
+    if (offset < days_in_year) {
+      for (int month = 0; month < 12; ++month) {
+        int64_t dim = kMonthDays[month] + (month == 1 && leap ? 1 : 0);
+        if (offset < dim) {
+          return year * 10000 + (month + 1) * 100 + (offset + 1);
+        }
+        offset -= dim;
+      }
+    }
+    offset -= days_in_year;
+    ++year;
+  }
+}
+
+int64_t RandomTpchDate(Rng& rng) {
+  return DayOffsetToYmd(rng.UniformInt(0, kTpchNumDays - 1));
+}
+
+}  // namespace dates
+}  // namespace cqa

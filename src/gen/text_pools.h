@@ -1,0 +1,78 @@
+#ifndef CQABENCH_GEN_TEXT_POOLS_H_
+#define CQABENCH_GEN_TEXT_POOLS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cqa {
+
+/// Value pools mirroring the categorical vocabularies of the TPC dbgen /
+/// dsdgen tools. The generators draw from these so constants in generated
+/// queries select realistic slices of the data (TPC-H names, types,
+/// segments, priorities, ...).
+namespace text_pools {
+
+/// The five TPC-H regions.
+const std::vector<std::string>& Regions();
+
+/// The 25 TPC-H nations; `NationRegion(i)` is the region index of nation i.
+const std::vector<std::string>& Nations();
+size_t NationRegion(size_t nation_index);
+
+const std::vector<std::string>& MarketSegments();
+const std::vector<std::string>& OrderPriorities();
+const std::vector<std::string>& ShipModes();
+const std::vector<std::string>& ShipInstructions();
+
+/// Random part type: "<size> <finish> <metal>" (e.g. "PROMO PLATED TIN").
+std::string RandomPartType(Rng& rng);
+/// Random container: "<size> <kind>" (e.g. "SM BOX").
+std::string RandomContainer(Rng& rng);
+/// "Brand#MN" with M, N in [1, 5].
+std::string RandomBrand(Rng& rng);
+/// "Manufacturer#M" with M in [1, 5].
+std::string RandomManufacturer(Rng& rng);
+/// Part name: a few color-ish words (dbgen style).
+std::string RandomPartName(Rng& rng);
+/// Short pseudo-sentence used for comment columns.
+std::string RandomComment(Rng& rng, size_t words = 4);
+/// Phone number "CC-DDD-DDD-DDDD".
+std::string RandomPhone(Rng& rng, int64_t country_code);
+/// Address-like token.
+std::string RandomAddress(Rng& rng);
+
+/// Zero-padded entity name, e.g. Padded("Supplier#", 17, 9) ->
+/// "Supplier#000000017".
+std::string Padded(const char* prefix, int64_t number, int width);
+
+/// US state abbreviations (TPC-DS dimension columns).
+const std::vector<std::string>& States();
+/// First/last names (TPC-DS customer).
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+/// Item categories (TPC-DS).
+const std::vector<std::string>& ItemCategories();
+
+}  // namespace text_pools
+
+/// Date helpers: dates are stored as int64 YYYYMMDD. The TPC-H horizon is
+/// 1992-01-01 .. 1998-12-31 (2557 days).
+namespace dates {
+
+constexpr int64_t kTpchStartYear = 1992;
+constexpr int64_t kTpchNumDays = 2557;
+
+/// Converts a day offset from 1992-01-01 into YYYYMMDD.
+int64_t DayOffsetToYmd(int64_t offset);
+
+/// Uniform random date in the TPC-H horizon.
+int64_t RandomTpchDate(Rng& rng);
+
+}  // namespace dates
+
+}  // namespace cqa
+
+#endif  // CQABENCH_GEN_TEXT_POOLS_H_

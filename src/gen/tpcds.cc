@@ -1,0 +1,273 @@
+#include "gen/tpcds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/macros.h"
+#include "gen/text_pools.h"
+
+namespace cqa {
+
+namespace {
+
+using text_pools::Padded;
+
+constexpr ValueType kInt = ValueType::kInt;
+constexpr ValueType kDouble = ValueType::kDouble;
+constexpr ValueType kString = ValueType::kString;
+
+size_t Scaled(double base, double scale_factor) {
+  return std::max<size_t>(
+      1, static_cast<size_t>(std::llround(base * scale_factor)));
+}
+
+constexpr int64_t kStartYear = 1998;
+constexpr int64_t kNumYears = 5;
+constexpr int64_t kDaysPerYear = 365;  // Calendar detail is irrelevant here.
+constexpr int64_t kNumDays = kNumYears * kDaysPerYear;
+
+}  // namespace
+
+Schema MakeTpcdsSchema() {
+  Schema schema;
+  schema.AddRelation(RelationSchema("date_dim",
+                                    {{"d_date_sk", kInt},
+                                     {"d_date", kInt},
+                                     {"d_year", kInt},
+                                     {"d_moy", kInt},
+                                     {"d_dom", kInt}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("item",
+                                    {{"i_item_sk", kInt},
+                                     {"i_item_id", kString},
+                                     {"i_brand_id", kInt},
+                                     {"i_category", kString},
+                                     {"i_manufact_id", kInt},
+                                     {"i_current_price", kDouble}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("customer",
+                                    {{"c_customer_sk", kInt},
+                                     {"c_customer_id", kString},
+                                     {"c_first_name", kString},
+                                     {"c_last_name", kString},
+                                     {"c_current_addr_sk", kInt}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("customer_address",
+                                    {{"ca_address_sk", kInt},
+                                     {"ca_state", kString},
+                                     {"ca_county", kString},
+                                     {"ca_gmt_offset", kInt}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("store",
+                                    {{"s_store_sk", kInt},
+                                     {"s_store_id", kString},
+                                     {"s_store_name", kString},
+                                     {"s_state", kString}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("warehouse",
+                                    {{"w_warehouse_sk", kInt},
+                                     {"w_warehouse_name", kString},
+                                     {"w_warehouse_sq_ft", kInt}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("promotion",
+                                    {{"p_promo_sk", kInt},
+                                     {"p_promo_id", kString},
+                                     {"p_channel_email", kString},
+                                     {"p_channel_event", kString}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("store_sales",
+                                    {{"ss_sold_date_sk", kInt},
+                                     {"ss_item_sk", kInt},
+                                     {"ss_ticket_number", kInt},
+                                     {"ss_customer_sk", kInt},
+                                     {"ss_store_sk", kInt},
+                                     {"ss_promo_sk", kInt},
+                                     {"ss_quantity", kInt},
+                                     {"ss_ext_sales_price", kDouble}},
+                                    {1, 2}));
+  schema.AddRelation(RelationSchema("catalog_sales",
+                                    {{"cs_sold_date_sk", kInt},
+                                     {"cs_item_sk", kInt},
+                                     {"cs_order_number", kInt},
+                                     {"cs_bill_customer_sk", kInt},
+                                     {"cs_warehouse_sk", kInt},
+                                     {"cs_promo_sk", kInt},
+                                     {"cs_quantity", kInt},
+                                     {"cs_ext_sales_price", kDouble}},
+                                    {1, 2}));
+  schema.AddRelation(RelationSchema("web_sales",
+                                    {{"ws_sold_date_sk", kInt},
+                                     {"ws_item_sk", kInt},
+                                     {"ws_order_number", kInt},
+                                     {"ws_bill_customer_sk", kInt},
+                                     {"ws_warehouse_sk", kInt},
+                                     {"ws_promo_sk", kInt},
+                                     {"ws_quantity", kInt},
+                                     {"ws_ext_sales_price", kDouble}},
+                                    {1, 2}));
+  schema.AddRelation(RelationSchema("inventory",
+                                    {{"inv_date_sk", kInt},
+                                     {"inv_item_sk", kInt},
+                                     {"inv_warehouse_sk", kInt},
+                                     {"inv_quantity_on_hand", kInt}},
+                                    {0, 1, 2}));
+  return schema;
+}
+
+Dataset GenerateTpcds(const TpcdsOptions& options) {
+  Dataset dataset;
+  dataset.schema = std::make_unique<Schema>(MakeTpcdsSchema());
+  dataset.db = std::make_unique<Database>(dataset.schema.get());
+  Schema& schema = *dataset.schema;
+  Database& db = *dataset.db;
+  Rng rng(options.seed);
+
+  const size_t num_items = Scaled(18000, options.scale_factor);
+  const size_t num_customers = Scaled(100000, options.scale_factor);
+  const size_t num_addresses = Scaled(50000, options.scale_factor);
+  const size_t num_stores = std::max<size_t>(2, Scaled(12, options.scale_factor));
+  const size_t num_warehouses = 5;
+  const size_t num_promos = Scaled(300, options.scale_factor);
+  const size_t num_store_sales = Scaled(2880000, options.scale_factor);
+  const size_t num_catalog_sales = Scaled(1440000, options.scale_factor);
+  const size_t num_web_sales = Scaled(720000, options.scale_factor);
+
+  // date_dim: kNumYears years of kDaysPerYear days each.
+  for (int64_t day = 0; day < kNumDays; ++day) {
+    int64_t year = kStartYear + day / kDaysPerYear;
+    int64_t doy = day % kDaysPerYear;
+    int64_t moy = doy / 31 + 1;  // Uniform 31-day "months"; 12th absorbs rest.
+    if (moy > 12) moy = 12;
+    int64_t dom = doy - (moy - 1) * 31 + 1;
+    db.Insert("date_dim", {Value(day + 1),
+                           Value(year * 10000 + moy * 100 + dom), Value(year),
+                           Value(moy), Value(dom)});
+  }
+
+  const auto& categories = text_pools::ItemCategories();
+  for (size_t i = 1; i <= num_items; ++i) {
+    db.Insert("item",
+              {Value(static_cast<int64_t>(i)),
+               Value(Padded("ITEM", static_cast<int64_t>(i), 8)),
+               Value(rng.UniformInt(1001001, 1010010)),
+               Value(categories[rng.UniformIndex(categories.size())]),
+               Value(rng.UniformInt(1, 1000)),
+               Value(rng.UniformInt(100, 30000) / 100.0)});
+  }
+
+  const auto& states = text_pools::States();
+  for (size_t a = 1; a <= num_addresses; ++a) {
+    db.Insert("customer_address",
+              {Value(static_cast<int64_t>(a)),
+               Value(states[rng.UniformIndex(states.size())]),
+               Value(Padded("County", rng.UniformInt(1, 50), 3)),
+               Value(rng.UniformInt(-10, 0))});
+  }
+
+  const auto& first_names = text_pools::FirstNames();
+  const auto& last_names = text_pools::LastNames();
+  for (size_t c = 1; c <= num_customers; ++c) {
+    db.Insert("customer",
+              {Value(static_cast<int64_t>(c)),
+               Value(Padded("CUST", static_cast<int64_t>(c), 10)),
+               Value(first_names[rng.UniformIndex(first_names.size())]),
+               Value(last_names[rng.UniformIndex(last_names.size())]),
+               Value(rng.UniformInt(1, static_cast<int64_t>(num_addresses)))});
+  }
+
+  for (size_t s = 1; s <= num_stores; ++s) {
+    db.Insert("store",
+              {Value(static_cast<int64_t>(s)),
+               Value(Padded("STORE", static_cast<int64_t>(s), 4)),
+               Value("Store " + std::to_string(s)),
+               Value(states[rng.UniformIndex(states.size())])});
+  }
+
+  for (size_t w = 1; w <= num_warehouses; ++w) {
+    db.Insert("warehouse", {Value(static_cast<int64_t>(w)),
+                            Value("Warehouse " + std::to_string(w)),
+                            Value(rng.UniformInt(50000, 1000000))});
+  }
+
+  static const char* kYesNo[2] = {"Y", "N"};
+  for (size_t p = 1; p <= num_promos; ++p) {
+    db.Insert("promotion",
+              {Value(static_cast<int64_t>(p)),
+               Value(Padded("PROMO", static_cast<int64_t>(p), 6)),
+               Value(std::string(kYesNo[rng.UniformIndex(2)])),
+               Value(std::string(kYesNo[rng.UniformIndex(2)]))});
+  }
+
+  // Fact tables. Composite keys (item, ticket/order number) never collide
+  // because each row draws a fresh ticket number.
+  auto sales_row = [&](int64_t ticket, int64_t location_count) {
+    Tuple t;
+    t.push_back(Value(rng.UniformInt(1, kNumDays)));                 // date
+    t.push_back(Value(rng.UniformInt(1, static_cast<int64_t>(num_items))));
+    t.push_back(Value(ticket));
+    t.push_back(Value(rng.UniformInt(1, static_cast<int64_t>(num_customers))));
+    t.push_back(Value(rng.UniformInt(1, location_count)));           // store/wh
+    t.push_back(Value(rng.UniformInt(1, static_cast<int64_t>(num_promos))));
+    t.push_back(Value(rng.UniformInt(1, 100)));                      // quantity
+    t.push_back(Value(rng.UniformInt(100, 1000000) / 100.0));        // price
+    return t;
+  };
+  for (size_t i = 1; i <= num_store_sales; ++i) {
+    db.Insert("store_sales", sales_row(static_cast<int64_t>(i),
+                                       static_cast<int64_t>(num_stores)));
+  }
+  for (size_t i = 1; i <= num_catalog_sales; ++i) {
+    db.Insert("catalog_sales", sales_row(static_cast<int64_t>(i),
+                                         static_cast<int64_t>(num_warehouses)));
+  }
+  for (size_t i = 1; i <= num_web_sales; ++i) {
+    db.Insert("web_sales", sales_row(static_cast<int64_t>(i),
+                                     static_cast<int64_t>(num_warehouses)));
+  }
+
+  // inventory: a few sampled (date, item, warehouse) snapshots per item.
+  std::set<std::tuple<int64_t, int64_t, int64_t>> seen;
+  for (size_t i = 1; i <= num_items; ++i) {
+    for (size_t k = 0; k < 3; ++k) {
+      int64_t date = rng.UniformInt(1, kNumDays);
+      int64_t wh = rng.UniformInt(1, static_cast<int64_t>(num_warehouses));
+      if (!seen.emplace(date, static_cast<int64_t>(i), wh).second) continue;
+      db.Insert("inventory", {Value(date), Value(static_cast<int64_t>(i)),
+                              Value(wh), Value(rng.UniformInt(0, 1000))});
+    }
+  }
+
+  auto fk = [&](const char* rel, const char* attr, const char* target_rel,
+                const char* target_attr) {
+    size_t r = schema.RelationId(rel);
+    size_t t = schema.RelationId(target_rel);
+    dataset.foreign_keys.push_back(
+        ForeignKey{r, *schema.relation(r).FindAttribute(attr), t,
+                   *schema.relation(t).FindAttribute(target_attr)});
+  };
+  fk("customer", "c_current_addr_sk", "customer_address", "ca_address_sk");
+  fk("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk");
+  fk("store_sales", "ss_item_sk", "item", "i_item_sk");
+  fk("store_sales", "ss_customer_sk", "customer", "c_customer_sk");
+  fk("store_sales", "ss_store_sk", "store", "s_store_sk");
+  fk("store_sales", "ss_promo_sk", "promotion", "p_promo_sk");
+  fk("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk");
+  fk("catalog_sales", "cs_item_sk", "item", "i_item_sk");
+  fk("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk");
+  fk("catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk");
+  fk("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk");
+  fk("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk");
+  fk("web_sales", "ws_item_sk", "item", "i_item_sk");
+  fk("web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk");
+  fk("web_sales", "ws_warehouse_sk", "warehouse", "w_warehouse_sk");
+  fk("web_sales", "ws_promo_sk", "promotion", "p_promo_sk");
+  fk("inventory", "inv_date_sk", "date_dim", "d_date_sk");
+  fk("inventory", "inv_item_sk", "item", "i_item_sk");
+  fk("inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk");
+
+  CQA_CHECK(db.SatisfiesKeys());
+  return dataset;
+}
+
+}  // namespace cqa

@@ -1,0 +1,29 @@
+#ifndef CQABENCH_GEN_TPCDS_H_
+#define CQABENCH_GEN_TPCDS_H_
+
+#include "common/rng.h"
+#include "gen/dataset.h"
+
+namespace cqa {
+
+/// Options for the TPC-DS-subset data generator.
+///
+/// The paper's validation scenarios (§F) use 8 TPC-DS query templates; this
+/// generator produces the snowflake core those templates touch: the
+/// dimensions date_dim, item, customer, customer_address, store, warehouse,
+/// promotion and the facts store_sales, catalog_sales, web_sales,
+/// inventory — with the official (composite) primary keys of each.
+struct TpcdsOptions {
+  double scale_factor = 0.001;
+  uint64_t seed = 20210621;
+};
+
+/// Builds the TPC-DS-subset schema Σ_DS.
+Schema MakeTpcdsSchema();
+
+/// Generates a consistent TPC-DS-subset instance with valid foreign keys.
+Dataset GenerateTpcds(const TpcdsOptions& options);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_GEN_TPCDS_H_

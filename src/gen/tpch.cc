@@ -1,0 +1,267 @@
+#include "gen/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "gen/text_pools.h"
+
+namespace cqa {
+
+namespace {
+
+using text_pools::Padded;
+
+constexpr ValueType kInt = ValueType::kInt;
+constexpr ValueType kDouble = ValueType::kDouble;
+constexpr ValueType kString = ValueType::kString;
+
+size_t Scaled(double base, double scale_factor) {
+  return std::max<size_t>(
+      1, static_cast<size_t>(std::llround(base * scale_factor)));
+}
+
+}  // namespace
+
+Schema MakeTpchSchema() {
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "region",
+      {{"r_regionkey", kInt}, {"r_name", kString}, {"r_comment", kString}},
+      {0}));
+  schema.AddRelation(RelationSchema("nation",
+                                    {{"n_nationkey", kInt},
+                                     {"n_name", kString},
+                                     {"n_regionkey", kInt},
+                                     {"n_comment", kString}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("supplier",
+                                    {{"s_suppkey", kInt},
+                                     {"s_name", kString},
+                                     {"s_address", kString},
+                                     {"s_nationkey", kInt},
+                                     {"s_phone", kString},
+                                     {"s_acctbal", kDouble},
+                                     {"s_comment", kString}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("customer",
+                                    {{"c_custkey", kInt},
+                                     {"c_name", kString},
+                                     {"c_address", kString},
+                                     {"c_nationkey", kInt},
+                                     {"c_phone", kString},
+                                     {"c_acctbal", kDouble},
+                                     {"c_mktsegment", kString},
+                                     {"c_comment", kString}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("part",
+                                    {{"p_partkey", kInt},
+                                     {"p_name", kString},
+                                     {"p_mfgr", kString},
+                                     {"p_brand", kString},
+                                     {"p_type", kString},
+                                     {"p_size", kInt},
+                                     {"p_container", kString},
+                                     {"p_retailprice", kDouble},
+                                     {"p_comment", kString}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("partsupp",
+                                    {{"ps_partkey", kInt},
+                                     {"ps_suppkey", kInt},
+                                     {"ps_availqty", kInt},
+                                     {"ps_supplycost", kDouble},
+                                     {"ps_comment", kString}},
+                                    {0, 1}));
+  schema.AddRelation(RelationSchema("orders",
+                                    {{"o_orderkey", kInt},
+                                     {"o_custkey", kInt},
+                                     {"o_orderstatus", kString},
+                                     {"o_totalprice", kDouble},
+                                     {"o_orderdate", kInt},
+                                     {"o_orderpriority", kString},
+                                     {"o_clerk", kString},
+                                     {"o_shippriority", kInt},
+                                     {"o_comment", kString}},
+                                    {0}));
+  schema.AddRelation(RelationSchema("lineitem",
+                                    {{"l_orderkey", kInt},
+                                     {"l_partkey", kInt},
+                                     {"l_suppkey", kInt},
+                                     {"l_linenumber", kInt},
+                                     {"l_quantity", kDouble},
+                                     {"l_extendedprice", kDouble},
+                                     {"l_discount", kDouble},
+                                     {"l_tax", kDouble},
+                                     {"l_returnflag", kString},
+                                     {"l_linestatus", kString},
+                                     {"l_shipdate", kInt},
+                                     {"l_commitdate", kInt},
+                                     {"l_receiptdate", kInt},
+                                     {"l_shipinstruct", kString},
+                                     {"l_shipmode", kString},
+                                     {"l_comment", kString}},
+                                    {0, 3}));
+  return schema;
+}
+
+Dataset GenerateTpch(const TpchOptions& options) {
+  Dataset dataset;
+  dataset.schema = std::make_unique<Schema>(MakeTpchSchema());
+  dataset.db = std::make_unique<Database>(dataset.schema.get());
+  Schema& schema = *dataset.schema;
+  Database& db = *dataset.db;
+  Rng rng(options.seed);
+
+  const size_t num_suppliers = Scaled(10000, options.scale_factor);
+  const size_t num_parts = Scaled(200000, options.scale_factor);
+  const size_t num_customers = Scaled(150000, options.scale_factor);
+  const size_t orders_per_customer = 10;
+
+  // region.
+  const auto& regions = text_pools::Regions();
+  for (size_t r = 0; r < regions.size(); ++r) {
+    db.Insert("region",
+              {Value(static_cast<int64_t>(r)), Value(regions[r]),
+               Value(text_pools::RandomComment(rng))});
+  }
+
+  // nation.
+  const auto& nations = text_pools::Nations();
+  for (size_t n = 0; n < nations.size(); ++n) {
+    db.Insert("nation",
+              {Value(static_cast<int64_t>(n)), Value(nations[n]),
+               Value(static_cast<int64_t>(text_pools::NationRegion(n))),
+               Value(text_pools::RandomComment(rng))});
+  }
+
+  // supplier.
+  for (size_t s = 1; s <= num_suppliers; ++s) {
+    int64_t nation = rng.UniformInt(0, 24);
+    db.Insert("supplier",
+              {Value(static_cast<int64_t>(s)),
+               Value(Padded("Supplier#", static_cast<int64_t>(s), 9)),
+               Value(text_pools::RandomAddress(rng)), Value(nation),
+               Value(text_pools::RandomPhone(rng, nation)),
+               Value(rng.UniformInt(-99999, 999999) / 100.0),
+               Value(text_pools::RandomComment(rng))});
+  }
+
+  // customer.
+  const auto& segments = text_pools::MarketSegments();
+  for (size_t c = 1; c <= num_customers; ++c) {
+    int64_t nation = rng.UniformInt(0, 24);
+    db.Insert("customer",
+              {Value(static_cast<int64_t>(c)),
+               Value(Padded("Customer#", static_cast<int64_t>(c), 9)),
+               Value(text_pools::RandomAddress(rng)), Value(nation),
+               Value(text_pools::RandomPhone(rng, nation)),
+               Value(rng.UniformInt(-99999, 999999) / 100.0),
+               Value(segments[rng.UniformIndex(segments.size())]),
+               Value(text_pools::RandomComment(rng))});
+  }
+
+  // part.
+  for (size_t p = 1; p <= num_parts; ++p) {
+    db.Insert("part",
+              {Value(static_cast<int64_t>(p)),
+               Value(text_pools::RandomPartName(rng)),
+               Value(text_pools::RandomManufacturer(rng)),
+               Value(text_pools::RandomBrand(rng)),
+               Value(text_pools::RandomPartType(rng)),
+               Value(rng.UniformInt(1, 50)),
+               Value(text_pools::RandomContainer(rng)),
+               Value(900.0 + static_cast<double>(p % 1000)),
+               Value(text_pools::RandomComment(rng))});
+  }
+
+  // partsupp: up to 4 distinct suppliers per part.
+  const size_t suppliers_per_part = std::min<size_t>(4, num_suppliers);
+  for (size_t p = 1; p <= num_parts; ++p) {
+    std::vector<size_t> chosen =
+        rng.SampleWithoutReplacement(num_suppliers, suppliers_per_part);
+    for (size_t s : chosen) {
+      db.Insert("partsupp",
+                {Value(static_cast<int64_t>(p)),
+                 Value(static_cast<int64_t>(s + 1)),
+                 Value(rng.UniformInt(1, 9999)),
+                 Value(rng.UniformInt(100, 100000) / 100.0),
+                 Value(text_pools::RandomComment(rng))});
+    }
+  }
+
+  // orders + lineitem.
+  const auto& priorities = text_pools::OrderPriorities();
+  const auto& modes = text_pools::ShipModes();
+  const auto& instructs = text_pools::ShipInstructions();
+  static const char* kOrderStatus[3] = {"F", "O", "P"};
+  static const char* kReturnFlags[3] = {"R", "A", "N"};
+  static const char* kLineStatus[2] = {"O", "F"};
+  int64_t orderkey = 0;
+  for (size_t c = 1; c <= num_customers; ++c) {
+    for (size_t o = 0; o < orders_per_customer; ++o) {
+      ++orderkey;
+      int64_t order_day =
+          rng.UniformInt(0, dates::kTpchNumDays - 1 - 122);
+      int64_t orderdate = dates::DayOffsetToYmd(order_day);
+      size_t num_lines = static_cast<size_t>(rng.UniformInt(1, 7));
+      double total = 0.0;
+      std::vector<Tuple> lines;
+      for (size_t l = 1; l <= num_lines; ++l) {
+        int64_t partkey = rng.UniformInt(1, static_cast<int64_t>(num_parts));
+        int64_t suppkey =
+            rng.UniformInt(1, static_cast<int64_t>(num_suppliers));
+        double quantity = static_cast<double>(rng.UniformInt(1, 50));
+        double price = quantity * (900.0 + static_cast<double>(partkey % 1000));
+        total += price;
+        int64_t ship_day = order_day + rng.UniformInt(1, 121);
+        int64_t commit_day = order_day + rng.UniformInt(30, 90);
+        int64_t receipt_day = ship_day + rng.UniformInt(1, 30);
+        lines.push_back(
+            {Value(orderkey), Value(partkey), Value(suppkey),
+             Value(static_cast<int64_t>(l)), Value(quantity), Value(price),
+             Value(rng.UniformInt(0, 10) / 100.0),
+             Value(rng.UniformInt(0, 8) / 100.0),
+             Value(std::string(kReturnFlags[rng.UniformIndex(3)])),
+             Value(std::string(kLineStatus[rng.UniformIndex(2)])),
+             Value(dates::DayOffsetToYmd(ship_day)),
+             Value(dates::DayOffsetToYmd(commit_day)),
+             Value(dates::DayOffsetToYmd(receipt_day)),
+             Value(instructs[rng.UniformIndex(instructs.size())]),
+             Value(modes[rng.UniformIndex(modes.size())]),
+             Value(text_pools::RandomComment(rng))});
+      }
+      db.Insert("orders",
+                {Value(orderkey), Value(static_cast<int64_t>(c)),
+                 Value(std::string(kOrderStatus[rng.UniformIndex(3)])),
+                 Value(total), Value(orderdate),
+                 Value(priorities[rng.UniformIndex(priorities.size())]),
+                 Value(Padded("Clerk#", rng.UniformInt(1, 1000), 9)),
+                 Value(int64_t{0}), Value(text_pools::RandomComment(rng))});
+      for (Tuple& line : lines) db.Insert("lineitem", std::move(line));
+    }
+  }
+
+  // Foreign keys (both the schema's FK dependencies; used by SQG).
+  auto fk = [&](const char* rel, const char* attr, const char* target_rel,
+                const char* target_attr) {
+    size_t r = schema.RelationId(rel);
+    size_t t = schema.RelationId(target_rel);
+    dataset.foreign_keys.push_back(
+        ForeignKey{r, *schema.relation(r).FindAttribute(attr), t,
+                   *schema.relation(t).FindAttribute(target_attr)});
+  };
+  fk("nation", "n_regionkey", "region", "r_regionkey");
+  fk("supplier", "s_nationkey", "nation", "n_nationkey");
+  fk("customer", "c_nationkey", "nation", "n_nationkey");
+  fk("partsupp", "ps_partkey", "part", "p_partkey");
+  fk("partsupp", "ps_suppkey", "supplier", "s_suppkey");
+  fk("orders", "o_custkey", "customer", "c_custkey");
+  fk("lineitem", "l_orderkey", "orders", "o_orderkey");
+  fk("lineitem", "l_partkey", "part", "p_partkey");
+  fk("lineitem", "l_suppkey", "supplier", "s_suppkey");
+
+  CQA_CHECK(db.SatisfiesKeys());
+  return dataset;
+}
+
+}  // namespace cqa

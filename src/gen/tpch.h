@@ -1,0 +1,34 @@
+#ifndef CQABENCH_GEN_TPCH_H_
+#define CQABENCH_GEN_TPCH_H_
+
+#include "common/rng.h"
+#include "gen/dataset.h"
+
+namespace cqa {
+
+/// Options for the TPC-H data generator.
+///
+/// Cardinalities follow the TPC-H 2.18 specification scaled by
+/// `scale_factor` (1.0 = the paper's "1GB" instance, ~8.7M tuples):
+///   supplier 10,000·SF   part 200,000·SF   partsupp 4/part
+///   customer 150,000·SF  orders 10/customer  lineitem 1..7/order
+/// region (5) and nation (25) are fixed. Every table has at least one row.
+struct TpchOptions {
+  double scale_factor = 0.001;
+  uint64_t seed = 20210620;  // PODS'21, for reproducibility.
+};
+
+/// Builds the TPC-H schema: the eight relations in third normal form with
+/// the official primary keys (Σ_H) — region(r_regionkey), nation
+/// (n_nationkey), supplier(s_suppkey), customer(c_custkey), part
+/// (p_partkey), partsupp(ps_partkey, ps_suppkey), orders(o_orderkey),
+/// lineitem(l_orderkey, l_linenumber). Dates are int64 YYYYMMDD.
+Schema MakeTpchSchema();
+
+/// Generates a consistent (w.r.t. Σ_H), NULL-free TPC-H instance with
+/// valid foreign keys, the role dbgen plays in the paper's §6.1.
+Dataset GenerateTpch(const TpchOptions& options);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_GEN_TPCH_H_

@@ -1,0 +1,131 @@
+#include "gen/workloads.h"
+
+#include "query/parser.h"
+
+namespace cqa {
+
+namespace {
+
+NamedQuery Make(const Schema& schema, const char* name, const char* text) {
+  return NamedQuery{name, MustParseCq(schema, text)};
+}
+
+}  // namespace
+
+std::vector<NamedQuery> TpchValidationQueries(const Schema& schema) {
+  std::vector<NamedQuery> queries;
+  // Q1: pricing summary report — group keys returnflag/linestatus.
+  queries.push_back(Make(schema, "Q1_H",
+      "Q(RF, LS) :- lineitem(OK, PK, SK, LN, QT, EP, DI, TX, RF, LS, SD, CD,"
+      " RD, SI, SM, CM)."));
+  // Q4: order priority checking — orders with at least one lineitem.
+  queries.push_back(Make(schema, "Q4_H",
+      "Q(OP) :- orders(OK, CK, OS, TP, OD, OP, CL, SP, OC),"
+      " lineitem(OK, PK, SK, LN, QT, EP, DI, TX, RF, LS, SD, CD, RD, SI, SM,"
+      " CM)."));
+  // Q5: local supplier volume — customer and supplier in the same nation,
+  // nation in ASIA.
+  queries.push_back(Make(schema, "Q5_H",
+      "Q(NN) :- customer(CK, CN, CA, NK, CP, CB, CS, CC),"
+      " orders(OK, CK, OS, TP, OD, OP, CL, SP, OC),"
+      " lineitem(OK, PK, SK, LN, QT, EP, DI, TX, RF, LS, SD, CD, RD, SI, SM,"
+      " CM),"
+      " supplier(SK, SN, SA, NK, SP2, SB, SC2),"
+      " nation(NK, NN, RK, NC),"
+      " region(RK, 'ASIA', RC)."));
+  // Q6: forecasting revenue change — Boolean, fixed discount.
+  queries.push_back(Make(schema, "Q6_H",
+      "Q() :- lineitem(OK, PK, SK, LN, QT, EP, 0.06, TX, RF, LS, SD, CD, RD,"
+      " SI, SM, CM)."));
+  // Q8: national market share — fixed part type, customer region AMERICA;
+  // projects order date and the supplier's nation.
+  queries.push_back(Make(schema, "Q8_H",
+      "Q(OD, N2) :- part(PK, PN, PM, PB, 'ECONOMY ANODIZED STEEL', PS, PC2,"
+      " PR, PCM),"
+      " lineitem(OK, PK, SK, LN, QT, EP, DI, TX, RF, LS, SD, CD, RD, SI, SM,"
+      " CM),"
+      " supplier(SK, SN, SA, NK2, SP2, SB, SC2),"
+      " orders(OK, CK, OS, TP, OD, OP, CL, SP, OC),"
+      " customer(CK, CN, CA, NK1, CP, CB, CS, CC),"
+      " nation(NK1, N1, RK, NC1),"
+      " nation(NK2, N2, RK2, NC2),"
+      " region(RK, 'AMERICA', RC)."));
+  // Q10: returned item reporting — customers with returned lineitems.
+  queries.push_back(Make(schema, "Q10_H",
+      "Q(CK, CN, NN) :- customer(CK, CN, CA, NK, CP, CB, CS, CC),"
+      " orders(OK, CK, OS, TP, OD, OP, CL, SP, OC),"
+      " lineitem(OK, PK, SK, LN, QT, EP, DI, TX, 'R', LS, SD, CD, RD, SI, SM,"
+      " CM),"
+      " nation(NK, NN, RK, NC)."));
+  // Q12: shipping modes and order priority — MAIL lineitems, projecting
+  // the order priority (the shipmode itself is pinned by the constant).
+  queries.push_back(Make(schema, "Q12_H",
+      "Q(OP) :- orders(OK, CK, OS, TP, OD, OP, CL, SP, OC),"
+      " lineitem(OK, PK, SK, LN, QT, EP, DI, TX, RF, LS, SD, CD, RD, SI,"
+      " 'MAIL', CM)."));
+  // Q14: promotion effect — lineitems joined with their part's type.
+  queries.push_back(Make(schema, "Q14_H",
+      "Q(PT) :- lineitem(OK, PK, SK, LN, QT, EP, DI, TX, RF, LS, SD, CD, RD,"
+      " SI, SM, CM),"
+      " part(PK, PN, PM, PB, PT, PS, PC2, PR, PCM)."));
+  // Q19: discounted revenue — one branch of the original disjunction.
+  queries.push_back(Make(schema, "Q19_H",
+      "Q() :- lineitem(OK, PK, SK, LN, QT, EP, DI, TX, RF, LS, SD, CD, RD,"
+      " 'DELIVER IN PERSON', 'AIR', CM),"
+      " part(PK, PN, PM, PB, PT, PS, 'SM CASE', PR, PCM)."));
+  return queries;
+}
+
+std::vector<NamedQuery> TpcdsValidationQueries(const Schema& schema) {
+  std::vector<NamedQuery> queries;
+  // Q1: customers of year-2000 store sales (store_returns reduced to
+  // store_sales; the subset schema carries no returns table).
+  queries.push_back(Make(schema, "Q1_DS",
+      "Q(CID) :- store_sales(D, I, TN, C, S, P, QT, PR),"
+      " customer(C, CID, 'James', LN, AD),"
+      " store(S, SID, SN, ST),"
+      " date_dim(D, DT, 2000, MO, DM)."));
+  // Q33: manufacturers of Books sold in 1998.
+  queries.push_back(Make(schema, "Q33_DS",
+      "Q(MID) :- store_sales(D, I, TN, C, S, P, QT, PR),"
+      " item(I, IID, BR, 'Books', MID, IP),"
+      " date_dim(D, DT, 1998, MO, DM)."));
+  // Q60: Music items sold over the web in 1999 to known customers.
+  queries.push_back(Make(schema, "Q60_DS",
+      "Q(IID) :- web_sales(D, I, ON, C, W, P, QT, PR),"
+      " item(I, IID, BR, 'Music', MID, IP),"
+      " date_dim(D, DT, 1999, MO, DM),"
+      " customer(C, CID, FN, LN, AD)."));
+  // Q62: warehouses shipping web sales in 2001.
+  queries.push_back(Make(schema, "Q62_DS",
+      "Q(WN) :- web_sales(D, I, ON, C, W, P, QT, PR),"
+      " warehouse(W, WN, SQ),"
+      " date_dim(D, DT, 2001, MO, DM)."));
+  // Q65: (store, item) pairs with year-2000 sales.
+  queries.push_back(Make(schema, "Q65_DS",
+      "Q(SN, IID) :- store_sales(D, I, TN, C, S, P, QT, PR),"
+      " store(S, SID, SN, ST),"
+      " item(I, IID, BR, CA, MID, IP),"
+      " date_dim(D, DT, 2000, MO, DM)."));
+  // Q66: warehouse shipping report by month, catalog channel, 2002.
+  queries.push_back(Make(schema, "Q66_DS",
+      "Q(WN, MO) :- catalog_sales(D, I, ON, C, W, P, QT, PR),"
+      " warehouse(W, WN, SQ),"
+      " date_dim(D, DT, 2002, MO, DM)."));
+  // Q68: customer names with 1998 store purchases.
+  queries.push_back(Make(schema, "Q68_DS",
+      "Q(FN, LN) :- store_sales(D, I, TN, C, S, P, QT, PR),"
+      " customer(C, CID, FN, LN, AD),"
+      " customer_address(AD, ST, CO, GO),"
+      " date_dim(D, DT, 1998, MO, DM),"
+      " store(S, SID, SNAME, ST2)."));
+  // Q82: items in year-2000 inventory snapshots that also sold in store.
+  queries.push_back(Make(schema, "Q82_DS",
+      "Q(IID, IP) :- item(I, IID, BR, CA, MID, IP),"
+      " inventory(D, I, W, QOH),"
+      " store_sales(D2, I, TN, C, S, P, QT, PR),"
+      " date_dim(D, DT, 2000, MO, DM)."));
+  return queries;
+}
+
+}  // namespace cqa

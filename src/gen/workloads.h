@@ -1,0 +1,32 @@
+#ifndef CQABENCH_GEN_WORKLOADS_H_
+#define CQABENCH_GEN_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "query/cq.h"
+#include "storage/schema.h"
+
+namespace cqa {
+
+struct NamedQuery {
+  std::string name;
+  ConjunctiveQuery query;
+};
+
+/// The validation workload of Appendix F: conjunctive-query instantiations
+/// of positive TPC-H templates {1, 4, 5, 6, 8, 10, 12, 14, 19}, with
+/// aggregates removed and inequality predicates dropped (CQs cannot
+/// express them); constants are drawn from the vocabulary of this repo's
+/// TPC-H generator so the queries are non-empty on generated instances.
+/// `schema` must be the schema returned by MakeTpchSchema().
+std::vector<NamedQuery> TpchValidationQueries(const Schema& schema);
+
+/// CQ instantiations of positive TPC-DS templates
+/// {1, 33, 60, 62, 65, 66, 68, 82} over the TPC-DS-subset schema, reduced
+/// the same way. `schema` must be the schema returned by MakeTpcdsSchema().
+std::vector<NamedQuery> TpcdsValidationQueries(const Schema& schema);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_GEN_WORKLOADS_H_

@@ -1,0 +1,152 @@
+#include "query/cq.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+size_t ConjunctiveQuery::NumConstantOccurrences() const {
+  size_t count = 0;
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.terms) {
+      if (t.is_constant()) ++count;
+    }
+  }
+  return count;
+}
+
+size_t ConjunctiveQuery::NumJoins() const {
+  std::unordered_map<size_t, size_t> occurrences;
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.terms) {
+      if (t.is_variable()) ++occurrences[t.var()];
+    }
+  }
+  size_t joins = 0;
+  for (const auto& [var, count] : occurrences) {
+    if (count >= 2) joins += count - 1;
+  }
+  return joins;
+}
+
+std::string ConjunctiveQuery::VarName(size_t var_id) const {
+  if (var_id < var_names_.size() && !var_names_[var_id].empty()) {
+    return var_names_[var_id];
+  }
+  std::ostringstream os;
+  os << 'V' << var_id;
+  return os.str();
+}
+
+void ConjunctiveQuery::AddAtom(Atom atom) {
+  for (const Term& t : atom.terms) {
+    if (t.is_variable() && t.var() >= num_vars_) num_vars_ = t.var() + 1;
+  }
+  atoms_.push_back(std::move(atom));
+}
+
+void ConjunctiveQuery::SetAnswerVars(std::vector<size_t> vars) {
+  answer_vars_ = std::move(vars);
+  for (size_t v : answer_vars_) {
+    if (v >= num_vars_) num_vars_ = v + 1;
+  }
+}
+
+void ConjunctiveQuery::SetVarNames(std::vector<std::string> names) {
+  var_names_ = std::move(names);
+}
+
+void ConjunctiveQuery::Validate(const Schema& schema) const {
+  std::vector<bool> seen(num_vars_, false);
+  for (const Atom& a : atoms_) {
+    CQA_CHECK(a.relation_id < schema.NumRelations());
+    const RelationSchema& rel = schema.relation(a.relation_id);
+    CQA_CHECK_MSG(a.terms.size() == rel.arity(), rel.name().c_str());
+    for (const Term& t : a.terms) {
+      if (t.is_variable()) {
+        CQA_CHECK(t.var() < num_vars_);
+        seen[t.var()] = true;
+      }
+    }
+  }
+  for (size_t v : answer_vars_) {
+    CQA_CHECK_MSG(seen[v], "answer variable must occur in an atom");
+  }
+  for (size_t v = 0; v < num_vars_; ++v) {
+    CQA_CHECK_MSG(seen[v], "variable ids must be dense");
+  }
+}
+
+std::string ConjunctiveQuery::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "Q(";
+  for (size_t i = 0; i < answer_vars_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << VarName(answer_vars_[i]);
+  }
+  os << ") :- ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) os << ", ";
+    const Atom& a = atoms_[i];
+    os << schema.relation(a.relation_id).name() << '(';
+    for (size_t j = 0; j < a.terms.size(); ++j) {
+      if (j > 0) os << ", ";
+      if (a.terms[j].is_variable()) {
+        os << VarName(a.terms[j].var());
+      } else {
+        os << a.terms[j].constant();
+      }
+    }
+    os << ')';
+  }
+  os << '.';
+  return os.str();
+}
+
+ConjunctiveQuery ConjunctiveQuery::BooleanVersion() const {
+  return WithAnswerVars({});
+}
+
+ConjunctiveQuery ConjunctiveQuery::WithAnswerVars(
+    std::vector<size_t> vars) const {
+  ConjunctiveQuery q = *this;
+  q.answer_vars_ = std::move(vars);
+  for (size_t v : q.answer_vars_) CQA_CHECK(v < q.num_vars_);
+  return q;
+}
+
+ConjunctiveQuery ConjunctiveQuery::BindAnswer(const Tuple& values) const {
+  CQA_CHECK(values.size() == answer_vars_.size());
+  // Substitution for answer variables; remaining variables get dense ids.
+  std::vector<const Value*> substitution(num_vars_, nullptr);
+  for (size_t i = 0; i < answer_vars_.size(); ++i) {
+    substitution[answer_vars_[i]] = &values[i];
+  }
+  std::unordered_map<size_t, size_t> remap;
+  std::vector<std::string> names;
+  ConjunctiveQuery bound;
+  for (const Atom& a : atoms_) {
+    Atom out;
+    out.relation_id = a.relation_id;
+    for (const Term& t : a.terms) {
+      if (t.is_constant()) {
+        out.terms.push_back(t);
+      } else if (substitution[t.var()] != nullptr) {
+        out.terms.push_back(Term::Const(*substitution[t.var()]));
+      } else {
+        auto [it, inserted] = remap.emplace(t.var(), remap.size());
+        if (inserted) names.push_back(VarName(t.var()));
+        out.terms.push_back(Term::Var(it->second));
+      }
+    }
+    bound.AddAtom(std::move(out));
+  }
+  bound.SetAnswerVars({});
+  bound.SetVarNames(std::move(names));
+  return bound;
+}
+
+}  // namespace cqa

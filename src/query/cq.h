@@ -1,0 +1,110 @@
+#ifndef CQABENCH_QUERY_CQ_H_
+#define CQABENCH_QUERY_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace cqa {
+
+/// A term of an atom: either a variable (dense id) or a constant.
+class Term {
+ public:
+  static Term Var(size_t var_id) { return Term(true, var_id, Value()); }
+  static Term Const(Value v) { return Term(false, 0, std::move(v)); }
+
+  bool is_variable() const { return is_variable_; }
+  bool is_constant() const { return !is_variable_; }
+  size_t var() const { return var_id_; }
+  const Value& constant() const { return constant_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_variable_ != b.is_variable_) return false;
+    return a.is_variable_ ? a.var_id_ == b.var_id_
+                          : a.constant_ == b.constant_;
+  }
+
+ private:
+  Term(bool is_variable, size_t var_id, Value constant)
+      : is_variable_(is_variable),
+        var_id_(var_id),
+        constant_(std::move(constant)) {}
+
+  bool is_variable_;
+  size_t var_id_;
+  Value constant_;
+};
+
+/// A relational atom R(t1, ..., tn) over a schema relation.
+struct Atom {
+  size_t relation_id = 0;
+  std::vector<Term> terms;
+};
+
+/// A conjunctive query Q(x̄) :- R1(z̄1), ..., Rn(z̄n).
+///
+/// Variables are dense ids [0, num_vars); `answer_vars` lists the ids of x̄
+/// in output order (empty for a Boolean query). Every answer variable must
+/// occur in some atom. Construct via the mutating setters, then `Validate`,
+/// or use the text parser (query/parser.h).
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const Atom& atom(size_t i) const { return atoms_[i]; }
+  size_t NumAtoms() const { return atoms_.size(); }
+
+  const std::vector<size_t>& answer_vars() const { return answer_vars_; }
+  size_t num_vars() const { return num_vars_; }
+  bool IsBoolean() const { return answer_vars_.empty(); }
+
+  /// Number of occurrences of constants across the atoms (the paper's
+  /// static parameter `c`).
+  size_t NumConstantOccurrences() const;
+
+  /// Number of join conditions: for each variable with k >= 2 occurrences,
+  /// k-1 joins (the standard count SQG controls).
+  size_t NumJoins() const;
+
+  /// Variable name for diagnostics ("V<i>" when unnamed).
+  std::string VarName(size_t var_id) const;
+
+  void AddAtom(Atom atom);
+  void SetAnswerVars(std::vector<size_t> vars);
+  void SetVarNames(std::vector<std::string> names);
+
+  /// Checks well-formedness against `schema`: relation ids and arities
+  /// valid, answer variables occur in atoms, variable ids dense. Aborts on
+  /// violation (queries are produced by trusted generators or the parser,
+  /// which reports errors gracefully before building).
+  void Validate(const Schema& schema) const;
+
+  /// Renders the query in the parser's syntax.
+  std::string ToString(const Schema& schema) const;
+
+  /// Returns a copy with all answer variables made existential (the
+  /// Boolean version Q_p[0] used by the benchmark's step 4).
+  ConjunctiveQuery BooleanVersion() const;
+
+  /// Returns a copy whose answer variables are `vars` (used by the dynamic
+  /// query generator to re-project a query).
+  ConjunctiveQuery WithAnswerVars(std::vector<size_t> vars) const;
+
+  /// Returns the Boolean query Q(t̄): every answer variable is replaced by
+  /// the corresponding constant of `values` and the remaining variables are
+  /// renumbered densely. Requires values.size() == answer_vars().size().
+  ConjunctiveQuery BindAnswer(const Tuple& values) const;
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<size_t> answer_vars_;
+  size_t num_vars_ = 0;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_QUERY_CQ_H_

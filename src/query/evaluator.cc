@@ -1,0 +1,232 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+RelationIndex RelationIndex::Build(const Relation& rel,
+                                   std::vector<size_t> positions) {
+  RelationIndex index;
+  index.positions_ = std::move(positions);
+  index.buckets_.reserve(rel.size());
+  for (size_t row = 0; row < rel.size(); ++row) {
+    index.buckets_[ProjectTuple(rel.row(row), index.positions_)].push_back(
+        row);
+  }
+  return index;
+}
+
+const std::vector<size_t>* RelationIndex::Lookup(const Tuple& key) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return nullptr;
+  return &it->second;
+}
+
+const RelationIndex& DatabaseIndexCache::Get(
+    size_t relation_id, const std::vector<size_t>& positions) {
+  CQA_CHECK(std::is_sorted(positions.begin(), positions.end()));
+  Key key{relation_id, positions};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto index = std::make_unique<RelationIndex>(
+        RelationIndex::Build(db_->relation(relation_id), positions));
+    it = cache_.emplace(std::move(key), std::move(index)).first;
+  }
+  return *it->second;
+}
+
+Tuple Homomorphism::AnswerTuple(const ConjunctiveQuery& q) const {
+  Tuple t;
+  t.reserve(q.answer_vars().size());
+  for (size_t v : q.answer_vars()) t.push_back(assignment[v]);
+  return t;
+}
+
+CqEvaluator::CqEvaluator(const Database* db, DatabaseIndexCache* cache)
+    : db_(db), cache_(cache) {
+  CQA_CHECK(db != nullptr);
+  if (cache_ == nullptr) {
+    owned_cache_ = std::make_unique<DatabaseIndexCache>(db);
+    cache_ = owned_cache_.get();
+  }
+}
+
+namespace {
+
+/// Greedy join order: repeatedly pick the atom with the most bound term
+/// positions (constants + variables bound by earlier atoms), breaking ties
+/// towards smaller relations.
+std::vector<size_t> PlanAtomOrder(const Database& db,
+                                  const ConjunctiveQuery& q) {
+  size_t n = q.NumAtoms();
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(q.num_vars(), false);
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = n;
+    size_t best_bound = 0;
+    size_t best_size = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const Atom& a = q.atom(i);
+      size_t bound_terms = 0;
+      for (const Term& t : a.terms) {
+        if (t.is_constant() || bound[t.var()]) ++bound_terms;
+      }
+      size_t rel_size = db.relation(a.relation_id).size();
+      if (best == n || bound_terms > best_bound ||
+          (bound_terms == best_bound && rel_size < best_size)) {
+        best = i;
+        best_bound = bound_terms;
+        best_size = rel_size;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const Term& t : q.atom(best).terms) {
+      if (t.is_variable()) bound[t.var()] = true;
+    }
+  }
+  return order;
+}
+
+/// Backtracking state for one evaluation.
+struct SearchState {
+  const Database* db;
+  const ConjunctiveQuery* q;
+  DatabaseIndexCache* cache;
+  std::vector<size_t> order;
+  std::vector<bool> bound;
+  Homomorphism h;
+  const HomomorphismCallback* fn;
+  bool stopped = false;
+
+  bool MatchAtom(size_t depth) {
+    if (depth == order.size()) {
+      stopped = !(*fn)(h);
+      return !stopped;
+    }
+    size_t atom_index = order[depth];
+    const Atom& atom = q->atom(atom_index);
+    const Relation& rel = db->relation(atom.relation_id);
+
+    // Which positions are bound at this point?
+    std::vector<size_t> bound_positions;
+    for (size_t pos = 0; pos < atom.terms.size(); ++pos) {
+      const Term& t = atom.terms[pos];
+      if (t.is_constant() || bound[t.var()]) bound_positions.push_back(pos);
+    }
+
+    auto try_row = [&](size_t row) -> bool {
+      const Tuple& fact = rel.row(row);
+      // Unify unbound positions; repeated fresh variables within the atom
+      // (e.g. R(x, x)) are handled by binding on first occurrence.
+      std::vector<size_t> newly_bound;
+      bool ok = true;
+      for (size_t pos = 0; pos < atom.terms.size(); ++pos) {
+        const Term& t = atom.terms[pos];
+        if (t.is_constant()) {
+          if (t.constant() != fact[pos]) {
+            ok = false;
+            break;
+          }
+        } else if (bound[t.var()]) {
+          if (h.assignment[t.var()] != fact[pos]) {
+            ok = false;
+            break;
+          }
+        } else {
+          bound[t.var()] = true;
+          h.assignment[t.var()] = fact[pos];
+          newly_bound.push_back(t.var());
+        }
+      }
+      if (ok) {
+        h.image[atom_index] = FactRef{atom.relation_id, row};
+        if (!MatchAtom(depth + 1)) ok = false;
+      }
+      for (size_t v : newly_bound) bound[v] = false;
+      return ok || !stopped;
+    };
+
+    if (bound_positions.empty()) {
+      for (size_t row = 0; row < rel.size(); ++row) {
+        if (!try_row(row)) {
+          if (stopped) return false;
+        }
+        if (stopped) return false;
+      }
+      return true;
+    }
+
+    // Index lookup on the bound positions.
+    const RelationIndex& index =
+        cache->Get(atom.relation_id, bound_positions);
+    Tuple key;
+    key.reserve(bound_positions.size());
+    for (size_t pos : bound_positions) {
+      const Term& t = atom.terms[pos];
+      key.push_back(t.is_constant() ? t.constant() : h.assignment[t.var()]);
+    }
+    const std::vector<size_t>* rows = index.Lookup(key);
+    if (rows == nullptr) return true;
+    for (size_t row : *rows) {
+      try_row(row);
+      if (stopped) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+void CqEvaluator::ForEachHomomorphism(const ConjunctiveQuery& q,
+                                      const HomomorphismCallback& fn) {
+  if (q.NumAtoms() == 0) return;
+  SearchState state;
+  state.db = db_;
+  state.q = &q;
+  state.cache = cache_;
+  state.order = PlanAtomOrder(*db_, q);
+  state.bound.assign(q.num_vars(), false);
+  state.h.assignment.assign(q.num_vars(), Value());
+  state.h.image.assign(q.NumAtoms(), FactRef{});
+  state.fn = &fn;
+  state.MatchAtom(0);
+}
+
+std::vector<Tuple> CqEvaluator::Evaluate(const ConjunctiveQuery& q) {
+  std::vector<Tuple> answers;
+  std::unordered_set<Tuple, TupleHash> seen;
+  ForEachHomomorphism(q, [&](const Homomorphism& h) {
+    Tuple t = h.AnswerTuple(q);
+    if (seen.insert(t).second) answers.push_back(std::move(t));
+    return true;
+  });
+  return answers;
+}
+
+bool CqEvaluator::HasAnswer(const ConjunctiveQuery& q) {
+  bool found = false;
+  ForEachHomomorphism(q, [&](const Homomorphism&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+size_t CqEvaluator::CountHomomorphisms(const ConjunctiveQuery& q,
+                                       size_t limit) {
+  size_t count = 0;
+  ForEachHomomorphism(q, [&](const Homomorphism&) {
+    ++count;
+    return limit == 0 || count < limit;
+  });
+  return count;
+}
+
+}  // namespace cqa

@@ -1,0 +1,318 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace cqa {
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kInteger,
+  kDouble,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kTurnstile,  // ":-"
+  kDot,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  /// Scans the next token; returns false (with *error set) on a bad char.
+  bool Next(Token* token, std::string* error) {
+    while (pos_ < text_.size() && std::isspace(Byte(pos_))) ++pos_;
+    token->position = pos_;
+    token->text.clear();
+    if (pos_ >= text_.size()) {
+      token->kind = TokenKind::kEnd;
+      return true;
+    }
+    char c = text_[pos_];
+    if (c == '(') return Punct(token, TokenKind::kLParen);
+    if (c == ')') return Punct(token, TokenKind::kRParen);
+    if (c == ',') return Punct(token, TokenKind::kComma);
+    if (c == '.') return Punct(token, TokenKind::kDot);
+    if (c == ':') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+        token->kind = TokenKind::kTurnstile;
+        pos_ += 2;
+        return true;
+      }
+      return Fail(error, "expected ':-'");
+    }
+    if (c == '\'') {
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '\'') {
+        token->text.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) return Fail(error, "unterminated string");
+      ++pos_;  // Closing quote.
+      token->kind = TokenKind::kString;
+      return true;
+    }
+    if (std::isdigit(Byte(pos_)) || c == '-' || c == '+') {
+      size_t start = pos_;
+      if (c == '-' || c == '+') ++pos_;
+      bool saw_digit = false;
+      bool saw_dot = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(Byte(pos_)) || text_[pos_] == '.')) {
+        if (text_[pos_] == '.') {
+          // A '.' not followed by a digit terminates the query instead.
+          if (saw_dot || pos_ + 1 >= text_.size() ||
+              !std::isdigit(Byte(pos_ + 1))) {
+            break;
+          }
+          saw_dot = true;
+        } else {
+          saw_digit = true;
+        }
+        ++pos_;
+      }
+      if (!saw_digit) return Fail(error, "malformed number");
+      token->text = text_.substr(start, pos_ - start);
+      token->kind = saw_dot ? TokenKind::kDouble : TokenKind::kInteger;
+      return true;
+    }
+    if (std::isalpha(Byte(pos_)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(Byte(pos_)) || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      token->text = text_.substr(start, pos_ - start);
+      token->kind = TokenKind::kIdentifier;
+      return true;
+    }
+    return Fail(error, "unexpected character");
+  }
+
+ private:
+  unsigned char Byte(size_t i) const {
+    return static_cast<unsigned char>(text_[i]);
+  }
+
+  bool Punct(Token* token, TokenKind kind) {
+    token->kind = kind;
+    ++pos_;
+    return true;
+  }
+
+  bool Fail(std::string* error, const char* message) {
+    std::ostringstream os;
+    os << message << " at offset " << pos_;
+    *error = os.str();
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool IsVariableName(const std::string& name) {
+  return !name.empty() &&
+         (std::isupper(static_cast<unsigned char>(name[0])) ||
+          name[0] == '_');
+}
+
+class Parser {
+ public:
+  Parser(const Schema& schema, const std::string& text)
+      : schema_(schema), lexer_(text) {}
+
+  bool Parse(ConjunctiveQuery* out, std::string* error) {
+    if (!Advance(error)) return false;
+    // Head: Name ( vars ) :-
+    if (!Expect(TokenKind::kIdentifier, "query head", error)) return false;
+    if (!Expect(TokenKind::kLParen, "'('", error)) return false;
+    std::vector<std::string> head_vars;
+    if (current_.kind != TokenKind::kRParen) {
+      while (true) {
+        if (current_.kind != TokenKind::kIdentifier ||
+            !IsVariableName(current_.text)) {
+          return Fail("answer positions must be variables", error);
+        }
+        head_vars.push_back(current_.text);
+        if (!Advance(error)) return false;
+        if (current_.kind == TokenKind::kComma) {
+          if (!Advance(error)) return false;
+          continue;
+        }
+        break;
+      }
+    }
+    if (!Expect(TokenKind::kRParen, "')'", error)) return false;
+    if (!Expect(TokenKind::kTurnstile, "':-'", error)) return false;
+
+    // Body atoms.
+    while (true) {
+      if (!ParseAtom(error)) return false;
+      if (current_.kind == TokenKind::kComma) {
+        if (!Advance(error)) return false;
+        continue;
+      }
+      break;
+    }
+    if (current_.kind == TokenKind::kDot) {
+      if (!Advance(error)) return false;
+    }
+    if (current_.kind != TokenKind::kEnd) {
+      return Fail("trailing input after query", error);
+    }
+
+    std::vector<size_t> answer_vars;
+    for (const std::string& name : head_vars) {
+      auto it = var_ids_.find(name);
+      if (it == var_ids_.end()) {
+        return Fail(("answer variable " + name + " not used in body").c_str(),
+                    error);
+      }
+      answer_vars.push_back(it->second);
+    }
+    query_.SetAnswerVars(std::move(answer_vars));
+    query_.SetVarNames(std::move(var_names_));
+    query_.Validate(schema_);
+    *out = std::move(query_);
+    return true;
+  }
+
+ private:
+  bool ParseAtom(std::string* error) {
+    if (current_.kind != TokenKind::kIdentifier) {
+      return Fail("expected relation name", error);
+    }
+    auto relation_id = schema_.FindRelation(current_.text);
+    if (!relation_id.has_value()) {
+      return Fail(("unknown relation " + current_.text).c_str(), error);
+    }
+    const RelationSchema& rel = schema_.relation(*relation_id);
+    if (!Advance(error)) return false;
+    if (!Expect(TokenKind::kLParen, "'('", error)) return false;
+    Atom atom;
+    atom.relation_id = *relation_id;
+    while (current_.kind != TokenKind::kRParen) {
+      if (atom.terms.size() >= rel.arity()) {
+        return Fail(("too many arguments for " + rel.name()).c_str(), error);
+      }
+      ValueType expected = rel.attribute(atom.terms.size()).type;
+      if (!ParseTerm(expected, &atom, error)) return false;
+      if (current_.kind == TokenKind::kComma) {
+        if (!Advance(error)) return false;
+      } else if (current_.kind != TokenKind::kRParen) {
+        return Fail("expected ',' or ')'", error);
+      }
+    }
+    if (!Advance(error)) return false;  // Consume ')'.
+    if (atom.terms.size() != rel.arity()) {
+      return Fail(("wrong arity for " + rel.name()).c_str(), error);
+    }
+    query_.AddAtom(std::move(atom));
+    return true;
+  }
+
+  bool ParseTerm(ValueType expected, Atom* atom, std::string* error) {
+    switch (current_.kind) {
+      case TokenKind::kIdentifier:
+        if (IsVariableName(current_.text)) {
+          atom->terms.push_back(Term::Var(InternVar(current_.text)));
+        } else {
+          if (expected != ValueType::kString) {
+            return Fail("string constant where non-string expected", error);
+          }
+          atom->terms.push_back(Term::Const(Value(current_.text)));
+        }
+        break;
+      case TokenKind::kString:
+        if (expected != ValueType::kString) {
+          return Fail("string constant where non-string expected", error);
+        }
+        atom->terms.push_back(Term::Const(Value(current_.text)));
+        break;
+      case TokenKind::kInteger: {
+        int64_t v = std::strtoll(current_.text.c_str(), nullptr, 10);
+        if (expected == ValueType::kDouble) {
+          atom->terms.push_back(Term::Const(Value(static_cast<double>(v))));
+        } else if (expected == ValueType::kInt) {
+          atom->terms.push_back(Term::Const(Value(v)));
+        } else {
+          return Fail("numeric constant where string expected", error);
+        }
+        break;
+      }
+      case TokenKind::kDouble: {
+        if (expected != ValueType::kDouble) {
+          return Fail("double constant where non-double expected", error);
+        }
+        double v = std::strtod(current_.text.c_str(), nullptr);
+        atom->terms.push_back(Term::Const(Value(v)));
+        break;
+      }
+      default:
+        return Fail("expected term", error);
+    }
+    return Advance(error);
+  }
+
+  size_t InternVar(const std::string& name) {
+    auto [it, inserted] = var_ids_.emplace(name, var_ids_.size());
+    if (inserted) var_names_.push_back(name);
+    return it->second;
+  }
+
+  bool Advance(std::string* error) { return lexer_.Next(&current_, error); }
+
+  bool Expect(TokenKind kind, const char* what, std::string* error) {
+    if (current_.kind != kind) return Fail(what, error);
+    return Advance(error);
+  }
+
+  bool Fail(const char* message, std::string* error) {
+    std::ostringstream os;
+    os << "parse error near offset " << current_.position << ": " << message;
+    *error = os.str();
+    return false;
+  }
+
+  const Schema& schema_;
+  Lexer lexer_;
+  Token current_;
+  ConjunctiveQuery query_;
+  std::unordered_map<std::string, size_t> var_ids_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace
+
+bool ParseCq(const Schema& schema, const std::string& text,
+             ConjunctiveQuery* out, std::string* error) {
+  Parser parser(schema, text);
+  return parser.Parse(out, error);
+}
+
+ConjunctiveQuery MustParseCq(const Schema& schema, const std::string& text) {
+  ConjunctiveQuery query;
+  std::string error;
+  if (!ParseCq(schema, text, &query, &error)) {
+    std::fprintf(stderr, "MustParseCq(\"%s\"): %s\n", text.c_str(),
+                 error.c_str());
+    std::abort();
+  }
+  return query;
+}
+
+}  // namespace cqa

@@ -1,0 +1,33 @@
+#ifndef CQABENCH_QUERY_PARSER_H_
+#define CQABENCH_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/cq.h"
+#include "storage/schema.h"
+
+namespace cqa {
+
+/// Parses a conjunctive query in Datalog-style syntax:
+///
+///   Q(X, D) :- employee(1, X, D), employee(2, Y, D).
+///
+/// * Variables are identifiers starting with an uppercase letter or '_'.
+/// * Constants are integers (42), doubles (3.14), single-quoted strings
+///   ('HR'), or bare lowercase identifiers (treated as strings).
+/// * The head lists the answer variables; `Q() :- ...` is Boolean.
+/// * Relation names and arities are resolved against `schema`; integer
+///   constants are widened to double where the attribute requires it.
+///
+/// On success stores the query in *out and returns true. On failure stores
+/// a human-readable message in *error and returns false.
+bool ParseCq(const Schema& schema, const std::string& text,
+             ConjunctiveQuery* out, std::string* error);
+
+/// Convenience wrapper that aborts on a parse error. For tests and
+/// examples where the query text is a trusted literal.
+ConjunctiveQuery MustParseCq(const Schema& schema, const std::string& text);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_QUERY_PARSER_H_

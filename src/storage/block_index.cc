@@ -1,0 +1,67 @@
+#include "storage/block_index.h"
+
+#include "common/macros.h"
+
+namespace cqa {
+
+RelationBlockIndex RelationBlockIndex::Build(const Relation& rel) {
+  RelationBlockIndex index;
+  index.annotations_.resize(rel.size());
+  index.block_by_key_.reserve(rel.size());
+  for (size_t row = 0; row < rel.size(); ++row) {
+    Tuple key = rel.KeyOf(row);
+    auto [it, inserted] =
+        index.block_by_key_.emplace(std::move(key), index.blocks_.size());
+    if (inserted) index.blocks_.emplace_back();
+    std::vector<size_t>& block = index.blocks_[it->second];
+    index.annotations_[row] =
+        BlockAnnotation{it->second, block.size(), /*block_size=*/0};
+    block.push_back(row);
+  }
+  for (size_t bid = 0; bid < index.blocks_.size(); ++bid) {
+    const std::vector<size_t>& block = index.blocks_[bid];
+    if (block.size() > 1) ++index.conflicting_blocks_;
+    for (size_t row : block) {
+      index.annotations_[row].block_size = block.size();
+    }
+  }
+  return index;
+}
+
+std::optional<size_t> RelationBlockIndex::FindBlock(const Tuple& key) const {
+  auto it = block_by_key_.find(key);
+  if (it == block_by_key_.end()) return std::nullopt;
+  return it->second;
+}
+
+BlockIndex BlockIndex::Build(const Database& db) {
+  BlockIndex index;
+  index.per_relation_.reserve(db.NumRelations());
+  for (size_t id = 0; id < db.NumRelations(); ++id) {
+    index.per_relation_.push_back(RelationBlockIndex::Build(db.relation(id)));
+  }
+  return index;
+}
+
+size_t BlockIndex::TotalBlocks() const {
+  size_t total = 0;
+  for (const RelationBlockIndex& r : per_relation_) total += r.NumBlocks();
+  return total;
+}
+
+double BlockIndex::InconsistencyRatio(const Database& db) const {
+  size_t conflicting_facts = 0;
+  size_t total_facts = 0;
+  for (size_t id = 0; id < per_relation_.size(); ++id) {
+    const RelationBlockIndex& rbi = per_relation_[id];
+    total_facts += db.relation(id).size();
+    for (size_t bid = 0; bid < rbi.NumBlocks(); ++bid) {
+      if (rbi.block(bid).size() > 1) conflicting_facts += rbi.block(bid).size();
+    }
+  }
+  if (total_facts == 0) return 0.0;
+  return static_cast<double>(conflicting_facts) /
+         static_cast<double>(total_facts);
+}
+
+}  // namespace cqa

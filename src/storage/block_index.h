@@ -1,0 +1,80 @@
+#ifndef CQABENCH_STORAGE_BLOCK_INDEX_H_
+#define CQABENCH_STORAGE_BLOCK_INDEX_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace cqa {
+
+/// Per-row block annotation: the in-memory equivalent of the paper's
+/// `Q_R` SQL view (Appendix C), which tags every tuple with
+///   bid  = dense_rank()  OVER (ORDER BY key)          — block identifier
+///   tid  = row_number()  OVER (PARTITION BY key ...)  — position in block
+///   kcnt = count(*)      OVER (PARTITION BY key)      — block cardinality
+/// Identifiers are assigned by first appearance instead of sort order; the
+/// approximation schemes are oblivious to the concrete numbering (§5).
+struct BlockAnnotation {
+  size_t block_id = 0;
+  size_t tuple_id = 0;
+  size_t block_size = 0;
+};
+
+/// Blocks of one relation: facts grouped by key value.
+class RelationBlockIndex {
+ public:
+  RelationBlockIndex() = default;
+
+  /// Builds the index over `rel`. A relation without a key yields singleton
+  /// blocks only (each fact is its own block).
+  static RelationBlockIndex Build(const Relation& rel);
+
+  size_t NumBlocks() const { return blocks_.size(); }
+
+  /// Row indexes of block `bid`, in tuple-id order.
+  const std::vector<size_t>& block(size_t bid) const { return blocks_[bid]; }
+
+  const BlockAnnotation& annotation(size_t row) const {
+    return annotations_[row];
+  }
+
+  /// Block holding the given key value, if any.
+  std::optional<size_t> FindBlock(const Tuple& key) const;
+
+  /// Number of non-singleton blocks (blocks witnessing inconsistency).
+  size_t NumConflictingBlocks() const { return conflicting_blocks_; }
+
+ private:
+  std::vector<std::vector<size_t>> blocks_;
+  std::vector<BlockAnnotation> annotations_;
+  std::unordered_map<Tuple, size_t, TupleHash> block_by_key_;
+  size_t conflicting_blocks_ = 0;
+};
+
+/// Block structure of a whole database: one RelationBlockIndex per relation.
+class BlockIndex {
+ public:
+  /// Builds indexes for every relation of `db`.
+  static BlockIndex Build(const Database& db);
+
+  const RelationBlockIndex& relation(size_t relation_id) const {
+    return per_relation_[relation_id];
+  }
+
+  size_t NumRelations() const { return per_relation_.size(); }
+
+  /// Total number of blocks across relations.
+  size_t TotalBlocks() const;
+
+  /// Fraction of facts that live in a non-singleton block.
+  double InconsistencyRatio(const Database& db) const;
+
+ private:
+  std::vector<RelationBlockIndex> per_relation_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_STORAGE_BLOCK_INDEX_H_

@@ -1,0 +1,71 @@
+#include "storage/database.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+Database::Database(const Schema* schema) : schema_(schema) {
+  CQA_CHECK(schema != nullptr);
+  relations_.reserve(schema->NumRelations());
+  for (size_t id = 0; id < schema->NumRelations(); ++id) {
+    relations_.emplace_back(&schema->relation(id));
+  }
+}
+
+Relation& Database::relation(const std::string& name) {
+  return relations_[schema_->RelationId(name)];
+}
+
+const Relation& Database::relation(const std::string& name) const {
+  return relations_[schema_->RelationId(name)];
+}
+
+FactRef Database::Insert(size_t relation_id, Tuple t) {
+  CQA_CHECK(relation_id < relations_.size());
+  size_t row = relations_[relation_id].Insert(std::move(t));
+  return FactRef{relation_id, row};
+}
+
+FactRef Database::Insert(const std::string& relation, Tuple t) {
+  return Insert(schema_->RelationId(relation), std::move(t));
+}
+
+size_t Database::NumFacts() const {
+  size_t total = 0;
+  for (const Relation& r : relations_) total += r.size();
+  return total;
+}
+
+bool Database::SatisfiesKeys() const {
+  return FindKeyViolations(/*limit=*/1).empty();
+}
+
+std::vector<KeyViolation> Database::FindKeyViolations(size_t limit) const {
+  std::vector<KeyViolation> violations;
+  for (size_t id = 0; id < relations_.size(); ++id) {
+    const Relation& rel = relations_[id];
+    if (!rel.schema().has_key()) continue;
+    std::unordered_map<Tuple, size_t, TupleHash> first_row;
+    first_row.reserve(rel.size());
+    for (size_t row = 0; row < rel.size(); ++row) {
+      Tuple key = rel.KeyOf(row);
+      auto [it, inserted] = first_row.emplace(std::move(key), row);
+      if (!inserted && rel.row(it->second) != rel.row(row)) {
+        violations.push_back(
+            KeyViolation{FactRef{id, it->second}, FactRef{id, row}});
+        if (limit != 0 && violations.size() >= limit) return violations;
+      }
+    }
+  }
+  return violations;
+}
+
+Database Database::Clone() const {
+  Database copy(schema_);
+  copy.relations_ = relations_;
+  return copy;
+}
+
+}  // namespace cqa

@@ -1,0 +1,66 @@
+#ifndef CQABENCH_STORAGE_DATABASE_H_
+#define CQABENCH_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/schema.h"
+
+namespace cqa {
+
+/// A key-constraint violation: two facts of the same relation that agree on
+/// the key but differ elsewhere.
+struct KeyViolation {
+  FactRef first;
+  FactRef second;
+};
+
+/// An in-memory relational database instance over a fixed Schema.
+///
+/// The schema (including the set of primary keys Σ) is shared, not owned:
+/// the paper's test scenarios evaluate many databases over one schema.
+class Database {
+ public:
+  explicit Database(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+  size_t NumRelations() const { return relations_.size(); }
+
+  Relation& relation(size_t id) { return relations_[id]; }
+  const Relation& relation(size_t id) const { return relations_[id]; }
+  Relation& relation(const std::string& name);
+  const Relation& relation(const std::string& name) const;
+
+  /// Appends a fact to relation `relation_id`.
+  FactRef Insert(size_t relation_id, Tuple t);
+  FactRef Insert(const std::string& relation, Tuple t);
+
+  /// Total number of facts across relations.
+  size_t NumFacts() const;
+
+  const Tuple& FactTuple(const FactRef& f) const {
+    return relations_[f.relation_id].row(f.row);
+  }
+
+  /// True iff the instance satisfies every primary key of the schema.
+  bool SatisfiesKeys() const;
+
+  /// All key violations, at most `limit` (0 = unlimited). Each conflicting
+  /// block of size k reports k-1 violations (each later fact against the
+  /// first fact of its block).
+  std::vector<KeyViolation> FindKeyViolations(size_t limit = 0) const;
+
+  /// Deep copy (used by the noise generator, which extends a consistent
+  /// base instance into several inconsistent variants).
+  Database Clone() const;
+
+ private:
+  const Schema* schema_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_STORAGE_DATABASE_H_

@@ -1,0 +1,42 @@
+#include "storage/relation.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+std::string TupleToString(const Tuple& t) {
+  std::ostringstream os;
+  os << '(';
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << t[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+Tuple ProjectTuple(const Tuple& t, const std::vector<size_t>& positions) {
+  Tuple out;
+  out.reserve(positions.size());
+  for (size_t pos : positions) {
+    CQA_CHECK(pos < t.size());
+    out.push_back(t[pos]);
+  }
+  return out;
+}
+
+size_t Relation::Insert(Tuple t) {
+  CQA_CHECK_MSG(t.size() == schema_->arity(), schema_->name().c_str());
+  rows_.push_back(std::move(t));
+  return rows_.size() - 1;
+}
+
+Tuple Relation::KeyOf(size_t i) const {
+  CQA_CHECK(i < rows_.size());
+  if (!schema_->has_key()) return rows_[i];
+  return ProjectTuple(rows_[i], schema_->key_positions());
+}
+
+}  // namespace cqa

@@ -1,0 +1,62 @@
+#ifndef CQABENCH_STORAGE_RELATION_H_
+#define CQABENCH_STORAGE_RELATION_H_
+
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace cqa {
+
+/// A fact of the database, addressed globally as (relation id, row index).
+struct FactRef {
+  size_t relation_id = 0;
+  size_t row = 0;
+
+  friend bool operator==(const FactRef& a, const FactRef& b) {
+    return a.relation_id == b.relation_id && a.row == b.row;
+  }
+  friend bool operator<(const FactRef& a, const FactRef& b) {
+    if (a.relation_id != b.relation_id) return a.relation_id < b.relation_id;
+    return a.row < b.row;
+  }
+};
+
+struct FactRefHash {
+  size_t operator()(const FactRef& f) const {
+    size_t seed = f.relation_id;
+    HashCombine(seed, f.row);
+    return seed;
+  }
+};
+
+/// An in-memory instance of one relation: a bag of tuples in insertion
+/// order. Row indexes are stable (no deletion), which lets FactRef, block
+/// ids and tuple ids stay valid while noise is injected.
+class Relation {
+ public:
+  explicit Relation(const RelationSchema* schema) : schema_(schema) {}
+
+  const RelationSchema& schema() const { return *schema_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Appends a tuple; aborts if the arity does not match the schema.
+  /// Returns the new row index.
+  size_t Insert(Tuple t);
+
+  /// Extracts the key value of row `i` (the key projection; the whole tuple
+  /// if the relation has no key).
+  Tuple KeyOf(size_t i) const;
+
+ private:
+  const RelationSchema* schema_;  // Owned by the Database's Schema.
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_STORAGE_RELATION_H_

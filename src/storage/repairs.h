@@ -1,0 +1,39 @@
+#ifndef CQABENCH_STORAGE_REPAIRS_H_
+#define CQABENCH_STORAGE_REPAIRS_H_
+
+#include <functional>
+#include <vector>
+
+#include "storage/block_index.h"
+#include "storage/database.h"
+
+namespace cqa {
+
+/// Repair machinery for primary keys. A repair keeps exactly one fact from
+/// each block (§2). These routines are exponential-time oracles meant for
+/// tests, examples and exact baselines — the approximation schemes never
+/// enumerate repairs.
+
+/// log10 of |rep(D, Σ)| = Σ_blocks log10 |block|. Exact in log space even
+/// when the count itself overflows.
+double CountRepairsLog10(const Database& db, const BlockIndex& index);
+
+/// |rep(D, Σ)| as a double (may be +inf for huge instances).
+double CountRepairs(const Database& db, const BlockIndex& index);
+
+/// Invokes `fn` once per repair, passing the selected facts (one per
+/// block, relations in id order, blocks in block-id order). Stops early if
+/// `fn` returns false or after `max_repairs` repairs (0 = unlimited).
+/// Returns true iff every repair was visited.
+bool ForEachRepair(const Database& db, const BlockIndex& index,
+                   const std::function<bool(const std::vector<FactRef>&)>& fn,
+                   size_t max_repairs = 0);
+
+/// Materializes the repair selecting the given facts into a standalone
+/// database over the same schema.
+Database MaterializeRepair(const Database& db,
+                           const std::vector<FactRef>& selection);
+
+}  // namespace cqa
+
+#endif  // CQABENCH_STORAGE_REPAIRS_H_

@@ -1,0 +1,73 @@
+#include "storage/schema.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+RelationSchema::RelationSchema(std::string name,
+                               std::vector<Attribute> attributes,
+                               std::vector<size_t> key_positions)
+    : name_(std::move(name)),
+      attributes_(std::move(attributes)),
+      key_positions_(std::move(key_positions)) {
+  for (size_t pos : key_positions_) {
+    CQA_CHECK_MSG(pos < attributes_.size(), name_.c_str());
+  }
+}
+
+bool RelationSchema::IsKeyPosition(size_t pos) const {
+  return std::find(key_positions_.begin(), key_positions_.end(), pos) !=
+         key_positions_.end();
+}
+
+std::optional<size_t> RelationSchema::FindAttribute(
+    const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string RelationSchema::ToString() const {
+  std::ostringstream os;
+  os << name_ << '(';
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) os << ", ";
+    if (IsKeyPosition(i)) os << '*';
+    os << attributes_[i].name << ':' << ValueTypeName(attributes_[i].type);
+  }
+  os << ')';
+  return os.str();
+}
+
+size_t Schema::AddRelation(RelationSchema relation) {
+  CQA_CHECK_MSG(by_name_.find(relation.name()) == by_name_.end(),
+                relation.name().c_str());
+  size_t id = relations_.size();
+  by_name_.emplace(relation.name(), id);
+  relations_.push_back(std::move(relation));
+  return id;
+}
+
+std::optional<size_t> Schema::FindRelation(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Schema::RelationId(const std::string& name) const {
+  auto id = FindRelation(name);
+  CQA_CHECK_MSG(id.has_value(), name.c_str());
+  return *id;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (const RelationSchema& r : relations_) os << r.ToString() << '\n';
+  return os.str();
+}
+
+}  // namespace cqa

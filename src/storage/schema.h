@@ -1,0 +1,78 @@
+#ifndef CQABENCH_STORAGE_SCHEMA_H_
+#define CQABENCH_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace cqa {
+
+/// An attribute of a relation: a name plus a value type.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt;
+};
+
+/// Schema of a single relation, including its (at most one) primary key.
+///
+/// Following the paper, a set of *primary* keys has at most one key per
+/// relation; a relation without a declared key behaves as if every position
+/// were part of the key (its facts are never in conflict).
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<Attribute> attributes,
+                 std::vector<size_t> key_positions = {});
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return attributes_.size(); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+
+  /// 0-based attribute positions forming the primary key; empty if the
+  /// relation has no declared key.
+  const std::vector<size_t>& key_positions() const { return key_positions_; }
+  bool has_key() const { return !key_positions_.empty(); }
+  bool IsKeyPosition(size_t pos) const;
+
+  /// Position of the attribute named `name`, if any.
+  std::optional<size_t> FindAttribute(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<size_t> key_positions_;
+};
+
+/// A relational schema: an ordered set of relation schemas with unique
+/// names. Relation ids are dense indexes assigned in insertion order; they
+/// double as the `rid` component of the synopsis encoding.
+class Schema {
+ public:
+  /// Adds a relation and returns its id. Aborts on duplicate names.
+  size_t AddRelation(RelationSchema relation);
+
+  size_t NumRelations() const { return relations_.size(); }
+  const RelationSchema& relation(size_t id) const { return relations_[id]; }
+
+  /// Id of the relation named `name`, if present.
+  std::optional<size_t> FindRelation(const std::string& name) const;
+
+  /// Like FindRelation but aborts if the relation is unknown.
+  size_t RelationId(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_STORAGE_SCHEMA_H_

@@ -1,0 +1,54 @@
+#include "cqa/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+TEST(AdvisorTest, BooleanQueryGetsNatural) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(
+      *fx.schema, "Q() :- employee(1, N1, D), employee(2, N2, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  EXPECT_EQ(RecommendScheme(pre), SchemeKind::kNatural);
+  EXPECT_NE(std::strstr(RecommendationRationale(pre), "Boolean"), nullptr);
+}
+
+TEST(AdvisorTest, BalancedQueryGetsKlm) {
+  EmployeeFixture fx;
+  // Balance 3/4 — clearly non-Boolean.
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  EXPECT_EQ(RecommendScheme(pre), SchemeKind::kKlm);
+  EXPECT_NE(std::strstr(RecommendationRationale(pre), "non-Boolean"),
+            nullptr);
+}
+
+TEST(AdvisorTest, ThresholdIsConfigurable) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);  // Balance 0.75.
+  EXPECT_EQ(RecommendScheme(pre, /*boolean_balance_threshold=*/0.9),
+            SchemeKind::kNatural);
+  EXPECT_EQ(RecommendScheme(pre, 0.1), SchemeKind::kKlm);
+}
+
+TEST(AdvisorTest, EmptyQueryIsNaturalRegime) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q =
+      MustParseCq(*fx.schema, "Q(N) :- employee(I, N, 'LEGAL').");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  // Balance 0 (no answers); any scheme returns instantly — the advisor
+  // defaults to Natural.
+  EXPECT_EQ(RecommendScheme(pre), SchemeKind::kNatural);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,153 @@
+#include "cqa/apx_cqa.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cqa/exact.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+TEST(ApxCqaTest, ExampleOneBooleanIsAboutOneHalf) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(
+      *fx.schema, "Q() :- employee(1, N1, D), employee(2, N2, D).");
+  ApxParams params;
+  for (SchemeKind kind : AllSchemeKinds()) {
+    Rng rng(42);
+    CqaRunResult r = ApxCqa(*fx.db, q, kind, params, rng);
+    ASSERT_EQ(r.answers.size(), 1u) << SchemeKindName(kind);
+    EXPECT_TRUE(r.answers[0].tuple.empty());
+    EXPECT_NEAR(r.answers[0].frequency, 0.5, 0.15) << SchemeKindName(kind);
+    EXPECT_FALSE(r.timed_out);
+  }
+}
+
+TEST(ApxCqaTest, NonBooleanMatchesExactPerAnswer) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  ApxParams params;
+  params.delta = 0.05;
+  for (SchemeKind kind : AllSchemeKinds()) {
+    Rng rng(7);
+    CqaRunResult r = ApxCqa(*fx.db, q, kind, params, rng);
+    ASSERT_EQ(r.answers.size(), 3u) << SchemeKindName(kind);
+    std::map<Tuple, double> freq;
+    for (const CqaAnswer& a : r.answers) freq[a.tuple] = a.frequency;
+    EXPECT_NEAR(freq[{Value("Bob")}], 1.0, 0.25);
+    EXPECT_NEAR(freq[{Value("Alice")}], 0.5, 0.15);
+    EXPECT_NEAR(freq[{Value("Tim")}], 0.5, 0.15);
+  }
+}
+
+TEST(ApxCqaTest, OnlyPositiveFrequencyAnswersReturned) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q =
+      MustParseCq(*fx.schema, "Q(N) :- employee(I, N, 'HR').");
+  Rng rng(1);
+  CqaRunResult r =
+      ApxCqa(*fx.db, q, SchemeKind::kNatural, ApxParams{}, rng);
+  // Only Bob has an HR fact.
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].tuple, (Tuple{Value("Bob")}));
+  EXPECT_GT(r.answers[0].frequency, 0.0);
+}
+
+TEST(ApxCqaTest, EmptyQueryYieldsNoAnswers) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q =
+      MustParseCq(*fx.schema, "Q(N) :- employee(I, N, 'LEGAL').");
+  Rng rng(1);
+  CqaRunResult r = ApxCqa(*fx.db, q, SchemeKind::kKl, ApxParams{}, rng);
+  EXPECT_TRUE(r.answers.empty());
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST(ApxCqaTest, ConsistentDatabaseGivesFrequencyOne) {
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "r", {{"k", ValueType::kInt}, {"v", ValueType::kString}}, {0}));
+  Database db(&schema);
+  db.Insert("r", {Value(1), Value("a")});
+  db.Insert("r", {Value(2), Value("b")});
+  ConjunctiveQuery q = MustParseCq(schema, "Q(V) :- r(K, V).");
+  for (SchemeKind kind : AllSchemeKinds()) {
+    Rng rng(3);
+    CqaRunResult r = ApxCqa(db, q, kind, ApxParams{}, rng);
+    ASSERT_EQ(r.answers.size(), 2u);
+    for (const CqaAnswer& a : r.answers) {
+      EXPECT_NEAR(a.frequency, 1.0, 1e-9) << SchemeKindName(kind);
+    }
+  }
+}
+
+TEST(ApxCqaTest, AgreesWithRepairOracleOnRandomizedInstances) {
+  // Integration property: random small inconsistent databases, frequency
+  // per answer must match the exponential repair oracle within 2ε.
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "r", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}, {0}));
+  schema.AddRelation(RelationSchema(
+      "s", {{"v", ValueType::kInt}, {"w", ValueType::kInt}}, {0, 1}));
+  Rng data_rng(11);
+  for (int trial = 0; trial < 6; ++trial) {
+    Database db(&schema);
+    for (int k = 0; k < 4; ++k) {
+      size_t block = 1 + data_rng.UniformIndex(3);
+      for (size_t i = 0; i < block; ++i) {
+        db.Insert("r", {Value(k), Value(data_rng.UniformInt(0, 2))});
+      }
+    }
+    for (int v = 0; v <= 2; ++v) {
+      db.Insert("s", {Value(v), Value(data_rng.UniformInt(0, 1))});
+    }
+    ConjunctiveQuery q = MustParseCq(schema, "Q(W) :- r(K, V), s(V, W).");
+    ApxParams params;
+    params.epsilon = 0.1;
+    params.delta = 0.02;
+    Rng rng(500 + trial);
+    CqaRunResult run = ApxCqa(db, q, SchemeKind::kKlm, params, rng);
+    for (const CqaAnswer& a : run.answers) {
+      std::optional<double> exact =
+          ExactRelativeFrequencyByRepairs(db, q, a.tuple);
+      ASSERT_TRUE(exact.has_value());
+      EXPECT_NEAR(a.frequency, *exact, 2 * params.epsilon * *exact + 1e-9)
+          << "trial " << trial << " answer " << TupleToString(a.tuple);
+    }
+  }
+}
+
+TEST(ApxCqaTest, SharedPreprocessingMatchesDirectRun) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  Rng rng_a(9), rng_b(9);
+  CqaRunResult direct =
+      ApxCqa(*fx.db, q, SchemeKind::kNatural, ApxParams{}, rng_a);
+  CqaRunResult shared =
+      ApxCqaOnSynopses(pre, SchemeKind::kNatural, ApxParams{}, rng_b);
+  ASSERT_EQ(direct.answers.size(), shared.answers.size());
+  for (size_t i = 0; i < direct.answers.size(); ++i) {
+    EXPECT_EQ(direct.answers[i].tuple, shared.answers[i].tuple);
+    EXPECT_DOUBLE_EQ(direct.answers[i].frequency,
+                     shared.answers[i].frequency);
+  }
+}
+
+TEST(ApxCqaTest, DeadlineTruncatesAnswerList) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  Rng rng(10);
+  CqaRunResult r = ApxCqa(*fx.db, q, SchemeKind::kNatural, ApxParams{}, rng,
+                          Deadline(0.0));
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LT(r.answers.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cqa

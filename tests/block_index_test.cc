@@ -1,0 +1,112 @@
+#include "storage/block_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+/// The Q_R view example of Appendix C: R(A, B) with key {A} and facts
+/// R(a1,b1) R(a1,b2) R(a1,b3) R(a2,c1) R(a2,c2).
+struct AppendixCFixture {
+  AppendixCFixture() {
+    schema.AddRelation(RelationSchema(
+        "r", {{"a", ValueType::kString}, {"b", ValueType::kString}}, {0}));
+    db = std::make_unique<Database>(&schema);
+    db->Insert("r", {Value("a1"), Value("b1")});
+    db->Insert("r", {Value("a1"), Value("b2")});
+    db->Insert("r", {Value("a1"), Value("b3")});
+    db->Insert("r", {Value("a2"), Value("c1")});
+    db->Insert("r", {Value("a2"), Value("c2")});
+  }
+  Schema schema;
+  std::unique_ptr<Database> db;
+};
+
+TEST(BlockIndexTest, AppendixCAnnotations) {
+  AppendixCFixture fx;
+  RelationBlockIndex index = RelationBlockIndex::Build(fx.db->relation("r"));
+  ASSERT_EQ(index.NumBlocks(), 2u);
+  // Rows 0-2 form block 0 (kcnt 3), rows 3-4 block 1 (kcnt 2).
+  for (size_t row = 0; row < 3; ++row) {
+    EXPECT_EQ(index.annotation(row).block_id, 0u);
+    EXPECT_EQ(index.annotation(row).tuple_id, row);
+    EXPECT_EQ(index.annotation(row).block_size, 3u);
+  }
+  for (size_t row = 3; row < 5; ++row) {
+    EXPECT_EQ(index.annotation(row).block_id, 1u);
+    EXPECT_EQ(index.annotation(row).tuple_id, row - 3);
+    EXPECT_EQ(index.annotation(row).block_size, 2u);
+  }
+  EXPECT_EQ(index.block(0), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(index.block(1), (std::vector<size_t>{3, 4}));
+}
+
+TEST(BlockIndexTest, FindBlockByKey) {
+  AppendixCFixture fx;
+  RelationBlockIndex index = RelationBlockIndex::Build(fx.db->relation("r"));
+  EXPECT_EQ(index.FindBlock({Value("a1")}), std::optional<size_t>(0));
+  EXPECT_EQ(index.FindBlock({Value("a2")}), std::optional<size_t>(1));
+  EXPECT_EQ(index.FindBlock({Value("zz")}), std::nullopt);
+}
+
+TEST(BlockIndexTest, ConflictingBlockCount) {
+  AppendixCFixture fx;
+  RelationBlockIndex index = RelationBlockIndex::Build(fx.db->relation("r"));
+  EXPECT_EQ(index.NumConflictingBlocks(), 2u);
+}
+
+TEST(BlockIndexTest, ConsistentRelationHasSingletonBlocksOnly) {
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "r", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}, {0}));
+  Database db(&schema);
+  db.Insert("r", {Value(1), Value(1)});
+  db.Insert("r", {Value(2), Value(1)});
+  RelationBlockIndex index = RelationBlockIndex::Build(db.relation("r"));
+  EXPECT_EQ(index.NumBlocks(), 2u);
+  EXPECT_EQ(index.NumConflictingBlocks(), 0u);
+  EXPECT_EQ(index.annotation(0).block_size, 1u);
+}
+
+TEST(BlockIndexTest, KeylessRelationUsesWholeTupleAsKey) {
+  Schema schema;
+  schema.AddRelation(RelationSchema("log", {{"m", ValueType::kString}}));
+  Database db(&schema);
+  db.Insert("log", {Value("x")});
+  db.Insert("log", {Value("y")});
+  RelationBlockIndex index = RelationBlockIndex::Build(db.relation("log"));
+  EXPECT_EQ(index.NumBlocks(), 2u);
+  EXPECT_EQ(index.NumConflictingBlocks(), 0u);
+}
+
+TEST(BlockIndexTest, WholeDatabaseIndex) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  EXPECT_EQ(index.NumRelations(), 1u);
+  EXPECT_EQ(index.TotalBlocks(), 2u);
+  // All 4 facts live in non-singleton blocks.
+  EXPECT_DOUBLE_EQ(index.InconsistencyRatio(*fx.db), 1.0);
+}
+
+TEST(BlockIndexTest, InconsistencyRatioPartial) {
+  EmployeeFixture fx;
+  fx.db->Insert("employee", {Value(3), Value("Sam"), Value("HR")});
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  EXPECT_DOUBLE_EQ(index.InconsistencyRatio(*fx.db), 4.0 / 5.0);
+}
+
+TEST(BlockIndexTest, EmptyDatabase) {
+  Schema schema;
+  schema.AddRelation(RelationSchema("r", {{"k", ValueType::kInt}}, {0}));
+  Database db(&schema);
+  BlockIndex index = BlockIndex::Build(db);
+  EXPECT_EQ(index.TotalBlocks(), 0u);
+  EXPECT_DOUBLE_EQ(index.InconsistencyRatio(db), 0.0);
+}
+
+}  // namespace
+}  // namespace cqa

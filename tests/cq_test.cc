@@ -1,0 +1,123 @@
+#include "query/cq.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+Schema TwoRelationSchema() {
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "r", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}, {0}));
+  schema.AddRelation(RelationSchema(
+      "s", {{"b", ValueType::kInt}, {"c", ValueType::kString}}, {0}));
+  return schema;
+}
+
+ConjunctiveQuery JoinQuery() {
+  // Q(X, C) :- r(X, Y), s(Y, C).
+  ConjunctiveQuery q;
+  q.AddAtom(Atom{0, {Term::Var(0), Term::Var(1)}});
+  q.AddAtom(Atom{1, {Term::Var(1), Term::Var(2)}});
+  q.SetAnswerVars({0, 2});
+  return q;
+}
+
+TEST(CqTest, BasicAccessors) {
+  ConjunctiveQuery q = JoinQuery();
+  EXPECT_EQ(q.NumAtoms(), 2u);
+  EXPECT_EQ(q.num_vars(), 3u);
+  EXPECT_FALSE(q.IsBoolean());
+  EXPECT_EQ(q.answer_vars(), (std::vector<size_t>{0, 2}));
+}
+
+TEST(CqTest, NumJoinsCountsSharedOccurrences) {
+  EXPECT_EQ(JoinQuery().NumJoins(), 1u);
+  // r(X, X) has a self-join on X: 2 occurrences -> 1 join.
+  ConjunctiveQuery self;
+  self.AddAtom(Atom{0, {Term::Var(0), Term::Var(0)}});
+  EXPECT_EQ(self.NumJoins(), 1u);
+  // A variable occurring three times counts as 2 joins.
+  ConjunctiveQuery chain;
+  chain.AddAtom(Atom{0, {Term::Var(0), Term::Var(1)}});
+  chain.AddAtom(Atom{0, {Term::Var(1), Term::Var(2)}});
+  chain.AddAtom(Atom{1, {Term::Var(1), Term::Var(3)}});
+  EXPECT_EQ(chain.NumJoins(), 2u);
+}
+
+TEST(CqTest, NumConstantOccurrences) {
+  ConjunctiveQuery q;
+  q.AddAtom(Atom{0, {Term::Const(Value(1)), Term::Var(0)}});
+  q.AddAtom(Atom{1, {Term::Var(0), Term::Const(Value("x"))}});
+  EXPECT_EQ(q.NumConstantOccurrences(), 2u);
+  EXPECT_EQ(JoinQuery().NumConstantOccurrences(), 0u);
+}
+
+TEST(CqTest, BooleanVersionDropsAnswerVars) {
+  ConjunctiveQuery b = JoinQuery().BooleanVersion();
+  EXPECT_TRUE(b.IsBoolean());
+  EXPECT_EQ(b.NumAtoms(), 2u);
+  EXPECT_EQ(b.num_vars(), 3u);
+}
+
+TEST(CqTest, WithAnswerVarsReprojects) {
+  ConjunctiveQuery q = JoinQuery().WithAnswerVars({1});
+  EXPECT_EQ(q.answer_vars(), (std::vector<size_t>{1}));
+}
+
+TEST(CqTest, ValidatePassesOnWellFormed) {
+  Schema schema = TwoRelationSchema();
+  JoinQuery().Validate(schema);  // Must not abort.
+}
+
+TEST(CqDeathTest, ValidateRejectsArityMismatch) {
+  Schema schema = TwoRelationSchema();
+  ConjunctiveQuery q;
+  q.AddAtom(Atom{0, {Term::Var(0)}});  // r has arity 2.
+  EXPECT_DEATH(q.Validate(schema), "r");
+}
+
+TEST(CqDeathTest, ValidateRejectsUnboundAnswerVar) {
+  Schema schema = TwoRelationSchema();
+  ConjunctiveQuery q;
+  q.AddAtom(Atom{0, {Term::Var(0), Term::Var(1)}});
+  q.SetAnswerVars({5});
+  EXPECT_DEATH(q.Validate(schema), "answer variable");
+}
+
+TEST(CqTest, BindAnswerSubstitutesAndRenumbers) {
+  ConjunctiveQuery q = JoinQuery();
+  ConjunctiveQuery bound = q.BindAnswer({Value(7), Value("hi")});
+  EXPECT_TRUE(bound.IsBoolean());
+  EXPECT_EQ(bound.num_vars(), 1u);  // Only Y remains.
+  const Atom& a0 = bound.atom(0);
+  EXPECT_TRUE(a0.terms[0].is_constant());
+  EXPECT_EQ(a0.terms[0].constant(), Value(7));
+  EXPECT_TRUE(a0.terms[1].is_variable());
+  const Atom& a1 = bound.atom(1);
+  EXPECT_EQ(a1.terms[0].var(), a0.terms[1].var());  // Join preserved.
+  EXPECT_EQ(a1.terms[1].constant(), Value("hi"));
+}
+
+TEST(CqTest, ToStringRoundTripsThroughParser) {
+  Schema schema = TwoRelationSchema();
+  ConjunctiveQuery q = JoinQuery();
+  q.SetVarNames({"X", "Y", "C"});
+  std::string text = q.ToString(schema);
+  EXPECT_EQ(text, "Q(X, C) :- r(X, Y), s(Y, C).");
+  ConjunctiveQuery reparsed = MustParseCq(schema, text);
+  EXPECT_EQ(reparsed.ToString(schema), text);
+}
+
+TEST(CqTest, TermEquality) {
+  EXPECT_EQ(Term::Var(1), Term::Var(1));
+  EXPECT_FALSE(Term::Var(1) == Term::Var(2));
+  EXPECT_EQ(Term::Const(Value(3)), Term::Const(Value(3)));
+  EXPECT_FALSE(Term::Const(Value(3)) == Term::Var(3));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,119 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(TupleToString({Value(1), Value("Bob"), Value("HR")}),
+            "(1, 'Bob', 'HR')");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+TEST(TupleTest, Project) {
+  Tuple t{Value(1), Value("Bob"), Value("HR")};
+  EXPECT_EQ(ProjectTuple(t, {2, 0}), (Tuple{Value("HR"), Value(1)}));
+  EXPECT_EQ(ProjectTuple(t, {}), Tuple{});
+}
+
+TEST(TupleTest, HashConsistentWithEquality) {
+  TupleHash h;
+  Tuple a{Value(1), Value("x")};
+  Tuple b{Value(1), Value("x")};
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(RelationTest, InsertAndKeyOf) {
+  EmployeeFixture fx;
+  const Relation& rel = fx.db->relation("employee");
+  EXPECT_EQ(rel.size(), 4u);
+  EXPECT_EQ(rel.KeyOf(0), (Tuple{Value(1)}));
+  EXPECT_EQ(rel.KeyOf(3), (Tuple{Value(2)}));
+}
+
+TEST(RelationTest, KeyOfWithoutKeyIsWholeTuple) {
+  Schema schema;
+  schema.AddRelation(RelationSchema("log", {{"msg", ValueType::kString}}));
+  Database db(&schema);
+  db.Insert("log", {Value("hello")});
+  EXPECT_EQ(db.relation("log").KeyOf(0), (Tuple{Value("hello")}));
+}
+
+TEST(DatabaseTest, InsertReturnsStableFactRefs) {
+  EmployeeFixture fx;
+  FactRef f = fx.db->Insert("employee", {Value(9), Value("Zoe"), Value("HR")});
+  EXPECT_EQ(f.row, 4u);
+  EXPECT_EQ(fx.db->FactTuple(f)[1], Value("Zoe"));
+}
+
+TEST(DatabaseTest, NumFacts) {
+  EmployeeFixture fx;
+  EXPECT_EQ(fx.db->NumFacts(), 4u);
+}
+
+TEST(DatabaseTest, KeyViolationDetection) {
+  EmployeeFixture fx;
+  EXPECT_FALSE(fx.db->SatisfiesKeys());
+  // Blocks {1: 2 facts, 2: 2 facts} -> one violation each.
+  std::vector<KeyViolation> v = fx.db->FindKeyViolations();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].first.row, 0u);
+  EXPECT_EQ(v[0].second.row, 1u);
+}
+
+TEST(DatabaseTest, ViolationLimitStopsEarly) {
+  EmployeeFixture fx;
+  EXPECT_EQ(fx.db->FindKeyViolations(1).size(), 1u);
+}
+
+TEST(DatabaseTest, ConsistentDatabaseHasNoViolations) {
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "r", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}, {0}));
+  Database db(&schema);
+  db.Insert("r", {Value(1), Value(10)});
+  db.Insert("r", {Value(2), Value(10)});
+  EXPECT_TRUE(db.SatisfiesKeys());
+}
+
+TEST(DatabaseTest, IdenticalDuplicateFactIsNotAViolation) {
+  // Databases are sets of facts; re-inserting the same fact does not
+  // create a conflict under the paper's key semantics.
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "r", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}, {0}));
+  Database db(&schema);
+  db.Insert("r", {Value(1), Value(10)});
+  db.Insert("r", {Value(1), Value(10)});
+  EXPECT_TRUE(db.SatisfiesKeys());
+}
+
+TEST(DatabaseTest, RelationsWithoutKeysNeverConflict) {
+  Schema schema;
+  schema.AddRelation(RelationSchema("log", {{"msg", ValueType::kString}}));
+  Database db(&schema);
+  db.Insert("log", {Value("a")});
+  db.Insert("log", {Value("a")});
+  EXPECT_TRUE(db.SatisfiesKeys());
+}
+
+TEST(DatabaseTest, CloneIsDeepAndIndependent) {
+  EmployeeFixture fx;
+  Database copy = fx.db->Clone();
+  copy.Insert("employee", {Value(3), Value("Pat"), Value("HR")});
+  EXPECT_EQ(copy.NumFacts(), 5u);
+  EXPECT_EQ(fx.db->NumFacts(), 4u);
+}
+
+TEST(DatabaseDeathTest, ArityMismatchAborts) {
+  EmployeeFixture fx;
+  EXPECT_DEATH(fx.db->Insert("employee", {Value(1)}), "employee");
+}
+
+}  // namespace
+}  // namespace cqa

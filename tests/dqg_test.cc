@@ -1,0 +1,111 @@
+#include "gen/dqg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cqa/preprocess.h"
+#include "gen/noise.h"
+#include "gen/tpch.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+struct DqgFixture {
+  DqgFixture() {
+    schema.AddRelation(RelationSchema(
+        "r", {{"k", ValueType::kInt}, {"a", ValueType::kInt},
+              {"b", ValueType::kInt}},
+        {0}));
+    db = std::make_unique<Database>(&schema);
+    Rng rng(1);
+    for (int k = 0; k < 60; ++k) {
+      db->Insert("r", {Value(k), Value(k % 3), Value(k)});
+    }
+  }
+  Schema schema;
+  std::unique_ptr<Database> db;
+};
+
+TEST(DqgTest, AchievedBalanceMatchesPreprocessing) {
+  // Whatever projection DQG reports, recomputing the balance through the
+  // full preprocessing pipeline must agree.
+  DqgFixture fx;
+  ConjunctiveQuery q = MustParseCq(fx.schema, "Q(K, A, B) :- r(K, A, B).");
+  Rng rng(2);
+  DqgOptions options;
+  options.pool_size = 32;
+  std::vector<DqgResult> results =
+      GenerateBalancedQueries(*fx.db, q, {0.1, 0.5, 1.0}, options, rng);
+  ASSERT_EQ(results.size(), 3u);
+  for (const DqgResult& r : results) {
+    PreprocessResult pre = BuildSynopses(*fx.db, r.query);
+    EXPECT_NEAR(r.balance, pre.Balance(), 1e-9);
+  }
+}
+
+TEST(DqgTest, BalanceOrderingFollowsTargets) {
+  DqgFixture fx;
+  ConjunctiveQuery q = MustParseCq(fx.schema, "Q(K, A, B) :- r(K, A, B).");
+  Rng rng(3);
+  DqgOptions options;
+  options.pool_size = 64;
+  std::vector<DqgResult> results =
+      GenerateBalancedQueries(*fx.db, q, {0.05, 1.0}, options, rng);
+  ASSERT_EQ(results.size(), 2u);
+  // Projecting only A gives 3 answers over 60 images (balance 0.05);
+  // projecting K or B gives 60/60 = 1. Both extremes are in the space, so
+  // the low-target query must end up with smaller balance.
+  EXPECT_LT(results[0].balance, results[1].balance);
+  EXPECT_NEAR(results[1].balance, 1.0, 0.2);
+}
+
+TEST(DqgTest, QueriesKeepBodyAtoms) {
+  DqgFixture fx;
+  ConjunctiveQuery q = MustParseCq(fx.schema, "Q(K, A, B) :- r(K, A, B).");
+  Rng rng(4);
+  std::vector<DqgResult> results =
+      GenerateBalancedQueries(*fx.db, q, {0.5}, DqgOptions{}, rng);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].query.NumAtoms(), q.NumAtoms());
+  EXPECT_FALSE(results[0].query.answer_vars().empty());
+  results[0].query.Validate(fx.schema);
+}
+
+TEST(DqgTest, EmptyQueryGivesNoResults) {
+  DqgFixture fx;
+  ConjunctiveQuery q = MustParseCq(fx.schema, "Q(B) :- r(K, 99, B).");
+  Rng rng(5);
+  std::vector<DqgResult> results =
+      GenerateBalancedQueries(*fx.db, q, {0.5}, DqgOptions{}, rng);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(DqgTest, WorksOnNoisyTpch) {
+  TpchOptions tpch;
+  tpch.scale_factor = 0.0005;
+  Dataset d = GenerateTpch(tpch);
+  ConjunctiveQuery q = MustParseCq(
+      *d.schema,
+      "Q(OK, CK, OD) :- orders(OK, CK, OS, TP, OD, OP, CL, SP, OC),"
+      " customer(CK, CN, CA, NK, CP, CB, 'BUILDING', CC).");
+  Rng rng(6);
+  NoiseOptions noise;
+  noise.p = 0.5;
+  AddQueryAwareNoise(d.db.get(), q, noise, rng);
+  DqgOptions options;
+  options.pool_size = 32;
+  std::vector<DqgResult> results =
+      GenerateBalancedQueries(*d.db, q, {0.2, 0.8}, options, rng);
+  ASSERT_EQ(results.size(), 2u);
+  for (const DqgResult& r : results) {
+    EXPECT_GT(r.balance, 0.0);
+    EXPECT_LE(r.balance, 1.0);
+  }
+  EXPECT_LE(results[0].balance, results[1].balance + 1e-9);
+}
+
+}  // namespace
+}  // namespace cqa

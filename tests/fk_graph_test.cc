@@ -1,0 +1,67 @@
+#include "gen/fk_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/tpch.h"
+
+namespace cqa {
+namespace {
+
+TEST(FkGraphTest, EmptyInputGivesEmptyGraph) {
+  FkGraph graph = FkGraph::Build({});
+  EXPECT_TRUE(graph.empty());
+}
+
+TEST(FkGraphTest, SingleDependencyFormsOneClass) {
+  FkGraph graph = FkGraph::Build({ForeignKey{1, 0, 0, 0}});
+  ASSERT_EQ(graph.classes().size(), 1u);
+  EXPECT_EQ(graph.classes()[0].size(), 2u);
+}
+
+TEST(FkGraphTest, TransitiveDependenciesMerge) {
+  // a.0 -> b.0 and c.0 -> b.0: all three attributes joinable.
+  FkGraph graph =
+      FkGraph::Build({ForeignKey{0, 0, 1, 0}, ForeignKey{2, 0, 1, 0}});
+  ASSERT_EQ(graph.classes().size(), 1u);
+  EXPECT_EQ(graph.classes()[0].size(), 3u);
+}
+
+TEST(FkGraphTest, IndependentDependenciesStaySeparate) {
+  FkGraph graph =
+      FkGraph::Build({ForeignKey{0, 0, 1, 0}, ForeignKey{2, 1, 3, 1}});
+  EXPECT_EQ(graph.classes().size(), 2u);
+}
+
+TEST(FkGraphTest, TpchGraphJoinsNationKeys) {
+  Dataset tpch = GenerateTpch(TpchOptions{.scale_factor = 0.0002});
+  FkGraph graph = FkGraph::Build(tpch.foreign_keys);
+  EXPECT_FALSE(graph.empty());
+  // c_nationkey, s_nationkey and n_nationkey must share a class.
+  size_t nation = tpch.schema->RelationId("nation");
+  size_t customer = tpch.schema->RelationId("customer");
+  size_t supplier = tpch.schema->RelationId("supplier");
+  AttrRef n{nation, 0}, c{customer, 3}, s{supplier, 3};
+  bool found = false;
+  for (const auto& cls : graph.classes()) {
+    bool has_n = false, has_c = false, has_s = false;
+    for (const AttrRef& a : cls) {
+      if (a == n) has_n = true;
+      if (a == c) has_c = true;
+      if (a == s) has_s = true;
+    }
+    if (has_n && has_c && has_s) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FkGraphTest, ClassesAreSortedAndDuplicateFree) {
+  FkGraph graph = FkGraph::Build(
+      {ForeignKey{0, 0, 1, 0}, ForeignKey{0, 0, 1, 0}, ForeignKey{1, 0, 0, 0}});
+  ASSERT_EQ(graph.classes().size(), 1u);
+  const auto& cls = graph.classes()[0];
+  EXPECT_EQ(cls.size(), 2u);
+  EXPECT_TRUE(cls[0] < cls[1]);
+}
+
+}  // namespace
+}  // namespace cqa

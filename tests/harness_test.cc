@@ -1,0 +1,83 @@
+#include "bench/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+TEST(HarnessTest, RunAllSchemesCoversAllFour) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  Rng rng(1);
+  std::vector<SchemeTiming> timings = RunAllSchemes(pre, ApxParams{}, 10.0, rng);
+  ASSERT_EQ(timings.size(), 4u);
+  for (size_t i = 0; i < timings.size(); ++i) {
+    EXPECT_EQ(timings[i].scheme, AllSchemeKinds()[i]);
+    EXPECT_FALSE(timings[i].timed_out);
+    EXPECT_EQ(timings[i].num_answers, 3u);
+    EXPECT_GE(timings[i].seconds, 0.0);
+  }
+}
+
+TEST(HarnessTest, SeriesTableAggregates) {
+  SeriesTable table("noise");
+  SchemeTiming fast{SchemeKind::kNatural, 1.0, false, 1};
+  SchemeTiming slow{SchemeKind::kKl, 3.0, false, 1};
+  SchemeTiming slower{SchemeKind::kKl, 5.0, true, 1};
+  table.Add(0.1, SchemeKind::kNatural, fast);
+  table.Add(0.1, SchemeKind::kKl, slow);
+  table.Add(0.1, SchemeKind::kKl, slower);
+  EXPECT_DOUBLE_EQ(table.Mean(0.1, SchemeKind::kNatural), 1.0);
+  EXPECT_DOUBLE_EQ(table.Mean(0.1, SchemeKind::kKl), 4.0);
+  EXPECT_DOUBLE_EQ(table.Mean(0.1, SchemeKind::kKlm), -1.0);
+  EXPECT_EQ(table.Winner(0.1), SchemeKind::kNatural);
+}
+
+TEST(HarnessTest, WinnerPrefersSmallestMean) {
+  SeriesTable table("x");
+  table.Add(1.0, SchemeKind::kCover, SchemeTiming{SchemeKind::kCover, 0.5,
+                                                  false, 1});
+  table.Add(1.0, SchemeKind::kKlm,
+            SchemeTiming{SchemeKind::kKlm, 2.0, false, 1});
+  EXPECT_EQ(table.Winner(1.0), SchemeKind::kCover);
+}
+
+TEST(HarnessTest, TimeoutBudgetIsHonored) {
+  // A hard synopsis with a tiny budget: every scheme must return quickly
+  // and be flagged.
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "r", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}, {0}));
+  Database db(&schema);
+  Rng data_rng(2);
+  for (int k = 0; k < 40; ++k) {
+    for (int j = 0; j < 5; ++j) {
+      db.Insert("r", {Value(k), Value(data_rng.UniformInt(0, 1000000))});
+    }
+  }
+  ConjunctiveQuery q = MustParseCq(schema, "Q() :- r(K, V).");
+  PreprocessResult pre = BuildSynopses(db, q);
+  Rng rng(3);
+  std::vector<SchemeTiming> timings =
+      RunAllSchemes(pre, ApxParams{0.01, 0.01}, 0.0, rng);
+  for (const SchemeTiming& t : timings) {
+    EXPECT_TRUE(t.timed_out) << SchemeKindName(t.scheme);
+    EXPECT_LT(t.seconds, 1.0);
+  }
+}
+
+TEST(HarnessTest, PrintDoesNotCrash) {
+  SeriesTable table("balance");
+  table.Add(0.5, SchemeKind::kNatural,
+            SchemeTiming{SchemeKind::kNatural, 1.0, false, 2});
+  table.Print("Smoke");
+}
+
+}  // namespace
+}  // namespace cqa

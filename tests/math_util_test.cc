@@ -1,0 +1,72 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace cqa {
+namespace {
+
+TEST(MeanVarTest, EmptyAccumulator) {
+  MeanVarAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(MeanVarTest, SingleObservation) {
+  MeanVarAccumulator acc;
+  acc.Add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(MeanVarTest, KnownMeanAndVariance) {
+  MeanVarAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of the classic example: 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MeanVarTest, NumericallyStableForLargeOffsets) {
+  MeanVarAccumulator acc;
+  const double offset = 1e9;
+  for (double x : {1.0, 2.0, 3.0}) acc.Add(offset + x);
+  EXPECT_NEAR(acc.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(LogSumExpTest, EmptyIsMinusInfinity) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogSumExpTest, MatchesDirectComputation) {
+  std::vector<double> terms{std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(LogSumExp(terms), std::log(6.0), 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeMagnitudes) {
+  // exp(1000) overflows; log-sum-exp must not.
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp({-1000.0, -1000.0}), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(CeilDiv(0, 3), 0u);
+  EXPECT_EQ(CeilDiv(1, 3), 1u);
+  EXPECT_EQ(CeilDiv(3, 3), 1u);
+  EXPECT_EQ(CeilDiv(4, 3), 2u);
+}
+
+TEST(ClampTest, Basics) {
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,94 @@
+// Robustness: the parser must never crash or accept garbage silently —
+// it either produces a validated query or a diagnostic.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "gen/tpch.h"
+#include "query/parser.h"
+
+namespace cqa {
+namespace {
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Schema schema = MakeTpchSchema();
+  Rng rng(99);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      "(),.:-'\"_|{}[]<>=+*/\\ \t\n";
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t len = rng.UniformIndex(80);
+    std::string text;
+    text.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.UniformIndex(alphabet.size())]);
+    }
+    ConjunctiveQuery q;
+    std::string error;
+    if (ParseCq(schema, text, &q, &error)) {
+      q.Validate(schema);  // Anything accepted must be well-formed.
+    } else {
+      EXPECT_FALSE(error.empty()) << "silent failure on: " << text;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidQueriesNeverCrash) {
+  Schema schema = MakeTpchSchema();
+  const std::string base =
+      "Q(NN) :- customer(CK, CN, CA, NK, CP, CB, CS, CC),"
+      " nation(NK, NN, RK, NC).";
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text = base;
+    // Apply 1-3 random single-character mutations.
+    size_t mutations = 1 + rng.UniformIndex(3);
+    for (size_t m = 0; m < mutations; ++m) {
+      size_t pos = rng.UniformIndex(text.size());
+      switch (rng.UniformIndex(3)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        case 2:
+          text.insert(pos, 1, static_cast<char>(rng.UniformInt(32, 126)));
+          break;
+      }
+      if (text.empty()) text = "x";
+    }
+    ConjunctiveQuery q;
+    std::string error;
+    if (ParseCq(schema, text, &q, &error)) {
+      q.Validate(schema);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, DeepNestingAndLongInputs) {
+  Schema schema = MakeTpchSchema();
+  ConjunctiveQuery q;
+  std::string error;
+  // A very long but valid query: 200 copies of the same atom.
+  std::string text = "Q(RK) :- ";
+  for (int i = 0; i < 200; ++i) {
+    if (i > 0) text += ", ";
+    text += "region(RK, RN" + std::to_string(i) + ", RC" +
+            std::to_string(i) + ")";
+  }
+  text += ".";
+  ASSERT_TRUE(ParseCq(schema, text, &q, &error)) << error;
+  EXPECT_EQ(q.NumAtoms(), 200u);
+  // Pathological inputs.
+  for (const char* bad :
+       {"", "(", ")", ":-", ".", "Q", "Q(", "Q()", "Q() :-",
+        "Q() :- ,", "''", "Q() :- region(", "Q((((((((((", "::::::::"}) {
+    EXPECT_FALSE(ParseCq(schema, bad, &q, &error)) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace cqa

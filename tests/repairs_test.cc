@@ -1,0 +1,134 @@
+#include "storage/repairs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+TEST(RepairsTest, ExampleOneHasFourRepairs) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  EXPECT_NEAR(CountRepairs(*fx.db, index), 4.0, 1e-9);
+  size_t count = 0;
+  EXPECT_TRUE(ForEachRepair(*fx.db, index,
+                            [&](const std::vector<FactRef>&) {
+                              ++count;
+                              return true;
+                            }));
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(RepairsTest, RepairsAreConsistentAndMaximal) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  ForEachRepair(*fx.db, index, [&](const std::vector<FactRef>& selection) {
+    Database repair = MaterializeRepair(*fx.db, selection);
+    EXPECT_TRUE(repair.SatisfiesKeys());
+    // One fact per block: 2 blocks -> 2 facts.
+    EXPECT_EQ(repair.NumFacts(), 2u);
+    return true;
+  });
+}
+
+TEST(RepairsTest, RepairsAreDistinct) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  std::set<std::vector<FactRef>> seen;
+  ForEachRepair(*fx.db, index, [&](const std::vector<FactRef>& selection) {
+    EXPECT_TRUE(seen.insert(selection).second);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RepairsTest, ConsistentDatabaseHasExactlyItselfAsRepair) {
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "r", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}, {0}));
+  Database db(&schema);
+  db.Insert("r", {Value(1), Value(2)});
+  db.Insert("r", {Value(2), Value(2)});
+  BlockIndex index = BlockIndex::Build(db);
+  EXPECT_NEAR(CountRepairs(db, index), 1.0, 1e-12);
+  size_t count = 0;
+  ForEachRepair(db, index, [&](const std::vector<FactRef>& selection) {
+    ++count;
+    EXPECT_EQ(selection.size(), 2u);
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(RepairsTest, EmptyDatabaseHasOneEmptyRepair) {
+  Schema schema;
+  schema.AddRelation(RelationSchema("r", {{"k", ValueType::kInt}}, {0}));
+  Database db(&schema);
+  BlockIndex index = BlockIndex::Build(db);
+  size_t count = 0;
+  EXPECT_TRUE(ForEachRepair(db, index,
+                            [&](const std::vector<FactRef>& selection) {
+                              ++count;
+                              EXPECT_TRUE(selection.empty());
+                              return true;
+                            }));
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(RepairsTest, EarlyStopViaCallback) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  size_t count = 0;
+  EXPECT_FALSE(ForEachRepair(*fx.db, index,
+                             [&](const std::vector<FactRef>&) {
+                               return ++count < 2;
+                             }));
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(RepairsTest, MaxRepairsCap) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  size_t count = 0;
+  EXPECT_FALSE(ForEachRepair(
+      *fx.db, index,
+      [&](const std::vector<FactRef>&) {
+        ++count;
+        return true;
+      },
+      /*max_repairs=*/3));
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(RepairsTest, LogCountMultipliesAcrossRelations) {
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "a", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}, {0}));
+  schema.AddRelation(RelationSchema(
+      "b", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}, {0}));
+  Database db(&schema);
+  for (int i = 0; i < 3; ++i) db.Insert("a", {Value(1), Value(i)});
+  for (int i = 0; i < 2; ++i) db.Insert("b", {Value(7), Value(i)});
+  BlockIndex index = BlockIndex::Build(db);
+  EXPECT_NEAR(CountRepairsLog10(db, index), std::log10(6.0), 1e-12);
+}
+
+TEST(RepairsTest, MaterializeRepairCopiesSelectedFacts) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  Database repair = MaterializeRepair(
+      *fx.db, {FactRef{0, 1}, FactRef{0, 2}});
+  EXPECT_EQ(repair.relation("employee").row(0),
+            (Tuple{Value(1), Value("Bob"), Value("IT")}));
+  EXPECT_EQ(repair.relation("employee").row(1),
+            (Tuple{Value(2), Value("Alice"), Value("IT")}));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,203 @@
+#include "cqa/rewriting.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "cqa/exact.h"
+#include "gen/noise.h"
+#include "gen/tpch.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+TEST(RewritingSqlTest, ViewUsesWindowFunctions) {
+  EmployeeFixture fx;
+  std::string sql = RelationViewSql(fx.schema->relation(0), 7);
+  EXPECT_NE(sql.find("CREATE VIEW q_employee"), std::string::npos);
+  EXPECT_NE(sql.find("7 AS rid"), std::string::npos);
+  EXPECT_NE(sql.find("dense_rank() OVER (ORDER BY id) AS bid"),
+            std::string::npos);
+  EXPECT_NE(sql.find(
+                "row_number() OVER (PARTITION BY id ORDER BY name, dept) "
+                "AS tid"),
+            std::string::npos);
+  EXPECT_NE(sql.find("count(*) OVER (PARTITION BY id) AS kcnt"),
+            std::string::npos);
+  EXPECT_NE(sql.find("FROM employee;"), std::string::npos);
+}
+
+TEST(RewritingSqlTest, KeylessRelationPartitionsByAllAttributes) {
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "log", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+  std::string sql = RelationViewSql(schema.relation(0), 0);
+  EXPECT_NE(sql.find("PARTITION BY a, b"), std::string::npos);
+}
+
+TEST(RewritingSqlTest, QueryRewriteHasJoinsConstantsAndOrder) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(
+      *fx.schema, "Q(D) :- employee(1, N1, D), employee(2, N2, D).");
+  std::string sql = RewritingSql(*fx.schema, q);
+  // Answer column, annotations per atom, aliases, conditions, order.
+  EXPECT_NE(sql.find("SELECT r1.dept"), std::string::npos);
+  EXPECT_NE(sql.find("r1.rid, r1.bid, r1.tid, r1.kcnt"), std::string::npos);
+  EXPECT_NE(sql.find("r2.rid, r2.bid, r2.tid, r2.kcnt"), std::string::npos);
+  EXPECT_NE(sql.find("FROM q_employee AS r1, q_employee AS r2"),
+            std::string::npos);
+  EXPECT_NE(sql.find("r1.id = 1"), std::string::npos);
+  EXPECT_NE(sql.find("r2.id = 2"), std::string::npos);
+  EXPECT_NE(sql.find("r2.dept = r1.dept"), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY 1"), std::string::npos);
+}
+
+TEST(RewritingSqlTest, StringConstantsAreQuoted) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema,
+                                   "Q() :- employee(I, N, 'IT').");
+  std::string sql = RewritingSql(*fx.schema, q);
+  EXPECT_NE(sql.find("r1.dept = 'IT'"), std::string::npos);
+}
+
+TEST(ExecuteRewritingTest, OneRowPerHomomorphismSorted) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  std::vector<QrewRow> rows = ExecuteRewriting(*fx.db, q, index);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end(),
+                             [](const QrewRow& a, const QrewRow& b) {
+                               return a.answer < b.answer;
+                             }));
+  for (const QrewRow& row : rows) {
+    ASSERT_EQ(row.atoms.size(), 1u);
+    EXPECT_EQ(row.atoms[0].rid, 0u);
+    EXPECT_EQ(row.atoms[0].kcnt, 2u);  // Every block has two facts.
+  }
+}
+
+/// Equivalence of the two preprocessing implementations on a battery of
+/// queries over the Example 1.1 instance.
+class RewritingEquivalenceTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(RewritingEquivalenceTest, MatchesBuildSynopses) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, GetParam());
+  PreprocessResult direct = BuildSynopses(*fx.db, q);
+  PreprocessResult via_sql = BuildSynopsesViaRewriting(*fx.db, q);
+
+  EXPECT_EQ(direct.stats().num_homomorphisms,
+            via_sql.stats().num_homomorphisms);
+  EXPECT_EQ(direct.stats().num_images, via_sql.stats().num_images);
+  EXPECT_EQ(direct.stats().num_distinct_images,
+            via_sql.stats().num_distinct_images);
+  ASSERT_EQ(direct.NumAnswers(), via_sql.NumAnswers());
+
+  std::map<Tuple, const Synopsis*> by_answer;
+  for (const AnswerSynopsis& as : via_sql.answers()) {
+    by_answer[as.answer] = &as.synopsis;
+  }
+  for (const AnswerSynopsis& as : direct.answers()) {
+    auto it = by_answer.find(as.answer);
+    ASSERT_NE(it, by_answer.end()) << TupleToString(as.answer);
+    const Synopsis& a = as.synopsis;
+    const Synopsis& b = *it->second;
+    EXPECT_EQ(a.NumImages(), b.NumImages());
+    EXPECT_EQ(a.NumBlocks(), b.NumBlocks());
+    // The encoded ratios must agree exactly.
+    EXPECT_DOUBLE_EQ(*ExactRatioByEnumeration(a),
+                     *ExactRatioByEnumeration(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RewritingEquivalenceTest,
+    ::testing::Values(
+        "Q(N) :- employee(I, N, D).",
+        "Q() :- employee(1, N1, D), employee(2, N2, D).",
+        "Q(D) :- employee(1, N1, D), employee(2, N2, D).",
+        "Q() :- employee(I, N, 'IT').",
+        "Q(I, D) :- employee(I, N, D).",
+        "Q() :- employee(I, N, D), employee(I, N, D)."));
+
+TEST(StreamingTest, ForEachSynopsisVisitsAnswersInOrder) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult batch = BuildSynopses(*fx.db, q);
+  std::vector<Tuple> streamed_answers;
+  std::vector<double> streamed_ratios;
+  ForEachSynopsis(*fx.db, q, [&](const Tuple& answer, const Synopsis& s) {
+    streamed_answers.push_back(answer);
+    streamed_ratios.push_back(*ExactRatioByEnumeration(s));
+    return true;
+  });
+  ASSERT_EQ(streamed_answers.size(), batch.NumAnswers());
+  for (size_t i = 1; i < streamed_answers.size(); ++i) {
+    EXPECT_LT(streamed_answers[i - 1], streamed_answers[i]);
+  }
+  // Same ratios as the batch path, answer by answer.
+  std::map<Tuple, double> batch_ratios;
+  for (const AnswerSynopsis& as : batch.answers()) {
+    batch_ratios[as.answer] = *ExactRatioByEnumeration(as.synopsis);
+  }
+  for (size_t i = 0; i < streamed_answers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(streamed_ratios[i],
+                     batch_ratios.at(streamed_answers[i]));
+  }
+}
+
+TEST(StreamingTest, CallbackCanStopEarly) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  size_t visits = 0;
+  ForEachSynopsis(*fx.db, q, [&](const Tuple&, const Synopsis&) {
+    ++visits;
+    return false;
+  });
+  EXPECT_EQ(visits, 1u);
+}
+
+TEST(StreamingTest, SkipsAnswersWithOnlyInconsistentImages) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(
+      *fx.schema, "Q() :- employee(I, 'Alice', D1), employee(I, 'Tim', D2).");
+  size_t visits = 0;
+  ForEachSynopsis(*fx.db, q, [&](const Tuple&, const Synopsis&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0u);
+}
+
+TEST(RewritingEquivalenceTest, MatchesOnNoisyTpch) {
+  TpchOptions tpch;
+  tpch.scale_factor = 0.0004;
+  Dataset d = GenerateTpch(tpch);
+  ConjunctiveQuery q = MustParseCq(
+      *d.schema,
+      "Q(OP) :- orders(OK, CK, OS, TP, OD, OP, CL, SP, OC),"
+      " lineitem(OK, PK, SK, LN, QT, EP, DI, TX, 'R', LS, SD, CD, RD, SI,"
+      " SM, CM).");
+  Rng rng(3);
+  NoiseOptions noise;
+  noise.p = 0.6;
+  AddQueryAwareNoise(d.db.get(), q, noise, rng);
+
+  PreprocessResult direct = BuildSynopses(*d.db, q);
+  PreprocessResult via_sql = BuildSynopsesViaRewriting(*d.db, q);
+  ASSERT_EQ(direct.NumAnswers(), via_sql.NumAnswers());
+  EXPECT_EQ(direct.stats().num_images, via_sql.stats().num_images);
+  EXPECT_EQ(direct.stats().num_distinct_images,
+            via_sql.stats().num_distinct_images);
+  EXPECT_DOUBLE_EQ(direct.Balance(), via_sql.Balance());
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,130 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace cqa {
+namespace {
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(2);
+  std::set<size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformIndex(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, UniformRealIsInHalfOpenUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(4);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10 && !differ; ++i) {
+    differ = a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(6);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, WeightedIndexSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.WeightedIndex({2.5}), 0u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(8);
+  for (size_t k = 0; k <= 10; ++k) {
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(10, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<size_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), k);
+    for (size_t v : sample) EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRangeIsPermutation) {
+  Rng rng(9);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(6, 6);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniformish) {
+  // Every element should appear with frequency ~k/n.
+  Rng rng(10);
+  std::vector<int> counts(8, 0);
+  const int trials = 8000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t v : rng.SampleWithoutReplacement(8, 3)) ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 3.0 / 8.0, 0.04);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace cqa

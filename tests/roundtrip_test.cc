@@ -1,0 +1,81 @@
+// Round-trip properties between the query printer, the parser and the
+// generators: every SQG/DQG-produced query must print to text the parser
+// accepts, yielding a structurally identical query.
+
+#include <gtest/gtest.h>
+
+#include "gen/sqg.h"
+#include "gen/tpch.h"
+#include "gen/workloads.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+
+namespace cqa {
+namespace {
+
+bool StructurallyEqual(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  if (a.NumAtoms() != b.NumAtoms()) return false;
+  if (a.answer_vars() != b.answer_vars()) return false;
+  for (size_t i = 0; i < a.NumAtoms(); ++i) {
+    if (a.atom(i).relation_id != b.atom(i).relation_id) return false;
+    if (a.atom(i).terms.size() != b.atom(i).terms.size()) return false;
+    for (size_t j = 0; j < a.atom(i).terms.size(); ++j) {
+      if (!(a.atom(i).terms[j] == b.atom(i).terms[j])) return false;
+    }
+  }
+  return true;
+}
+
+class SqgRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqgRoundTripTest, GeneratedQueriesPrintAndReparse) {
+  Dataset d = GenerateTpch(TpchOptions{.scale_factor = 0.0003});
+  FkGraph fk_graph = FkGraph::Build(d.foreign_keys);
+  ConstantPool pool = ConstantPool::FromDatabase(*d.db);
+  Rng rng(4000 + GetParam());
+  SqgOptions options;
+  options.num_joins = 1 + GetParam() % 4;
+  options.num_constants = 2;
+  options.projection = (GetParam() % 2 == 0) ? 1.0 : 0.5;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    std::optional<ConjunctiveQuery> q =
+        GenerateStaticQuery(*d.schema, fk_graph, pool, options, rng);
+    if (!q.has_value()) continue;
+    std::string text = q->ToString(*d.schema);
+    ConjunctiveQuery reparsed;
+    std::string error;
+    ASSERT_TRUE(ParseCq(*d.schema, text, &reparsed, &error))
+        << text << ": " << error;
+    EXPECT_TRUE(StructurallyEqual(*q, reparsed)) << text;
+    return;
+  }
+  GTEST_SKIP() << "SQG produced no query for this configuration";
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SqgRoundTripTest, ::testing::Range(0, 10));
+
+TEST(WorkloadRoundTripTest, ValidationQueriesReparse) {
+  Schema tpch = MakeTpchSchema();
+  for (const NamedQuery& named : TpchValidationQueries(tpch)) {
+    std::string text = named.query.ToString(tpch);
+    ConjunctiveQuery reparsed;
+    std::string error;
+    ASSERT_TRUE(ParseCq(tpch, text, &reparsed, &error))
+        << named.name << ": " << error;
+    EXPECT_TRUE(StructurallyEqual(named.query, reparsed)) << named.name;
+  }
+}
+
+TEST(RoundTripTest, EvaluationAgreesAfterRoundTrip) {
+  Dataset d = GenerateTpch(TpchOptions{.scale_factor = 0.0003});
+  ConjunctiveQuery q = MustParseCq(
+      *d.schema,
+      "Q(NN) :- customer(CK, CN, CA, NK, CP, CB, CS, CC),"
+      " nation(NK, NN, RK, NC).");
+  ConjunctiveQuery reparsed = MustParseCq(*d.schema, q.ToString(*d.schema));
+  CqEvaluator eval(d.db.get());
+  EXPECT_EQ(eval.Evaluate(q), eval.Evaluate(reparsed));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "cqa/exact.h"
+#include "cqa/kl_sampler.h"
+#include "cqa/klm_sampler.h"
+#include "cqa/natural_sampler.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmpiricalMean;
+using testing::MakeRandomSynopsis;
+
+constexpr size_t kDraws = 60000;
+// 3-sigma band for a [0,1]-valued mean over kDraws samples.
+constexpr double kTol = 0.012;
+
+Synopsis FixtureSynopsis() {
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{2, 0, 0});
+  s.AddBlock(Synopsis::Block{3, 0, 1});
+  s.AddImage({{0, 0}});
+  s.AddImage({{0, 1}, {1, 2}});
+  return s;
+}
+
+TEST(NaturalSamplerTest, ExpectationIsRatio) {
+  Synopsis s = FixtureSynopsis();
+  NaturalSampler sampler(&s);
+  EXPECT_DOUBLE_EQ(sampler.GoodnessFactor(), 1.0);
+  Rng rng(1);
+  double mean = EmpiricalMean([&] { return sampler.Draw(rng); }, kDraws);
+  EXPECT_NEAR(mean, 4.0 / 6.0, kTol);
+}
+
+TEST(NaturalSamplerTest, OutputIsZeroOrOne) {
+  Synopsis s = FixtureSynopsis();
+  NaturalSampler sampler(&s);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    double v = sampler.Draw(rng);
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST(SymbolicSpaceTest, TotalWeight) {
+  Synopsis s = FixtureSynopsis();
+  SymbolicSpace space(&s);
+  EXPECT_NEAR(space.total_weight(), 0.5 + 1.0 / 6.0, 1e-12);
+}
+
+TEST(SymbolicSpaceTest, SampleElementRespectsWeights) {
+  Synopsis s = FixtureSynopsis();
+  SymbolicSpace space(&s);
+  Rng rng(3);
+  Synopsis::Choice choice;
+  size_t count0 = 0;
+  const size_t n = 40000;
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = space.SampleElement(rng, &choice);
+    // The drawn image must be contained in the drawn database.
+    EXPECT_TRUE(s.ImageContainedIn(idx, choice));
+    if (idx == 0) ++count0;
+  }
+  double expected = 0.5 / (0.5 + 1.0 / 6.0);
+  EXPECT_NEAR(static_cast<double>(count0) / n, expected, kTol);
+}
+
+TEST(KlSamplerTest, ExpectationMatchesLemma) {
+  // Lemma 4.5: E[SampleKL] = R(H,B) · |db(B)|/|S•|.
+  Synopsis s = FixtureSynopsis();
+  SymbolicSpace space(&s);
+  KlSampler sampler(&space);
+  EXPECT_NEAR(sampler.GoodnessFactor(), 1.0 / space.total_weight(), 1e-12);
+  Rng rng(4);
+  double mean = EmpiricalMean([&] { return sampler.Draw(rng); }, kDraws);
+  // R = 4/6 and |S•|/|db(B)| = total_weight, so E = R·|db(B)|/|S•|.
+  double expected = (4.0 / 6.0) / space.total_weight();
+  EXPECT_NEAR(mean, expected, kTol);
+}
+
+TEST(KlmSamplerTest, ExpectationMatchesLemma) {
+  Synopsis s = FixtureSynopsis();
+  SymbolicSpace space(&s);
+  KlmSampler sampler(&space);
+  Rng rng(5);
+  double mean = EmpiricalMean([&] { return sampler.Draw(rng); }, kDraws);
+  EXPECT_NEAR(mean, (4.0 / 6.0) / space.total_weight(), kTol);
+}
+
+TEST(KlmSamplerTest, OutputsAreReciprocalsOfCounts) {
+  Synopsis s = FixtureSynopsis();
+  SymbolicSpace space(&s);
+  KlmSampler sampler(&space);
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    double v = sampler.Draw(rng);
+    EXPECT_TRUE(v == 1.0 || v == 0.5) << v;  // k ∈ {1, 2} here.
+  }
+}
+
+/// Property check across random synopses: all three samplers must satisfy
+/// E[Draw] = R(H, B) · GoodnessFactor() (Lemmas 4.3, 4.5, 4.7).
+class SamplerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplerPropertyTest, AllSamplersAreRGood) {
+  Rng gen_rng(1000 + GetParam());
+  Synopsis s = MakeRandomSynopsis(gen_rng, 5, 4, 5, 3);
+  double exact = *ExactRatioByEnumeration(s);
+  ASSERT_GT(exact, 0.0);
+
+  Rng rng(2000 + GetParam());
+  const size_t draws = 40000;
+
+  NaturalSampler natural(&s);
+  double nat_mean = EmpiricalMean([&] { return natural.Draw(rng); }, draws);
+  EXPECT_NEAR(nat_mean, exact * natural.GoodnessFactor(), 0.02)
+      << s.DebugString();
+
+  SymbolicSpace space(&s);
+  KlSampler kl(&space);
+  double kl_mean = EmpiricalMean([&] { return kl.Draw(rng); }, draws);
+  EXPECT_NEAR(kl_mean, exact * kl.GoodnessFactor(), 0.02) << s.DebugString();
+
+  KlmSampler klm(&space);
+  double klm_mean = EmpiricalMean([&] { return klm.Draw(rng); }, draws);
+  EXPECT_NEAR(klm_mean, exact * klm.GoodnessFactor(), 0.02)
+      << s.DebugString();
+
+  // KL and KLM share their expectation (Lemma 4.7).
+  EXPECT_NEAR(kl_mean, klm_mean, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSynopses, SamplerPropertyTest,
+                         ::testing::Range(0, 12));
+
+TEST(SamplerVarianceTest, KlmHasNoLargerVarianceThanKl) {
+  // §4.2: the variance of SampleKLM is generally smaller than SampleKL's.
+  Rng gen_rng(77);
+  size_t klm_wins = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Synopsis s = MakeRandomSynopsis(gen_rng, 6, 4, 6, 3);
+    SymbolicSpace space(&s);
+    KlSampler kl(&space);
+    KlmSampler klm(&space);
+    Rng rng(300 + t);
+    MeanVarAccumulator kl_acc, klm_acc;
+    for (int i = 0; i < 20000; ++i) kl_acc.Add(kl.Draw(rng));
+    for (int i = 0; i < 20000; ++i) klm_acc.Add(klm.Draw(rng));
+    if (klm_acc.variance() <= kl_acc.variance() + 1e-3) ++klm_wins;
+  }
+  EXPECT_GE(klm_wins, static_cast<size_t>(trials - 1));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,91 @@
+#include "bench/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "cqa/preprocess.h"
+
+namespace cqa {
+namespace {
+
+ScenarioGridOptions TinyOptions() {
+  ScenarioGridOptions options;
+  options.scale_factor = 0.0003;
+  options.seed = 3;
+  options.join_levels = {1, 2};
+  options.queries_per_join = 1;
+  options.noise_levels = {0.3, 1.0};
+  options.balance_targets = {0.0, 0.5};
+  options.dqg_pool_size = 16;
+  options.max_base_homomorphisms = 2000;
+  return options;
+}
+
+TEST(ScenarioTest, GridHasExpectedShape) {
+  ScenarioGrid grid = ScenarioGrid::Build(TinyOptions());
+  // 2 join levels × 1 query × 2 noise × 2 balance targets = 8 pairs.
+  EXPECT_EQ(grid.pairs().size(), 8u);
+}
+
+TEST(ScenarioTest, DatabasesAreInconsistent) {
+  ScenarioGrid grid = ScenarioGrid::Build(TinyOptions());
+  for (const ScenarioPair& pair : grid.pairs()) {
+    EXPECT_FALSE(pair.db->SatisfiesKeys());
+  }
+}
+
+TEST(ScenarioTest, BooleanTargetsAreBooleanQueries) {
+  ScenarioGrid grid = ScenarioGrid::Build(TinyOptions());
+  for (const ScenarioPair& pair : grid.pairs()) {
+    if (pair.balance_target == 0.0) {
+      EXPECT_TRUE(pair.query.IsBoolean());
+    } else {
+      EXPECT_FALSE(pair.query.IsBoolean());
+      EXPECT_GT(pair.balance_actual, 0.0);
+    }
+  }
+}
+
+TEST(ScenarioTest, DatabasesSharedWithinNoiseCell) {
+  ScenarioGrid grid = ScenarioGrid::Build(TinyOptions());
+  // Pairs with the same (joins, base, noise) share the same Database.
+  for (const ScenarioPair& a : grid.pairs()) {
+    for (const ScenarioPair& b : grid.pairs()) {
+      if (a.joins == b.joins && a.base_index == b.base_index &&
+          a.noise == b.noise) {
+        EXPECT_EQ(a.db.get(), b.db.get());
+      }
+    }
+  }
+}
+
+TEST(ScenarioTest, SelectFiltersCoordinates) {
+  ScenarioGrid grid = ScenarioGrid::Build(TinyOptions());
+  auto noise_scenario = grid.Select(1, std::nullopt, 0.0);
+  EXPECT_EQ(noise_scenario.size(), 2u);  // 2 noise levels.
+  for (const ScenarioPair* p : noise_scenario) {
+    EXPECT_EQ(p->joins, 1u);
+    EXPECT_EQ(p->balance_target, 0.0);
+  }
+  auto all = grid.Select(std::nullopt, std::nullopt, std::nullopt);
+  EXPECT_EQ(all.size(), grid.pairs().size());
+  EXPECT_TRUE(grid.Select(99, std::nullopt, std::nullopt).empty());
+}
+
+TEST(ScenarioTest, PairsPreprocessCleanly) {
+  ScenarioGrid grid = ScenarioGrid::Build(TinyOptions());
+  for (const ScenarioPair& pair : grid.pairs()) {
+    PreprocessResult pre = BuildSynopses(*pair.db, pair.query);
+    EXPECT_GT(pre.NumAnswers(), 0u);
+  }
+}
+
+TEST(ScenarioTest, QueriesHaveRequestedJoins) {
+  ScenarioGrid grid = ScenarioGrid::Build(TinyOptions());
+  for (const ScenarioPair& pair : grid.pairs()) {
+    EXPECT_GE(pair.query.NumJoins(), pair.joins);
+    EXPECT_EQ(pair.query.NumConstantOccurrences(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace cqa

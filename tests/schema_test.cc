@@ -1,0 +1,92 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace cqa {
+namespace {
+
+RelationSchema Employee() {
+  return RelationSchema("employee",
+                        {{"id", ValueType::kInt},
+                         {"name", ValueType::kString},
+                         {"dept", ValueType::kString}},
+                        {0});
+}
+
+TEST(RelationSchemaTest, BasicAccessors) {
+  RelationSchema r = Employee();
+  EXPECT_EQ(r.name(), "employee");
+  EXPECT_EQ(r.arity(), 3u);
+  EXPECT_EQ(r.attribute(1).name, "name");
+  EXPECT_EQ(r.attribute(1).type, ValueType::kString);
+}
+
+TEST(RelationSchemaTest, KeyPositions) {
+  RelationSchema r = Employee();
+  EXPECT_TRUE(r.has_key());
+  EXPECT_TRUE(r.IsKeyPosition(0));
+  EXPECT_FALSE(r.IsKeyPosition(1));
+  RelationSchema no_key("log", {{"msg", ValueType::kString}});
+  EXPECT_FALSE(no_key.has_key());
+}
+
+TEST(RelationSchemaTest, CompositeKey) {
+  RelationSchema r("lineitem",
+                   {{"okey", ValueType::kInt},
+                    {"pkey", ValueType::kInt},
+                    {"lnum", ValueType::kInt}},
+                   {0, 2});
+  EXPECT_TRUE(r.IsKeyPosition(0));
+  EXPECT_FALSE(r.IsKeyPosition(1));
+  EXPECT_TRUE(r.IsKeyPosition(2));
+}
+
+TEST(RelationSchemaTest, FindAttribute) {
+  RelationSchema r = Employee();
+  EXPECT_EQ(r.FindAttribute("dept"), std::optional<size_t>(2));
+  EXPECT_EQ(r.FindAttribute("missing"), std::nullopt);
+}
+
+TEST(RelationSchemaTest, ToStringMarksKeys) {
+  EXPECT_EQ(Employee().ToString(),
+            "employee(*id:int, name:string, dept:string)");
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  size_t e = schema.AddRelation(Employee());
+  size_t d = schema.AddRelation(
+      RelationSchema("dept", {{"name", ValueType::kString}}, {0}));
+  EXPECT_EQ(schema.NumRelations(), 2u);
+  EXPECT_EQ(schema.FindRelation("employee"), std::optional<size_t>(e));
+  EXPECT_EQ(schema.FindRelation("dept"), std::optional<size_t>(d));
+  EXPECT_EQ(schema.FindRelation("nope"), std::nullopt);
+  EXPECT_EQ(schema.RelationId("dept"), d);
+  EXPECT_EQ(schema.relation(e).name(), "employee");
+}
+
+TEST(SchemaTest, IdsAreDenseInsertionOrder) {
+  Schema schema;
+  EXPECT_EQ(schema.AddRelation(RelationSchema("a", {{"x", ValueType::kInt}})),
+            0u);
+  EXPECT_EQ(schema.AddRelation(RelationSchema("b", {{"x", ValueType::kInt}})),
+            1u);
+}
+
+TEST(SchemaDeathTest, DuplicateNameAborts) {
+  Schema schema;
+  schema.AddRelation(Employee());
+  EXPECT_DEATH(schema.AddRelation(Employee()), "employee");
+}
+
+TEST(SchemaDeathTest, KeyPositionOutOfRangeAborts) {
+  EXPECT_DEATH(RelationSchema("r", {{"x", ValueType::kInt}}, {5}), "r");
+}
+
+TEST(SchemaDeathTest, UnknownRelationIdAborts) {
+  Schema schema;
+  EXPECT_DEATH(schema.RelationId("ghost"), "ghost");
+}
+
+}  // namespace
+}  // namespace cqa

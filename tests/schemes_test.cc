@@ -1,0 +1,133 @@
+#include "cqa/schemes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cqa/exact.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::MakeRandomSynopsis;
+
+TEST(SchemeKindTest, NamesRoundTrip) {
+  for (SchemeKind kind : AllSchemeKinds()) {
+    EXPECT_EQ(ParseSchemeKind(SchemeKindName(kind)),
+              std::optional<SchemeKind>(kind));
+  }
+  EXPECT_EQ(ParseSchemeKind("NotAScheme"), std::nullopt);
+}
+
+TEST(SchemeKindTest, AllFourSchemesListed) {
+  EXPECT_EQ(AllSchemeKinds().size(), 4u);
+}
+
+TEST(SchemesTest, EmptySynopsisYieldsZero) {
+  Synopsis empty;
+  ApxParams params;
+  Rng rng(1);
+  for (SchemeKind kind : AllSchemeKinds()) {
+    auto scheme = ApxRelativeFreqScheme::Create(kind);
+    ApxResult r = scheme->Run(empty, params, rng);
+    EXPECT_DOUBLE_EQ(r.estimate, 0.0) << scheme->name();
+    EXPECT_FALSE(r.timed_out);
+  }
+}
+
+/// The central correctness property: on random admissible pairs, every
+/// scheme's estimate is within ε (with slack for the δ failure mass) of
+/// the exact ratio computed by enumeration.
+class SchemeAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, int>> {};
+
+TEST_P(SchemeAccuracyTest, WithinRelativeError) {
+  auto [kind, seed] = GetParam();
+  Rng gen(10000 + seed);
+  Synopsis s = MakeRandomSynopsis(gen, 5, 4, 5, 3);
+  double exact = *ExactRatioByEnumeration(s);
+  ASSERT_GT(exact, 0.0);
+
+  auto scheme = ApxRelativeFreqScheme::Create(kind);
+  ApxParams params;
+  params.epsilon = 0.1;
+  params.delta = 0.05;  // Tighter than the paper's 0.25 to damp flakes.
+  Rng rng(20000 + seed);
+  ApxResult r = scheme->Run(s, params, rng);
+  ASSERT_FALSE(r.timed_out);
+  EXPECT_NEAR(r.estimate, exact, 2 * params.epsilon * exact)
+      << SchemeKindName(kind) << " on " << s.DebugString();
+  EXPECT_GT(r.samples, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeAccuracyTest,
+    ::testing::Combine(::testing::ValuesIn(AllSchemeKinds()),
+                       ::testing::Range(0, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<SchemeKind, int>>& info) {
+      return std::string(SchemeKindName(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SchemesTest, SingleImageFullBlockRatio) {
+  // One image pinning the only block of size 4: R = 1/4.
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{4, 0, 0});
+  s.AddImage({{0, 2}});
+  ApxParams params;
+  Rng rng(3);
+  for (SchemeKind kind : AllSchemeKinds()) {
+    auto scheme = ApxRelativeFreqScheme::Create(kind);
+    ApxResult r = scheme->Run(s, params, rng);
+    EXPECT_NEAR(r.estimate, 0.25, 0.25 * 0.3) << scheme->name();
+  }
+}
+
+TEST(SchemesTest, CertainAnswerRatioOne) {
+  // Images covering every member of a block: R = 1 (a certain answer).
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{3, 0, 0});
+  for (uint32_t i = 0; i < 3; ++i) s.AddImage({{0, i}});
+  ApxParams params;
+  Rng rng(4);
+  for (SchemeKind kind : AllSchemeKinds()) {
+    auto scheme = ApxRelativeFreqScheme::Create(kind);
+    ApxResult r = scheme->Run(s, params, rng);
+    EXPECT_NEAR(r.estimate, 1.0, 0.25) << scheme->name();
+  }
+}
+
+TEST(SchemesTest, DeadlinePropagates) {
+  // A synopsis with many images and a zero deadline must time out for
+  // every scheme.
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{50, 0, 0});
+  s.AddBlock(Synopsis::Block{50, 0, 1});
+  for (uint32_t i = 0; i < 50; ++i) s.AddImage({{0, i}, {1, i}});
+  ApxParams params;
+  params.epsilon = 0.01;
+  Rng rng(5);
+  for (SchemeKind kind : AllSchemeKinds()) {
+    auto scheme = ApxRelativeFreqScheme::Create(kind);
+    ApxResult r = scheme->Run(s, params, rng, Deadline(0.0));
+    EXPECT_TRUE(r.timed_out) << scheme->name();
+  }
+}
+
+TEST(SchemesTest, DeterministicGivenSeed) {
+  Rng gen(6);
+  Synopsis s = MakeRandomSynopsis(gen, 4, 3, 4, 2);
+  ApxParams params;
+  for (SchemeKind kind : AllSchemeKinds()) {
+    auto scheme = ApxRelativeFreqScheme::Create(kind);
+    Rng rng_a(7), rng_b(7);
+    ApxResult a = scheme->Run(s, params, rng_a);
+    ApxResult b = scheme->Run(s, params, rng_b);
+    EXPECT_DOUBLE_EQ(a.estimate, b.estimate) << scheme->name();
+    EXPECT_EQ(a.samples, b.samples);
+  }
+}
+
+}  // namespace
+}  // namespace cqa

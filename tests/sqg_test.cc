@@ -1,0 +1,125 @@
+#include "gen/sqg.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/tpch.h"
+#include "query/evaluator.h"
+
+namespace cqa {
+namespace {
+
+struct SqgFixture {
+  SqgFixture() : dataset(GenerateTpch(TpchOptions{.scale_factor = 0.0005})) {
+    fk_graph = FkGraph::Build(dataset.foreign_keys);
+    pool = ConstantPool::FromDatabase(*dataset.db);
+  }
+  Dataset dataset;
+  FkGraph fk_graph;
+  ConstantPool pool;
+};
+
+TEST(ConstantPoolTest, HarvestsActiveDomainPerAttribute) {
+  SqgFixture fx;
+  size_t region = fx.dataset.schema->RelationId("region");
+  const std::vector<Value>* names = fx.pool.Get(region, 1);
+  ASSERT_NE(names, nullptr);
+  EXPECT_EQ(names->size(), 5u);  // Five region names.
+  EXPECT_EQ(fx.pool.Get(region, 99), nullptr);
+}
+
+TEST(ConstantPoolTest, RespectsPerAttributeCap) {
+  SqgFixture fx;
+  ConstantPool capped = ConstantPool::FromDatabase(*fx.dataset.db, 3);
+  size_t customer = fx.dataset.schema->RelationId("customer");
+  const std::vector<Value>* keys = capped.Get(customer, 0);
+  ASSERT_NE(keys, nullptr);
+  EXPECT_EQ(keys->size(), 3u);
+}
+
+class SqgJoinLevelTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SqgJoinLevelTest, ProducesRequestedShape) {
+  SqgFixture fx;
+  Rng rng(11 + GetParam());
+  SqgOptions options;
+  options.num_joins = GetParam();
+  options.num_constants = 2;
+  options.projection = 1.0;
+  size_t produced = 0;
+  for (int attempt = 0; attempt < 20 && produced < 3; ++attempt) {
+    std::optional<ConjunctiveQuery> q = GenerateStaticQuery(
+        *fx.dataset.schema, fx.fk_graph, fx.pool, options, rng);
+    if (!q.has_value()) continue;
+    ++produced;
+    q->Validate(*fx.dataset.schema);
+    EXPECT_EQ(q->NumConstantOccurrences(), 2u);
+    EXPECT_GE(q->NumJoins(), GetParam());
+    // Full projection: every variable is an answer variable.
+    EXPECT_EQ(q->answer_vars().size(), q->num_vars());
+  }
+  EXPECT_GE(produced, 1u) << "SQG failed for " << GetParam() << " joins";
+}
+
+INSTANTIATE_TEST_SUITE_P(JoinLevels, SqgJoinLevelTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SqgTest, PartialProjectionShrinksHead) {
+  SqgFixture fx;
+  Rng rng(13);
+  SqgOptions options;
+  options.num_joins = 3;
+  options.num_constants = 2;
+  options.projection = 0.3;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    std::optional<ConjunctiveQuery> q = GenerateStaticQuery(
+        *fx.dataset.schema, fx.fk_graph, fx.pool, options, rng);
+    if (!q.has_value()) continue;
+    EXPECT_LT(q->answer_vars().size(), q->num_vars());
+    return;
+  }
+  FAIL() << "no query produced";
+}
+
+TEST(SqgTest, ZeroJoinsGivesSingleAtom) {
+  SqgFixture fx;
+  Rng rng(14);
+  SqgOptions options;
+  options.num_joins = 0;
+  options.num_constants = 1;
+  std::optional<ConjunctiveQuery> q = GenerateStaticQuery(
+      *fx.dataset.schema, fx.fk_graph, fx.pool, options, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->NumAtoms(), 1u);
+  EXPECT_EQ(q->NumConstantOccurrences(), 1u);
+}
+
+TEST(SqgTest, ConstantsComeFromActiveDomain) {
+  // Constants drawn from the pool guarantee that single-atom queries are
+  // satisfiable; spot-check by evaluating.
+  SqgFixture fx;
+  Rng rng(15);
+  SqgOptions options;
+  options.num_joins = 0;
+  options.num_constants = 1;
+  CqEvaluator eval(fx.dataset.db.get());
+  for (int i = 0; i < 5; ++i) {
+    std::optional<ConjunctiveQuery> q = GenerateStaticQuery(
+        *fx.dataset.schema, fx.fk_graph, fx.pool, options, rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_TRUE(eval.HasAnswer(*q)) << q->ToString(*fx.dataset.schema);
+  }
+}
+
+TEST(SqgTest, EmptyFkGraphFailsGracefully) {
+  SqgFixture fx;
+  Rng rng(16);
+  FkGraph empty = FkGraph::Build({});
+  SqgOptions options;
+  options.num_joins = 2;
+  EXPECT_EQ(GenerateStaticQuery(*fx.dataset.schema, empty, fx.pool, options,
+                                rng),
+            std::nullopt);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,43 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace cqa {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch watch;
+  double a = watch.ElapsedSeconds();
+  double b = watch.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  double before = watch.ElapsedSeconds();
+  watch.Restart();
+  EXPECT_LE(watch.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.Expired());
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  Deadline d(0.0);
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, GenerousBudgetDoesNotExpire) {
+  Deadline d(3600.0);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_DOUBLE_EQ(d.limit_seconds(), 3600.0);
+}
+
+}  // namespace
+}  // namespace cqa

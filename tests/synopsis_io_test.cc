@@ -1,0 +1,139 @@
+#include "cqa/synopsis_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cqa/exact.h"
+#include "cqa/schemes.h"
+#include "gen/noise.h"
+#include "gen/tpch.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+class SynopsisIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cqa_syn_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".txt"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(SynopsisIoTest, RoundTripPreservesSynopses) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  std::string error;
+  ASSERT_TRUE(WriteSynopses(pre, path_, &error)) << error;
+
+  std::vector<AnswerSynopsis> loaded;
+  ASSERT_TRUE(ReadSynopses(path_, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), pre.NumAnswers());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].answer, pre.answers()[i].answer);
+    EXPECT_EQ(loaded[i].synopsis.NumImages(),
+              pre.answers()[i].synopsis.NumImages());
+    EXPECT_EQ(loaded[i].synopsis.NumBlocks(),
+              pre.answers()[i].synopsis.NumBlocks());
+    EXPECT_DOUBLE_EQ(*ExactRatioByEnumeration(loaded[i].synopsis),
+                     *ExactRatioByEnumeration(pre.answers()[i].synopsis));
+  }
+}
+
+TEST_F(SynopsisIoTest, SchemesRunOffLoadedSynopses) {
+  // The decoupled workflow: preprocess + persist, then approximate
+  // offline. Frequencies must match a direct run given the same seed.
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(
+      *fx.schema, "Q() :- employee(1, N1, D), employee(2, N2, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  std::string error;
+  ASSERT_TRUE(WriteSynopses(pre, path_, &error)) << error;
+  std::vector<AnswerSynopsis> loaded;
+  ASSERT_TRUE(ReadSynopses(path_, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  auto scheme = ApxRelativeFreqScheme::Create(SchemeKind::kKl);
+  Rng rng_a(3), rng_b(3);
+  ApxResult direct = scheme->Run(pre.answers()[0].synopsis, ApxParams{},
+                                 rng_a);
+  ApxResult offline = scheme->Run(loaded[0].synopsis, ApxParams{}, rng_b);
+  EXPECT_DOUBLE_EQ(direct.estimate, offline.estimate);
+}
+
+TEST_F(SynopsisIoTest, RoundTripOnNoisyTpch) {
+  TpchOptions options;
+  options.scale_factor = 0.0003;
+  Dataset d = GenerateTpch(options);
+  ConjunctiveQuery q = MustParseCq(
+      *d.schema,
+      "Q(NN) :- customer(CK, CN, CA, NK, CP, CB, CS, CC),"
+      " nation(NK, NN, RK, NC).");
+  Rng rng(4);
+  NoiseOptions noise;
+  noise.p = 0.5;
+  AddQueryAwareNoise(d.db.get(), q, noise, rng);
+  PreprocessResult pre = BuildSynopses(*d.db, q);
+  std::string error;
+  ASSERT_TRUE(WriteSynopses(pre, path_, &error)) << error;
+  std::vector<AnswerSynopsis> loaded;
+  ASSERT_TRUE(ReadSynopses(path_, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), pre.NumAnswers());
+  // Spot-check the weights (they determine every scheme's behaviour).
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].synopsis.SymbolicToNaturalFactor(),
+                     pre.answers()[i].synopsis.SymbolicToNaturalFactor());
+  }
+}
+
+TEST_F(SynopsisIoTest, RejectsBadHeader) {
+  {
+    std::ofstream out(path_);
+    out << "NOT_A_SYNOPSIS\n";
+  }
+  std::vector<AnswerSynopsis> loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSynopses(path_, &loaded, &error));
+  EXPECT_NE(error.find("bad header"), std::string::npos);
+}
+
+TEST_F(SynopsisIoTest, RejectsRecordsBeforeAnswer) {
+  {
+    std::ofstream out(path_);
+    out << "CQA_SYNOPSES 1\nB|2,0,0|\n";
+  }
+  std::vector<AnswerSynopsis> loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSynopses(path_, &loaded, &error));
+  EXPECT_NE(error.find("B before A"), std::string::npos);
+}
+
+TEST_F(SynopsisIoTest, RejectsMalformedImageFacts) {
+  {
+    std::ofstream out(path_);
+    out << "CQA_SYNOPSES 1\nA|i:1|\nB|2,0,0|\nI|nonsense|\n";
+  }
+  std::vector<AnswerSynopsis> loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSynopses(path_, &loaded, &error));
+}
+
+TEST_F(SynopsisIoTest, MissingFileFails) {
+  std::vector<AnswerSynopsis> loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSynopses("/nonexistent/syn.txt", &loaded, &error));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,117 @@
+#include "cqa/synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+Synopsis TwoBlockSynopsis() {
+  // Blocks of sizes 2 and 3; images {0:0}, {0:1, 1:2}.
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{2, 0, 0});
+  s.AddBlock(Synopsis::Block{3, 0, 1});
+  s.AddImage({{0, 0}});
+  s.AddImage({{0, 1}, {1, 2}});
+  return s;
+}
+
+TEST(SynopsisTest, BlockAndImageCounts) {
+  Synopsis s = TwoBlockSynopsis();
+  EXPECT_EQ(s.NumBlocks(), 2u);
+  EXPECT_EQ(s.NumImages(), 2u);
+  EXPECT_FALSE(s.Empty());
+  EXPECT_TRUE(Synopsis().Empty());
+}
+
+TEST(SynopsisTest, LogDbSize) {
+  Synopsis s = TwoBlockSynopsis();
+  EXPECT_NEAR(s.LogDbSize(), std::log10(6.0), 1e-12);
+}
+
+TEST(SynopsisTest, ImageWeights) {
+  Synopsis s = TwoBlockSynopsis();
+  std::vector<double> w = s.ImageWeights();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_NEAR(w[0], 0.5, 1e-12);          // 1/|B0|.
+  EXPECT_NEAR(w[1], 1.0 / 6.0, 1e-12);    // 1/(|B0|·|B1|).
+  EXPECT_NEAR(s.SymbolicToNaturalFactor(), 0.5 + 1.0 / 6.0, 1e-12);
+}
+
+TEST(SynopsisTest, ImageContainment) {
+  Synopsis s = TwoBlockSynopsis();
+  // Choice (0, 2): contains image 0 (block0=0) but not image 1.
+  EXPECT_TRUE(s.ImageContainedIn(0, {0, 2}));
+  EXPECT_FALSE(s.ImageContainedIn(1, {0, 2}));
+  EXPECT_TRUE(s.AnyImageContainedIn({0, 2}));
+  // Choice (1, 2): image 1 only.
+  EXPECT_FALSE(s.ImageContainedIn(0, {1, 2}));
+  EXPECT_TRUE(s.ImageContainedIn(1, {1, 2}));
+  // Choice (1, 0): neither.
+  EXPECT_FALSE(s.AnyImageContainedIn({1, 0}));
+}
+
+TEST(SynopsisTest, ImagesAreASet) {
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{2, 0, 0});
+  EXPECT_TRUE(s.AddImage({{0, 0}}));
+  EXPECT_FALSE(s.AddImage({{0, 0}}));  // Duplicate.
+  EXPECT_EQ(s.NumImages(), 1u);
+}
+
+TEST(SynopsisTest, ImageFactsAreSortedAndDeduped) {
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{2, 0, 0});
+  s.AddBlock(Synopsis::Block{2, 0, 1});
+  s.AddImage({{1, 0}, {0, 1}, {1, 0}});
+  const Synopsis::Image& image = s.images()[0];
+  ASSERT_EQ(image.facts.size(), 2u);
+  EXPECT_EQ(image.facts[0].block, 0u);
+  EXPECT_EQ(image.facts[1].block, 1u);
+}
+
+TEST(SynopsisDeathTest, RejectsInconsistentImage) {
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{3, 0, 0});
+  EXPECT_DEATH(s.AddImage({{0, 0}, {0, 1}}), "inconsistent image");
+}
+
+TEST(SynopsisDeathTest, RejectsOutOfRangeTid) {
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{2, 0, 0});
+  EXPECT_DEATH(s.AddImage({{0, 5}}), "tid");
+}
+
+TEST(SynopsisDeathTest, RejectsEmptyImage) {
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{2, 0, 0});
+  EXPECT_DEATH(s.AddImage({}), "at least one fact");
+}
+
+TEST(SynopsisTest, RandomSynopsesAreWellFormed) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    Synopsis s = testing::MakeRandomSynopsis(rng, 6, 4, 5, 3);
+    EXPECT_GE(s.NumImages(), 1u);
+    double total = 0.0;
+    for (double w : s.ImageWeights()) {
+      EXPECT_GT(w, 0.0);
+      EXPECT_LE(w, 1.0);
+      total += w;
+    }
+    EXPECT_NEAR(s.SymbolicToNaturalFactor(), total, 1e-12);
+  }
+}
+
+TEST(SynopsisTest, DebugStringMentionsStructure) {
+  Synopsis s = TwoBlockSynopsis();
+  std::string d = s.DebugString();
+  EXPECT_NE(d.find("blocks=[2, 3]"), std::string::npos);
+  EXPECT_NE(d.find("0:1 1:2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,151 @@
+#include "storage/tbl_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/tpch.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+class TblIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cqa_tbl_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& file) const {
+    return (dir_ / file).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TblIoTest, WriteProducesDbgenFormat) {
+  EmployeeFixture fx;
+  std::string error;
+  ASSERT_TRUE(
+      WriteTblFile(fx.db->relation("employee"), Path("e.tbl"), &error))
+      << error;
+  std::ifstream in(Path("e.tbl"));
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1|Bob|HR|");
+}
+
+TEST_F(TblIoTest, RoundTripPreservesFacts) {
+  EmployeeFixture fx;
+  std::string error;
+  ASSERT_TRUE(WriteTblDirectory(*fx.db, dir_.string(), &error)) << error;
+  Database loaded(fx.schema.get());
+  ASSERT_TRUE(ReadTblDirectory(&loaded, dir_.string(), &error)) << error;
+  ASSERT_EQ(loaded.NumFacts(), fx.db->NumFacts());
+  for (size_t row = 0; row < fx.db->relation(0).size(); ++row) {
+    EXPECT_EQ(loaded.relation(0).row(row), fx.db->relation(0).row(row));
+  }
+}
+
+TEST_F(TblIoTest, DoublesRoundTripExactly) {
+  Schema schema;
+  schema.AddRelation(RelationSchema(
+      "m", {{"k", ValueType::kInt}, {"v", ValueType::kDouble}}, {0}));
+  Database db(&schema);
+  db.Insert("m", {Value(1), Value(0.1)});
+  db.Insert("m", {Value(2), Value(1.0 / 3.0)});
+  db.Insert("m", {Value(3), Value(-2.5e-17)});
+  std::string error;
+  ASSERT_TRUE(WriteTblDirectory(db, dir_.string(), &error)) << error;
+  Database loaded(&schema);
+  ASSERT_TRUE(ReadTblDirectory(&loaded, dir_.string(), &error)) << error;
+  for (size_t row = 0; row < 3; ++row) {
+    EXPECT_EQ(loaded.relation(0).row(row), db.relation(0).row(row));
+  }
+}
+
+TEST_F(TblIoTest, TpchRoundTrip) {
+  TpchOptions options;
+  options.scale_factor = 0.0002;
+  Dataset d = GenerateTpch(options);
+  std::string error;
+  ASSERT_TRUE(WriteTblDirectory(*d.db, dir_.string(), &error)) << error;
+  Database loaded(d.schema.get());
+  ASSERT_TRUE(ReadTblDirectory(&loaded, dir_.string(), &error)) << error;
+  EXPECT_EQ(loaded.NumFacts(), d.db->NumFacts());
+  EXPECT_TRUE(loaded.SatisfiesKeys());
+  EXPECT_EQ(loaded.relation("lineitem").rows(),
+            d.db->relation("lineitem").rows());
+}
+
+TEST_F(TblIoTest, RejectsStringsWithSeparator) {
+  Schema schema;
+  schema.AddRelation(RelationSchema("s", {{"v", ValueType::kString}}));
+  Database db(&schema);
+  db.Insert("s", {Value("bad|value")});
+  std::string error;
+  EXPECT_FALSE(WriteTblFile(db.relation(0), Path("s.tbl"), &error));
+  EXPECT_NE(error.find("contains"), std::string::npos);
+}
+
+TEST_F(TblIoTest, ReadRejectsMalformedLines) {
+  EmployeeFixture fx;
+  std::string error;
+  {
+    std::ofstream out(Path("bad.tbl"));
+    out << "1|Bob|HR|extra|\n";
+  }
+  Database db(fx.schema.get());
+  EXPECT_FALSE(ReadTblFile(&db, "employee", Path("bad.tbl"), &error));
+  EXPECT_NE(error.find("too many fields"), std::string::npos);
+
+  {
+    std::ofstream out(Path("bad2.tbl"));
+    out << "1|Bob\n";
+  }
+  EXPECT_FALSE(ReadTblFile(&db, "employee", Path("bad2.tbl"), &error));
+
+  {
+    std::ofstream out(Path("bad3.tbl"));
+    out << "notanint|Bob|HR|\n";
+  }
+  EXPECT_FALSE(ReadTblFile(&db, "employee", Path("bad3.tbl"), &error));
+  EXPECT_NE(error.find("bad int"), std::string::npos);
+}
+
+TEST_F(TblIoTest, ReadUnknownRelationFails) {
+  EmployeeFixture fx;
+  Database db(fx.schema.get());
+  std::string error;
+  EXPECT_FALSE(ReadTblFile(&db, "ghost", Path("x.tbl"), &error));
+  EXPECT_NE(error.find("unknown relation"), std::string::npos);
+}
+
+TEST_F(TblIoTest, MissingFileFails) {
+  EmployeeFixture fx;
+  Database db(fx.schema.get());
+  std::string error;
+  EXPECT_FALSE(ReadTblFile(&db, "employee", Path("absent.tbl"), &error));
+}
+
+TEST_F(TblIoTest, EmptyRelationWritesEmptyFile) {
+  EmployeeFixture fx;
+  Database db(fx.schema.get());
+  std::string error;
+  ASSERT_TRUE(WriteTblDirectory(db, dir_.string(), &error)) << error;
+  Database loaded(fx.schema.get());
+  ASSERT_TRUE(ReadTblDirectory(&loaded, dir_.string(), &error)) << error;
+  EXPECT_EQ(loaded.NumFacts(), 0u);
+}
+
+}  // namespace
+}  // namespace cqa

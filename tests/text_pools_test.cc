@@ -1,0 +1,91 @@
+#include "gen/text_pools.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cqa {
+namespace {
+
+TEST(TextPoolsTest, FixedPoolSizes) {
+  EXPECT_EQ(text_pools::Regions().size(), 5u);
+  EXPECT_EQ(text_pools::Nations().size(), 25u);
+  EXPECT_EQ(text_pools::MarketSegments().size(), 5u);
+  EXPECT_EQ(text_pools::OrderPriorities().size(), 5u);
+  EXPECT_EQ(text_pools::ShipModes().size(), 7u);
+  EXPECT_EQ(text_pools::ShipInstructions().size(), 4u);
+}
+
+TEST(TextPoolsTest, NationRegionsAreValidIndexes) {
+  for (size_t n = 0; n < 25; ++n) {
+    EXPECT_LT(text_pools::NationRegion(n), 5u);
+  }
+}
+
+TEST(TextPoolsTest, PaddedFormatsLikeDbgen) {
+  EXPECT_EQ(text_pools::Padded("Supplier#", 17, 9), "Supplier#000000017");
+  EXPECT_EQ(text_pools::Padded("Clerk#", 1000, 4), "Clerk#1000");
+  EXPECT_EQ(text_pools::Padded("X", 12345, 3), "X12345");
+}
+
+TEST(TextPoolsTest, RandomBrandShape) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    std::string b = text_pools::RandomBrand(rng);
+    ASSERT_EQ(b.size(), 8u) << b;
+    EXPECT_EQ(b.substr(0, 6), "Brand#");
+    EXPECT_TRUE(b[6] >= '1' && b[6] <= '5');
+    EXPECT_TRUE(b[7] >= '1' && b[7] <= '5');
+  }
+}
+
+TEST(TextPoolsTest, PartTypeHasThreeSyllables) {
+  Rng rng(2);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    std::string t = text_pools::RandomPartType(rng);
+    EXPECT_EQ(std::count(t.begin(), t.end(), ' '), 2) << t;
+    seen.insert(t);
+  }
+  EXPECT_GT(seen.size(), 20u);  // 150 combinations exist.
+}
+
+TEST(TextPoolsTest, PhoneShape) {
+  Rng rng(3);
+  std::string p = text_pools::RandomPhone(rng, 7);
+  // "17-DDD-DDD-DDDD".
+  EXPECT_EQ(p.substr(0, 3), "17-");
+  EXPECT_EQ(std::count(p.begin(), p.end(), '-'), 3) << p;
+}
+
+TEST(DatesTest, HorizonBoundaries) {
+  EXPECT_EQ(dates::DayOffsetToYmd(0), 19920101);
+  EXPECT_EQ(dates::DayOffsetToYmd(dates::kTpchNumDays - 1), 19981231);
+}
+
+TEST(DatesTest, MonotoneAndValid) {
+  int64_t prev = 0;
+  for (int64_t d = 0; d < dates::kTpchNumDays; ++d) {
+    int64_t ymd = dates::DayOffsetToYmd(d);
+    EXPECT_GT(ymd, prev);
+    int64_t month = (ymd / 100) % 100;
+    int64_t day = ymd % 100;
+    EXPECT_GE(month, 1);
+    EXPECT_LE(month, 12);
+    EXPECT_GE(day, 1);
+    EXPECT_LE(day, 31);
+    prev = ymd;
+  }
+}
+
+TEST(DatesTest, RandomDatesStayInHorizon) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    int64_t ymd = dates::RandomTpchDate(rng);
+    EXPECT_GE(ymd, 19920101);
+    EXPECT_LE(ymd, 19981231);
+  }
+}
+
+}  // namespace
+}  // namespace cqa

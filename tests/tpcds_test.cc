@@ -1,0 +1,99 @@
+#include "gen/tpcds.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "query/evaluator.h"
+#include "query/parser.h"
+
+namespace cqa {
+namespace {
+
+Dataset SmallTpcds(uint64_t seed = 1) {
+  TpcdsOptions options;
+  options.scale_factor = 0.001;
+  options.seed = seed;
+  return GenerateTpcds(options);
+}
+
+TEST(TpcdsTest, SchemaHasSnowflakeCore) {
+  Schema schema = MakeTpcdsSchema();
+  EXPECT_EQ(schema.NumRelations(), 11u);
+  for (const char* name :
+       {"date_dim", "item", "customer", "customer_address", "store",
+        "warehouse", "promotion", "store_sales", "catalog_sales",
+        "web_sales", "inventory"}) {
+    EXPECT_TRUE(schema.FindRelation(name).has_value()) << name;
+  }
+}
+
+TEST(TpcdsTest, CompositeKeysMatchSpec) {
+  Schema schema = MakeTpcdsSchema();
+  EXPECT_EQ(schema.relation(schema.RelationId("store_sales")).key_positions(),
+            (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(schema.relation(schema.RelationId("inventory")).key_positions(),
+            (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(TpcdsTest, GeneratedInstanceIsConsistent) {
+  Dataset d = SmallTpcds();
+  EXPECT_TRUE(d.db->SatisfiesKeys());
+}
+
+TEST(TpcdsTest, ForeignKeysAreValid) {
+  Dataset d = SmallTpcds();
+  const Database& db = *d.db;
+  for (const ForeignKey& fk : d.foreign_keys) {
+    std::unordered_set<Value, ValueHash> targets;
+    const Relation& target = db.relation(fk.target_rel);
+    for (size_t row = 0; row < target.size(); ++row) {
+      targets.insert(target.row(row)[fk.target_attr]);
+    }
+    const Relation& src = db.relation(fk.rel);
+    for (size_t row = 0; row < src.size(); ++row) {
+      ASSERT_TRUE(targets.count(src.row(row)[fk.attr]) > 0)
+          << src.schema().name() << " attr " << fk.attr;
+    }
+  }
+}
+
+TEST(TpcdsTest, DateDimCoversFiveYears) {
+  Dataset d = SmallTpcds();
+  const Relation& dates = d.db->relation("date_dim");
+  EXPECT_EQ(dates.size(), 5u * 365u);
+  EXPECT_EQ(dates.row(0)[2].AsInt(), 1998);
+  EXPECT_EQ(dates.row(dates.size() - 1)[2].AsInt(), 2002);
+}
+
+TEST(TpcdsTest, SnowflakeJoinIsNonEmpty) {
+  Dataset d = SmallTpcds();
+  CqEvaluator eval(d.db.get());
+  ConjunctiveQuery q = MustParseCq(
+      *d.schema,
+      "Q(Y) :- store_sales(D, I, TN, C, S, P, QT, PR),"
+      " date_dim(D, DT, Y, MO, DM), item(I, IID, BR, CA, MID, IP).");
+  EXPECT_TRUE(eval.HasAnswer(q));
+}
+
+TEST(TpcdsTest, DeterministicForSeed) {
+  Dataset a = SmallTpcds(3);
+  Dataset b = SmallTpcds(3);
+  EXPECT_EQ(a.db->NumFacts(), b.db->NumFacts());
+  EXPECT_EQ(a.db->relation("store_sales").row(5),
+            b.db->relation("store_sales").row(5));
+}
+
+TEST(TpcdsTest, ScalesWithScaleFactor) {
+  TpcdsOptions small;
+  small.scale_factor = 0.0005;
+  TpcdsOptions bigger;
+  bigger.scale_factor = 0.002;
+  Dataset a = GenerateTpcds(small);
+  Dataset b = GenerateTpcds(bigger);
+  EXPECT_LT(a.db->relation("store_sales").size(),
+            b.db->relation("store_sales").size());
+}
+
+}  // namespace
+}  // namespace cqa

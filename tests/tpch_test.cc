@@ -1,0 +1,130 @@
+#include "gen/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gen/text_pools.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+
+namespace cqa {
+namespace {
+
+Dataset SmallTpch(uint64_t seed = 1) {
+  TpchOptions options;
+  options.scale_factor = 0.0005;  // ~5 suppliers, 75 customers.
+  options.seed = seed;
+  return GenerateTpch(options);
+}
+
+TEST(TpchTest, SchemaHasEightRelationsWithOfficialKeys) {
+  Schema schema = MakeTpchSchema();
+  EXPECT_EQ(schema.NumRelations(), 8u);
+  EXPECT_EQ(schema.relation(schema.RelationId("region")).key_positions(),
+            (std::vector<size_t>{0}));
+  EXPECT_EQ(schema.relation(schema.RelationId("partsupp")).key_positions(),
+            (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(schema.relation(schema.RelationId("lineitem")).key_positions(),
+            (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(schema.relation(schema.RelationId("lineitem")).arity(), 16u);
+}
+
+TEST(TpchTest, GeneratedInstanceIsConsistent) {
+  Dataset d = SmallTpch();
+  EXPECT_TRUE(d.db->SatisfiesKeys());
+}
+
+TEST(TpchTest, CardinalitiesFollowScaleFactor) {
+  Dataset d = SmallTpch();
+  EXPECT_EQ(d.db->relation("region").size(), 5u);
+  EXPECT_EQ(d.db->relation("nation").size(), 25u);
+  EXPECT_EQ(d.db->relation("supplier").size(), 5u);
+  EXPECT_EQ(d.db->relation("customer").size(), 75u);
+  EXPECT_EQ(d.db->relation("part").size(), 100u);
+  EXPECT_EQ(d.db->relation("partsupp").size(), 400u);
+  EXPECT_EQ(d.db->relation("orders").size(), 750u);
+  // 1..7 lineitems per order.
+  size_t lines = d.db->relation("lineitem").size();
+  EXPECT_GE(lines, 750u);
+  EXPECT_LE(lines, 7u * 750u);
+}
+
+TEST(TpchTest, ForeignKeysAreValid) {
+  Dataset d = SmallTpch();
+  const Database& db = *d.db;
+  for (const ForeignKey& fk : d.foreign_keys) {
+    std::unordered_set<Value, ValueHash> targets;
+    const Relation& target = db.relation(fk.target_rel);
+    for (size_t row = 0; row < target.size(); ++row) {
+      targets.insert(target.row(row)[fk.target_attr]);
+    }
+    const Relation& src = db.relation(fk.rel);
+    for (size_t row = 0; row < src.size(); ++row) {
+      ASSERT_TRUE(targets.count(src.row(row)[fk.attr]) > 0)
+          << src.schema().name() << " attr " << fk.attr << " row " << row;
+    }
+  }
+}
+
+TEST(TpchTest, DatesAreInHorizon) {
+  Dataset d = SmallTpch();
+  const Relation& orders = d.db->relation("orders");
+  for (size_t row = 0; row < orders.size(); ++row) {
+    int64_t date = orders.row(row)[4].AsInt();
+    EXPECT_GE(date, 19920101);
+    EXPECT_LE(date, 19981231);
+  }
+  const Relation& lineitem = d.db->relation("lineitem");
+  for (size_t row = 0; row < lineitem.size(); ++row) {
+    // receiptdate (12) is after shipdate (10).
+    EXPECT_GT(lineitem.row(row)[12].AsInt(), 0);
+    EXPECT_GE(lineitem.row(row)[12].AsInt(), lineitem.row(row)[10].AsInt());
+  }
+}
+
+TEST(TpchTest, DeterministicForSeed) {
+  Dataset a = SmallTpch(5);
+  Dataset b = SmallTpch(5);
+  EXPECT_EQ(a.db->NumFacts(), b.db->NumFacts());
+  EXPECT_EQ(a.db->relation("customer").row(10),
+            b.db->relation("customer").row(10));
+  Dataset c = SmallTpch(6);
+  EXPECT_NE(a.db->relation("customer").row(10)[7],  // Random comment.
+            c.db->relation("customer").row(10)[7]);
+}
+
+TEST(TpchTest, JoinsEvaluateNonEmpty) {
+  Dataset d = SmallTpch();
+  CqEvaluator eval(d.db.get());
+  ConjunctiveQuery q = MustParseCq(
+      *d.schema,
+      "Q(NN) :- customer(CK, CN, CA, NK, CP, CB, CS, CC),"
+      " nation(NK, NN, RK, NC).");
+  EXPECT_TRUE(eval.HasAnswer(q));
+  ConjunctiveQuery deep = MustParseCq(
+      *d.schema,
+      "Q() :- lineitem(OK, PK, SK, LN, QT, EP, DI, TX, RF, LS, SD, CD, RD,"
+      " SI, SM, CM), orders(OK, CK, OS, TP, OD, OP, CL, SP, OC),"
+      " customer(CK, CN, CA, NK, CP, CB, CS, CC).");
+  EXPECT_TRUE(eval.HasAnswer(deep));
+}
+
+TEST(TpchTest, PartsuppHasFourSuppliersPerPart) {
+  Dataset d = SmallTpch();
+  EXPECT_EQ(d.db->relation("partsupp").size(),
+            d.db->relation("part").size() * 4);
+}
+
+TEST(TpchDatesTest, DayOffsetConversion) {
+  EXPECT_EQ(dates::DayOffsetToYmd(0), 19920101);
+  EXPECT_EQ(dates::DayOffsetToYmd(30), 19920131);
+  EXPECT_EQ(dates::DayOffsetToYmd(31), 19920201);
+  EXPECT_EQ(dates::DayOffsetToYmd(59), 19920229);  // 1992 is a leap year.
+  EXPECT_EQ(dates::DayOffsetToYmd(60), 19920301);
+  EXPECT_EQ(dates::DayOffsetToYmd(366), 19930101);
+  EXPECT_EQ(dates::DayOffsetToYmd(dates::kTpchNumDays - 1), 19981231);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,85 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace cqa {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value(7).type(), ValueType::kInt);
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(1.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("x").type(), ValueType::kString);
+  EXPECT_EQ(Value(std::string("x")).type(), ValueType::kString);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.25).AsDouble(), 2.25);
+  EXPECT_EQ(Value("hello").AsString(), "hello");
+}
+
+TEST(ValueTest, EqualityIsTypeSensitive) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value(1.0));  // int 1 != double 1.0.
+  EXPECT_EQ(Value("a"), Value(std::string("a")));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, OrderingIsTotalWithinAndAcrossTypes) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.0), Value(2.0));
+  EXPECT_LT(Value("a"), Value("b"));
+  // Cross-type order follows the type tag: int < double < string.
+  EXPECT_LT(Value(99), Value(0.5));
+  EXPECT_LT(Value(99.0), Value("a"));
+  std::set<Value> s{Value("z"), Value(1), Value(0.5), Value(2)};
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(ValueTest, HashingMatchesEquality) {
+  EXPECT_EQ(Value(7).Hash(), Value(7).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  std::unordered_set<Value, ValueHash> s;
+  s.insert(Value(1));
+  s.insert(Value(1));
+  s.insert(Value(1.0));
+  s.insert(Value("1"));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ValueTest, ToStringQuotesStrings) {
+  EXPECT_EQ(Value(12).ToString(), "12");
+  EXPECT_EQ(Value("HR").ToString(), "'HR'");
+  std::ostringstream os;
+  os << Value(3);
+  EXPECT_EQ(os.str(), "3");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "int");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+TEST(ValueTest, CopyAndMoveSemantics) {
+  Value a("payload");
+  Value b = a;
+  EXPECT_EQ(a, b);
+  Value c = std::move(a);
+  EXPECT_EQ(c, b);
+}
+
+}  // namespace
+}  // namespace cqa

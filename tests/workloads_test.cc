@@ -1,0 +1,72 @@
+#include "gen/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/tpcds.h"
+#include "gen/tpch.h"
+#include "query/evaluator.h"
+
+namespace cqa {
+namespace {
+
+TEST(WorkloadsTest, TpchWorkloadHasNinePositiveTemplates) {
+  Schema schema = MakeTpchSchema();
+  std::vector<NamedQuery> queries = TpchValidationQueries(schema);
+  std::set<std::string> names;
+  for (const NamedQuery& q : queries) names.insert(q.name);
+  EXPECT_EQ(names, (std::set<std::string>{"Q1_H", "Q4_H", "Q5_H", "Q6_H",
+                                          "Q8_H", "Q10_H", "Q12_H", "Q14_H",
+                                          "Q19_H"}));
+  for (const NamedQuery& q : queries) q.query.Validate(schema);
+}
+
+TEST(WorkloadsTest, TpcdsWorkloadHasEightTemplates) {
+  Schema schema = MakeTpcdsSchema();
+  std::vector<NamedQuery> queries = TpcdsValidationQueries(schema);
+  EXPECT_EQ(queries.size(), 8u);
+  for (const NamedQuery& q : queries) q.query.Validate(schema);
+}
+
+TEST(WorkloadsTest, BooleanAndProjectionShapes) {
+  Schema schema = MakeTpchSchema();
+  for (const NamedQuery& q : TpchValidationQueries(schema)) {
+    if (q.name == "Q6_H" || q.name == "Q19_H") {
+      EXPECT_TRUE(q.query.IsBoolean()) << q.name;
+    } else {
+      EXPECT_FALSE(q.query.IsBoolean()) << q.name;
+    }
+  }
+}
+
+TEST(WorkloadsTest, TpchQueriesNonEmptyOnGeneratedData) {
+  TpchOptions options;
+  options.scale_factor = 0.002;
+  Dataset d = GenerateTpch(options);
+  CqEvaluator eval(d.db.get());
+  for (const NamedQuery& q : TpchValidationQueries(*d.schema)) {
+    EXPECT_TRUE(eval.HasAnswer(q.query)) << q.name;
+  }
+}
+
+TEST(WorkloadsTest, TpcdsQueriesNonEmptyOnGeneratedData) {
+  TpcdsOptions options;
+  options.scale_factor = 0.002;
+  Dataset d = GenerateTpcds(options);
+  CqEvaluator eval(d.db.get());
+  for (const NamedQuery& q : TpcdsValidationQueries(*d.schema)) {
+    EXPECT_TRUE(eval.HasAnswer(q.query)) << q.name;
+  }
+}
+
+TEST(WorkloadsTest, JoinCountsAreNontrivial) {
+  Schema schema = MakeTpchSchema();
+  for (const NamedQuery& q : TpchValidationQueries(schema)) {
+    if (q.name == "Q1_H" || q.name == "Q6_H") continue;  // Single scans.
+    EXPECT_GE(q.query.NumJoins(), 1u) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace cqa
