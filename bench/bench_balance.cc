@@ -32,23 +32,27 @@ int Run(const BenchFlags& flags) {
 
   ApxParams params;
   Rng rng(flags.seed ^ 0xB5297A4D);
+  obs::RunReporter reporter_storage;
+  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
 
   size_t cover_improvement_cells = 0, cover_cells = 0;
   size_t natural_worst_points = 0, total_points = 0;
 
   for (double noise : options.noise_levels) {
     for (size_t joins : options.join_levels) {
+      char title[128];
+      std::snprintf(title, sizeof(title), "Balance[%.1f, %zu]", noise, joins);
       SeriesTable table("balance");
       for (const ScenarioPair* pair :
            grid.Select(joins, noise, std::nullopt)) {
         PreprocessResult pre = BuildSynopses(*pair->db, pair->query);
+        obs::RunContext context{title, "balance", pair->balance_target};
         for (const SchemeTiming& timing :
-             RunAllSchemes(pre, params, flags.timeout_seconds, rng)) {
+             RunAllSchemes(pre, params, flags.timeout_seconds, rng, reporter,
+                           context)) {
           table.Add(pair->balance_target, timing.scheme, timing);
         }
       }
-      char title[128];
-      std::snprintf(title, sizeof(title), "Balance[%.1f, %zu]", noise, joins);
       table.Print(title);
 
       // Cover trend across balance within this cell.
@@ -81,6 +85,7 @@ int Run(const BenchFlags& flags) {
   std::printf("points where Natural is the single worst performer:        "
               "%zu/%zu\n",
               natural_worst_points, total_points);
+  flags.MaybeExportTrace();
   return 0;
 }
 

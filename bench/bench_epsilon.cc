@@ -45,13 +45,19 @@ int Run(const BenchFlags& flags) {
   std::string reference_ranking;
   bool ordering_invariant = true;
   Rng rng(flags.seed ^ 0x85EBCA6B);
+  obs::RunReporter reporter_storage;
+  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
   for (double epsilon : {0.05, 0.1, 0.2, 0.3}) {
     for (double delta : {0.1, 0.25, 0.5}) {
       ApxParams params;
       params.epsilon = epsilon;
       params.delta = delta;
+      char title[64];
+      std::snprintf(title, sizeof(title), "EpsilonDelta[%.2f, %.2f]", epsilon,
+                    delta);
       std::vector<SchemeTiming> timings =
-          RunAllSchemes(pre, params, flags.timeout_seconds * 10, rng);
+          RunAllSchemes(pre, params, flags.timeout_seconds * 10, rng, reporter,
+                        obs::RunContext{title, "epsilon", epsilon});
       std::vector<size_t> order{0, 1, 2, 3};
       std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         return timings[a].seconds < timings[b].seconds;
@@ -87,6 +93,7 @@ int Run(const BenchFlags& flags) {
       "the parameters are problem-agnostic and do not differentiate the "
       "schemes)\n",
       ordering_invariant ? "yes" : "no");
+  flags.MaybeExportTrace();
   return 0;
 }
 

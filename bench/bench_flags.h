@@ -7,11 +7,17 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
+#include "obs/trace.h"
+
 namespace cqa {
 
 /// Common command-line knobs of the harness binaries. Defaults are sized
 /// so each binary finishes in a couple of minutes on one core; the paper's
 /// full grids (SF 1.0, 1-hour timeout) are reachable by flag.
+///
+/// Unknown flags are a hard error: a typo like --obs_reprot= must fail
+/// loudly instead of silently producing no report.
 struct BenchFlags {
   double scale_factor = 0.0008;
   double timeout_seconds = 1.0;
@@ -20,6 +26,10 @@ struct BenchFlags {
   /// Switches the binary from its quick default grid to a denser,
   /// paper-like grid (10 noise levels, more queries per level).
   bool full = false;
+  /// JSONL run report path (one record per scheme run); empty = off.
+  std::string obs_report;
+  /// JSONL trace-span export path; empty = off.
+  std::string obs_trace;
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -33,20 +43,70 @@ struct BenchFlags {
         flags.seed = std::strtoull(arg + 7, nullptr, 10);
       } else if (std::strncmp(arg, "--queries=", 10) == 0) {
         flags.queries_per_level = std::strtoull(arg + 10, nullptr, 10);
+      } else if (std::strncmp(arg, "--obs_report=", 13) == 0) {
+        flags.obs_report = arg + 13;
+        if (flags.obs_report.empty()) {
+          std::fprintf(stderr, "--obs_report needs a path\n");
+          std::exit(1);
+        }
+      } else if (std::strncmp(arg, "--obs_trace=", 12) == 0) {
+        flags.obs_trace = arg + 12;
+        if (flags.obs_trace.empty()) {
+          std::fprintf(stderr, "--obs_trace needs a path\n");
+          std::exit(1);
+        }
       } else if (std::strcmp(arg, "--full") == 0) {
         flags.full = true;
         flags.queries_per_level = 5;
       } else if (std::strcmp(arg, "--help") == 0) {
         std::printf(
             "flags: --sf=<scale factor> --timeout=<s per scheme run> "
-            "--seed=<n> --queries=<per level> --full\n");
+            "--seed=<n> --queries=<per level> --full "
+            "--obs_report=<jsonl path> --obs_trace=<jsonl path>\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag %s (see --help)\n", arg);
         std::exit(1);
       }
     }
+    // Fail on an unwritable trace path now, not after the whole grid has
+    // run (the export happens last; a typo'd directory would otherwise
+    // cost the entire run its trace).
+    if (!flags.obs_trace.empty()) {
+      std::FILE* probe = std::fopen(flags.obs_trace.c_str(), "w");
+      if (probe == nullptr) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n",
+                     flags.obs_trace.c_str());
+        std::exit(1);
+      }
+      std::fclose(probe);
+    }
     return flags;
+  }
+
+  /// Opens the JSONL run reporter when --obs_report was given; exits on
+  /// I/O error (a benchmark run whose report silently vanishes is worse
+  /// than no run). Returns the reporter to pass to RunAllSchemes, or
+  /// nullptr when reporting is off.
+  obs::RunReporter* MaybeOpenReport(obs::RunReporter* reporter) const {
+    if (obs_report.empty()) return nullptr;
+    std::string error;
+    if (!reporter->Open(obs_report, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      std::exit(1);
+    }
+    return reporter;
+  }
+
+  /// Exports the buffered trace spans when --obs_trace was given. Call
+  /// once, after the grid finishes.
+  void MaybeExportTrace() const {
+    if (obs_trace.empty()) return;
+    std::string error;
+    if (!obs::TraceBuffer::Instance().ExportJsonl(obs_trace, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      std::exit(1);
+    }
   }
 
   /// Noise/balance axis for the binary: the quick default or the paper's

@@ -34,16 +34,24 @@ int Run(const BenchFlags& flags) {
 
   ApxParams params;
   Rng rng(flags.seed ^ 0x68E31DA4);
+  obs::RunReporter reporter_storage;
+  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
 
   for (double noise : options.noise_levels) {
     for (double balance : options.balance_targets) {
+      char title[128];
+      std::snprintf(title, sizeof(title), "Joins[%.1f, %.1f]", noise,
+                    balance);
       // mean seconds per (joins, scheme), then normalized per join level.
       std::map<size_t, std::map<SchemeKind, MeanVarAccumulator>> cells;
       for (const ScenarioPair* pair :
            grid.Select(std::nullopt, noise, balance)) {
         PreprocessResult pre = BuildSynopses(*pair->db, pair->query);
+        obs::RunContext context{title, "joins",
+                                static_cast<double>(pair->joins)};
         for (const SchemeTiming& timing :
-             RunAllSchemes(pre, params, flags.timeout_seconds, rng)) {
+             RunAllSchemes(pre, params, flags.timeout_seconds, rng, reporter,
+                           context)) {
           cells[pair->joins][timing.scheme].Add(timing.seconds);
         }
       }
@@ -68,6 +76,7 @@ int Run(const BenchFlags& flags) {
       std::printf("\n");
     }
   }
+  flags.MaybeExportTrace();
   return 0;
 }
 

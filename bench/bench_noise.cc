@@ -35,6 +35,8 @@ int Run(const BenchFlags& flags) {
 
   ApxParams params;
   Rng rng(flags.seed ^ 0x9E3779B9);
+  obs::RunReporter reporter_storage;
+  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
 
   // Take-home bookkeeping: wins per regime.
   size_t boolean_cells = 0, boolean_natural_wins = 0;
@@ -42,17 +44,19 @@ int Run(const BenchFlags& flags) {
 
   for (double balance : options.balance_targets) {
     for (size_t joins : options.join_levels) {
+      char title[128];
+      std::snprintf(title, sizeof(title), "Noise[%.1f, %zu]", balance, joins);
       SeriesTable table("noise");
       for (const ScenarioPair* pair :
            grid.Select(joins, std::nullopt, balance)) {
         PreprocessResult pre = BuildSynopses(*pair->db, pair->query);
+        obs::RunContext context{title, "noise", pair->noise};
         for (const SchemeTiming& timing :
-             RunAllSchemes(pre, params, flags.timeout_seconds, rng)) {
+             RunAllSchemes(pre, params, flags.timeout_seconds, rng, reporter,
+                           context)) {
           table.Add(pair->noise, timing.scheme, timing);
         }
       }
-      char title[128];
-      std::snprintf(title, sizeof(title), "Noise[%.1f, %zu]", balance, joins);
       table.Print(title);
       for (double noise : options.noise_levels) {
         if (table.Mean(noise, SchemeKind::kNatural) < 0) continue;
@@ -82,6 +86,7 @@ int Run(const BenchFlags& flags) {
               boolean_natural_wins, boolean_cells);
   std::printf("non-Boolean cells won by KL or KLM:  %zu/%zu\n",
               nonboolean_klm_or_kl_wins, nonboolean_cells);
+  flags.MaybeExportTrace();
   return 0;
 }
 

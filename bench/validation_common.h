@@ -24,6 +24,8 @@ inline int RunValidationScenarios(const Dataset& base,
   const std::vector<double> kNoise{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
   ApxParams params;
   Rng rng(flags.seed ^ 0xA341316C);
+  obs::RunReporter reporter_storage;
+  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
 
   for (const NamedQuery& named : workload) {
     CqEvaluator eval(base.db.get());
@@ -34,6 +36,9 @@ inline int RunValidationScenarios(const Dataset& base,
     }
     SeriesTable table("noise");
     MeanVarAccumulator balance;
+    char scenario[128];
+    std::snprintf(scenario, sizeof(scenario), "Validation[%s]",
+                  named.name.c_str());
     for (double p : kNoise) {
       Database noisy = base.db->Clone();
       NoiseOptions noise;
@@ -41,8 +46,10 @@ inline int RunValidationScenarios(const Dataset& base,
       AddQueryAwareNoise(&noisy, named.query, noise, rng);
       PreprocessResult pre = BuildSynopses(noisy, named.query);
       balance.Add(pre.Balance());
+      obs::RunContext context{scenario, "noise", p};
       for (const SchemeTiming& timing :
-           RunAllSchemes(pre, params, flags.timeout_seconds, rng)) {
+           RunAllSchemes(pre, params, flags.timeout_seconds, rng, reporter,
+                         context)) {
         table.Add(p, timing.scheme, timing);
       }
     }

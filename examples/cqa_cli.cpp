@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <initializer_list>
 #include <map>
 #include <string>
 
@@ -29,6 +30,8 @@
 #include "gen/noise.h"
 #include "gen/tpcds.h"
 #include "gen/tpch.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "storage/tbl_io.h"
 
@@ -48,6 +51,23 @@ struct Args {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : std::atof(it->second.c_str());
   }
+
+  /// Rejects flags the command does not understand. Without this check a
+  /// typo like --obs_reprot= would be swallowed by the flag map and the
+  /// run would silently produce no report.
+  bool ValidateKeys(std::initializer_list<const char*> allowed) const {
+    bool ok = true;
+    for (const auto& [key, value] : flags) {
+      bool known = false;
+      for (const char* a : allowed) known |= key == a;
+      if (!known) {
+        std::fprintf(stderr, "error: unknown flag --%s for command %s\n",
+                     key.c_str(), command.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
 };
 
 int Usage() {
@@ -57,7 +77,8 @@ int Usage() {
                "  noise  --data=DIR --out=DIR --query=Q [--p=F] [--min=N "
                "--max=N] [--seed=N]\n"
                "  run    --data=DIR --query=Q [--scheme=Natural|KL|KLM|Cover]"
-               " [--epsilon=F --delta=F] [--timeout=S] [--seed=N]\n"
+               " [--epsilon=F --delta=F] [--timeout=S] [--seed=N]"
+               " [--obs_report=FILE] [--obs_trace=FILE]\n"
                "  prep   --data=DIR --query=Q --out=FILE\n"
                "  approx --syn=FILE [--scheme=...] [--epsilon=F --delta=F]\n"
                "  profile --data=DIR --query=Q\n"
@@ -95,6 +116,7 @@ bool ParseQueryFlag(const Schema& schema, const Args& args,
 }
 
 int CmdGen(const Args& args) {
+  if (!args.ValidateKeys({"schema", "sf", "out", "seed"})) return Usage();
   std::string out = args.Get("out", "");
   if (out.empty()) return Usage();
   std::filesystem::create_directories(out);
@@ -117,6 +139,10 @@ int CmdGen(const Args& args) {
 }
 
 int CmdNoise(const Args& args) {
+  if (!args.ValidateKeys(
+          {"schema", "data", "out", "query", "p", "min", "max", "seed"})) {
+    return Usage();
+  }
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
   Database db(&schema);
   if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
@@ -145,6 +171,11 @@ int CmdNoise(const Args& args) {
 }
 
 int CmdRun(const Args& args) {
+  if (!args.ValidateKeys({"schema", "data", "query", "scheme", "epsilon",
+                          "delta", "timeout", "seed", "obs_report",
+                          "obs_trace"})) {
+    return Usage();
+  }
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
   Database db(&schema);
   if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
@@ -161,6 +192,16 @@ int CmdRun(const Args& args) {
   params.delta = args.GetDouble("delta", 0.25);
   double timeout = args.GetDouble("timeout", -1.0);
 
+  obs::RunReporter reporter;
+  std::string report_path = args.Get("obs_report", "");
+  if (!report_path.empty()) {
+    std::string error;
+    if (!reporter.Open(report_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
   Rng rng(static_cast<uint64_t>(args.GetDouble("seed", 7)));
   CqaRunResult run =
       ApxCqa(db, q, *scheme, params, rng,
@@ -171,10 +212,25 @@ int CmdRun(const Args& args) {
   for (const CqaAnswer& a : run.answers) {
     std::printf("%s\t%.6f\n", TupleToString(a.tuple).c_str(), a.frequency);
   }
+
+  if (reporter.is_open()) {
+    obs::RunContext context{"cli:run", "timeout", timeout};
+    reporter.Add(MakeRunRecord(run, *scheme, context,
+                               run.preprocess_seconds + run.scheme_seconds));
+  }
+  std::string trace_path = args.Get("obs_trace", "");
+  if (!trace_path.empty()) {
+    std::string error;
+    if (!obs::TraceBuffer::Instance().ExportJsonl(trace_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
 int CmdPrep(const Args& args) {
+  if (!args.ValidateKeys({"schema", "data", "query", "out"})) return Usage();
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
   Database db(&schema);
   if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
@@ -196,6 +252,9 @@ int CmdPrep(const Args& args) {
 }
 
 int CmdApprox(const Args& args) {
+  if (!args.ValidateKeys({"syn", "scheme", "epsilon", "delta", "seed"})) {
+    return Usage();
+  }
   std::string path = args.Get("syn", "");
   if (path.empty()) return Usage();
   std::vector<AnswerSynopsis> synopses;
@@ -223,6 +282,7 @@ int CmdApprox(const Args& args) {
 }
 
 int CmdProfile(const Args& args) {
+  if (!args.ValidateKeys({"schema", "data", "query"})) return Usage();
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
   Database db(&schema);
   if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
@@ -256,6 +316,7 @@ int CmdProfile(const Args& args) {
 }
 
 int CmdSql(const Args& args) {
+  if (!args.ValidateKeys({"schema", "query"})) return Usage();
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
   ConjunctiveQuery q;
   if (!ParseQueryFlag(schema, args, &q)) return 1;

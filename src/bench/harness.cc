@@ -4,14 +4,20 @@
 #include <set>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cqa {
 
 std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
                                         const ApxParams& params,
-                                        double timeout_seconds, Rng& rng) {
+                                        double timeout_seconds, Rng& rng,
+                                        obs::RunReporter* reporter,
+                                        const obs::RunContext& context) {
   std::vector<SchemeTiming> timings;
   for (SchemeKind scheme : AllSchemeKinds()) {
+    obs::TraceSpan span("harness.run_scheme");
+    CQA_OBS_COUNT("harness.scheme_runs");
     Stopwatch watch;
     Deadline deadline(timeout_seconds);
     CqaRunResult run =
@@ -21,6 +27,19 @@ std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
     timing.seconds = watch.ElapsedSeconds();
     timing.timed_out = run.timed_out;
     timing.num_answers = run.answers.size();
+    timing.estimator_samples = run.estimator_samples;
+    timing.main_samples = run.main_samples;
+    if (run.timed_out) CQA_OBS_COUNT("harness.timeouts");
+    // Budget pressure at completion, in milliseconds (skipped for the
+    // infinite deadline, whose remaining budget is +inf).
+    if (deadline.limit_seconds() >= 0.0) {
+      CQA_OBS_OBSERVE(
+          "harness.remaining_budget_ms",
+          static_cast<uint64_t>(deadline.RemainingSeconds() * 1000.0));
+    }
+    if (reporter != nullptr) {
+      reporter->Add(MakeRunRecord(run, scheme, context, timing.seconds));
+    }
     timings.push_back(timing);
   }
   return timings;
@@ -30,13 +49,15 @@ void SeriesTable::Add(double x, SchemeKind scheme,
                       const SchemeTiming& timing) {
   Cell& cell = cells_[{x, scheme}];
   cell.seconds.Add(timing.seconds);
+  cell.samples.Add(
+      static_cast<double>(timing.estimator_samples + timing.main_samples));
   if (timing.timed_out) ++cell.timeouts;
 }
 
 void SeriesTable::Print(const std::string& title) const {
   std::printf("## %s\n", title.c_str());
-  std::printf("%-10s %-8s %12s %10s\n", x_label_.c_str(), "scheme",
-              "mean_s", "timeouts");
+  std::printf("%-10s %-8s %12s %12s %10s\n", x_label_.c_str(), "scheme",
+              "mean_s", "samples", "timeouts");
   std::set<double> xs;
   for (const auto& [key, cell] : cells_) xs.insert(key.first);
   for (double x : xs) {
@@ -44,9 +65,9 @@ void SeriesTable::Print(const std::string& title) const {
       auto it = cells_.find({x, scheme});
       if (it == cells_.end()) continue;
       const Cell& cell = it->second;
-      std::printf("%-10.2f %-8s %12.4f %7zu/%zu\n", x,
-                  SchemeKindName(scheme), cell.seconds.mean(), cell.timeouts,
-                  cell.seconds.count());
+      std::printf("%-10.2f %-8s %12.4f %12.0f %7zu/%zu\n", x,
+                  SchemeKindName(scheme), cell.seconds.mean(),
+                  cell.samples.mean(), cell.timeouts, cell.seconds.count());
     }
   }
   std::printf("\n");
@@ -56,6 +77,12 @@ double SeriesTable::Mean(double x, SchemeKind scheme) const {
   auto it = cells_.find({x, scheme});
   if (it == cells_.end()) return -1.0;
   return it->second.seconds.mean();
+}
+
+double SeriesTable::MeanSamples(double x, SchemeKind scheme) const {
+  auto it = cells_.find({x, scheme});
+  if (it == cells_.end()) return -1.0;
+  return it->second.samples.mean();
 }
 
 size_t SeriesTable::Timeouts(double x, SchemeKind scheme) const {

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "cqa/apx_cqa.h"
 #include "cqa/preprocess.h"
+#include "obs/report.h"
 
 namespace cqa {
 
@@ -18,14 +19,23 @@ struct SchemeTiming {
   double seconds = 0.0;
   bool timed_out = false;
   size_t num_answers = 0;
+  /// Sample breakdown of the run: OptEstimate draws vs main-loop draws
+  /// (coverage steps for Cover) — the cost structure behind `seconds`.
+  size_t estimator_samples = 0;
+  size_t main_samples = 0;
 };
 
 /// Runs every approximation scheme over one preprocessed pair with a
 /// per-scheme wall-clock budget (the paper's 1-hour timeout, scaled).
 /// Preprocessing time is excluded, matching the paper's reporting.
+///
+/// When `reporter` is non-null, one JSONL RunRecord per scheme is
+/// appended, tagged with `context` (scenario name and x coordinate).
 std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
                                         const ApxParams& params,
-                                        double timeout_seconds, Rng& rng);
+                                        double timeout_seconds, Rng& rng,
+                                        obs::RunReporter* reporter = nullptr,
+                                        const obs::RunContext& context = {});
 
 /// Accumulates (x, scheme) -> mean seconds + timeout counts and prints the
 /// series a paper figure plots: one row per (x, scheme) with the mean
@@ -35,15 +45,22 @@ class SeriesTable {
  public:
   explicit SeriesTable(std::string x_label) : x_label_(std::move(x_label)) {}
 
+  const std::string& x_label() const { return x_label_; }
+
   void Add(double x, SchemeKind scheme, const SchemeTiming& timing);
 
-  /// Prints "x <scheme>=<mean_s> ..." rows sorted by x, plus timeout
-  /// annotations; `title` identifies the figure/scenario.
+  /// Prints "x <scheme>=<mean_s> ..." rows sorted by x, plus a mean
+  /// total-sample column and timeout annotations; `title` identifies the
+  /// figure/scenario.
   void Print(const std::string& title) const;
 
   /// Mean seconds for (x, scheme); -1 when absent. Timed-out runs count
   /// with their (truncated) elapsed time, as a lower bound.
   double Mean(double x, SchemeKind scheme) const;
+
+  /// Mean total samples (estimator + main) for (x, scheme); -1 when
+  /// absent.
+  double MeanSamples(double x, SchemeKind scheme) const;
 
   /// Timed-out runs for (x, scheme); 0 when absent.
   size_t Timeouts(double x, SchemeKind scheme) const;
@@ -58,6 +75,7 @@ class SeriesTable {
  private:
   struct Cell {
     MeanVarAccumulator seconds;
+    MeanVarAccumulator samples;
     size_t timeouts = 0;
   };
   std::string x_label_;

@@ -2,6 +2,7 @@
 #define CQABENCH_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <limits>
 
 namespace cqa {
 
@@ -33,6 +34,16 @@ class Deadline {
 
   bool Expired() const {
     return limit_seconds_ >= 0.0 && watch_.ElapsedSeconds() >= limit_seconds_;
+  }
+
+  /// Budget left before expiry, clamped at 0; +inf for the infinite
+  /// deadline. Instrumented loops log this to expose budget pressure.
+  double RemainingSeconds() const {
+    if (limit_seconds_ < 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    double remaining = limit_seconds_ - watch_.ElapsedSeconds();
+    return remaining > 0.0 ? remaining : 0.0;
   }
 
   double limit_seconds() const { return limit_seconds_; }

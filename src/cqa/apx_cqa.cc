@@ -1,8 +1,32 @@
 #include "cqa/apx_cqa.h"
 
+#include <algorithm>
+
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cqa {
+
+namespace {
+
+/// Accumulates one synopsis run into the per-scheme-run totals,
+/// summing the per-worker counts element-wise.
+void Accumulate(CqaRunResult* result, const ApxResult& apx) {
+  result->total_samples += apx.samples;
+  result->estimator_samples += apx.estimator_samples;
+  result->main_samples += apx.main_samples;
+  result->estimator_seconds += apx.estimator_seconds;
+  result->main_seconds += apx.main_seconds;
+  if (apx.per_thread_samples.size() > result->per_thread_samples.size()) {
+    result->per_thread_samples.resize(apx.per_thread_samples.size(), 0);
+  }
+  for (size_t t = 0; t < apx.per_thread_samples.size(); ++t) {
+    result->per_thread_samples[t] += apx.per_thread_samples[t];
+  }
+}
+
+}  // namespace
 
 CqaRunResult ApxCqaOnSynopses(const PreprocessResult& preprocessed,
                               SchemeKind scheme, const ApxParams& params,
@@ -11,6 +35,7 @@ CqaRunResult ApxCqaOnSynopses(const PreprocessResult& preprocessed,
   result.preprocess_seconds = preprocessed.stats().seconds;
   std::unique_ptr<ApxRelativeFreqScheme> apx =
       ApxRelativeFreqScheme::Create(scheme);
+  obs::TraceSpan span("apx_cqa.scheme_phase");
   Stopwatch watch;
   for (const AnswerSynopsis& as : preprocessed.answers()) {
     if (deadline.Expired()) {
@@ -18,13 +43,13 @@ CqaRunResult ApxCqaOnSynopses(const PreprocessResult& preprocessed,
       break;
     }
     ApxResult apx_result = apx->Run(as.synopsis, params, rng, deadline);
-    result.total_samples += apx_result.samples;
+    Accumulate(&result, apx_result);
     if (apx_result.timed_out) {
       result.timed_out = true;
       break;
     }
     result.answers.push_back(
-        CqaAnswer{as.answer, apx_result.estimate, apx_result});
+        CqaAnswer{as.answer, apx_result.estimate, std::move(apx_result)});
   }
   result.scheme_seconds = watch.ElapsedSeconds();
   return result;
@@ -35,6 +60,32 @@ CqaRunResult ApxCqa(const Database& db, const ConjunctiveQuery& q,
                     const Deadline& deadline) {
   PreprocessResult preprocessed = BuildSynopses(db, q);
   return ApxCqaOnSynopses(preprocessed, scheme, params, rng, deadline);
+}
+
+obs::RunRecord MakeRunRecord(const CqaRunResult& run, SchemeKind scheme,
+                             const obs::RunContext& context,
+                             double total_seconds) {
+  obs::RunRecord record;
+  record.scenario = context.scenario;
+  record.x_label = context.x_label;
+  record.x = context.x;
+  record.scheme = SchemeKindName(scheme);
+  record.num_answers = run.answers.size();
+  double frequency_sum = 0.0;
+  for (const CqaAnswer& a : run.answers) frequency_sum += a.frequency;
+  if (!run.answers.empty()) {
+    record.estimate = frequency_sum / static_cast<double>(run.answers.size());
+  }
+  record.estimator_samples = run.estimator_samples;
+  record.main_samples = run.main_samples;
+  record.total_samples = run.total_samples;
+  record.estimator_seconds = run.estimator_seconds;
+  record.main_seconds = run.main_seconds;
+  record.total_seconds = total_seconds;
+  record.preprocess_seconds = run.preprocess_seconds;
+  record.timed_out = run.timed_out;
+  record.per_thread_samples = run.per_thread_samples;
+  return record;
 }
 
 }  // namespace cqa

@@ -5,6 +5,7 @@
 
 #include "cqa/preprocess.h"
 #include "cqa/schemes.h"
+#include "obs/report.h"
 #include "query/cq.h"
 #include "storage/database.h"
 
@@ -31,6 +32,15 @@ struct CqaRunResult {
   size_t total_samples = 0;
   /// True if the deadline expired; `answers` is then incomplete.
   bool timed_out = false;
+  /// Per-phase totals across synopses: OptEstimate samples/time vs
+  /// main-loop samples/time (total_samples = estimator + main).
+  size_t estimator_samples = 0;
+  size_t main_samples = 0;
+  double estimator_seconds = 0.0;
+  double main_seconds = 0.0;
+  /// Element-wise sum of the per-synopsis per-worker main-loop sample
+  /// counts: entry t is the total drawn by worker t (size 1 when serial).
+  std::vector<size_t> per_thread_samples;
 };
 
 /// Algorithm 1 (ApxCQA[ApxRelativeFreq]) with the §5 implementation: all
@@ -47,6 +57,14 @@ CqaRunResult ApxCqaOnSynopses(const PreprocessResult& preprocessed,
                               SchemeKind scheme, const ApxParams& params,
                               Rng& rng,
                               const Deadline& deadline = Deadline());
+
+/// Flattens a run into the JSONL run-report record: phase timings,
+/// sample counts, per-thread balance. `total_seconds` is the caller's
+/// wall-clock for the scheme phase (the harness measures it around the
+/// run; the CLI uses run.scheme_seconds).
+obs::RunRecord MakeRunRecord(const CqaRunResult& run, SchemeKind scheme,
+                             const obs::RunContext& context,
+                             double total_seconds);
 
 }  // namespace cqa
 

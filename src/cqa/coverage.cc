@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cqa {
 
@@ -25,6 +27,8 @@ CoverageResult SelfAdjustingCoverage(const SymbolicSpace& space,
   const size_t budget = static_cast<size_t>(std::ceil(n_exact));
 
   CoverageResult result;
+  obs::TraceSpan span("coverage.run");
+  CQA_OBS_COUNT("coverage.runs");
   Synopsis::Choice choice;
   size_t steps = 0;
   size_t total = 0;
@@ -50,6 +54,10 @@ CoverageResult SelfAdjustingCoverage(const SymbolicSpace& space,
 finish:
   result.steps = steps;
   result.trials = trials;
+  // Bulk adds at exit: the inner loop itself stays instrumentation-free.
+  CQA_OBS_COUNT_N("coverage.steps", steps);
+  CQA_OBS_COUNT_N("coverage.self_adjust_trials", trials);
+  if (result.timed_out) CQA_OBS_COUNT("coverage.timeouts");
   // total/trials estimates |H| · |∪I_i| / |S•| (the expected number of
   // j-draws until a hit). trials == 0 can only occur if the very first
   // witness search exhausts the budget — vanishingly unlikely since the

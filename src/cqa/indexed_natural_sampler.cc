@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace cqa {
 
@@ -28,6 +29,7 @@ IndexedNaturalSampler::IndexedNaturalSampler(const Synopsis* synopsis)
 }
 
 double IndexedNaturalSampler::Draw(Rng& rng) {
+  CQA_OBS_COUNT("sampler.indexed_natural.draws");
   const auto& blocks = synopsis_->blocks();
   scratch_.resize(blocks.size());
   if (++generation_ == 0) {
@@ -46,6 +48,7 @@ double IndexedNaturalSampler::Draw(Rng& rng) {
       if (++hits_[image] == image_sizes_[image]) {
         // All facts of this image were drawn: it survives. We still need
         // to finish nothing — containment of one image suffices.
+        CQA_OBS_COUNT("sampler.indexed_natural.hits");
         return 1.0;
       }
     }

@@ -1,6 +1,7 @@
 #include "cqa/kl_sampler.h"
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace cqa {
 
@@ -9,11 +10,13 @@ KlSampler::KlSampler(const SymbolicSpace* space) : space_(space) {
 }
 
 double KlSampler::Draw(Rng& rng) {
+  CQA_OBS_COUNT("sampler.kl.draws");
   const Synopsis& synopsis = space_->synopsis();
   size_t i = space_->SampleElement(rng, &scratch_);
   for (size_t j = 0; j < i; ++j) {
     if (synopsis.ImageContainedIn(j, scratch_)) return 0.0;
   }
+  CQA_OBS_COUNT("sampler.kl.accepts");
   return 1.0;
 }
 

@@ -1,6 +1,7 @@
 #include "cqa/klm_sampler.h"
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace cqa {
 
@@ -9,6 +10,7 @@ KlmSampler::KlmSampler(const SymbolicSpace* space) : space_(space) {
 }
 
 double KlmSampler::Draw(Rng& rng) {
+  CQA_OBS_COUNT("sampler.klm.draws");
   const Synopsis& synopsis = space_->synopsis();
   space_->SampleElement(rng, &scratch_);
   size_t k = 0;
@@ -16,6 +18,9 @@ double KlmSampler::Draw(Rng& rng) {
     if (synopsis.ImageContainedIn(j, scratch_)) ++k;
   }
   CQA_CHECK(k >= 1);  // (i, I) ∈ S• implies H_i ⊆ I.
+  // k = images covering the drawn database: the accepted coverage checks
+  // of the scan (KLM always pays all |H| checks; KL stops early).
+  CQA_OBS_COUNT_N("sampler.klm.accepts", k);
   return 1.0 / static_cast<double>(k);
 }
 

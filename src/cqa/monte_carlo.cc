@@ -1,6 +1,8 @@
 #include "cqa/monte_carlo.h"
 
 #include "cqa/opt_estimate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cqa {
 
@@ -12,13 +14,21 @@ MonteCarloResult MonteCarloEstimate(Sampler& sampler, double epsilon,
                                     double delta, Rng& rng,
                                     const Deadline& deadline) {
   MonteCarloResult result;
-  OptEstimateResult opt = OptEstimate(sampler, epsilon, delta, rng, deadline);
+  Stopwatch phase_watch;
+  OptEstimateResult opt;
+  {
+    obs::TraceSpan span("monte_carlo.estimator");
+    opt = OptEstimate(sampler, epsilon, delta, rng, deadline);
+  }
   result.estimator_samples = opt.samples_used;
+  result.estimator_seconds = phase_watch.ElapsedSeconds();
   if (opt.timed_out) {
     result.timed_out = true;
     return result;
   }
 
+  phase_watch.Restart();
+  obs::TraceSpan span("monte_carlo.main_loop");
   double sum = 0.0;
   size_t n = opt.num_iterations;
   for (size_t i = 0; i < n; ++i) {
@@ -26,11 +36,19 @@ MonteCarloResult MonteCarloEstimate(Sampler& sampler, double epsilon,
     if (i % kDeadlineStride == 0 && deadline.Expired()) {
       result.main_samples = i;
       result.timed_out = true;
+      result.main_seconds = phase_watch.ElapsedSeconds();
+      result.per_thread_samples = {i};
+      CQA_OBS_COUNT_N("monte_carlo.main_draws", i);
+      CQA_OBS_COUNT("monte_carlo.timeouts");
       return result;
     }
   }
   result.main_samples = n;
   result.estimate = sum / static_cast<double>(n);
+  result.main_seconds = phase_watch.ElapsedSeconds();
+  result.per_thread_samples = {n};
+  CQA_OBS_COUNT_N("monte_carlo.main_draws", n);
+  CQA_OBS_COUNT("monte_carlo.runs");
   return result;
 }
 

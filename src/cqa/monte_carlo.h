@@ -2,6 +2,7 @@
 #define CQABENCH_CQA_MONTE_CARLO_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -19,6 +20,15 @@ struct MonteCarloResult {
   /// Samples of the main loop (the N of Algorithm 2).
   size_t main_samples = 0;
   bool timed_out = false;
+  /// Wall-clock split of the two phases: the OptEstimate call vs the
+  /// main sampling loop. Always filled (cheap: two stopwatch reads per
+  /// estimate, never per draw).
+  double estimator_seconds = 0.0;
+  double main_seconds = 0.0;
+  /// Main-loop samples per worker: size 1 for the serial algorithm, one
+  /// entry per thread for ParallelMonteCarloEstimate — the spread makes
+  /// worker imbalance visible in run reports.
+  std::vector<size_t> per_thread_samples;
 };
 
 /// Algorithm 2, MonteCarlo[Sample]: asks OptEstimate for the optimal

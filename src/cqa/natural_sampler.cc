@@ -1,6 +1,7 @@
 #include "cqa/natural_sampler.h"
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace cqa {
 
@@ -11,12 +12,17 @@ NaturalSampler::NaturalSampler(const Synopsis* synopsis)
 }
 
 double NaturalSampler::Draw(Rng& rng) {
+  CQA_OBS_COUNT("sampler.natural.draws");
   const std::vector<Synopsis::Block>& blocks = synopsis_->blocks();
   scratch_.resize(blocks.size());
   for (size_t b = 0; b < blocks.size(); ++b) {
     scratch_[b] = static_cast<uint32_t>(rng.UniformIndex(blocks[b].size));
   }
-  return synopsis_->AnyImageContainedIn(scratch_) ? 1.0 : 0.0;
+  if (synopsis_->AnyImageContainedIn(scratch_)) {
+    CQA_OBS_COUNT("sampler.natural.hits");
+    return 1.0;
+  }
+  return 0.0;
 }
 
 }  // namespace cqa

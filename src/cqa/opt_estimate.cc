@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cqa {
 
@@ -23,6 +25,8 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
   CQA_CHECK(epsilon > 0.0 && epsilon < 1.0);
   CQA_CHECK(delta > 0.0 && delta < 1.0);
   OptEstimateResult result;
+  obs::TraceSpan span("opt_estimate");
+  CQA_OBS_COUNT("opt_estimate.runs");
 
   // Phase 1: stopping-rule algorithm with (min(1/2, √ε), δ/3). Terminates
   // in expectation after Υ₁/μ samples, μ = E[Draw] > 0.
@@ -36,10 +40,13 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
     if (n1 % kDeadlineStride == 0 && deadline.Expired()) {
       result.samples_used = n1;
       result.timed_out = true;
+      CQA_OBS_COUNT_N("opt_estimate.phase1_samples", n1);
+      CQA_OBS_COUNT("opt_estimate.timeouts");
       return result;
     }
   }
   result.mu_hat = upsilon1 / static_cast<double>(n1);
+  CQA_OBS_COUNT_N("opt_estimate.phase1_samples", n1);
 
   // Phase 2: variance estimation from paired samples.
   double upsilon2 = 2.0 * (1.0 + std::sqrt(epsilon)) *
@@ -57,9 +64,12 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
     if (i % kDeadlineStride == 0 && deadline.Expired()) {
       result.samples_used = n1 + 2 * i;
       result.timed_out = true;
+      CQA_OBS_COUNT_N("opt_estimate.phase2_pairs", i);
+      CQA_OBS_COUNT("opt_estimate.timeouts");
       return result;
     }
   }
+  CQA_OBS_COUNT_N("opt_estimate.phase2_pairs", n2);
   result.rho_hat =
       std::max(s / static_cast<double>(n2), epsilon * result.mu_hat);
 
@@ -67,6 +77,7 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
       upsilon2 * result.rho_hat / (result.mu_hat * result.mu_hat)));
   CQA_CHECK(result.num_iterations >= 1);
   result.samples_used = n1 + 2 * n2;
+  CQA_OBS_OBSERVE("opt_estimate.num_iterations", result.num_iterations);
   return result;
 }
 

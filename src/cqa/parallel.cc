@@ -6,6 +6,8 @@
 
 #include "common/macros.h"
 #include "cqa/opt_estimate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cqa {
 
@@ -19,42 +21,58 @@ MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
 
   // Serial estimation phase.
   std::unique_ptr<Sampler> estimator_sampler = factory();
-  OptEstimateResult opt =
-      OptEstimate(*estimator_sampler, epsilon, delta, rng, deadline);
+  Stopwatch phase_watch;
+  OptEstimateResult opt;
+  {
+    obs::TraceSpan span("parallel.estimator");
+    opt = OptEstimate(*estimator_sampler, epsilon, delta, rng, deadline);
+  }
   result.estimator_samples = opt.samples_used;
+  result.estimator_seconds = phase_watch.ElapsedSeconds();
   if (opt.timed_out) {
     result.timed_out = true;
     return result;
   }
 
   const size_t n = opt.num_iterations;
+  phase_watch.Restart();
   if (num_threads == 1) {
+    obs::TraceSpan span("parallel.main_loop");
     double sum = 0.0;
+    size_t count = 0;
     for (size_t i = 0; i < n; ++i) {
-      sum += estimator_sampler->Draw(rng);
       if (i % 64 == 0 && deadline.Expired()) {
-        result.main_samples = i;
         result.timed_out = true;
-        return result;
+        break;
       }
+      sum += estimator_sampler->Draw(rng);
+      ++count;
     }
-    result.main_samples = n;
-    result.estimate = sum / static_cast<double>(n);
+    result.main_samples = count;
+    result.main_seconds = phase_watch.ElapsedSeconds();
+    result.per_thread_samples = {count};
+    CQA_OBS_COUNT_N("monte_carlo.main_draws", count);
+    if (!result.timed_out) {
+      result.estimate = sum / static_cast<double>(count);
+    }
     return result;
   }
 
   // Parallel main loop: disjoint iteration shares, independent RNG
   // streams, one atomic flag for deadline propagation, sums combined at
   // join time only.
+  obs::TraceSpan main_span("parallel.main_loop");
   std::vector<double> partial_sums(num_threads, 0.0);
   std::vector<size_t> partial_counts(num_threads, 0);
   std::atomic<bool> expired{false};
   std::vector<std::thread> workers;
   workers.reserve(num_threads);
+  CQA_OBS_COUNT_N("parallel.workers_launched", num_threads);
   for (size_t t = 0; t < num_threads; ++t) {
     uint64_t worker_seed = rng.engine()();
     size_t share = n / num_threads + (t < n % num_threads ? 1 : 0);
     workers.emplace_back([&, t, worker_seed, share] {
+      obs::TraceSpan worker_span("parallel.worker", main_span.id());
       std::unique_ptr<Sampler> sampler = factory();
       Rng worker_rng(worker_seed);
       double sum = 0.0;
@@ -70,6 +88,7 @@ MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
       }
       partial_sums[t] = sum;
       partial_counts[t] = count;
+      CQA_OBS_COUNT_N("parallel.worker_draws", count);
     });
   }
   for (std::thread& worker : workers) worker.join();
@@ -81,6 +100,9 @@ MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
     count += partial_counts[t];
   }
   result.main_samples = count;
+  result.main_seconds = phase_watch.ElapsedSeconds();
+  result.per_thread_samples = std::move(partial_counts);
+  CQA_OBS_COUNT_N("monte_carlo.main_draws", count);
   if (expired.load() || count < n) {
     result.timed_out = true;
     return result;

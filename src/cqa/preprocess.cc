@@ -6,6 +6,8 @@
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cqa {
 
@@ -66,6 +68,8 @@ std::vector<FactRef> PreprocessResult::ImageFactRefs() const {
 PreprocessResult BuildSynopses(const Database& db, const ConjunctiveQuery& q,
                                DatabaseIndexCache* cache) {
   Stopwatch watch;
+  obs::TraceSpan span("preprocess.build_synopses");
+  CQA_OBS_COUNT("preprocess.builds");
   BlockIndex block_index = BlockIndex::Build(db);
   PreprocessStats stats;
 
@@ -128,9 +132,16 @@ PreprocessResult BuildSynopses(const Database& db, const ConjunctiveQuery& q,
 
   for (size_t i = 0; i < answers.size(); ++i) {
     answers[i].synopsis = std::move(builders[i].synopsis);
+    CQA_OBS_OBSERVE("preprocess.synopsis_images",
+                    answers[i].synopsis.NumImages());
+    CQA_OBS_OBSERVE("preprocess.synopsis_blocks",
+                    answers[i].synopsis.NumBlocks());
   }
   stats.num_distinct_images = distinct_images.size();
   stats.seconds = watch.ElapsedSeconds();
+  CQA_OBS_COUNT_N("preprocess.homomorphisms", stats.num_homomorphisms);
+  CQA_OBS_COUNT_N("preprocess.consistent_images", stats.num_images);
+  CQA_OBS_COUNT_N("preprocess.answers", answers.size());
   return PreprocessResult(std::move(answers), std::move(block_index), stats);
 }
 

@@ -41,6 +41,17 @@ const std::vector<SchemeKind>& AllSchemeKinds() {
 
 namespace {
 
+/// Copies the phase breakdown of a Monte Carlo run into an ApxResult.
+void FillFromMonteCarlo(ApxResult* result, MonteCarloResult&& mc) {
+  result->samples = mc.estimator_samples + mc.main_samples;
+  result->timed_out = mc.timed_out;
+  result->estimator_samples = mc.estimator_samples;
+  result->main_samples = mc.main_samples;
+  result->estimator_seconds = mc.estimator_seconds;
+  result->main_seconds = mc.main_seconds;
+  result->per_thread_samples = std::move(mc.per_thread_samples);
+}
+
 /// Algorithm 3 (Natural): MonteCarlo over the natural space; 1-good.
 class NaturalScheme : public ApxRelativeFreqScheme {
  public:
@@ -58,9 +69,8 @@ class NaturalScheme : public ApxRelativeFreqScheme {
       mc = MonteCarloEstimate(sampler, params.epsilon, params.delta, rng,
                               deadline);
     }
-    result.samples = mc.estimator_samples + mc.main_samples;
-    result.timed_out = mc.timed_out;
     result.estimate = mc.estimate;  // GoodnessFactor() == 1.
+    FillFromMonteCarlo(&result, std::move(mc));
     return result;
   }
   SchemeKind kind() const override { return SchemeKind::kNatural; }
@@ -86,9 +96,8 @@ class SymbolicScheme : public ApxRelativeFreqScheme {
       mc = MonteCarloEstimate(sampler, params.epsilon, params.delta, rng,
                               deadline);
     }
-    result.samples = mc.estimator_samples + mc.main_samples;
-    result.timed_out = mc.timed_out;
     result.estimate = mc.estimate * space.total_weight();
+    FillFromMonteCarlo(&result, std::move(mc));
     return result;
   }
   SchemeKind kind() const override { return kKind; }
@@ -105,11 +114,17 @@ class CoverScheme : public ApxRelativeFreqScheme {
     ApxResult result;
     if (synopsis.Empty()) return result;
     SymbolicSpace space(&synopsis);
+    Stopwatch watch;
     CoverageResult cov = SelfAdjustingCoverage(space, params.epsilon,
                                                params.delta, rng, deadline);
     result.samples = cov.steps;
     result.timed_out = cov.timed_out;
     result.estimate = cov.normalized_estimate * space.total_weight();
+    // Cover has no estimator phase: all steps are main-loop work, on one
+    // thread (the algorithm is inherently sequential).
+    result.main_samples = cov.steps;
+    result.main_seconds = watch.ElapsedSeconds();
+    result.per_thread_samples = {cov.steps};
     return result;
   }
   SchemeKind kind() const override { return SchemeKind::kCover; }

@@ -44,6 +44,15 @@ struct ApxResult {
   /// Total samples drawn (estimator phases + main loop / coverage steps).
   size_t samples = 0;
   bool timed_out = false;
+  /// Per-phase breakdown: OptEstimate samples/time vs main-loop
+  /// samples/time (for Cover, everything is "main" — it has no estimator
+  /// phase). samples == estimator_samples + main_samples.
+  size_t estimator_samples = 0;
+  size_t main_samples = 0;
+  double estimator_seconds = 0.0;
+  double main_seconds = 0.0;
+  /// Main-loop samples per worker thread (size 1 for serial runs).
+  std::vector<size_t> per_thread_samples;
 };
 
 /// A data-efficient randomized approximation scheme for RelativeFreq,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace cqa {
 
@@ -10,6 +11,9 @@ SymbolicSpace::SymbolicSpace(const Synopsis* synopsis)
     : synopsis_(synopsis) {
   CQA_CHECK(synopsis != nullptr);
   CQA_CHECK_MSG(!synopsis->Empty(), "symbolic space requires H != {}");
+  CQA_OBS_COUNT("symbolic_space.builds");
+  CQA_OBS_OBSERVE("symbolic_space.num_images", synopsis->NumImages());
+  CQA_OBS_OBSERVE("symbolic_space.num_blocks", synopsis->blocks().size());
   weights_ = synopsis->ImageWeights();
   cumulative_.reserve(weights_.size());
   double acc = 0.0;

@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace cqa::obs {
+
+namespace {
+
+/// Index of the power-of-two bucket for `value`: 0 for 0, otherwise
+/// 1 + floor(log2(value)), clamped to the last bucket.
+size_t BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  size_t b = 64 - static_cast<size_t>(__builtin_clzll(value));
+  return b < Histogram::kNumBuckets ? b : Histogram::kNumBuckets - 1;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Instance() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = histograms_.emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Histogram>();
+  return it->second.get();
+}
+
+uint64_t Registry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::vector<CounterSnapshot> Registry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(CounterSnapshot{name, counter->value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> Registry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = h->count();
+    snap.sum = h->sum();
+    snap.max = h->max();
+    snap.buckets.reserve(Histogram::kNumBuckets);
+    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      snap.buckets.push_back(h->bucket(b));
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string Registry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterSnapshot& c : Counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, c.name);
+    out += "\":" + std::to_string(c.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : Histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, h.name);
+    out += "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"max\":" + std::to_string(h.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace cqa::obs

@@ -1,0 +1,154 @@
+#ifndef CQABENCH_OBS_METRICS_H_
+#define CQABENCH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cqa::obs {
+
+/// A named monotonic counter. Increments are lock-free relaxed atomics —
+/// safe and cheap from sampler draw sites on any thread. Registration
+/// (GetCounter) takes a mutex but happens once per call site.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A fixed-bucket power-of-two histogram for sizes and latencies:
+/// bucket b counts observations v with 2^(b-1) <= v < 2^b (bucket 0
+/// counts v == 0), the last bucket absorbing the overflow. All updates
+/// are relaxed atomics; totals are monotonic so a concurrent Snapshot is
+/// approximate but never torn per-field.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // kNumBuckets entries.
+};
+
+/// Process-wide registry of named counters and histograms. Metric objects
+/// are never destroyed or moved once registered, so call sites may cache
+/// the returned pointers (the CQA_OBS_* macros do exactly that).
+///
+/// `enabled` gates the hot-path increments at runtime; compiling with
+/// CQABENCH_NO_OBS removes them entirely.
+class Registry {
+ public:
+  static Registry& Instance();
+
+  /// Returns the counter/histogram with this name, creating it on first
+  /// use. The pointer is stable for the process lifetime.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Current value of a counter; 0 when it was never registered.
+  uint64_t CounterValue(const std::string& name) const;
+
+  std::vector<CounterSnapshot> Counters() const;
+  std::vector<HistogramSnapshot> Histograms() const;
+
+  /// Zeroes every registered metric in place (pointers stay valid).
+  void Reset();
+
+  /// One JSON object {"counters": {...}, "histograms": {...}} — the
+  /// profile dump of the CLI and the harness binaries.
+  std::string ToJson() const;
+
+ private:
+  Registry() = default;
+
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cqa::obs
+
+// Hot-path instrumentation macros. Each call site resolves its metric
+// once (function-local static) and then pays one predictable branch plus
+// one relaxed atomic add. Under -DCQABENCH_NO_OBS they expand to nothing;
+// the argument expressions are never evaluated.
+#ifdef CQABENCH_NO_OBS
+
+#define CQA_OBS_COUNT(name) \
+  do {                      \
+  } while (0)
+#define CQA_OBS_COUNT_N(name, n)  \
+  do {                            \
+    (void)sizeof((uint64_t)(n));  \
+  } while (0)
+#define CQA_OBS_OBSERVE(name, value)  \
+  do {                                \
+    (void)sizeof((uint64_t)(value));  \
+  } while (0)
+
+#else  // !CQABENCH_NO_OBS
+
+#define CQA_OBS_COUNT(name) CQA_OBS_COUNT_N(name, 1)
+
+#define CQA_OBS_COUNT_N(name, n)                              \
+  do {                                                        \
+    static ::cqa::obs::Counter* cqa_obs_counter__ =           \
+        ::cqa::obs::Registry::Instance().GetCounter(name);    \
+    if (::cqa::obs::Registry::Instance().enabled()) {         \
+      cqa_obs_counter__->Increment(n);                        \
+    }                                                         \
+  } while (0)
+
+#define CQA_OBS_OBSERVE(name, value)                          \
+  do {                                                        \
+    static ::cqa::obs::Histogram* cqa_obs_histogram__ =       \
+        ::cqa::obs::Registry::Instance().GetHistogram(name);  \
+    if (::cqa::obs::Registry::Instance().enabled()) {         \
+      cqa_obs_histogram__->Observe(value);                    \
+    }                                                         \
+  } while (0)
+
+#endif  // CQABENCH_NO_OBS
+
+#endif  // CQABENCH_OBS_METRICS_H_

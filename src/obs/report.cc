@@ -1,0 +1,115 @@
+#include "obs/report.h"
+
+namespace cqa::obs {
+
+namespace {
+
+void AppendEscapedString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RunRecordToJson(const RunRecord& r) {
+  std::string out = "{\"scenario\":";
+  AppendEscapedString(&out, r.scenario);
+  out += ",\"x_label\":";
+  AppendEscapedString(&out, r.x_label);
+  out += ",\"x\":";
+  AppendDouble(&out, r.x);
+  out += ",\"scheme\":";
+  AppendEscapedString(&out, r.scheme);
+  out += ",\"estimate\":";
+  AppendDouble(&out, r.estimate);
+  out += ",\"num_answers\":" + std::to_string(r.num_answers);
+  out += ",\"estimator_samples\":" + std::to_string(r.estimator_samples);
+  out += ",\"main_samples\":" + std::to_string(r.main_samples);
+  out += ",\"total_samples\":" + std::to_string(r.total_samples);
+  out += ",\"estimator_seconds\":";
+  AppendDouble(&out, r.estimator_seconds);
+  out += ",\"main_seconds\":";
+  AppendDouble(&out, r.main_seconds);
+  out += ",\"total_seconds\":";
+  AppendDouble(&out, r.total_seconds);
+  out += ",\"preprocess_seconds\":";
+  AppendDouble(&out, r.preprocess_seconds);
+  out += ",\"timed_out\":";
+  out += r.timed_out ? "true" : "false";
+  out += ",\"per_thread_samples\":[";
+  for (size_t i = 0; i < r.per_thread_samples.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(r.per_thread_samples[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+RunReporter::~RunReporter() { Close(); }
+
+bool RunReporter::Open(const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path.c_str(), "w");
+  num_records_ = 0;
+  if (file_ == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  return true;
+}
+
+size_t RunReporter::num_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_records_;
+}
+
+void RunReporter::Add(const RunRecord& record) {
+  std::string line = RunRecordToJson(record);
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  ++num_records_;
+}
+
+void RunReporter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace cqa::obs

@@ -1,0 +1,80 @@
+#ifndef CQABENCH_OBS_REPORT_H_
+#define CQABENCH_OBS_REPORT_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cqa::obs {
+
+/// Identifies where in a benchmark grid a scheme run happened: the
+/// figure/cell name and the x coordinate of the series the harness is
+/// sweeping (noise level, balance, ε, ...).
+struct RunContext {
+  std::string scenario;
+  std::string x_label;
+  double x = 0.0;
+};
+
+/// One structured record per (scenario, x, scheme) run — the
+/// machine-readable counterpart of a SeriesTable row, with the per-phase
+/// breakdown the printed table drops. Field-by-field schema in
+/// README.md's "Observability" section.
+struct RunRecord {
+  std::string scenario;
+  std::string x_label;
+  double x = 0.0;
+  std::string scheme;
+  /// Mean approximated relative frequency across the emitted answers
+  /// (0 when the run produced none).
+  double estimate = 0.0;
+  size_t num_answers = 0;
+  /// Samples consumed by the OptEstimate phases, summed over synopses.
+  size_t estimator_samples = 0;
+  /// Main-loop samples (Monte Carlo draws or coverage steps).
+  size_t main_samples = 0;
+  size_t total_samples = 0;
+  /// Wall-clock split of the scheme phase.
+  double estimator_seconds = 0.0;
+  double main_seconds = 0.0;
+  double total_seconds = 0.0;
+  double preprocess_seconds = 0.0;
+  bool timed_out = false;
+  /// Main-loop samples per worker thread (size 1 for serial runs) —
+  /// worker imbalance is the spread of these.
+  std::vector<size_t> per_thread_samples;
+};
+
+/// Serializes a record as one JSON object (no trailing newline).
+std::string RunRecordToJson(const RunRecord& record);
+
+/// Appends JSONL run records to a file, one line per Add, flushed
+/// immediately so partial reports survive a timeout kill. Thread-safe.
+class RunReporter {
+ public:
+  RunReporter() = default;
+  ~RunReporter();
+  RunReporter(const RunReporter&) = delete;
+  RunReporter& operator=(const RunReporter&) = delete;
+
+  /// Opens (truncates) the report file. Returns false and sets *error on
+  /// I/O failure.
+  bool Open(const std::string& path, std::string* error);
+
+  bool is_open() const { return file_ != nullptr; }
+  size_t num_records() const;
+
+  void Add(const RunRecord& record);
+
+  void Close();
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  size_t num_records_ = 0;
+};
+
+}  // namespace cqa::obs
+
+#endif  // CQABENCH_OBS_REPORT_H_

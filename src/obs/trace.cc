@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace cqa::obs {
+
+namespace {
+
+#ifndef CQABENCH_NO_OBS
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Trace epoch: all span start offsets are relative to the first time the
+/// trace machinery is touched, keeping the JSONL numbers small.
+SteadyClock::time_point Epoch() {
+  static const SteadyClock::time_point epoch = SteadyClock::now();
+  return epoch;
+}
+
+uint32_t ThisThreadId() {
+  return static_cast<uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+#endif  // !CQABENCH_NO_OBS
+
+void AppendSpanJson(std::string* out, const SpanRecord& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"start_s\":%.9f,\"dur_s\":%.9f,"
+                "\"id\":%llu,\"parent_id\":%llu,\"thread\":%u}\n",
+                r.name, r.start_seconds, r.duration_seconds,
+                static_cast<unsigned long long>(r.id),
+                static_cast<unsigned long long>(r.parent_id), r.thread_id);
+  *out += buf;
+}
+
+}  // namespace
+
+TraceBuffer& TraceBuffer::Instance() {
+  static TraceBuffer* instance = new TraceBuffer();
+  return *instance;
+}
+
+bool TraceBuffer::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void TraceBuffer::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+void TraceBuffer::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+void TraceBuffer::Record(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_] = record;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest entry once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+void TraceBuffer::AppendJsonl(std::string* out) const {
+  for (const SpanRecord& r : Snapshot()) {
+    AppendSpanJson(out, r);
+  }
+}
+
+bool TraceBuffer::ExportJsonl(const std::string& path,
+                              std::string* error) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  std::string out;
+  AppendJsonl(&out);
+  bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+#ifndef CQABENCH_NO_OBS
+
+namespace {
+std::atomic<uint64_t> g_next_span_id{1};
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name, uint64_t parent_id)
+    : name_(name),
+      id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
+      parent_id_(parent_id) {
+  Epoch();  // Pin the epoch no later than the first span's start.
+  start_ = SteadyClock::now();
+}
+
+double TraceSpan::ElapsedSeconds() const {
+  return std::chrono::duration<double>(SteadyClock::now() - start_).count();
+}
+
+TraceSpan::~TraceSpan() {
+  SpanRecord record;
+  record.name = name_;
+  record.start_seconds =
+      std::chrono::duration<double>(start_ - Epoch()).count();
+  record.duration_seconds = ElapsedSeconds();
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.thread_id = ThisThreadId();
+  TraceBuffer::Instance().Record(record);
+}
+
+#endif  // !CQABENCH_NO_OBS
+
+}  // namespace cqa::obs

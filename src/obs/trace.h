@@ -1,0 +1,106 @@
+#ifndef CQABENCH_OBS_TRACE_H_
+#define CQABENCH_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cqa::obs {
+
+/// One completed span. `name` must point at a string literal (the RAII
+/// span takes `const char*` precisely so no allocation happens on the
+/// instrumented path).
+struct SpanRecord {
+  const char* name = "";
+  /// Start offset from the process trace epoch, seconds (monotonic).
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = root span.
+  uint32_t thread_id = 0;  // Hashed std::thread::id.
+};
+
+/// Process-wide bounded ring buffer of completed spans. Recording takes a
+/// mutex — spans mark phases (an OptEstimate run, a Monte Carlo main
+/// loop), not per-draw events, so contention is negligible.
+class TraceBuffer {
+ public:
+  static TraceBuffer& Instance();
+
+  bool enabled() const;
+  void set_enabled(bool enabled);
+
+  /// Resizes the ring (discarding buffered spans). Default 4096.
+  void set_capacity(size_t capacity);
+
+  void Record(const SpanRecord& record);
+
+  /// Buffered spans, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Spans evicted by the ring since the last Clear().
+  uint64_t dropped() const;
+
+  void Clear();
+
+  /// Writes one JSON object per buffered span:
+  ///   {"name":...,"start_s":...,"dur_s":...,"id":...,"parent_id":...,
+  ///    "thread":...}
+  bool ExportJsonl(const std::string& path, std::string* error) const;
+  void AppendJsonl(std::string* out) const;
+
+ private:
+  TraceBuffer() = default;
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  size_t capacity_ = 4096;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+  bool enabled_ = true;
+};
+
+#ifdef CQABENCH_NO_OBS
+
+/// Compiled-out span: construction and destruction are empty inline
+/// functions the optimizer erases entirely.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* /*name*/, uint64_t /*parent_id*/ = 0) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  uint64_t id() const { return 0; }
+  double ElapsedSeconds() const { return 0.0; }
+};
+
+#else  // !CQABENCH_NO_OBS
+
+/// RAII phase marker: records a SpanRecord into the TraceBuffer at
+/// destruction. `name` must be a string literal. Pass a parent span's
+/// id() to nest (across threads too — the parallel workers hang their
+/// per-worker spans off the main-loop span).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, uint64_t parent_id = 0);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  uint64_t id() const { return id_; }
+  double ElapsedSeconds() const;
+
+ private:
+  const char* name_;
+  uint64_t id_;
+  uint64_t parent_id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#endif  // CQABENCH_NO_OBS
+
+}  // namespace cqa::obs
+
+#endif  // CQABENCH_OBS_TRACE_H_

@@ -72,6 +72,63 @@ TEST(HarnessTest, TimeoutBudgetIsHonored) {
   }
 }
 
+TEST(HarnessTest, RunAllSchemesReportsSampleSplit) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  Rng rng(1);
+  for (const SchemeTiming& t : RunAllSchemes(pre, ApxParams{}, 10.0, rng)) {
+    // Every scheme draws main-phase samples; the estimator phase only
+    // exists for the Monte Carlo schemes (Cover has none).
+    EXPECT_GT(t.main_samples, 0u) << SchemeKindName(t.scheme);
+    if (t.scheme != SchemeKind::kCover) {
+      EXPECT_GT(t.estimator_samples, 0u) << SchemeKindName(t.scheme);
+    }
+  }
+}
+
+TEST(HarnessTest, AllTimedOutRequiresEveryRunInTheCell) {
+  SeriesTable table("noise");
+  EXPECT_FALSE(table.AllTimedOut(0.1));  // no data: vacuously false
+  table.Add(0.1, SchemeKind::kNatural,
+            SchemeTiming{SchemeKind::kNatural, 1.0, true, 1});
+  EXPECT_TRUE(table.AllTimedOut(0.1));
+  // A single successful run in any cell flips the answer.
+  table.Add(0.1, SchemeKind::kKl, SchemeTiming{SchemeKind::kKl, 1.0, true, 1});
+  table.Add(0.1, SchemeKind::kKl,
+            SchemeTiming{SchemeKind::kKl, 1.0, false, 1});
+  EXPECT_FALSE(table.AllTimedOut(0.1));
+}
+
+TEST(HarnessTest, WinnerTieBreaksInEnumOrder) {
+  SeriesTable table("x");
+  table.Add(1.0, SchemeKind::kKlm,
+            SchemeTiming{SchemeKind::kKlm, 2.0, false, 1});
+  table.Add(1.0, SchemeKind::kKl, SchemeTiming{SchemeKind::kKl, 2.0, false, 1});
+  // Equal means: the first scheme in AllSchemeKinds() order wins.
+  EXPECT_EQ(table.Winner(1.0), SchemeKind::kKl);
+}
+
+TEST(HarnessTest, AbsentCellsAreSentinels) {
+  SeriesTable table("noise");
+  EXPECT_DOUBLE_EQ(table.Mean(0.9, SchemeKind::kCover), -1.0);
+  EXPECT_DOUBLE_EQ(table.MeanSamples(0.9, SchemeKind::kCover), -1.0);
+  EXPECT_EQ(table.Timeouts(0.9, SchemeKind::kCover), 0u);
+}
+
+TEST(HarnessTest, MeanSamplesAveragesBothPhases) {
+  SeriesTable table("noise");
+  SchemeTiming a{SchemeKind::kKl, 1.0, false, 1};
+  a.estimator_samples = 100;
+  a.main_samples = 300;
+  SchemeTiming b{SchemeKind::kKl, 1.0, false, 1};
+  b.estimator_samples = 200;
+  b.main_samples = 600;
+  table.Add(0.5, SchemeKind::kKl, a);
+  table.Add(0.5, SchemeKind::kKl, b);
+  EXPECT_DOUBLE_EQ(table.MeanSamples(0.5, SchemeKind::kKl), 600.0);
+}
+
 TEST(HarnessTest, PrintDoesNotCrash) {
   SeriesTable table("balance");
   table.Add(0.5, SchemeKind::kNatural,

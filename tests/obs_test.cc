@@ -1,0 +1,433 @@
+// Tests of the observability layer: the metrics registry, the trace
+// buffer, the JSONL run report, and their integration with the harness.
+// The macro/span assertions are compiled out together with the layer
+// under -DCQABENCH_NO_OBS; everything else (registry, reporter, record
+// plumbing) stays functional in both build modes and is tested in both.
+
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader, enough to validate the exporters: parses one
+// object of scalars and flat arrays into key -> raw value text. Rejects
+// malformed syntax hard so the tests double as format validation.
+
+class MiniJson {
+ public:
+  static bool ParseObject(const std::string& text,
+                          std::map<std::string, std::string>* out) {
+    MiniJson p(text);
+    if (!p.Object(out)) return false;
+    p.SkipSpace();
+    return p.pos_ == text.size();
+  }
+
+ private:
+  explicit MiniJson(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool String(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        ++pos_;
+      }
+      out->push_back(text_[pos_++]);
+    }
+    return Consume('"') || (--pos_, false);
+  }
+  // A scalar (number / true / false) or a flat array, captured verbatim.
+  bool Value(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      std::string s;
+      if (!String(&s)) return false;
+      *out = s;
+      return true;
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '[' || text_[pos_] == '{')) {
+      // Capture a balanced array/object verbatim, skipping over strings
+      // so bracket characters inside names cannot unbalance the scan.
+      int depth = 0;
+      do {
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == '"') {
+          std::string skipped;
+          if (!String(&skipped)) return false;
+          continue;
+        }
+        if (text_[pos_] == '[' || text_[pos_] == '{') ++depth;
+        if (text_[pos_] == ']' || text_[pos_] == '}') --depth;
+        ++pos_;
+      } while (depth > 0);
+      *out = text_.substr(start, pos_ - start);
+      return true;
+    }
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = text_.substr(start, pos_ - start);
+    return true;
+  }
+  bool Object(std::map<std::string, std::string>* out) {
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key, value;
+      if (!String(&key) || !Consume(':') || !Value(&value)) return false;
+      (*out)[key] = value;
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::vector<std::map<std::string, std::string>> ReadJsonl(
+    const std::string& path) {
+  std::vector<std::map<std::string, std::string>> records;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::map<std::string, std::string> record;
+    EXPECT_TRUE(MiniJson::ParseObject(line, &record)) << line;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// Registry (functional in both build modes).
+
+TEST(RegistryTest, CountersAreNamedAndStable) {
+  obs::Registry& reg = obs::Registry::Instance();
+  obs::Counter* c = reg.GetCounter("test.registry.alpha");
+  EXPECT_EQ(c, reg.GetCounter("test.registry.alpha"));
+  c->Reset();
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(reg.CounterValue("test.registry.alpha"), 42u);
+  EXPECT_EQ(reg.CounterValue("test.registry.never_registered"), 0u);
+}
+
+TEST(RegistryTest, HistogramBucketsArePowersOfTwo) {
+  obs::Histogram* h =
+      obs::Registry::Instance().GetHistogram("test.registry.hist");
+  h->Reset();
+  h->Observe(0);   // bucket 0
+  h->Observe(1);   // bucket 1
+  h->Observe(2);   // bucket 2: [2, 4)
+  h->Observe(3);   // bucket 2
+  h->Observe(4);   // bucket 3: [4, 8)
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), 10u);
+  EXPECT_EQ(h->max(), 4u);
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(2), 2u);
+  EXPECT_EQ(h->bucket(3), 1u);
+}
+
+TEST(RegistryTest, ToJsonIsValid) {
+  obs::Registry& reg = obs::Registry::Instance();
+  reg.GetCounter("test.registry.json")->Increment();
+  std::map<std::string, std::string> top;
+  ASSERT_TRUE(MiniJson::ParseObject(reg.ToJson(), &top)) << reg.ToJson();
+}
+
+#ifndef CQABENCH_NO_OBS
+
+TEST(RegistryTest, MacrosIncrementTheNamedMetric) {
+  obs::Registry& reg = obs::Registry::Instance();
+  reg.GetCounter("test.macro.count")->Reset();
+  CQA_OBS_COUNT("test.macro.count");
+  CQA_OBS_COUNT_N("test.macro.count", 9);
+  EXPECT_EQ(reg.CounterValue("test.macro.count"), 10u);
+  obs::Histogram* h = reg.GetHistogram("test.macro.hist");
+  h->Reset();
+  CQA_OBS_OBSERVE("test.macro.hist", 7);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->sum(), 7u);
+}
+
+TEST(RegistryTest, DisablingStopsMacroIncrements) {
+  obs::Registry& reg = obs::Registry::Instance();
+  reg.GetCounter("test.macro.gated")->Reset();
+  reg.set_enabled(false);
+  CQA_OBS_COUNT("test.macro.gated");
+  reg.set_enabled(true);
+  EXPECT_EQ(reg.CounterValue("test.macro.gated"), 0u);
+  CQA_OBS_COUNT("test.macro.gated");
+  EXPECT_EQ(reg.CounterValue("test.macro.gated"), 1u);
+}
+
+TEST(RegistryTest, SchemesPopulateSamplerCounters) {
+  obs::Registry& reg = obs::Registry::Instance();
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  uint64_t draws_before = reg.CounterValue("sampler.kl.draws") +
+                          reg.CounterValue("sampler.klm.draws") +
+                          reg.CounterValue("sampler.natural.draws") +
+                          reg.CounterValue("sampler.indexed_natural.draws");
+  uint64_t runs_before = reg.CounterValue("harness.scheme_runs");
+  Rng rng(5);
+  RunAllSchemes(pre, ApxParams{}, 10.0, rng);
+  uint64_t draws_after = reg.CounterValue("sampler.kl.draws") +
+                         reg.CounterValue("sampler.klm.draws") +
+                         reg.CounterValue("sampler.natural.draws") +
+                         reg.CounterValue("sampler.indexed_natural.draws");
+  EXPECT_GT(draws_after, draws_before);
+  EXPECT_EQ(reg.CounterValue("harness.scheme_runs"), runs_before + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans (the span type is a no-op stub under CQABENCH_NO_OBS).
+
+TEST(TraceTest, SpansRecordNestingAndDuration) {
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Instance();
+  buffer.Clear();
+  uint64_t outer_id = 0;
+  {
+    obs::TraceSpan outer("test.outer");
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0u);
+    obs::TraceSpan inner("test.inner", outer.id());
+    EXPECT_GE(inner.ElapsedSeconds(), 0.0);
+  }
+  std::vector<obs::SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner destructs first, so it is recorded first.
+  EXPECT_STREQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].parent_id, outer_id);
+  EXPECT_STREQ(spans[1].name, "test.outer");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+  EXPECT_GE(spans[1].duration_seconds, spans[0].duration_seconds);
+  EXPECT_GE(spans[0].start_seconds, spans[1].start_seconds);
+}
+
+TEST(TraceTest, RingEvictsOldestAndCountsDrops) {
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Instance();
+  buffer.set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    obs::TraceSpan span(i % 2 == 0 ? "test.even" : "test.odd");
+  }
+  std::vector<obs::SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  // Oldest first: spans 2, 3, 4 survive.
+  EXPECT_STREQ(spans[0].name, "test.even");
+  EXPECT_STREQ(spans[1].name, "test.odd");
+  EXPECT_STREQ(spans[2].name, "test.even");
+  EXPECT_LE(spans[0].start_seconds, spans[1].start_seconds);
+  buffer.set_capacity(4096);
+  buffer.Clear();
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(TraceTest, ExportJsonlIsValid) {
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Instance();
+  buffer.Clear();
+  {
+    obs::TraceSpan span("test.export");
+  }
+  std::string path = TempPath("cqa_obs_trace_test.jsonl");
+  std::string error;
+  ASSERT_TRUE(buffer.ExportJsonl(path, &error)) << error;
+  auto records = ReadJsonl(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0]["name"], "test.export");
+  EXPECT_EQ(records[0]["parent_id"], "0");
+  EXPECT_GE(std::stod(records[0]["dur_s"]), 0.0);
+  std::filesystem::remove(path);
+}
+
+#endif  // !CQABENCH_NO_OBS
+
+// ---------------------------------------------------------------------------
+// Run records and the JSONL reporter (functional in both build modes).
+
+TEST(ReportTest, RunRecordToJsonEscapesAndRoundTrips) {
+  obs::RunRecord record;
+  record.scenario = "Noise[\"quoted\\path\"]";
+  record.x_label = "noise";
+  record.x = 0.25;
+  record.scheme = "KLM";
+  record.estimate = 0.5;
+  record.num_answers = 3;
+  record.estimator_samples = 10;
+  record.main_samples = 20;
+  record.total_samples = 30;
+  record.timed_out = true;
+  record.per_thread_samples = {12, 8};
+  std::string json = obs::RunRecordToJson(record);
+  std::map<std::string, std::string> parsed;
+  ASSERT_TRUE(MiniJson::ParseObject(json, &parsed)) << json;
+  EXPECT_EQ(parsed["scenario"], "Noise[\"quoted\\path\"]");
+  EXPECT_EQ(parsed["scheme"], "KLM");
+  EXPECT_EQ(parsed["x_label"], "noise");
+  EXPECT_EQ(std::stod(parsed["x"]), 0.25);
+  EXPECT_EQ(parsed["estimator_samples"], "10");
+  EXPECT_EQ(parsed["main_samples"], "20");
+  EXPECT_EQ(parsed["total_samples"], "30");
+  EXPECT_EQ(parsed["timed_out"], "true");
+  EXPECT_EQ(parsed["per_thread_samples"], "[12,8]");
+}
+
+TEST(ReportTest, ReporterWritesOneLinePerRecord) {
+  std::string path = TempPath("cqa_obs_report_test.jsonl");
+  obs::RunReporter reporter;
+  std::string error;
+  ASSERT_TRUE(reporter.Open(path, &error)) << error;
+  EXPECT_TRUE(reporter.is_open());
+  obs::RunRecord record;
+  record.scenario = "unit";
+  record.scheme = "Natural";
+  reporter.Add(record);
+  record.scheme = "KL";
+  reporter.Add(record);
+  EXPECT_EQ(reporter.num_records(), 2u);
+  reporter.Close();
+  auto records = ReadJsonl(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0]["scheme"], "Natural");
+  EXPECT_EQ(records[1]["scheme"], "KL");
+  std::filesystem::remove(path);
+}
+
+TEST(ReportTest, OpenFailsOnBadPath) {
+  obs::RunReporter reporter;
+  std::string error;
+  EXPECT_FALSE(reporter.Open("/nonexistent_dir_xyz/report.jsonl", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(reporter.is_open());
+}
+
+// The acceptance path: RunAllSchemes with a reporter emits one valid
+// record per scheme, carrying the phase breakdown.
+TEST(ReportTest, RunAllSchemesEmitsOneRecordPerScheme) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  std::string path = TempPath("cqa_obs_harness_test.jsonl");
+  obs::RunReporter reporter;
+  std::string error;
+  ASSERT_TRUE(reporter.Open(path, &error)) << error;
+  Rng rng(7);
+  obs::RunContext context{"Test[0.5, 1]", "noise", 0.5};
+  RunAllSchemes(pre, ApxParams{}, 10.0, rng, &reporter, context);
+  reporter.Close();
+
+  auto records = ReadJsonl(path);
+  ASSERT_EQ(records.size(), 4u);
+  const char* kExpected[] = {"Natural", "KL", "KLM", "Cover"};
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto& r = records[i];
+    EXPECT_EQ(r["scenario"], "Test[0.5, 1]");
+    EXPECT_EQ(r["x_label"], "noise");
+    EXPECT_EQ(std::stod(r["x"]), 0.5);
+    EXPECT_EQ(r["scheme"], kExpected[i]);
+    EXPECT_EQ(r["num_answers"], "3");
+    EXPECT_EQ(r["timed_out"], "false");
+    // The sample split is consistent and non-trivial.
+    size_t estimator = std::stoull(r["estimator_samples"]);
+    size_t main = std::stoull(r["main_samples"]);
+    EXPECT_EQ(std::stoull(r["total_samples"]), estimator + main);
+    EXPECT_GT(main, 0u);
+    EXPECT_GE(std::stod(r["total_seconds"]), 0.0);
+    EXPECT_GE(std::stod(r["main_seconds"]), 0.0);
+    ASSERT_TRUE(r.count("per_thread_samples")) << r["scheme"];
+  }
+  std::filesystem::remove(path);
+}
+
+// Parallel Monte Carlo surfaces per-worker sample counts: with two
+// threads the per_thread_samples array of the MC schemes has two entries
+// summing to the main-phase total.
+TEST(ReportTest, ParallelRunReportsPerThreadSamples) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  std::string path = TempPath("cqa_obs_parallel_test.jsonl");
+  obs::RunReporter reporter;
+  std::string error;
+  ASSERT_TRUE(reporter.Open(path, &error)) << error;
+  ApxParams params;
+  params.num_threads = 2;
+  Rng rng(11);
+  obs::RunContext context{"Parallel[2]", "threads", 2.0};
+  RunAllSchemes(pre, params, 10.0, rng, &reporter, context);
+  reporter.Close();
+
+  auto records = ReadJsonl(path);
+  ASSERT_EQ(records.size(), 4u);
+  for (auto& r : records) {
+    if (r["scheme"] == "Cover") continue;  // inherently sequential
+    std::string array = r["per_thread_samples"];
+    // Per-answer worker counts are summed element-wise across answers:
+    // two workers -> two entries, together covering every main draw.
+    size_t entries = 0;
+    size_t sum = 0;
+    std::stringstream ss(array.substr(1, array.size() - 2));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      ++entries;
+      sum += std::stoull(item);
+    }
+    EXPECT_EQ(entries, 2u) << r["scheme"] << " " << array;
+    EXPECT_EQ(sum, std::stoull(r["main_samples"]))
+        << r["scheme"] << " " << array;
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cqa

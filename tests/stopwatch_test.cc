@@ -1,5 +1,7 @@
 #include "common/stopwatch.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace cqa {
@@ -37,6 +39,27 @@ TEST(DeadlineTest, GenerousBudgetDoesNotExpire) {
   Deadline d(3600.0);
   EXPECT_FALSE(d.Expired());
   EXPECT_DOUBLE_EQ(d.limit_seconds(), 3600.0);
+}
+
+TEST(DeadlineTest, InfiniteDeadlineHasInfiniteRemaining) {
+  EXPECT_EQ(Deadline().RemainingSeconds(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Deadline::Infinite().RemainingSeconds(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, ZeroBudgetHasZeroRemaining) {
+  Deadline d(0.0);
+  EXPECT_DOUBLE_EQ(d.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, RemainingIsClampedToBudget) {
+  Deadline d(3600.0);
+  double remaining = d.RemainingSeconds();
+  EXPECT_GT(remaining, 0.0);
+  EXPECT_LE(remaining, 3600.0);
+  // Remaining budget only shrinks as time passes.
+  EXPECT_LE(d.RemainingSeconds(), remaining);
 }
 
 }  // namespace
