@@ -114,11 +114,14 @@ struct BenchFlags {
   std::vector<double> Levels(bool with_zero,
                              std::vector<double> quick) const {
     std::vector<double> levels;
+    // Reserve + push_back (rather than a range insert) keeps GCC 12's
+    // -Wstringop-overflow from flagging the grow-and-memmove path.
+    levels.reserve(quick.size() + 11);
     if (with_zero) levels.push_back(0.0);
     if (full) {
       for (int i = 1; i <= 10; ++i) levels.push_back(i / 10.0);
     } else {
-      levels.insert(levels.end(), quick.begin(), quick.end());
+      for (double level : quick) levels.push_back(level);
     }
     return levels;
   }

@@ -2,9 +2,9 @@
 // downstream user runs without writing C++:
 //
 //   cqa_cli gen    --schema=tpch --sf=0.0005 --out=DIR
-//   cqa_cli noise  --schema=tpch --data=DIR --out=DIR2 --p=0.5 \
+//   cqa_cli noise  --schema=tpch --data=DIR --out=DIR2 --p=0.5
 //                  --query='Q(N) :- ...'
-//   cqa_cli run    --schema=tpch --data=DIR2 --scheme=KLM \
+//   cqa_cli run    --schema=tpch --data=DIR2 --scheme=KLM
 //                  --query='Q(N) :- ...' [--epsilon=0.1 --delta=0.25]
 //   cqa_cli prep   --schema=tpch --data=DIR2 --query='...' --out=FILE
 //   cqa_cli approx --syn=FILE --scheme=KL
@@ -91,7 +91,7 @@ Schema MakeSchema(const std::string& name) {
   return MakeTpchSchema();
 }
 
-bool LoadData(const Schema& schema, const std::string& dir, Database* db) {
+bool LoadData(const std::string& dir, Database* db) {
   std::string error;
   if (!ReadTblDirectory(db, dir, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -145,7 +145,7 @@ int CmdNoise(const Args& args) {
   }
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
   Database db(&schema);
-  if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
+  if (!LoadData(args.Get("data", "."), &db)) return 1;
   ConjunctiveQuery q;
   if (!ParseQueryFlag(schema, args, &q)) return 1;
   std::string out = args.Get("out", "");
@@ -178,7 +178,7 @@ int CmdRun(const Args& args) {
   }
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
   Database db(&schema);
-  if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
+  if (!LoadData(args.Get("data", "."), &db)) return 1;
   ConjunctiveQuery q;
   if (!ParseQueryFlag(schema, args, &q)) return 1;
 
@@ -233,7 +233,7 @@ int CmdPrep(const Args& args) {
   if (!args.ValidateKeys({"schema", "data", "query", "out"})) return Usage();
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
   Database db(&schema);
-  if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
+  if (!LoadData(args.Get("data", "."), &db)) return 1;
   ConjunctiveQuery q;
   if (!ParseQueryFlag(schema, args, &q)) return 1;
   std::string out = args.Get("out", "");
@@ -285,7 +285,7 @@ int CmdProfile(const Args& args) {
   if (!args.ValidateKeys({"schema", "data", "query"})) return Usage();
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
   Database db(&schema);
-  if (!LoadData(schema, args.Get("data", "."), &db)) return 1;
+  if (!LoadData(args.Get("data", "."), &db)) return 1;
   ConjunctiveQuery q;
   if (!ParseQueryFlag(schema, args, &q)) return 1;
   PreprocessResult pre = BuildSynopses(db, q);

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 // Internal invariant checking. CQA_CHECK is active in all build modes: the
 // algorithms in this library are randomized, and a silently violated
@@ -25,5 +26,58 @@
       std::abort();                                                         \
     }                                                                       \
   } while (0)
+
+// Tiered audit checks. CQA_CHECK (above) guards API contracts and stays on
+// everywhere. CQA_DCHECK guards per-draw conditions that are cheap but sit
+// on the sampling hot path; CQA_AUDIT runs the O(synopsis)-and-worse
+// invariant sweeps from src/cqa/invariants.h. Both compile to nothing in
+// optimized builds (NDEBUG) unless the build sets CQABENCH_AUDIT — the
+// sanitizer presets do — so the ε/δ guarantees of Release benchmarks are
+// never paid for twice, while every CI sanitizer run also proves the
+// estimator invariants.
+#if defined(CQABENCH_AUDIT) || !defined(NDEBUG)
+#define CQA_AUDIT_ENABLED 1
+#else
+#define CQA_AUDIT_ENABLED 0
+#endif
+
+#if CQA_AUDIT_ENABLED
+
+#define CQA_DCHECK(cond) CQA_CHECK(cond)
+#define CQA_DCHECK_MSG(cond, msg) CQA_CHECK_MSG(cond, msg)
+
+// Runs an audit predicate `bool fn(args..., std::string* why)` and aborts
+// with its diagnostic on violation. Usage:
+//   CQA_AUDIT(audit::CheckSynopsis, synopsis);
+#define CQA_AUDIT(fn, ...)                                                  \
+  do {                                                                      \
+    std::string cqa_audit_why__;                                            \
+    if (!fn(__VA_ARGS__, &cqa_audit_why__)) {                               \
+      std::fprintf(stderr, "CQA_AUDIT failed at %s:%d: %s: %s\n", __FILE__, \
+                   __LINE__, #fn, cqa_audit_why__.c_str());                 \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#else  // !CQA_AUDIT_ENABLED
+
+// The disabled forms keep their operands syntactically alive (unevaluated
+// sizeof) so variables used only in audits do not trip -Wunused under
+// -Werror Release builds.
+#define CQA_DCHECK(cond) \
+  do {                   \
+    (void)sizeof(!(cond)); \
+  } while (0)
+#define CQA_DCHECK_MSG(cond, msg) \
+  do {                            \
+    (void)sizeof(!(cond));        \
+    (void)sizeof(msg);            \
+  } while (0)
+#define CQA_AUDIT(fn, ...)                                              \
+  do {                                                                  \
+    (void)sizeof(fn(__VA_ARGS__, static_cast<std::string*>(nullptr)));  \
+  } while (0)
+
+#endif  // CQA_AUDIT_ENABLED
 
 #endif  // CQABENCH_COMMON_MACROS_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "cqa/invariants.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -68,6 +69,7 @@ finish:
                                  (static_cast<double>(h) *
                                   static_cast<double>(trials));
   }
+  CQA_AUDIT(audit::CheckCoverageResult, result, budget);
   return result;
 }
 

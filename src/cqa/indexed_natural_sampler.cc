@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "cqa/invariants.h"
 #include "obs/metrics.h"
 
 namespace cqa {
@@ -48,11 +49,15 @@ double IndexedNaturalSampler::Draw(Rng& rng) {
       if (++hits_[image] == image_sizes_[image]) {
         // All facts of this image were drawn: it survives. We still need
         // to finish nothing — containment of one image suffices.
+        CQA_AUDIT(audit::CheckImageInPrefix, *synopsis_, image, scratch_,
+                  b + 1);
         CQA_OBS_COUNT("sampler.indexed_natural.hits");
         return 1.0;
       }
     }
   }
+  // Cross-validate the inverted-index miss against the naive scan.
+  CQA_AUDIT(audit::CheckNaturalDraw, *synopsis_, scratch_, 0.0);
   return 0.0;
 }
 

@@ -1,0 +1,76 @@
+#ifndef CQABENCH_CQA_INVARIANTS_H_
+#define CQABENCH_CQA_INVARIANTS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "cqa/coverage.h"
+#include "cqa/monte_carlo.h"
+#include "cqa/opt_estimate.h"
+#include "cqa/symbolic_space.h"
+#include "cqa/synopsis.h"
+
+namespace cqa::audit {
+
+/// Audit predicates for the estimator stack, run through CQA_AUDIT (see
+/// common/macros.h). Each returns true when the invariant holds; on a
+/// violation it writes a diagnostic to *why (when non-null) and returns
+/// false, so tests can probe deliberately corrupted states without dying.
+///
+/// These encode the load-bearing guarantees of §4–§5: a violated one does
+/// not crash a Release benchmark — it silently skews every reported
+/// estimate — which is exactly why the sanitizer presets compile them in.
+
+/// Structural synopsis invariants: block sizes >= 1; every image
+/// non-empty, sorted by block, at most one fact per block (consistency),
+/// with in-range block/tid references; images pairwise distinct; every
+/// image weight in (0, 1].
+bool CheckSynopsis(const Synopsis& synopsis, std::string* why);
+
+/// The space's cached weights are exactly the synopsis image weights and
+/// total_weight() is their sum (the |S•|/|db(B)| conversion factor every
+/// symbolic scheme multiplies by).
+bool CheckSymbolicSpace(const SymbolicSpace& space, std::string* why);
+
+/// A sampled element (i, I) of S• is well-formed: i indexes an image, I
+/// picks an in-range tuple for every block, and H_i ⊆ I — the
+/// block-membership property KL/KLM acceptance relies on.
+bool CheckSampledElement(const SymbolicSpace& space, size_t image_index,
+                         const Synopsis::Choice& choice, std::string* why);
+
+/// All facts of image `image_index` lie in blocks < prefix_blocks and
+/// match the partially drawn choice — the early-accept invariant of the
+/// indexed natural sampler, which stops drawing once an image completes.
+bool CheckImageInPrefix(const Synopsis& synopsis, size_t image_index,
+                        const Synopsis::Choice& choice, size_t prefix_blocks,
+                        std::string* why);
+
+/// A natural-space draw returned 1.0 iff some image is contained in the
+/// fully drawn choice (cross-validates indexed fast paths against the
+/// naive scan).
+bool CheckNaturalDraw(const Synopsis& synopsis, const Synopsis::Choice& choice,
+                      double value, std::string* why);
+
+/// OptEstimate's (ε, δ) precondition: both strictly inside (0, 1).
+bool CheckOptEstimateParams(double epsilon, double delta, std::string* why);
+
+/// Postconditions of a completed (non-timed-out) OptEstimate run:
+/// μ̂ ∈ (0, 1] (samples live in [0, 1]), ρ̂ >= ε·μ̂ (the variance clamp),
+/// and at least one main-loop iteration was requested.
+bool CheckOptEstimateResult(const OptEstimateResult& result, double epsilon,
+                            std::string* why);
+
+/// A Monte Carlo result is internally consistent: the per-thread sample
+/// counts sum to main_samples, phase times are non-negative, and a
+/// completed estimate lies in [0, 1] (samplers emit values in [0, 1]).
+bool CheckMonteCarloResult(const MonteCarloResult& result, std::string* why);
+
+/// The coverage loop respected its deterministic budget: steps <= N + 1,
+/// every trial cost at least one step, and the normalized estimate of a
+/// completed run is non-negative.
+bool CheckCoverageResult(const CoverageResult& result, size_t budget,
+                         std::string* why);
+
+}  // namespace cqa::audit
+
+#endif  // CQABENCH_CQA_INVARIANTS_H_

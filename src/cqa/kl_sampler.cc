@@ -1,6 +1,7 @@
 #include "cqa/kl_sampler.h"
 
 #include "common/macros.h"
+#include "cqa/invariants.h"
 #include "obs/metrics.h"
 
 namespace cqa {
@@ -16,6 +17,9 @@ double KlSampler::Draw(Rng& rng) {
   for (size_t j = 0; j < i; ++j) {
     if (synopsis.ImageContainedIn(j, scratch_)) return 0.0;
   }
+  // Acceptance implies block-membership: the drawn database I must
+  // actually contain H_i, otherwise the 1/Σw normalization is wrong.
+  CQA_AUDIT(audit::CheckSampledElement, *space_, i, scratch_);
   CQA_OBS_COUNT("sampler.kl.accepts");
   return 1.0;
 }

@@ -1,6 +1,7 @@
 #include "cqa/klm_sampler.h"
 
 #include "common/macros.h"
+#include "cqa/invariants.h"
 #include "obs/metrics.h"
 
 namespace cqa {
@@ -12,7 +13,10 @@ KlmSampler::KlmSampler(const SymbolicSpace* space) : space_(space) {
 double KlmSampler::Draw(Rng& rng) {
   CQA_OBS_COUNT("sampler.klm.draws");
   const Synopsis& synopsis = space_->synopsis();
-  space_->SampleElement(rng, &scratch_);
+  size_t i = space_->SampleElement(rng, &scratch_);
+  // Acceptance implies block-membership: H_i ⊆ I guarantees the
+  // multiplicity scan below finds k >= 1 covering images.
+  CQA_AUDIT(audit::CheckSampledElement, *space_, i, scratch_);
   size_t k = 0;
   for (size_t j = 0; j < synopsis.NumImages(); ++j) {
     if (synopsis.ImageContainedIn(j, scratch_)) ++k;

@@ -1,5 +1,7 @@
 #include "cqa/monte_carlo.h"
 
+#include "common/macros.h"
+#include "cqa/invariants.h"
 #include "cqa/opt_estimate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -47,6 +49,7 @@ MonteCarloResult MonteCarloEstimate(Sampler& sampler, double epsilon,
   result.estimate = sum / static_cast<double>(n);
   result.main_seconds = phase_watch.ElapsedSeconds();
   result.per_thread_samples = {n};
+  CQA_AUDIT(audit::CheckMonteCarloResult, result);
   CQA_OBS_COUNT_N("monte_carlo.main_draws", n);
   CQA_OBS_COUNT("monte_carlo.runs");
   return result;

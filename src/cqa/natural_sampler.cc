@@ -1,6 +1,7 @@
 #include "cqa/natural_sampler.h"
 
 #include "common/macros.h"
+#include "cqa/invariants.h"
 #include "obs/metrics.h"
 
 namespace cqa {
@@ -9,6 +10,7 @@ NaturalSampler::NaturalSampler(const Synopsis* synopsis)
     : synopsis_(synopsis) {
   CQA_CHECK(synopsis != nullptr);
   CQA_CHECK_MSG(!synopsis->Empty(), "natural sampler requires H != {}");
+  CQA_AUDIT(audit::CheckSynopsis, *synopsis);
 }
 
 double NaturalSampler::Draw(Rng& rng) {
@@ -19,9 +21,11 @@ double NaturalSampler::Draw(Rng& rng) {
     scratch_[b] = static_cast<uint32_t>(rng.UniformIndex(blocks[b].size));
   }
   if (synopsis_->AnyImageContainedIn(scratch_)) {
+    CQA_AUDIT(audit::CheckNaturalDraw, *synopsis_, scratch_, 1.0);
     CQA_OBS_COUNT("sampler.natural.hits");
     return 1.0;
   }
+  CQA_AUDIT(audit::CheckNaturalDraw, *synopsis_, scratch_, 0.0);
   return 0.0;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "cqa/invariants.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -24,6 +25,7 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
                               Rng& rng, const Deadline& deadline) {
   CQA_CHECK(epsilon > 0.0 && epsilon < 1.0);
   CQA_CHECK(delta > 0.0 && delta < 1.0);
+  CQA_AUDIT(audit::CheckOptEstimateParams, epsilon, delta);
   OptEstimateResult result;
   obs::TraceSpan span("opt_estimate");
   CQA_OBS_COUNT("opt_estimate.runs");
@@ -77,6 +79,7 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
       upsilon2 * result.rho_hat / (result.mu_hat * result.mu_hat)));
   CQA_CHECK(result.num_iterations >= 1);
   result.samples_used = n1 + 2 * n2;
+  CQA_AUDIT(audit::CheckOptEstimateResult, result, epsilon);
   CQA_OBS_OBSERVE("opt_estimate.num_iterations", result.num_iterations);
   return result;
 }

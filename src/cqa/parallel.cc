@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "cqa/invariants.h"
 #include "cqa/opt_estimate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -55,6 +56,7 @@ MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
     if (!result.timed_out) {
       result.estimate = sum / static_cast<double>(count);
     }
+    CQA_AUDIT(audit::CheckMonteCarloResult, result);
     return result;
   }
 
@@ -105,9 +107,11 @@ MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
   CQA_OBS_COUNT_N("monte_carlo.main_draws", count);
   if (expired.load() || count < n) {
     result.timed_out = true;
+    CQA_AUDIT(audit::CheckMonteCarloResult, result);
     return result;
   }
   result.estimate = sum / static_cast<double>(count);
+  CQA_AUDIT(audit::CheckMonteCarloResult, result);
   return result;
 }
 

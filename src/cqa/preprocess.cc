@@ -6,8 +6,10 @@
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "cqa/invariants.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/audit.h"
 
 namespace cqa {
 
@@ -71,6 +73,10 @@ PreprocessResult BuildSynopses(const Database& db, const ConjunctiveQuery& q,
   obs::TraceSpan span("preprocess.build_synopses");
   CQA_OBS_COUNT("preprocess.builds");
   BlockIndex block_index = BlockIndex::Build(db);
+  // Synopses encode blocks by (relation, block, tid) coordinates; a block
+  // structure that fails to partition the relations corrupts every
+  // estimate downstream.
+  CQA_AUDIT(audit::CheckBlockPartition, db, block_index);
   PreprocessStats stats;
 
   std::unordered_map<Tuple, size_t, TupleHash> answer_index;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "cqa/invariants.h"
 #include "obs/metrics.h"
 
 namespace cqa {
@@ -23,6 +24,7 @@ SymbolicSpace::SymbolicSpace(const Synopsis* synopsis)
     cumulative_.push_back(acc);
   }
   total_weight_ = acc;
+  CQA_AUDIT(audit::CheckSymbolicSpace, *this);
 }
 
 size_t SymbolicSpace::SampleElement(Rng& rng,
@@ -44,6 +46,8 @@ size_t SymbolicSpace::SampleElement(Rng& rng,
   for (const Synopsis::ImageFact& f : synopsis_->images()[i].facts) {
     (*choice)[f.block] = f.tid;
   }
+  // (i, I) ∈ S• by construction: H_i's facts were just pinned into I.
+  CQA_AUDIT(audit::CheckSampledElement, *this, i, *choice);
   return i;
 }
 

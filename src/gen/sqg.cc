@@ -56,7 +56,9 @@ class Draft {
     if (it != atom_of_rel_.end()) return it->second;
     DraftAtom atom;
     atom.relation_id = rel;
-    for (size_t i = 0; i < schema_->relation(rel).arity(); ++i) {
+    const size_t arity = schema_->relation(rel).arity();
+    atom.terms.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) {
       atom.terms.push_back(Term::Var(next_var_++));
     }
     atoms_.push_back(std::move(atom));
@@ -80,7 +82,7 @@ class Draft {
     if (va == vb) return false;
     for (DraftAtom& atom : atoms_) {
       for (Term& t : atom.terms) {
-        if (t.is_variable() && t.var() == vb) t = Term::Var(va);
+        if (t.is_variable() && t.var() == vb) t.set_var(va);
       }
     }
     return true;

@@ -201,16 +201,20 @@ Dataset GenerateTpcds(const TpcdsOptions& options) {
 
   // Fact tables. Composite keys (item, ticket/order number) never collide
   // because each row draws a fresh ticket number.
+  // Values are constructed in place: moving freshly built Value
+  // temporaries through push_back trips a GCC 12 -Wmaybe-uninitialized
+  // false positive in the variant's string member.
   auto sales_row = [&](int64_t ticket, int64_t location_count) {
     Tuple t;
-    t.push_back(Value(rng.UniformInt(1, kNumDays)));                 // date
-    t.push_back(Value(rng.UniformInt(1, static_cast<int64_t>(num_items))));
-    t.push_back(Value(ticket));
-    t.push_back(Value(rng.UniformInt(1, static_cast<int64_t>(num_customers))));
-    t.push_back(Value(rng.UniformInt(1, location_count)));           // store/wh
-    t.push_back(Value(rng.UniformInt(1, static_cast<int64_t>(num_promos))));
-    t.push_back(Value(rng.UniformInt(1, 100)));                      // quantity
-    t.push_back(Value(rng.UniformInt(100, 1000000) / 100.0));        // price
+    t.reserve(8);
+    t.emplace_back(rng.UniformInt(1, kNumDays));                     // date
+    t.emplace_back(rng.UniformInt(1, static_cast<int64_t>(num_items)));
+    t.emplace_back(ticket);
+    t.emplace_back(rng.UniformInt(1, static_cast<int64_t>(num_customers)));
+    t.emplace_back(rng.UniformInt(1, location_count));               // store/wh
+    t.emplace_back(rng.UniformInt(1, static_cast<int64_t>(num_promos)));
+    t.emplace_back(rng.UniformInt(1, 100));                          // quantity
+    t.emplace_back(rng.UniformInt(100, 1000000) / 100.0);            // price
     return t;
   };
   for (size_t i = 1; i <= num_store_sales; ++i) {

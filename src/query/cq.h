@@ -12,13 +12,18 @@ namespace cqa {
 /// A term of an atom: either a variable (dense id) or a constant.
 class Term {
  public:
-  static Term Var(size_t var_id) { return Term(true, var_id, Value()); }
-  static Term Const(Value v) { return Term(false, 0, std::move(v)); }
+  static Term Var(size_t var_id) { return Term(var_id); }
+  static Term Const(Value v) { return Term(std::move(v)); }
 
   bool is_variable() const { return is_variable_; }
   bool is_constant() const { return !is_variable_; }
   size_t var() const { return var_id_; }
   const Value& constant() const { return constant_; }
+
+  /// Rebinds a variable term to another variable id. Only valid on
+  /// variable terms; cheaper than assigning a whole Term (no constant
+  /// payload involved).
+  void set_var(size_t var_id) { var_id_ = var_id; }
 
   friend bool operator==(const Term& a, const Term& b) {
     if (a.is_variable_ != b.is_variable_) return false;
@@ -27,10 +32,11 @@ class Term {
   }
 
  private:
-  Term(bool is_variable, size_t var_id, Value constant)
-      : is_variable_(is_variable),
-        var_id_(var_id),
-        constant_(std::move(constant)) {}
+  // Separate constructors keep Var() from materializing (and moving) a
+  // Value it does not need.
+  explicit Term(size_t var_id) : is_variable_(true), var_id_(var_id) {}
+  explicit Term(Value constant)
+      : is_variable_(false), var_id_(0), constant_(std::move(constant)) {}
 
   bool is_variable_;
   size_t var_id_;

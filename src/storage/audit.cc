@@ -1,0 +1,110 @@
+#include "storage/audit.h"
+
+#include <cstdio>
+
+namespace cqa::audit {
+
+namespace {
+
+bool Fail(std::string* why, const char* fmt, size_t a, size_t b, size_t c) {
+  if (why != nullptr) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), fmt, a, b, c);
+    *why = buf;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CheckBlockPartition(const Database& db, const BlockIndex& index,
+                         std::string* why) {
+  if (index.NumRelations() != db.NumRelations()) {
+    return Fail(why, "index covers %zu relations, database has %zu (%zu)",
+                index.NumRelations(), db.NumRelations(), 0);
+  }
+  for (size_t rid = 0; rid < db.NumRelations(); ++rid) {
+    const Relation& rel = db.relation(rid);
+    const RelationBlockIndex& rbi = index.relation(rid);
+    // Every row of the relation must be claimed by exactly one block.
+    std::vector<char> seen(rel.size(), 0);
+    size_t covered = 0;
+    for (size_t bid = 0; bid < rbi.NumBlocks(); ++bid) {
+      const std::vector<size_t>& rows = rbi.block(bid);
+      if (rows.empty()) {
+        return Fail(why, "relation %zu: block %zu is empty (%zu)", rid, bid,
+                    0);
+      }
+      for (size_t tid = 0; tid < rows.size(); ++tid) {
+        size_t row = rows[tid];
+        if (row >= rel.size()) {
+          return Fail(why, "relation %zu: block %zu references row %zu "
+                           "past the relation",
+                      rid, bid, row);
+        }
+        if (seen[row] != 0) {
+          return Fail(why, "relation %zu: row %zu appears in two blocks "
+                           "(second: %zu)",
+                      rid, row, bid);
+        }
+        seen[row] = 1;
+        ++covered;
+        const BlockAnnotation& ann = rbi.annotation(row);
+        if (ann.block_id != bid || ann.tuple_id != tid ||
+            ann.block_size != rows.size()) {
+          return Fail(why, "relation %zu: row %zu has annotation "
+                           "inconsistent with block %zu",
+                      rid, row, bid);
+        }
+      }
+    }
+    if (covered != rel.size()) {
+      return Fail(why, "relation %zu: blocks cover %zu of %zu rows", rid,
+                  covered, rel.size());
+    }
+  }
+  return true;
+}
+
+bool CheckRepairSelection(const Database& db, const BlockIndex& index,
+                          const std::vector<FactRef>& selection,
+                          std::string* why) {
+  size_t pos = 0;
+  for (size_t rid = 0; rid < index.NumRelations(); ++rid) {
+    const RelationBlockIndex& rbi = index.relation(rid);
+    for (size_t bid = 0; bid < rbi.NumBlocks(); ++bid) {
+      if (pos >= selection.size()) {
+        return Fail(why, "selection has %zu facts, fewer than the %zu "
+                         "blocks of the database",
+                    selection.size(), index.TotalBlocks(), 0);
+      }
+      const FactRef& f = selection[pos];
+      if (f.relation_id != rid) {
+        return Fail(why, "selection entry %zu names relation %zu, "
+                         "expected %zu",
+                    pos, f.relation_id, rid);
+      }
+      if (f.relation_id >= db.NumRelations() ||
+          f.row >= db.relation(f.relation_id).size()) {
+        return Fail(why, "selection entry %zu references row %zu past "
+                         "relation %zu",
+                    pos, f.row, f.relation_id);
+      }
+      const BlockAnnotation& ann = rbi.annotation(f.row);
+      if (ann.block_id != bid) {
+        return Fail(why, "selection entry %zu picks a row of block %zu, "
+                         "expected block %zu",
+                    pos, ann.block_id, bid);
+      }
+      ++pos;
+    }
+  }
+  if (pos != selection.size()) {
+    return Fail(why, "selection has %zu facts, more than the %zu blocks "
+                     "of the database",
+                selection.size(), pos, 0);
+  }
+  return true;
+}
+
+}  // namespace cqa::audit

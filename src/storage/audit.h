@@ -1,0 +1,34 @@
+#ifndef CQABENCH_STORAGE_AUDIT_H_
+#define CQABENCH_STORAGE_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/block_index.h"
+#include "storage/database.h"
+
+namespace cqa::audit {
+
+/// Audit predicates for the storage layer, run through CQA_AUDIT (see
+/// common/macros.h). Each returns true when the invariant holds; on a
+/// violation it writes a diagnostic to *why (when non-null) and returns
+/// false so tests can probe corrupted states without dying.
+
+/// The blocks of every relation partition its rows: each row appears in
+/// exactly one block, at the position its annotation claims, and the
+/// annotated block size matches the block's actual cardinality. This is
+/// the "blocks partition the inconsistent relation" precondition every
+/// synopsis and repair-enumeration result rests on.
+bool CheckBlockPartition(const Database& db, const BlockIndex& index,
+                         std::string* why);
+
+/// A repair selection picks exactly one fact per block, and each picked
+/// row is a member of the block it stands for (in block order, matching
+/// ForEachRepair's enumeration).
+bool CheckRepairSelection(const Database& db, const BlockIndex& index,
+                          const std::vector<FactRef>& selection,
+                          std::string* why);
+
+}  // namespace cqa::audit
+
+#endif  // CQABENCH_STORAGE_AUDIT_H_

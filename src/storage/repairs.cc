@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "storage/audit.h"
 
 namespace cqa {
 
@@ -42,15 +43,24 @@ double CountRepairs(const Database& db, const BlockIndex& index) {
 bool ForEachRepair(const Database& db, const BlockIndex& index,
                    const std::function<bool(const std::vector<FactRef>&)>& fn,
                    size_t max_repairs) {
+  // The enumeration below assumes the blocks partition every relation;
+  // a broken partition would repeat or skip repairs silently.
+  CQA_AUDIT(audit::CheckBlockPartition, db, index);
   auto blocks = AllBlocks(db, index);
   std::vector<size_t> choice(blocks.size(), 0);
   std::vector<FactRef> selection(blocks.size());
   size_t visited = 0;
   while (true) {
     for (size_t i = 0; i < blocks.size(); ++i) {
+      CQA_DCHECK(choice[i] < blocks[i].second->size());
       selection[i] = FactRef{blocks[i].first, (*blocks[i].second)[choice[i]]};
     }
     ++visited;
+    if (visited == 1) {
+      // One structural audit per enumeration: the selection names one
+      // fact per block, in block order.
+      CQA_AUDIT(audit::CheckRepairSelection, db, index, selection);
+    }
     if (!fn(selection)) return false;
     if (max_repairs != 0 && visited >= max_repairs) {
       // Did we stop exactly at the last repair?

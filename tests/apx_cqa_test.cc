@@ -6,6 +6,8 @@
 
 #include "cqa/exact.h"
 #include "query/parser.h"
+#include "storage/audit.h"
+#include "storage/block_index.h"
 #include "test_util.h"
 
 namespace cqa {
@@ -56,6 +58,28 @@ TEST(ApxCqaTest, OnlyPositiveFrequencyAnswersReturned) {
   ASSERT_EQ(r.answers.size(), 1u);
   EXPECT_EQ(r.answers[0].tuple, (Tuple{Value("Bob")}));
   EXPECT_GT(r.answers[0].frequency, 0.0);
+}
+
+TEST(ApxCqaTest, PipelineStateSatisfiesAudits) {
+  EmployeeFixture fx;
+  // The same partition precondition the pipeline audits internally.
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  std::string why;
+  EXPECT_TRUE(audit::CheckBlockPartition(*fx.db, index, &why)) << why;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  ApxParams params;
+  for (SchemeKind kind : AllSchemeKinds()) {
+    Rng rng(5);
+    CqaRunResult r = ApxCqa(*fx.db, q, kind, params, rng);
+    ASSERT_FALSE(r.timed_out) << SchemeKindName(kind);
+    for (const CqaAnswer& a : r.answers) {
+      // The true relative frequency is a probability; the estimators are
+      // unbiased but unclamped, so Cover (a scaled ratio of counts, not a
+      // mean of [0,1] draws) may overshoot 1 by its relative error.
+      EXPECT_GE(a.frequency, 0.0) << SchemeKindName(kind);
+      EXPECT_LE(a.frequency, 1.0 + 3 * params.epsilon) << SchemeKindName(kind);
+    }
+  }
 }
 
 TEST(ApxCqaTest, EmptyQueryYieldsNoAnswers) {

@@ -1,0 +1,39 @@
+#ifndef CQABENCH_TESTS_FUZZ_PARSER_FUZZ_DRIVER_H_
+#define CQABENCH_TESTS_FUZZ_PARSER_FUZZ_DRIVER_H_
+
+// Shared driver between the libFuzzer harness (fuzz/parser_fuzzer.cc,
+// built with CQABENCH_FUZZ=ON under clang) and the seeded gtest
+// regression runner (tests/parser_fuzz_test.cc), so every corpus input
+// exercises identical code in both.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "gen/tpch.h"
+#include "query/cq.h"
+#include "query/parser.h"
+
+namespace cqa::fuzz {
+
+/// Feeds one input to the CQ parser against the TPC-H schema. The parser
+/// contract under fuzzing: never crash, never accept a query that fails
+/// validation, never reject without a diagnostic. Violations abort (which
+/// libFuzzer and gtest both report with the offending input).
+inline int ParserOneInput(const uint8_t* data, size_t size) {
+  static const Schema* const schema = new Schema(MakeTpchSchema());
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  ConjunctiveQuery query;
+  std::string error;
+  if (ParseCq(*schema, text, &query, &error)) {
+    query.Validate(*schema);  // Anything accepted must be well-formed.
+  } else if (error.empty()) {
+    std::abort();  // Silent failure: rejected without a diagnostic.
+  }
+  return 0;
+}
+
+}  // namespace cqa::fuzz
+
+#endif  // CQABENCH_TESTS_FUZZ_PARSER_FUZZ_DRIVER_H_

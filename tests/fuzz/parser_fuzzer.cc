@@ -1,0 +1,15 @@
+// libFuzzer entry point for the conjunctive-query parser. Build with the
+// `fuzz` preset (clang only):
+//   cmake --preset fuzz && cmake --build --preset fuzz
+//   ./build-fuzz/tests/parser_fuzzer tests/fuzz/corpus
+// New crashers should be minimized and checked into tests/fuzz/corpus/ so
+// the gtest corpus runner keeps replaying them in every build.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "parser_fuzz_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return cqa::fuzz::ParserOneInput(data, size);
+}

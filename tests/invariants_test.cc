@@ -1,0 +1,317 @@
+#include "cqa/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "cqa/symbolic_space.h"
+#include "cqa/synopsis.h"
+#include "storage/audit.h"
+#include "storage/block_index.h"
+#include "storage/repairs.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+/// Two blocks (sizes 2 and 3), two images: H_0 = {(0,0)}, H_1 = {(0,1),
+/// (1,2)}. Weights: w_0 = 1/2, w_1 = 1/6.
+Synopsis SmallSynopsis() {
+  Synopsis synopsis;
+  synopsis.AddBlock(Synopsis::Block{2, 0, 0});
+  synopsis.AddBlock(Synopsis::Block{3, 0, 1});
+  synopsis.AddImage({{0, 0}});
+  synopsis.AddImage({{0, 1}, {1, 2}});
+  return synopsis;
+}
+
+// ---------------------------------------------------------------------------
+// Synopsis / symbolic-space structure.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantsTest, WellFormedSynopsisPasses) {
+  Synopsis synopsis = SmallSynopsis();
+  std::string why;
+  EXPECT_TRUE(audit::CheckSynopsis(synopsis, &why)) << why;
+
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Synopsis random = testing::MakeRandomSynopsis(rng, 4, 3, 5, 3);
+    EXPECT_TRUE(audit::CheckSynopsis(random, &why)) << why;
+  }
+}
+
+// Synopsis's own constructor checks (CQA_CHECK, active in every build)
+// already refuse empty blocks, so CheckSynopsis's "empty block" branch is
+// pure defense-in-depth against in-memory corruption. Verify the layering:
+// the API aborts before an invalid synopsis can ever reach the audit.
+TEST(InvariantsTest, ApiRejectsEmptyBlockBeforeAuditRuns) {
+  EXPECT_DEATH(
+      {
+        Synopsis synopsis;
+        synopsis.AddBlock(Synopsis::Block{0, 0, 0});
+      },
+      "block.size >= 1");
+}
+
+TEST(InvariantsTest, FreshSymbolicSpacePasses) {
+  Synopsis synopsis = SmallSynopsis();
+  SymbolicSpace space(&synopsis);
+  std::string why;
+  EXPECT_TRUE(audit::CheckSymbolicSpace(space, &why)) << why;
+  EXPECT_DOUBLE_EQ(space.total_weight(), 0.5 + 1.0 / 6.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sampled elements: (i, I) ∈ S• requires H_i ⊆ I.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantsTest, SampledElementsAreInTheSpace) {
+  Synopsis synopsis = SmallSynopsis();
+  SymbolicSpace space(&synopsis);
+  Rng rng(11);
+  Synopsis::Choice choice;
+  std::string why;
+  for (int draw = 0; draw < 200; ++draw) {
+    size_t i = space.SampleElement(rng, &choice);
+    EXPECT_TRUE(audit::CheckSampledElement(space, i, choice, &why)) << why;
+  }
+}
+
+TEST(InvariantsTest, SampledElementRejectsCorruption) {
+  Synopsis synopsis = SmallSynopsis();
+  SymbolicSpace space(&synopsis);
+  std::string why;
+
+  // Image index past the image list.
+  Synopsis::Choice choice = {0, 0};
+  EXPECT_FALSE(audit::CheckSampledElement(space, 99, choice, &why));
+  EXPECT_NE(why.find("out of range"), std::string::npos) << why;
+
+  // Choice with the wrong number of blocks.
+  Synopsis::Choice truncated = {0};
+  EXPECT_FALSE(audit::CheckSampledElement(space, 0, truncated, &why));
+
+  // Choice tid past its block's cardinality.
+  Synopsis::Choice oob = {0, 7};
+  EXPECT_FALSE(audit::CheckSampledElement(space, 0, oob, &why));
+
+  // H_0 = {(0,0)} is not contained in a choice picking tid 1 of block 0.
+  Synopsis::Choice not_containing = {1, 0};
+  EXPECT_FALSE(audit::CheckSampledElement(space, 0, not_containing, &why));
+  EXPECT_NE(why.find("not contained"), std::string::npos) << why;
+}
+
+TEST(InvariantsTest, ImageInPrefixChecksEarlyAccept) {
+  Synopsis synopsis = SmallSynopsis();
+  std::string why;
+  // H_0 = {(0,0)} completes after drawing block 0 only.
+  Synopsis::Choice choice = {0, 0};
+  EXPECT_TRUE(audit::CheckImageInPrefix(synopsis, 0, choice, 1, &why)) << why;
+  // Claiming completion before block 0 was drawn is a violation.
+  EXPECT_FALSE(audit::CheckImageInPrefix(synopsis, 0, choice, 0, &why));
+  // As is a drawn prefix that does not actually pin the image's fact.
+  Synopsis::Choice mismatched = {1, 0};
+  EXPECT_FALSE(audit::CheckImageInPrefix(synopsis, 0, mismatched, 1, &why));
+  // Or a prefix longer than the choice itself.
+  EXPECT_FALSE(audit::CheckImageInPrefix(synopsis, 0, choice, 3, &why));
+}
+
+TEST(InvariantsTest, NaturalDrawMustMatchNaiveContainment) {
+  Synopsis synopsis = SmallSynopsis();
+  std::string why;
+  Synopsis::Choice containing = {0, 0};  // Contains H_0.
+  EXPECT_TRUE(audit::CheckNaturalDraw(synopsis, containing, 1.0, &why)) << why;
+  EXPECT_FALSE(audit::CheckNaturalDraw(synopsis, containing, 0.0, &why));
+
+  Synopsis::Choice missing = {1, 0};  // Contains neither image.
+  EXPECT_TRUE(audit::CheckNaturalDraw(synopsis, missing, 0.0, &why)) << why;
+  EXPECT_FALSE(audit::CheckNaturalDraw(synopsis, missing, 1.0, &why));
+}
+
+// ---------------------------------------------------------------------------
+// Estimator pre/postconditions.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantsTest, OptEstimateParamsMustBeInOpenUnitInterval) {
+  std::string why;
+  EXPECT_TRUE(audit::CheckOptEstimateParams(0.1, 0.05, &why)) << why;
+  EXPECT_FALSE(audit::CheckOptEstimateParams(0.0, 0.05, &why));
+  EXPECT_FALSE(audit::CheckOptEstimateParams(1.0, 0.05, &why));
+  EXPECT_FALSE(audit::CheckOptEstimateParams(0.1, 0.0, &why));
+  EXPECT_FALSE(audit::CheckOptEstimateParams(0.1, 1.0, &why));
+}
+
+TEST(InvariantsTest, OptEstimateResultPostconditions) {
+  OptEstimateResult good;
+  good.num_iterations = 10;
+  good.samples_used = 42;
+  good.mu_hat = 0.5;
+  good.rho_hat = 0.25;
+  std::string why;
+  EXPECT_TRUE(audit::CheckOptEstimateResult(good, 0.1, &why)) << why;
+
+  OptEstimateResult zero_mu = good;
+  zero_mu.mu_hat = 0.0;
+  EXPECT_FALSE(audit::CheckOptEstimateResult(zero_mu, 0.1, &why));
+
+  OptEstimateResult clamped = good;
+  clamped.rho_hat = 0.01;  // Below epsilon * mu_hat = 0.05.
+  EXPECT_FALSE(audit::CheckOptEstimateResult(clamped, 0.1, &why));
+  EXPECT_NE(why.find("clamp"), std::string::npos) << why;
+
+  OptEstimateResult no_iterations = good;
+  no_iterations.num_iterations = 0;
+  EXPECT_FALSE(audit::CheckOptEstimateResult(no_iterations, 0.1, &why));
+
+  // A timed-out result carries no usable fields: always accepted.
+  OptEstimateResult timed_out;
+  timed_out.timed_out = true;
+  EXPECT_TRUE(audit::CheckOptEstimateResult(timed_out, 0.1, &why)) << why;
+}
+
+TEST(InvariantsTest, MonteCarloResultConsistency) {
+  MonteCarloResult good;
+  good.estimate = 0.25;
+  good.main_samples = 100;
+  good.per_thread_samples = {60, 40};
+  std::string why;
+  EXPECT_TRUE(audit::CheckMonteCarloResult(good, &why)) << why;
+
+  MonteCarloResult mismatch = good;
+  mismatch.per_thread_samples = {60, 41};
+  EXPECT_FALSE(audit::CheckMonteCarloResult(mismatch, &why));
+  EXPECT_NE(why.find("per-thread"), std::string::npos) << why;
+
+  MonteCarloResult negative_time = good;
+  negative_time.main_seconds = -1.0;
+  EXPECT_FALSE(audit::CheckMonteCarloResult(negative_time, &why));
+
+  MonteCarloResult out_of_range = good;
+  out_of_range.estimate = 1.5;
+  EXPECT_FALSE(audit::CheckMonteCarloResult(out_of_range, &why));
+}
+
+TEST(InvariantsTest, CoverageResultRespectsBudget) {
+  CoverageResult good;
+  good.normalized_estimate = 0.5;
+  good.steps = 101;  // The loop may overshoot the budget by one step.
+  good.trials = 30;
+  std::string why;
+  EXPECT_TRUE(audit::CheckCoverageResult(good, 100, &why)) << why;
+
+  CoverageResult overran = good;
+  overran.steps = 102;
+  EXPECT_FALSE(audit::CheckCoverageResult(overran, 100, &why));
+  EXPECT_NE(why.find("budget"), std::string::npos) << why;
+
+  CoverageResult excess_trials = good;
+  excess_trials.trials = good.steps + 1;
+  EXPECT_FALSE(audit::CheckCoverageResult(excess_trials, 100, &why));
+
+  CoverageResult negative = good;
+  negative.normalized_estimate = -0.1;
+  EXPECT_FALSE(audit::CheckCoverageResult(negative, 100, &why));
+}
+
+// ---------------------------------------------------------------------------
+// Storage-layer audits.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantsTest, FreshBlockIndexPartitionsTheDatabase) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  std::string why;
+  EXPECT_TRUE(audit::CheckBlockPartition(*fx.db, index, &why)) << why;
+}
+
+TEST(InvariantsTest, StaleBlockIndexIsRejected) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  // Inserting after Build leaves the index covering 4 of 5 rows.
+  fx.db->Insert("employee", {Value(3), Value("Eve"), Value("HR")});
+  std::string why;
+  EXPECT_FALSE(audit::CheckBlockPartition(*fx.db, index, &why));
+  EXPECT_NE(why.find("cover"), std::string::npos) << why;
+}
+
+TEST(InvariantsTest, RepairSelectionsPassAndCorruptionsFail) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  std::vector<FactRef> first;
+  ForEachRepair(*fx.db, index, [&](const std::vector<FactRef>& selection) {
+    first = selection;
+    return false;  // Keep only the first one.
+  });
+  ASSERT_EQ(first.size(), 2u);
+  std::string why;
+  EXPECT_TRUE(audit::CheckRepairSelection(*fx.db, index, first, &why)) << why;
+
+  // Two facts from the same block cannot be a repair selection.
+  std::vector<FactRef> duplicated = {first[0], first[0]};
+  EXPECT_FALSE(audit::CheckRepairSelection(*fx.db, index, duplicated, &why));
+
+  // A selection must name one fact per block.
+  std::vector<FactRef> truncated = {first[0]};
+  EXPECT_FALSE(audit::CheckRepairSelection(*fx.db, index, truncated, &why));
+  std::vector<FactRef> padded = {first[0], first[1], first[1]};
+  EXPECT_FALSE(audit::CheckRepairSelection(*fx.db, index, padded, &why));
+}
+
+// ---------------------------------------------------------------------------
+// The CQA_AUDIT / CQA_DCHECK macros themselves: in audit-enabled builds a
+// violated invariant aborts with a diagnostic; in plain Release builds the
+// macros compile out and these scenarios would proceed silently.
+// ---------------------------------------------------------------------------
+
+#if CQA_AUDIT_ENABLED
+
+using InvariantsDeathTest = ::testing::Test;
+
+TEST(InvariantsDeathTest, AuditMacroAbortsWithDiagnostic) {
+  EXPECT_DEATH(CQA_AUDIT(audit::CheckOptEstimateParams, 2.0, 0.5),
+               "CQA_AUDIT failed.*CheckOptEstimateParams.*epsilon");
+}
+
+TEST(InvariantsDeathTest, DcheckAborts) {
+  EXPECT_DEATH(CQA_DCHECK(1 == 2), "CQA_CHECK failed");
+}
+
+TEST(InvariantsDeathTest, CorruptSamplerStateIsCaughtOnTheDrawPath) {
+  // A well-formed space, but a draw result tampered with after the fact —
+  // the audit wired into the samplers' accept paths must catch exactly
+  // this class of corruption.
+  Synopsis synopsis = SmallSynopsis();
+  SymbolicSpace space(&synopsis);
+  Rng rng(3);
+  Synopsis::Choice choice;
+  size_t i = space.SampleElement(rng, &choice);
+  choice[synopsis.images()[i].facts[0].block] ^= 1u;  // Unpin one fact.
+  EXPECT_DEATH(CQA_AUDIT(audit::CheckSampledElement, space, i, choice),
+               "CQA_AUDIT failed");
+}
+
+TEST(InvariantsDeathTest, StaleIndexKillsRepairEnumeration) {
+  EmployeeFixture fx;
+  BlockIndex index = BlockIndex::Build(*fx.db);
+  fx.db->Insert("employee", {Value(3), Value("Eve"), Value("HR")});
+  EXPECT_DEATH(ForEachRepair(*fx.db, index,
+                             [](const std::vector<FactRef>&) { return true; }),
+               "CheckBlockPartition");
+}
+
+#else
+
+TEST(InvariantsDeathTest, SkippedWithoutAudits) {
+  GTEST_SKIP() << "CQA_AUDIT compiled out (Release without CQABENCH_AUDIT)";
+}
+
+#endif  // CQA_AUDIT_ENABLED
+
+}  // namespace
+}  // namespace cqa

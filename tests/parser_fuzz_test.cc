@@ -1,11 +1,17 @@
 // Robustness: the parser must never crash or accept garbage silently —
-// it either produces a validated query or a diagnostic.
+// it either produces a validated query or a diagnostic. The seeded tests
+// below are the always-on regression tier; the same driver is built as a
+// libFuzzer harness for open-ended exploration (see fuzz/parser_fuzzer.cc
+// and the `fuzz` CMake preset).
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "common/rng.h"
+#include "fuzz/parser_fuzz_driver.h"
 #include "gen/tpch.h"
 #include "query/parser.h"
 
@@ -88,6 +94,33 @@ TEST(ParserFuzzTest, DeepNestingAndLongInputs) {
         "Q() :- ,", "''", "Q() :- region(", "Q((((((((((", "::::::::"}) {
     EXPECT_FALSE(ParseCq(schema, bad, &q, &error)) << bad;
   }
+}
+
+// Replays every checked-in fuzz corpus entry (seeds plus minimized past
+// crashers) through the exact driver the libFuzzer harness uses, so
+// corpus regressions stay covered even in builds without clang.
+TEST(ParserFuzzTest, CorpusEntriesNeverCrash) {
+  const std::filesystem::path corpus(CQABENCH_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(corpus)) << corpus;
+  size_t entries = 0;
+  for (const auto& item : std::filesystem::directory_iterator(corpus)) {
+    if (!item.is_regular_file()) continue;
+    std::ifstream in(item.path(), std::ios::binary);
+    ASSERT_TRUE(in) << item.path();
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    fuzz::ParserOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+    ++entries;
+  }
+  EXPECT_GE(entries, 5u) << "corpus looks truncated: " << corpus;
+}
+
+// The driver itself honours the harness contract on edge inputs.
+TEST(ParserFuzzTest, DriverHandlesEmptyAndBinaryInput) {
+  EXPECT_EQ(fuzz::ParserOneInput(nullptr, 0), 0);
+  const uint8_t binary[] = {0x00, 0xff, 0x51, 0x28, 0x00, 0x29, 0x2e};
+  EXPECT_EQ(fuzz::ParserOneInput(binary, sizeof(binary)), 0);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "cqa/exact.h"
+#include "cqa/invariants.h"
 #include "test_util.h"
 
 namespace cqa {
@@ -59,6 +60,16 @@ TEST_P(SchemeAccuracyTest, WithinRelativeError) {
   EXPECT_NEAR(r.estimate, exact, 2 * params.epsilon * exact)
       << SchemeKindName(kind) << " on " << s.DebugString();
   EXPECT_GT(r.samples, 0u);
+  // Structural audits on the inputs and the result's phase accounting.
+  std::string why;
+  EXPECT_TRUE(audit::CheckSynopsis(s, &why)) << why;
+  EXPECT_EQ(r.samples, r.estimator_samples + r.main_samples)
+      << SchemeKindName(kind);
+  if (!r.per_thread_samples.empty()) {
+    size_t total = 0;
+    for (size_t n : r.per_thread_samples) total += n;
+    EXPECT_EQ(total, r.main_samples) << SchemeKindName(kind);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -18,7 +18,9 @@ TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
 TEST(StopwatchTest, RestartResets) {
   Stopwatch watch;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  // Plain assignment: compound assignment to a volatile operand is
+  // deprecated in C++20.
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   double before = watch.ElapsedSeconds();
   watch.Restart();
   EXPECT_LE(watch.ElapsedSeconds(), before + 1.0);

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Project-specific source lints for the cqabench tree.
+
+Fast, dependency-free checks that encode conventions the compiler cannot:
+
+  1. RNG discipline: all randomness flows through src/common/rng.*.  Raw
+     rand()/srand()/drand48()/std::random_device/std::mt19937 anywhere else
+     makes benchmark runs unreproducible.
+  2. Obs-macro discipline: CQA_OBS_COUNT/COUNT_N/OBSERVE take a *literal*
+     lowercase dotted metric name ("phase.metric_name").  Computed names
+     defeat the function-local pointer cache in obs/metrics.h and would
+     register a new metric per distinct string at runtime.
+  3. Test coverage by reference: every library .cc under src/ must be
+     reachable from the test suite -- either a tests/<stem>_test.cc exists
+     or some test includes the corresponding header.
+  4. Include-guard convention: headers use CQABENCH_<PATH>_H_ where <PATH>
+     is the include path (src/ stripped) upper-cased, and the guard's
+     #ifndef/#define pair matches.
+
+Exit status is 0 iff the tree is clean.  Run from anywhere:
+    python3 tools/lint.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC_DIRS = ["src", "bench", "tests", "examples"]
+CXX_SUFFIXES = {".cc", ".cpp", ".h"}
+
+# ---------------------------------------------------------------------------
+# Check 1: randomness goes through src/common/rng.* only.
+# ---------------------------------------------------------------------------
+
+RNG_PATTERN = re.compile(
+    r"std::random_device|std::mt19937|\bdrand48\b|\bsrand\s*\(|"
+    r"(?<![\w:])rand\s*\(\s*\)"
+)
+RNG_ALLOWED = {"src/common/rng.h", "src/common/rng.cc"}
+
+
+def check_rng(path: Path, rel: str, text: str, errors: list[str]) -> None:
+    if rel in RNG_ALLOWED:
+        return
+    for lineno, line in enumerate(text.splitlines(), 1):
+        code = strip_comments(line)
+        if RNG_PATTERN.search(code):
+            errors.append(
+                f"{rel}:{lineno}: raw RNG primitive; use cqa::Rng "
+                f"(src/common/rng.h) so runs stay seed-reproducible"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Check 2: obs macros take literal dotted metric names.
+# ---------------------------------------------------------------------------
+
+OBS_CALL = re.compile(r"\bCQA_OBS_(COUNT_N|COUNT|OBSERVE)\s*\(\s*([^,)]*)")
+METRIC_NAME = re.compile(r'^"[a-z0-9_]+(\.[a-z0-9_]+)+"$')
+
+
+def check_obs_macros(path: Path, rel: str, text: str, errors: list[str]) -> None:
+    if rel.startswith("src/obs/"):
+        return  # The macro definitions themselves.
+    # Strip comments but keep newlines so offsets map back to line numbers;
+    # calls may wrap, so match across lines.
+    stripped = "\n".join(strip_comments(line) for line in text.splitlines())
+    for match in OBS_CALL.finditer(stripped):
+        arg = match.group(2).strip()
+        lineno = stripped.count("\n", 0, match.start()) + 1
+        if not METRIC_NAME.match(arg):
+            errors.append(
+                f"{rel}:{lineno}: CQA_OBS_{match.group(1)} name {arg!r} "
+                f'must be a literal lowercase dotted string like '
+                f'"phase.metric_name"'
+            )
+
+
+# ---------------------------------------------------------------------------
+# Check 3: every library .cc is referenced from the test suite.
+# ---------------------------------------------------------------------------
+
+# Files whose behaviour is exercised through a different module's tests.
+TEST_REF_ALLOWED = {
+    # Relation is the storage primitive under Database; database_test.cc and
+    # block_index_test.cc drive every Relation member through that API.
+    "src/storage/relation.cc",
+}
+
+
+def check_test_references(errors: list[str]) -> None:
+    tests_dir = REPO / "tests"
+    test_text = "\n".join(
+        p.read_text(encoding="utf-8", errors="replace")
+        for p in sorted(tests_dir.glob("*.cc"))
+    )
+    test_stems = {p.stem for p in tests_dir.glob("*_test.cc")}
+    for cc in sorted((REPO / "src").rglob("*.cc")):
+        rel = cc.relative_to(REPO).as_posix()
+        if rel in TEST_REF_ALLOWED:
+            continue
+        stem = cc.stem
+        header = cc.relative_to(REPO / "src").with_suffix(".h").as_posix()
+        if f"{stem}_test" in test_stems:
+            continue
+        if f'"{header}"' in test_text:
+            continue
+        errors.append(
+            f"{rel}: no test reference (expected tests/{stem}_test.cc or a "
+            f'test that includes "{header}")'
+        )
+
+
+# ---------------------------------------------------------------------------
+# Check 4: include-guard convention.
+# ---------------------------------------------------------------------------
+
+GUARD_IFNDEF = re.compile(r"^\s*#ifndef\s+(\w+)", re.MULTILINE)
+
+
+def expected_guard(rel: str) -> str:
+    path = rel[len("src/"):] if rel.startswith("src/") else rel
+    token = re.sub(r"[^A-Za-z0-9]", "_", path)
+    return f"CQABENCH_{token.upper()}_"
+
+
+def check_include_guard(path: Path, rel: str, text: str, errors: list[str]) -> None:
+    if path.suffix != ".h":
+        return
+    want = expected_guard(rel)
+    match = GUARD_IFNDEF.search(text)
+    if not match:
+        errors.append(f"{rel}: missing include guard (expected {want})")
+        return
+    got = match.group(1)
+    if got != want:
+        errors.append(f"{rel}: include guard {got} should be {want}")
+        return
+    if f"#define {want}" not in text:
+        errors.append(f"{rel}: #ifndef {want} without matching #define")
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def strip_comments(line: str) -> str:
+    """Removes // comments and string-free best-effort /* */ spans."""
+    line = re.sub(r"/\*.*?\*/", "", line)
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def main() -> int:
+    errors: list[str] = []
+    files = []
+    for d in SRC_DIRS:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        files.extend(
+            p for p in sorted(root.rglob("*")) if p.suffix in CXX_SUFFIXES
+        )
+    for path in files:
+        rel = path.relative_to(REPO).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        check_rng(path, rel, text, errors)
+        check_obs_macros(path, rel, text, errors)
+        check_include_guard(path, rel, text, errors)
+    check_test_references(errors)
+
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        print(f"lint.py: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: OK ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
