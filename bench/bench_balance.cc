@@ -32,8 +32,7 @@ int Run(const BenchFlags& flags) {
 
   ApxParams params;
   Rng rng(flags.seed ^ 0xB5297A4D);
-  obs::RunReporter reporter_storage;
-  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
+  BenchObs bench_obs(flags, "bench_balance");
 
   size_t cover_improvement_cells = 0, cover_cells = 0;
   size_t natural_worst_points = 0, total_points = 0;
@@ -48,8 +47,8 @@ int Run(const BenchFlags& flags) {
         PreprocessResult pre = BuildSynopses(*pair->db, pair->query);
         obs::RunContext context{title, "balance", pair->balance_target};
         for (const SchemeTiming& timing :
-             RunAllSchemes(pre, params, flags.timeout_seconds, rng, reporter,
-                           context)) {
+             RunAllSchemes(pre, params, flags.timeout_seconds, rng,
+                           bench_obs.sinks, context)) {
           table.Add(pair->balance_target, timing.scheme, timing);
         }
       }
@@ -85,7 +84,7 @@ int Run(const BenchFlags& flags) {
   std::printf("points where Natural is the single worst performer:        "
               "%zu/%zu\n",
               natural_worst_points, total_points);
-  flags.MaybeExportTrace();
+  bench_obs.Finish();
   return 0;
 }
 

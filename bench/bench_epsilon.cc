@@ -45,8 +45,7 @@ int Run(const BenchFlags& flags) {
   std::string reference_ranking;
   bool ordering_invariant = true;
   Rng rng(flags.seed ^ 0x85EBCA6B);
-  obs::RunReporter reporter_storage;
-  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
+  BenchObs bench_obs(flags, "bench_epsilon");
   for (double epsilon : {0.05, 0.1, 0.2, 0.3}) {
     for (double delta : {0.1, 0.25, 0.5}) {
       ApxParams params;
@@ -56,7 +55,8 @@ int Run(const BenchFlags& flags) {
       std::snprintf(title, sizeof(title), "EpsilonDelta[%.2f, %.2f]", epsilon,
                     delta);
       std::vector<SchemeTiming> timings =
-          RunAllSchemes(pre, params, flags.timeout_seconds * 10, rng, reporter,
+          RunAllSchemes(pre, params, flags.timeout_seconds * 10, rng,
+                        bench_obs.sinks,
                         obs::RunContext{title, "epsilon", epsilon});
       std::vector<size_t> order{0, 1, 2, 3};
       std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -93,7 +93,7 @@ int Run(const BenchFlags& flags) {
       "the parameters are problem-agnostic and do not differentiate the "
       "schemes)\n",
       ordering_invariant ? "yes" : "no");
-  flags.MaybeExportTrace();
+  bench_obs.Finish();
   return 0;
 }
 

@@ -60,6 +60,7 @@ int Run(const BenchFlags& flags) {
 
   ApxParams params;
   Rng rng(flags.seed ^ 0x1B873593);
+  BenchObs bench_obs(flags, "bench_exact");
   std::printf("%-6s %10s %14s %10s %10s\n", "noise", "exact_s",
               "infeasible", "KLM_s", "Natural_s");
   for (double p : flags.Levels(false, {0.1, 0.3, 0.5, 0.7})) {
@@ -85,10 +86,20 @@ int Run(const BenchFlags& flags) {
                 exact.seconds, exact.infeasible, exact.total, klm_s,
                 klm.timed_out ? "*" : " ", nat_s,
                 nat.timed_out ? "*" : " ");
+    if (bench_obs.sinks.bench_json != nullptr) {
+      obs::BenchJsonWriter* json = bench_obs.sinks.bench_json;
+      json->AddSample("Exact", "noise", p, "Exact", exact.seconds,
+                      static_cast<double>(exact.total), false);
+      json->AddSample("Exact", "noise", p, "KLM", klm_s,
+                      static_cast<double>(klm.total_samples), klm.timed_out);
+      json->AddSample("Exact", "noise", p, "Natural", nat_s,
+                      static_cast<double>(nat.total_samples), nat.timed_out);
+    }
   }
   std::printf(
       "\n('infeasible' counts answers whose synopsis exceeded the exact "
       "oracle's component budget; '*' marks a scheme deadline)\n");
+  bench_obs.Finish();
   return 0;
 }
 

@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness.h"
+#include "obs/bench_json.h"
+#include "obs/convergence.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -30,6 +33,15 @@ struct BenchFlags {
   std::string obs_report;
   /// JSONL trace-span export path; empty = off.
   std::string obs_trace;
+  /// Chrome trace_event export path (loads in Perfetto); empty = off.
+  std::string obs_trace_chrome;
+  /// JSONL convergence-series export path; empty = off. Turns on
+  /// per-draw convergence recording for the driven runs.
+  std::string obs_convergence;
+  /// Versioned machine-readable benchmark result path (BENCH_*.json);
+  /// empty = off. Also turns on convergence recording (the file carries
+  /// convergence summaries).
+  std::string bench_json;
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -55,6 +67,24 @@ struct BenchFlags {
           std::fprintf(stderr, "--obs_trace needs a path\n");
           std::exit(1);
         }
+      } else if (std::strncmp(arg, "--obs_trace_chrome=", 19) == 0) {
+        flags.obs_trace_chrome = arg + 19;
+        if (flags.obs_trace_chrome.empty()) {
+          std::fprintf(stderr, "--obs_trace_chrome needs a path\n");
+          std::exit(1);
+        }
+      } else if (std::strncmp(arg, "--obs_convergence=", 18) == 0) {
+        flags.obs_convergence = arg + 18;
+        if (flags.obs_convergence.empty()) {
+          std::fprintf(stderr, "--obs_convergence needs a path\n");
+          std::exit(1);
+        }
+      } else if (std::strncmp(arg, "--bench_json=", 13) == 0) {
+        flags.bench_json = arg + 13;
+        if (flags.bench_json.empty()) {
+          std::fprintf(stderr, "--bench_json needs a path\n");
+          std::exit(1);
+        }
       } else if (std::strcmp(arg, "--full") == 0) {
         flags.full = true;
         flags.queries_per_level = 5;
@@ -62,21 +92,25 @@ struct BenchFlags {
         std::printf(
             "flags: --sf=<scale factor> --timeout=<s per scheme run> "
             "--seed=<n> --queries=<per level> --full "
-            "--obs_report=<jsonl path> --obs_trace=<jsonl path>\n");
+            "--obs_report=<jsonl path> --obs_trace=<jsonl path> "
+            "--obs_trace_chrome=<json path> --obs_convergence=<jsonl path> "
+            "--bench_json=<json path>\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag %s (see --help)\n", arg);
         std::exit(1);
       }
     }
-    // Fail on an unwritable trace path now, not after the whole grid has
-    // run (the export happens last; a typo'd directory would otherwise
-    // cost the entire run its trace).
-    if (!flags.obs_trace.empty()) {
-      std::FILE* probe = std::fopen(flags.obs_trace.c_str(), "w");
+    // Fail on unwritable late-export paths now, not after the whole grid
+    // has run (those exports happen last; a typo'd directory would
+    // otherwise cost the entire run its output).
+    for (const std::string* path :
+         {&flags.obs_trace, &flags.obs_trace_chrome, &flags.bench_json}) {
+      if (path->empty()) continue;
+      std::FILE* probe = std::fopen(path->c_str(), "w");
       if (probe == nullptr) {
         std::fprintf(stderr, "error: cannot open %s for writing\n",
-                     flags.obs_trace.c_str());
+                     path->c_str());
         std::exit(1);
       }
       std::fclose(probe);
@@ -98,12 +132,18 @@ struct BenchFlags {
     return reporter;
   }
 
-  /// Exports the buffered trace spans when --obs_trace was given. Call
-  /// once, after the grid finishes.
+  /// Exports the buffered trace spans when --obs_trace and/or
+  /// --obs_trace_chrome were given. Call once, after the grid finishes.
   void MaybeExportTrace() const {
-    if (obs_trace.empty()) return;
     std::string error;
-    if (!obs::TraceBuffer::Instance().ExportJsonl(obs_trace, &error)) {
+    if (!obs_trace.empty() &&
+        !obs::TraceBuffer::Instance().ExportJsonl(obs_trace, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      std::exit(1);
+    }
+    if (!obs_trace_chrome.empty() &&
+        !obs::TraceBuffer::Instance().ExportChromeTrace(obs_trace_chrome,
+                                                        &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       std::exit(1);
     }
@@ -133,6 +173,60 @@ struct BenchFlags {
         figure, scale_factor, timeout_seconds,
         static_cast<unsigned long long>(seed), queries_per_level);
   }
+};
+
+/// Owns the observability sinks a bench binary's flags asked for and
+/// bundles them into the RunSinks the harness fans results out to.
+/// Construct once after Parse, pass `.sinks` to RunAllSchemes, call
+/// Finish() once after the grid. Exits on I/O errors (a benchmark run
+/// whose outputs silently vanish is worse than no run).
+struct BenchObs {
+  obs::RunReporter report;
+  obs::ConvergenceReporter convergence;
+  obs::BenchJsonWriter bench_json;
+  RunSinks sinks;
+
+  BenchObs(const BenchFlags& flags, const char* bench_name) : flags_(flags) {
+    sinks.report = flags.MaybeOpenReport(&report);
+    if (!flags.obs_convergence.empty()) {
+      std::string error;
+      if (!convergence.Open(flags.obs_convergence, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        std::exit(1);
+      }
+      sinks.convergence = &convergence;
+    }
+    if (!flags.bench_json.empty()) {
+      obs::BenchMetadata meta;
+      meta.name = bench_name;
+      meta.seed = flags.seed;
+      meta.scale_factor = flags.scale_factor;
+      meta.timeout_seconds = flags.timeout_seconds;
+      meta.queries_per_level = flags.queries_per_level;
+      bench_json.SetMetadata(meta);
+      sinks.bench_json = &bench_json;
+    }
+  }
+
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+
+  /// Writes the BENCH_*.json file (when asked for) and exports traces.
+  void Finish() {
+    if (sinks.bench_json != nullptr) {
+      std::string error;
+      if (!bench_json.WriteFile(flags_.bench_json, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        std::exit(1);
+      }
+      std::printf("# bench json: %s (%zu cells)\n", flags_.bench_json.c_str(),
+                  bench_json.num_cells());
+    }
+    flags_.MaybeExportTrace();
+  }
+
+ private:
+  BenchFlags flags_;
 };
 
 }  // namespace cqa

@@ -34,8 +34,7 @@ int Run(const BenchFlags& flags) {
 
   ApxParams params;
   Rng rng(flags.seed ^ 0x68E31DA4);
-  obs::RunReporter reporter_storage;
-  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
+  BenchObs bench_obs(flags, "bench_joins");
 
   for (double noise : options.noise_levels) {
     for (double balance : options.balance_targets) {
@@ -50,8 +49,8 @@ int Run(const BenchFlags& flags) {
         obs::RunContext context{title, "joins",
                                 static_cast<double>(pair->joins)};
         for (const SchemeTiming& timing :
-             RunAllSchemes(pre, params, flags.timeout_seconds, rng, reporter,
-                           context)) {
+             RunAllSchemes(pre, params, flags.timeout_seconds, rng,
+                           bench_obs.sinks, context)) {
           cells[pair->joins][timing.scheme].Add(timing.seconds);
         }
       }
@@ -76,7 +75,7 @@ int Run(const BenchFlags& flags) {
       std::printf("\n");
     }
   }
-  flags.MaybeExportTrace();
+  bench_obs.Finish();
   return 0;
 }
 

@@ -10,8 +10,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/harness.h"
 #include "cqa/coverage.h"
+#include "obs/trace.h"
 #include "cqa/indexed_natural_sampler.h"
 #include "cqa/kl_sampler.h"
 #include "cqa/klm_sampler.h"
@@ -160,7 +166,112 @@ void BM_WholeDatabaseScan(benchmark::State& state) {
 }
 BENCHMARK(BM_WholeDatabaseScan);
 
+/// Machine-readable mode (--bench_json= and friends): instead of the
+/// google-benchmark loops, run a small fixed-seed four-scheme matrix over
+/// a noisy TPC-H pair — repeated trials per cell, with convergence
+/// recording — and write the versioned BENCH_*.json the regression gate
+/// (tools/bench_compare.py) consumes.
+int RunConvergenceMatrix(const std::string& json_path, uint64_t seed,
+                         const std::string& convergence_path,
+                         const std::string& chrome_path) {
+  const double kTimeoutSeconds = 5.0;
+  obs::BenchJsonWriter writer;
+  obs::BenchMetadata meta;
+  meta.name = "bench_micro";
+  meta.seed = seed;
+  meta.scale_factor = 0.0005;
+  meta.timeout_seconds = kTimeoutSeconds;
+  meta.queries_per_level = 1;
+  writer.SetMetadata(meta);
+
+  obs::ConvergenceReporter convergence;
+  RunSinks sinks;
+  sinks.bench_json = &writer;
+  std::string error;
+  if (!convergence_path.empty()) {
+    if (!convergence.Open(convergence_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    sinks.convergence = &convergence;
+  }
+
+  TpchOptions options;
+  options.scale_factor = 0.0005;
+  options.seed = seed;
+  Dataset d = GenerateTpch(options);
+  ConjunctiveQuery q = MustParseCq(
+      *d.schema,
+      "Q(CK) :- customer(CK, CN, CA, NK, CP, CB, 'BUILDING', CC),"
+      " orders(OK, CK, OS, TP, OD, OP, CL, SP, OC).");
+  Rng rng(seed ^ 0x2545F491);
+  ApxParams params;
+  for (double p : {0.2, 0.6}) {
+    Database noisy = d.db->Clone();
+    NoiseOptions noise;
+    noise.p = p;
+    AddQueryAwareNoise(&noisy, q, noise, rng);
+    PreprocessResult pre = BuildSynopses(noisy, q);
+    obs::RunContext context{"Micro", "noise", p};
+    for (int trial = 0; trial < 3; ++trial) {
+      RunAllSchemes(pre, params, kTimeoutSeconds, rng, sinks, context);
+    }
+  }
+
+  if (!json_path.empty()) {
+    if (!writer.WriteFile(json_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("bench json: %s (%zu cells)\n", json_path.c_str(),
+                writer.num_cells());
+  }
+  if (!chrome_path.empty()) {
+    if (!obs::TraceBuffer::Instance().ExportChromeTrace(chrome_path,
+                                                        &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("chrome trace: %s\n", chrome_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace cqa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Our machine-readable flags are peeled off before google-benchmark
+  // sees the command line (it rejects flags it does not know).
+  std::string bench_json, obs_convergence, obs_trace_chrome;
+  uint64_t seed = 20210620;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    char* arg = argv[i];
+    if (std::strncmp(arg, "--bench_json=", 13) == 0) {
+      bench_json = arg + 13;
+    } else if (std::strncmp(arg, "--obs_convergence=", 18) == 0) {
+      obs_convergence = arg + 18;
+    } else if (std::strncmp(arg, "--obs_trace_chrome=", 19) == 0) {
+      obs_trace_chrome = arg + 19;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = std::strtoull(arg + 7, nullptr, 10);
+    } else {
+      passthrough.push_back(arg);
+    }
+  }
+  if (!bench_json.empty() || !obs_convergence.empty() ||
+      !obs_trace_chrome.empty()) {
+    return cqa::RunConvergenceMatrix(bench_json, seed, obs_convergence,
+                                     obs_trace_chrome);
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

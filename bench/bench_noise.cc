@@ -35,8 +35,7 @@ int Run(const BenchFlags& flags) {
 
   ApxParams params;
   Rng rng(flags.seed ^ 0x9E3779B9);
-  obs::RunReporter reporter_storage;
-  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
+  BenchObs bench_obs(flags, "bench_noise");
 
   // Take-home bookkeeping: wins per regime.
   size_t boolean_cells = 0, boolean_natural_wins = 0;
@@ -52,8 +51,8 @@ int Run(const BenchFlags& flags) {
         PreprocessResult pre = BuildSynopses(*pair->db, pair->query);
         obs::RunContext context{title, "noise", pair->noise};
         for (const SchemeTiming& timing :
-             RunAllSchemes(pre, params, flags.timeout_seconds, rng, reporter,
-                           context)) {
+             RunAllSchemes(pre, params, flags.timeout_seconds, rng,
+                           bench_obs.sinks, context)) {
           table.Add(pair->noise, timing.scheme, timing);
         }
       }
@@ -86,7 +85,7 @@ int Run(const BenchFlags& flags) {
               boolean_natural_wins, boolean_cells);
   std::printf("non-Boolean cells won by KL or KLM:  %zu/%zu\n",
               nonboolean_klm_or_kl_wins, nonboolean_cells);
-  flags.MaybeExportTrace();
+  bench_obs.Finish();
   return 0;
 }
 

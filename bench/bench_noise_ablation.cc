@@ -34,7 +34,7 @@ struct Probe {
 
 Probe Measure(const Database& noisy, const ConjunctiveQuery& q,
               size_t facts_added, const BenchFlags& flags, Rng& rng,
-              obs::RunReporter* reporter, const obs::RunContext& context) {
+              const RunSinks& sinks, const obs::RunContext& context) {
   Probe probe;
   probe.facts_added = facts_added;
   PreprocessResult pre = BuildSynopses(noisy, q);
@@ -47,7 +47,7 @@ Probe Measure(const Database& noisy, const ConjunctiveQuery& q,
   }
   ApxParams params;
   for (const SchemeTiming& timing :
-       RunAllSchemes(pre, params, flags.timeout_seconds, rng, reporter,
+       RunAllSchemes(pre, params, flags.timeout_seconds, rng, sinks,
                      context)) {
     if (timing.scheme == SchemeKind::kKlm) {
       probe.klm_seconds = timing.seconds;
@@ -75,15 +75,15 @@ int Run(const BenchFlags& flags) {
   std::printf("%-6s %-10s %10s %10s %12s %10s %10s %10s\n", "p", "mode",
               "added", "images", "confl.blk", "balance", "KLM_s", "Nat_s");
   Rng rng(flags.seed ^ 0xCC9E2D51);
-  obs::RunReporter reporter_storage;
-  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
+  BenchObs bench_obs(flags, "bench_noise_ablation");
   for (double p : flags.Levels(false, {0.2, 0.6, 1.0})) {
     // Query-aware, the paper's generator.
     Database aware = base.db->Clone();
     NoiseOptions options;
     options.p = p;
     NoiseStats aware_stats = AddQueryAwareNoise(&aware, q, options, rng);
-    Probe a = Measure(aware, q, aware_stats.facts_added, flags, rng, reporter,
+    Probe a = Measure(aware, q, aware_stats.facts_added, flags, rng,
+                      bench_obs.sinks,
                       obs::RunContext{"Ablation[aware]", "noise", p});
 
     // Query-oblivious with a matched conflict budget: scale p down so the
@@ -102,7 +102,7 @@ int Run(const BenchFlags& flags) {
     NoiseStats oblivious_stats =
         AddObliviousNoise(&oblivious, oblivious_options, rng);
     Probe o = Measure(oblivious, q, oblivious_stats.facts_added, flags, rng,
-                      reporter,
+                      bench_obs.sinks,
                       obs::RunContext{"Ablation[oblivious]", "noise", p});
 
     std::printf("%-6.2f %-10s %10zu %10zu %12zu %10.3f %10.4f %10.4f\n", p,
@@ -116,7 +116,7 @@ int Run(const BenchFlags& flags) {
       "\n(equal conflict budgets; 'confl.blk' counts conflicting blocks "
       "inside the query's synopses — the noise that actually stresses the "
       "schemes)\n");
-  flags.MaybeExportTrace();
+  bench_obs.Finish();
   return 0;
 }
 

@@ -19,5 +19,6 @@ int main(int argc, char** argv) {
   options.seed = flags.seed;
   cqa::Dataset base = cqa::GenerateTpcds(options);
   return cqa::RunValidationScenarios(
-      base, cqa::TpcdsValidationQueries(*base.schema), flags);
+      base, cqa::TpcdsValidationQueries(*base.schema), flags,
+      "bench_validation_tpcds");
 }

@@ -20,5 +20,6 @@ int main(int argc, char** argv) {
   options.seed = flags.seed;
   cqa::Dataset base = cqa::GenerateTpch(options);
   return cqa::RunValidationScenarios(
-      base, cqa::TpchValidationQueries(*base.schema), flags);
+      base, cqa::TpchValidationQueries(*base.schema), flags,
+      "bench_validation_tpch");
 }

@@ -20,12 +20,12 @@ namespace cqa {
 /// (the annotation the paper places above each plot).
 inline int RunValidationScenarios(const Dataset& base,
                                   const std::vector<NamedQuery>& workload,
-                                  const BenchFlags& flags) {
+                                  const BenchFlags& flags,
+                                  const char* bench_name) {
   const std::vector<double> kNoise{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
   ApxParams params;
   Rng rng(flags.seed ^ 0xA341316C);
-  obs::RunReporter reporter_storage;
-  obs::RunReporter* reporter = flags.MaybeOpenReport(&reporter_storage);
+  BenchObs bench_obs(flags, bench_name);
 
   for (const NamedQuery& named : workload) {
     CqEvaluator eval(base.db.get());
@@ -48,8 +48,8 @@ inline int RunValidationScenarios(const Dataset& base,
       balance.Add(pre.Balance());
       obs::RunContext context{scenario, "noise", p};
       for (const SchemeTiming& timing :
-           RunAllSchemes(pre, params, flags.timeout_seconds, rng, reporter,
-                         context)) {
+           RunAllSchemes(pre, params, flags.timeout_seconds, rng,
+                         bench_obs.sinks, context)) {
         table.Add(p, timing.scheme, timing);
       }
     }
@@ -60,6 +60,7 @@ inline int RunValidationScenarios(const Dataset& base,
                   100.0 * balance.stddev());
     table.Print(title);
   }
+  bench_obs.Finish();
   return 0;
 }
 

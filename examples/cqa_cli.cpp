@@ -30,6 +30,9 @@
 #include "gen/noise.h"
 #include "gen/tpcds.h"
 #include "gen/tpch.h"
+#include "obs/bench_json.h"
+#include "obs/convergence.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "query/parser.h"
@@ -78,7 +81,9 @@ int Usage() {
                "--max=N] [--seed=N]\n"
                "  run    --data=DIR --query=Q [--scheme=Natural|KL|KLM|Cover]"
                " [--epsilon=F --delta=F] [--timeout=S] [--seed=N]"
-               " [--obs_report=FILE] [--obs_trace=FILE]\n"
+               " [--obs_report=FILE] [--obs_trace=FILE]"
+               " [--obs_trace_chrome=FILE] [--obs_convergence=FILE]"
+               " [--obs_metrics=FILE] [--bench_json=FILE]\n"
                "  prep   --data=DIR --query=Q --out=FILE\n"
                "  approx --syn=FILE [--scheme=...] [--epsilon=F --delta=F]\n"
                "  profile --data=DIR --query=Q\n"
@@ -170,10 +175,25 @@ int CmdNoise(const Args& args) {
   return 0;
 }
 
+/// Writes `content` to `path`, reporting failures on stderr.
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size();
+  ok &= std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+  return ok;
+}
+
 int CmdRun(const Args& args) {
   if (!args.ValidateKeys({"schema", "data", "query", "scheme", "epsilon",
                           "delta", "timeout", "seed", "obs_report",
-                          "obs_trace"})) {
+                          "obs_trace", "obs_trace_chrome", "obs_convergence",
+                          "obs_metrics", "bench_json"})) {
     return Usage();
   }
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
@@ -201,6 +221,18 @@ int CmdRun(const Args& args) {
       return 1;
     }
   }
+  obs::ConvergenceReporter convergence;
+  std::string convergence_path = args.Get("obs_convergence", "");
+  if (!convergence_path.empty()) {
+    std::string error;
+    if (!convergence.Open(convergence_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::string bench_json_path = args.Get("bench_json", "");
+  params.record_convergence =
+      convergence.is_open() || !bench_json_path.empty();
 
   Rng rng(static_cast<uint64_t>(args.GetDouble("seed", 7)));
   CqaRunResult run =
@@ -213,15 +245,54 @@ int CmdRun(const Args& args) {
     std::printf("%s\t%.6f\n", TupleToString(a.tuple).c_str(), a.frequency);
   }
 
-  if (reporter.is_open()) {
-    obs::RunContext context{"cli:run", "timeout", timeout};
-    reporter.Add(MakeRunRecord(run, *scheme, context,
-                               run.preprocess_seconds + run.scheme_seconds));
+  obs::RunContext context{"cli:run", "timeout", timeout};
+  if (reporter.is_open() || !bench_json_path.empty()) {
+    obs::RunRecord record =
+        MakeRunRecord(run, *scheme, context,
+                      run.preprocess_seconds + run.scheme_seconds);
+    if (reporter.is_open()) reporter.Add(record);
+    if (!bench_json_path.empty()) {
+      obs::BenchJsonWriter writer;
+      obs::BenchMetadata meta;
+      meta.name = "cqa_cli";
+      meta.seed = static_cast<uint64_t>(args.GetDouble("seed", 7));
+      meta.timeout_seconds = timeout;
+      meta.epsilon = params.epsilon;
+      meta.delta = params.delta;
+      writer.SetMetadata(meta);
+      writer.AddRun(record);
+      std::string error;
+      if (!writer.WriteFile(bench_json_path, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+    }
+  }
+  if (convergence.is_open()) {
+    for (const obs::ConvergenceSeries& series : run.convergence) {
+      convergence.Add(context.scenario, context.x_label, context.x,
+                      SchemeKindName(*scheme), series);
+    }
+    convergence.Close();
+  }
+  std::string metrics_path = args.Get("obs_metrics", "");
+  if (!metrics_path.empty()) {
+    if (!WriteTextFile(metrics_path, obs::Registry::Instance().ToJson())) {
+      return 1;
+    }
   }
   std::string trace_path = args.Get("obs_trace", "");
   if (!trace_path.empty()) {
     std::string error;
     if (!obs::TraceBuffer::Instance().ExportJsonl(trace_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::string chrome_path = args.Get("obs_trace_chrome", "");
+  if (!chrome_path.empty()) {
+    std::string error;
+    if (!obs::TraceBuffer::Instance().ExportChromeTrace(chrome_path, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }

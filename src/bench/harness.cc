@@ -12,8 +12,10 @@ namespace cqa {
 std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
                                         const ApxParams& params,
                                         double timeout_seconds, Rng& rng,
-                                        obs::RunReporter* reporter,
+                                        const RunSinks& sinks,
                                         const obs::RunContext& context) {
+  ApxParams run_params = params;
+  if (sinks.WantsConvergence()) run_params.record_convergence = true;
   std::vector<SchemeTiming> timings;
   for (SchemeKind scheme : AllSchemeKinds()) {
     obs::TraceSpan span("harness.run_scheme");
@@ -21,7 +23,7 @@ std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
     Stopwatch watch;
     Deadline deadline(timeout_seconds);
     CqaRunResult run =
-        ApxCqaOnSynopses(preprocessed, scheme, params, rng, deadline);
+        ApxCqaOnSynopses(preprocessed, scheme, run_params, rng, deadline);
     SchemeTiming timing;
     timing.scheme = scheme;
     timing.seconds = watch.ElapsedSeconds();
@@ -37,12 +39,32 @@ std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
           "harness.remaining_budget_ms",
           static_cast<uint64_t>(deadline.RemainingSeconds() * 1000.0));
     }
-    if (reporter != nullptr) {
-      reporter->Add(MakeRunRecord(run, scheme, context, timing.seconds));
+    if (sinks.report != nullptr || sinks.bench_json != nullptr) {
+      obs::RunRecord record =
+          MakeRunRecord(run, scheme, context, timing.seconds);
+      if (sinks.report != nullptr) sinks.report->Add(record);
+      if (sinks.bench_json != nullptr) sinks.bench_json->AddRun(record);
+    }
+    if (sinks.convergence != nullptr) {
+      for (const obs::ConvergenceSeries& series : run.convergence) {
+        sinks.convergence->Add(context.scenario, context.x_label, context.x,
+                               SchemeKindName(scheme), series);
+      }
     }
     timings.push_back(timing);
   }
   return timings;
+}
+
+std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
+                                        const ApxParams& params,
+                                        double timeout_seconds, Rng& rng,
+                                        obs::RunReporter* reporter,
+                                        const obs::RunContext& context) {
+  RunSinks sinks;
+  sinks.report = reporter;
+  return RunAllSchemes(preprocessed, params, timeout_seconds, rng, sinks,
+                       context);
 }
 
 void SeriesTable::Add(double x, SchemeKind scheme,

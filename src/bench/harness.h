@@ -9,6 +9,8 @@
 #include "common/rng.h"
 #include "cqa/apx_cqa.h"
 #include "cqa/preprocess.h"
+#include "obs/bench_json.h"
+#include "obs/convergence.h"
 #include "obs/report.h"
 
 namespace cqa {
@@ -25,12 +27,39 @@ struct SchemeTiming {
   size_t main_samples = 0;
 };
 
+/// Optional observability outputs of a harness run. All pointers may be
+/// null (that output is simply skipped); the struct exists so scenario
+/// drivers pass one bundle instead of a growing parameter list.
+struct RunSinks {
+  /// JSONL run records (one line per scheme run).
+  obs::RunReporter* report = nullptr;
+  /// JSONL convergence trajectories (one line per recorded series). When
+  /// non-null the harness turns on ApxParams::record_convergence for the
+  /// runs it drives.
+  obs::ConvergenceReporter* convergence = nullptr;
+  /// Aggregated machine-readable benchmark results (BENCH_*.json).
+  obs::BenchJsonWriter* bench_json = nullptr;
+
+  bool WantsConvergence() const {
+    return convergence != nullptr || bench_json != nullptr;
+  }
+};
+
 /// Runs every approximation scheme over one preprocessed pair with a
 /// per-scheme wall-clock budget (the paper's 1-hour timeout, scaled).
 /// Preprocessing time is excluded, matching the paper's reporting.
 ///
-/// When `reporter` is non-null, one JSONL RunRecord per scheme is
-/// appended, tagged with `context` (scenario name and x coordinate).
+/// Each scheme run is flattened into a RunRecord tagged with `context`
+/// (scenario name and x coordinate) and fanned out to every non-null
+/// sink. When a sink wants convergence telemetry, recording is switched
+/// on for the driven runs (the caller's `params` is not mutated).
+std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
+                                        const ApxParams& params,
+                                        double timeout_seconds, Rng& rng,
+                                        const RunSinks& sinks,
+                                        const obs::RunContext& context = {});
+
+/// Legacy convenience overload: JSONL run report only.
 std::vector<SchemeTiming> RunAllSchemes(const PreprocessResult& preprocessed,
                                         const ApxParams& params,
                                         double timeout_seconds, Rng& rng,

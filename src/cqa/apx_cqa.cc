@@ -44,6 +44,10 @@ CqaRunResult ApxCqaOnSynopses(const PreprocessResult& preprocessed,
     }
     ApxResult apx_result = apx->Run(as.synopsis, params, rng, deadline);
     Accumulate(&result, apx_result);
+    for (obs::ConvergenceSeries& series : apx_result.convergence) {
+      result.convergence.push_back(std::move(series));
+    }
+    apx_result.convergence.clear();
     if (apx_result.timed_out) {
       result.timed_out = true;
       break;
@@ -85,6 +89,7 @@ obs::RunRecord MakeRunRecord(const CqaRunResult& run, SchemeKind scheme,
   record.preprocess_seconds = run.preprocess_seconds;
   record.timed_out = run.timed_out;
   record.per_thread_samples = run.per_thread_samples;
+  record.convergence = obs::Summarize(run.convergence);
   return record;
 }
 

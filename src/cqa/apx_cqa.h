@@ -41,6 +41,10 @@ struct CqaRunResult {
   /// Element-wise sum of the per-synopsis per-worker main-loop sample
   /// counts: entry t is the total drawn by worker t (size 1 when serial).
   std::vector<size_t> per_thread_samples;
+  /// Convergence series recorded across all synopsis runs (empty unless
+  /// ApxParams::record_convergence was set). Moved out of the per-answer
+  /// ApxResults so one run-level export sees everything.
+  std::vector<obs::ConvergenceSeries> convergence;
 };
 
 /// Algorithm 1 (ApxCQA[ApxRelativeFreq]) with the §5 implementation: all

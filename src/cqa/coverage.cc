@@ -15,7 +15,8 @@ constexpr size_t kDeadlineStride = 64;
 
 CoverageResult SelfAdjustingCoverage(const SymbolicSpace& space,
                                      double epsilon, double delta, Rng& rng,
-                                     const Deadline& deadline) {
+                                     const Deadline& deadline,
+                                     obs::ConvergenceRecorder* recorder) {
   CQA_CHECK(epsilon > 0.0 && epsilon < 1.0);
   CQA_CHECK(delta > 0.0 && delta < 1.0);
   const Synopsis& synopsis = space.synopsis();
@@ -38,6 +39,7 @@ CoverageResult SelfAdjustingCoverage(const SymbolicSpace& space,
     // Outer sample: (i, I) uniform in S•. The index i is unused; the
     // algorithm only needs I (the choice), exactly as in Algorithm 6.
     space.SampleElement(rng, &choice);
+    size_t trial_start = steps;
     while (true) {
       ++steps;
       if (steps > budget) goto finish;
@@ -51,6 +53,12 @@ CoverageResult SelfAdjustingCoverage(const SymbolicSpace& space,
     }
     total = steps;
     ++trials;
+    if (recorder != nullptr) {
+      // The per-trial observation is (search steps)/|H|, whose running
+      // mean is exactly the normalized coverage estimate below.
+      recorder->Observe(static_cast<double>(steps - trial_start) /
+                        static_cast<double>(h));
+    }
   }
 finish:
   result.steps = steps;

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "cqa/symbolic_space.h"
+#include "obs/convergence.h"
 
 namespace cqa {
 
@@ -31,9 +32,15 @@ struct CoverageResult {
 /// is fixed deterministically, which makes the running time predictable —
 /// but linear in |H| with a large constant, the behaviour the paper's
 /// experiments single out.
-CoverageResult SelfAdjustingCoverage(const SymbolicSpace& space,
-                                     double epsilon, double delta, Rng& rng,
-                                     const Deadline& deadline = Deadline());
+///
+/// When `recorder` is non-null it receives, per completed trial, the
+/// witness-search cost normalized by |H| — the per-trial draw whose mean
+/// the coverage estimate is (null = off; compiled out under
+/// CQABENCH_NO_OBS).
+CoverageResult SelfAdjustingCoverage(
+    const SymbolicSpace& space, double epsilon, double delta, Rng& rng,
+    const Deadline& deadline = Deadline(),
+    obs::ConvergenceRecorder* recorder = nullptr);
 
 }  // namespace cqa
 

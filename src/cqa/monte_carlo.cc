@@ -12,15 +12,17 @@ namespace {
 constexpr size_t kDeadlineStride = 64;
 }  // namespace
 
-MonteCarloResult MonteCarloEstimate(Sampler& sampler, double epsilon,
-                                    double delta, Rng& rng,
-                                    const Deadline& deadline) {
+MonteCarloResult MonteCarloEstimate(
+    Sampler& sampler, double epsilon, double delta, Rng& rng,
+    const Deadline& deadline, obs::ConvergenceRecorder* estimator_convergence,
+    obs::ConvergenceRecorder* main_convergence) {
   MonteCarloResult result;
   Stopwatch phase_watch;
   OptEstimateResult opt;
   {
     obs::TraceSpan span("monte_carlo.estimator");
-    opt = OptEstimate(sampler, epsilon, delta, rng, deadline);
+    opt = OptEstimate(sampler, epsilon, delta, rng, deadline,
+                      estimator_convergence);
   }
   result.estimator_samples = opt.samples_used;
   result.estimator_seconds = phase_watch.ElapsedSeconds();
@@ -34,7 +36,9 @@ MonteCarloResult MonteCarloEstimate(Sampler& sampler, double epsilon,
   double sum = 0.0;
   size_t n = opt.num_iterations;
   for (size_t i = 0; i < n; ++i) {
-    sum += sampler.Draw(rng);
+    double x = sampler.Draw(rng);
+    sum += x;
+    if (main_convergence != nullptr) main_convergence->Observe(x);
     if (i % kDeadlineStride == 0 && deadline.Expired()) {
       result.main_samples = i;
       result.timed_out = true;

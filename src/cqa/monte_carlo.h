@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "cqa/sampler.h"
+#include "obs/convergence.h"
 
 namespace cqa {
 
@@ -35,9 +36,15 @@ struct MonteCarloResult {
 /// iteration count N, then averages N fresh samples. Under Lemma 4.2's
 /// conditions this is an efficient randomized approximation scheme for
 /// EV[Sample].
-MonteCarloResult MonteCarloEstimate(Sampler& sampler, double epsilon,
-                                    double delta, Rng& rng,
-                                    const Deadline& deadline = Deadline());
+///
+/// The optional recorders collect convergence telemetry: every estimator
+/// draw goes to `estimator_convergence` and every main-loop draw to
+/// `main_convergence` (null = off; compiled out under CQABENCH_NO_OBS).
+MonteCarloResult MonteCarloEstimate(
+    Sampler& sampler, double epsilon, double delta, Rng& rng,
+    const Deadline& deadline = Deadline(),
+    obs::ConvergenceRecorder* estimator_convergence = nullptr,
+    obs::ConvergenceRecorder* main_convergence = nullptr);
 
 }  // namespace cqa
 

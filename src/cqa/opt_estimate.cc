@@ -22,7 +22,8 @@ double Upsilon(double epsilon, double delta) {
 }  // namespace
 
 OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
-                              Rng& rng, const Deadline& deadline) {
+                              Rng& rng, const Deadline& deadline,
+                              obs::ConvergenceRecorder* recorder) {
   CQA_CHECK(epsilon > 0.0 && epsilon < 1.0);
   CQA_CHECK(delta > 0.0 && delta < 1.0);
   CQA_AUDIT(audit::CheckOptEstimateParams, epsilon, delta);
@@ -37,7 +38,9 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
   double sum = 0.0;
   size_t n1 = 0;
   while (sum < upsilon1) {
-    sum += sampler.Draw(rng);
+    double x = sampler.Draw(rng);
+    sum += x;
+    if (recorder != nullptr) recorder->Observe(x);
     ++n1;
     if (n1 % kDeadlineStride == 0 && deadline.Expired()) {
       result.samples_used = n1;
@@ -63,6 +66,10 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
     double x1 = sampler.Draw(rng);
     double x2 = sampler.Draw(rng);
     s += (x1 - x2) * (x1 - x2) / 2.0;
+    if (recorder != nullptr) {
+      recorder->Observe(x1);
+      recorder->Observe(x2);
+    }
     if (i % kDeadlineStride == 0 && deadline.Expired()) {
       result.samples_used = n1 + 2 * i;
       result.timed_out = true;

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "cqa/sampler.h"
+#include "obs/convergence.h"
 
 namespace cqa {
 
@@ -40,9 +41,12 @@ struct OptEstimateResult {
 /// The expected running time is proportional to 1/E[Draw] (phase 1) and to
 /// the relative variance (phase 2), which is exactly the cost asymmetry
 /// the paper's experiments expose between the samplers.
+///
+/// When `recorder` is non-null every draw of both phases is fed to it, so
+/// the convergence telemetry covers the estimator's own sampling cost.
 OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
-                              Rng& rng,
-                              const Deadline& deadline = Deadline());
+                              Rng& rng, const Deadline& deadline = Deadline(),
+                              obs::ConvergenceRecorder* recorder = nullptr);
 
 }  // namespace cqa
 

@@ -12,11 +12,11 @@
 
 namespace cqa {
 
-MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
-                                            size_t num_threads,
-                                            double epsilon, double delta,
-                                            Rng& rng,
-                                            const Deadline& deadline) {
+MonteCarloResult ParallelMonteCarloEstimate(
+    const SamplerFactory& factory, size_t num_threads, double epsilon,
+    double delta, Rng& rng, const Deadline& deadline,
+    obs::ConvergenceRecorder* estimator_convergence,
+    obs::ConvergenceRecorder* main_convergence) {
   CQA_CHECK(num_threads >= 1);
   MonteCarloResult result;
 
@@ -26,7 +26,8 @@ MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
   OptEstimateResult opt;
   {
     obs::TraceSpan span("parallel.estimator");
-    opt = OptEstimate(*estimator_sampler, epsilon, delta, rng, deadline);
+    opt = OptEstimate(*estimator_sampler, epsilon, delta, rng, deadline,
+                      estimator_convergence);
   }
   result.estimator_samples = opt.samples_used;
   result.estimator_seconds = phase_watch.ElapsedSeconds();
@@ -46,7 +47,9 @@ MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
         result.timed_out = true;
         break;
       }
-      sum += estimator_sampler->Draw(rng);
+      double x = estimator_sampler->Draw(rng);
+      sum += x;
+      if (main_convergence != nullptr) main_convergence->Observe(x);
       ++count;
     }
     result.main_samples = count;
@@ -73,7 +76,11 @@ MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
   for (size_t t = 0; t < num_threads; ++t) {
     uint64_t worker_seed = rng.engine()();
     size_t share = n / num_threads + (t < n % num_threads ? 1 : 0);
-    workers.emplace_back([&, t, worker_seed, share] {
+    // Only worker 0 feeds the (single-threaded) convergence recorder;
+    // the join below sequences its writes before the caller's reads.
+    obs::ConvergenceRecorder* worker_convergence =
+        t == 0 ? main_convergence : nullptr;
+    workers.emplace_back([&, t, worker_seed, share, worker_convergence] {
       obs::TraceSpan worker_span("parallel.worker", main_span.id());
       std::unique_ptr<Sampler> sampler = factory();
       Rng worker_rng(worker_seed);
@@ -85,7 +92,9 @@ MonteCarloResult ParallelMonteCarloEstimate(const SamplerFactory& factory,
           expired.store(true, std::memory_order_relaxed);
           break;
         }
-        sum += sampler->Draw(worker_rng);
+        double x = sampler->Draw(worker_rng);
+        sum += x;
+        if (worker_convergence != nullptr) worker_convergence->Observe(x);
         ++count;
       }
       partial_sums[t] = sum;

@@ -29,9 +29,18 @@ using SamplerFactory = std::function<std::unique_ptr<Sampler>()>;
 ///
 /// The estimator keeps its (ε, δ) guarantee: the N draws are i.i.d. from
 /// the same distribution regardless of which thread produced them.
+///
+/// Convergence telemetry: `estimator_convergence` sees every OptEstimate
+/// draw (that phase is serial). `main_convergence` sees every main-loop
+/// draw when num_threads == 1; with more threads it sees worker 0's draws
+/// only — the recorder is not thread-safe, and one worker's i.i.d. stream
+/// is a faithful sample of the convergence behaviour (the thread join
+/// orders the recorder's buffer before the caller reads it).
 MonteCarloResult ParallelMonteCarloEstimate(
     const SamplerFactory& factory, size_t num_threads, double epsilon,
-    double delta, Rng& rng, const Deadline& deadline = Deadline());
+    double delta, Rng& rng, const Deadline& deadline = Deadline(),
+    obs::ConvergenceRecorder* estimator_convergence = nullptr,
+    obs::ConvergenceRecorder* main_convergence = nullptr);
 
 }  // namespace cqa
 

@@ -52,6 +52,33 @@ void FillFromMonteCarlo(ApxResult* result, MonteCarloResult&& mc) {
   result->per_thread_samples = std::move(mc.per_thread_samples);
 }
 
+/// Optional pair of per-phase convergence recorders for a scheme run,
+/// constructed only when ApxParams::record_convergence asks for them.
+struct SchemeRecorders {
+  explicit SchemeRecorders(const ApxParams& params) {
+    if (params.record_convergence) {
+      estimator = std::make_unique<obs::ConvergenceRecorder>(
+          "opt_estimate", params.epsilon, params.delta);
+      main = std::make_unique<obs::ConvergenceRecorder>(
+          "main_loop", params.epsilon, params.delta);
+    }
+  }
+
+  /// Moves the non-empty recorded series into the result.
+  void Collect(ApxResult* result) {
+    for (obs::ConvergenceRecorder* rec : {estimator.get(), main.get()}) {
+      if (rec == nullptr) continue;
+      obs::ConvergenceSeries series = rec->TakeSeries();
+      if (!series.checkpoints.empty()) {
+        result->convergence.push_back(std::move(series));
+      }
+    }
+  }
+
+  std::unique_ptr<obs::ConvergenceRecorder> estimator;
+  std::unique_ptr<obs::ConvergenceRecorder> main;
+};
+
 /// Algorithm 3 (Natural): MonteCarlo over the natural space; 1-good.
 class NaturalScheme : public ApxRelativeFreqScheme {
  public:
@@ -59,18 +86,22 @@ class NaturalScheme : public ApxRelativeFreqScheme {
                 const Deadline& deadline) const override {
     ApxResult result;
     if (synopsis.Empty()) return result;
+    SchemeRecorders recorders(params);
     MonteCarloResult mc;
     if (params.num_threads > 1) {
       mc = ParallelMonteCarloEstimate(
           [&] { return std::make_unique<NaturalSampler>(&synopsis); },
-          params.num_threads, params.epsilon, params.delta, rng, deadline);
+          params.num_threads, params.epsilon, params.delta, rng, deadline,
+          recorders.estimator.get(), recorders.main.get());
     } else {
       NaturalSampler sampler(&synopsis);
       mc = MonteCarloEstimate(sampler, params.epsilon, params.delta, rng,
-                              deadline);
+                              deadline, recorders.estimator.get(),
+                              recorders.main.get());
     }
     result.estimate = mc.estimate;  // GoodnessFactor() == 1.
     FillFromMonteCarlo(&result, std::move(mc));
+    recorders.Collect(&result);
     return result;
   }
   SchemeKind kind() const override { return SchemeKind::kNatural; }
@@ -86,18 +117,22 @@ class SymbolicScheme : public ApxRelativeFreqScheme {
     ApxResult result;
     if (synopsis.Empty()) return result;
     SymbolicSpace space(&synopsis);
+    SchemeRecorders recorders(params);
     MonteCarloResult mc;
     if (params.num_threads > 1) {
       mc = ParallelMonteCarloEstimate(
           [&] { return std::make_unique<SamplerT>(&space); },
-          params.num_threads, params.epsilon, params.delta, rng, deadline);
+          params.num_threads, params.epsilon, params.delta, rng, deadline,
+          recorders.estimator.get(), recorders.main.get());
     } else {
       SamplerT sampler(&space);
       mc = MonteCarloEstimate(sampler, params.epsilon, params.delta, rng,
-                              deadline);
+                              deadline, recorders.estimator.get(),
+                              recorders.main.get());
     }
     result.estimate = mc.estimate * space.total_weight();
     FillFromMonteCarlo(&result, std::move(mc));
+    recorders.Collect(&result);
     return result;
   }
   SchemeKind kind() const override { return kKind; }
@@ -114,9 +149,14 @@ class CoverScheme : public ApxRelativeFreqScheme {
     ApxResult result;
     if (synopsis.Empty()) return result;
     SymbolicSpace space(&synopsis);
+    std::unique_ptr<obs::ConvergenceRecorder> recorder;
+    if (params.record_convergence) {
+      recorder = std::make_unique<obs::ConvergenceRecorder>(
+          "coverage.trials", params.epsilon, params.delta);
+    }
     Stopwatch watch;
-    CoverageResult cov = SelfAdjustingCoverage(space, params.epsilon,
-                                               params.delta, rng, deadline);
+    CoverageResult cov = SelfAdjustingCoverage(
+        space, params.epsilon, params.delta, rng, deadline, recorder.get());
     result.samples = cov.steps;
     result.timed_out = cov.timed_out;
     result.estimate = cov.normalized_estimate * space.total_weight();
@@ -125,6 +165,12 @@ class CoverScheme : public ApxRelativeFreqScheme {
     result.main_samples = cov.steps;
     result.main_seconds = watch.ElapsedSeconds();
     result.per_thread_samples = {cov.steps};
+    if (recorder != nullptr) {
+      obs::ConvergenceSeries series = recorder->TakeSeries();
+      if (!series.checkpoints.empty()) {
+        result.convergence.push_back(std::move(series));
+      }
+    }
     return result;
   }
   SchemeKind kind() const override { return SchemeKind::kCover; }

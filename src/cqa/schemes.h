@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "cqa/synopsis.h"
+#include "obs/convergence.h"
 
 namespace cqa {
 
@@ -35,6 +36,11 @@ struct ApxParams {
   /// with independent RNG streams. Cover is inherently sequential and
   /// ignores this.
   size_t num_threads = 1;
+  /// When true the scheme attaches ConvergenceRecorders to its sampling
+  /// phases and returns the recorded series in ApxResult::convergence.
+  /// Checkpointing is O(log n) in the draw count; still, leave this off
+  /// unless the telemetry is wanted. No-op under CQABENCH_NO_OBS.
+  bool record_convergence = false;
 };
 
 /// Result of one ApxRelativeFreq invocation on a single synopsis.
@@ -53,6 +59,9 @@ struct ApxResult {
   double main_seconds = 0.0;
   /// Main-loop samples per worker thread (size 1 for serial runs).
   std::vector<size_t> per_thread_samples;
+  /// Convergence series recorded during the run (one per sampling phase;
+  /// empty unless ApxParams::record_convergence was set).
+  std::vector<obs::ConvergenceSeries> convergence;
 };
 
 /// A data-efficient randomized approximation scheme for RelativeFreq,

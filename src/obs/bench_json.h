@@ -1,0 +1,93 @@
+#ifndef CQABENCH_OBS_BENCH_JSON_H_
+#define CQABENCH_OBS_BENCH_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "common/math_util.h"
+#include "obs/report.h"
+
+namespace cqa::obs {
+
+/// Version of the BENCH_*.json schema. Bump on any breaking change to
+/// the emitted field set; tools/bench_compare.py refuses files whose
+/// version it does not understand.
+inline constexpr int kBenchJsonVersion = 1;
+
+/// Provenance and configuration stamped into a benchmark result file so
+/// two BENCH_*.json files can be compared meaningfully (or the
+/// comparison rejected as apples-to-oranges).
+struct BenchMetadata {
+  /// Benchmark binary / scenario family ("bench_noise", "bench_micro").
+  std::string name;
+  uint64_t seed = 0;
+  double scale_factor = 0.0;
+  double timeout_seconds = 0.0;
+  size_t queries_per_level = 0;
+  double epsilon = 0.1;
+  double delta = 0.25;
+};
+
+/// Git revision the binary was built from: the CQABENCH_GIT_SHA
+/// environment variable if set (CI stamps the exact commit), else the
+/// configure-time sha baked in by CMake, else "unknown".
+std::string BenchGitSha();
+
+/// Collects per-run results keyed by (scenario, x, series) and writes one
+/// versioned, machine-readable JSON file — the perf history format the
+/// regression gate (tools/bench_compare.py) diffs. Aggregation matches
+/// the printed SeriesTable: mean ± stddev of wall seconds and samples
+/// over the repeated trials of a cell, plus timeout counts and the
+/// convergence summaries of the runs that recorded them. Thread-safe.
+class BenchJsonWriter {
+ public:
+  void SetMetadata(const BenchMetadata& metadata);
+
+  /// Adds one scheme run, as flattened into a run record (the harness
+  /// builds these anyway for the JSONL report).
+  void AddRun(const RunRecord& record);
+
+  /// Low-level variant for non-scheme timings (preprocessing, exact
+  /// baseline): one observation of `seconds`/`samples` for the cell
+  /// (scenario, x, series).
+  void AddSample(const std::string& scenario, const std::string& x_label,
+                 double x, const std::string& series, double seconds,
+                 double samples, bool timed_out);
+
+  size_t num_cells() const;
+
+  /// The whole result file as one JSON object.
+  std::string ToJson() const;
+
+  /// Serializes to `path`; returns false and sets *error on I/O failure.
+  bool WriteFile(const std::string& path, std::string* error) const;
+
+ private:
+  struct Cell {
+    std::string x_label;
+    MeanVarAccumulator wall_seconds;
+    MeanVarAccumulator samples;
+    MeanVarAccumulator estimate;
+    size_t runs = 0;
+    size_t timeouts = 0;
+    /// Convergence aggregation over the runs that recorded checkpoints.
+    size_t convergence_runs = 0;
+    size_t convergence_converged = 0;
+    MeanVarAccumulator samples_to_epsilon;  // converged runs only
+    MeanVarAccumulator auec;
+    MeanVarAccumulator final_half_width;
+  };
+
+  using Key = std::tuple<std::string, double, std::string>;
+
+  mutable std::mutex mu_;
+  BenchMetadata metadata_;
+  std::map<Key, Cell> cells_;
+};
+
+}  // namespace cqa::obs
+
+#endif  // CQABENCH_OBS_BENCH_JSON_H_

@@ -1,0 +1,155 @@
+#ifndef CQABENCH_OBS_CONVERGENCE_H_
+#define CQABENCH_OBS_CONVERGENCE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace cqa::obs {
+
+/// One convergence checkpoint of a running estimator: where the estimate
+/// stood after `sample_index` draws and how tight it was.
+struct ConvergenceCheckpoint {
+  uint64_t sample_index = 0;
+  /// Wall-clock nanoseconds since the recorder was constructed (i.e.
+  /// since the phase started).
+  uint64_t wall_ns = 0;
+  /// Running mean of the observed draws.
+  double estimate = 0.0;
+  /// Empirical-Bernstein confidence-interval half width at confidence
+  /// 1 - δ (exact for [0, 1]-valued draws; a comparable tightness proxy
+  /// for the coverage trial costs, which are unbounded).
+  double ci_half_width = 0.0;
+  /// Running (biased) sample variance — the variance proxy behind the
+  /// half width.
+  double variance = 0.0;
+};
+
+/// The trajectory one estimator phase traced: checkpoints at geometrically
+/// spaced sample counts, so a run of N draws stores O(log N) points.
+struct ConvergenceSeries {
+  /// Phase label; must be a string literal ("monte_carlo.main", ...).
+  const char* phase = "";
+  /// The (ε, δ) the run targeted; the CI half widths use this δ.
+  double epsilon = 0.0;
+  double delta = 0.0;
+  std::vector<ConvergenceCheckpoint> checkpoints;
+};
+
+/// Aggregated convergence figures for a run (possibly spanning several
+/// series — one per synopsis and phase). All means are over the series
+/// that recorded at least one checkpoint.
+struct ConvergenceSummary {
+  /// Series with at least one checkpoint.
+  size_t num_series = 0;
+  /// Checkpoints across all series.
+  size_t num_checkpoints = 0;
+  /// Samples until the CI half width first dropped to ε·estimate,
+  /// maximised over series (the slowest phase gates the run); 0 when any
+  /// non-empty series never got there (or nothing was recorded).
+  uint64_t samples_to_epsilon = 0;
+  /// Mean over series of the normalized area under the error curve:
+  /// trapezoid of the CI half width over the sample axis divided by the
+  /// sampled range — "average half width along the run".
+  double auec = 0.0;
+  double first_half_width = 0.0;
+  double final_half_width = 0.0;
+  double final_estimate = 0.0;
+};
+
+ConvergenceSummary Summarize(const ConvergenceSeries& series);
+ConvergenceSummary Summarize(const std::vector<ConvergenceSeries>& series);
+
+/// Serializes one series as a JSON object (no trailing newline):
+///   {"phase":...,"epsilon":...,"delta":...,
+///    "checkpoints":[[sample_index,wall_ns,estimate,ci_half_width,
+///                    variance],...]}
+std::string ConvergenceSeriesToJson(const ConvergenceSeries& series);
+
+/// Records the convergence trajectory of one estimator phase. Feed every
+/// draw through Observe(); checkpoints are taken at geometrically spaced
+/// sample counts (ratio 1.25), so the hot-path cost is two adds, one
+/// multiply and one predictable compare per draw — and O(log N)
+/// checkpoint records total. Not thread-safe: one recorder per phase per
+/// thread (the parallel estimator feeds it from one worker only).
+///
+/// Under -DCQABENCH_NO_OBS, Observe() compiles to nothing and the series
+/// stays empty, so every call site is erased by the optimizer.
+class ConvergenceRecorder {
+ public:
+  /// `phase` must be a string literal; ε and δ parameterize the CI half
+  /// width and the samples-to-ε summary.
+  ConvergenceRecorder(const char* phase, double epsilon, double delta);
+
+  ConvergenceRecorder(const ConvergenceRecorder&) = delete;
+  ConvergenceRecorder& operator=(const ConvergenceRecorder&) = delete;
+
+  void Observe(double x) {
+#ifndef CQABENCH_NO_OBS
+    sum_ += x;
+    sum_sq_ += x * x;
+    if (++count_ >= next_checkpoint_) RecordCheckpoint();
+#else
+    (void)x;
+#endif
+  }
+
+  uint64_t count() const { return count_; }
+  const ConvergenceSeries& series() const { return series_; }
+
+  /// Finalizes (records a last checkpoint at the current sample count if
+  /// one is not already there) and moves the series out; the recorder is
+  /// empty afterwards.
+  ConvergenceSeries TakeSeries();
+
+ private:
+  void RecordCheckpoint();
+
+  ConvergenceSeries series_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  uint64_t count_ = 0;
+  uint64_t next_checkpoint_ = 1;
+  /// ln(3/δ), precomputed for the empirical-Bernstein half width.
+  double log3_delta_ = 0.0;
+  Stopwatch watch_;
+};
+
+/// Appends JSONL convergence series to a file, one line per series,
+/// tagged with the run's (scenario, x, scheme) so trajectories can be
+/// joined against run reports. Flushed per line; thread-safe.
+class ConvergenceReporter {
+ public:
+  ConvergenceReporter() = default;
+  ~ConvergenceReporter();
+  ConvergenceReporter(const ConvergenceReporter&) = delete;
+  ConvergenceReporter& operator=(const ConvergenceReporter&) = delete;
+
+  /// Opens (truncates) the file. Returns false and sets *error on I/O
+  /// failure.
+  bool Open(const std::string& path, std::string* error);
+
+  bool is_open() const { return file_ != nullptr; }
+  size_t num_series() const;
+
+  /// Writes one line: the series JSON extended with
+  /// "scenario"/"x_label"/"x"/"scheme" fields. Series with no
+  /// checkpoints are skipped.
+  void Add(const std::string& scenario, const std::string& x_label, double x,
+           const std::string& scheme, const ConvergenceSeries& series);
+
+  void Close();
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  size_t num_series_ = 0;
+};
+
+}  // namespace cqa::obs
+
+#endif  // CQABENCH_OBS_CONVERGENCE_H_

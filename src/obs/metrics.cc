@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace cqa::obs {
@@ -41,7 +42,39 @@ void AppendEscaped(std::string* out, const std::string& s) {
   }
 }
 
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
 }  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    double n = static_cast<double>(buckets[b]);
+    if (n == 0.0) continue;
+    if (cum + n >= target) {
+      if (b == 0) return 0.0;  // Bucket 0 holds exactly the zeros.
+      // Bucket b spans [2^(b-1), 2^b); the last bucket absorbs overflow,
+      // so cap it (and every interpolated value) at the recorded max.
+      double lo = static_cast<double>(uint64_t{1} << (b - 1));
+      double hi = lo * 2.0;
+      double observed_max = static_cast<double>(max);
+      if (b + 1 == buckets.size() && observed_max > lo) hi = observed_max;
+      double f = (target - cum) / n;
+      double v = lo * std::pow(hi / lo, f);
+      return v < observed_max ? v : observed_max;
+    }
+    cum += n;
+  }
+  return static_cast<double>(max);
+}
 
 void Histogram::Observe(uint64_t value) {
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
@@ -85,6 +118,16 @@ uint64_t Registry::CounterValue(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count();
+  snap.sum = sum();
+  snap.max = max();
+  snap.buckets.reserve(kNumBuckets);
+  for (size_t b = 0; b < kNumBuckets; ++b) snap.buckets.push_back(bucket(b));
+  return snap;
+}
+
 std::vector<CounterSnapshot> Registry::Counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<CounterSnapshot> out;
@@ -100,15 +143,8 @@ std::vector<HistogramSnapshot> Registry::Histograms() const {
   std::vector<HistogramSnapshot> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    HistogramSnapshot snap;
+    HistogramSnapshot snap = h->snapshot();
     snap.name = name;
-    snap.count = h->count();
-    snap.sum = h->sum();
-    snap.max = h->max();
-    snap.buckets.reserve(Histogram::kNumBuckets);
-    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
-      snap.buckets.push_back(h->bucket(b));
-    }
     out.push_back(std::move(snap));
   }
   return out;
@@ -139,7 +175,14 @@ std::string Registry::ToJson() const {
     AppendEscaped(&out, h.name);
     out += "\":{\"count\":" + std::to_string(h.count) +
            ",\"sum\":" + std::to_string(h.sum) +
-           ",\"max\":" + std::to_string(h.max) + "}";
+           ",\"max\":" + std::to_string(h.max);
+    out += ",\"p50\":";
+    AppendDouble(&out, h.Quantile(0.50));
+    out += ",\"p95\":";
+    AppendDouble(&out, h.Quantile(0.95));
+    out += ",\"p99\":";
+    AppendDouble(&out, h.Quantile(0.99));
+    out += '}';
   }
   out += "}}";
   return out;

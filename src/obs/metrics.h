@@ -31,11 +31,17 @@ class Counter {
 /// counts v == 0), the last bucket absorbing the overflow. All updates
 /// are relaxed atomics; totals are monotonic so a concurrent Snapshot is
 /// approximate but never torn per-field.
+struct HistogramSnapshot;
+
 class Histogram {
  public:
   static constexpr size_t kNumBuckets = 32;
 
   void Observe(uint64_t value);
+
+  /// Point-in-time copy of the totals and buckets (name left empty);
+  /// the value-typed form Quantile() needs.
+  HistogramSnapshot snapshot() const;
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -63,6 +69,11 @@ struct HistogramSnapshot {
   uint64_t sum = 0;
   uint64_t max = 0;
   std::vector<uint64_t> buckets;  // kNumBuckets entries.
+
+  /// Approximate q-quantile (q in [0, 1]) of the observed values,
+  /// interpolating log-linearly inside the power-of-two bucket the rank
+  /// falls into and clamping to the exact observed max. 0 when empty.
+  double Quantile(double q) const;
 };
 
 /// Process-wide registry of named counters and histograms. Metric objects

@@ -71,7 +71,20 @@ std::string RunRecordToJson(const RunRecord& r) {
     if (i > 0) out += ',';
     out += std::to_string(r.per_thread_samples[i]);
   }
-  out += "]}";
+  out += "]";
+  // Convergence summary: flat fields so the record stays one level deep
+  // (consumers parse scalars + flat arrays). All zeros when recording
+  // was off.
+  out += ",\"convergence_series\":" + std::to_string(r.convergence.num_series);
+  out += ",\"convergence_checkpoints\":" +
+         std::to_string(r.convergence.num_checkpoints);
+  out += ",\"samples_to_epsilon\":" +
+         std::to_string(r.convergence.samples_to_epsilon);
+  out += ",\"auec\":";
+  AppendDouble(&out, r.convergence.auec);
+  out += ",\"final_half_width\":";
+  AppendDouble(&out, r.convergence.final_half_width);
+  out += '}';
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/convergence.h"
+
 namespace cqa::obs {
 
 /// Identifies where in a benchmark grid a scheme run happened: the
@@ -44,6 +46,9 @@ struct RunRecord {
   /// Main-loop samples per worker thread (size 1 for serial runs) —
   /// worker imbalance is the spread of these.
   std::vector<size_t> per_thread_samples;
+  /// Convergence telemetry summary of the run's recorded series; all
+  /// zeros when convergence recording was off (or compiled out).
+  ConvergenceSummary convergence;
 };
 
 /// Serializes a record as one JSON object (no trailing newline).

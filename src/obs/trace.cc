@@ -75,14 +75,22 @@ void TraceBuffer::Record(const SpanRecord& record) {
   ++total_;
 }
 
-std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+void TraceBuffer::CopyState(std::vector<SpanRecord>* spans,
+                            uint64_t* dropped_spans) const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<SpanRecord> out;
-  out.reserve(ring_.size());
+  spans->clear();
+  spans->reserve(ring_.size());
   // next_ is the oldest entry once the ring has wrapped.
   for (size_t i = 0; i < ring_.size(); ++i) {
-    out.push_back(ring_[(next_ + i) % ring_.size()]);
+    spans->push_back(ring_[(next_ + i) % ring_.size()]);
   }
+  *dropped_spans = total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  uint64_t dropped_spans = 0;
+  CopyState(&out, &dropped_spans);
   return out;
 }
 
@@ -98,25 +106,78 @@ void TraceBuffer::Clear() {
   total_ = 0;
 }
 
+namespace {
+
+bool WriteWholeFile(const std::string& path, const std::string& out,
+                    std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace
+
 void TraceBuffer::AppendJsonl(std::string* out) const {
-  for (const SpanRecord& r : Snapshot()) {
+  std::vector<SpanRecord> spans;
+  uint64_t dropped_spans = 0;
+  CopyState(&spans, &dropped_spans);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{\"trace_meta\":true,\"dropped_spans\":%llu,"
+                "\"buffered_spans\":%zu}\n",
+                static_cast<unsigned long long>(dropped_spans), spans.size());
+  *out += buf;
+  for (const SpanRecord& r : spans) {
     AppendSpanJson(out, r);
   }
 }
 
 bool TraceBuffer::ExportJsonl(const std::string& path,
                               std::string* error) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "cannot open " + path + " for writing";
-    return false;
-  }
   std::string out;
   AppendJsonl(&out);
-  bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok && error != nullptr) *error = "short write to " + path;
-  return ok;
+  return WriteWholeFile(path, out, error);
+}
+
+void TraceBuffer::AppendChromeTrace(std::string* out) const {
+  std::vector<SpanRecord> spans;
+  uint64_t dropped_spans = 0;
+  CopyState(&spans, &dropped_spans);
+  *out += "{\"traceEvents\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& r = spans[i];
+    if (i > 0) *out += ',';
+    // Span names are string literals from our own call sites (a lint
+    // rule enforces it), so no escaping is needed.
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"cqa\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                  "\"args\":{\"id\":%llu,\"parent_id\":%llu}}",
+                  r.name, r.start_seconds * 1e6, r.duration_seconds * 1e6,
+                  r.thread_id, static_cast<unsigned long long>(r.id),
+                  static_cast<unsigned long long>(r.parent_id));
+    *out += buf;
+  }
+  char tail[128];
+  std::snprintf(tail, sizeof(tail),
+                "],\"otherData\":{\"dropped_spans\":%llu,"
+                "\"buffered_spans\":%zu}}\n",
+                static_cast<unsigned long long>(dropped_spans), spans.size());
+  *out += tail;
+}
+
+bool TraceBuffer::ExportChromeTrace(const std::string& path,
+                                    std::string* error) const {
+  std::string out;
+  AppendChromeTrace(&out);
+  return WriteWholeFile(path, out, error);
 }
 
 #ifndef CQABENCH_NO_OBS

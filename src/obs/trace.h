@@ -45,14 +45,26 @@ class TraceBuffer {
 
   void Clear();
 
-  /// Writes one JSON object per buffered span:
+  /// Writes a meta line {"trace_meta":true,"dropped_spans":...,
+  /// "buffered_spans":...} followed by one JSON object per buffered span:
   ///   {"name":...,"start_s":...,"dur_s":...,"id":...,"parent_id":...,
   ///    "thread":...}
   bool ExportJsonl(const std::string& path, std::string* error) const;
   void AppendJsonl(std::string* out) const;
 
+  /// Writes the buffered spans as one Chrome trace_event JSON document
+  /// ("X" complete events, timestamps in microseconds) that loads in
+  /// Perfetto / chrome://tracing; the ring's dropped-span count rides
+  /// along in "otherData".
+  bool ExportChromeTrace(const std::string& path, std::string* error) const;
+  void AppendChromeTrace(std::string* out) const;
+
  private:
   TraceBuffer() = default;
+
+  /// One consistent (spans, dropped count) pair under a single lock.
+  void CopyState(std::vector<SpanRecord>* spans,
+                 uint64_t* dropped_spans) const;
 
   mutable std::mutex mu_;
   std::vector<SpanRecord> ring_;

@@ -1,0 +1,201 @@
+// Tests of the BENCH_*.json writer: the versioned schema, provenance
+// fields, mean ± stddev aggregation over repeated trials, convergence
+// summaries, and the file round-trip — the contract
+// tools/bench_compare.py parses on the other side.
+
+#include "obs/bench_json.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "json_test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::MiniJson;
+using testing::TempPath;
+
+obs::RunRecord MakeRecord(const std::string& scheme, double seconds,
+                          size_t samples, bool timed_out = false) {
+  obs::RunRecord record;
+  record.scenario = "Unit";
+  record.x_label = "noise";
+  record.x = 0.5;
+  record.scheme = scheme;
+  record.estimate = 0.25;
+  record.total_samples = samples;
+  record.total_seconds = seconds;
+  record.timed_out = timed_out;
+  return record;
+}
+
+TEST(BenchJsonTest, EmitsVersionedSchemaWithProvenance) {
+  obs::BenchJsonWriter writer;
+  obs::BenchMetadata meta;
+  meta.name = "bench_unit";
+  meta.seed = 99;
+  meta.scale_factor = 0.001;
+  meta.timeout_seconds = 5.0;
+  meta.queries_per_level = 2;
+  meta.epsilon = 0.2;
+  meta.delta = 0.3;
+  writer.SetMetadata(meta);
+  writer.AddRun(MakeRecord("KLM", 1.0, 100));
+
+  std::map<std::string, std::string> top;
+  ASSERT_TRUE(MiniJson::ParseObject(writer.ToJson(), &top))
+      << writer.ToJson();
+  EXPECT_EQ(top["bench_json_version"], "1");
+  EXPECT_EQ(top["name"], "bench_unit");
+  EXPECT_FALSE(top["git_sha"].empty());
+  ASSERT_TRUE(top.count("build"));
+  ASSERT_TRUE(top.count("no_obs"));
+  ASSERT_TRUE(top.count("unix_time"));
+  ASSERT_TRUE(top.count("host"));
+
+  std::map<std::string, std::string> config;
+  ASSERT_TRUE(MiniJson::ParseObject(top["config"], &config));
+  EXPECT_EQ(config["seed"], "99");
+  EXPECT_EQ(std::stod(config["scale_factor"]), 0.001);
+  EXPECT_EQ(std::stod(config["timeout_seconds"]), 5.0);
+  EXPECT_EQ(config["queries_per_level"], "2");
+  EXPECT_EQ(std::stod(config["epsilon"]), 0.2);
+  EXPECT_EQ(std::stod(config["delta"]), 0.3);
+
+  std::map<std::string, std::string> host;
+  ASSERT_TRUE(MiniJson::ParseObject(top["host"], &host));
+  ASSERT_TRUE(host.count("hardware_concurrency"));
+}
+
+TEST(BenchJsonTest, GitShaEnvOverridesTheBakedInValue) {
+  ASSERT_EQ(setenv("CQABENCH_GIT_SHA", "deadbeef1234", 1), 0);
+  EXPECT_EQ(obs::BenchGitSha(), "deadbeef1234");
+  ASSERT_EQ(unsetenv("CQABENCH_GIT_SHA"), 0);
+  EXPECT_FALSE(obs::BenchGitSha().empty());
+}
+
+TEST(BenchJsonTest, RepeatedTrialsAggregateToMeanAndStddev) {
+  obs::BenchJsonWriter writer;
+  // Three trials of the same cell: 1s, 2s, 3s.
+  writer.AddRun(MakeRecord("KLM", 1.0, 100));
+  writer.AddRun(MakeRecord("KLM", 2.0, 200));
+  writer.AddRun(MakeRecord("KLM", 3.0, 300, /*timed_out=*/true));
+  // A second cell keyed by a different series name.
+  writer.AddRun(MakeRecord("Natural", 5.0, 50));
+  EXPECT_EQ(writer.num_cells(), 2u);
+
+  std::map<std::string, std::string> top;
+  ASSERT_TRUE(MiniJson::ParseObject(writer.ToJson(), &top));
+  const std::string& results = top["results"];
+  // Cells are sorted by (scenario, x, series): KLM before Natural.
+  size_t klm = results.find("\"series\":\"KLM\"");
+  size_t natural = results.find("\"series\":\"Natural\"");
+  ASSERT_NE(klm, std::string::npos);
+  ASSERT_NE(natural, std::string::npos);
+  EXPECT_LT(klm, natural);
+
+  std::string klm_obj = results.substr(2, natural - 2);
+  EXPECT_NE(klm_obj.find("\"runs\":3"), std::string::npos) << klm_obj;
+  EXPECT_NE(klm_obj.find("\"timeouts\":1"), std::string::npos);
+  EXPECT_NE(klm_obj.find("\"wall_seconds\":{\"mean\":2,\"stddev\":1}"),
+            std::string::npos)
+      << klm_obj;
+  EXPECT_NE(klm_obj.find("\"samples\":{\"mean\":200,\"stddev\":100}"),
+            std::string::npos);
+}
+
+TEST(BenchJsonTest, ConvergenceSummariesAggregatePerCell) {
+  obs::BenchJsonWriter writer;
+  obs::RunRecord converged = MakeRecord("KL", 1.0, 100);
+  converged.convergence.num_series = 2;
+  converged.convergence.samples_to_epsilon = 60;
+  converged.convergence.auec = 0.1;
+  converged.convergence.final_half_width = 0.02;
+  writer.AddRun(converged);
+  obs::RunRecord stuck = MakeRecord("KL", 1.0, 100);
+  stuck.convergence.num_series = 2;
+  stuck.convergence.samples_to_epsilon = 0;  // never reached ε
+  stuck.convergence.auec = 0.3;
+  stuck.convergence.final_half_width = 0.08;
+  writer.AddRun(stuck);
+  // A record with no recorded series (NO_OBS or recording off) does not
+  // count toward the convergence aggregates.
+  writer.AddRun(MakeRecord("KL", 1.0, 100));
+
+  std::map<std::string, std::string> top;
+  ASSERT_TRUE(MiniJson::ParseObject(writer.ToJson(), &top));
+  const std::string& results = top["results"];
+  EXPECT_NE(results.find("\"convergence\":{\"runs\":2,\"converged\":1,"
+                         "\"samples_to_epsilon\":{\"mean\":60,\"stddev\":0}"),
+            std::string::npos)
+      << results;
+  EXPECT_NE(results.find("\"auec\":{\"mean\":0.2,"), std::string::npos);
+}
+
+TEST(BenchJsonTest, AddSampleFeedsNonSchemeCells) {
+  obs::BenchJsonWriter writer;
+  writer.AddSample("Preprocess", "grid", 0.0, "Preprocess", 0.5, 10.0,
+                   false);
+  writer.AddSample("Preprocess", "grid", 0.0, "Preprocess", 1.5, 30.0,
+                   false);
+  EXPECT_EQ(writer.num_cells(), 1u);
+  std::map<std::string, std::string> top;
+  ASSERT_TRUE(MiniJson::ParseObject(writer.ToJson(), &top));
+  EXPECT_NE(top["results"].find("\"wall_seconds\":{\"mean\":1,"),
+            std::string::npos);
+  EXPECT_NE(top["results"].find("\"convergence\":{\"runs\":0,"),
+            std::string::npos);
+}
+
+TEST(BenchJsonTest, ResultsAreStableAcrossSerializations) {
+  obs::BenchJsonWriter writer;
+  obs::BenchMetadata meta;
+  meta.name = "bench_stable";
+  writer.SetMetadata(meta);
+  writer.AddRun(MakeRecord("Cover", 0.25, 40));
+  std::map<std::string, std::string> first, second;
+  ASSERT_TRUE(MiniJson::ParseObject(writer.ToJson(), &first));
+  ASSERT_TRUE(MiniJson::ParseObject(writer.ToJson(), &second));
+  // Everything except the wall-clock stamp is deterministic.
+  EXPECT_EQ(first["results"], second["results"]);
+  EXPECT_EQ(first["config"], second["config"]);
+  EXPECT_EQ(first["git_sha"], second["git_sha"]);
+}
+
+TEST(BenchJsonTest, WriteFileRoundTrips) {
+  obs::BenchJsonWriter writer;
+  obs::BenchMetadata meta;
+  meta.name = "bench_file";
+  writer.SetMetadata(meta);
+  writer.AddRun(MakeRecord("Natural", 1.0, 10));
+  std::string path = TempPath("cqa_bench_json_test.json");
+  std::string error;
+  ASSERT_TRUE(writer.WriteFile(path, &error)) << error;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  std::string text = contents.str();
+  // One JSON object with a trailing newline.
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  text.pop_back();
+  std::map<std::string, std::string> top;
+  ASSERT_TRUE(MiniJson::ParseObject(text, &top)) << text;
+  EXPECT_EQ(top["name"], "bench_file");
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(writer.WriteFile("/nonexistent_dir_xyz/b.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,279 @@
+// Tests of the convergence telemetry: the recorder's geometric
+// checkpoint spacing, the empirical-Bernstein CI shrinkage on a fixed
+// seed, the summary math (samples-to-ε, area under the error curve), the
+// JSONL reporter, and the end-to-end plumbing through the schemes. The
+// recording hot path compiles out under -DCQABENCH_NO_OBS; both build
+// modes run this binary and assert their respective behavior.
+
+#include "obs/convergence.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cqa/apx_cqa.h"
+#include "cqa/preprocess.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::EmployeeFixture;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Hand-built series with known checkpoints for the summary math tests.
+obs::ConvergenceSeries MakeSeries(
+    double epsilon, std::vector<obs::ConvergenceCheckpoint> checkpoints) {
+  obs::ConvergenceSeries s;
+  s.phase = "test.series";
+  s.epsilon = epsilon;
+  s.delta = 0.25;
+  s.checkpoints = std::move(checkpoints);
+  return s;
+}
+
+#ifndef CQABENCH_NO_OBS
+
+TEST(ConvergenceRecorderTest, CheckpointsAreGeometricallySpaced) {
+  obs::ConvergenceRecorder recorder("test.spacing", 0.1, 0.25);
+  const uint64_t kDraws = 100000;
+  for (uint64_t i = 0; i < kDraws; ++i) recorder.Observe(0.5);
+  const auto& cps = recorder.series().checkpoints;
+  ASSERT_GE(cps.size(), 10u);
+  // O(log N) storage: far fewer checkpoints than draws.
+  EXPECT_LE(cps.size(), 80u);
+  EXPECT_EQ(cps.front().sample_index, 1u);
+  for (size_t i = 1; i < cps.size(); ++i) {
+    EXPECT_GT(cps[i].sample_index, cps[i - 1].sample_index);
+    // Ratio at most 1.25 plus integer rounding once the +n/4 step kicks
+    // in (n >= 4); exact +1 below that.
+    if (cps[i - 1].sample_index < 4) continue;
+    double ratio = static_cast<double>(cps[i].sample_index) /
+                   static_cast<double>(cps[i - 1].sample_index);
+    EXPECT_LE(ratio, 1.3) << "at checkpoint " << i;
+  }
+}
+
+TEST(ConvergenceRecorderTest, HalfWidthShrinksOnFixedSeed) {
+  obs::ConvergenceRecorder recorder("test.shrink", 0.1, 0.25);
+  Rng rng(42);
+  for (int i = 0; i < 50000; ++i) {
+    recorder.Observe(rng.Bernoulli(0.3) ? 1.0 : 0.0);
+  }
+  obs::ConvergenceSeries series = recorder.TakeSeries();
+  ASSERT_GE(series.checkpoints.size(), 10u);
+  // The empirical-Bernstein half width at n=50000 is far below the one
+  // at n=1, and the estimate has settled near p = 0.3.
+  const auto& first = series.checkpoints.front();
+  const auto& last = series.checkpoints.back();
+  EXPECT_LT(last.ci_half_width, first.ci_half_width / 10.0);
+  EXPECT_NEAR(last.estimate, 0.3, 0.02);
+  EXPECT_NEAR(last.variance, 0.3 * 0.7, 0.02);
+  // Past the noisy head the shrinkage is monotone (hw ~ sqrt(V/n) with V
+  // stabilizing): compare checkpoints a few steps apart.
+  for (size_t i = 8; i + 4 < series.checkpoints.size(); ++i) {
+    EXPECT_LT(series.checkpoints[i + 4].ci_half_width,
+              series.checkpoints[i].ci_half_width * 1.01)
+        << "at checkpoint " << i;
+  }
+  // Wall-clock stamps are monotone.
+  for (size_t i = 1; i < series.checkpoints.size(); ++i) {
+    EXPECT_GE(series.checkpoints[i].wall_ns,
+              series.checkpoints[i - 1].wall_ns);
+  }
+  // Converged for this generous epsilon, and the summary says when.
+  obs::ConvergenceSummary sum = obs::Summarize(series);
+  EXPECT_GT(sum.samples_to_epsilon, 0u);
+  EXPECT_LT(sum.samples_to_epsilon, 50000u);
+}
+
+TEST(ConvergenceRecorderTest, TakeSeriesFinalizesAndResets) {
+  obs::ConvergenceRecorder recorder("test.take", 0.1, 0.25);
+  for (int i = 0; i < 9; ++i) recorder.Observe(1.0);
+  EXPECT_EQ(recorder.count(), 9u);
+  obs::ConvergenceSeries series = recorder.TakeSeries();
+  // The final sample count is always checkpointed, even off-grid.
+  ASSERT_FALSE(series.checkpoints.empty());
+  EXPECT_EQ(series.checkpoints.back().sample_index, 9u);
+  EXPECT_DOUBLE_EQ(series.checkpoints.back().estimate, 1.0);
+  EXPECT_STREQ(series.phase, "test.take");
+  // Recorder is reusable and empty.
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_TRUE(recorder.series().checkpoints.empty());
+  recorder.Observe(0.0);
+  EXPECT_EQ(recorder.count(), 1u);
+}
+
+TEST(ConvergenceTest, SchemesRecordSeriesWhenAsked) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  for (SchemeKind scheme : {SchemeKind::kNatural, SchemeKind::kKl,
+                            SchemeKind::kKlm, SchemeKind::kCover}) {
+    ApxParams params;
+    params.record_convergence = true;
+    Rng rng(13);
+    CqaRunResult run = ApxCqaOnSynopses(pre, scheme, params, rng,
+                                        Deadline::Infinite());
+    EXPECT_FALSE(run.convergence.empty()) << SchemeKindName(scheme);
+    for (const obs::ConvergenceSeries& s : run.convergence) {
+      EXPECT_FALSE(s.checkpoints.empty()) << SchemeKindName(scheme);
+    }
+    obs::RunContext context{"conv", "noise", 0.0};
+    obs::RunRecord record = MakeRunRecord(run, scheme, context, 0.0);
+    EXPECT_GT(record.convergence.num_series, 0u) << SchemeKindName(scheme);
+    // The flat summary fields survive into the JSONL record.
+    std::string json = obs::RunRecordToJson(record);
+    EXPECT_NE(json.find("\"convergence_series\":"), std::string::npos);
+    EXPECT_NE(json.find("\"samples_to_epsilon\":"), std::string::npos);
+    EXPECT_NE(json.find("\"auec\":"), std::string::npos);
+  }
+}
+
+TEST(ConvergenceTest, RecordingIsOffByDefault) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  Rng rng(13);
+  CqaRunResult run = ApxCqaOnSynopses(pre, SchemeKind::kKlm, ApxParams{},
+                                      rng, Deadline::Infinite());
+  EXPECT_TRUE(run.convergence.empty());
+}
+
+#else  // CQABENCH_NO_OBS
+
+TEST(ConvergenceRecorderTest, ObserveCompilesOutUnderNoObs) {
+  obs::ConvergenceRecorder recorder("test.no_obs", 0.1, 0.25);
+  for (int i = 0; i < 1000; ++i) recorder.Observe(0.5);
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_TRUE(recorder.series().checkpoints.empty());
+  EXPECT_TRUE(recorder.TakeSeries().checkpoints.empty());
+}
+
+TEST(ConvergenceTest, SchemesStayEmptyUnderNoObs) {
+  EmployeeFixture fx;
+  ConjunctiveQuery q = MustParseCq(*fx.schema, "Q(N) :- employee(I, N, D).");
+  PreprocessResult pre = BuildSynopses(*fx.db, q);
+  ApxParams params;
+  params.record_convergence = true;
+  Rng rng(13);
+  CqaRunResult run = ApxCqaOnSynopses(pre, SchemeKind::kKlm, params, rng,
+                                      Deadline::Infinite());
+  EXPECT_TRUE(run.convergence.empty());
+}
+
+#endif  // CQABENCH_NO_OBS
+
+// ---------------------------------------------------------------------------
+// Summary math (pure functions, identical in both build modes).
+
+TEST(ConvergenceSummaryTest, EmptySeriesSummarizesToZero) {
+  obs::ConvergenceSummary sum = obs::Summarize(MakeSeries(0.1, {}));
+  EXPECT_EQ(sum.num_series, 0u);
+  EXPECT_EQ(sum.samples_to_epsilon, 0u);
+  EXPECT_EQ(sum.auec, 0.0);
+}
+
+TEST(ConvergenceSummaryTest, SamplesToEpsilonIsTheFirstTightCheckpoint) {
+  // ε = 0.1: tight means hw <= 0.1 * estimate.
+  obs::ConvergenceSeries s = MakeSeries(
+      0.1, {{10, 10, 0.5, 0.2, 0.0},    // hw/est = 0.4: loose
+            {20, 20, 0.5, 0.06, 0.0},   // hw/est = 0.12: loose
+            {40, 40, 0.5, 0.05, 0.0},   // hw/est = 0.1: tight
+            {80, 80, 0.5, 0.01, 0.0}});
+  obs::ConvergenceSummary sum = obs::Summarize(s);
+  EXPECT_EQ(sum.samples_to_epsilon, 40u);
+  EXPECT_DOUBLE_EQ(sum.first_half_width, 0.2);
+  EXPECT_DOUBLE_EQ(sum.final_half_width, 0.01);
+  EXPECT_DOUBLE_EQ(sum.final_estimate, 0.5);
+  EXPECT_EQ(sum.num_checkpoints, 4u);
+}
+
+TEST(ConvergenceSummaryTest, AuecIsTheNormalizedTrapezoid) {
+  // Half width falls linearly 0.3 -> 0.1 over samples 10 -> 30: the
+  // normalized trapezoid area is the mean half width 0.2.
+  obs::ConvergenceSeries s = MakeSeries(0.1, {{10, 0, 0.5, 0.3, 0.0},
+                                              {20, 0, 0.5, 0.2, 0.0},
+                                              {30, 0, 0.5, 0.1, 0.0}});
+  EXPECT_NEAR(obs::Summarize(s).auec, 0.2, 1e-12);
+}
+
+TEST(ConvergenceSummaryTest, AggregateGatesOnTheSlowestSeries) {
+  obs::ConvergenceSeries fast =
+      MakeSeries(0.1, {{10, 0, 0.5, 0.01, 0.0}});  // converged at 10
+  obs::ConvergenceSeries slow =
+      MakeSeries(0.1, {{500, 0, 0.5, 0.02, 0.0}});  // converged at 500
+  obs::ConvergenceSeries never =
+      MakeSeries(0.1, {{100, 0, 0.5, 0.4, 0.0}});  // never tight
+  obs::ConvergenceSummary both = obs::Summarize({fast, slow});
+  EXPECT_EQ(both.num_series, 2u);
+  EXPECT_EQ(both.samples_to_epsilon, 500u);  // max over series
+  obs::ConvergenceSummary gated = obs::Summarize({fast, never});
+  EXPECT_EQ(gated.num_series, 2u);
+  EXPECT_EQ(gated.samples_to_epsilon, 0u);  // one series never converged
+  // Empty series are ignored, not counted.
+  obs::ConvergenceSummary with_empty =
+      obs::Summarize({fast, MakeSeries(0.1, {})});
+  EXPECT_EQ(with_empty.num_series, 1u);
+  EXPECT_EQ(with_empty.samples_to_epsilon, 10u);
+}
+
+TEST(ConvergenceSummaryTest, SeriesJsonHasTheDocumentedShape) {
+  obs::ConvergenceSeries s = MakeSeries(0.1, {{10, 1000, 0.5, 0.3, 0.25}});
+  std::string json = obs::ConvergenceSeriesToJson(s);
+  EXPECT_EQ(json,
+            "{\"phase\":\"test.series\",\"epsilon\":0.1,\"delta\":0.25,"
+            "\"checkpoints\":[[10,1000,0.5,0.3,0.25]]}");
+}
+
+// ---------------------------------------------------------------------------
+// JSONL reporter.
+
+TEST(ConvergenceReporterTest, WritesOneTaggedLinePerSeries) {
+  std::string path = TempPath("cqa_convergence_reporter_test.jsonl");
+  obs::ConvergenceReporter reporter;
+  std::string error;
+  ASSERT_TRUE(reporter.Open(path, &error)) << error;
+  EXPECT_TRUE(reporter.is_open());
+  reporter.Add("Noise[0.5]", "noise", 0.5, "KLM",
+               MakeSeries(0.1, {{10, 0, 0.5, 0.3, 0.0}}));
+  reporter.Add("Noise[0.5]", "noise", 0.5, "Cover",
+               MakeSeries(0.1, {}));  // empty: skipped
+  EXPECT_EQ(reporter.num_series(), 1u);
+  reporter.Close();
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"scenario\":\"Noise[0.5]\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"x_label\":\"noise\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"scheme\":\"KLM\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"phase\":\"test.series\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"checkpoints\":[[10,0,0.5,0.3,0]]"),
+            std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(ConvergenceReporterTest, OpenFailsOnBadPath) {
+  obs::ConvergenceReporter reporter;
+  std::string error;
+  EXPECT_FALSE(
+      reporter.Open("/nonexistent_dir_xyz/convergence.jsonl", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(reporter.is_open());
+}
+
+}  // namespace
+}  // namespace cqa

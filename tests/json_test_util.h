@@ -1,0 +1,139 @@
+#ifndef CQABENCH_TESTS_JSON_TEST_UTIL_H_
+#define CQABENCH_TESTS_JSON_TEST_UTIL_H_
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cqa {
+namespace testing {
+
+/// A minimal JSON reader, enough to validate the exporters: parses one
+/// object of scalars, strings, and balanced arrays/objects into
+/// key -> raw value text. Nested values come back verbatim, so callers
+/// can re-parse them with another MiniJson pass. Rejects malformed
+/// syntax hard so the tests double as format validation.
+class MiniJson {
+ public:
+  static bool ParseObject(const std::string& text,
+                          std::map<std::string, std::string>* out) {
+    MiniJson p(text);
+    if (!p.Object(out)) return false;
+    p.SkipSpace();
+    return p.pos_ == text.size();
+  }
+
+ private:
+  explicit MiniJson(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool String(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        ++pos_;
+      }
+      out->push_back(text_[pos_++]);
+    }
+    return Consume('"') || (--pos_, false);
+  }
+  // A scalar (number / true / false) or a balanced array/object,
+  // captured verbatim.
+  bool Value(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      std::string s;
+      if (!String(&s)) return false;
+      *out = s;
+      return true;
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '[' || text_[pos_] == '{')) {
+      // Capture a balanced array/object verbatim, skipping over strings
+      // so bracket characters inside names cannot unbalance the scan.
+      int depth = 0;
+      do {
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == '"') {
+          std::string skipped;
+          if (!String(&skipped)) return false;
+          continue;
+        }
+        if (text_[pos_] == '[' || text_[pos_] == '{') ++depth;
+        if (text_[pos_] == ']' || text_[pos_] == '}') --depth;
+        ++pos_;
+      } while (depth > 0);
+      *out = text_.substr(start, pos_ - start);
+      return true;
+    }
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = text_.substr(start, pos_ - start);
+    return true;
+  }
+  bool Object(std::map<std::string, std::string>* out) {
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key, value;
+      if (!String(&key) || !Consume(':') || !Value(&value)) return false;
+      (*out)[key] = value;
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Parses a JSONL file into one MiniJson map per non-empty line,
+/// EXPECT-failing on unreadable files or malformed lines.
+inline std::vector<std::map<std::string, std::string>> ReadJsonl(
+    const std::string& path) {
+  std::vector<std::map<std::string, std::string>> records;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::map<std::string, std::string> record;
+    EXPECT_TRUE(MiniJson::ParseObject(line, &record)) << line;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+inline std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+}  // namespace testing
+}  // namespace cqa
+
+#endif  // CQABENCH_TESTS_JSON_TEST_UTIL_H_

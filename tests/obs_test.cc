@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "bench/harness.h"
+#include "json_test_util.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "query/parser.h"
@@ -26,123 +27,9 @@ namespace cqa {
 namespace {
 
 using testing::EmployeeFixture;
-
-// ---------------------------------------------------------------------------
-// A minimal JSON reader, enough to validate the exporters: parses one
-// object of scalars and flat arrays into key -> raw value text. Rejects
-// malformed syntax hard so the tests double as format validation.
-
-class MiniJson {
- public:
-  static bool ParseObject(const std::string& text,
-                          std::map<std::string, std::string>* out) {
-    MiniJson p(text);
-    if (!p.Object(out)) return false;
-    p.SkipSpace();
-    return p.pos_ == text.size();
-  }
-
- private:
-  explicit MiniJson(const std::string& text) : text_(text) {}
-
-  void SkipSpace() {
-    while (pos_ < text_.size() && std::isspace(
-               static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-  bool String(std::string* out) {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        if (pos_ + 1 >= text_.size()) return false;
-        ++pos_;
-      }
-      out->push_back(text_[pos_++]);
-    }
-    return Consume('"') || (--pos_, false);
-  }
-  // A scalar (number / true / false) or a flat array, captured verbatim.
-  bool Value(std::string* out) {
-    SkipSpace();
-    size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '"') {
-      std::string s;
-      if (!String(&s)) return false;
-      *out = s;
-      return true;
-    }
-    if (pos_ < text_.size() &&
-        (text_[pos_] == '[' || text_[pos_] == '{')) {
-      // Capture a balanced array/object verbatim, skipping over strings
-      // so bracket characters inside names cannot unbalance the scan.
-      int depth = 0;
-      do {
-        if (pos_ >= text_.size()) return false;
-        if (text_[pos_] == '"') {
-          std::string skipped;
-          if (!String(&skipped)) return false;
-          continue;
-        }
-        if (text_[pos_] == '[' || text_[pos_] == '{') ++depth;
-        if (text_[pos_] == ']' || text_[pos_] == '}') --depth;
-        ++pos_;
-      } while (depth > 0);
-      *out = text_.substr(start, pos_ - start);
-      return true;
-    }
-    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
-           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    *out = text_.substr(start, pos_ - start);
-    return true;
-  }
-  bool Object(std::map<std::string, std::string>* out) {
-    if (!Consume('{')) return false;
-    SkipSpace();
-    if (Consume('}')) return true;
-    while (true) {
-      std::string key, value;
-      if (!String(&key) || !Consume(':') || !Value(&value)) return false;
-      (*out)[key] = value;
-      if (Consume('}')) return true;
-      if (!Consume(',')) return false;
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-std::vector<std::map<std::string, std::string>> ReadJsonl(
-    const std::string& path) {
-  std::vector<std::map<std::string, std::string>> records;
-  std::ifstream in(path);
-  EXPECT_TRUE(in.good()) << path;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::map<std::string, std::string> record;
-    EXPECT_TRUE(MiniJson::ParseObject(line, &record)) << line;
-    records.push_back(std::move(record));
-  }
-  return records;
-}
-
-std::string TempPath(const char* name) {
-  return (std::filesystem::temp_directory_path() / name).string();
-}
+using testing::MiniJson;
+using testing::ReadJsonl;
+using testing::TempPath;
 
 // ---------------------------------------------------------------------------
 // Registry (functional in both build modes).
@@ -181,6 +68,74 @@ TEST(RegistryTest, ToJsonIsValid) {
   reg.GetCounter("test.registry.json")->Increment();
   std::map<std::string, std::string> top;
   ASSERT_TRUE(MiniJson::ParseObject(reg.ToJson(), &top)) << reg.ToJson();
+}
+
+TEST(RegistryTest, ToJsonCarriesHistogramQuantiles) {
+  obs::Registry& reg = obs::Registry::Instance();
+  obs::Histogram* h = reg.GetHistogram("test.registry.quantile_json");
+  h->Reset();
+  h->Observe(16);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
+}
+
+TEST(HistogramQuantileTest, EmptyAndZeroOnlyDistributions) {
+  obs::Histogram* h =
+      obs::Registry::Instance().GetHistogram("test.quantile.empty");
+  h->Reset();
+  EXPECT_EQ(h->snapshot().Quantile(0.5), 0.0);
+  for (int i = 0; i < 10; ++i) h->Observe(0);
+  EXPECT_EQ(h->snapshot().Quantile(0.5), 0.0);
+  EXPECT_EQ(h->snapshot().Quantile(0.99), 0.0);
+}
+
+TEST(HistogramQuantileTest, BimodalDistributionSplitsAtTheMass) {
+  // 50 zeros and 50 eights: the median sits in the zero mass, the upper
+  // tail in the [8, 16) bucket — but never above the observed max.
+  obs::Histogram* h =
+      obs::Registry::Instance().GetHistogram("test.quantile.bimodal");
+  h->Reset();
+  for (int i = 0; i < 50; ++i) h->Observe(0);
+  for (int i = 0; i < 50; ++i) h->Observe(8);
+  obs::HistogramSnapshot snap = h->snapshot();
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_GE(snap.Quantile(0.75), 8.0);
+  EXPECT_LE(snap.Quantile(0.99), 8.0);  // clamped to the observed max
+}
+
+TEST(HistogramQuantileTest, UniformDistributionIsMonotoneAndBounded) {
+  obs::Histogram* h =
+      obs::Registry::Instance().GetHistogram("test.quantile.uniform");
+  h->Reset();
+  for (uint64_t v = 1; v <= 1000; ++v) h->Observe(v);
+  obs::HistogramSnapshot snap = h->snapshot();
+  double p50 = snap.Quantile(0.5);
+  double p95 = snap.Quantile(0.95);
+  double p99 = snap.Quantile(0.99);
+  // Log-linear interpolation within power-of-two buckets: the true
+  // percentiles are 500/950/990; the bucket resolution bounds the error
+  // to the enclosing bucket.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_GE(p99, 512.0);
+}
+
+TEST(HistogramQuantileTest, SingleValueClampsToObservedMax) {
+  obs::Histogram* h =
+      obs::Registry::Instance().GetHistogram("test.quantile.single");
+  h->Reset();
+  h->Observe(5);
+  obs::HistogramSnapshot snap = h->snapshot();
+  // With the whole mass in one bucket the quantiles stay within the
+  // bucket ([4, 8) for the value 5), clamped above by the observed max.
+  EXPECT_GE(snap.Quantile(0.0), 4.0);
+  EXPECT_LE(snap.Quantile(0.5), 5.0);
+  EXPECT_EQ(snap.Quantile(1.0), 5.0);
 }
 
 #ifndef CQABENCH_NO_OBS
@@ -283,10 +238,76 @@ TEST(TraceTest, ExportJsonlIsValid) {
   std::string error;
   ASSERT_TRUE(buffer.ExportJsonl(path, &error)) << error;
   auto records = ReadJsonl(path);
-  ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(records[0]["name"], "test.export");
-  EXPECT_EQ(records[0]["parent_id"], "0");
-  EXPECT_GE(std::stod(records[0]["dur_s"]), 0.0);
+  // First line is the buffer meta record, then one line per span.
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0]["trace_meta"], "true");
+  EXPECT_EQ(records[0]["dropped_spans"], "0");
+  EXPECT_EQ(records[0]["buffered_spans"], "1");
+  EXPECT_EQ(records[1]["name"], "test.export");
+  EXPECT_EQ(records[1]["parent_id"], "0");
+  EXPECT_GE(std::stod(records[1]["dur_s"]), 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceTest, ExportJsonlCountsDroppedSpans) {
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Instance();
+  buffer.Clear();
+  buffer.set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    obs::TraceSpan span("test.drop");
+  }
+  std::string path = TempPath("cqa_obs_trace_drop_test.jsonl");
+  std::string error;
+  ASSERT_TRUE(buffer.ExportJsonl(path, &error)) << error;
+  auto records = ReadJsonl(path);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0]["dropped_spans"], "3");
+  EXPECT_EQ(records[0]["buffered_spans"], "2");
+  buffer.set_capacity(4096);
+  buffer.Clear();
+  std::filesystem::remove(path);
+}
+
+// Golden-shape test for the Chrome trace exporter: the file must be a
+// single JSON object with a traceEvents array of complete ("ph":"X")
+// events carrying ts/dur microsecond fields — the contract chrome://
+// tracing and Perfetto load.
+TEST(TraceTest, ExportChromeTraceIsValid) {
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Instance();
+  buffer.Clear();
+  uint64_t outer_id = 0;
+  {
+    obs::TraceSpan outer("test.chrome.outer");
+    outer_id = outer.id();
+    obs::TraceSpan inner("test.chrome.inner", outer.id());
+  }
+  std::string path = TempPath("cqa_obs_trace_test.chrome.json");
+  std::string error;
+  ASSERT_TRUE(buffer.ExportChromeTrace(path, &error)) << error;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  std::map<std::string, std::string> top;
+  ASSERT_TRUE(MiniJson::ParseObject(contents.str(), &top)) << contents.str();
+  ASSERT_TRUE(top.count("traceEvents"));
+  ASSERT_TRUE(top.count("otherData"));
+
+  const std::string& events = top["traceEvents"];
+  EXPECT_NE(events.find("\"name\":\"test.chrome.inner\""), std::string::npos);
+  EXPECT_NE(events.find("\"name\":\"test.chrome.outer\""), std::string::npos);
+  EXPECT_NE(events.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(events.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(events.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(events.find("\"pid\":1"), std::string::npos);
+  // The parent linkage survives in args.
+  EXPECT_NE(events.find("\"parent_id\":" + std::to_string(outer_id)),
+            std::string::npos);
+
+  std::map<std::string, std::string> other;
+  ASSERT_TRUE(MiniJson::ParseObject(top["otherData"], &other));
+  EXPECT_EQ(other["dropped_spans"], "0");
+  EXPECT_EQ(other["buffered_spans"], "2");
   std::filesystem::remove(path);
 }
 

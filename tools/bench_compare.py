@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and flag perf regressions beyond noise.
+
+Usage:
+    python3 tools/bench_compare.py BASELINE.json CURRENT.json
+        [--threshold=0.15] [--min-seconds=0.001] [--warn-only]
+        [--markdown=FILE]
+
+Both inputs are the versioned JSON files the bench binaries emit via
+--bench_json= (schema: src/obs/bench_json.h).  Cells are joined on
+(scenario, x, series); for each shared cell the wall-time delta is
+tested against a noise-aware threshold:
+
+    regression  iff  current_mean > baseline_mean * (1 + threshold)
+                 and current_mean - baseline_mean > 2 * baseline_stddev
+                 and baseline_mean >= min-seconds
+
+The second clause keeps one-off jitter on repeated-trial cells from
+firing the gate; the third ignores sub-millisecond cells whose timer
+resolution dominates.  Timeout-count increases are always regressions.
+
+Output: a markdown delta table (stdout, and --markdown=FILE if given)
+and a summary line.  Exit status is 1 when regressions were found and
+--warn-only is absent, else 0 (missing/extra cells and improvements
+never fail the gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SUPPORTED_VERSION = 1
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    version = data.get("bench_json_version")
+    if version != SUPPORTED_VERSION:
+        sys.exit(
+            f"{path}: bench_json_version {version!r} is not supported "
+            f"(expected {SUPPORTED_VERSION})"
+        )
+    return data
+
+
+def cells(data: dict) -> dict[tuple[str, float, str], dict]:
+    out = {}
+    for r in data.get("results", []):
+        out[(r["scenario"], float(r["x"]), r["series"])] = r
+    return out
+
+
+def fmt_key(key: tuple[str, float, str]) -> str:
+    scenario, x, series = key
+    return f"{scenario}[{x:g}] {series}"
+
+
+def fmt_delta(base: float, cur: float) -> str:
+    if base <= 0:
+        return "n/a"
+    return f"{(cur - base) / base * 100.0:+.1f}%"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json files for perf regressions."
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative wall-time slowdown that counts as a regression "
+        "(default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.001,
+        help="ignore cells whose baseline mean is below this (timer noise)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI soft gate)",
+    )
+    parser.add_argument(
+        "--markdown", default="", help="also write the delta table here"
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline.get("name") != current.get("name"):
+        print(
+            f"note: comparing different benchmarks "
+            f"({baseline.get('name')!r} vs {current.get('name')!r})",
+            file=sys.stderr,
+        )
+
+    base_cells = cells(baseline)
+    cur_cells = cells(current)
+    shared = sorted(set(base_cells) & set(cur_cells))
+    missing = sorted(set(base_cells) - set(cur_cells))
+    extra = sorted(set(cur_cells) - set(base_cells))
+
+    lines = [
+        f"## bench_compare: {current.get('name', '?')} "
+        f"({baseline.get('git_sha', '?')} -> {current.get('git_sha', '?')})",
+        "",
+        "| cell | base wall s | cur wall s | delta | samples delta | flag |",
+        "|---|---|---|---|---|---|",
+    ]
+    regressions: list[str] = []
+    improvements = 0
+    for key in shared:
+        b, c = base_cells[key], cur_cells[key]
+        b_wall = b["wall_seconds"]["mean"]
+        c_wall = c["wall_seconds"]["mean"]
+        b_std = b["wall_seconds"]["stddev"]
+        flag = ""
+        if c.get("timeouts", 0) > b.get("timeouts", 0):
+            flag = "REGRESSION (timeouts)"
+        elif (
+            b_wall >= args.min_seconds
+            and c_wall > b_wall * (1.0 + args.threshold)
+            and c_wall - b_wall > 2.0 * b_std
+        ):
+            flag = "REGRESSION"
+        elif b_wall >= args.min_seconds and c_wall < b_wall * (
+            1.0 - args.threshold
+        ):
+            flag = "improved"
+            improvements += 1
+        if flag.startswith("REGRESSION"):
+            regressions.append(f"{fmt_key(key)}: {flag.lower()}")
+        lines.append(
+            f"| {fmt_key(key)} | {b_wall:.6f} | {c_wall:.6f} "
+            f"| {fmt_delta(b_wall, c_wall)} "
+            f"| {fmt_delta(b['samples']['mean'], c['samples']['mean'])} "
+            f"| {flag} |"
+        )
+    for key in missing:
+        lines.append(f"| {fmt_key(key)} | — | — | — | — | missing in current |")
+    for key in extra:
+        lines.append(f"| {fmt_key(key)} | — | — | — | — | new cell |")
+    lines.append("")
+    lines.append(
+        f"{len(shared)} shared cells, {len(regressions)} regression(s), "
+        f"{improvements} improvement(s), {len(missing)} missing, "
+        f"{len(extra)} new"
+    )
+
+    table = "\n".join(lines)
+    print(table)
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as f:
+            f.write(table + "\n")
+
+    if regressions:
+        print("", file=sys.stderr)
+        for r in regressions:
+            print(f"regression: {r}", file=sys.stderr)
+        if not args.warn_only:
+            return 1
+        print("(--warn-only: not failing the gate)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@ Fast, dependency-free checks that encode conventions the compiler cannot:
   4. Include-guard convention: headers use CQABENCH_<PATH>_H_ where <PATH>
      is the include path (src/ stripped) upper-cased, and the guard's
      #ifndef/#define pair matches.
+  5. Bench JSON discipline: every bench/bench_*.cc supports the
+     machine-readable --bench_json= flag (via bench/bench_flags.h or a
+     hand-rolled parser), so the continuous-benchmarking pipeline can
+     collect BENCH_*.json from any benchmark binary.
 
 Exit status is 0 iff the tree is clean.  Run from anywhere:
     python3 tools/lint.py
@@ -144,6 +148,23 @@ def check_include_guard(path: Path, rel: str, text: str, errors: list[str]) -> N
 
 
 # ---------------------------------------------------------------------------
+# Check 5: every bench binary registers --bench_json.
+# ---------------------------------------------------------------------------
+
+def check_bench_json_flag(errors: list[str]) -> None:
+    for cc in sorted((REPO / "bench").glob("bench_*.cc")):
+        rel = cc.relative_to(REPO).as_posix()
+        text = cc.read_text(encoding="utf-8", errors="replace")
+        if '#include "bench/bench_flags.h"' in text or "--bench_json" in text:
+            continue
+        errors.append(
+            f"{rel}: no --bench_json support (include bench/bench_flags.h "
+            f"or parse --bench_json= directly) -- every bench binary must "
+            f"emit machine-readable BENCH_*.json"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
@@ -171,6 +192,7 @@ def main() -> int:
         check_obs_macros(path, rel, text, errors)
         check_include_guard(path, rel, text, errors)
     check_test_references(errors)
+    check_bench_json_flag(errors)
 
     if errors:
         for err in errors:
