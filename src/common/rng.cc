@@ -6,18 +6,62 @@
 
 namespace cqa {
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Rng::ForkSeed() {
+  // Mixing the fork ordinal in before the engine draw keeps sibling seeds
+  // distinct even if the engine ever produced a repeated value.
+  return SplitMix64(engine_() + SplitMix64(++forks_));
+}
+
+uint64_t Rng::BoundedDraw(uint64_t n) {
+  // Lemire's nearly-divisionless unbiased bounded draw ("Fast random
+  // integer generation in an interval", TOMACS 2019): map one 64-bit
+  // engine word into [0, n) with a widening multiply, rejecting only the
+  // sliver of low products that would bias small residues. The rejection
+  // branch — the only place that divides — is taken with probability
+  // n / 2^64, so a draw is one engine word plus one multiply in practice.
+  // The samplers spend one bounded draw per synopsis block per sample,
+  // which made the per-call division of uniform_int_distribution the
+  // single hottest instruction in the KL/KLM main loops.
+  uint64_t x = engine_();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < n) {
+    const uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    while (low < threshold) {
+      x = engine_();
+      m = static_cast<unsigned __int128>(x) * n;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
   CQA_CHECK(lo <= hi);
-  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  // Width computed in uint64_t so lo = INT64_MIN, hi = INT64_MAX wraps to
+  // 0, which means "full range": any engine word is already uniform.
+  const uint64_t width =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (width == 0) return static_cast<int64_t>(engine_());
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + BoundedDraw(width));
 }
 
 size_t Rng::UniformIndex(size_t n) {
   CQA_CHECK(n > 0);
-  return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+  return static_cast<size_t>(BoundedDraw(n));
 }
 
 double Rng::UniformReal() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  // The top 53 engine bits scaled by 2^-53: exactly uniform over the
+  // dyadic grid in [0, 1), one engine word per draw.
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
 }
 
 bool Rng::Bernoulli(double p) {

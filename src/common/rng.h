@@ -7,6 +7,14 @@
 
 namespace cqa {
 
+/// The SplitMix64 output/finalizer function of Steele, Lea and Flood
+/// ("Fast splittable pseudorandom number generators", OOPSLA 2014). Used
+/// to derive decorrelated child-stream seeds from a parent generator:
+/// even sequential inputs (0, 1, 2, ...) map to statistically independent
+/// outputs, so seeding one engine per worker from it avoids the
+/// correlated-lowbits trap of seeding from raw engine draws.
+uint64_t SplitMix64(uint64_t x);
+
 /// Pseudo-random source used by every randomized component of the library.
 ///
 /// Wraps the 64-bit Mersenne Twister (the generator the paper cites, [23]).
@@ -43,10 +51,23 @@ class Rng {
   /// Draws k distinct indices from [0, n) (k <= n), in random order.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
+  /// Derives a seed for an independent child stream (one worker thread,
+  /// one batch shard). Deterministic given the parent's seed and the
+  /// sequence of calls: the k-th fork always yields the same seed. The
+  /// fork counter feeds SplitMix64 together with an engine draw, so
+  /// sibling streams are decorrelated even when the engine output has
+  /// structure, and two parents with different seeds never collide.
+  uint64_t ForkSeed();
+
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  /// Unbiased draw in [0, n) via Lemire's multiply-shift rejection —
+  /// the shared fast path under UniformInt and UniformIndex.
+  uint64_t BoundedDraw(uint64_t n);
+
   std::mt19937_64 engine_;
+  uint64_t forks_ = 0;
 };
 
 }  // namespace cqa

@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace cqa {
+
+ThreadPool::ThreadPool(size_t num_workers) { EnsureWorkers(num_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t ThreadPool::num_workers() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+size_t ThreadPool::EnsureWorkers(size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CQA_CHECK(!shutdown_);
+  size_t spawned = 0;
+  while (workers_.size() < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    ++spawned;
+  }
+  return spawned;
+}
+
+void ThreadPool::DrainJob(Job* job, std::unique_lock<std::mutex>& lock) {
+  while (!job->AllClaimed()) {
+    size_t task = job->next_task++;
+    ++job->outstanding;
+    lock.unlock();
+    (*job->fn)(task);
+    lock.lock();
+    --job->outstanding;
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });
+    if (shutdown_) return;
+    Job* job = jobs_.front();
+    DrainJob(job, lock);
+    // This worker claimed the job's last task (or arrived after it was
+    // fully claimed); drop it from the queue if still listed.
+    auto it = std::find(jobs_.begin(), jobs_.end(), job);
+    if (it != jobs_.end()) jobs_.erase(it);
+    if (job->outstanding == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  Job job;
+  job.fn = &fn;
+  job.num_tasks = num_tasks;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (num_tasks > 1 && !workers_.empty()) {
+    jobs_.push_back(&job);
+    work_cv_.notify_all();
+  }
+  // The caller participates: even with zero free workers (or a nested
+  // Run from inside a task) the job completes.
+  DrainJob(&job, lock);
+  auto it = std::find(jobs_.begin(), jobs_.end(), &job);
+  if (it != jobs_.end()) jobs_.erase(it);
+  done_cv_.wait(lock, [&job] { return job.outstanding == 0; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace cqa

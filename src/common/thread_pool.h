@@ -1,0 +1,84 @@
+#ifndef CQABENCH_COMMON_THREAD_POOL_H_
+#define CQABENCH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cqa {
+
+/// A persistent worker pool for the scheme layer's fork/join loops.
+///
+/// The parallel Monte Carlo main loop and the per-answer scheme phase are
+/// both "run K independent tasks, join" patterns invoked once per answer,
+/// per scheme, per benchmark cell — thousands of times per run. Spawning
+/// std::threads at each call site pays a kernel thread create/destroy per
+/// worker per call; this pool spawns each worker once and reuses it for
+/// every subsequent Run(), across answers, schemes, and the estimator/main
+/// phases.
+///
+/// Concurrency contract:
+///   * Run() executes fn(0..num_tasks-1) with dynamic task claiming and
+///     returns only when every task finished. The *calling thread also
+///     claims tasks*, so Run() makes progress even when all pool workers
+///     are busy — which makes nested Run() calls (a task itself calling
+///     Run) deadlock-free: the nested caller simply drains its own tasks.
+///   * Run() establishes a happens-before edge between each task's side
+///     effects and its return (the join mutex), so callers may read
+///     plain (non-atomic) per-task output slots afterwards.
+///   * Run() may be called from multiple threads concurrently; tasks of
+///     distinct jobs interleave over the same workers.
+///   * fn must not throw (the tree builds without exceptions in hot
+///     paths; a throwing task would terminate).
+class ThreadPool {
+ public:
+  /// Starts with `num_workers` worker threads (0 is valid: Run() then
+  /// degenerates to a serial loop on the calling thread).
+  explicit ThreadPool(size_t num_workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const;
+
+  /// Grows the pool to at least `n` workers; returns how many threads
+  /// were spawned by this call (0 = pure reuse). Never shrinks.
+  size_t EnsureWorkers(size_t n);
+
+  /// Runs fn(t) for every t in [0, num_tasks) across the pool workers and
+  /// the calling thread; returns when all tasks completed.
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+  /// The process-wide pool the scheme layer shares. Grown on demand via
+  /// EnsureWorkers; workers persist until process exit.
+  static ThreadPool& Shared();
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_tasks = 0;
+    size_t next_task = 0;     // Guarded by mu_.
+    size_t outstanding = 0;   // Tasks claimed but not yet finished.
+    bool AllClaimed() const { return next_task >= num_tasks; }
+  };
+
+  void WorkerLoop();
+  /// Claims and runs tasks of `job` until none are left to claim.
+  /// Precondition: mu_ held; reacquires it before returning.
+  void DrainJob(Job* job, std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers: a job arrived / shutdown.
+  std::condition_variable done_cv_;  // Callers: a job fully completed.
+  std::vector<std::thread> workers_;
+  std::vector<Job*> jobs_;  // Jobs with unclaimed tasks, FIFO.
+  bool shutdown_ = false;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_COMMON_THREAD_POOL_H_

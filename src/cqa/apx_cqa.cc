@@ -1,8 +1,11 @@
 #include "cqa/apx_cqa.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -37,7 +40,69 @@ CqaRunResult ApxCqaOnSynopses(const PreprocessResult& preprocessed,
       ApxRelativeFreqScheme::Create(scheme);
   obs::TraceSpan span("apx_cqa.scheme_phase");
   Stopwatch watch;
-  for (const AnswerSynopsis& as : preprocessed.answers()) {
+  const std::vector<AnswerSynopsis>& answers = preprocessed.answers();
+
+  if (params.num_threads > 1 && answers.size() > 1) {
+    // Batch evaluation parallelizes across answers instead of inside each
+    // estimate: answers are independent, so this spreads whole runs over
+    // the persistent pool with zero hot-path synchronization. Each answer
+    // runs the scheme single-threaded on its own forked RNG stream
+    // (seeds drawn sequentially up front for determinism).
+    ApxParams inner = params;
+    inner.num_threads = 1;
+    size_t width = std::min(params.num_threads, answers.size());
+    ThreadPool& pool = ThreadPool::Shared();
+    size_t spawned = pool.EnsureWorkers(width - 1);
+    CQA_OBS_COUNT_N("apx_cqa.workers_launched", spawned);
+    if (spawned == 0) CQA_OBS_COUNT("apx_cqa.pool_reuses");
+    std::vector<uint64_t> seeds(answers.size());
+    for (uint64_t& seed : seeds) seed = rng.ForkSeed();
+    std::vector<ApxResult> outcomes(answers.size());
+    std::vector<uint8_t> ran(answers.size(), 0);
+    pool.Run(answers.size(), [&](size_t idx) {
+      if (deadline.Expired()) return;  // Left as "not run" -> timeout.
+      Rng answer_rng(seeds[idx]);
+      outcomes[idx] =
+          apx->Run(answers[idx].synopsis, inner, answer_rng, deadline);
+      ran[idx] = 1;
+    });
+    // Fold in answer order so timeout semantics match the serial loop:
+    // the first answer that timed out (or never ran) is accumulated and
+    // every later one is dropped.
+    for (size_t idx = 0; idx < answers.size(); ++idx) {
+      if (!ran[idx]) {
+        result.timed_out = true;
+        break;
+      }
+      ApxResult& apx_result = outcomes[idx];
+      // Each answer ran single-threaded; attribute its counts to a worker
+      // lane (answers round-robin over the pool width) so the aggregated
+      // per_thread_samples still reports the parallel split.
+      if (!apx_result.per_thread_samples.empty()) {
+        std::vector<size_t> lanes(width, 0);
+        for (size_t s : apx_result.per_thread_samples) {
+          lanes[idx % width] += s;
+        }
+        apx_result.per_thread_samples = std::move(lanes);
+      }
+      Accumulate(&result, apx_result);
+      for (obs::ConvergenceSeries& series : apx_result.convergence) {
+        result.convergence.push_back(std::move(series));
+      }
+      apx_result.convergence.clear();
+      if (apx_result.timed_out) {
+        result.timed_out = true;
+        break;
+      }
+      result.answers.push_back(CqaAnswer{answers[idx].answer,
+                                         apx_result.estimate,
+                                         std::move(apx_result)});
+    }
+    result.scheme_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  for (const AnswerSynopsis& as : answers) {
     if (deadline.Expired()) {
       result.timed_out = true;
       break;

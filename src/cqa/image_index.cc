@@ -1,0 +1,68 @@
+#include "cqa/image_index.h"
+
+#include "common/macros.h"
+
+namespace cqa {
+
+ImageIndex::ImageIndex(const Synopsis* synopsis) {
+  CQA_CHECK(synopsis != nullptr);
+  const std::vector<Synopsis::Block>& blocks = synopsis->blocks();
+  const std::vector<Synopsis::Image>& images = synopsis->images();
+
+  // Lay the (block, tid) cells out back to back, then two passes: count
+  // list lengths into the offsets, prefix-sum, fill.
+  block_base_.resize(blocks.size());
+  size_t num_cells = 0;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    block_base_[b] = num_cells;
+    num_cells += blocks[b].size;
+  }
+  cell_offsets_.assign(num_cells + 1, 0);
+  image_sizes_.reserve(images.size());
+  for (const Synopsis::Image& image : images) {
+    image_sizes_.push_back(static_cast<uint32_t>(image.facts.size()));
+    for (const Synopsis::ImageFact& f : image.facts) {
+      ++cell_offsets_[block_base_[f.block] + f.tid + 1];
+    }
+  }
+  for (size_t c = 1; c < cell_offsets_.size(); ++c) {
+    cell_offsets_[c] += cell_offsets_[c - 1];
+  }
+  images_.resize(cell_offsets_.back());
+  std::vector<uint32_t> fill_pos(cell_offsets_.begin(),
+                                 cell_offsets_.end() - 1);
+  for (uint32_t i = 0; i < images.size(); ++i) {
+    for (const Synopsis::ImageFact& f : images[i].facts) {
+      images_[fill_pos[block_base_[f.block] + f.tid]++] = i;
+    }
+  }
+
+  hits_.assign(images.size(), 0);
+  stamp_.assign(images.size(), 0);
+}
+
+TidDigitPlan::TidDigitPlan(const Synopsis* synopsis) {
+  CQA_CHECK(synopsis != nullptr);
+  const std::vector<Synopsis::Block>& blocks = synopsis->blocks();
+  sizes_.reserve(blocks.size());
+  refill_.assign(blocks.size(), 0);
+  // Granularity left in the current word; starts exhausted so the first
+  // entropy-consuming block always pulls a fresh word.
+  unsigned __int128 capacity = 0;
+  constexpr unsigned __int128 kFull = static_cast<unsigned __int128>(1)
+                                      << 64;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const size_t s = blocks[b].size;
+    CQA_CHECK(s > 0 && s <= UINT32_MAX);
+    sizes_.push_back(static_cast<uint32_t>(s));
+    if (s == 1) continue;  // tid is always 0: no entropy needed.
+    // Keep >= 32 bits of granularity after extracting this digit.
+    if (capacity < (static_cast<unsigned __int128>(s) << 32)) {
+      refill_[b] = 1;
+      capacity = kFull;
+    }
+    capacity /= s;
+  }
+}
+
+}  // namespace cqa

@@ -1,0 +1,138 @@
+#ifndef CQABENCH_CQA_IMAGE_INDEX_H_
+#define CQABENCH_CQA_IMAGE_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "cqa/synopsis.h"
+
+namespace cqa {
+
+/// Inverted index from drawn facts to the images containing them, with
+/// generation-stamped hit counters — the shared engine behind the indexed
+/// natural sampler and the KL/KLM symbolic samplers.
+///
+/// The question every sampler answers per draw is "which images are fully
+/// contained in the drawn database I?". The naive scan pays
+/// Θ(Σ_i |H_i|) per draw; this index only touches the images that share
+/// at least one fact with I: per drawn fact (block, tid) it bumps a hit
+/// counter for each image containing that fact, and an image is contained
+/// in I exactly when its counter reaches its fact count. Per-draw cost is
+/// Θ(#facts drawn + Σ_{drawn facts} |images containing that fact|).
+///
+/// The hit counters carry a generation stamp so starting a new draw is
+/// O(1): a counter whose stamp is stale is treated as zero instead of
+/// being cleared. All (block, tid) cells share one flat CSR array —
+/// cell_offsets_[block_base_[b] + tid] — so the per-fact lookup is two
+/// contiguous reads with no per-block pointer chase.
+///
+/// Not thread-safe: each worker owns its sampler, which owns its index.
+class ImageIndex {
+ public:
+  /// The synopsis must outlive the index.
+  explicit ImageIndex(const Synopsis* synopsis);
+
+  /// Starts a new draw, invalidating all hit counters in O(1).
+  void BeginDraw() {
+    if (++generation_ == 0) {
+      // Generation counter wrapped: clear stamps to avoid false matches.
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      generation_ = 1;
+    }
+  }
+
+  /// Registers that tuple `tid` of block `block` was drawn. For every
+  /// image this fact completes (all its facts now drawn this generation)
+  /// `on_complete(image_id)` is invoked; when it returns true the scan
+  /// stops and AddFact returns true. Returns false once the fact's list
+  /// is exhausted without an early stop.
+  template <typename Fn>
+  bool AddFact(uint32_t block, uint32_t tid, Fn&& on_complete) {
+    const size_t cell = block_base_[block] + tid;
+    const uint32_t begin = cell_offsets_[cell];
+    const uint32_t end = cell_offsets_[cell + 1];
+    for (uint32_t p = begin; p < end; ++p) {
+      const uint32_t image = images_[p];
+      if (stamp_[image] != generation_) {
+        stamp_[image] = generation_;
+        hits_[image] = 0;
+      }
+      if (++hits_[image] == image_sizes_[image] && on_complete(image)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// BeginDraw + AddFact over a fully drawn database. `on_complete` as in
+  /// AddFact; returns true iff an on_complete call stopped the scan.
+  template <typename Fn>
+  bool ForEachContainedImage(const Synopsis::Choice& choice,
+                             Fn&& on_complete) {
+    BeginDraw();
+    for (uint32_t b = 0; b < choice.size(); ++b) {
+      if (AddFact(b, choice[b], on_complete)) return true;
+    }
+    return false;
+  }
+
+ private:
+  // Flat CSR: the images containing (block b, tuple t) live at
+  // images_[cell_offsets_[c] .. cell_offsets_[c + 1]) for
+  // c = block_base_[b] + t.
+  std::vector<size_t> block_base_;
+  std::vector<uint32_t> cell_offsets_;
+  std::vector<uint32_t> images_;
+  std::vector<uint32_t> image_sizes_;
+  // Per-draw scratch: hit counters valid only for the current generation.
+  std::vector<uint32_t> hits_;
+  std::vector<uint32_t> stamp_;
+  uint32_t generation_ = 0;
+};
+
+/// Packs the per-block uniform tid draws of one sample into as few engine
+/// words as possible. A draw needs one tid per block, uniform in
+/// [0, |block|); the blocks of a synopsis are typically tiny (a handful of
+/// candidate tuples), so burning a full 64-bit engine word per block — the
+/// dominant cost of the old sampler loops — wastes almost all of its
+/// entropy. Instead the plan treats one engine word as a fixed-point
+/// fraction f ∈ [0, 1) and peels digits off it: tid = ⌊f·s⌋ and
+/// f ← frac(f·s) consumes log2(s) bits, so one word covers ~Σ log2(s_b)
+/// bits of blocks.
+///
+/// The precomputed refill schedule pulls a fresh word whenever fewer than
+/// 32 bits of granularity would remain, bounding the relative bias of
+/// every tid below 2^-32 — invisible next to the O(ε) Monte-Carlo error,
+/// and orders of magnitude below what the distribution tests could
+/// detect. Blocks of size 1 consume no entropy at all.
+class TidDigitPlan {
+ public:
+  TidDigitPlan() = default;
+  explicit TidDigitPlan(const Synopsis* synopsis);
+
+  /// Per-sample extraction state; value-initialize one per draw.
+  struct Stream {
+    uint64_t f = 0;
+  };
+
+  /// The tid for block `b`, uniform in [0, sizes[b]). Blocks must be
+  /// visited in index order from a fresh Stream (the refill schedule is
+  /// positional), but stopping early is fine.
+  uint32_t Next(Rng& rng, size_t b, Stream* s) const {
+    if (refill_[b]) s->f = rng.engine()();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(s->f) * sizes_[b];
+    s->f = static_cast<uint64_t>(m);
+    return static_cast<uint32_t>(m >> 64);
+  }
+
+ private:
+  std::vector<uint32_t> sizes_;
+  std::vector<uint8_t> refill_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_CQA_IMAGE_INDEX_H_

@@ -1,7 +1,5 @@
 #include "cqa/indexed_natural_sampler.h"
 
-#include <algorithm>
-
 #include "common/macros.h"
 #include "cqa/invariants.h"
 #include "obs/metrics.h"
@@ -9,56 +7,48 @@
 namespace cqa {
 
 IndexedNaturalSampler::IndexedNaturalSampler(const Synopsis* synopsis)
-    : synopsis_(synopsis) {
+    : synopsis_(synopsis), index_(synopsis), digits_(synopsis) {
   CQA_CHECK(synopsis != nullptr);
   CQA_CHECK_MSG(!synopsis->Empty(), "natural sampler requires H != {}");
-  const auto& blocks = synopsis->blocks();
-  images_by_fact_.resize(blocks.size());
-  for (size_t b = 0; b < blocks.size(); ++b) {
-    images_by_fact_[b].resize(blocks[b].size);
-  }
-  const auto& images = synopsis->images();
-  image_sizes_.reserve(images.size());
-  for (uint32_t i = 0; i < images.size(); ++i) {
-    image_sizes_.push_back(static_cast<uint32_t>(images[i].facts.size()));
-    for (const Synopsis::ImageFact& f : images[i].facts) {
-      images_by_fact_[f.block][f.tid].push_back(i);
-    }
-  }
-  hits_.assign(images.size(), 0);
-  stamp_.assign(images.size(), 0);
 }
 
-double IndexedNaturalSampler::Draw(Rng& rng) {
-  CQA_OBS_COUNT("sampler.indexed_natural.draws");
+double IndexedNaturalSampler::DrawImpl(Rng& rng) {
   const auto& blocks = synopsis_->blocks();
   scratch_.resize(blocks.size());
-  if (++generation_ == 0) {
-    // Generation counter wrapped: clear stamps to avoid false matches.
-    std::fill(stamp_.begin(), stamp_.end(), 0u);
-    generation_ = 1;
-  }
-  for (size_t b = 0; b < blocks.size(); ++b) {
-    uint32_t tid = static_cast<uint32_t>(rng.UniformIndex(blocks[b].size));
+  index_.BeginDraw();
+  TidDigitPlan::Stream stream;
+  for (uint32_t b = 0; b < blocks.size(); ++b) {
+    uint32_t tid = digits_.Next(rng, b, &stream);
     scratch_[b] = tid;
-    for (uint32_t image : images_by_fact_[b][tid]) {
-      if (stamp_[image] != generation_) {
-        stamp_[image] = generation_;
-        hits_[image] = 0;
-      }
-      if (++hits_[image] == image_sizes_[image]) {
-        // All facts of this image were drawn: it survives. We still need
-        // to finish nothing — containment of one image suffices.
-        CQA_AUDIT(audit::CheckImageInPrefix, *synopsis_, image, scratch_,
-                  b + 1);
-        CQA_OBS_COUNT("sampler.indexed_natural.hits");
-        return 1.0;
-      }
-    }
+    bool hit = index_.AddFact(b, tid, [&](uint32_t image) {
+      // Containment of one image suffices — stop before drawing the
+      // remaining blocks; they cannot flip the outcome.
+      CQA_AUDIT(audit::CheckImageInPrefix, *synopsis_, image, scratch_,
+                b + 1);
+      return true;
+    });
+    if (hit) return 1.0;
   }
   // Cross-validate the inverted-index miss against the naive scan.
   CQA_AUDIT(audit::CheckNaturalDraw, *synopsis_, scratch_, 0.0);
   return 0.0;
+}
+
+double IndexedNaturalSampler::Draw(Rng& rng) {
+  CQA_OBS_COUNT("sampler.indexed_natural.draws");
+  double v = DrawImpl(rng);
+  if (v == 1.0) CQA_OBS_COUNT("sampler.indexed_natural.hits");
+  return v;
+}
+
+void IndexedNaturalSampler::DrawBatch(Rng& rng, size_t n, double* out) {
+  size_t hits = 0;
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = DrawImpl(rng);
+    hits += out[k] == 1.0 ? 1 : 0;
+  }
+  CQA_OBS_COUNT_N("sampler.indexed_natural.draws", n);
+  CQA_OBS_COUNT_N("sampler.indexed_natural.hits", hits);
 }
 
 }  // namespace cqa

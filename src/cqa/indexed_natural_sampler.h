@@ -1,14 +1,13 @@
 #ifndef CQABENCH_CQA_INDEXED_NATURAL_SAMPLER_H_
 #define CQABENCH_CQA_INDEXED_NATURAL_SAMPLER_H_
 
-#include <vector>
-
+#include "cqa/image_index.h"
 #include "cqa/sampler.h"
 #include "cqa/synopsis.h"
 
 namespace cqa {
 
-/// Drop-in replacement for NaturalSampler with an inverted index.
+/// Drop-in replacement for NaturalSampler built on the shared ImageIndex.
 ///
 /// The plain sampler answers "does some image survive the drawn database"
 /// by scanning all of H — Θ(Σ_i |H_i|) per draw. This variant indexes
@@ -16,7 +15,9 @@ namespace cqa {
 /// images that contain at least one *drawn* fact, counting per-image hits
 /// and comparing against the image size. Per-draw cost drops to
 /// Θ(#blocks + Σ_{drawn facts} |images containing that fact|), a large
-/// win on the big, sparse H sets of the Boolean scenarios.
+/// win on the big, sparse H sets of the Boolean scenarios. The Natural
+/// scheme runs on this sampler; the plain scan survives as the
+/// cross-validation reference.
 ///
 /// Same distribution as NaturalSampler (1-good); `bench_micro` quantifies
 /// the speedup and the test suite checks statistical agreement.
@@ -26,19 +27,17 @@ class IndexedNaturalSampler : public Sampler {
   explicit IndexedNaturalSampler(const Synopsis* synopsis);
 
   double Draw(Rng& rng) override;
+  void DrawBatch(Rng& rng, size_t n, double* out) override;
   double GoodnessFactor() const override { return 1.0; }
   const char* name() const override { return "SampleNatural/indexed"; }
 
  private:
+  /// One draw without obs accounting (shared by Draw and DrawBatch).
+  double DrawImpl(Rng& rng);
+
   const Synopsis* synopsis_;
-  // images_by_fact_[block] maps tid -> image ids containing (block, tid).
-  std::vector<std::vector<std::vector<uint32_t>>> images_by_fact_;
-  std::vector<uint32_t> image_sizes_;
-  // Per-draw scratch: hit counters with a generation stamp so they need
-  // no O(|H|) reset between draws.
-  mutable std::vector<uint32_t> hits_;
-  mutable std::vector<uint32_t> stamp_;
-  mutable uint32_t generation_ = 0;
+  ImageIndex index_;
+  TidDigitPlan digits_;
   Synopsis::Choice scratch_;
 };
 

@@ -1,5 +1,7 @@
 #include "cqa/invariants.h"
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <set>
 #include <vector>
@@ -84,6 +86,62 @@ bool CheckSymbolicSpace(const SymbolicSpace& space, std::string* why) {
   }
   if (!(space.total_weight() > 0.0)) {
     return Fail(why, "total_weight must be positive");
+  }
+  return CheckAliasTable(space, why);
+}
+
+bool CheckAliasTable(const SymbolicSpace& space, std::string* why) {
+  const std::vector<double>& weights = space.weights();
+  const std::vector<double>& prob = space.alias_prob();
+  const std::vector<uint32_t>& alias = space.alias();
+  const size_t n = weights.size();
+  if (prob.size() != n || alias.size() != n) {
+    return Fail(why, "alias table size does not match image count");
+  }
+  std::vector<double> mass(n, 0.0);
+  for (size_t k = 0; k < n; ++k) {
+    // Vose leaves alias_prob exactly 1 for self-aliased leftovers; a hair
+    // above 1 can only come from a construction bug, not FP noise.
+    if (!(prob[k] >= 0.0) || prob[k] > 1.0) {
+      return Fail(why, At("alias probability outside [0, 1], column", k));
+    }
+    if (alias[k] >= n) {
+      return Fail(why, At("alias target out of range, column", k));
+    }
+    mass[k] += prob[k];
+    mass[alias[k]] += 1.0 - prob[k];
+  }
+  const double scale = static_cast<double>(n) / space.total_weight();
+  for (size_t i = 0; i < n; ++i) {
+    const double expected = weights[i] * scale;
+    if (std::abs(mass[i] - expected) > 1e-9 * (1.0 + expected)) {
+      return Fail(why, At("alias mass diverges from weight, image", i));
+    }
+  }
+  // The integer coin thresholds the draw compares against must be the
+  // exact rescaling of the float columns.
+  const std::vector<uint64_t>& cut = space.alias_cut();
+  if (cut.size() != n) {
+    return Fail(why, "alias cutoff table size does not match image count");
+  }
+  for (size_t k = 0; k < n; ++k) {
+    const uint64_t expected =
+        prob[k] >= 1.0 ? ~0ull : static_cast<uint64_t>(prob[k] * 0x1p64);
+    if (cut[k] != expected) {
+      return Fail(why, At("alias cutoff diverges from probability, column",
+                          k));
+    }
+  }
+  return true;
+}
+
+bool CheckBatchDraws(const Sampler& sampler, const double* values, size_t n,
+                     std::string* why) {
+  for (size_t k = 0; k < n; ++k) {
+    if (!(values[k] >= 0.0) || values[k] > 1.0) {
+      return Fail(why, std::string(sampler.name()) + ": " +
+                           At("batch draw outside [0, 1], index", k));
+    }
   }
   return true;
 }

@@ -7,6 +7,7 @@
 #include "cqa/coverage.h"
 #include "cqa/monte_carlo.h"
 #include "cqa/opt_estimate.h"
+#include "cqa/sampler.h"
 #include "cqa/symbolic_space.h"
 #include "cqa/synopsis.h"
 
@@ -29,8 +30,21 @@ bool CheckSynopsis(const Synopsis& synopsis, std::string* why);
 
 /// The space's cached weights are exactly the synopsis image weights and
 /// total_weight() is their sum (the |S•|/|db(B)| conversion factor every
-/// symbolic scheme multiplies by).
+/// symbolic scheme multiplies by). Also runs CheckAliasTable.
 bool CheckSymbolicSpace(const SymbolicSpace& space, std::string* why);
+
+/// The Walker/Vose alias table encodes exactly the normalized weights:
+/// reconstructing image i's selection mass — its own column's acceptance
+/// probability plus the residual 1 - alias_prob()[k] of every column k
+/// aliased to i — and dividing by the column count recovers w_i / W up to
+/// FP tolerance. Catches any construction bug that would silently bias
+/// every KL/KLM draw.
+bool CheckAliasTable(const SymbolicSpace& space, std::string* why);
+
+/// Postcondition of a Sampler::DrawBatch block: every value lies in
+/// [0, 1], the range the (ε, δ) analysis of the estimator stack assumes.
+bool CheckBatchDraws(const Sampler& sampler, const double* values, size_t n,
+                     std::string* why);
 
 /// A sampled element (i, I) of S• is well-formed: i indexes an image, I
 /// picks an in-range tuple for every block, and H_i ⊆ I — the

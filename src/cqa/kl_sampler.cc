@@ -6,22 +6,40 @@
 
 namespace cqa {
 
-KlSampler::KlSampler(const SymbolicSpace* space) : space_(space) {
+KlSampler::KlSampler(const SymbolicSpace* space)
+    : space_(space), index_(&space->synopsis()) {
   CQA_CHECK(space != nullptr);
+}
+
+double KlSampler::DrawImpl(Rng& rng) {
+  size_t i = space_->SampleElement(rng, &scratch_);
+  // Reject iff some j < i is contained in I: then i is not I's first
+  // witness. The index visits only images sharing a drawn fact and stops
+  // at the first completed prefix image.
+  bool rejected = index_.ForEachContainedImage(
+      scratch_, [i](uint32_t j) { return j < i; });
+  if (rejected) return 0.0;
+  // Acceptance implies block-membership: the drawn database I must
+  // actually contain H_i, otherwise the 1/Σw normalization is wrong.
+  CQA_AUDIT(audit::CheckSampledElement, *space_, i, scratch_);
+  return 1.0;
 }
 
 double KlSampler::Draw(Rng& rng) {
   CQA_OBS_COUNT("sampler.kl.draws");
-  const Synopsis& synopsis = space_->synopsis();
-  size_t i = space_->SampleElement(rng, &scratch_);
-  for (size_t j = 0; j < i; ++j) {
-    if (synopsis.ImageContainedIn(j, scratch_)) return 0.0;
+  double v = DrawImpl(rng);
+  if (v == 1.0) CQA_OBS_COUNT("sampler.kl.accepts");
+  return v;
+}
+
+void KlSampler::DrawBatch(Rng& rng, size_t n, double* out) {
+  size_t accepts = 0;
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = DrawImpl(rng);
+    accepts += out[k] == 1.0 ? 1 : 0;
   }
-  // Acceptance implies block-membership: the drawn database I must
-  // actually contain H_i, otherwise the 1/Σw normalization is wrong.
-  CQA_AUDIT(audit::CheckSampledElement, *space_, i, scratch_);
-  CQA_OBS_COUNT("sampler.kl.accepts");
-  return 1.0;
+  CQA_OBS_COUNT_N("sampler.kl.draws", n);
+  CQA_OBS_COUNT_N("sampler.kl.accepts", accepts);
 }
 
 }  // namespace cqa

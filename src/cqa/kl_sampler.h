@@ -1,6 +1,7 @@
 #ifndef CQABENCH_CQA_KL_SAMPLER_H_
 #define CQABENCH_CQA_KL_SAMPLER_H_
 
+#include "cqa/image_index.h"
 #include "cqa/sampler.h"
 #include "cqa/symbolic_space.h"
 
@@ -10,19 +11,29 @@ namespace cqa {
 /// the symbolic space S• and returns 1 iff no j < i has I ∈ I_j, i.e. i is
 /// the first witness of I. (|db(B)|/|S•|)-good (Lemma 4.5):
 ///   E[Draw] = R(H, B) · |db(B)| / |S•|.
+///
+/// The prefix-rejection test runs over the shared ImageIndex: instead of
+/// re-testing containment of every image j < i against the drawn database
+/// (Θ(Σ_{j<i} |H_j|) per draw), it walks only the images that share a
+/// drawn fact and stops at the first completed j < i.
 class KlSampler : public Sampler {
  public:
   /// The space (and its synopsis) must outlive the sampler.
   explicit KlSampler(const SymbolicSpace* space);
 
   double Draw(Rng& rng) override;
+  void DrawBatch(Rng& rng, size_t n, double* out) override;
   double GoodnessFactor() const override {
     return 1.0 / space_->total_weight();
   }
   const char* name() const override { return "SampleKL"; }
 
  private:
+  /// One draw without obs accounting (shared by Draw and DrawBatch).
+  double DrawImpl(Rng& rng);
+
   const SymbolicSpace* space_;
+  ImageIndex index_;
   Synopsis::Choice scratch_;
 };
 

@@ -6,26 +6,42 @@
 
 namespace cqa {
 
-KlmSampler::KlmSampler(const SymbolicSpace* space) : space_(space) {
+KlmSampler::KlmSampler(const SymbolicSpace* space)
+    : space_(space), index_(&space->synopsis()) {
   CQA_CHECK(space != nullptr);
+}
+
+double KlmSampler::DrawImpl(Rng& rng, size_t* witnesses) {
+  size_t i = space_->SampleElement(rng, &scratch_);
+  // Acceptance implies block-membership: H_i ⊆ I guarantees the
+  // multiplicity count below finds k >= 1 covering images.
+  CQA_AUDIT(audit::CheckSampledElement, *space_, i, scratch_);
+  size_t k = 0;
+  index_.ForEachContainedImage(scratch_, [&k](uint32_t) {
+    ++k;
+    return false;  // Count every witness; never stop early.
+  });
+  CQA_CHECK(k >= 1);  // (i, I) ∈ S• implies H_i ⊆ I.
+  *witnesses += k;
+  return 1.0 / static_cast<double>(k);
 }
 
 double KlmSampler::Draw(Rng& rng) {
   CQA_OBS_COUNT("sampler.klm.draws");
-  const Synopsis& synopsis = space_->synopsis();
-  size_t i = space_->SampleElement(rng, &scratch_);
-  // Acceptance implies block-membership: H_i ⊆ I guarantees the
-  // multiplicity scan below finds k >= 1 covering images.
-  CQA_AUDIT(audit::CheckSampledElement, *space_, i, scratch_);
-  size_t k = 0;
-  for (size_t j = 0; j < synopsis.NumImages(); ++j) {
-    if (synopsis.ImageContainedIn(j, scratch_)) ++k;
+  size_t witnesses = 0;
+  double v = DrawImpl(rng, &witnesses);
+  // k = images covering the drawn database (always >= 1 for KLM).
+  CQA_OBS_COUNT_N("sampler.klm.accepts", witnesses);
+  return v;
+}
+
+void KlmSampler::DrawBatch(Rng& rng, size_t n, double* out) {
+  size_t witnesses = 0;
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = DrawImpl(rng, &witnesses);
   }
-  CQA_CHECK(k >= 1);  // (i, I) ∈ S• implies H_i ⊆ I.
-  // k = images covering the drawn database: the accepted coverage checks
-  // of the scan (KLM always pays all |H| checks; KL stops early).
-  CQA_OBS_COUNT_N("sampler.klm.accepts", k);
-  return 1.0 / static_cast<double>(k);
+  CQA_OBS_COUNT_N("sampler.klm.draws", n);
+  CQA_OBS_COUNT_N("sampler.klm.accepts", witnesses);
 }
 
 }  // namespace cqa

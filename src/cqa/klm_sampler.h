@@ -1,6 +1,7 @@
 #ifndef CQABENCH_CQA_KLM_SAMPLER_H_
 #define CQABENCH_CQA_KLM_SAMPLER_H_
 
+#include "cqa/image_index.h"
 #include "cqa/sampler.h"
 #include "cqa/symbolic_space.h"
 
@@ -10,21 +11,30 @@ namespace cqa {
 /// coverage estimator in Vazirani's presentation [26]): draws (i, I)
 /// uniformly from S• and returns 1/k where k = |{j : I ∈ I_j}| is the
 /// number of images witnessing I. (|db(B)|/|S•|)-good (Lemma 4.7), same
-/// expectation as SampleKL but smaller variance at the price of always
-/// scanning all of H.
+/// expectation as SampleKL but smaller variance at the price of counting
+/// every witness instead of stopping at the first.
+///
+/// The witness count runs over the shared ImageIndex: only images sharing
+/// a drawn fact are visited, instead of re-testing containment of all of
+/// H against the drawn database.
 class KlmSampler : public Sampler {
  public:
   /// The space (and its synopsis) must outlive the sampler.
   explicit KlmSampler(const SymbolicSpace* space);
 
   double Draw(Rng& rng) override;
+  void DrawBatch(Rng& rng, size_t n, double* out) override;
   double GoodnessFactor() const override {
     return 1.0 / space_->total_weight();
   }
   const char* name() const override { return "SampleKLM"; }
 
  private:
+  /// One draw; adds this draw's witness count to *witnesses.
+  double DrawImpl(Rng& rng, size_t* witnesses);
+
   const SymbolicSpace* space_;
+  ImageIndex index_;
   Synopsis::Choice scratch_;
 };
 

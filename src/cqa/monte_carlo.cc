@@ -1,5 +1,8 @@
 #include "cqa/monte_carlo.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/macros.h"
 #include "cqa/invariants.h"
 #include "cqa/opt_estimate.h"
@@ -9,7 +12,10 @@
 namespace cqa {
 
 namespace {
-constexpr size_t kDeadlineStride = 64;
+/// Main-loop draws come in blocks: one virtual call, one deadline check,
+/// and one audit per block instead of per draw. n is fixed up front, so
+/// batching is stream-identical to drawing one by one.
+constexpr size_t kBatch = 256;
 }  // namespace
 
 MonteCarloResult MonteCarloEstimate(
@@ -35,16 +41,23 @@ MonteCarloResult MonteCarloEstimate(
   obs::TraceSpan span("monte_carlo.main_loop");
   double sum = 0.0;
   size_t n = opt.num_iterations;
-  for (size_t i = 0; i < n; ++i) {
-    double x = sampler.Draw(rng);
-    sum += x;
-    if (main_convergence != nullptr) main_convergence->Observe(x);
-    if (i % kDeadlineStride == 0 && deadline.Expired()) {
-      result.main_samples = i;
+  size_t done = 0;
+  std::vector<double> buf(kBatch);
+  while (done < n) {
+    size_t m = std::min(n - done, kBatch);
+    sampler.DrawBatch(rng, m, buf.data());
+    CQA_AUDIT(audit::CheckBatchDraws, sampler, buf.data(), m);
+    for (size_t k = 0; k < m; ++k) {
+      sum += buf[k];
+      if (main_convergence != nullptr) main_convergence->Observe(buf[k]);
+    }
+    done += m;
+    if (done < n && deadline.Expired()) {
+      result.main_samples = done;
       result.timed_out = true;
       result.main_seconds = phase_watch.ElapsedSeconds();
-      result.per_thread_samples = {i};
-      CQA_OBS_COUNT_N("monte_carlo.main_draws", i);
+      result.per_thread_samples = {done};
+      CQA_OBS_COUNT_N("monte_carlo.main_draws", done);
       CQA_OBS_COUNT("monte_carlo.timeouts");
       return result;
     }

@@ -13,8 +13,7 @@ NaturalSampler::NaturalSampler(const Synopsis* synopsis)
   CQA_AUDIT(audit::CheckSynopsis, *synopsis);
 }
 
-double NaturalSampler::Draw(Rng& rng) {
-  CQA_OBS_COUNT("sampler.natural.draws");
+double NaturalSampler::DrawImpl(Rng& rng) {
   const std::vector<Synopsis::Block>& blocks = synopsis_->blocks();
   scratch_.resize(blocks.size());
   for (size_t b = 0; b < blocks.size(); ++b) {
@@ -22,11 +21,27 @@ double NaturalSampler::Draw(Rng& rng) {
   }
   if (synopsis_->AnyImageContainedIn(scratch_)) {
     CQA_AUDIT(audit::CheckNaturalDraw, *synopsis_, scratch_, 1.0);
-    CQA_OBS_COUNT("sampler.natural.hits");
     return 1.0;
   }
   CQA_AUDIT(audit::CheckNaturalDraw, *synopsis_, scratch_, 0.0);
   return 0.0;
+}
+
+double NaturalSampler::Draw(Rng& rng) {
+  CQA_OBS_COUNT("sampler.natural.draws");
+  double v = DrawImpl(rng);
+  if (v == 1.0) CQA_OBS_COUNT("sampler.natural.hits");
+  return v;
+}
+
+void NaturalSampler::DrawBatch(Rng& rng, size_t n, double* out) {
+  size_t hits = 0;
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = DrawImpl(rng);
+    hits += out[k] == 1.0 ? 1 : 0;
+  }
+  CQA_OBS_COUNT_N("sampler.natural.draws", n);
+  CQA_OBS_COUNT_N("sampler.natural.hits", hits);
 }
 
 }  // namespace cqa

@@ -9,16 +9,24 @@ namespace cqa {
 /// Sampler 1 (SampleNatural): draws I uniformly from the natural sampling
 /// space S = db(B) and returns 1 iff some image H ∈ H is contained in I.
 /// 1-good: E[Draw] = R(H, B) (Lemma 4.3).
+///
+/// This is the reference implementation — a full scan of H per draw. The
+/// Natural scheme runs on IndexedNaturalSampler instead; this sampler
+/// stays as the cross-validation oracle for the audit layer and tests.
 class NaturalSampler : public Sampler {
  public:
   /// The synopsis must be non-empty and outlive the sampler.
   explicit NaturalSampler(const Synopsis* synopsis);
 
   double Draw(Rng& rng) override;
+  void DrawBatch(Rng& rng, size_t n, double* out) override;
   double GoodnessFactor() const override { return 1.0; }
   const char* name() const override { return "SampleNatural"; }
 
  private:
+  /// One draw without obs accounting (shared by Draw and DrawBatch).
+  double DrawImpl(Rng& rng);
+
   const Synopsis* synopsis_;
   Synopsis::Choice scratch_;
 };

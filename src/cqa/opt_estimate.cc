@@ -1,6 +1,8 @@
 #include "cqa/opt_estimate.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/macros.h"
 #include "cqa/invariants.h"
@@ -12,7 +14,10 @@ namespace cqa {
 namespace {
 
 constexpr double kLambda = 0.71828182845904523536;  // e - 2.
-constexpr size_t kDeadlineStride = 64;
+
+/// Draws are requested in blocks so the sampler can amortize virtual
+/// dispatch and obs accounting; the deadline is checked once per block.
+constexpr size_t kMaxBatch = 256;
 
 /// Υ(ε, δ) = 4λ ln(2/δ) / ε².
 double Upsilon(double epsilon, double delta) {
@@ -30,19 +35,31 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
   OptEstimateResult result;
   obs::TraceSpan span("opt_estimate");
   CQA_OBS_COUNT("opt_estimate.runs");
+  std::vector<double> buf(kMaxBatch);
 
   // Phase 1: stopping-rule algorithm with (min(1/2, √ε), δ/3). Terminates
-  // in expectation after Υ₁/μ samples, μ = E[Draw] > 0.
+  // in expectation after Υ₁/μ samples, μ = E[Draw] > 0. The stop index is
+  // adaptive, so draws come in geometrically growing blocks (16 → 256)
+  // and the exact crossing point is found by scanning the block: the
+  // blocks stay small while a handful of draws may suffice (high-μ
+  // samplers like KLM) and reach full size on the long tail. Surplus
+  // draws past the crossing are discarded — they are outside the
+  // stopping rule and must not bias μ̂.
   double eps1 = std::min(0.5, std::sqrt(epsilon));
   double upsilon1 = 1.0 + (1.0 + eps1) * Upsilon(eps1, delta / 3.0);
   double sum = 0.0;
   size_t n1 = 0;
+  size_t batch = 16;
   while (sum < upsilon1) {
-    double x = sampler.Draw(rng);
-    sum += x;
-    if (recorder != nullptr) recorder->Observe(x);
-    ++n1;
-    if (n1 % kDeadlineStride == 0 && deadline.Expired()) {
+    sampler.DrawBatch(rng, batch, buf.data());
+    CQA_AUDIT(audit::CheckBatchDraws, sampler, buf.data(), batch);
+    for (size_t k = 0; k < batch && sum < upsilon1; ++k) {
+      sum += buf[k];
+      if (recorder != nullptr) recorder->Observe(buf[k]);
+      ++n1;
+    }
+    batch = std::min(batch * 2, kMaxBatch);
+    if (sum < upsilon1 && deadline.Expired()) {
       result.samples_used = n1;
       result.timed_out = true;
       CQA_OBS_COUNT_N("opt_estimate.phase1_samples", n1);
@@ -53,7 +70,9 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
   result.mu_hat = upsilon1 / static_cast<double>(n1);
   CQA_OBS_COUNT_N("opt_estimate.phase1_samples", n1);
 
-  // Phase 2: variance estimation from paired samples.
+  // Phase 2: variance estimation from paired samples. n2 is known up
+  // front, so the pair loop batches stream-identically: a block of 2m
+  // draws consumes the RNG exactly as m consecutive pairs.
   double upsilon2 = 2.0 * (1.0 + std::sqrt(epsilon)) *
                     (1.0 + 2.0 * std::sqrt(epsilon)) *
                     (1.0 + std::log(1.5) / std::log(2.0 / delta)) *
@@ -62,18 +81,25 @@ OptEstimateResult OptEstimate(Sampler& sampler, double epsilon, double delta,
       std::ceil(upsilon2 * epsilon / result.mu_hat));
   CQA_CHECK(n2 >= 1);
   double s = 0.0;
-  for (size_t i = 0; i < n2; ++i) {
-    double x1 = sampler.Draw(rng);
-    double x2 = sampler.Draw(rng);
-    s += (x1 - x2) * (x1 - x2) / 2.0;
-    if (recorder != nullptr) {
-      recorder->Observe(x1);
-      recorder->Observe(x2);
+  size_t pairs_done = 0;
+  while (pairs_done < n2) {
+    size_t pairs = std::min(n2 - pairs_done, kMaxBatch / 2);
+    sampler.DrawBatch(rng, 2 * pairs, buf.data());
+    CQA_AUDIT(audit::CheckBatchDraws, sampler, buf.data(), 2 * pairs);
+    for (size_t p = 0; p < pairs; ++p) {
+      double x1 = buf[2 * p];
+      double x2 = buf[2 * p + 1];
+      s += (x1 - x2) * (x1 - x2) / 2.0;
+      if (recorder != nullptr) {
+        recorder->Observe(x1);
+        recorder->Observe(x2);
+      }
     }
-    if (i % kDeadlineStride == 0 && deadline.Expired()) {
-      result.samples_used = n1 + 2 * i;
+    pairs_done += pairs;
+    if (pairs_done < n2 && deadline.Expired()) {
+      result.samples_used = n1 + 2 * pairs_done;
       result.timed_out = true;
-      CQA_OBS_COUNT_N("opt_estimate.phase2_pairs", i);
+      CQA_OBS_COUNT_N("opt_estimate.phase2_pairs", pairs_done);
       CQA_OBS_COUNT("opt_estimate.timeouts");
       return result;
     }

@@ -1,16 +1,51 @@
 #include "cqa/parallel.h"
 
+#include <algorithm>
 #include <atomic>
-#include <thread>
+#include <cstdint>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "cqa/invariants.h"
 #include "cqa/opt_estimate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cqa {
+
+namespace {
+
+constexpr size_t kBatch = 256;
+
+/// One worker's share of the main loop: draws in blocks of kBatch, so a
+/// block pays one virtual call, one deadline/expiry check, and one audit.
+void RunMainShare(Sampler& sampler, Rng& rng, size_t share,
+                  const Deadline& deadline, std::atomic<bool>* expired,
+                  obs::ConvergenceRecorder* convergence, double* sum_out,
+                  size_t* count_out) {
+  double sum = 0.0;
+  size_t count = 0;
+  std::vector<double> buf(std::min(share, kBatch));
+  while (count < share) {
+    if (expired->load(std::memory_order_relaxed) || deadline.Expired()) {
+      expired->store(true, std::memory_order_relaxed);
+      break;
+    }
+    size_t m = std::min(share - count, kBatch);
+    sampler.DrawBatch(rng, m, buf.data());
+    CQA_AUDIT(audit::CheckBatchDraws, sampler, buf.data(), m);
+    for (size_t k = 0; k < m; ++k) {
+      sum += buf[k];
+      if (convergence != nullptr) convergence->Observe(buf[k]);
+    }
+    count += m;
+  }
+  *sum_out = sum;
+  *count_out = count;
+}
+
+}  // namespace
 
 MonteCarloResult ParallelMonteCarloEstimate(
     const SamplerFactory& factory, size_t num_threads, double epsilon,
@@ -38,23 +73,18 @@ MonteCarloResult ParallelMonteCarloEstimate(
 
   const size_t n = opt.num_iterations;
   phase_watch.Restart();
+  obs::TraceSpan main_span("parallel.main_loop");
+  std::atomic<bool> expired{false};
+
   if (num_threads == 1) {
-    obs::TraceSpan span("parallel.main_loop");
     double sum = 0.0;
     size_t count = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (i % 64 == 0 && deadline.Expired()) {
-        result.timed_out = true;
-        break;
-      }
-      double x = estimator_sampler->Draw(rng);
-      sum += x;
-      if (main_convergence != nullptr) main_convergence->Observe(x);
-      ++count;
-    }
+    RunMainShare(*estimator_sampler, rng, n, deadline, &expired,
+                 main_convergence, &sum, &count);
     result.main_samples = count;
     result.main_seconds = phase_watch.ElapsedSeconds();
     result.per_thread_samples = {count};
+    result.timed_out = expired.load();
     CQA_OBS_COUNT_N("monte_carlo.main_draws", count);
     if (!result.timed_out) {
       result.estimate = sum / static_cast<double>(count);
@@ -63,46 +93,35 @@ MonteCarloResult ParallelMonteCarloEstimate(
     return result;
   }
 
-  // Parallel main loop: disjoint iteration shares, independent RNG
-  // streams, one atomic flag for deadline propagation, sums combined at
-  // join time only.
-  obs::TraceSpan main_span("parallel.main_loop");
+  // Parallel main loop on the persistent pool: disjoint iteration shares,
+  // independent RNG streams forked from `rng`, one atomic flag for
+  // deadline propagation, sums combined only after the pool drains. The
+  // pool is process-wide and reused across calls — steady state launches
+  // zero threads (workers_launched stays flat while pool_reuses grows).
+  ThreadPool& pool = ThreadPool::Shared();
+  size_t spawned = pool.EnsureWorkers(num_threads - 1);
+  CQA_OBS_COUNT_N("parallel.workers_launched", spawned);
+  if (spawned == 0) CQA_OBS_COUNT("parallel.pool_reuses");
   std::vector<double> partial_sums(num_threads, 0.0);
   std::vector<size_t> partial_counts(num_threads, 0);
-  std::atomic<bool> expired{false};
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  CQA_OBS_COUNT_N("parallel.workers_launched", num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    uint64_t worker_seed = rng.engine()();
+  // Fork all worker seeds up front so the seeding is deterministic in the
+  // parent stream regardless of task scheduling.
+  std::vector<uint64_t> worker_seeds(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) worker_seeds[t] = rng.ForkSeed();
+  pool.Run(num_threads, [&](size_t t) {
+    obs::TraceSpan worker_span("parallel.worker", main_span.id());
+    std::unique_ptr<Sampler> sampler = factory();
+    Rng worker_rng(worker_seeds[t]);
     size_t share = n / num_threads + (t < n % num_threads ? 1 : 0);
-    // Only worker 0 feeds the (single-threaded) convergence recorder;
-    // the join below sequences its writes before the caller's reads.
+    // Only task 0 feeds the (single-threaded) convergence recorder; the
+    // pool's completion handshake sequences its writes before the
+    // caller's reads.
     obs::ConvergenceRecorder* worker_convergence =
         t == 0 ? main_convergence : nullptr;
-    workers.emplace_back([&, t, worker_seed, share, worker_convergence] {
-      obs::TraceSpan worker_span("parallel.worker", main_span.id());
-      std::unique_ptr<Sampler> sampler = factory();
-      Rng worker_rng(worker_seed);
-      double sum = 0.0;
-      size_t count = 0;
-      for (size_t i = 0; i < share; ++i) {
-        if (i % 64 == 0 &&
-            (expired.load(std::memory_order_relaxed) || deadline.Expired())) {
-          expired.store(true, std::memory_order_relaxed);
-          break;
-        }
-        double x = sampler->Draw(worker_rng);
-        sum += x;
-        if (worker_convergence != nullptr) worker_convergence->Observe(x);
-        ++count;
-      }
-      partial_sums[t] = sum;
-      partial_counts[t] = count;
-      CQA_OBS_COUNT_N("parallel.worker_draws", count);
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
+    RunMainShare(*sampler, worker_rng, share, deadline, &expired,
+                 worker_convergence, &partial_sums[t], &partial_counts[t]);
+    CQA_OBS_COUNT_N("parallel.worker_draws", partial_counts[t]);
+  });
 
   double sum = 0.0;
   size_t count = 0;

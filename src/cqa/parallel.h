@@ -23,9 +23,17 @@ using SamplerFactory = std::function<std::unique_ptr<Sampler>()>;
 ///
 /// OptEstimate runs serially (its sample count is tiny relative to the
 /// main loop); the N main-loop draws are then split across `num_threads`
-/// workers with independent RNG streams derived from `rng`, and the
-/// partial sums are combined once at the end — no synchronization on the
-/// hot path. With num_threads == 1 this is exactly MonteCarloEstimate.
+/// workers with independent RNG streams forked from `rng` (Rng::ForkSeed),
+/// and the partial sums are combined once at the end — no synchronization
+/// on the hot path. With num_threads == 1 this is exactly
+/// MonteCarloEstimate.
+///
+/// Workers run on the process-wide persistent ThreadPool: threads are
+/// spawned the first time a width is requested and reused by every later
+/// call (and by the batch evaluator), so steady-state calls launch zero
+/// threads. The `parallel.workers_launched` counter only moves when the
+/// pool actually grows; `parallel.pool_reuses` counts calls served
+/// entirely by existing workers.
 ///
 /// The estimator keeps its (ε, δ) guarantee: the N draws are i.i.d. from
 /// the same distribution regardless of which thread produced them.

@@ -1,10 +1,11 @@
 #include "cqa/preprocess.h"
 
 #include <algorithm>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/macros.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "cqa/invariants.h"
 #include "obs/metrics.h"
@@ -32,6 +33,21 @@ struct GlobalFact {
   }
 };
 
+/// Order-insensitive only up to the sort BuildSynopses applies to every
+/// image before insertion, so equal images hash equal. SplitMix64 mixes
+/// each coordinate; a plain XOR would collide permuted fact sets.
+struct GlobalImageHash {
+  size_t operator()(const std::vector<GlobalFact>& image) const {
+    uint64_t h = SplitMix64(image.size());
+    for (const GlobalFact& g : image) {
+      h = SplitMix64(h ^ g.relation_id);
+      h = SplitMix64(h ^ g.block_id);
+      h = SplitMix64(h ^ g.tid);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
 /// Per-answer builder mapping global blocks to local synopsis blocks.
 struct SynopsisBuilder {
   Synopsis synopsis;
@@ -52,7 +68,9 @@ double PreprocessResult::Balance() const {
 }
 
 std::vector<FactRef> PreprocessResult::ImageFactRefs() const {
-  std::set<FactRef> facts;
+  // Dedup through a hash set (O(1) inserts vs the O(log n) of a tree),
+  // then sort once: callers rely on the deterministic order.
+  std::unordered_set<FactRef, FactRefHash> facts;
   for (const AnswerSynopsis& as : answers_) {
     const std::vector<Synopsis::Block>& blocks = as.synopsis.blocks();
     for (const Synopsis::Image& image : as.synopsis.images()) {
@@ -64,7 +82,9 @@ std::vector<FactRef> PreprocessResult::ImageFactRefs() const {
       }
     }
   }
-  return std::vector<FactRef>(facts.begin(), facts.end());
+  std::vector<FactRef> sorted(facts.begin(), facts.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
 }
 
 PreprocessResult BuildSynopses(const Database& db, const ConjunctiveQuery& q,
@@ -82,7 +102,8 @@ PreprocessResult BuildSynopses(const Database& db, const ConjunctiveQuery& q,
   std::unordered_map<Tuple, size_t, TupleHash> answer_index;
   std::vector<AnswerSynopsis> answers;
   std::vector<SynopsisBuilder> builders;
-  std::set<std::vector<GlobalFact>> distinct_images;
+  std::unordered_set<std::vector<GlobalFact>, GlobalImageHash>
+      distinct_images;
 
   CqEvaluator evaluator(&db, cache);
   std::vector<GlobalFact> image;

@@ -1,6 +1,8 @@
 #ifndef CQABENCH_CQA_SAMPLER_H_
 #define CQABENCH_CQA_SAMPLER_H_
 
+#include <cstddef>
+
 #include "common/rng.h"
 
 namespace cqa {
@@ -19,6 +21,16 @@ class Sampler {
 
   /// Draws one sample in [0, 1].
   virtual double Draw(Rng& rng) = 0;
+
+  /// Draws n samples into out[0, n). Semantically identical to calling
+  /// Draw(rng) n times — overrides MUST consume the RNG stream exactly
+  /// as n successive Draw calls would, so batch and serial runs are
+  /// seed-for-seed reproducible. The hot samplers override this to pay
+  /// virtual dispatch and obs accounting once per batch instead of once
+  /// per draw; the estimator loops call it with blocks of ~256.
+  virtual void DrawBatch(Rng& rng, size_t n, double* out) {
+    for (size_t k = 0; k < n; ++k) out[k] = Draw(rng);
+  }
 
   /// The factor r such that E[Draw] = R(H, B) · r.
   virtual double GoodnessFactor() const = 0;

@@ -4,8 +4,8 @@
 #include "cqa/coverage.h"
 #include "cqa/kl_sampler.h"
 #include "cqa/klm_sampler.h"
+#include "cqa/indexed_natural_sampler.h"
 #include "cqa/monte_carlo.h"
-#include "cqa/natural_sampler.h"
 #include "cqa/parallel.h"
 #include "cqa/symbolic_space.h"
 
@@ -80,6 +80,8 @@ struct SchemeRecorders {
 };
 
 /// Algorithm 3 (Natural): MonteCarlo over the natural space; 1-good.
+/// Runs on the inverted-index sampler — same distribution as the plain
+/// scan, but per-draw cost proportional to the images actually touched.
 class NaturalScheme : public ApxRelativeFreqScheme {
  public:
   ApxResult Run(const Synopsis& synopsis, const ApxParams& params, Rng& rng,
@@ -90,11 +92,11 @@ class NaturalScheme : public ApxRelativeFreqScheme {
     MonteCarloResult mc;
     if (params.num_threads > 1) {
       mc = ParallelMonteCarloEstimate(
-          [&] { return std::make_unique<NaturalSampler>(&synopsis); },
+          [&] { return std::make_unique<IndexedNaturalSampler>(&synopsis); },
           params.num_threads, params.epsilon, params.delta, rng, deadline,
           recorders.estimator.get(), recorders.main.get());
     } else {
-      NaturalSampler sampler(&synopsis);
+      IndexedNaturalSampler sampler(&synopsis);
       mc = MonteCarloEstimate(sampler, params.epsilon, params.delta, rng,
                               deadline, recorders.estimator.get(),
                               recorders.main.get());

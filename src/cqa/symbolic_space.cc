@@ -16,32 +16,68 @@ SymbolicSpace::SymbolicSpace(const Synopsis* synopsis)
   CQA_OBS_OBSERVE("symbolic_space.num_images", synopsis->NumImages());
   CQA_OBS_OBSERVE("symbolic_space.num_blocks", synopsis->blocks().size());
   weights_ = synopsis->ImageWeights();
-  cumulative_.reserve(weights_.size());
+  const size_t n = weights_.size();
   double acc = 0.0;
   for (double w : weights_) {
     CQA_CHECK(w > 0.0);
     acc += w;
-    cumulative_.push_back(acc);
   }
   total_weight_ = acc;
+
+  // Vose's alias method: scale every weight to mean 1, then pair each
+  // under-full column (scaled < 1) with an over-full donor image that
+  // absorbs the column's residual mass. Every column ends up holding at
+  // most two images, so a draw is one uniform index + one coin flip.
+  alias_prob_.assign(n, 1.0);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  const double scale = static_cast<double>(n) / total_weight_;
+  for (uint32_t i = 0; i < n; ++i) {
+    alias_[i] = i;
+    scaled[i] = weights_[i] * scale;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    alias_prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers on either list hold (up to FP rounding) exactly their own
+  // unit of mass: their columns keep alias_prob_ = 1, alias_ = self.
+  alias_cut_.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    alias_cut_[k] = alias_prob_[k] >= 1.0
+                        ? ~0ull
+                        : static_cast<uint64_t>(alias_prob_[k] * 0x1p64);
+  }
+  digits_ = TidDigitPlan(synopsis);
   CQA_AUDIT(audit::CheckSymbolicSpace, *this);
 }
 
 size_t SymbolicSpace::SampleElement(Rng& rng,
                                     Synopsis::Choice* choice) const {
-  // Pick the image index i with probability w_i / Σ w_j.
-  double r = rng.UniformReal() * total_weight_;
-  size_t i = static_cast<size_t>(
-      std::upper_bound(cumulative_.begin(), cumulative_.end(), r) -
-      cumulative_.begin());
-  if (i >= weights_.size()) i = weights_.size() - 1;  // FP slack.
+  // Pick the image index i with probability w_i / Σ w_j (alias draw).
+  size_t i = SampleImageIndex(rng);
 
   // Pick I uniformly among the databases containing H_i: every block is
-  // free except those pinned by the image.
+  // free except those pinned by the image. The tid draws come packed out
+  // of the digit plan — a couple of engine words for the whole sample
+  // instead of one per block.
   const std::vector<Synopsis::Block>& blocks = synopsis_->blocks();
   choice->resize(blocks.size());
+  TidDigitPlan::Stream stream;
   for (size_t b = 0; b < blocks.size(); ++b) {
-    (*choice)[b] = static_cast<uint32_t>(rng.UniformIndex(blocks[b].size));
+    (*choice)[b] = digits_.Next(rng, b, &stream);
   }
   for (const Synopsis::ImageFact& f : synopsis_->images()[i].facts) {
     (*choice)[f.block] = f.tid;

@@ -1,9 +1,11 @@
 #ifndef CQABENCH_CQA_SYMBOLIC_SPACE_H_
 #define CQABENCH_CQA_SYMBOLIC_SPACE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
+#include "cqa/image_index.h"
 #include "cqa/synopsis.h"
 
 namespace cqa {
@@ -16,6 +18,12 @@ namespace cqa {
 /// |S•|/|db(B)| = Σ_i w_i. Sampling (i, I) uniformly from S• = draw
 /// i with probability w_i / Σ w_j, fix the facts of H_i, and choose the
 /// remaining blocks uniformly.
+///
+/// Image selection uses a Walker/Vose alias table built once at
+/// construction: O(1) per draw (one uniform index + one uniform real)
+/// instead of the O(log |H|) binary search over prefix sums a cumulative
+/// table costs — on the million-draw main loops of the KL/KLM schemes the
+/// search was a measurable fraction of every draw.
 class SymbolicSpace {
  public:
   /// The synopsis must be non-empty and outlive the space.
@@ -29,6 +37,31 @@ class SymbolicSpace {
 
   const std::vector<double>& weights() const { return weights_; }
 
+  /// The Vose alias table: column k selects image k with probability
+  /// alias_prob()[k], else image alias()[k]. Exposed for the audit layer
+  /// and the distribution tests, which reconstruct each image's selection
+  /// mass from the table and compare it against weights().
+  const std::vector<double>& alias_prob() const { return alias_prob_; }
+  const std::vector<uint32_t>& alias() const { return alias_; }
+
+  /// alias_prob() rescaled to 64-bit integer coin thresholds — what the
+  /// draw actually compares against. Exposed for the audit layer, which
+  /// re-derives each cutoff from alias_prob().
+  const std::vector<uint64_t>& alias_cut() const { return alias_cut_; }
+
+  /// Draws the image index i with probability w_i / Σ w_j — the alias
+  /// draw alone, without materializing a database. One engine word does
+  /// both halves of the alias draw: u·n splits into the column index
+  /// ⌊u·n⌋ and the coin frac(u·n), which is the classic one-uniform alias
+  /// formulation (the coin's granularity is 2^64/n, far below anything
+  /// the chi-square tests can see).
+  size_t SampleImageIndex(Rng& rng) const {
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(rng.engine()()) * alias_cut_.size();
+    const size_t k = static_cast<size_t>(m >> 64);
+    return static_cast<uint64_t>(m) < alias_cut_[k] ? k : alias_[k];
+  }
+
   /// Draws (i, I) uniformly from S•. Overwrites *choice (resized to the
   /// number of blocks) with I and returns i.
   size_t SampleElement(Rng& rng, Synopsis::Choice* choice) const;
@@ -36,7 +69,15 @@ class SymbolicSpace {
  private:
   const Synopsis* synopsis_;
   std::vector<double> weights_;
-  std::vector<double> cumulative_;  // Prefix sums of weights_, for O(log n).
+  // Walker/Vose alias table over weights_ (one column per image).
+  // alias_cut_ is alias_prob_ rescaled to a 64-bit integer threshold so
+  // the draw compares raw fraction bits instead of converting to double.
+  std::vector<double> alias_prob_;
+  std::vector<uint64_t> alias_cut_;
+  std::vector<uint32_t> alias_;
+  // Refill schedule for packing all free-block tid draws of one sample
+  // into ~⌈Σ log2 |block|/32⌉ engine words.
+  TidDigitPlan digits_;
   double total_weight_ = 0.0;
 };
 

@@ -109,6 +109,51 @@ TEST(DistributionTest, SymbolicSpaceElementIsUniform) {
             ChiSquareCriticalValue(3));
 }
 
+TEST(AliasTableTest, MassMatchesCumulativeSearchExactly) {
+  // The alias table must encode the same distribution the old
+  // cumulative-prefix binary search drew from: P(i) = w_i / W. With the
+  // search, P(i) is the normalized weight by construction; here we
+  // reconstruct each image's selection mass from the table — its own
+  // column's acceptance probability plus the residual of every column
+  // aliased to it, all over n columns — and compare against w_i / W.
+  Rng gen_rng(31337);
+  for (int t = 0; t < 8; ++t) {
+    Synopsis s = testing::MakeRandomSynopsis(gen_rng, 6, 5, 8, 4);
+    SymbolicSpace space(&s);
+    const std::vector<double>& w = space.weights();
+    const size_t n = w.size();
+    std::vector<double> mass(n, 0.0);
+    for (size_t k = 0; k < n; ++k) {
+      ASSERT_GE(space.alias_prob()[k], 0.0);
+      ASSERT_LE(space.alias_prob()[k], 1.0);
+      ASSERT_LT(space.alias()[k], n);
+      mass[k] += space.alias_prob()[k];
+      mass[space.alias()[k]] += 1.0 - space.alias_prob()[k];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      double expected = w[i] / space.total_weight();
+      EXPECT_NEAR(mass[i] / static_cast<double>(n), expected, 1e-12)
+          << "image " << i << " of trial " << t;
+    }
+  }
+}
+
+TEST(AliasTableTest, SampleImageIndexPassesChiSquare) {
+  // 1e5 alias draws against the normalized weights.
+  Rng gen_rng(4096);
+  Synopsis s = testing::MakeRandomSynopsis(gen_rng, 6, 5, 8, 4);
+  SymbolicSpace space(&s);
+  const std::vector<double>& w = space.weights();
+  std::vector<size_t> counts(w.size(), 0);
+  Rng rng(5);
+  const size_t n = 100000;
+  for (size_t i = 0; i < n; ++i) ++counts[space.SampleImageIndex(rng)];
+  std::vector<double> expected;
+  for (double wi : w) expected.push_back(wi / space.total_weight());
+  EXPECT_LT(ChiSquareStatistic(counts, expected),
+            ChiSquareCriticalValue(w.size() - 1));
+}
+
 TEST(DistributionTest, RepairSelectionViaSamplerIsUniform) {
   // End-to-end: repairs of Example 1.1 drawn through the natural space
   // cover all four repairs uniformly.

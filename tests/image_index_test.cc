@@ -1,0 +1,148 @@
+#include "cqa/image_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "test_util.h"
+
+namespace cqa {
+namespace {
+
+using testing::MakeRandomSynopsis;
+
+/// Draws a uniformly random full choice for the synopsis.
+Synopsis::Choice RandomChoice(const Synopsis& s, Rng& rng) {
+  Synopsis::Choice choice(s.blocks().size());
+  for (size_t b = 0; b < choice.size(); ++b) {
+    choice[b] = static_cast<uint32_t>(rng.UniformIndex(s.blocks()[b].size));
+  }
+  return choice;
+}
+
+/// The completed-image set reported by the index, sorted.
+std::vector<uint32_t> IndexedContained(ImageIndex& index,
+                                       const Synopsis::Choice& choice) {
+  std::vector<uint32_t> contained;
+  index.ForEachContainedImage(choice, [&](uint32_t image) {
+    contained.push_back(image);
+    return false;
+  });
+  std::sort(contained.begin(), contained.end());
+  return contained;
+}
+
+/// The same set via the naive per-image containment scan.
+std::vector<uint32_t> NaiveContained(const Synopsis& s,
+                                     const Synopsis::Choice& choice) {
+  std::vector<uint32_t> contained;
+  for (uint32_t i = 0; i < s.NumImages(); ++i) {
+    if (s.ImageContainedIn(i, choice)) contained.push_back(i);
+  }
+  return contained;
+}
+
+TEST(ImageIndexTest, MatchesNaiveContainmentScan) {
+  Rng gen_rng(101);
+  for (int t = 0; t < 10; ++t) {
+    Synopsis s = MakeRandomSynopsis(gen_rng, 6, 4, 8, 4);
+    ImageIndex index(&s);
+    Rng rng(500 + t);
+    for (int d = 0; d < 200; ++d) {
+      Synopsis::Choice choice = RandomChoice(s, rng);
+      EXPECT_EQ(IndexedContained(index, choice), NaiveContained(s, choice))
+          << s.DebugString();
+    }
+  }
+}
+
+TEST(ImageIndexTest, GenerationStampsIsolateConsecutiveDraws) {
+  // Re-running the same index must not leak hit counts between draws: a
+  // choice processed twice in a row reports the same completions, and a
+  // draw after a full-containment draw starts from zero hits.
+  Rng gen_rng(202);
+  Synopsis s = MakeRandomSynopsis(gen_rng, 5, 3, 6, 3);
+  ImageIndex index(&s);
+  Rng rng(7);
+  for (int d = 0; d < 100; ++d) {
+    Synopsis::Choice choice = RandomChoice(s, rng);
+    std::vector<uint32_t> first = IndexedContained(index, choice);
+    std::vector<uint32_t> second = IndexedContained(index, choice);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first, NaiveContained(s, choice));
+  }
+}
+
+TEST(ImageIndexTest, EarlyStopReturnsTrueAndHaltsScan) {
+  // A one-fact image completes as soon as its fact is added; on_complete
+  // returning true must stop the scan and surface the stop to the caller.
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{2, 0, 0});
+  s.AddBlock(Synopsis::Block{2, 0, 1});
+  s.AddImage({{0, 0}});
+  s.AddImage({{0, 0}, {1, 1}});
+  ImageIndex index(&s);
+  size_t calls = 0;
+  bool stopped = index.ForEachContainedImage({0, 1}, [&](uint32_t image) {
+    ++calls;
+    EXPECT_EQ(image, 0u);  // Image 0 completes first (single fact).
+    return true;
+  });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(TidDigitPlanTest, DigitsAreUniformPerBlock) {
+  // The packed extraction must stay uniform within every block even when
+  // many tids come out of one engine word: 3 * 4 * 5 * 1 * 16 fits in far
+  // less than 32 bits, so one word feeds a whole pass.
+  Synopsis s;
+  const size_t kSizes[] = {3, 4, 5, 1, 16};
+  for (size_t b = 0; b < 5; ++b) {
+    s.AddBlock(Synopsis::Block{kSizes[b], 0, b});
+  }
+  s.AddImage({{0, 0}});
+  TidDigitPlan plan(&s);
+  Rng rng(4242);
+  const int kDraws = 60000;
+  std::vector<std::vector<int>> counts(5);
+  for (size_t b = 0; b < 5; ++b) counts[b].assign(kSizes[b], 0);
+  for (int d = 0; d < kDraws; ++d) {
+    TidDigitPlan::Stream stream;
+    for (size_t b = 0; b < 5; ++b) {
+      uint32_t tid = plan.Next(rng, b, &stream);
+      ASSERT_LT(tid, kSizes[b]);
+      ++counts[b][tid];
+    }
+  }
+  for (size_t b = 0; b < 5; ++b) {
+    const double expected = double(kDraws) / double(kSizes[b]);
+    for (size_t t = 0; t < kSizes[b]; ++t) {
+      // 5 sigma of a binomial around the uniform expectation.
+      const double sigma = std::sqrt(expected * (1.0 - 1.0 / kSizes[b]));
+      EXPECT_NEAR(counts[b][t], expected, 5.0 * sigma + 1.0)
+          << "block " << b << " tid " << t;
+    }
+  }
+}
+
+TEST(ImageIndexTest, IncrementalAddFactCompletesAtLastBlock) {
+  // Feeding facts block by block (the indexed natural sampler's pattern)
+  // completes an image exactly when its final fact arrives.
+  Synopsis s;
+  s.AddBlock(Synopsis::Block{2, 0, 0});
+  s.AddBlock(Synopsis::Block{3, 0, 1});
+  s.AddBlock(Synopsis::Block{2, 0, 2});
+  s.AddImage({{0, 1}, {2, 0}});
+  ImageIndex index(&s);
+  index.BeginDraw();
+  auto never = [](uint32_t) { return true; };
+  EXPECT_FALSE(index.AddFact(0, 1, never));  // 1 of 2 facts.
+  EXPECT_FALSE(index.AddFact(1, 2, never));  // Unrelated block.
+  EXPECT_TRUE(index.AddFact(2, 0, never));   // Completes the image.
+}
+
+}  // namespace
+}  // namespace cqa

@@ -126,5 +126,36 @@ TEST(RngTest, ShufflePreservesElements) {
   EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
 }
 
+TEST(SplitMix64Test, MatchesReferenceVector) {
+  // First outputs of the reference splitmix64 stream seeded with 0
+  // (Steele–Lea–Flood / Vigna): the n-th output is SplitMix64 applied to
+  // the state n·γ, γ being the 64-bit golden-ratio increment.
+  constexpr uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+  EXPECT_EQ(SplitMix64(0), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(SplitMix64(kGamma), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(SplitMix64(2 * kGamma), 0x06C45D188009454FULL);
+}
+
+TEST(RngTest, ForkSeedIsDeterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.ForkSeed(), b.ForkSeed());
+  }
+}
+
+TEST(RngTest, ForkedWorkerStreamsDoNotCollide) {
+  // Two workers seeded from consecutive forks must produce disjoint
+  // streams: any shared value in the first 1k draws would mean the
+  // parallel main loop averages correlated (non-i.i.d.) samples.
+  Rng parent(20210620);
+  Rng worker0(parent.ForkSeed());
+  Rng worker1(parent.ForkSeed());
+  std::set<uint64_t> draws0;
+  for (int i = 0; i < 1000; ++i) draws0.insert(worker0.engine()());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(draws0.count(worker1.engine()()), 0u) << "collision at " << i;
+  }
+}
+
 }  // namespace
 }  // namespace cqa

@@ -4,6 +4,7 @@
 
 #include "common/math_util.h"
 #include "cqa/exact.h"
+#include "cqa/indexed_natural_sampler.h"
 #include "cqa/kl_sampler.h"
 #include "cqa/klm_sampler.h"
 #include "cqa/natural_sampler.h"
@@ -137,6 +138,45 @@ TEST_P(SamplerPropertyTest, AllSamplersAreRGood) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSynopses, SamplerPropertyTest,
                          ::testing::Range(0, 12));
+
+/// Stream-identity contract of Sampler::DrawBatch: batching must consume
+/// the RNG exactly as the same number of Draw calls, so serial and
+/// batched estimator loops see identical sample streams for a seed.
+/// Exercised with uneven chunk sizes to cross batch boundaries.
+template <typename SamplerT, typename SpaceT>
+void ExpectBatchMatchesRepeatedDraw(const SpaceT* space, uint64_t seed) {
+  constexpr size_t kN = 257;  // Prime: never aligns with chunk sizes.
+  SamplerT serial_sampler(space);
+  Rng serial_rng(seed);
+  std::vector<double> serial(kN);
+  for (double& v : serial) v = serial_sampler.Draw(serial_rng);
+
+  SamplerT batch_sampler(space);
+  Rng batch_rng(seed);
+  std::vector<double> batched(kN);
+  size_t done = 0;
+  for (size_t chunk : {1ul, 17ul, 64ul, kN}) {
+    size_t m = std::min(chunk, kN - done);
+    batch_sampler.DrawBatch(batch_rng, m, batched.data() + done);
+    done += m;
+  }
+  ASSERT_EQ(done, kN);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(serial[i], batched[i]) << "draw " << i;
+  }
+}
+
+TEST(DrawBatchStreamTest, AllSamplersMatchRepeatedDraw) {
+  Rng gen_rng(4242);
+  for (int t = 0; t < 4; ++t) {
+    Synopsis s = MakeRandomSynopsis(gen_rng, 6, 4, 6, 3);
+    ExpectBatchMatchesRepeatedDraw<NaturalSampler>(&s, 100 + t);
+    ExpectBatchMatchesRepeatedDraw<IndexedNaturalSampler>(&s, 100 + t);
+    SymbolicSpace space(&s);
+    ExpectBatchMatchesRepeatedDraw<KlSampler>(&space, 200 + t);
+    ExpectBatchMatchesRepeatedDraw<KlmSampler>(&space, 200 + t);
+  }
+}
 
 TEST(SamplerVarianceTest, KlmHasNoLargerVarianceThanKl) {
   // §4.2: the variance of SampleKLM is generally smaller than SampleKL's.

@@ -3,26 +3,33 @@
 
 Usage:
     python3 tools/bench_compare.py BASELINE.json CURRENT.json
-        [--threshold=0.15] [--min-seconds=0.001] [--warn-only]
-        [--markdown=FILE]
+        [--threshold=0.15] [--min-seconds=0.001]
+        [--estimate-tolerance=0.02] [--warn-only] [--markdown=FILE]
 
 Both inputs are the versioned JSON files the bench binaries emit via
 --bench_json= (schema: src/obs/bench_json.h).  Cells are joined on
-(scenario, x, series); for each shared cell the wall-time delta is
-tested against a noise-aware threshold:
+(scenario, x, series) and tested on two axes:
 
+Correctness (hard gate -- --warn-only does NOT waive it):
+  * timeout-count increases, and
+  * estimate drift:  |cur_est - base_est| beyond
+        estimate-tolerance + 3 * (base_stddev + cur_stddev)
+    -- a perf "win" that moves the reported estimates is a correctness
+    bug, not a speedup, so these always exit 1.
+
+Throughput (soft-gateable with --warn-only):
     regression  iff  current_mean > baseline_mean * (1 + threshold)
                  and current_mean - baseline_mean > 2 * baseline_stddev
                  and baseline_mean >= min-seconds
 
 The second clause keeps one-off jitter on repeated-trial cells from
 firing the gate; the third ignores sub-millisecond cells whose timer
-resolution dominates.  Timeout-count increases are always regressions.
+resolution dominates.
 
 Output: a markdown delta table (stdout, and --markdown=FILE if given)
-and a summary line.  Exit status is 1 when regressions were found and
---warn-only is absent, else 0 (missing/extra cells and improvements
-never fail the gate).
+and a summary line.  Exit status is 1 when a correctness cell failed,
+or when wall-time regressions were found and --warn-only is absent
+(missing/extra cells and improvements never fail the gate).
 """
 
 from __future__ import annotations
@@ -84,9 +91,17 @@ def main() -> int:
         help="ignore cells whose baseline mean is below this (timer noise)",
     )
     parser.add_argument(
+        "--estimate-tolerance",
+        type=float,
+        default=0.02,
+        help="absolute estimate drift allowed on top of the 3-sigma noise "
+        "band (correctness cells; never soft-gated)",
+    )
+    parser.add_argument(
         "--warn-only",
         action="store_true",
-        help="report regressions but exit 0 (CI soft gate)",
+        help="report wall-time regressions but exit 0 (CI soft gate for "
+        "throughput cells only; estimate/timeout failures still exit 1)",
     )
     parser.add_argument(
         "--markdown", default="", help="also write the delta table here"
@@ -115,7 +130,8 @@ def main() -> int:
         "| cell | base wall s | cur wall s | delta | samples delta | flag |",
         "|---|---|---|---|---|---|",
     ]
-    regressions: list[str] = []
+    regressions: list[str] = []       # Wall-time: soft-gateable.
+    hard_failures: list[str] = []     # Correctness: never waived.
     improvements = 0
     for key in shared:
         b, c = base_cells[key], cur_cells[key]
@@ -123,8 +139,19 @@ def main() -> int:
         c_wall = c["wall_seconds"]["mean"]
         b_std = b["wall_seconds"]["stddev"]
         flag = ""
+        b_est = b.get("estimate", {})
+        c_est = c.get("estimate", {})
+        est_band = args.estimate_tolerance + 3.0 * (
+            b_est.get("stddev", 0.0) + c_est.get("stddev", 0.0)
+        )
         if c.get("timeouts", 0) > b.get("timeouts", 0):
-            flag = "REGRESSION (timeouts)"
+            flag = "FAIL (timeouts)"
+        elif (
+            "mean" in b_est
+            and "mean" in c_est
+            and abs(c_est["mean"] - b_est["mean"]) > est_band
+        ):
+            flag = "FAIL (estimate drift)"
         elif (
             b_wall >= args.min_seconds
             and c_wall > b_wall * (1.0 + args.threshold)
@@ -136,7 +163,9 @@ def main() -> int:
         ):
             flag = "improved"
             improvements += 1
-        if flag.startswith("REGRESSION"):
+        if flag.startswith("FAIL"):
+            hard_failures.append(f"{fmt_key(key)}: {flag.lower()}")
+        elif flag.startswith("REGRESSION"):
             regressions.append(f"{fmt_key(key)}: {flag.lower()}")
         lines.append(
             f"| {fmt_key(key)} | {b_wall:.6f} | {c_wall:.6f} "
@@ -150,7 +179,8 @@ def main() -> int:
         lines.append(f"| {fmt_key(key)} | — | — | — | — | new cell |")
     lines.append("")
     lines.append(
-        f"{len(shared)} shared cells, {len(regressions)} regression(s), "
+        f"{len(shared)} shared cells, {len(hard_failures)} correctness "
+        f"failure(s), {len(regressions)} wall-time regression(s), "
         f"{improvements} improvement(s), {len(missing)} missing, "
         f"{len(extra)} new"
     )
@@ -161,14 +191,24 @@ def main() -> int:
         with open(args.markdown, "w", encoding="utf-8") as f:
             f.write(table + "\n")
 
+    status = 0
+    if hard_failures:
+        print("", file=sys.stderr)
+        for r in hard_failures:
+            print(f"correctness failure: {r}", file=sys.stderr)
+        status = 1
     if regressions:
         print("", file=sys.stderr)
         for r in regressions:
             print(f"regression: {r}", file=sys.stderr)
-        if not args.warn_only:
-            return 1
-        print("(--warn-only: not failing the gate)", file=sys.stderr)
-    return 0
+        if args.warn_only:
+            print(
+                "(--warn-only: wall-time regressions not failing the gate)",
+                file=sys.stderr,
+            )
+        else:
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

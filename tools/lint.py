@@ -20,6 +20,10 @@ Fast, dependency-free checks that encode conventions the compiler cannot:
      machine-readable --bench_json= flag (via bench/bench_flags.h or a
      hand-rolled parser), so the continuous-benchmarking pipeline can
      collect BENCH_*.json from any benchmark binary.
+  6. Batch-draw discipline: every Sampler subclass overrides DrawBatch
+     (the estimator loops draw in blocks; a subclass that forgets the
+     override silently falls back to per-draw virtual dispatch) unless it
+     is in the explicit opt-out set of test-only stub samplers.
 
 Exit status is 0 iff the tree is clean.  Run from anywhere:
     python3 tools/lint.py
@@ -165,6 +169,37 @@ def check_bench_json_flag(errors: list[str]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Check 6: Sampler subclasses override DrawBatch (or opt out explicitly).
+# ---------------------------------------------------------------------------
+
+SAMPLER_DECL = re.compile(r"class\s+(\w+)\s*(?:final\s*)?:\s*public\s+Sampler\b")
+
+# Test-only stubs whose draws are trivially cheap: the default per-draw
+# loop is fine and an override would be noise. Production samplers in src/
+# must never be listed here.
+DRAWBATCH_OPT_OUT = {"BernoulliSampler", "ConstantSampler"}
+
+
+def check_drawbatch_overrides(path: Path, rel: str, text: str,
+                              errors: list[str]) -> None:
+    for match in SAMPLER_DECL.finditer(text):
+        name = match.group(1)
+        if name in DRAWBATCH_OPT_OUT:
+            continue
+        lineno = text.count("\n", 0, match.start()) + 1
+        # The class body ends at the first non-indented closing brace.
+        end = text.find("\n};", match.end())
+        body = text[match.end(): end if end >= 0 else len(text)]
+        if "DrawBatch" not in body:
+            errors.append(
+                f"{rel}:{lineno}: sampler {name} does not override DrawBatch "
+                f"-- the estimator loops draw in blocks, so it would fall "
+                f"back to per-draw virtual dispatch; override it or add the "
+                f"class to DRAWBATCH_OPT_OUT in tools/lint.py"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
@@ -191,6 +226,7 @@ def main() -> int:
         check_rng(path, rel, text, errors)
         check_obs_macros(path, rel, text, errors)
         check_include_guard(path, rel, text, errors)
+        check_drawbatch_overrides(path, rel, text, errors)
     check_test_references(errors)
     check_bench_json_flag(errors)
 
