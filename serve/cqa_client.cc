@@ -1,0 +1,154 @@
+// cqa_client — the thin command-line client for cqad:
+//
+//   cqa_client query --port=N --data=DIR --query='Q(N) :- ...'
+//              [--host=ADDR] [--schema=tpch|tpcds]
+//              [--scheme=Natural|KL|KLM|Cover] [--epsilon=F] [--delta=F]
+//              [--deadline=S] [--seed=N] [--threads=N] [--record=1]
+//              [--id=STR]
+//   cqa_client stats --port=N [--host=ADDR]
+//   cqa_client ping  --port=N [--host=ADDR]
+//
+// `query` prints the same answer lines as `cqa_cli run` (tuple TAB
+// frequency) so outputs diff cleanly against a local run with the same
+// seed. Exit codes: 0 ok, 1 transport failure, 3 server-side error
+// (status printed on stderr with the protocol code name).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "serve/client.h"
+
+using namespace cqa;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool ValidateKeys(std::initializer_list<const char*> allowed) const {
+    bool ok = true;
+    for (const auto& [key, value] : flags) {
+      bool known = false;
+      for (const char* a : allowed) known |= key == a;
+      if (!known) {
+        std::fprintf(stderr, "error: unknown flag --%s for command %s\n",
+                     key.c_str(), command.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cqa_client <query|stats|ping> --port=N [--host=ADDR]\n"
+      "  query --data=DIR --query=Q [--schema=tpch|tpcds]\n"
+      "        [--scheme=Natural|KL|KLM|Cover] [--epsilon=F] [--delta=F]\n"
+      "        [--deadline=S] [--seed=N] [--threads=N] [--record=1]\n"
+      "        [--id=STR]\n"
+      "  stats\n"
+      "  ping\n");
+  return 2;
+}
+
+int ReportServerError(const serve::Response& response) {
+  std::fprintf(stderr, "error %d (%s): %s\n",
+               static_cast<int>(response.code),
+               serve::ErrorCodeName(response.code), response.error.c_str());
+  if (response.retry_after_s > 0) {
+    std::fprintf(stderr, "retry_after_s: %.3f\n", response.retry_after_s);
+  }
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) return Usage();
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr) return Usage();
+    args.flags[std::string(arg + 2, eq)] = std::string(eq + 1);
+  }
+
+  serve::Request request;
+  if (args.command == "query") {
+    if (!args.ValidateKeys({"host", "port", "data", "query", "schema",
+                            "scheme", "epsilon", "delta", "deadline", "seed",
+                            "threads", "record", "id"})) {
+      return Usage();
+    }
+    request.op = "query";
+    request.schema = args.Get("schema", "tpch");
+    request.data = args.Get("data", "");
+    request.query = args.Get("query", "");
+    request.scheme = args.Get("scheme", "KLM");
+    request.epsilon = args.GetDouble("epsilon", 0.1);
+    request.delta = args.GetDouble("delta", 0.25);
+    request.deadline_s = args.GetDouble("deadline", 0.0);
+    request.seed = static_cast<uint64_t>(args.GetDouble("seed", 7));
+    request.threads = static_cast<int>(args.GetDouble("threads", 1));
+    request.want_record = args.GetDouble("record", 0) != 0;
+    request.id = args.Get("id", "");
+    if (request.data.empty() || request.query.empty()) {
+      std::fprintf(stderr, "error: query needs --data and --query\n");
+      return Usage();
+    }
+  } else if (args.command == "stats" || args.command == "ping") {
+    if (!args.ValidateKeys({"host", "port"})) return Usage();
+    request.op = args.command;
+  } else {
+    return Usage();
+  }
+
+  serve::CqaClient client;
+  std::string error;
+  if (!client.Connect(args.Get("host", "127.0.0.1"),
+                      static_cast<int>(args.GetDouble("port", 0)), &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  serve::Response response;
+  if (!client.Call(request, &response, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!response.ok()) return ReportServerError(response);
+
+  if (request.op == "ping") {
+    std::printf("pong\n");
+  } else if (request.op == "stats") {
+    std::printf("%s\n%s\n", response.server_json.c_str(),
+                response.metrics_json.c_str());
+  } else {
+    std::printf("# %s, preprocessing %.4fs, scheme %.4fs, %llu samples%s\n",
+                response.cache_hit ? "cache hit" : "cache miss",
+                response.preprocess_seconds, response.scheme_seconds,
+                static_cast<unsigned long long>(response.total_samples),
+                response.timed_out ? " (TIMED OUT, partial)" : "");
+    for (const serve::ResponseAnswer& a : response.answers) {
+      std::printf("%s\t%.6f\n", a.tuple.c_str(), a.frequency);
+    }
+    if (!response.run_record_json.empty()) {
+      std::printf("%s\n", response.run_record_json.c_str());
+    }
+  }
+  return 0;
+}

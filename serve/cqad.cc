@@ -1,0 +1,125 @@
+// cqad — the persistent CQA query service. Loads nothing up front:
+// databases and synopses are pulled in and cached on first use, so a
+// long-lived daemon amortizes the paper's preprocessing step across
+// every request that shares a (database, Σ, Q) key.
+//
+//   cqad [--host=127.0.0.1] [--port=0] [--workers=4]
+//        [--max_inflight=0] [--max_queue=64] [--max_pending=256]
+//        [--max_frame_mb=8] [--drain_timeout=10]
+//        [--cache_entries=64] [--db_cache_entries=4]
+//        [--default_deadline=30] [--obs_report=FILE]
+//
+// Prints one line "cqad listening on HOST:PORT" once ready (loadgen and
+// the e2e tests parse it), then serves until SIGTERM/SIGINT, which
+// triggers the graceful drain documented in DESIGN.md §9.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "obs/report.h"
+#include "serve/server.h"
+
+using namespace cqa;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool ValidateKeys(std::initializer_list<const char*> allowed) const {
+    bool ok = true;
+    for (const auto& [key, value] : flags) {
+      bool known = false;
+      for (const char* a : allowed) known |= key == a;
+      if (!known) {
+        std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cqad [--host=ADDR] [--port=N] [--workers=N]\n"
+      "            [--max_inflight=N] [--max_queue=N] [--max_pending=N]\n"
+      "            [--max_frame_mb=N] [--drain_timeout=S]\n"
+      "            [--cache_entries=N] [--db_cache_entries=N]\n"
+      "            [--default_deadline=S] [--obs_report=FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) return Usage();
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr) return Usage();
+    args.flags[std::string(arg + 2, eq)] = std::string(eq + 1);
+  }
+  if (!args.ValidateKeys({"host", "port", "workers", "max_inflight",
+                          "max_queue", "max_pending", "max_frame_mb",
+                          "drain_timeout", "cache_entries",
+                          "db_cache_entries", "default_deadline",
+                          "obs_report"})) {
+    return Usage();
+  }
+
+  serve::ServerOptions options;
+  options.host = args.Get("host", "127.0.0.1");
+  options.port = static_cast<int>(args.GetDouble("port", 0));
+  options.workers = static_cast<size_t>(args.GetDouble("workers", 4));
+  options.max_inflight =
+      static_cast<size_t>(args.GetDouble("max_inflight", 0));
+  options.max_queue = static_cast<size_t>(args.GetDouble("max_queue", 64));
+  options.max_pending_connections =
+      static_cast<size_t>(args.GetDouble("max_pending", 256));
+  options.max_frame_bytes =
+      static_cast<size_t>(args.GetDouble("max_frame_mb", 8)) * 1024 * 1024;
+  options.drain_timeout_s = args.GetDouble("drain_timeout", 10.0);
+  options.engine.cache_entries =
+      static_cast<size_t>(args.GetDouble("cache_entries", 64));
+  options.engine.db_cache_entries =
+      static_cast<size_t>(args.GetDouble("db_cache_entries", 4));
+  options.engine.default_deadline_s = args.GetDouble("default_deadline", 30);
+
+  obs::RunReporter reporter;
+  std::string report_path = args.Get("obs_report", "");
+  if (!report_path.empty()) {
+    std::string error;
+    if (!reporter.Open(report_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    options.engine.reporter = &reporter;
+  }
+
+  serve::CqadServer::InstallSignalHandlers();
+  serve::CqadServer server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("cqad listening on %s:%d\n", options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+  server.Wait();
+  std::printf("cqad drained cleanly\n");
+  return 0;
+}

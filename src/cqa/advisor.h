@@ -1,3 +1,6 @@
+// Scheme advisor: turns the preprocessing statistics into the paper's
+// take-home decision of which approximation scheme to run (Natural for
+// Boolean-like inputs, KLM otherwise).
 #ifndef CQABENCH_CQA_ADVISOR_H_
 #define CQABENCH_CQA_ADVISOR_H_
 

@@ -1,3 +1,9 @@
+// ApxCQA, the end-to-end pipeline of the paper: preprocess a database
+// into per-answer synopses, then run one approximation scheme per
+// candidate answer to estimate its relative frequency. Entry points for
+// one-shot runs (ApxCqa) and for running schemes over an already-built
+// PreprocessResult (ApxCqaOnSynopses) -- the latter is what the serving
+// layer's synopsis cache amortizes.
 #ifndef CQABENCH_CQA_APX_CQA_H_
 #define CQABENCH_CQA_APX_CQA_H_
 

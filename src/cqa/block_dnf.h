@@ -1,3 +1,5 @@
+// Bridge from database synopses to positive Block DNF formulas, exposing
+// the relative-frequency problem to DNF-counting tooling.
 #ifndef CQABENCH_CQA_BLOCK_DNF_H_
 #define CQABENCH_CQA_BLOCK_DNF_H_
 

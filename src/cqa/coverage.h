@@ -1,3 +1,6 @@
+// Self-adjusting coverage algorithm (the paper's Algorithm 5 / Cover
+// scheme): estimates the normalized union size of the image sets over
+// the symbolic space with a deterministic step budget.
 #ifndef CQABENCH_CQA_COVERAGE_H_
 #define CQABENCH_CQA_COVERAGE_H_
 

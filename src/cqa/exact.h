@@ -1,3 +1,6 @@
+// Exact (exponential-time) oracles for R(H, B) and relative frequency:
+// ground truth for tests and for validating the (eps, delta) guarantees
+// of the randomized schemes on small inputs.
 #ifndef CQABENCH_CQA_EXACT_H_
 #define CQABENCH_CQA_EXACT_H_
 

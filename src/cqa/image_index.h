@@ -1,3 +1,7 @@
+// Inverted fact-to-image index shared by the indexed natural sampler and
+// the KL/KLM samplers. Carries mutable per-draw hit counters: an
+// ImageIndex is single-threaded scratch, so every worker builds its own
+// over the (shared, immutable) Synopsis rather than sharing one.
 #ifndef CQABENCH_CQA_IMAGE_INDEX_H_
 #define CQABENCH_CQA_IMAGE_INDEX_H_
 

@@ -1,3 +1,5 @@
+// Index-accelerated variant of the natural sampler: per draw it touches
+// only the images sharing a drawn fact instead of scanning all of H.
 #ifndef CQABENCH_CQA_INDEXED_NATURAL_SAMPLER_H_
 #define CQABENCH_CQA_INDEXED_NATURAL_SAMPLER_H_
 

@@ -1,3 +1,6 @@
+// Audit predicates for the estimator stack (compiled in by the sanitizer
+// presets): structural synopsis invariants, sampler goodness bounds, and
+// estimator post-conditions.
 #ifndef CQABENCH_CQA_INVARIANTS_H_
 #define CQABENCH_CQA_INVARIANTS_H_
 

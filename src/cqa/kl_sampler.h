@@ -1,3 +1,5 @@
+// SampleKL (Karp-Luby): symbolic-space sampler returning 1 iff the drawn
+// pair is the first witness of its database.
 #ifndef CQABENCH_CQA_KL_SAMPLER_H_
 #define CQABENCH_CQA_KL_SAMPLER_H_
 

@@ -1,3 +1,5 @@
+// SampleKLM (Karp-Luby-Madras): symbolic-space sampler returning 1/k for
+// k witnessing images -- same expectation as SampleKL, lower variance.
 #ifndef CQABENCH_CQA_KLM_SAMPLER_H_
 #define CQABENCH_CQA_KLM_SAMPLER_H_
 

@@ -1,3 +1,6 @@
+// MonteCarlo[Sample] (the paper's Algorithm 2): OptEstimate picks the
+// sample count N, the main loop averages N draws, and the result converts
+// back to R(H, B) through the sampler's goodness factor.
 #ifndef CQABENCH_CQA_MONTE_CARLO_H_
 #define CQABENCH_CQA_MONTE_CARLO_H_
 

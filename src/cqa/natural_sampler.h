@@ -1,3 +1,5 @@
+// SampleNatural: reference sampler over the natural space db(B); kept as
+// the cross-validation oracle for the indexed variant.
 #ifndef CQABENCH_CQA_NATURAL_SAMPLER_H_
 #define CQABENCH_CQA_NATURAL_SAMPLER_H_
 

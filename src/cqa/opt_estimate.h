@@ -1,3 +1,6 @@
+// OptEstimate (Dagum-Karp-Luby-Ross): the optimal-in-expectation
+// stopping rule that sizes the Monte Carlo main loop for an
+// (eps, delta) relative-error guarantee.
 #ifndef CQABENCH_CQA_OPT_ESTIMATE_H_
 #define CQABENCH_CQA_OPT_ESTIMATE_H_
 

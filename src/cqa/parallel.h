@@ -1,3 +1,5 @@
+// Parallel Monte Carlo main loop: splits the N draws across workers with
+// independent forked RNG streams and no hot-path synchronization.
 #ifndef CQABENCH_CQA_PARALLEL_H_
 #define CQABENCH_CQA_PARALLEL_H_
 

@@ -1,3 +1,10 @@
+// The preprocessing step syn_{Sigma,Q}(D): evaluates Q over D and folds
+// every homomorphism into per-answer synopses (consistent images + the
+// blocks they touch). A PreprocessResult is immutable once built --
+// concurrent readers need no lock, which is what lets the serving
+// layer's synopsis cache hand one shared_ptr<const PreprocessResult> to
+// many worker threads at once (proved under TSan by
+// tests/parallel_race_test.cc).
 #ifndef CQABENCH_CQA_PREPROCESS_H_
 #define CQABENCH_CQA_PREPROCESS_H_
 

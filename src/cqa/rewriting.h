@@ -1,3 +1,6 @@
+// The SQL rewriting Q^rew (Appendix C): emits the literal SQL the paper
+// runs on PostgreSQL and an in-memory row pipeline that independently
+// derives the synopsis encoding, cross-checking BuildSynopses.
 #ifndef CQABENCH_CQA_REWRITING_H_
 #define CQABENCH_CQA_REWRITING_H_
 

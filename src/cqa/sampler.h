@@ -1,3 +1,7 @@
+// The Sampler interface: an r-good randomized procedure Sample((H, B))
+// in [0, 1]. Draw state is per-instance scratch -- samplers are not
+// thread-safe; every worker owns its own instance over the shared
+// immutable Synopsis.
 #ifndef CQABENCH_CQA_SAMPLER_H_
 #define CQABENCH_CQA_SAMPLER_H_
 

@@ -1,3 +1,6 @@
+// The four approximation schemes for RelativeFreq (Natural, KL, KLM,
+// Cover) behind one interface, plus the (eps, delta) accuracy parameters
+// and scheme-name parsing shared by every binary.
 #ifndef CQABENCH_CQA_SCHEMES_H_
 #define CQABENCH_CQA_SCHEMES_H_
 

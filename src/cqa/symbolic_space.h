@@ -1,3 +1,6 @@
+// The symbolic sampling space S* of section 4.2, with alias-table image
+// selection. Immutable after construction; samplers draw from it through
+// their own per-thread scratch.
 #ifndef CQABENCH_CQA_SYMBOLIC_SPACE_H_
 #define CQABENCH_CQA_SYMBOLIC_SPACE_H_
 

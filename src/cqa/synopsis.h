@@ -1,3 +1,9 @@
+// The encoded admissible pair (H, B): blocks with cardinalities plus
+// consistent homomorphic images as (block, tid) fact lists. Immutable
+// after construction and therefore safe to share across any number of
+// concurrent scheme runs -- samplers and spaces keep their mutable
+// scratch elsewhere (see image_index.h). The serving layer relies on
+// this to serve cached synopses lock-free.
 #ifndef CQABENCH_CQA_SYNOPSIS_H_
 #define CQABENCH_CQA_SYNOPSIS_H_
 

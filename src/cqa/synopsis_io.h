@@ -1,3 +1,6 @@
+// Text (de)serialization of synopsis sets, decoupling the preprocessing
+// phase from scheme evaluation the way the paper materializes its
+// intermediate logs.
 #ifndef CQABENCH_CQA_SYNOPSIS_IO_H_
 #define CQABENCH_CQA_SYNOPSIS_IO_H_
 

@@ -1,0 +1,119 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace cqa::serve {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : max_inflight_(options.max_inflight == 0 ? 1 : options.max_inflight),
+      max_queue_(options.max_queue) {}
+
+Admission AdmissionController::Enter(const Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) return Admission::kShutdown;
+  if (queued_ == 0 && inflight_ < max_inflight_) {
+    ++inflight_;
+    CQA_OBS_COUNT("serve.admission_admitted");
+    return Admission::kAdmitted;
+  }
+  if (queued_ >= max_queue_) {
+    ++shed_total_;
+    CQA_OBS_COUNT("serve.admission_shed");
+    return Admission::kShed;
+  }
+  const uint64_t ticket = next_ticket_++;
+  ++queued_;
+  CQA_OBS_OBSERVE("serve.admission_queue_depth", queued_);
+  auto may_proceed = [&] {
+    return shutdown_ ||
+           (ticket == serving_ticket_ && inflight_ < max_inflight_);
+  };
+  bool expired = false;
+  if (deadline.RemainingSeconds() ==
+      std::numeric_limits<double>::infinity()) {
+    slot_cv_.wait(lock, may_proceed);
+  } else {
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::duration<double>(
+                         deadline.RemainingSeconds()));
+    expired = !slot_cv_.wait_until(lock, until, may_proceed);
+  }
+  --queued_;
+  if (shutdown_) {
+    AdvancePast(ticket);
+    return Admission::kShutdown;
+  }
+  if (expired) {
+    AdvancePast(ticket);
+    CQA_OBS_COUNT("serve.admission_expired");
+    return Admission::kExpired;
+  }
+  // may_proceed held: this waiter is at the head with a free slot.
+  ++serving_ticket_;
+  // Tickets abandoned earlier may sit right behind; skip them so the
+  // next live waiter sees its turn.
+  while (abandoned_.erase(serving_ticket_) > 0) ++serving_ticket_;
+  ++inflight_;
+  CQA_OBS_COUNT("serve.admission_admitted");
+  slot_cv_.notify_all();
+  return Admission::kAdmitted;
+}
+
+void AdmissionController::AdvancePast(uint64_t ticket) {
+  // A waiter abandoning the queue must not stall the tickets behind it:
+  // if it was the one being served next, pass the turn on; otherwise
+  // remember the hole so the serving counter can skip it later.
+  if (ticket == serving_ticket_) {
+    ++serving_ticket_;
+    while (abandoned_.erase(serving_ticket_) > 0) ++serving_ticket_;
+    slot_cv_.notify_all();
+  } else if (ticket > serving_ticket_) {
+    abandoned_.insert(ticket);
+  }
+}
+
+void AdmissionController::Leave(double service_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) --inflight_;
+  // EWMA with alpha 0.2: smooth enough to ride out one slow query, fresh
+  // enough to track a workload shift within a handful of requests.
+  ewma_service_seconds_ =
+      0.8 * ewma_service_seconds_ + 0.2 * service_seconds;
+  slot_cv_.notify_all();
+}
+
+double AdmissionController::RetryAfterSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double backlog =
+      static_cast<double>(queued_ + inflight_) /
+      static_cast<double>(max_inflight_);
+  return std::clamp(backlog * ewma_service_seconds_, 0.05, 60.0);
+}
+
+void AdmissionController::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  slot_cv_.notify_all();
+}
+
+size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+uint64_t AdmissionController::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_total_;
+}
+
+}  // namespace cqa::serve

@@ -1,0 +1,90 @@
+// serve/admission — bounded admission control for cqad request workers.
+// A CQA query can burn seconds of CPU; without a bound, a burst of
+// requests would queue unboundedly and every client would time out. The
+// controller admits up to `max_inflight` concurrent executions, parks up
+// to `max_queue` more in a FIFO wait queue, and sheds everything beyond
+// that with a 503-style rejection carrying a retry_after hint derived
+// from observed service times.
+#ifndef CQABENCH_SERVE_ADMISSION_H_
+#define CQABENCH_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <set>
+
+#include "common/stopwatch.h"
+
+namespace cqa::serve {
+
+struct AdmissionOptions {
+  /// Concurrent request executions. 0 means "one per worker" (the server
+  /// substitutes its worker count).
+  size_t max_inflight = 0;
+  /// Requests allowed to wait for a slot before shedding starts.
+  size_t max_queue = 64;
+};
+
+/// Decision returned by Enter().
+enum class Admission {
+  kAdmitted,   // Run now; call Leave() when done.
+  kShed,       // Queue full: reject with kOverloaded + RetryAfterSeconds.
+  kExpired,    // The request's deadline passed while it waited in queue.
+  kShutdown,   // The controller was shut down while the request waited.
+};
+
+/// Thread-safe admission gate. All waits are FIFO-fair in practice
+/// (condition-variable wakeups re-check a ticket order).
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Tries to claim an execution slot, waiting in the bounded queue when
+  /// all slots are busy. Returns kShed immediately when the queue is
+  /// full, kExpired when `deadline` fires first, kShutdown when
+  /// Shutdown() is called while waiting.
+  Admission Enter(const Deadline& deadline);
+
+  /// Releases a slot claimed by a successful Enter(). `service_seconds`
+  /// feeds the EWMA behind RetryAfterSeconds.
+  void Leave(double service_seconds);
+
+  /// Hint for shed clients: the expected time until a slot frees up,
+  /// estimated as (queued + inflight) / max_inflight times the EWMA
+  /// service time, clamped to [0.05, 60] seconds.
+  double RetryAfterSeconds() const;
+
+  /// Wakes every queued waiter with kShutdown and makes all future
+  /// Enter() calls return kShutdown. Idempotent.
+  void Shutdown();
+
+  size_t inflight() const;
+  size_t queued() const;
+  uint64_t shed_total() const;
+
+ private:
+  /// Precondition: mu_ held. Removes an abandoned waiter's ticket from
+  /// the FIFO order so later tickets are not stalled behind it.
+  void AdvancePast(uint64_t ticket);
+
+  const size_t max_inflight_;
+  const size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_cv_;
+  size_t inflight_ = 0;
+  size_t queued_ = 0;
+  // Ticketing keeps the queue FIFO: waiters are served in Enter order.
+  uint64_t next_ticket_ = 0;
+  uint64_t serving_ticket_ = 0;
+  uint64_t shed_total_ = 0;
+  // Tickets whose waiters left the queue (deadline/shutdown) before
+  // being served; skipped when the serving counter reaches them.
+  std::set<uint64_t> abandoned_;
+  bool shutdown_ = false;
+  double ewma_service_seconds_ = 0.1;  // Optimistic prior.
+};
+
+}  // namespace cqa::serve
+
+#endif  // CQABENCH_SERVE_ADMISSION_H_

@@ -1,0 +1,121 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cqa::serve {
+
+namespace {
+
+bool SendAll(int fd, const std::string& data, std::string* error) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+CqaClient::~CqaClient() { Close(); }
+
+bool CqaClient::Connect(const std::string& host, int port,
+                        std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid address: " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    Close();
+    return false;
+  }
+  // Request/response framing benefits from immediate sends.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool CqaClient::Call(const Request& request, Response* response,
+                     std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (!SendAll(fd_, EncodeFrame(request.ToJsonPayload()), error)) {
+    return false;
+  }
+  std::string payload;
+  if (!ReadFrame(&payload, error)) return false;
+  return Response::FromJsonPayload(payload, response, error);
+}
+
+bool CqaClient::RawCall(const std::string& bytes,
+                        std::string* response_payload, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (!SendAll(fd_, bytes, error)) return false;
+  return ReadFrame(response_payload, error);
+}
+
+bool CqaClient::ReadFrame(std::string* payload, std::string* error) {
+  char buf[1 << 16];
+  while (true) {
+    std::string frame_error;
+    FrameDecoder::Status status = decoder_.Next(payload, &frame_error);
+    if (status == FrameDecoder::Status::kFrame) return true;
+    if (status == FrameDecoder::Status::kError) {
+      *error = "response framing error: " + frame_error;
+      return false;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      *error = "connection closed by server";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    decoder_.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+void CqaClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder();
+}
+
+}  // namespace cqa::serve

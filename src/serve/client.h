@@ -1,0 +1,50 @@
+// serve/client — the blocking TCP client behind cqa_client and the e2e
+// tests: connect, frame a Request, read back one Response frame. One
+// CqaClient owns one connection and is single-threaded; concurrency is
+// achieved by opening one client per thread (connections are cheap, the
+// server multiplexes them across its workers).
+#ifndef CQABENCH_SERVE_CLIENT_H_
+#define CQABENCH_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace cqa::serve {
+
+class CqaClient {
+ public:
+  CqaClient() = default;
+  ~CqaClient();
+
+  CqaClient(const CqaClient&) = delete;
+  CqaClient& operator=(const CqaClient&) = delete;
+
+  /// Opens a TCP connection. False with *error on failure.
+  bool Connect(const std::string& host, int port, std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `request` and blocks for the matching response. False with
+  /// *error on transport failure (send/recv/frame decode); a server-side
+  /// error is a *successful* call with response->ok() == false.
+  bool Call(const Request& request, Response* response, std::string* error);
+
+  /// Transport-level escape hatch for protocol tests: sends raw bytes
+  /// verbatim (no framing added) and reads back one response frame.
+  bool RawCall(const std::string& bytes, std::string* response_payload,
+               std::string* error);
+
+  void Close();
+
+ private:
+  /// Reads until one full frame is decoded. False on EOF/error.
+  bool ReadFrame(std::string* payload, std::string* error);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace cqa::serve
+
+#endif  // CQABENCH_SERVE_CLIENT_H_

@@ -1,0 +1,268 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+
+namespace cqa::serve {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kFrameTooLarge: return "frame_too_large";
+    case ErrorCode::kBadVersion: return "bad_version";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDraining: return "draining";
+  }
+  return "?";
+}
+
+std::string EncodeFrame(const std::string& payload) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  frame.push_back(static_cast<char>((n >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(n & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::Append(const char* data, size_t n) {
+  buffer_.append(data, n);
+}
+
+FrameDecoder::Status FrameDecoder::Next(std::string* payload,
+                                        std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = "frame stream already poisoned";
+    return Status::kError;
+  }
+  if (buffer_.size() < 4) return Status::kNeedMore;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data());
+  const uint32_t n = (static_cast<uint32_t>(p[0]) << 24) |
+                     (static_cast<uint32_t>(p[1]) << 16) |
+                     (static_cast<uint32_t>(p[2]) << 8) |
+                     static_cast<uint32_t>(p[3]);
+  if (n == 0) {
+    poisoned_ = true;
+    if (error != nullptr) *error = "zero-length frame";
+    return Status::kError;
+  }
+  if (n > max_frame_bytes_) {
+    poisoned_ = true;
+    if (error != nullptr) {
+      *error = "frame of " + std::to_string(n) + " bytes exceeds cap of " +
+               std::to_string(max_frame_bytes_);
+    }
+    return Status::kError;
+  }
+  if (buffer_.size() < 4u + n) return Status::kNeedMore;
+  payload->assign(buffer_, 4, n);
+  buffer_.erase(0, 4u + n);
+  return Status::kFrame;
+}
+
+std::string Request::ToJsonPayload() const {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("v", JsonValue::MakeNumber(version));
+  obj.Set("op", JsonValue::MakeString(op));
+  if (!id.empty()) obj.Set("id", JsonValue::MakeString(id));
+  if (op == "query") {
+    obj.Set("schema", JsonValue::MakeString(schema));
+    obj.Set("data", JsonValue::MakeString(data));
+    obj.Set("query", JsonValue::MakeString(query));
+    obj.Set("scheme", JsonValue::MakeString(scheme));
+    obj.Set("epsilon", JsonValue::MakeNumber(epsilon));
+    obj.Set("delta", JsonValue::MakeNumber(delta));
+    if (deadline_s > 0) obj.Set("deadline_s", JsonValue::MakeNumber(deadline_s));
+    obj.Set("seed", JsonValue::MakeNumber(static_cast<double>(seed)));
+    if (threads > 1) obj.Set("threads", JsonValue::MakeNumber(threads));
+    if (want_record) obj.Set("record", JsonValue::MakeBool(true));
+  }
+  return obj.Serialize();
+}
+
+bool Request::FromJsonPayload(const std::string& payload, Request* out,
+                              ErrorCode* code, std::string* error) {
+  JsonValue root;
+  std::string parse_error;
+  if (!JsonValue::Parse(payload, &root, &parse_error) || !root.is_object()) {
+    *code = ErrorCode::kBadRequest;
+    *error = parse_error.empty() ? "request is not a JSON object"
+                                 : parse_error;
+    return false;
+  }
+  const JsonValue* v = root.Find("v");
+  if (v == nullptr || !v->is_number()) {
+    *code = ErrorCode::kBadVersion;
+    *error = "missing protocol version field \"v\"";
+    return false;
+  }
+  if (static_cast<int>(v->AsNumber()) != kProtocolVersion) {
+    *code = ErrorCode::kBadVersion;
+    *error = "unsupported protocol version " +
+             std::to_string(static_cast<int>(v->AsNumber())) +
+             " (server speaks " + std::to_string(kProtocolVersion) + ")";
+    return false;
+  }
+  out->version = kProtocolVersion;
+  out->op = root.GetString("op", "query");
+  if (out->op != "query" && out->op != "stats" && out->op != "ping") {
+    *code = ErrorCode::kBadRequest;
+    *error = "unknown op \"" + out->op + "\"";
+    return false;
+  }
+  out->id = root.GetString("id", "");
+  if (out->op != "query") return true;
+
+  out->schema = root.GetString("schema", "tpch");
+  if (out->schema != "tpch" && out->schema != "tpcds") {
+    *code = ErrorCode::kBadRequest;
+    *error = "unknown schema \"" + out->schema + "\" (tpch|tpcds)";
+    return false;
+  }
+  out->data = root.GetString("data", "");
+  out->query = root.GetString("query", "");
+  if (out->data.empty() || out->query.empty()) {
+    *code = ErrorCode::kBadRequest;
+    *error = "query requests need \"data\" and \"query\"";
+    return false;
+  }
+  out->scheme = root.GetString("scheme", "KLM");
+  out->epsilon = root.GetNumber("epsilon", 0.1);
+  out->delta = root.GetNumber("delta", 0.25);
+  if (!(out->epsilon > 0.0 && out->epsilon < 1.0) ||
+      !(out->delta > 0.0 && out->delta < 1.0)) {
+    *code = ErrorCode::kBadRequest;
+    *error = "epsilon and delta must lie in (0, 1)";
+    return false;
+  }
+  out->deadline_s = root.GetNumber("deadline_s", 0.0);
+  out->seed = static_cast<uint64_t>(root.GetNumber("seed", 7));
+  out->threads = static_cast<int>(root.GetNumber("threads", 1));
+  if (out->threads < 1 || out->threads > 256) {
+    *code = ErrorCode::kBadRequest;
+    *error = "threads must lie in [1, 256]";
+    return false;
+  }
+  out->want_record = root.GetBool("record", false);
+  return true;
+}
+
+std::string Response::ToJsonPayload() const {
+  // Hand-assembled so the raw embedded objects (run record, metrics) can
+  // be spliced in without reparsing them.
+  std::string out = "{\"v\":" + std::to_string(version);
+  if (!id.empty()) out += ",\"id\":\"" + JsonEscape(id) + "\"";
+  if (code != ErrorCode::kOk) {
+    out += ",\"status\":\"error\",\"code\":" +
+           std::to_string(static_cast<int>(code));
+    out += ",\"code_name\":\"" + std::string(ErrorCodeName(code)) + "\"";
+    out += ",\"error\":\"" + JsonEscape(error) + "\"";
+    if (retry_after_s > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", retry_after_s);
+      out += ",\"retry_after_s\":" + std::string(buf);
+    }
+    out += "}";
+    return out;
+  }
+  out += ",\"status\":\"ok\"";
+  if (pong) {
+    out += ",\"pong\":true}";
+    return out;
+  }
+  if (!metrics_json.empty() || !server_json.empty()) {
+    if (!metrics_json.empty()) out += ",\"metrics\":" + metrics_json;
+    if (!server_json.empty()) out += ",\"server\":" + server_json;
+    out += "}";
+    return out;
+  }
+  out += ",\"cache\":\"" + std::string(cache_hit ? "hit" : "miss") + "\"";
+  out += ",\"timed_out\":" + std::string(timed_out ? "true" : "false");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"preprocess_seconds\":%.9g",
+                preprocess_seconds);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"scheme_seconds\":%.9g", scheme_seconds);
+  out += buf;
+  out += ",\"total_samples\":" + std::to_string(total_samples);
+  out += ",\"answers\":[";
+  bool first = true;
+  for (const ResponseAnswer& a : answers) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.17g", a.frequency);
+    out += "{\"tuple\":\"" + JsonEscape(a.tuple) +
+           "\",\"frequency\":" + buf + "}";
+  }
+  out += "]";
+  if (!run_record_json.empty()) out += ",\"run_record\":" + run_record_json;
+  out += "}";
+  return out;
+}
+
+bool Response::FromJsonPayload(const std::string& payload, Response* out,
+                               std::string* error) {
+  JsonValue root;
+  if (!JsonValue::Parse(payload, &root, error) || !root.is_object()) {
+    if (error != nullptr && error->empty()) {
+      *error = "response is not a JSON object";
+    }
+    return false;
+  }
+  out->version = static_cast<int>(root.GetNumber("v", 0));
+  out->id = root.GetString("id", "");
+  std::string status = root.GetString("status", "");
+  if (status == "error") {
+    out->code = static_cast<ErrorCode>(
+        static_cast<int>(root.GetNumber("code", 500)));
+    out->error = root.GetString("error", "unknown error");
+    out->retry_after_s = root.GetNumber("retry_after_s", 0.0);
+    return true;
+  }
+  if (status != "ok") {
+    if (error != nullptr) *error = "response has no status field";
+    return false;
+  }
+  out->code = ErrorCode::kOk;
+  out->pong = root.GetBool("pong", false);
+  out->cache_hit = root.GetString("cache", "miss") == "hit";
+  out->timed_out = root.GetBool("timed_out", false);
+  out->preprocess_seconds = root.GetNumber("preprocess_seconds", 0.0);
+  out->scheme_seconds = root.GetNumber("scheme_seconds", 0.0);
+  out->total_samples =
+      static_cast<uint64_t>(root.GetNumber("total_samples", 0.0));
+  const JsonValue* answers = root.Find("answers");
+  if (answers != nullptr && answers->is_array()) {
+    for (const JsonValue& a : answers->AsArray()) {
+      ResponseAnswer answer;
+      answer.tuple = a.GetString("tuple", "");
+      answer.frequency = a.GetNumber("frequency", 0.0);
+      out->answers.push_back(std::move(answer));
+    }
+  }
+  const JsonValue* record = root.Find("run_record");
+  if (record != nullptr) out->run_record_json = record->Serialize();
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics != nullptr) out->metrics_json = metrics->Serialize();
+  const JsonValue* server = root.Find("server");
+  if (server != nullptr) out->server_json = server->Serialize();
+  return true;
+}
+
+Response Response::MakeError(ErrorCode code, const std::string& message,
+                             const std::string& id) {
+  Response r;
+  r.code = code;
+  r.error = message;
+  r.id = id;
+  return r;
+}
+
+}  // namespace cqa::serve

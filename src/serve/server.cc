@@ -1,0 +1,394 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "serve/json.h"
+
+namespace cqa::serve {
+
+namespace {
+
+// Flipped by the SIGTERM/SIGINT handler; async-signal-safe by
+// construction (lock-free atomic store, nothing else in the handler).
+std::atomic<bool> g_terminate{false};
+
+void HandleTerminate(int /*signum*/) { g_terminate.store(true); }
+
+// Poll tick for every blocking socket wait: drain and terminate flags
+// are observed within this interval.
+constexpr int kPollTickMs = 100;
+
+// Writes the whole buffer, retrying on partial sends. False on error
+// (peer gone); MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE.
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+CqadServer::CqadServer(const ServerOptions& options)
+    : options_(options),
+      engine_(options.engine),
+      admission_(AdmissionOptions{
+          options.max_inflight == 0 ? options.workers : options.max_inflight,
+          options.max_queue}) {}
+
+CqadServer::~CqadServer() {
+  if (started_) {
+    RequestDrain();
+    Wait();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void CqadServer::InstallSignalHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleTerminate;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  // A client closing mid-response must not kill the process; SendAll
+  // already handles the send() error path.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+bool CqadServer::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid listen address: " + options_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    *error = "bind " + options_.host + ":" +
+             std::to_string(options_.port) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  acceptor_ = std::thread([this] { AcceptorLoop(); });
+  // The connection loops run as ONE fork/join job on the shared pool:
+  // the dispatcher parks here until every worker loop exits at drain.
+  dispatcher_ = std::thread([this] {
+    ThreadPool& pool = ThreadPool::Shared();
+    pool.EnsureWorkers(options_.workers);
+    pool.Run(options_.workers, [this](size_t) { WorkerLoop(); });
+  });
+  started_ = true;
+  return true;
+}
+
+void CqadServer::RequestDrain() {
+  if (draining_.exchange(true)) return;
+  // Queued admission waiters wake with kShutdown → answered kDraining.
+  admission_.Shutdown();
+  // Workers parked on the hand-off queue wake to flush it with
+  // kDraining replies, then exit.
+  queue_cv_.notify_all();
+}
+
+void CqadServer::Wait() {
+  if (!started_) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  started_ = false;
+}
+
+void CqadServer::AcceptorLoop() {
+  pollfd pfd;
+  pfd.fd = listen_fd_;
+  pfd.events = POLLIN;
+  while (!draining_.load()) {
+    if (g_terminate.load()) {
+      RequestDrain();
+      break;
+    }
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, kPollTickMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    ++connections_total_;
+    CQA_OBS_COUNT("serve.connections");
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (conn_queue_.size() >= options_.max_pending_connections) {
+      lock.unlock();
+      CQA_OBS_COUNT("serve.connections_shed");
+      SendErrorAndClose(fd, ErrorCode::kOverloaded,
+                        "connection backlog full");
+      continue;
+    }
+    conn_queue_.push_back(fd);
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+  // Drain step 1: stop accepting — close the listening socket so new
+  // connects are refused at the TCP layer.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  RequestDrain();
+  // Drain step 2 fallback: a connection this thread queued in the same
+  // instant the workers took their final (empty-queue) look would never
+  // be flushed by them and would hang its client on recv. The acceptor
+  // is the only producer and is now past its last push, so flushing
+  // here — racing harmlessly with any worker still popping, both sides
+  // answer kDraining under queue_mu_ — leaves nothing stranded.
+  for (;;) {
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (conn_queue_.empty()) break;
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    SendErrorAndClose(fd, ErrorCode::kDraining, "server is draining");
+  }
+  // Drain step 3: give in-flight requests drain_timeout_s to finish,
+  // then force-close whatever is left so blocked workers fail fast.
+  ForceCloseStragglers();
+}
+
+void CqadServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return draining_.load() || !conn_queue_.empty();
+      });
+      if (conn_queue_.empty()) return;  // Draining and nothing queued.
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    if (draining_.load()) {
+      // Drain step 2: connections that never reached a worker get an
+      // honest kDraining instead of a hung socket.
+      SendErrorAndClose(fd, ErrorCode::kDraining, "server is draining");
+      continue;
+    }
+    ServeConnection(fd);
+  }
+}
+
+void CqadServer::ServeConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    open_conns_.insert(fd);
+  }
+  FrameDecoder decoder(options_.max_frame_bytes);
+  char buf[1 << 16];
+  pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  bool keep = true;
+  while (keep) {
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, kPollTickMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) {
+      // Idle tick: under drain, an idle connection is closed rather
+      // than held open past shutdown.
+      if (draining_.load()) break;
+      continue;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // EOF or error.
+    decoder.Append(buf, static_cast<size_t>(n));
+    while (keep) {
+      std::string payload;
+      std::string frame_error;
+      FrameDecoder::Status status = decoder.Next(&payload, &frame_error);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kError) {
+        const ErrorCode code =
+            frame_error.find("exceeds") != std::string::npos
+                ? ErrorCode::kFrameTooLarge
+                : ErrorCode::kBadRequest;
+        Response reply = Response::MakeError(code, frame_error);
+        SendAll(fd, EncodeFrame(reply.ToJsonPayload()));
+        keep = false;  // Framing is unrecoverable; close.
+        break;
+      }
+      keep = HandleFrame(fd, payload);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    open_conns_.erase(fd);
+  }
+  ::close(fd);
+}
+
+bool CqadServer::HandleFrame(int fd, const std::string& payload) {
+  Stopwatch request_watch;
+  ++requests_total_;
+  CQA_OBS_COUNT("serve.requests");
+
+  Request request;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  Response response;
+  if (!Request::FromJsonPayload(payload, &request, &code, &error)) {
+    response = Response::MakeError(code, error);
+  } else if (request.op == "ping") {
+    response.id = request.id;
+    response.pong = true;
+  } else if (request.op == "stats") {
+    response.id = request.id;
+    response.metrics_json = obs::Registry::Instance().ToJson();
+    response.server_json = StatsJson();
+  } else {  // "query" — FromJsonPayload rejected any other op.
+    response = ExecuteWithAdmission(request);
+  }
+  if (!response.ok()) CQA_OBS_COUNT("serve.request_errors");
+  CQA_OBS_OBSERVE("serve.request_micros",
+                  request_watch.ElapsedSeconds() * 1e6);
+  return SendAll(fd, EncodeFrame(response.ToJsonPayload()));
+}
+
+Response CqadServer::ExecuteWithAdmission(const Request& request) {
+  if (draining_.load()) {
+    return Response::MakeError(ErrorCode::kDraining, "server is draining",
+                               request.id);
+  }
+  // The deadline starts here, before the admission wait, so time spent
+  // queued counts against the request's budget.
+  Deadline deadline = engine_.MakeDeadline(request);
+  Stopwatch service_watch;
+  switch (admission_.Enter(deadline)) {
+    case Admission::kShed: {
+      Response response = Response::MakeError(
+          ErrorCode::kOverloaded, "admission queue full", request.id);
+      response.retry_after_s = admission_.RetryAfterSeconds();
+      return response;
+    }
+    case Admission::kExpired:
+      return Response::MakeError(ErrorCode::kDeadlineExceeded,
+                                 "deadline expired in admission queue",
+                                 request.id);
+    case Admission::kShutdown:
+      return Response::MakeError(ErrorCode::kDraining,
+                                 "server is draining", request.id);
+    case Admission::kAdmitted:
+      break;
+  }
+  Response response = engine_.ExecuteQuery(request, deadline);
+  admission_.Leave(service_watch.ElapsedSeconds());
+  return response;
+}
+
+void CqadServer::SendErrorAndClose(int fd, ErrorCode code,
+                                   const std::string& message) {
+  Response reply = Response::MakeError(code, message);
+  if (code == ErrorCode::kOverloaded) {
+    reply.retry_after_s = admission_.RetryAfterSeconds();
+  }
+  SendAll(fd, EncodeFrame(reply.ToJsonPayload()));
+  ::close(fd);
+}
+
+void CqadServer::ForceCloseStragglers() {
+  Deadline grace(options_.drain_timeout_s);
+  while (!grace.Expired()) {
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (open_conns_.empty()) return;
+    }
+    struct timespec ts = {0, 20 * 1000 * 1000};  // 20ms.
+    ::nanosleep(&ts, nullptr);
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (int fd : open_conns_) {
+    // shutdown(), not close(): the owning worker still holds the fd and
+    // will observe recv()/send() failing, then close it itself.
+    ::shutdown(fd, SHUT_RDWR);
+    CQA_OBS_COUNT("serve.connections_force_closed");
+  }
+}
+
+std::string CqadServer::StatsJson() const {
+  size_t open;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    open = open_conns_.size();
+  }
+  const SynopsisCache& cache = engine_.synopsis_cache();
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("uptime_seconds", JsonValue::MakeNumber(uptime_.ElapsedSeconds()));
+  obj.Set("draining", JsonValue::MakeBool(draining_.load()));
+  obj.Set("workers",
+          JsonValue::MakeNumber(static_cast<double>(options_.workers)));
+  obj.Set("connections_open",
+          JsonValue::MakeNumber(static_cast<double>(open)));
+  obj.Set("connections_total",
+          JsonValue::MakeNumber(
+              static_cast<double>(connections_total_.load())));
+  obj.Set("requests_total",
+          JsonValue::MakeNumber(static_cast<double>(requests_total_.load())));
+  obj.Set("admission_inflight",
+          JsonValue::MakeNumber(
+              static_cast<double>(admission_.inflight())));
+  obj.Set("admission_queued",
+          JsonValue::MakeNumber(static_cast<double>(admission_.queued())));
+  obj.Set("admission_shed",
+          JsonValue::MakeNumber(
+              static_cast<double>(admission_.shed_total())));
+  obj.Set("cache_entries",
+          JsonValue::MakeNumber(static_cast<double>(cache.entries())));
+  obj.Set("cache_hits",
+          JsonValue::MakeNumber(static_cast<double>(cache.hits())));
+  obj.Set("cache_misses",
+          JsonValue::MakeNumber(static_cast<double>(cache.misses())));
+  obj.Set("cache_evictions",
+          JsonValue::MakeNumber(static_cast<double>(cache.evictions())));
+  return obj.Serialize();
+}
+
+}  // namespace cqa::serve

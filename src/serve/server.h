@@ -1,0 +1,137 @@
+// serve/server — the TCP transport of cqad. A single acceptor thread
+// owns the listening socket; accepted connections go through a bounded
+// hand-off queue to connection workers that run as one long-lived job on
+// the process-wide ThreadPool (no per-connection thread spawning).
+// Admission control bounds concurrent query executions, and a SIGTERM /
+// RequestDrain() triggers the graceful drain documented in DESIGN.md §9:
+// stop accepting, answer queued work with kDraining, finish in-flight
+// requests, force-close stragglers after a timeout.
+#ifndef CQABENCH_SERVE_SERVER_H_
+#define CQABENCH_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "serve/admission.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+
+namespace cqa::serve {
+
+struct ServerOptions {
+  /// Listen address. Loopback by default: cqad has no auth layer, so it
+  /// must not be exposed beyond the host without an external gate.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Connection workers — also the ceiling on concurrently *serviced*
+  /// connections. Runs as one job on ThreadPool::Shared().
+  size_t workers = 4;
+  /// Accepted connections allowed to wait for a free worker before new
+  /// arrivals are answered with kOverloaded and closed.
+  size_t max_pending_connections = 256;
+  /// Admission bound on concurrent query executions. 0 = `workers`.
+  size_t max_inflight = 0;
+  /// Admission queue length; beyond it requests shed with kOverloaded.
+  size_t max_queue = 64;
+  /// Cap on one request frame's payload bytes.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Grace period for in-flight requests during drain before their
+  /// connections are force-closed.
+  double drain_timeout_s = 10.0;
+  EngineOptions engine;
+};
+
+/// The cqad server. Lifecycle: Start() → (clients connect) →
+/// RequestDrain() or SIGTERM → Wait() returns once drained.
+///
+/// Thread model: one acceptor thread (poll + accept, 200ms tick) and one
+/// dispatcher thread that parks `workers` connection loops on
+/// ThreadPool::Shared(). Every blocking socket wait is a poll with a
+/// short tick so drain flags are observed promptly.
+class CqadServer {
+ public:
+  explicit CqadServer(const ServerOptions& options);
+  ~CqadServer();
+
+  CqadServer(const CqadServer&) = delete;
+  CqadServer& operator=(const CqadServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor + worker threads. False with
+  /// *error on socket failure.
+  bool Start(std::string* error);
+
+  /// The bound port (useful with options.port == 0).
+  int port() const { return port_; }
+
+  /// Initiates graceful drain: stop accepting, shed queued work with
+  /// kDraining, let in-flight requests finish. Idempotent, non-blocking.
+  /// Also triggered by SIGTERM/SIGINT after InstallSignalHandlers().
+  void RequestDrain();
+
+  /// Blocks until the server has fully drained and all threads joined.
+  void Wait();
+
+  bool draining() const { return draining_.load(); }
+
+  CqaEngine& engine() { return engine_; }
+  AdmissionController& admission() { return admission_; }
+
+  /// Registers a process-wide SIGTERM/SIGINT handler that flips an
+  /// async-signal-safe flag; every running CqadServer's acceptor notices
+  /// it within one poll tick and begins draining.
+  static void InstallSignalHandlers();
+
+  /// The server-state JSON object served by op == "stats" (connections,
+  /// admission, cache, uptime); schema in docs/protocol.md.
+  std::string StatsJson() const;
+
+ private:
+  void AcceptorLoop();
+  void WorkerLoop();
+  /// Serves one connection until EOF, protocol error, or drain.
+  void ServeConnection(int fd);
+  /// Decodes and answers one frame. False → close the connection.
+  bool HandleFrame(int fd, const std::string& payload);
+  Response ExecuteWithAdmission(const Request& request);
+  /// Best-effort single-frame error reply for connections shed before a
+  /// worker ever serviced them.
+  void SendErrorAndClose(int fd, ErrorCode code, const std::string& message);
+  /// After drain_timeout_s, force-close connections still open so workers
+  /// blocked on socket I/O fail fast.
+  void ForceCloseStragglers();
+
+  const ServerOptions options_;
+  CqaEngine engine_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+
+  std::atomic<bool> draining_{false};
+  std::thread acceptor_;
+  std::thread dispatcher_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> conn_queue_;
+
+  mutable std::mutex conns_mu_;
+  std::set<int> open_conns_;
+
+  std::atomic<uint64_t> connections_total_{0};
+  std::atomic<uint64_t> requests_total_{0};
+  Stopwatch uptime_;
+};
+
+}  // namespace cqa::serve
+
+#endif  // CQABENCH_SERVE_SERVER_H_

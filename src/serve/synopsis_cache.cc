@@ -1,0 +1,152 @@
+#include "serve/synopsis_cache.h"
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+
+namespace cqa::serve {
+
+std::string SynopsisCacheKey(const std::string& data_path,
+                             const std::string& schema,
+                             const std::string& query) {
+  // '\n' cannot appear in a path or a parsed CQ, so it is a safe joiner.
+  return data_path + "\n" + schema + "\n" + query;
+}
+
+SynopsisCache::SynopsisCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const PreprocessResult> SynopsisCache::Get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.value == nullptr) {
+    ++misses_;
+    CQA_OBS_COUNT("serve.cache_misses");
+    return nullptr;
+  }
+  ++hits_;
+  CQA_OBS_COUNT("serve.cache_hits");
+  Touch(&it->second, key);
+  return it->second.value;
+}
+
+std::shared_ptr<const PreprocessResult> SynopsisCache::GetOrBuild(
+    const std::string& key, const Builder& build, bool* hit,
+    std::string* error) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;
+    Entry& entry = it->second;
+    if (entry.value != nullptr) {
+      ++hits_;
+      CQA_OBS_COUNT("serve.cache_hits");
+      if (hit != nullptr) *hit = true;
+      Touch(&entry, key);
+      return entry.value;
+    }
+    if (entry.building) {
+      // Another request is preprocessing this key right now; wait for it
+      // instead of duplicating the work (single-flight).
+      CQA_OBS_COUNT("serve.cache_build_waits");
+      build_cv_.wait(lock, [&] {
+        auto current = entries_.find(key);
+        return current == entries_.end() || !current->second.building;
+      });
+      continue;  // Re-examine: value, failure, or entry vanished.
+    }
+    if (entry.failed) {
+      // A completed-but-failed flight; clear it and retry the build
+      // ourselves (the failure may have been transient, e.g. an unreadable
+      // directory that has since appeared).
+      entries_.erase(it);
+      break;
+    }
+  }
+
+  // Miss: this request owns the build.
+  ++misses_;
+  CQA_OBS_COUNT("serve.cache_misses");
+  if (hit != nullptr) *hit = false;
+  Entry& entry = entries_[key];
+  entry.building = true;
+  lock.unlock();
+
+  std::string build_error;
+  std::shared_ptr<const PreprocessResult> value = build(&build_error);
+
+  lock.lock();
+  auto it = entries_.find(key);
+  CQA_CHECK_MSG(it != entries_.end() && it->second.building,
+                "cache entry vanished under its own build");
+  if (value == nullptr) {
+    it->second.building = false;
+    it->second.failed = true;
+    it->second.build_error = build_error;
+    // Failures are not cached: drop the tombstone once waiters saw it.
+    build_cv_.notify_all();
+    entries_.erase(it);
+    if (error != nullptr) *error = build_error;
+    return nullptr;
+  }
+  it->second.building = false;
+  it->second.value = value;
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  EvictOverflow();
+  CQA_OBS_OBSERVE("serve.cache_entries", lru_.size());
+  build_cv_.notify_all();
+  return value;
+}
+
+void SynopsisCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.building) {
+      ++it;  // The build will re-insert; leave its entry alone.
+    } else {
+      it = entries_.erase(it);
+    }
+  }
+  lru_.clear();
+}
+
+size_t SynopsisCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t SynopsisCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SynopsisCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t SynopsisCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void SynopsisCache::Touch(Entry* entry, const std::string& key) {
+  lru_.erase(entry->lru_it);
+  lru_.push_front(key);
+  entry->lru_it = lru_.begin();
+}
+
+void SynopsisCache::EvictOverflow() {
+  while (lru_.size() > capacity_) {
+    const std::string& victim = lru_.back();
+    // The shared_ptr keeps the synopses alive for any request still
+    // running on them; eviction only forgets the cache's reference.
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+    CQA_OBS_COUNT("serve.cache_evictions");
+  }
+}
+
+}  // namespace cqa::serve

@@ -1,0 +1,112 @@
+// serve/synopsis_cache — the LRU cache that lets cqad amortize the
+// paper's preprocessing step across requests. The synopsis set
+// syn_{Σ,Q}(D) depends only on (database, Σ, Q); a repeat query on an
+// unchanged database can skip Preprocess entirely and go straight to the
+// scheme phase, which is the whole point of running CQA as a persistent
+// service instead of a batch binary.
+#ifndef CQABENCH_SERVE_SYNOPSIS_CACHE_H_
+#define CQABENCH_SERVE_SYNOPSIS_CACHE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cqa/preprocess.h"
+
+namespace cqa::serve {
+
+/// The cache key (database, Σ, Q), flattened to one string. Σ is implied
+/// by the named schema (its key constraints); the database is identified
+/// by its canonicalized directory path. Query text is used verbatim —
+/// textual identity is the invalidation-free choice (two spellings of one
+/// query cost one redundant entry, never a wrong answer).
+std::string SynopsisCacheKey(const std::string& data_path,
+                             const std::string& schema,
+                             const std::string& query);
+
+/// A bounded, thread-safe LRU map from SynopsisCacheKey to a shared,
+/// immutable PreprocessResult.
+///
+/// Concurrency contract:
+///   * Readers receive shared_ptr<const PreprocessResult>; the scheme
+///     phase only ever reads the synopses (samplers build their own
+///     per-run scratch — see the thread-ownership notes in
+///     cqa/synopsis.h), so any number of requests may run on one cached
+///     entry concurrently, and eviction cannot free an entry that a
+///     running request still holds.
+///   * GetOrBuild is single-flight per key: when several requests miss on
+///     the same key at once, one builds while the rest wait on it —
+///     without that, a thundering herd of identical queries would each
+///     pay the full Preprocess.
+///   * Builds for *different* keys proceed in parallel (the cache lock is
+///     dropped during the build).
+///
+/// Metrics: serve.cache_hits / serve.cache_misses / serve.cache_evictions
+/// counters and the serve.cache_entries gauge-style observation.
+class SynopsisCache {
+ public:
+  /// Keeps at most `capacity` entries (>= 1).
+  explicit SynopsisCache(size_t capacity);
+
+  using Builder =
+      std::function<std::shared_ptr<const PreprocessResult>(std::string*)>;
+
+  /// Returns the cached value for `key`, building it with `build` on a
+  /// miss. `build` runs outside the cache lock and may fail by returning
+  /// nullptr and setting its error-out param; the failure is propagated
+  /// to every waiter of this flight and nothing is cached. `*hit` is set
+  /// to whether this call was served from cache without waiting on a
+  /// build (a waiter that piggybacks on another request's in-flight build
+  /// counts as a miss: it did not pay Preprocess, but the work happened
+  /// on its behalf).
+  std::shared_ptr<const PreprocessResult> GetOrBuild(const std::string& key,
+                                                     const Builder& build,
+                                                     bool* hit,
+                                                     std::string* error);
+
+  /// Lookup without building; nullptr on miss. Counts hit/miss metrics.
+  std::shared_ptr<const PreprocessResult> Get(const std::string& key);
+
+  /// Drops every cached entry (in-flight builds are unaffected and will
+  /// re-insert their results).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t entries() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const PreprocessResult> value;  // null while building.
+    bool building = false;
+    bool failed = false;
+    std::string build_error;
+    std::list<std::string>::iterator lru_it;  // Valid iff value != null.
+  };
+
+  /// Precondition: mu_ held; entry holds a value. Moves it to MRU.
+  void Touch(Entry* entry, const std::string& key);
+  /// Precondition: mu_ held. Evicts LRU entries down to capacity.
+  void EvictOverflow();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable build_cv_;
+  std::map<std::string, Entry> entries_;
+  // LRU order, most recent at the front; only completed entries appear.
+  std::list<std::string> lru_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace cqa::serve
+
+#endif  // CQABENCH_SERVE_SYNOPSIS_CACHE_H_

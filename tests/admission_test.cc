@@ -1,0 +1,110 @@
+// Admission-control tests: slot accounting, bounded-queue shedding,
+// FIFO ordering, deadline expiry while queued, and shutdown wakeups —
+// the load-shedding behavior cqad's robustness rests on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "serve/admission.h"
+
+namespace cqa::serve {
+namespace {
+
+TEST(AdmissionTest, AdmitsUpToMaxInflight) {
+  AdmissionController admission(AdmissionOptions{2, 4});
+  EXPECT_EQ(admission.Enter(Deadline::Infinite()), Admission::kAdmitted);
+  EXPECT_EQ(admission.Enter(Deadline::Infinite()), Admission::kAdmitted);
+  EXPECT_EQ(admission.inflight(), 2u);
+  admission.Leave(0.01);
+  admission.Leave(0.01);
+  EXPECT_EQ(admission.inflight(), 0u);
+}
+
+TEST(AdmissionTest, ShedsWhenQueueFull) {
+  // One slot, zero queue: the second concurrent request must shed
+  // immediately rather than wait.
+  AdmissionController admission(AdmissionOptions{1, 0});
+  ASSERT_EQ(admission.Enter(Deadline::Infinite()), Admission::kAdmitted);
+  EXPECT_EQ(admission.Enter(Deadline(10.0)), Admission::kShed);
+  EXPECT_EQ(admission.shed_total(), 1u);
+  EXPECT_GT(admission.RetryAfterSeconds(), 0.0);
+  admission.Leave(0.01);
+}
+
+TEST(AdmissionTest, QueuedRequestExpiresOnDeadline) {
+  AdmissionController admission(AdmissionOptions{1, 4});
+  ASSERT_EQ(admission.Enter(Deadline::Infinite()), Admission::kAdmitted);
+  Stopwatch watch;
+  EXPECT_EQ(admission.Enter(Deadline(0.05)), Admission::kExpired);
+  EXPECT_GE(watch.ElapsedSeconds(), 0.04);
+  admission.Leave(0.01);
+  // The expired waiter's abandoned ticket must not wedge the queue.
+  EXPECT_EQ(admission.Enter(Deadline::Infinite()), Admission::kAdmitted);
+  admission.Leave(0.01);
+}
+
+TEST(AdmissionTest, QueueDrainsFifo) {
+  AdmissionController admission(AdmissionOptions{1, 8});
+  ASSERT_EQ(admission.Enter(Deadline::Infinite()), Admission::kAdmitted);
+
+  constexpr size_t kWaiters = 4;
+  std::atomic<size_t> started{0};
+  std::atomic<size_t> order_counter{0};
+  size_t admitted_order[kWaiters] = {};
+  std::vector<std::thread> waiters;
+  for (size_t i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&, i] {
+      ++started;
+      // Stagger entries so tickets are issued in thread-index order.
+      while (started.load() < i + 1) std::this_thread::yield();
+      ASSERT_EQ(admission.Enter(Deadline::Infinite()),
+                Admission::kAdmitted);
+      admitted_order[i] = ++order_counter;
+      admission.Leave(0.001);
+    });
+    // Wait until this waiter is queued before starting the next, making
+    // the intended FIFO order unambiguous.
+    while (admission.queued() < i + 1) std::this_thread::yield();
+  }
+  admission.Leave(0.001);  // Release the initial slot; queue drains.
+  for (std::thread& t : waiters) t.join();
+  for (size_t i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(admitted_order[i], i + 1) << "non-FIFO admission";
+  }
+}
+
+TEST(AdmissionTest, ShutdownWakesWaiters) {
+  AdmissionController admission(AdmissionOptions{1, 4});
+  ASSERT_EQ(admission.Enter(Deadline::Infinite()), Admission::kAdmitted);
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    EXPECT_EQ(admission.Enter(Deadline::Infinite()), Admission::kShutdown);
+    woke = true;
+  });
+  while (admission.queued() == 0) std::this_thread::yield();
+  admission.Shutdown();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  // Post-shutdown entries are rejected immediately.
+  EXPECT_EQ(admission.Enter(Deadline::Infinite()), Admission::kShutdown);
+}
+
+TEST(AdmissionTest, RetryAfterTracksServiceTime) {
+  AdmissionController admission(AdmissionOptions{1, 4});
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(admission.Enter(Deadline::Infinite()), Admission::kAdmitted);
+    admission.Leave(2.0);  // Slow service.
+  }
+  ASSERT_EQ(admission.Enter(Deadline::Infinite()), Admission::kAdmitted);
+  const double slow = admission.RetryAfterSeconds();
+  admission.Leave(2.0);
+  EXPECT_GT(slow, 0.5);
+  EXPECT_LE(slow, 60.0);
+}
+
+}  // namespace
+}  // namespace cqa::serve

@@ -15,11 +15,13 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "cqa/apx_cqa.h"
 #include "cqa/klm_sampler.h"
 #include "cqa/parallel.h"
 #include "cqa/schemes.h"
 #include "cqa/symbolic_space.h"
 #include "obs/metrics.h"
+#include "query/parser.h"
 #include "test_util.h"
 
 namespace cqa {
@@ -143,6 +145,52 @@ TEST(ParallelRaceTest, ParallelEstimateUnderDeadlinePressure) {
   size_t total = 0;
   for (size_t n : free_run.per_thread_samples) total += n;
   EXPECT_EQ(total, free_run.main_samples);
+}
+
+/// The serving-layer sharing pattern: ONE const PreprocessResult (as the
+/// synopsis cache hands out) under 4 threads × 4 schemes concurrently.
+/// Schemes build all per-run scratch (SymbolicSpace, samplers,
+/// ImageIndex) privately, so a cached synopsis set needs no lock — this
+/// is the TSan proof of the thread-ownership contract documented in
+/// cqa/synopsis.h and serve/synopsis_cache.h.
+TEST(ParallelRaceTest, ConcurrentSchemesShareOneCachedPreprocessResult) {
+  testing::EmployeeFixture fixture;
+  ConjunctiveQuery q =
+      MustParseCq(*fixture.schema, "Q(N) :- employee(I, N, D).");
+  const auto shared = std::make_shared<const PreprocessResult>(
+      BuildSynopses(*fixture.db, q));
+
+  constexpr size_t kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, shared, &failures] {
+      ApxParams params;
+      Rng rng(500 + t);
+      for (SchemeKind kind : AllSchemeKinds()) {
+        CqaRunResult run = ApxCqaOnSynopses(*shared, kind, params, rng);
+        if (run.timed_out || run.answers.size() != shared->NumAnswers()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Determinism across the shared synopses: two serial runs with one
+  // seed agree bit-for-bit (what lets the e2e test diff server answers
+  // against local runs).
+  ApxParams params;
+  Rng rng_a(9);
+  Rng rng_b(9);
+  CqaRunResult a = ApxCqaOnSynopses(*shared, SchemeKind::kKlm, params, rng_a);
+  CqaRunResult b = ApxCqaOnSynopses(*shared, SchemeKind::kKlm, params, rng_b);
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_EQ(a.answers[i].frequency, b.answers[i].frequency);
+  }
 }
 
 /// Deadline objects shared across threads: Expired()/RemainingSeconds()

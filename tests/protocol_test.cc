@@ -1,0 +1,310 @@
+// Wire-protocol unit tests: the serve/json.h parser/serializer and the
+// serve/protocol.h framing + request/response codecs, with the edge
+// cases a server exposed to arbitrary bytes must survive — truncated
+// frames, oversize frames, zero-length frames, wrong protocol versions,
+// and garbage JSON.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+
+namespace cqa::serve {
+namespace {
+
+// ---------------------------------------------------------------- JSON.
+
+TEST(JsonTest, ParsesScalarsAndNesting) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(
+      R"({"a": 1, "b": [true, null, "x"], "c": {"d": -2.5e2}})", &v,
+      &error))
+      << error;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.GetNumber("a", 0), 1.0);
+  const JsonValue* b = v.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->AsArray().size(), 3u);
+  EXPECT_TRUE(b->AsArray()[0].AsBool());
+  EXPECT_EQ(b->AsArray()[1].kind(), JsonValue::Kind::kNull);
+  EXPECT_EQ(b->AsArray()[2].AsString(), "x");
+  const JsonValue* c = v.Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->GetNumber("d", 0), -250.0);
+}
+
+TEST(JsonTest, RejectsGarbage) {
+  const char* kBad[] = {
+      "",           "{",        "}",          "{\"a\":}",
+      "[1,]",       "tru",      "\"unterminated",
+      "{\"a\":1}x", "nan",      "1.2.3",
+      "{\"a\" 1}",  "[1 2]",    "\"\\q\"",    "\"\x01\"",
+  };
+  for (const char* text : kBad) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(JsonValue::Parse(text, &v, &error))
+        << "accepted: " << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(JsonTest, RejectsDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse(deep, &v, &error));
+}
+
+TEST(JsonTest, SerializeRoundTrips) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("n", JsonValue::MakeNumber(42));
+  obj.Set("f", JsonValue::MakeNumber(0.125));
+  obj.Set("s", JsonValue::MakeString("a\"b\\c\n\t\x01"));
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue::MakeBool(false));
+  arr.Append(JsonValue::MakeNull());
+  obj.Set("a", std::move(arr));
+
+  JsonValue back;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(obj.Serialize(), &back, &error)) << error;
+  EXPECT_EQ(back.GetNumber("n", 0), 42.0);
+  EXPECT_EQ(back.GetNumber("f", 0), 0.125);
+  EXPECT_EQ(back.GetString("s", ""), "a\"b\\c\n\t\x01");
+  ASSERT_NE(back.Find("a"), nullptr);
+  EXPECT_EQ(back.Find("a")->AsArray().size(), 2u);
+}
+
+TEST(JsonTest, IntegersPrintExactly) {
+  JsonValue v = JsonValue::MakeNumber(123456789012.0);
+  EXPECT_EQ(v.Serialize(), "123456789012");
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(R"("\u00e9\u0041")", &v, &error)) << error;
+  EXPECT_EQ(v.AsString(), "\xc3\xa9"
+                          "A");
+}
+
+// ------------------------------------------------------------- framing.
+
+TEST(FramingTest, EncodesLengthPrefix) {
+  std::string frame = EncodeFrame("abc");
+  ASSERT_EQ(frame.size(), 7u);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\x03');
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(FramingTest, ReassemblesSplitFrames) {
+  std::string frame = EncodeFrame("hello") + EncodeFrame("world");
+  FrameDecoder decoder;
+  std::string payload;
+  std::string error;
+  // Feed one byte at a time: chunk boundaries never align with frames.
+  size_t frames = 0;
+  for (char c : frame) {
+    decoder.Append(&c, 1);
+    while (decoder.Next(&payload, &error) == FrameDecoder::Status::kFrame) {
+      ++frames;
+      EXPECT_EQ(payload, frames == 1 ? "hello" : "world");
+    }
+  }
+  EXPECT_EQ(frames, 2u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FramingTest, TruncatedFrameNeedsMore) {
+  std::string frame = EncodeFrame("payload");
+  FrameDecoder decoder;
+  decoder.Append(frame.data(), frame.size() - 1);  // Missing last byte.
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&payload, &error),
+            FrameDecoder::Status::kNeedMore);
+  decoder.Append(frame.data() + frame.size() - 1, 1);
+  EXPECT_EQ(decoder.Next(&payload, &error), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(payload, "payload");
+}
+
+TEST(FramingTest, ZeroLengthFramePoisons) {
+  FrameDecoder decoder;
+  const char zeros[4] = {0, 0, 0, 0};
+  decoder.Append(zeros, 4);
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&payload, &error), FrameDecoder::Status::kError);
+  EXPECT_NE(error.find("zero-length"), std::string::npos);
+  // Poisoned: even a subsequently valid frame is rejected.
+  std::string good = EncodeFrame("x");
+  decoder.Append(good.data(), good.size());
+  EXPECT_EQ(decoder.Next(&payload, &error), FrameDecoder::Status::kError);
+}
+
+TEST(FramingTest, OversizeFramePoisons) {
+  FrameDecoder decoder(16);
+  std::string frame = EncodeFrame(std::string(17, 'x'));
+  decoder.Append(frame.data(), frame.size());
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&payload, &error), FrameDecoder::Status::kError);
+  EXPECT_NE(error.find("exceeds"), std::string::npos);
+}
+
+// ------------------------------------------------------- request codec.
+
+TEST(RequestCodecTest, RoundTrips) {
+  Request request;
+  request.op = "query";
+  request.id = "req-1";
+  request.schema = "tpcds";
+  request.data = "/data/noisy";
+  request.query = "Q(N) :- item(I, N).";
+  request.scheme = "Cover";
+  request.epsilon = 0.05;
+  request.delta = 0.1;
+  request.deadline_s = 2.5;
+  request.seed = 99;
+  request.threads = 3;
+  request.want_record = true;
+
+  Request decoded;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  ASSERT_TRUE(Request::FromJsonPayload(request.ToJsonPayload(), &decoded,
+                                       &code, &error))
+      << error;
+  EXPECT_EQ(decoded.op, "query");
+  EXPECT_EQ(decoded.id, "req-1");
+  EXPECT_EQ(decoded.schema, "tpcds");
+  EXPECT_EQ(decoded.data, "/data/noisy");
+  EXPECT_EQ(decoded.query, "Q(N) :- item(I, N).");
+  EXPECT_EQ(decoded.scheme, "Cover");
+  EXPECT_EQ(decoded.epsilon, 0.05);
+  EXPECT_EQ(decoded.delta, 0.1);
+  EXPECT_EQ(decoded.deadline_s, 2.5);
+  EXPECT_EQ(decoded.seed, 99u);
+  EXPECT_EQ(decoded.threads, 3);
+  EXPECT_TRUE(decoded.want_record);
+}
+
+TEST(RequestCodecTest, RejectsGarbageJson) {
+  Request decoded;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  EXPECT_FALSE(
+      Request::FromJsonPayload("{not json", &decoded, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadRequest);
+  EXPECT_FALSE(
+      Request::FromJsonPayload("[1, 2, 3]", &decoded, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadRequest);
+}
+
+TEST(RequestCodecTest, RejectsBadVersion) {
+  Request decoded;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  EXPECT_FALSE(Request::FromJsonPayload(R"({"op": "ping"})", &decoded,
+                                        &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadVersion);
+  EXPECT_FALSE(Request::FromJsonPayload(R"({"v": 2, "op": "ping"})",
+                                        &decoded, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadVersion);
+}
+
+TEST(RequestCodecTest, RejectsBadFields) {
+  const char* kBad[] = {
+      R"({"v": 1, "op": "delete"})",
+      R"({"v": 1, "op": "query"})",  // Missing data + query.
+      R"({"v": 1, "op": "query", "data": "d", "query": "q",
+          "schema": "imdb"})",
+      R"({"v": 1, "op": "query", "data": "d", "query": "q",
+          "epsilon": -1})",
+      R"({"v": 1, "op": "query", "data": "d", "query": "q",
+          "delta": 1.5})",
+      R"({"v": 1, "op": "query", "data": "d", "query": "q",
+          "threads": 0})",
+  };
+  for (const char* text : kBad) {
+    Request decoded;
+    ErrorCode code = ErrorCode::kOk;
+    std::string error;
+    EXPECT_FALSE(Request::FromJsonPayload(text, &decoded, &code, &error))
+        << "accepted: " << text;
+    EXPECT_EQ(code, ErrorCode::kBadRequest) << text;
+  }
+}
+
+// ------------------------------------------------------ response codec.
+
+TEST(ResponseCodecTest, RoundTripsSuccess) {
+  Response response;
+  response.id = "req-7";
+  response.answers.push_back(ResponseAnswer{"(1, 'Bob')", 0.5});
+  response.answers.push_back(ResponseAnswer{"(2, 'Alice')", 1.0});
+  response.cache_hit = true;
+  response.timed_out = false;
+  response.preprocess_seconds = 0.25;
+  response.scheme_seconds = 1.5;
+  response.total_samples = 12345;
+  response.run_record_json = R"({"scheme":"KLM"})";
+
+  Response decoded;
+  std::string error;
+  ASSERT_TRUE(Response::FromJsonPayload(response.ToJsonPayload(), &decoded,
+                                        &error))
+      << error;
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.id, "req-7");
+  ASSERT_EQ(decoded.answers.size(), 2u);
+  EXPECT_EQ(decoded.answers[0].tuple, "(1, 'Bob')");
+  EXPECT_EQ(decoded.answers[0].frequency, 0.5);
+  EXPECT_EQ(decoded.answers[1].tuple, "(2, 'Alice')");
+  EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_FALSE(decoded.timed_out);
+  EXPECT_EQ(decoded.preprocess_seconds, 0.25);
+  EXPECT_EQ(decoded.scheme_seconds, 1.5);
+  EXPECT_EQ(decoded.total_samples, 12345u);
+  EXPECT_EQ(decoded.run_record_json, R"({"scheme":"KLM"})");
+}
+
+TEST(ResponseCodecTest, RoundTripsError) {
+  Response response = Response::MakeError(ErrorCode::kOverloaded,
+                                          "queue full", "req-9");
+  response.retry_after_s = 1.25;
+
+  Response decoded;
+  std::string error;
+  ASSERT_TRUE(Response::FromJsonPayload(response.ToJsonPayload(), &decoded,
+                                        &error))
+      << error;
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(decoded.error, "queue full");
+  EXPECT_EQ(decoded.id, "req-9");
+  EXPECT_EQ(decoded.retry_after_s, 1.25);
+}
+
+TEST(ResponseCodecTest, ErrorCodeNamesCoverEveryCode) {
+  for (ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kBadRequest, ErrorCode::kNotFound,
+        ErrorCode::kDeadlineExceeded, ErrorCode::kFrameTooLarge,
+        ErrorCode::kBadVersion, ErrorCode::kInternal,
+        ErrorCode::kOverloaded, ErrorCode::kDraining}) {
+    EXPECT_STRNE(ErrorCodeName(code), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace cqa::serve

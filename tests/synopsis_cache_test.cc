@@ -1,0 +1,242 @@
+// Synopsis-cache tests: LRU bookkeeping, single-flight builds, and —
+// through the serving engine — the core amortization claim: a second
+// identical request performs ZERO Preprocess work, asserted against the
+// preprocess.builds metric, not just timings.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cqa/preprocess.h"
+#include "gen/tpch.h"
+#include "obs/metrics.h"
+#include "query/parser.h"
+#include "serve/engine.h"
+#include "serve/synopsis_cache.h"
+#include "storage/tbl_io.h"
+#include "test_util.h"
+
+namespace cqa::serve {
+namespace {
+
+// A real (tiny) PreprocessResult to cache: the paper's running example.
+std::shared_ptr<const PreprocessResult> BuildEmployeeResult() {
+  testing::EmployeeFixture fixture;
+  ConjunctiveQuery q =
+      MustParseCq(*fixture.schema, "Q(N) :- employee(I, N, D).");
+  return std::make_shared<const PreprocessResult>(
+      BuildSynopses(*fixture.db, q));
+}
+
+TEST(SynopsisCacheKeyTest, DistinguishesEveryComponent) {
+  const std::string base = SynopsisCacheKey("/d", "tpch", "Q");
+  EXPECT_NE(base, SynopsisCacheKey("/e", "tpch", "Q"));
+  EXPECT_NE(base, SynopsisCacheKey("/d", "tpcds", "Q"));
+  EXPECT_NE(base, SynopsisCacheKey("/d", "tpch", "R"));
+  EXPECT_EQ(base, SynopsisCacheKey("/d", "tpch", "Q"));
+}
+
+TEST(SynopsisCacheTest, HitAfterBuild) {
+  SynopsisCache cache(4);
+  bool hit = true;
+  std::string error;
+  auto value = cache.GetOrBuild(
+      "k1", [](std::string*) { return BuildEmployeeResult(); }, &hit,
+      &error);
+  ASSERT_NE(value, nullptr);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.entries(), 1u);
+
+  auto again = cache.GetOrBuild(
+      "k1",
+      [](std::string*) -> std::shared_ptr<const PreprocessResult> {
+        ADD_FAILURE() << "builder ran on a cached key";
+        return nullptr;
+      },
+      &hit, &error);
+  EXPECT_EQ(again.get(), value.get());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SynopsisCacheTest, EvictsLeastRecentlyUsed) {
+  SynopsisCache cache(2);
+  bool hit = false;
+  std::string error;
+  auto build = [](std::string*) { return BuildEmployeeResult(); };
+  cache.GetOrBuild("a", build, &hit, &error);
+  cache.GetOrBuild("b", build, &hit, &error);
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_NE(cache.Get("a"), nullptr);
+  cache.GetOrBuild("c", build, &hit, &error);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+}
+
+TEST(SynopsisCacheTest, EvictionKeepsInUseEntriesAlive) {
+  SynopsisCache cache(1);
+  bool hit = false;
+  std::string error;
+  auto build = [](std::string*) { return BuildEmployeeResult(); };
+  auto held = cache.GetOrBuild("a", build, &hit, &error);
+  cache.GetOrBuild("b", build, &hit, &error);  // Evicts "a".
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  // The shared_ptr still owns the synopses; using them is safe.
+  ASSERT_NE(held, nullptr);
+  EXPECT_GT(held->NumAnswers(), 0u);
+}
+
+TEST(SynopsisCacheTest, FailedBuildIsNotCached) {
+  SynopsisCache cache(4);
+  bool hit = true;
+  std::string error;
+  auto failed = cache.GetOrBuild(
+      "k",
+      [](std::string* e) -> std::shared_ptr<const PreprocessResult> {
+        *e = "directory unreadable";
+        return nullptr;
+      },
+      &hit, &error);
+  EXPECT_EQ(failed, nullptr);
+  EXPECT_EQ(error, "directory unreadable");
+  EXPECT_EQ(cache.entries(), 0u);
+  // A retry gets a fresh build (failure was not tombstoned).
+  auto value = cache.GetOrBuild(
+      "k", [](std::string*) { return BuildEmployeeResult(); }, &hit,
+      &error);
+  EXPECT_NE(value, nullptr);
+}
+
+TEST(SynopsisCacheTest, SingleFlightUnderConcurrentMisses) {
+  SynopsisCache cache(4);
+  constexpr size_t kThreads = 8;
+  std::atomic<int> builds{0};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const PreprocessResult>> results(kThreads);
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      bool hit = false;
+      std::string error;
+      results[t] = cache.GetOrBuild(
+          "shared",
+          [&](std::string*) {
+            ++builds;
+            return BuildEmployeeResult();
+          },
+          &hit, &error);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(builds.load(), 1) << "single-flight must build exactly once";
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+}
+
+// ------------------------------------------------- engine-level caching.
+
+class EngineCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cqa_engine_cache_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    Dataset d = GenerateTpch(TpchOptions{0.0003, 17});
+    std::string error;
+    ASSERT_TRUE(WriteTblDirectory(*d.db, dir_.string(), &error)) << error;
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  Request MakeRequest() const {
+    Request request;
+    request.op = "query";
+    request.schema = "tpch";
+    request.data = dir_.string();
+    request.query =
+        "Q(NN) :- customer(CK, CN, CA, NK, CP, CB, CS, CC), "
+        "nation(NK, NN, RK, NC).";
+    request.scheme = "KLM";
+    request.seed = 5;
+    return request;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(EngineCacheTest, SecondIdenticalRequestSkipsPreprocessEntirely) {
+  CqaEngine engine(EngineOptions{});
+  Request request = MakeRequest();
+
+  Response first = engine.ExecuteQuery(request, Deadline::Infinite());
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.answers.size(), 0u);
+
+#ifndef CQABENCH_NO_OBS
+  const uint64_t builds_before =
+      obs::Registry::Instance().CounterValue("preprocess.builds");
+#endif
+  Response second = engine.ExecuteQuery(request, Deadline::Infinite());
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.preprocess_seconds, 0.0);
+#ifndef CQABENCH_NO_OBS
+  // The metrics-asserted core claim: the repeat request performed zero
+  // Preprocess work, not merely "was fast".
+  EXPECT_EQ(obs::Registry::Instance().CounterValue("preprocess.builds"),
+            builds_before);
+#endif
+  EXPECT_GE(engine.synopsis_cache().hits(), 1u);
+
+  // Same seed + serial scheme phase → identical estimates.
+  ASSERT_EQ(second.answers.size(), first.answers.size());
+  for (size_t i = 0; i < first.answers.size(); ++i) {
+    EXPECT_EQ(second.answers[i].tuple, first.answers[i].tuple);
+    EXPECT_DOUBLE_EQ(second.answers[i].frequency,
+                     first.answers[i].frequency);
+  }
+}
+
+TEST_F(EngineCacheTest, DifferentQueriesMissSeparately) {
+  CqaEngine engine(EngineOptions{});
+  Request request = MakeRequest();
+  ASSERT_TRUE(engine.ExecuteQuery(request, Deadline::Infinite()).ok());
+  Request other = MakeRequest();
+  other.query = "Q(CN) :- customer(CK, CN, CA, NK, CP, CB, CS, CC).";
+  Response response = engine.ExecuteQuery(other, Deadline::Infinite());
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_FALSE(response.cache_hit);
+  EXPECT_EQ(engine.synopsis_cache().entries(), 2u);
+}
+
+TEST_F(EngineCacheTest, MissingDataDirectoryIsNotFound) {
+  CqaEngine engine(EngineOptions{});
+  Request request = MakeRequest();
+  request.data = (dir_ / "no_such_subdir").string();
+  Response response = engine.ExecuteQuery(request, Deadline::Infinite());
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.code, ErrorCode::kNotFound);
+}
+
+TEST_F(EngineCacheTest, BadSchemeIsBadRequest) {
+  CqaEngine engine(EngineOptions{});
+  Request request = MakeRequest();
+  request.scheme = "Quantum";
+  Response response = engine.ExecuteQuery(request, Deadline::Infinite());
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.code, ErrorCode::kBadRequest);
+}
+
+}  // namespace
+}  // namespace cqa::serve

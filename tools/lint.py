@@ -24,6 +24,13 @@ Fast, dependency-free checks that encode conventions the compiler cannot:
      (the estimator loops draw in blocks; a subclass that forgets the
      override silently falls back to per-draw virtual dispatch) unless it
      is in the explicit opt-out set of test-only stub samplers.
+  7. Documentation discipline: (a) every public header under src/cqa and
+     src/serve opens with a file-level // comment (before the include
+     guard) saying what the module is; (b) every command-line flag
+     registered by the bench harness (bench/bench_flags.h), the CLI
+     (examples/cqa_cli.cpp), or the serving binaries (serve/cqad.cc,
+     serve/cqa_client.cc) is mentioned as --flag somewhere in README.md
+     or docs/, so the flag tables cannot silently drift from the code.
 
 Exit status is 0 iff the tree is clean.  Run from anywhere:
     python3 tools/lint.py
@@ -36,7 +43,7 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-SRC_DIRS = ["src", "bench", "tests", "examples"]
+SRC_DIRS = ["src", "bench", "tests", "examples", "serve"]
 CXX_SUFFIXES = {".cc", ".cpp", ".h"}
 
 # ---------------------------------------------------------------------------
@@ -200,6 +207,81 @@ def check_drawbatch_overrides(path: Path, rel: str, text: str,
 
 
 # ---------------------------------------------------------------------------
+# Check 7: documentation discipline -- header file comments + flag docs.
+# ---------------------------------------------------------------------------
+
+# Directories whose public headers must open with a file-level comment.
+DOC_HEADER_DIRS = ("src/cqa/", "src/serve/")
+
+# Flag-registering sources and how to extract their flag names.
+FLAG_VALIDATE_SOURCES = [
+    "examples/cqa_cli.cpp",
+    "serve/cqad.cc",
+    "serve/cqa_client.cc",
+]
+FLAG_LITERAL_SOURCES = ["bench/bench_flags.h"]
+VALIDATE_KEYS = re.compile(r"ValidateKeys\s*\(\s*\{([^}]*)\}", re.DOTALL)
+QUOTED_NAME = re.compile(r'"([A-Za-z0-9_]+)"')
+LITERAL_FLAG = re.compile(r'"--([A-Za-z0-9_]+)[="]')
+# Internal toggles that every CLI accepts but no table documents.
+FLAG_DOC_OPT_OUT = {"help"}
+
+
+def check_header_file_comment(path: Path, rel: str, text: str,
+                              errors: list[str]) -> None:
+    if path.suffix != ".h" or not rel.startswith(DOC_HEADER_DIRS):
+        return
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if not stripped.startswith("//"):
+            errors.append(
+                f"{rel}:1: public header has no file-level comment -- open "
+                f"with a // block describing the module before the include "
+                f"guard"
+            )
+        return
+
+
+def documented_flag_text() -> str:
+    parts = []
+    for name in ["README.md", "DESIGN.md", "EXPERIMENTS.md"]:
+        p = REPO / name
+        if p.is_file():
+            parts.append(p.read_text(encoding="utf-8", errors="replace"))
+    docs = REPO / "docs"
+    if docs.is_dir():
+        for p in sorted(docs.rglob("*.md")):
+            parts.append(p.read_text(encoding="utf-8", errors="replace"))
+    return "\n".join(parts)
+
+
+def check_flag_docs(errors: list[str]) -> None:
+    docs = documented_flag_text()
+    for rel in FLAG_VALIDATE_SOURCES + FLAG_LITERAL_SOURCES:
+        path = REPO / rel
+        if not path.is_file():
+            errors.append(f"{rel}: flag source listed in tools/lint.py "
+                          f"does not exist")
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        flags: set[str] = set()
+        if rel in FLAG_VALIDATE_SOURCES:
+            for match in VALIDATE_KEYS.finditer(text):
+                flags.update(QUOTED_NAME.findall(match.group(1)))
+        else:
+            flags.update(LITERAL_FLAG.findall(text))
+        for flag in sorted(flags - FLAG_DOC_OPT_OUT):
+            if f"--{flag}" not in docs:
+                errors.append(
+                    f"{rel}: flag --{flag} is not documented -- mention it "
+                    f"in README.md or docs/ (the flag tables must cover "
+                    f"every registered flag)"
+                )
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
@@ -227,8 +309,10 @@ def main() -> int:
         check_obs_macros(path, rel, text, errors)
         check_include_guard(path, rel, text, errors)
         check_drawbatch_overrides(path, rel, text, errors)
+        check_header_file_comment(path, rel, text, errors)
     check_test_references(errors)
     check_bench_json_flag(errors)
+    check_flag_docs(errors)
 
     if errors:
         for err in errors:

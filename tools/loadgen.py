@@ -1,0 +1,368 @@
+#!/usr/bin/env python3
+"""Load generator for cqad, the persistent CQA query service.
+
+Speaks the wire protocol from docs/protocol.md (4-byte big-endian length
+prefix + one JSON object per frame) with nothing but the Python standard
+library, drives a configurable number of concurrent connections at the
+daemon, and reports:
+
+  * client-side latency quantiles (p50/p95/p99) measured per request,
+  * the server's own view, read back through the `stats` op: the
+    serve.request_micros histogram quantiles plus synopsis-cache and
+    admission counters, so client- and server-side numbers can be
+    compared in one run.
+
+Typical session against an already-running daemon:
+
+    python3 tools/loadgen.py --port=7411 --data=/tmp/tpch \
+        --requests=200 --concurrency=16
+
+Self-contained session (spawns the daemon, generates a dataset, drives
+load, then SIGTERMs the daemon and verifies the graceful drain):
+
+    python3 tools/loadgen.py --spawn=build/serve/cqad \
+        --gen=build/examples/cqa_cli --sf=0.001 \
+        --requests=200 --concurrency=16
+
+By default requests rotate through all four schemes (Natural, KL, KLM,
+Cover) and a small set of seeds, so the daemon's synopsis cache is
+exercised with both hits and misses; pass --scheme to pin one.
+
+Exit status: 0 on success; 1 if any request failed with an unexpected
+error (503-shed responses are expected under deliberate overload and are
+counted, not failed, when --allow-shed is given) or the drain check
+fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import shutil
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+DEFAULT_QUERY = (
+    "Q(NN) :- customer(CK, CN, CA, NK, CP, CB, CS, CC), "
+    "nation(NK, NN, RK, NC)."
+)
+SCHEMES = ["Natural", "KL", "KLM", "Cover"]
+MAX_FRAME = 8 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol: length-prefixed JSON frames (docs/protocol.md).
+# ---------------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    sock.sendall(struct.pack(">I", len(body)) + body)
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n > 0:
+        chunk = sock.recv(n)
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    (length,) = struct.unpack(">I", recv_exact(sock, 4))
+    if length == 0 or length > MAX_FRAME:
+        raise ConnectionError(f"bad frame length {length}")
+    return json.loads(recv_exact(sock, length).decode("utf-8"))
+
+
+def call(host: str, port: int, payload: dict, timeout: float = 60.0) -> dict:
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_frame(sock, payload)
+        return recv_frame(sock)
+
+
+# ---------------------------------------------------------------------------
+# Worker pool.
+# ---------------------------------------------------------------------------
+
+class Stats:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies_s: list[float] = []
+        self.by_status: dict[str, int] = {}
+        self.cache_hits = 0
+        self.shed = 0
+        self.failures: list[str] = []
+
+    def record(self, elapsed: float, reply: dict) -> None:
+        status = reply.get("status", "?")
+        code = int(reply.get("code", 0))
+        with self.lock:
+            self.latencies_s.append(elapsed)
+            key = status if status == "ok" else f"error {code}"
+            self.by_status[key] = self.by_status.get(key, 0) + 1
+            if reply.get("cache") == "hit":
+                self.cache_hits += 1
+            if code == 503:
+                self.shed += 1
+
+    def fail(self, message: str) -> None:
+        with self.lock:
+            self.failures.append(message)
+
+
+def run_worker(args: argparse.Namespace, indices: list[int],
+               stats: Stats) -> None:
+    """One persistent connection issuing its slice of the request stream."""
+    try:
+        sock = socket.create_connection((args.host, args.port), timeout=60.0)
+    except OSError as err:
+        stats.fail(f"connect: {err}")
+        return
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        for i in indices:
+            payload = {
+                "v": 1,
+                "op": "query",
+                "id": f"loadgen-{i}",
+                "schema": args.schema,
+                "data": args.data,
+                "query": args.query,
+                "scheme": args.scheme or SCHEMES[i % len(SCHEMES)],
+                "epsilon": args.epsilon,
+                "delta": args.delta,
+                "seed": args.seed_base + (i // len(SCHEMES)) % args.seeds,
+            }
+            if args.deadline > 0:
+                payload["deadline_s"] = args.deadline
+            start = time.monotonic()
+            try:
+                send_frame(sock, payload)
+                reply = recv_frame(sock)
+            except (OSError, ConnectionError, ValueError) as err:
+                stats.fail(f"request {i}: {err}")
+                return
+            stats.record(time.monotonic() - start, reply)
+            status = reply.get("status")
+            code = int(reply.get("code", 0))
+            if status != "ok" and not (code == 503 and args.allow_shed):
+                stats.fail(
+                    f"request {i}: error {code}: {reply.get('error', '')}")
+    finally:
+        sock.close()
+
+
+# ---------------------------------------------------------------------------
+# Reporting.
+# ---------------------------------------------------------------------------
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return math.nan
+    pos = q * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def print_client_report(stats: Stats, wall_s: float) -> None:
+    lat = sorted(stats.latencies_s)
+    print(f"requests:      {len(lat)} in {wall_s:.2f}s "
+          f"({len(lat) / wall_s:.1f} req/s)" if wall_s > 0 else
+          f"requests:      {len(lat)}")
+    for key in sorted(stats.by_status):
+        print(f"  {key}: {stats.by_status[key]}")
+    print(f"  cache hits: {stats.cache_hits}")
+    if lat:
+        print("client-side latency:")
+        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            print(f"  {name}: {quantile(lat, q) * 1e3:9.2f} ms")
+        print(f"  max: {lat[-1] * 1e3:9.2f} ms")
+
+
+def print_server_report(host: str, port: int) -> None:
+    try:
+        reply = call(host, port, {"v": 1, "op": "stats"})
+    except (OSError, ConnectionError, ValueError) as err:
+        print(f"stats op failed: {err}", file=sys.stderr)
+        return
+    server = reply.get("server", {})
+    metrics = reply.get("metrics", {})
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    print("server-side view (stats op):")
+    for key in ("requests_total", "admission_shed", "cache_hits",
+                "cache_misses", "cache_evictions", "cache_entries"):
+        if key in server:
+            print(f"  {key}: {server[key]}")
+    micros = histograms.get("serve.request_micros")
+    if micros:
+        print("  serve.request_micros histogram:")
+        for name in ("p50", "p95", "p99"):
+            print(f"    {name}: {float(micros[name]) / 1e3:9.2f} ms")
+        print(f"    count: {micros['count']}, max: "
+              f"{float(micros['max']) / 1e3:.2f} ms")
+    builds = counters.get("preprocess.builds")
+    if builds is not None:
+        print(f"  preprocess.builds: {builds}")
+
+
+# ---------------------------------------------------------------------------
+# Optional daemon / dataset management.
+# ---------------------------------------------------------------------------
+
+def spawn_cqad(args: argparse.Namespace) -> subprocess.Popen:
+    cmd = [args.spawn, f"--host={args.host}", f"--port={args.port}",
+           f"--workers={args.workers}"]
+    if args.cqad_flag:
+        cmd.extend(args.cqad_flag)
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    # "cqad listening on HOST:PORT" — the daemon's readiness line.
+    if "cqad listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"unexpected cqad output: {line!r}")
+    args.port = int(line.rsplit(":", 1)[1])
+    print(f"spawned cqad pid {proc.pid} on {args.host}:{args.port}")
+    return proc
+
+
+def drain_cqad(proc: subprocess.Popen, timeout: float) -> bool:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        print("cqad did not drain before timeout", file=sys.stderr)
+        return False
+    assert proc.stdout is not None
+    tail = proc.stdout.read()
+    if "cqad drained cleanly" not in tail:
+        print(f"cqad exited without drain line; tail: {tail!r}",
+              file=sys.stderr)
+        return False
+    print("cqad drained cleanly on SIGTERM")
+    return proc.returncode == 0
+
+
+def generate_dataset(args: argparse.Namespace) -> str:
+    out = tempfile.mkdtemp(prefix="cqa_loadgen_")
+    cmd = [args.gen, "gen", f"--schema={args.schema}", f"--sf={args.sf}",
+           f"--out={out}", "--seed=17"]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Main.
+# ---------------------------------------------------------------------------
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="cqad port (required unless --spawn)")
+    parser.add_argument("--data", default="",
+                        help=".tbl directory (required unless --gen)")
+    parser.add_argument("--query", default=DEFAULT_QUERY)
+    parser.add_argument("--schema", default="tpch",
+                        choices=["tpch", "tpcds"])
+    parser.add_argument("--scheme", default="",
+                        help="pin one scheme; default rotates all four")
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--delta", type=float, default=0.25)
+    parser.add_argument("--deadline", type=float, default=0.0,
+                        help="per-request deadline seconds (0 = server default)")
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--seeds", type=int, default=2,
+                        help="distinct seeds to rotate through")
+    parser.add_argument("--seed-base", type=int, default=1)
+    parser.add_argument("--allow-shed", action="store_true",
+                        help="treat 503 responses as expected, not failures")
+    parser.add_argument("--spawn", default="",
+                        help="path to cqad: spawn it, drive it, SIGTERM it")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="worker threads for a spawned cqad")
+    parser.add_argument("--cqad-flag", action="append", default=[],
+                        help="extra flag passed through to a spawned cqad "
+                             "(repeatable), e.g. --cqad-flag=--max_queue=4")
+    parser.add_argument("--gen", default="",
+                        help="path to cqa_cli: generate a throwaway dataset")
+    parser.add_argument("--sf", type=float, default=0.001,
+                        help="scale factor for --gen")
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    generated_dir = ""
+    proc = None
+    ok = True
+    try:
+        if args.gen:
+            generated_dir = generate_dataset(args)
+            args.data = generated_dir
+            print(f"generated {args.schema} sf={args.sf} at {args.data}")
+        if not args.data:
+            print("error: --data (or --gen) is required", file=sys.stderr)
+            return 2
+        if args.spawn:
+            proc = spawn_cqad(args)
+        elif args.port == 0:
+            print("error: --port (or --spawn) is required", file=sys.stderr)
+            return 2
+
+        # Deal request indices round-robin so every worker sees the same
+        # scheme/seed mix and cache misses are front-loaded evenly.
+        slices: list[list[int]] = [[] for _ in range(args.concurrency)]
+        for i in range(args.requests):
+            slices[i % args.concurrency].append(i)
+        stats = Stats()
+        start = time.monotonic()
+        threads = [
+            threading.Thread(target=run_worker, args=(args, s, stats))
+            for s in slices if s
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.monotonic() - start
+
+        print_client_report(stats, wall)
+        print_server_report(args.host, args.port)
+        if stats.failures:
+            ok = False
+            for f in stats.failures[:10]:
+                print(f"FAIL: {f}", file=sys.stderr)
+            if len(stats.failures) > 10:
+                print(f"... and {len(stats.failures) - 10} more",
+                      file=sys.stderr)
+    finally:
+        if proc is not None:
+            if not drain_cqad(proc, timeout=30.0):
+                ok = False
+        if generated_dir:
+            shutil.rmtree(generated_dir, ignore_errors=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
