@@ -4,9 +4,13 @@
 //              [--host=ADDR] [--schema=tpch|tpcds]
 //              [--scheme=Natural|KL|KLM|Cover] [--epsilon=F] [--delta=F]
 //              [--deadline=S] [--seed=N] [--threads=N] [--record=1]
-//              [--id=STR]
+//              [--id=STR] [--trace=STR]
 //   cqa_client stats --port=N [--host=ADDR]
 //   cqa_client ping  --port=N [--host=ADDR]
+//
+// --trace attaches the given id as the request's trace context; the
+// server stamps its spans and access-log line with it, and the reply's
+// phase breakdown is printed as a "# timing" comment line.
 //
 // `query` prints the same answer lines as `cqa_cli run` (tuple TAB
 // frequency) so outputs diff cleanly against a local run with the same
@@ -58,7 +62,7 @@ int Usage() {
       "  query --data=DIR --query=Q [--schema=tpch|tpcds]\n"
       "        [--scheme=Natural|KL|KLM|Cover] [--epsilon=F] [--delta=F]\n"
       "        [--deadline=S] [--seed=N] [--threads=N] [--record=1]\n"
-      "        [--id=STR]\n"
+      "        [--id=STR] [--trace=STR]\n"
       "  stats\n"
       "  ping\n");
   return 2;
@@ -92,7 +96,7 @@ int main(int argc, char** argv) {
   if (args.command == "query") {
     if (!args.ValidateKeys({"host", "port", "data", "query", "schema",
                             "scheme", "epsilon", "delta", "deadline", "seed",
-                            "threads", "record", "id"})) {
+                            "threads", "record", "id", "trace"})) {
       return Usage();
     }
     request.op = "query";
@@ -107,6 +111,7 @@ int main(int argc, char** argv) {
     request.threads = static_cast<int>(args.GetDouble("threads", 1));
     request.want_record = args.GetDouble("record", 0) != 0;
     request.id = args.Get("id", "");
+    request.trace_id = args.Get("trace", "");
     if (request.data.empty() || request.query.empty()) {
       std::fprintf(stderr, "error: query needs --data and --query\n");
       return Usage();
@@ -143,6 +148,17 @@ int main(int argc, char** argv) {
                 response.preprocess_seconds, response.scheme_seconds,
                 static_cast<unsigned long long>(response.total_samples),
                 response.timed_out ? " (TIMED OUT, partial)" : "");
+    if (response.timing.recorded) {
+      std::printf(
+          "# timing: queue_wait %llu us, cache %llu us, preprocess %llu us, "
+          "sample %llu us, encode %llu us, total %llu us\n",
+          static_cast<unsigned long long>(response.timing.queue_wait_micros),
+          static_cast<unsigned long long>(response.timing.cache_micros),
+          static_cast<unsigned long long>(response.timing.preprocess_micros),
+          static_cast<unsigned long long>(response.timing.sample_micros),
+          static_cast<unsigned long long>(response.timing.encode_micros),
+          static_cast<unsigned long long>(response.timing.total_micros));
+    }
     for (const serve::ResponseAnswer& a : response.answers) {
       std::printf("%s\t%.6f\n", a.tuple.c_str(), a.frequency);
     }

@@ -8,17 +8,27 @@
 //        [--max_frame_mb=8] [--drain_timeout=10]
 //        [--cache_entries=64] [--db_cache_entries=4]
 //        [--default_deadline=30] [--obs_report=FILE]
+//        [--metrics_port=N] [--obs_access_log=FILE]
+//        [--obs_access_sample=P] [--obs_access_slow_ms=N]
+//        [--obs_trace=FILE]
 //
 // Prints one line "cqad listening on HOST:PORT" once ready (loadgen and
-// the e2e tests parse it), then serves until SIGTERM/SIGINT, which
-// triggers the graceful drain documented in DESIGN.md §9.
+// the e2e tests parse it), then — when --metrics_port was given — a
+// second line "cqad metrics on HOST:PORT" for the Prometheus /metrics +
+// /healthz listener. Serves until SIGTERM/SIGINT, which triggers the
+// graceful drain documented in DESIGN.md §9; --obs_trace exports the
+// span ring as JSONL after the drain completes.
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include "obs/exposition.h"
 #include "obs/report.h"
+#include "obs/trace.h"
+#include "serve/access_log.h"
+#include "serve/metrics_http.h"
 #include "serve/server.h"
 
 using namespace cqa;
@@ -57,7 +67,10 @@ int Usage() {
       "            [--max_inflight=N] [--max_queue=N] [--max_pending=N]\n"
       "            [--max_frame_mb=N] [--drain_timeout=S]\n"
       "            [--cache_entries=N] [--db_cache_entries=N]\n"
-      "            [--default_deadline=S] [--obs_report=FILE]\n");
+      "            [--default_deadline=S] [--obs_report=FILE]\n"
+      "            [--metrics_port=N] [--obs_access_log=FILE]\n"
+      "            [--obs_access_sample=P] [--obs_access_slow_ms=N]\n"
+      "            [--obs_trace=FILE]\n");
   return 2;
 }
 
@@ -76,7 +89,9 @@ int main(int argc, char** argv) {
                           "max_queue", "max_pending", "max_frame_mb",
                           "drain_timeout", "cache_entries",
                           "db_cache_entries", "default_deadline",
-                          "obs_report"})) {
+                          "obs_report", "metrics_port", "obs_access_log",
+                          "obs_access_sample", "obs_access_slow_ms",
+                          "obs_trace"})) {
     return Usage();
   }
 
@@ -109,6 +124,21 @@ int main(int argc, char** argv) {
     options.engine.reporter = &reporter;
   }
 
+  serve::AccessLog access_log(serve::AccessLogOptions{
+      args.Get("obs_access_log", ""),
+      args.GetDouble("obs_access_sample", 1.0),
+      static_cast<uint64_t>(args.GetDouble("obs_access_slow_ms", 500) *
+                            1000.0),
+      7});
+  if (!args.Get("obs_access_log", "").empty()) {
+    std::string error;
+    if (!access_log.Open(&error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    options.access_log = &access_log;
+  }
+
   serve::CqadServer::InstallSignalHandlers();
   serve::CqadServer server(options);
   std::string error;
@@ -119,7 +149,34 @@ int main(int argc, char** argv) {
   std::printf("cqad listening on %s:%d\n", options.host.c_str(),
               server.port());
   std::fflush(stdout);
+
+  serve::MetricsHttpServer metrics_http(serve::MetricsHttpOptions{
+      options.host,
+      static_cast<int>(args.GetDouble("metrics_port", -1)),
+      [] { return obs::RegistryPrometheusText(); },
+      [&server] { return !server.draining(); }});
+  if (args.flags.count("metrics_port") != 0) {
+    if (!metrics_http.Start(&error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      server.RequestDrain();
+      server.Wait();
+      return 1;
+    }
+    std::printf("cqad metrics on %s:%d\n", options.host.c_str(),
+                metrics_http.port());
+    std::fflush(stdout);
+  }
+
   server.Wait();
+  metrics_http.Stop();
+  std::string trace_path = args.Get("obs_trace", "");
+  if (!trace_path.empty()) {
+    std::string trace_error;
+    if (!obs::TraceBuffer::Instance().ExportJsonl(trace_path,
+                                                  &trace_error)) {
+      std::fprintf(stderr, "warning: %s\n", trace_error.c_str());
+    }
+  }
   std::printf("cqad drained cleanly\n");
   return 0;
 }

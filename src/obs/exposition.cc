@@ -1,0 +1,89 @@
+#include "obs/exposition.h"
+
+#include <cstdio>
+
+namespace cqa::obs {
+
+namespace {
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+void AppendHistogram(std::string* out, const HistogramSnapshot& h) {
+  const std::string name = PrometheusMetricName(h.name);
+  *out += "# TYPE " + name + " histogram\n";
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < h.buckets.size(); ++b) {
+    cumulative += h.buckets[b];
+    *out += name + "_bucket{le=\"";
+    if (b + 1 == h.buckets.size()) {
+      *out += "+Inf";
+    } else if (b == 0) {
+      *out += '0';  // Bucket 0 holds exactly the zero observations.
+    } else {
+      // Bucket b holds integer values in [2^(b-1), 2^b), whose inclusive
+      // upper bound is 2^b - 1.
+      AppendUint(out, (uint64_t{1} << b) - 1);
+    }
+    *out += "\"} ";
+    AppendUint(out, cumulative);
+    *out += '\n';
+  }
+  *out += name + "_sum ";
+  AppendUint(out, h.sum);
+  *out += '\n';
+  *out += name + "_count ";
+  AppendUint(out, h.count);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "cqa_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusText(const std::vector<CounterSnapshot>& counters,
+                           const std::vector<GaugeSnapshot>& gauges,
+                           const std::vector<HistogramSnapshot>& histograms) {
+  std::string out;
+  for (const CounterSnapshot& c : counters) {
+    const std::string name = PrometheusMetricName(c.name) + "_total";
+    out += "# TYPE " + name + " counter\n" + name + ' ';
+    AppendUint(&out, c.value);
+    out += '\n';
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    const std::string name = PrometheusMetricName(g.name);
+    out += "# TYPE " + name + " gauge\n" + name + ' ';
+    AppendInt(&out, g.value);
+    out += '\n';
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    AppendHistogram(&out, h);
+  }
+  return out;
+}
+
+std::string RegistryPrometheusText() {
+  const Registry& reg = Registry::Instance();
+  return PrometheusText(reg.Counters(), reg.Gauges(), reg.Histograms());
+}
+
+}  // namespace cqa::obs

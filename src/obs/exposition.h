@@ -1,0 +1,41 @@
+// obs/exposition — Prometheus text-format exposition (version 0.0.4) of
+// the metrics registry, so a long-running cqad is scrapeable by stock
+// tooling. Pure functions over metric snapshots: the golden-format test
+// feeds hand-built snapshots, the serving layer's /metrics endpoint
+// feeds a live Registry snapshot through RegistryPrometheusText().
+//
+// Name mapping: every registry name is prefixed with "cqa_" and every
+// character outside [a-zA-Z0-9_] becomes '_', so "serve.request_micros"
+// exports as "cqa_serve_request_micros". Counters additionally get the
+// conventional "_total" suffix. The power-of-two histogram buckets map
+// onto cumulative `le` boundaries exactly: observed values are integers,
+// bucket b holds [2^(b-1), 2^b), so its inclusive upper bound is
+// 2^b - 1 (bucket 0, which holds only zeros, gets le="0"); the final
+// bucket is "+Inf".
+#ifndef CQABENCH_OBS_EXPOSITION_H_
+#define CQABENCH_OBS_EXPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cqa::obs {
+
+/// "serve.request_micros" -> "cqa_serve_request_micros".
+std::string PrometheusMetricName(const std::string& name);
+
+/// Renders full exposition text (# TYPE lines + samples) for the given
+/// snapshots, in the order given. Deterministic: same snapshots, same
+/// bytes — the golden-file test relies on it.
+std::string PrometheusText(const std::vector<CounterSnapshot>& counters,
+                           const std::vector<GaugeSnapshot>& gauges,
+                           const std::vector<HistogramSnapshot>& histograms);
+
+/// Exposition text for a point-in-time snapshot of the process-wide
+/// Registry (what GET /metrics serves).
+std::string RegistryPrometheusText();
+
+}  // namespace cqa::obs
+
+#endif  // CQABENCH_OBS_EXPOSITION_H_

@@ -105,6 +105,13 @@ Counter* Registry::GetCounter(const std::string& name) {
   return it->second.get();
 }
 
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return it->second.get();
+}
+
 Histogram* Registry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = histograms_.emplace(name, nullptr);
@@ -116,6 +123,12 @@ uint64_t Registry::CounterValue(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
+}
+
+int64_t Registry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -138,6 +151,16 @@ std::vector<CounterSnapshot> Registry::Counters() const {
   return out;
 }
 
+std::vector<GaugeSnapshot> Registry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSnapshot> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back(GaugeSnapshot{name, gauge->value()});
+  }
+  return out;
+}
+
 std::vector<HistogramSnapshot> Registry::Histograms() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<HistogramSnapshot> out;
@@ -153,6 +176,7 @@ std::vector<HistogramSnapshot> Registry::Histograms() const {
 void Registry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
@@ -165,6 +189,15 @@ std::string Registry::ToJson() const {
     out += '"';
     AppendEscaped(&out, c.name);
     out += "\":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSnapshot& g : Gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, g.name);
+    out += "\":" + std::to_string(g.value);
   }
   out += "},\"histograms\":{";
   first = true;

@@ -58,9 +58,32 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+/// A named instantaneous value (queue depths, open connections). Unlike
+/// Counter it moves both ways: Set overwrites, Add applies a signed
+/// delta. Updates are relaxed atomics, cheap enough for per-request
+/// state transitions; unlike the CQA_OBS_* counter sites, gauge call
+/// sites update via cached pointers *unconditionally* (no NO_OBS
+/// compile-out) because serving state must stay accurate for the
+/// `stats` op in every build mode.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 struct CounterSnapshot {
   std::string name;
   uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
 };
 
 struct HistogramSnapshot {
@@ -86,9 +109,10 @@ class Registry {
  public:
   static Registry& Instance();
 
-  /// Returns the counter/histogram with this name, creating it on first
-  /// use. The pointer is stable for the process lifetime.
+  /// Returns the counter/gauge/histogram with this name, creating it on
+  /// first use. The pointer is stable for the process lifetime.
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -99,14 +123,19 @@ class Registry {
   /// Current value of a counter; 0 when it was never registered.
   uint64_t CounterValue(const std::string& name) const;
 
+  /// Current value of a gauge; 0 when it was never registered.
+  int64_t GaugeValue(const std::string& name) const;
+
   std::vector<CounterSnapshot> Counters() const;
+  std::vector<GaugeSnapshot> Gauges() const;
   std::vector<HistogramSnapshot> Histograms() const;
 
   /// Zeroes every registered metric in place (pointers stay valid).
   void Reset();
 
-  /// One JSON object {"counters": {...}, "histograms": {...}} — the
-  /// profile dump of the CLI and the harness binaries.
+  /// One JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} — the profile dump of the CLI, the harness
+  /// binaries, and the cqad `stats` op.
   std::string ToJson() const;
 
  private:
@@ -115,6 +144,7 @@ class Registry {
   std::atomic<bool> enabled_{true};
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

@@ -27,15 +27,51 @@ uint32_t ThisThreadId() {
 
 #endif  // !CQABENCH_NO_OBS
 
+/// Escapes a client-supplied trace id for embedding in a JSON string.
+/// Span *names* are string literals (a lint rule enforces it), but the
+/// trace id arrives over the wire and must not be trusted.
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
 void AppendSpanJson(std::string* out, const SpanRecord& r) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"%s\",\"start_s\":%.9f,\"dur_s\":%.9f,"
-                "\"id\":%llu,\"parent_id\":%llu,\"thread\":%u}\n",
+                "\"id\":%llu,\"parent_id\":%llu,\"thread\":%u",
                 r.name, r.start_seconds, r.duration_seconds,
                 static_cast<unsigned long long>(r.id),
                 static_cast<unsigned long long>(r.parent_id), r.thread_id);
   *out += buf;
+  if (!r.trace_id.empty()) {
+    *out += ",\"trace_id\":\"";
+    AppendEscaped(out, r.trace_id);
+    *out += '"';
+  }
+  *out += "}\n";
 }
 
 }  // namespace
@@ -159,11 +195,17 @@ void TraceBuffer::AppendChromeTrace(std::string* out) const {
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"%s\",\"cat\":\"cqa\",\"ph\":\"X\","
                   "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
-                  "\"args\":{\"id\":%llu,\"parent_id\":%llu}}",
+                  "\"args\":{\"id\":%llu,\"parent_id\":%llu",
                   r.name, r.start_seconds * 1e6, r.duration_seconds * 1e6,
                   r.thread_id, static_cast<unsigned long long>(r.id),
                   static_cast<unsigned long long>(r.parent_id));
     *out += buf;
+    if (!r.trace_id.empty()) {
+      *out += ",\"trace_id\":\"";
+      AppendEscaped(out, r.trace_id);
+      *out += '"';
+    }
+    *out += "}}";
   }
   char tail[128];
   std::snprintf(tail, sizeof(tail),
@@ -194,6 +236,16 @@ TraceSpan::TraceSpan(const char* name, uint64_t parent_id)
   start_ = SteadyClock::now();
 }
 
+TraceSpan::TraceSpan(const char* name, uint64_t parent_id,
+                     const std::string& trace_id)
+    : name_(name),
+      id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
+      parent_id_(parent_id),
+      trace_id_(trace_id) {
+  Epoch();
+  start_ = SteadyClock::now();
+}
+
 double TraceSpan::ElapsedSeconds() const {
   return std::chrono::duration<double>(SteadyClock::now() - start_).count();
 }
@@ -207,6 +259,7 @@ TraceSpan::~TraceSpan() {
   record.id = id_;
   record.parent_id = parent_id_;
   record.thread_id = ThisThreadId();
+  record.trace_id = trace_id_;
   TraceBuffer::Instance().Record(record);
 }
 

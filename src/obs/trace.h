@@ -11,7 +11,9 @@ namespace cqa::obs {
 
 /// One completed span. `name` must point at a string literal (the RAII
 /// span takes `const char*` precisely so no allocation happens on the
-/// instrumented path).
+/// instrumented path). `trace_id` is the wire-propagated request trace
+/// context (empty for the hot-path sampler/estimator spans, so the
+/// common case still allocates nothing).
 struct SpanRecord {
   const char* name = "";
   /// Start offset from the process trace epoch, seconds (monotonic).
@@ -20,6 +22,9 @@ struct SpanRecord {
   uint64_t id = 0;
   uint64_t parent_id = 0;  // 0 = root span.
   uint32_t thread_id = 0;  // Hashed std::thread::id.
+  /// Client-chosen request trace id, propagated over the wire by the
+  /// serving layer; empty for spans outside a traced request.
+  std::string trace_id;
 };
 
 /// Process-wide bounded ring buffer of completed spans. Recording takes a
@@ -49,6 +54,7 @@ class TraceBuffer {
   /// "buffered_spans":...} followed by one JSON object per buffered span:
   ///   {"name":...,"start_s":...,"dur_s":...,"id":...,"parent_id":...,
   ///    "thread":...}
+  /// Spans carrying a request trace context add "trace_id":"...".
   bool ExportJsonl(const std::string& path, std::string* error) const;
   void AppendJsonl(std::string* out) const;
 
@@ -81,6 +87,8 @@ class TraceBuffer {
 class TraceSpan {
  public:
   explicit TraceSpan(const char* /*name*/, uint64_t /*parent_id*/ = 0) {}
+  TraceSpan(const char* /*name*/, uint64_t /*parent_id*/,
+            const std::string& /*trace_id*/) {}
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
@@ -93,10 +101,14 @@ class TraceSpan {
 /// RAII phase marker: records a SpanRecord into the TraceBuffer at
 /// destruction. `name` must be a string literal. Pass a parent span's
 /// id() to nest (across threads too — the parallel workers hang their
-/// per-worker spans off the main-loop span).
+/// per-worker spans off the main-loop span). The three-argument form
+/// additionally stamps the span with a request trace id (the serving
+/// layer's wire-propagated TraceContext); pay the string copy only on
+/// request spans, never on the sampling hot path.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, uint64_t parent_id = 0);
+  TraceSpan(const char* name, uint64_t parent_id, const std::string& trace_id);
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -108,6 +120,7 @@ class TraceSpan {
   const char* name_;
   uint64_t id_;
   uint64_t parent_id_;
+  std::string trace_id_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,90 @@
+// serve/access_log — structured per-request JSONL access log for cqad
+// (the file behind --obs_access_log=). One line per handled request:
+// trace id, op, scheme, cache hit/miss, error code, and the phase
+// latency breakdown, so offline tooling can join server-side phases
+// against client-side latencies via the wire-propagated trace id.
+//
+// Volume control: lines are sampled with probability --obs_access_sample
+// (an own-seeded cqa::Rng draw per request), but a request is *always*
+// logged when it errored or when its total handling time reached
+// --obs_access_slow_ms — the slow/failed tail is exactly what the log
+// exists to explain, so it must never be sampled away.
+#ifndef CQABENCH_SERVE_ACCESS_LOG_H_
+#define CQABENCH_SERVE_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "serve/protocol.h"
+
+namespace cqa::serve {
+
+struct AccessLogOptions {
+  std::string path;
+  /// Probability a non-slow, non-error request line is written. 1 logs
+  /// everything, 0 logs only slow requests and errors.
+  double sample_rate = 1.0;
+  /// Requests whose total handling time reaches this are always logged.
+  uint64_t slow_micros = 500000;
+  /// Seed for the sampling Rng (deterministic tests).
+  uint64_t seed = 0x5DEECE66DULL;
+};
+
+/// What one request contributes to the log. The server fills it from the
+/// decoded request plus the response it is about to send.
+struct AccessLogEntry {
+  std::string trace_id;    // Empty when the client sent no trace context.
+  std::string request_id;  // The request's "id" field, possibly empty.
+  std::string op;          // "query" | "stats" | "ping".
+  std::string scheme;      // Query op only.
+  bool cache_hit = false;  // Query op only; meaningful iff code == kOk.
+  ErrorCode code = ErrorCode::kOk;
+  bool timed_out = false;
+  PhaseTiming timing;      // Phase micros; total_micros drives slow-logging.
+  uint64_t total_samples = 0;
+};
+
+/// Append-only JSONL writer, thread-safe (one mutex around the sampling
+/// draw and the write; access-log lines are tiny compared to a query's
+/// service time). Line schema is documented in docs/protocol.md and
+/// locked down by tests/access_log_test.
+class AccessLog {
+ public:
+  explicit AccessLog(const AccessLogOptions& options);
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Opens the log file for appending. False with *error on failure.
+  bool Open(std::string* error);
+
+  /// Logs or samples out one request. Safe from any worker thread.
+  void Append(const AccessLogEntry& entry);
+
+  double sample_rate() const { return options_.sample_rate; }
+  /// Lines actually written so far.
+  uint64_t lines() const;
+  /// Requests dropped by the sampling draw.
+  uint64_t sampled_out() const;
+
+  /// Renders one entry as its JSONL line (without trailing newline
+  /// decisions — the returned string ends in '\n'). Exposed for tests.
+  static std::string FormatLine(const AccessLogEntry& entry,
+                                uint64_t unix_ms, bool slow);
+
+ private:
+  const AccessLogOptions options_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  Rng rng_;
+  uint64_t lines_ = 0;
+  uint64_t sampled_out_ = 0;
+};
+
+}  // namespace cqa::serve
+
+#endif  // CQABENCH_SERVE_ACCESS_LOG_H_

@@ -10,13 +10,18 @@ namespace cqa::serve {
 
 AdmissionController::AdmissionController(const AdmissionOptions& options)
     : max_inflight_(options.max_inflight == 0 ? 1 : options.max_inflight),
-      max_queue_(options.max_queue) {}
+      max_queue_(options.max_queue),
+      inflight_gauge_(
+          obs::Registry::Instance().GetGauge("serve.admission_inflight")),
+      queued_gauge_(
+          obs::Registry::Instance().GetGauge("serve.admission_queued")) {}
 
 Admission AdmissionController::Enter(const Deadline& deadline) {
   std::unique_lock<std::mutex> lock(mu_);
   if (shutdown_) return Admission::kShutdown;
   if (queued_ == 0 && inflight_ < max_inflight_) {
     ++inflight_;
+    inflight_gauge_->Set(static_cast<int64_t>(inflight_));
     CQA_OBS_COUNT("serve.admission_admitted");
     return Admission::kAdmitted;
   }
@@ -27,6 +32,7 @@ Admission AdmissionController::Enter(const Deadline& deadline) {
   }
   const uint64_t ticket = next_ticket_++;
   ++queued_;
+  queued_gauge_->Set(static_cast<int64_t>(queued_));
   CQA_OBS_OBSERVE("serve.admission_queue_depth", queued_);
   auto may_proceed = [&] {
     return shutdown_ ||
@@ -44,6 +50,7 @@ Admission AdmissionController::Enter(const Deadline& deadline) {
     expired = !slot_cv_.wait_until(lock, until, may_proceed);
   }
   --queued_;
+  queued_gauge_->Set(static_cast<int64_t>(queued_));
   if (shutdown_) {
     AdvancePast(ticket);
     return Admission::kShutdown;
@@ -59,6 +66,7 @@ Admission AdmissionController::Enter(const Deadline& deadline) {
   // next live waiter sees its turn.
   while (abandoned_.erase(serving_ticket_) > 0) ++serving_ticket_;
   ++inflight_;
+  inflight_gauge_->Set(static_cast<int64_t>(inflight_));
   CQA_OBS_COUNT("serve.admission_admitted");
   slot_cv_.notify_all();
   return Admission::kAdmitted;
@@ -80,6 +88,7 @@ void AdmissionController::AdvancePast(uint64_t ticket) {
 void AdmissionController::Leave(double service_seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   if (inflight_ > 0) --inflight_;
+  inflight_gauge_->Set(static_cast<int64_t>(inflight_));
   // EWMA with alpha 0.2: smooth enough to ride out one slow query, fresh
   // enough to track a workload shift within a handful of requests.
   ewma_service_seconds_ =

@@ -15,6 +15,7 @@
 #include <set>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace cqa::serve {
 
@@ -70,6 +71,11 @@ class AdmissionController {
 
   const size_t max_inflight_;
   const size_t max_queue_;
+  // Process-wide gauges mirroring inflight_/queued_ for /metrics and
+  // `stats`. Updated unconditionally (not via the NO_OBS-gated macros):
+  // admission state must stay accurate in every build mode.
+  obs::Gauge* const inflight_gauge_;
+  obs::Gauge* const queued_gauge_;
   mutable std::mutex mu_;
   std::condition_variable slot_cv_;
   size_t inflight_ = 0;

@@ -11,6 +11,7 @@
 #include "gen/tpcds.h"
 #include "gen/tpch.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "storage/tbl_io.h"
 #include "storage/tuple.h"
@@ -83,7 +84,8 @@ std::shared_ptr<LoadedDatabase> CqaEngine::GetDatabase(
 }
 
 Response CqaEngine::ExecuteQuery(const Request& request,
-                                 const Deadline& deadline) {
+                                 const Deadline& deadline,
+                                 uint64_t parent_span) {
   Response response;
   response.id = request.id;
 
@@ -94,6 +96,10 @@ Response CqaEngine::ExecuteQuery(const Request& request,
                                request.id);
   }
 
+  // The preprocess phase accumulates everything that stands between the
+  // wire request and runnable synopses: database load, query parse, and
+  // (on a cache miss) the synopsis build inside the cache's flight.
+  Stopwatch preprocess_watch;
   ErrorCode code = ErrorCode::kOk;
   std::string error;
   std::shared_ptr<LoadedDatabase> db =
@@ -105,23 +111,46 @@ Response CqaEngine::ExecuteQuery(const Request& request,
     return Response::MakeError(ErrorCode::kBadRequest,
                                "query parse error: " + error, request.id);
   }
+  const uint64_t load_parse_micros =
+      static_cast<uint64_t>(preprocess_watch.ElapsedSeconds() * 1e6);
 
   const std::string cache_key =
       SynopsisCacheKey(CanonicalDataPath(request.data), request.schema,
                        request.query);
   bool cache_hit = false;
-  std::shared_ptr<const PreprocessResult> pre = synopsis_cache_.GetOrBuild(
-      cache_key,
-      [&](std::string* build_error) -> std::shared_ptr<const PreprocessResult> {
-        // DatabaseIndexCache is single-threaded; one build at a time per
-        // database (builds for *other* databases proceed in parallel).
-        std::lock_guard<std::mutex> build_lock(db->preprocess_mu);
-        PreprocessResult result =
-            BuildSynopses(db->db, query, &db->index_cache);
-        (void)build_error;
-        return std::make_shared<const PreprocessResult>(std::move(result));
-      },
-      &cache_hit, &error);
+  uint64_t build_micros = 0;
+  std::shared_ptr<const PreprocessResult> pre;
+  Stopwatch cache_watch;
+  {
+    obs::TraceSpan cache_span("serve.cache", parent_span, request.trace_id);
+    pre = synopsis_cache_.GetOrBuild(
+        cache_key,
+        [&](std::string* build_error)
+            -> std::shared_ptr<const PreprocessResult> {
+          obs::TraceSpan build_span("serve.preprocess", cache_span.id(),
+                                    request.trace_id);
+          Stopwatch build_watch;
+          // DatabaseIndexCache is single-threaded; one build at a time per
+          // database (builds for *other* databases proceed in parallel).
+          std::lock_guard<std::mutex> build_lock(db->preprocess_mu);
+          PreprocessResult result =
+              BuildSynopses(db->db, query, &db->index_cache);
+          (void)build_error;
+          build_micros =
+              static_cast<uint64_t>(build_watch.ElapsedSeconds() * 1e6);
+          return std::make_shared<const PreprocessResult>(std::move(result));
+        },
+        &cache_hit, &error);
+  }
+  const uint64_t cache_total_micros =
+      static_cast<uint64_t>(cache_watch.ElapsedSeconds() * 1e6);
+  response.timing.recorded = true;
+  // Cache overhead is the lookup minus the build it ran on this thread;
+  // for a single-flight waiter it is the whole wait on the builder.
+  response.timing.cache_micros =
+      cache_total_micros > build_micros ? cache_total_micros - build_micros
+                                        : 0;
+  response.timing.preprocess_micros = load_parse_micros + build_micros;
   if (pre == nullptr) {
     return Response::MakeError(ErrorCode::kInternal,
                                "preprocess failed: " + error, request.id);
@@ -138,37 +167,48 @@ Response CqaEngine::ExecuteQuery(const Request& request,
   params.num_threads = request.threads;
   Rng rng(request.seed);
   Stopwatch watch;
-  CqaRunResult run =
-      ApxCqaOnSynopses(*pre, *scheme, params, rng, deadline);
+  CqaRunResult run;
+  {
+    obs::TraceSpan sample_span("serve.sample", parent_span, request.trace_id);
+    run = ApxCqaOnSynopses(*pre, *scheme, params, rng, deadline);
+  }
   const double total_seconds = watch.ElapsedSeconds();
+  response.timing.sample_micros =
+      static_cast<uint64_t>(total_seconds * 1e6);
 
-  response.code = ErrorCode::kOk;
-  response.cache_hit = cache_hit;
-  response.timed_out = run.timed_out;
-  // Report the preprocessing this request actually paid: 0 when the
-  // synopses came from cache (that is the service's amortization win).
-  response.preprocess_seconds = cache_hit ? 0.0 : pre->stats().seconds;
-  response.scheme_seconds = run.scheme_seconds;
-  response.total_samples = run.total_samples;
-  response.answers.reserve(run.answers.size());
-  for (const CqaAnswer& answer : run.answers) {
-    response.answers.push_back(
-        ResponseAnswer{TupleToString(answer.tuple), answer.frequency});
-  }
-
-  if (request.want_record || options_.reporter != nullptr) {
-    obs::RunContext context;
-    context.scenario = "cqad";
-    context.x_label = "seed";
-    context.x = static_cast<double>(request.seed);
-    obs::RunRecord record =
-        MakeRunRecord(run, *scheme, context, total_seconds);
-    record.preprocess_seconds = cache_hit ? 0.0 : pre->stats().seconds;
-    if (request.want_record) {
-      response.run_record_json = obs::RunRecordToJson(record);
+  Stopwatch encode_watch;
+  {
+    obs::TraceSpan encode_span("serve.encode", parent_span, request.trace_id);
+    response.code = ErrorCode::kOk;
+    response.cache_hit = cache_hit;
+    response.timed_out = run.timed_out;
+    // Report the preprocessing this request actually paid: 0 when the
+    // synopses came from cache (that is the service's amortization win).
+    response.preprocess_seconds = cache_hit ? 0.0 : pre->stats().seconds;
+    response.scheme_seconds = run.scheme_seconds;
+    response.total_samples = run.total_samples;
+    response.answers.reserve(run.answers.size());
+    for (const CqaAnswer& answer : run.answers) {
+      response.answers.push_back(
+          ResponseAnswer{TupleToString(answer.tuple), answer.frequency});
     }
-    if (options_.reporter != nullptr) options_.reporter->Add(record);
+
+    if (request.want_record || options_.reporter != nullptr) {
+      obs::RunContext context;
+      context.scenario = "cqad";
+      context.x_label = "seed";
+      context.x = static_cast<double>(request.seed);
+      obs::RunRecord record =
+          MakeRunRecord(run, *scheme, context, total_seconds);
+      record.preprocess_seconds = cache_hit ? 0.0 : pre->stats().seconds;
+      if (request.want_record) {
+        response.run_record_json = obs::RunRecordToJson(record);
+      }
+      if (options_.reporter != nullptr) options_.reporter->Add(record);
+    }
   }
+  response.timing.encode_micros =
+      static_cast<uint64_t>(encode_watch.ElapsedSeconds() * 1e6);
 
   CQA_OBS_COUNT("serve.queries");
   if (run.timed_out) CQA_OBS_COUNT("serve.query_timeouts");

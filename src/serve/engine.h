@@ -64,7 +64,14 @@ class CqaEngine {
   /// deadline (normally via MakeDeadline) when the request is *received*,
   /// so queue wait and preprocessing count against the budget. Never
   /// throws.
-  Response ExecuteQuery(const Request& request, const Deadline& deadline);
+  ///
+  /// `parent_span` hangs the engine's phase spans (serve.cache,
+  /// serve.preprocess, serve.sample, serve.encode) off the server's
+  /// per-request root span; 0 records them as roots. Ok responses carry
+  /// the cache/preprocess/sample/encode slots of response.timing filled
+  /// (the server adds queue_wait and total).
+  Response ExecuteQuery(const Request& request, const Deadline& deadline,
+                        uint64_t parent_span = 0);
 
   SynopsisCache& synopsis_cache() { return synopsis_cache_; }
   const SynopsisCache& synopsis_cache() const { return synopsis_cache_; }

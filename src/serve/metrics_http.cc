@@ -1,0 +1,186 @@
+#include "serve/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cqa::serve {
+
+namespace {
+
+constexpr int kPollTickMs = 100;
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+std::string HttpResponse(int status, const std::string& reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(const MetricsHttpOptions& options)
+    : options_(options) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+bool MetricsHttpServer::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid metrics listen address: " + options_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    *error = "bind metrics " + options_.host + ":" +
+             std::to_string(options_.port) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    *error = std::string("listen (metrics): ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void MetricsHttpServer::Stop() {
+  if (stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::Loop() {
+  pollfd pfd;
+  pfd.fd = listen_fd_;
+  pfd.events = POLLIN;
+  while (!stop_.load()) {
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, kPollTickMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    ServeOne(fd);
+  }
+}
+
+void MetricsHttpServer::ServeOne(int fd) {
+  // Read until the end of the request head (blank line) or cap/timeout.
+  // Scrapers send tiny GETs; ~2s of patience is plenty.
+  std::string head;
+  char buf[2048];
+  pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (int ticks = 0; ticks < 20 && head.size() < kMaxRequestBytes; ++ticks) {
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, kPollTickMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) {
+      if (stop_.load()) break;
+      continue;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+  const size_t eol = head.find_first_of("\r\n");
+  const std::string request_line =
+      eol == std::string::npos ? head : head.substr(0, eol);
+  SendAll(fd, HandleRequestLine(request_line));
+  ::close(fd);
+}
+
+std::string MetricsHttpServer::HandleRequestLine(
+    const std::string& request_line) const {
+  // "GET /path HTTP/1.1" — method, one space, target, one space, rest.
+  const size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string::npos) {
+    return HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
+                        "bad request\n");
+  }
+  const std::string method = request_line.substr(0, sp1);
+  const size_t sp2 = request_line.find(' ', sp1 + 1);
+  std::string target = sp2 == std::string::npos
+                           ? request_line.substr(sp1 + 1)
+                           : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+  if (method != "GET") {
+    return HttpResponse(405, "Method Not Allowed",
+                        "text/plain; charset=utf-8", "GET only\n");
+  }
+  if (target == "/metrics") {
+    const std::string body =
+        options_.metrics_body ? options_.metrics_body() : std::string();
+    return HttpResponse(200, "OK",
+                        "text/plain; version=0.0.4; charset=utf-8", body);
+  }
+  if (target == "/healthz") {
+    const bool healthy = options_.healthy ? options_.healthy() : true;
+    if (healthy) {
+      return HttpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
+    }
+    return HttpResponse(503, "Service Unavailable",
+                        "text/plain; charset=utf-8", "draining\n");
+  }
+  return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
+                      "not found\n");
+}
+
+}  // namespace cqa::serve

@@ -1,0 +1,69 @@
+// serve/metrics_http — a deliberately tiny HTTP/1.1 listener serving
+// exactly two read-only endpoints next to the cqad frame protocol:
+//   GET /metrics  — Prometheus text exposition of the metrics registry
+//                   (obs/exposition), so stock scrapers work unmodified;
+//   GET /healthz  — "ok" with 200 while serving, "draining" with 503
+//                   once drain begins, so load balancers stop routing
+//                   before the listener disappears.
+// It is NOT a general HTTP server: one short-lived connection at a time,
+// requests over 8 KiB rejected, anything but GET answered 405, any other
+// path 404. That scope keeps the hand-rolled parser safe — it only ever
+// inspects the request line.
+#ifndef CQABENCH_SERVE_METRICS_HTTP_H_
+#define CQABENCH_SERVE_METRICS_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace cqa::serve {
+
+struct MetricsHttpOptions {
+  /// Listen address; loopback by default like the frame listener.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Body provider for GET /metrics (normally RegistryPrometheusText).
+  std::function<std::string()> metrics_body;
+  /// Health probe for GET /healthz: true = 200 "ok", false = 503
+  /// "draining" (normally wired to !CqadServer::draining()).
+  std::function<bool()> healthy;
+};
+
+/// One background thread accepting scrape connections serially —
+/// Prometheus scrapes arrive every few seconds, so concurrency would be
+/// pure complexity. Start() binds and spawns the thread; Stop() closes
+/// the listener and joins.
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(const MetricsHttpOptions& options);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  bool Start(std::string* error);
+  void Stop();
+
+  /// The bound port (useful with options.port == 0).
+  int port() const { return port_; }
+
+  /// Renders the full HTTP response for one request line ("GET /metrics
+  /// HTTP/1.1"). Exposed for tests — routing without sockets.
+  std::string HandleRequestLine(const std::string& request_line) const;
+
+ private:
+  void Loop();
+  void ServeOne(int fd);
+
+  const MetricsHttpOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace cqa::serve
+
+#endif  // CQABENCH_SERVE_METRICS_HTTP_H_

@@ -72,6 +72,15 @@ std::string Request::ToJsonPayload() const {
   obj.Set("v", JsonValue::MakeNumber(version));
   obj.Set("op", JsonValue::MakeString(op));
   if (!id.empty()) obj.Set("id", JsonValue::MakeString(id));
+  if (!trace_id.empty()) {
+    JsonValue trace = JsonValue::MakeObject();
+    trace.Set("id", JsonValue::MakeString(trace_id));
+    if (trace_parent != 0) {
+      trace.Set("parent",
+                JsonValue::MakeNumber(static_cast<double>(trace_parent)));
+    }
+    obj.Set("trace", std::move(trace));
+  }
   if (op == "query") {
     obj.Set("schema", JsonValue::MakeString(schema));
     obj.Set("data", JsonValue::MakeString(data));
@@ -118,6 +127,33 @@ bool Request::FromJsonPayload(const std::string& payload, Request* out,
     return false;
   }
   out->id = root.GetString("id", "");
+  const JsonValue* trace = root.Find("trace");
+  if (trace != nullptr) {
+    if (!trace->is_object()) {
+      *code = ErrorCode::kBadRequest;
+      *error = "\"trace\" must be an object";
+      return false;
+    }
+    out->trace_id = trace->GetString("id", "");
+    if (out->trace_id.empty()) {
+      *code = ErrorCode::kBadRequest;
+      *error = "\"trace\" needs a non-empty string \"id\"";
+      return false;
+    }
+    if (out->trace_id.size() > kMaxTraceIdBytes) {
+      *code = ErrorCode::kBadRequest;
+      *error = "trace id longer than " + std::to_string(kMaxTraceIdBytes) +
+               " bytes";
+      return false;
+    }
+    double parent = trace->GetNumber("parent", 0.0);
+    if (parent < 0.0) {
+      *code = ErrorCode::kBadRequest;
+      *error = "trace parent must be a non-negative span id";
+      return false;
+    }
+    out->trace_parent = static_cast<uint64_t>(parent);
+  }
   if (out->op != "query") return true;
 
   out->schema = root.GetString("schema", "tpch");
@@ -192,6 +228,15 @@ std::string Response::ToJsonPayload() const {
   std::snprintf(buf, sizeof(buf), ",\"scheme_seconds\":%.9g", scheme_seconds);
   out += buf;
   out += ",\"total_samples\":" + std::to_string(total_samples);
+  if (timing.recorded) {
+    out += ",\"timing\":{\"queue_wait_micros\":" +
+           std::to_string(timing.queue_wait_micros);
+    out += ",\"cache_micros\":" + std::to_string(timing.cache_micros);
+    out += ",\"preprocess_micros\":" + std::to_string(timing.preprocess_micros);
+    out += ",\"sample_micros\":" + std::to_string(timing.sample_micros);
+    out += ",\"encode_micros\":" + std::to_string(timing.encode_micros);
+    out += ",\"total_micros\":" + std::to_string(timing.total_micros) + "}";
+  }
   out += ",\"answers\":[";
   bool first = true;
   for (const ResponseAnswer& a : answers) {
@@ -246,6 +291,22 @@ bool Response::FromJsonPayload(const std::string& payload, Response* out,
       answer.frequency = a.GetNumber("frequency", 0.0);
       out->answers.push_back(std::move(answer));
     }
+  }
+  const JsonValue* timing = root.Find("timing");
+  if (timing != nullptr && timing->is_object()) {
+    out->timing.recorded = true;
+    out->timing.queue_wait_micros =
+        static_cast<uint64_t>(timing->GetNumber("queue_wait_micros", 0.0));
+    out->timing.cache_micros =
+        static_cast<uint64_t>(timing->GetNumber("cache_micros", 0.0));
+    out->timing.preprocess_micros =
+        static_cast<uint64_t>(timing->GetNumber("preprocess_micros", 0.0));
+    out->timing.sample_micros =
+        static_cast<uint64_t>(timing->GetNumber("sample_micros", 0.0));
+    out->timing.encode_micros =
+        static_cast<uint64_t>(timing->GetNumber("encode_micros", 0.0));
+    out->timing.total_micros =
+        static_cast<uint64_t>(timing->GetNumber("total_micros", 0.0));
   }
   const JsonValue* record = root.Find("run_record");
   if (record != nullptr) out->run_record_json = record->Serialize();

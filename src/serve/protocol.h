@@ -48,6 +48,39 @@ enum class ErrorCode : int {
 
 const char* ErrorCodeName(ErrorCode code);
 
+/// Maximum accepted length of a client-chosen trace id. Long ids are a
+/// kBadRequest, not a truncation: silently shortened ids would break the
+/// client-side join between its own records and server spans/logs.
+inline constexpr size_t kMaxTraceIdBytes = 128;
+
+/// Per-request phase latency breakdown, all in integer microseconds.
+/// Attached to ok query responses as the "timing" object when the server
+/// recorded it. The phases partition the server-side handling time:
+///   queue_wait  — waiting for an admission slot,
+///   cache       — synopsis-cache lookup overhead (lock + single-flight
+///                 coordination, excluding the build itself),
+///   preprocess  — database load + query parse + synopsis build (near
+///                 zero on a cache hit),
+///   sample      — scheme execution (the sampling/estimation loop),
+///   encode      — answer assembly + run-record rendering.
+/// total_micros covers HandleFrame from parse to encoded response, so
+/// the phases sum to slightly below it (residual = dispatch glue).
+struct PhaseTiming {
+  bool recorded = false;  // False: no "timing" object on the wire.
+  uint64_t queue_wait_micros = 0;
+  uint64_t cache_micros = 0;
+  uint64_t preprocess_micros = 0;
+  uint64_t sample_micros = 0;
+  uint64_t encode_micros = 0;
+  uint64_t total_micros = 0;
+
+  /// Sum of the five phase buckets (excludes total_micros).
+  uint64_t PhaseSumMicros() const {
+    return queue_wait_micros + cache_micros + preprocess_micros +
+           sample_micros + encode_micros;
+  }
+};
+
 /// Encodes one frame: 4-byte big-endian length followed by the payload.
 std::string EncodeFrame(const std::string& payload);
 
@@ -99,6 +132,12 @@ struct Request {
   int threads = 1;              // Scheme-phase worker threads.
   bool want_record = false;     // Attach the obs RunRecord to the response.
 
+  // Optional wire-propagated trace context ("trace" object, any op).
+  // A non-empty trace_id makes the server stamp every span it records
+  // for this request with the id and tag the access-log line with it.
+  std::string trace_id;         // Client-chosen; <= kMaxTraceIdBytes.
+  uint64_t trace_parent = 0;    // Client-side parent span id; 0 = none.
+
   /// Serializes as one request frame payload (client side).
   std::string ToJsonPayload() const;
 
@@ -131,6 +170,7 @@ struct Response {
   double scheme_seconds = 0.0;
   uint64_t total_samples = 0;
   std::string run_record_json;  // Raw JSON object; empty unless requested.
+  PhaseTiming timing;           // Serialized iff timing.recorded.
 
   // op == "stats": the server's metrics registry dump plus server state.
   std::string metrics_json;  // Raw JSON object.

@@ -13,6 +13,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/json.h"
 
 namespace cqa::serve {
@@ -52,7 +53,9 @@ CqadServer::CqadServer(const ServerOptions& options)
       engine_(options.engine),
       admission_(AdmissionOptions{
           options.max_inflight == 0 ? options.workers : options.max_inflight,
-          options.max_queue}) {}
+          options.max_queue}),
+      connections_gauge_(
+          obs::Registry::Instance().GetGauge("serve.connections_open")) {}
 
 CqadServer::~CqadServer() {
   if (started_) {
@@ -221,6 +224,7 @@ void CqadServer::ServeConnection(int fd) {
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     open_conns_.insert(fd);
+    connections_gauge_->Set(static_cast<int64_t>(open_conns_.size()));
   }
   FrameDecoder decoder(options_.max_frame_bytes);
   char buf[1 << 16];
@@ -262,6 +266,7 @@ void CqadServer::ServeConnection(int fd) {
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     open_conns_.erase(fd);
+    connections_gauge_->Set(static_cast<int64_t>(open_conns_.size()));
   }
   ::close(fd);
 }
@@ -275,25 +280,67 @@ bool CqadServer::HandleFrame(int fd, const std::string& payload) {
   ErrorCode code = ErrorCode::kOk;
   std::string error;
   Response response;
-  if (!Request::FromJsonPayload(payload, &request, &code, &error)) {
+  const bool parsed = Request::FromJsonPayload(payload, &request, &code,
+                                               &error);
+  if (!parsed) {
     response = Response::MakeError(code, error);
-  } else if (request.op == "ping") {
-    response.id = request.id;
-    response.pong = true;
-  } else if (request.op == "stats") {
-    response.id = request.id;
-    response.metrics_json = obs::Registry::Instance().ToJson();
-    response.server_json = StatsJson();
-  } else {  // "query" — FromJsonPayload rejected any other op.
-    response = ExecuteWithAdmission(request);
+  } else {
+    // The per-request root span. The client's trace context hangs the
+    // whole server-side tree under its own span id; an untraced request
+    // still gets a root span (with an empty trace id) so the ring shows
+    // every request.
+    obs::TraceSpan root_span("serve.request", request.trace_parent,
+                             request.trace_id);
+    if (request.op == "ping") {
+      response.id = request.id;
+      response.pong = true;
+    } else if (request.op == "stats") {
+      response.id = request.id;
+      response.metrics_json = obs::Registry::Instance().ToJson();
+      response.server_json = StatsJson();
+    } else {  // "query" — FromJsonPayload rejected any other op.
+      response = ExecuteWithAdmission(request, root_span.id());
+    }
   }
   if (!response.ok()) CQA_OBS_COUNT("serve.request_errors");
-  CQA_OBS_OBSERVE("serve.request_micros",
-                  request_watch.ElapsedSeconds() * 1e6);
+  // Total handling time ends here, before frame serialization, so the
+  // response's own phase breakdown can sum close to it (the residual is
+  // dispatch glue, not a hidden phase).
+  const uint64_t total_micros =
+      static_cast<uint64_t>(request_watch.ElapsedSeconds() * 1e6);
+  if (response.timing.recorded) {
+    response.timing.total_micros = total_micros;
+    CQA_OBS_OBSERVE("serve.phase_queue_wait_micros",
+                    response.timing.queue_wait_micros);
+    CQA_OBS_OBSERVE("serve.phase_cache_micros",
+                    response.timing.cache_micros);
+    CQA_OBS_OBSERVE("serve.phase_preprocess_micros",
+                    response.timing.preprocess_micros);
+    CQA_OBS_OBSERVE("serve.phase_sample_micros",
+                    response.timing.sample_micros);
+    CQA_OBS_OBSERVE("serve.phase_encode_micros",
+                    response.timing.encode_micros);
+  }
+  CQA_OBS_OBSERVE("serve.request_micros", total_micros);
+  if (options_.access_log != nullptr) {
+    AccessLogEntry entry;
+    entry.op = parsed ? request.op : "invalid";
+    entry.trace_id = request.trace_id;
+    entry.request_id = request.id;
+    entry.scheme = request.scheme;
+    entry.cache_hit = response.cache_hit;
+    entry.code = response.code;
+    entry.timed_out = response.timed_out;
+    entry.timing = response.timing;
+    entry.timing.total_micros = total_micros;  // Set even when !recorded.
+    entry.total_samples = response.total_samples;
+    options_.access_log->Append(entry);
+  }
   return SendAll(fd, EncodeFrame(response.ToJsonPayload()));
 }
 
-Response CqadServer::ExecuteWithAdmission(const Request& request) {
+Response CqadServer::ExecuteWithAdmission(const Request& request,
+                                          uint64_t root_span) {
   if (draining_.load()) {
     return Response::MakeError(ErrorCode::kDraining, "server is draining",
                                request.id);
@@ -302,7 +349,17 @@ Response CqadServer::ExecuteWithAdmission(const Request& request) {
   // queued counts against the request's budget.
   Deadline deadline = engine_.MakeDeadline(request);
   Stopwatch service_watch;
-  switch (admission_.Enter(deadline)) {
+  Admission decision;
+  uint64_t queue_wait_micros = 0;
+  {
+    obs::TraceSpan queue_span("serve.queue_wait", root_span,
+                              request.trace_id);
+    Stopwatch queue_watch;
+    decision = admission_.Enter(deadline);
+    queue_wait_micros =
+        static_cast<uint64_t>(queue_watch.ElapsedSeconds() * 1e6);
+  }
+  switch (decision) {
     case Admission::kShed: {
       Response response = Response::MakeError(
           ErrorCode::kOverloaded, "admission queue full", request.id);
@@ -319,8 +376,11 @@ Response CqadServer::ExecuteWithAdmission(const Request& request) {
     case Admission::kAdmitted:
       break;
   }
-  Response response = engine_.ExecuteQuery(request, deadline);
+  Response response = engine_.ExecuteQuery(request, deadline, root_span);
   admission_.Leave(service_watch.ElapsedSeconds());
+  if (response.timing.recorded) {
+    response.timing.queue_wait_micros = queue_wait_micros;
+  }
   return response;
 }
 
@@ -354,32 +414,52 @@ void CqadServer::ForceCloseStragglers() {
 }
 
 std::string CqadServer::StatsJson() const {
-  size_t open;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    open = open_conns_.size();
-  }
   const SynopsisCache& cache = engine_.synopsis_cache();
   JsonValue obj = JsonValue::MakeObject();
   obj.Set("uptime_seconds", JsonValue::MakeNumber(uptime_.ElapsedSeconds()));
   obj.Set("draining", JsonValue::MakeBool(draining_.load()));
   obj.Set("workers",
           JsonValue::MakeNumber(static_cast<double>(options_.workers)));
+  // The instantaneous server-state fields read the same process-wide
+  // gauges /metrics exports, so the two views can never disagree.
   obj.Set("connections_open",
-          JsonValue::MakeNumber(static_cast<double>(open)));
+          JsonValue::MakeNumber(static_cast<double>(
+              connections_gauge_->value())));
   obj.Set("connections_total",
           JsonValue::MakeNumber(
               static_cast<double>(connections_total_.load())));
   obj.Set("requests_total",
           JsonValue::MakeNumber(static_cast<double>(requests_total_.load())));
   obj.Set("admission_inflight",
-          JsonValue::MakeNumber(
-              static_cast<double>(admission_.inflight())));
+          JsonValue::MakeNumber(static_cast<double>(
+              obs::Registry::Instance().GaugeValue(
+                  "serve.admission_inflight"))));
   obj.Set("admission_queued",
-          JsonValue::MakeNumber(static_cast<double>(admission_.queued())));
+          JsonValue::MakeNumber(static_cast<double>(
+              obs::Registry::Instance().GaugeValue(
+                  "serve.admission_queued"))));
   obj.Set("admission_shed",
           JsonValue::MakeNumber(
               static_cast<double>(admission_.shed_total())));
+  obj.Set("trace_dropped_spans",
+          JsonValue::MakeNumber(static_cast<double>(
+              obs::TraceBuffer::Instance().dropped())));
+  {
+    JsonValue access = JsonValue::MakeObject();
+    const AccessLog* log = options_.access_log;
+    access.Set("enabled", JsonValue::MakeBool(log != nullptr));
+    access.Set("sample_rate",
+               JsonValue::MakeNumber(log != nullptr ? log->sample_rate()
+                                                    : 0.0));
+    access.Set("lines",
+               JsonValue::MakeNumber(
+                   log != nullptr ? static_cast<double>(log->lines()) : 0.0));
+    access.Set("sampled_out",
+               JsonValue::MakeNumber(
+                   log != nullptr ? static_cast<double>(log->sampled_out())
+                                  : 0.0));
+    obj.Set("access_log", std::move(access));
+  }
   obj.Set("cache_entries",
           JsonValue::MakeNumber(static_cast<double>(cache.entries())));
   obj.Set("cache_hits",

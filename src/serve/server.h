@@ -19,6 +19,7 @@
 #include <string>
 #include <thread>
 
+#include "serve/access_log.h"
 #include "serve/admission.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
@@ -46,6 +47,10 @@ struct ServerOptions {
   /// Grace period for in-flight requests during drain before their
   /// connections are force-closed.
   double drain_timeout_s = 10.0;
+  /// When non-null, every handled request appends one JSONL line there
+  /// (the log behind cqad --obs_access_log=). Not owned; must outlive
+  /// the server.
+  AccessLog* access_log = nullptr;
   EngineOptions engine;
 };
 
@@ -100,7 +105,9 @@ class CqadServer {
   void ServeConnection(int fd);
   /// Decodes and answers one frame. False → close the connection.
   bool HandleFrame(int fd, const std::string& payload);
-  Response ExecuteWithAdmission(const Request& request);
+  /// Runs a query op through admission; `root_span` parents the
+  /// queue-wait and engine phase spans.
+  Response ExecuteWithAdmission(const Request& request, uint64_t root_span);
   /// Best-effort single-frame error reply for connections shed before a
   /// worker ever serviced them.
   void SendErrorAndClose(int fd, ErrorCode code, const std::string& message);
@@ -126,6 +133,9 @@ class CqadServer {
 
   mutable std::mutex conns_mu_;
   std::set<int> open_conns_;
+  // Mirrors open_conns_.size() as the serve.connections_open gauge
+  // (updated unconditionally; serving state is not NO_OBS-gated).
+  obs::Gauge* const connections_gauge_;
 
   std::atomic<uint64_t> connections_total_{0};
   std::atomic<uint64_t> requests_total_{0};

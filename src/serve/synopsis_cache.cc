@@ -13,7 +13,9 @@ std::string SynopsisCacheKey(const std::string& data_path,
 }
 
 SynopsisCache::SynopsisCache(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+    : capacity_(capacity == 0 ? 1 : capacity),
+      entries_gauge_(
+          obs::Registry::Instance().GetGauge("serve.cache_entries")) {}
 
 std::shared_ptr<const PreprocessResult> SynopsisCache::Get(
     const std::string& key) {
@@ -94,7 +96,7 @@ std::shared_ptr<const PreprocessResult> SynopsisCache::GetOrBuild(
   lru_.push_front(key);
   it->second.lru_it = lru_.begin();
   EvictOverflow();
-  CQA_OBS_OBSERVE("serve.cache_entries", lru_.size());
+  entries_gauge_->Set(static_cast<int64_t>(lru_.size()));
   build_cv_.notify_all();
   return value;
 }
@@ -109,6 +111,7 @@ void SynopsisCache::Clear() {
     }
   }
   lru_.clear();
+  entries_gauge_->Set(0);
 }
 
 size_t SynopsisCache::entries() const {

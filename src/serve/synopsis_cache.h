@@ -17,6 +17,7 @@
 #include <string>
 
 #include "cqa/preprocess.h"
+#include "obs/metrics.h"
 
 namespace cqa::serve {
 
@@ -47,7 +48,8 @@ std::string SynopsisCacheKey(const std::string& data_path,
 ///     dropped during the build).
 ///
 /// Metrics: serve.cache_hits / serve.cache_misses / serve.cache_evictions
-/// counters and the serve.cache_entries gauge-style observation.
+/// counters and the serve.cache_entries gauge (current completed-entry
+/// count, updated on every insert/evict/clear).
 class SynopsisCache {
  public:
   /// Keeps at most `capacity` entries (>= 1).
@@ -97,6 +99,9 @@ class SynopsisCache {
   void EvictOverflow();
 
   const size_t capacity_;
+  // Mirrors lru_.size() for /metrics and `stats`; updated directly (no
+  // NO_OBS gating) so the gauge is live in every build mode.
+  obs::Gauge* const entries_gauge_;
   mutable std::mutex mu_;
   std::condition_variable build_cv_;
   std::map<std::string, Entry> entries_;

@@ -1,0 +1,214 @@
+// Tests of serve/access_log — the JSONL line schema (parsed back with
+// the serving JSON parser, so every emitted line is guaranteed valid
+// JSON), the must-log policy for slow and failed requests, and the
+// sampling counters. The schema assertions here are the contract
+// documented in docs/protocol.md; loadgen --access-log re-checks it
+// against a live server.
+
+#include "serve/access_log.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/json.h"
+
+namespace cqa::serve {
+namespace {
+
+AccessLogEntry MakeQueryEntry() {
+  AccessLogEntry entry;
+  entry.trace_id = "trace-1";
+  entry.request_id = "req-1";
+  entry.op = "query";
+  entry.scheme = "KLM";
+  entry.cache_hit = true;
+  entry.code = ErrorCode::kOk;
+  entry.timed_out = false;
+  entry.timing.recorded = true;
+  entry.timing.queue_wait_micros = 10;
+  entry.timing.cache_micros = 20;
+  entry.timing.preprocess_micros = 30;
+  entry.timing.sample_micros = 40;
+  entry.timing.encode_micros = 5;
+  entry.timing.total_micros = 110;
+  entry.total_samples = 1234;
+  return entry;
+}
+
+JsonValue MustParseLine(const std::string& line) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_TRUE(JsonValue::Parse(line, &v, &error)) << error << ": " << line;
+  EXPECT_TRUE(v.is_object());
+  return v;
+}
+
+TEST(AccessLogFormatTest, QueryLineCarriesFullSchema) {
+  JsonValue v = MustParseLine(
+      AccessLog::FormatLine(MakeQueryEntry(), 1723000000123, false));
+  EXPECT_EQ(v.GetNumber("unix_ms", 0), 1723000000123.0);
+  EXPECT_EQ(v.GetString("op", ""), "query");
+  EXPECT_EQ(v.GetString("trace_id", ""), "trace-1");
+  EXPECT_EQ(v.GetString("id", ""), "req-1");
+  EXPECT_EQ(v.GetNumber("code", -1), 0.0);
+  EXPECT_EQ(v.GetString("code_name", ""), "ok");
+  EXPECT_EQ(v.GetString("scheme", ""), "KLM");
+  EXPECT_EQ(v.GetString("cache", ""), "hit");
+  EXPECT_EQ(v.GetBool("timed_out", true), false);
+  EXPECT_EQ(v.GetNumber("total_samples", 0), 1234.0);
+  EXPECT_EQ(v.GetNumber("queue_wait_micros", -1), 10.0);
+  EXPECT_EQ(v.GetNumber("cache_micros", -1), 20.0);
+  EXPECT_EQ(v.GetNumber("preprocess_micros", -1), 30.0);
+  EXPECT_EQ(v.GetNumber("sample_micros", -1), 40.0);
+  EXPECT_EQ(v.GetNumber("encode_micros", -1), 5.0);
+  EXPECT_EQ(v.GetNumber("total_micros", -1), 110.0);
+  EXPECT_EQ(v.Find("slow"), nullptr);  // Only present on slow lines.
+}
+
+TEST(AccessLogFormatTest, OptionalFieldsAreOmitted) {
+  AccessLogEntry entry;
+  entry.op = "ping";
+  entry.timing.total_micros = 3;
+  JsonValue v = MustParseLine(AccessLog::FormatLine(entry, 1, false));
+  EXPECT_EQ(v.Find("trace_id"), nullptr);
+  EXPECT_EQ(v.Find("id"), nullptr);
+  EXPECT_EQ(v.Find("scheme"), nullptr);  // Query op only.
+  EXPECT_EQ(v.Find("cache"), nullptr);
+  EXPECT_EQ(v.Find("total_samples"), nullptr);
+  EXPECT_EQ(v.GetNumber("total_micros", -1), 3.0);
+}
+
+TEST(AccessLogFormatTest, ErrorQueryLineOmitsCacheFields) {
+  AccessLogEntry entry = MakeQueryEntry();
+  entry.code = ErrorCode::kNotFound;
+  JsonValue v = MustParseLine(AccessLog::FormatLine(entry, 1, false));
+  EXPECT_EQ(v.GetNumber("code", 0), 404.0);
+  EXPECT_EQ(v.GetString("code_name", ""), "not_found");
+  EXPECT_EQ(v.GetString("scheme", ""), "KLM");
+  // Cache/timing outcome fields are only meaningful on success.
+  EXPECT_EQ(v.Find("cache"), nullptr);
+  EXPECT_EQ(v.Find("timed_out"), nullptr);
+  EXPECT_EQ(v.Find("total_samples"), nullptr);
+}
+
+TEST(AccessLogFormatTest, SlowFlagAndEscaping) {
+  AccessLogEntry entry = MakeQueryEntry();
+  entry.trace_id = "evil\"\n\\id";
+  JsonValue v = MustParseLine(AccessLog::FormatLine(entry, 1, true));
+  EXPECT_EQ(v.GetBool("slow", false), true);
+  EXPECT_EQ(v.GetString("trace_id", ""), "evil\"\n\\id");
+}
+
+TEST(AccessLogFormatTest, PhaseSumMatchesHelper) {
+  AccessLogEntry entry = MakeQueryEntry();
+  EXPECT_EQ(entry.timing.PhaseSumMicros(), 10u + 20 + 30 + 40 + 5);
+}
+
+class AccessLogFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cqa_access_log_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".jsonl"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::vector<std::string> Lines() const {
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  std::string path_;
+};
+
+TEST_F(AccessLogFileTest, AppendsOneLinePerRequest) {
+  AccessLogOptions options;
+  options.path = path_;
+  AccessLog log(options);
+  std::string error;
+  ASSERT_TRUE(log.Open(&error)) << error;
+  log.Append(MakeQueryEntry());
+  log.Append(MakeQueryEntry());
+  EXPECT_EQ(log.lines(), 2u);
+  EXPECT_EQ(log.sampled_out(), 0u);
+  EXPECT_EQ(Lines().size(), 2u);
+}
+
+TEST_F(AccessLogFileTest, SamplingDropsOnlyFastOkLines) {
+  AccessLogOptions options;
+  options.path = path_;
+  options.sample_rate = 0.0;  // Sample everything out...
+  options.slow_micros = 100;
+  AccessLog log(options);
+  std::string error;
+  ASSERT_TRUE(log.Open(&error)) << error;
+
+  AccessLogEntry fast_ok = MakeQueryEntry();
+  fast_ok.timing.total_micros = 99;
+  log.Append(fast_ok);  // Dropped by the sampler.
+
+  AccessLogEntry slow_ok = MakeQueryEntry();
+  slow_ok.timing.total_micros = 100;  // ...except slow requests...
+  log.Append(slow_ok);
+
+  AccessLogEntry fast_error = MakeQueryEntry();
+  fast_error.timing.total_micros = 1;
+  fast_error.code = ErrorCode::kOverloaded;  // ...and errors.
+  log.Append(fast_error);
+
+  EXPECT_EQ(log.lines(), 2u);
+  EXPECT_EQ(log.sampled_out(), 1u);
+  std::vector<std::string> lines = Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  JsonValue slow_line = MustParseLine(lines[0] + "\n");
+  EXPECT_EQ(slow_line.GetBool("slow", false), true);
+  JsonValue error_line = MustParseLine(lines[1] + "\n");
+  EXPECT_EQ(error_line.GetNumber("code", 0), 503.0);
+}
+
+TEST_F(AccessLogFileTest, SamplingIsDeterministicPerSeed) {
+  AccessLogOptions options;
+  options.path = path_;
+  options.sample_rate = 0.5;
+  options.slow_micros = 1u << 30;
+  options.seed = 42;
+  AccessLog log(options);
+  std::string error;
+  ASSERT_TRUE(log.Open(&error)) << error;
+  for (int i = 0; i < 200; ++i) log.Append(MakeQueryEntry());
+  // Every request was either written or counted as sampled out, and at
+  // rate 0.5 both sides are comfortably populated.
+  EXPECT_EQ(log.lines() + log.sampled_out(), 200u);
+  EXPECT_GT(log.lines(), 50u);
+  EXPECT_GT(log.sampled_out(), 50u);
+  EXPECT_EQ(Lines().size(), log.lines());
+}
+
+TEST_F(AccessLogFileTest, OpenFailsOnBadPath) {
+  AccessLogOptions options;
+  options.path = "/nonexistent_dir_xyz/access.jsonl";
+  AccessLog log(options);
+  std::string error;
+  EXPECT_FALSE(log.Open(&error));
+  EXPECT_FALSE(error.empty());
+  log.Append(MakeQueryEntry());  // Must be a safe no-op when closed.
+  EXPECT_EQ(log.lines(), 0u);
+}
+
+}  // namespace
+}  // namespace cqa::serve

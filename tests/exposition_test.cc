@@ -1,0 +1,118 @@
+// Tests of obs/exposition — the Prometheus text-format renderer behind
+// cqad's GET /metrics. The core assertion is a golden file: exposition
+// output is a wire format consumed by external scrapers, so any byte
+// change must be a conscious decision (regenerate tests/golden/
+// exposition_golden.prom and re-review). The remaining tests pin the
+// name mapping and the live-registry path.
+
+#include "obs/exposition.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cqa {
+namespace {
+
+TEST(PrometheusNameTest, PrefixesAndSanitizes) {
+  EXPECT_EQ(obs::PrometheusMetricName("serve.request_micros"),
+            "cqa_serve_request_micros");
+  EXPECT_EQ(obs::PrometheusMetricName("sampler.kl.draws"),
+            "cqa_sampler_kl_draws");
+  EXPECT_EQ(obs::PrometheusMetricName("weird-name with spaces"),
+            "cqa_weird_name_with_spaces");
+  EXPECT_EQ(obs::PrometheusMetricName(""), "cqa_");
+}
+
+// Hand-built snapshots rendered against the checked-in golden bytes.
+TEST(PrometheusTextTest, MatchesGoldenFile) {
+  std::vector<obs::CounterSnapshot> counters = {
+      {"serve.requests", 42},
+      {"sampler.kl.draws", 7},
+  };
+  std::vector<obs::GaugeSnapshot> gauges = {
+      {"serve.connections_open", 3},
+      {"serve.admission_queued", -1},
+  };
+  obs::HistogramSnapshot hist;
+  hist.name = "serve.phase_sample_micros";
+  hist.buckets.assign(obs::Histogram::kNumBuckets, 0);
+  hist.buckets[0] = 1;   // one zero observation
+  hist.buckets[1] = 2;   // two observations of exactly 1
+  hist.buckets[5] = 3;   // three in [16, 32)
+  hist.buckets[31] = 1;  // one in the overflow bucket
+  hist.count = 7;
+  hist.sum = 131;
+  std::string text = obs::PrometheusText(counters, gauges, {hist});
+
+  std::ifstream in(std::string(CQABENCH_GOLDEN_DIR) +
+                   "/exposition_golden.prom");
+  ASSERT_TRUE(in.good()) << "missing golden file";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(text, golden.str())
+      << "exposition format drifted; if intentional, regenerate "
+         "tests/golden/exposition_golden.prom";
+}
+
+// The cumulative bucket invariant independent of the golden bytes: every
+// _bucket line's count is monotone and the +Inf line equals _count.
+TEST(PrometheusTextTest, BucketsAreCumulativeUpToInf) {
+  obs::HistogramSnapshot hist;
+  hist.name = "test.cumulative";
+  hist.buckets.assign(obs::Histogram::kNumBuckets, 0);
+  hist.buckets[2] = 5;
+  hist.buckets[4] = 2;
+  hist.count = 7;
+  hist.sum = 60;
+  std::string text = obs::PrometheusText({}, {}, {hist});
+
+  uint64_t previous = 0;
+  uint64_t inf_value = 0;
+  size_t bucket_lines = 0;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    size_t brace = line.find("_bucket{le=\"");
+    if (brace == std::string::npos) continue;
+    ++bucket_lines;
+    uint64_t value = std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(value, previous) << line;
+    previous = value;
+    if (line.find("+Inf") != std::string::npos) inf_value = value;
+  }
+  EXPECT_EQ(bucket_lines, obs::Histogram::kNumBuckets);
+  EXPECT_EQ(inf_value, hist.count);
+  EXPECT_NE(text.find("cqa_test_cumulative_count 7"), std::string::npos);
+  EXPECT_NE(text.find("cqa_test_cumulative_sum 60"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, EmptySnapshotsRenderNothing) {
+  EXPECT_EQ(obs::PrometheusText({}, {}, {}), "");
+}
+
+// The live path /metrics serves: a registered metric shows up with the
+// mapped name, its # TYPE line, and the _total counter suffix.
+TEST(PrometheusTextTest, RegistryTextCarriesRegisteredMetrics) {
+  obs::Registry& reg = obs::Registry::Instance();
+  reg.GetCounter("test.exposition.registry_counter")->Reset();
+  reg.GetCounter("test.exposition.registry_counter")->Increment(5);
+  reg.GetGauge("test.exposition.registry_gauge")->Set(-4);
+  std::string text = obs::RegistryPrometheusText();
+  EXPECT_NE(
+      text.find(
+          "# TYPE cqa_test_exposition_registry_counter_total counter\n"
+          "cqa_test_exposition_registry_counter_total 5\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE cqa_test_exposition_registry_gauge gauge\n"
+                      "cqa_test_exposition_registry_gauge -4\n"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace cqa

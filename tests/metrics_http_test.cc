@@ -1,0 +1,119 @@
+// Tests of serve/metrics_http — request-line routing (the whole parser
+// surface), the health flip between serving and draining, and one real
+// socket round trip against the background accept loop.
+
+#include "serve/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cqa::serve {
+namespace {
+
+MetricsHttpOptions TestOptions(bool healthy) {
+  MetricsHttpOptions options;
+  options.metrics_body = [] {
+    return std::string("# TYPE cqa_up gauge\ncqa_up 1\n");
+  };
+  options.healthy = [healthy] { return healthy; };
+  return options;
+}
+
+TEST(MetricsHttpRoutingTest, MetricsServesTheBodyProvider) {
+  MetricsHttpServer server(TestOptions(true));
+  std::string response = server.HandleRequestLine("GET /metrics HTTP/1.1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\n# TYPE cqa_up gauge\ncqa_up 1\n"),
+            std::string::npos);
+  // Query strings are stripped before routing.
+  EXPECT_NE(server.HandleRequestLine("GET /metrics?format=raw HTTP/1.1")
+                .find("200 OK"),
+            std::string::npos);
+}
+
+TEST(MetricsHttpRoutingTest, HealthzTracksTheProbe) {
+  MetricsHttpServer healthy(TestOptions(true));
+  std::string response = healthy.HandleRequestLine("GET /healthz HTTP/1.1");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ok\n"), std::string::npos);
+
+  MetricsHttpServer draining(TestOptions(false));
+  response = draining.HandleRequestLine("GET /healthz HTTP/1.1");
+  EXPECT_NE(response.find("503 Service Unavailable"), std::string::npos);
+  EXPECT_NE(response.find("draining\n"), std::string::npos);
+}
+
+TEST(MetricsHttpRoutingTest, RejectsEverythingElse) {
+  MetricsHttpServer server(TestOptions(true));
+  EXPECT_NE(server.HandleRequestLine("POST /metrics HTTP/1.1")
+                .find("405 Method Not Allowed"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequestLine("GET /other HTTP/1.1")
+                .find("404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequestLine("GET / HTTP/1.1").find("404"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequestLine("garbage").find("400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequestLine("").find("400"), std::string::npos);
+}
+
+// One real scrape over TCP: Start on an ephemeral port, speak just
+// enough HTTP with a raw socket, assert the exposition body arrives.
+TEST(MetricsHttpSocketTest, ServesScrapesOverTcp) {
+  MetricsHttpServer server(TestOptions(true));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  for (int round = 0; round < 2; ++round) {  // Serial reuse works.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const char request[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_EQ(::send(fd, request, sizeof(request) - 1, 0),
+              static_cast<ssize_t>(sizeof(request) - 1));
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      response.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("cqa_up 1"), std::string::npos);
+  }
+
+  server.Stop();
+  server.Stop();  // Idempotent.
+}
+
+TEST(MetricsHttpSocketTest, StartFailsOnOccupiedPort) {
+  MetricsHttpServer first(TestOptions(true));
+  std::string error;
+  ASSERT_TRUE(first.Start(&error)) << error;
+  MetricsHttpOptions occupied = TestOptions(true);
+  occupied.port = first.port();
+  MetricsHttpServer second(occupied);
+  EXPECT_FALSE(second.Start(&error));
+  EXPECT_FALSE(error.empty());
+  first.Stop();
+}
+
+}  // namespace
+}  // namespace cqa::serve

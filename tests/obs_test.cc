@@ -63,11 +63,49 @@ TEST(RegistryTest, HistogramBucketsArePowersOfTwo) {
   EXPECT_EQ(h->bucket(3), 1u);
 }
 
+TEST(RegistryTest, GaugesMoveBothWaysAndAreNamed) {
+  obs::Registry& reg = obs::Registry::Instance();
+  obs::Gauge* g = reg.GetGauge("test.registry.gauge");
+  EXPECT_EQ(g, reg.GetGauge("test.registry.gauge"));
+  g->Reset();
+  g->Set(5);
+  g->Add(-8);
+  EXPECT_EQ(g->value(), -3);
+  EXPECT_EQ(reg.GaugeValue("test.registry.gauge"), -3);
+  EXPECT_EQ(reg.GaugeValue("test.registry.never_registered"), 0);
+  bool found = false;
+  for (const obs::GaugeSnapshot& snap : reg.Gauges()) {
+    if (snap.name == "test.registry.gauge") {
+      found = true;
+      EXPECT_EQ(snap.value, -3);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Gauges track serving state (queue depths, open connections), so they
+// update through direct calls and stay live even while the hot-path
+// counter macros are disabled.
+TEST(RegistryTest, GaugesIgnoreTheEnabledSwitch) {
+  obs::Registry& reg = obs::Registry::Instance();
+  obs::Gauge* g = reg.GetGauge("test.registry.gauge_gated");
+  g->Reset();
+  reg.set_enabled(false);
+  g->Set(7);
+  reg.set_enabled(true);
+  EXPECT_EQ(g->value(), 7);
+}
+
 TEST(RegistryTest, ToJsonIsValid) {
   obs::Registry& reg = obs::Registry::Instance();
   reg.GetCounter("test.registry.json")->Increment();
+  reg.GetGauge("test.registry.json_gauge")->Set(-2);
   std::map<std::string, std::string> top;
   ASSERT_TRUE(MiniJson::ParseObject(reg.ToJson(), &top)) << reg.ToJson();
+  ASSERT_TRUE(top.count("gauges")) << reg.ToJson();
+  EXPECT_NE(top["gauges"].find("\"test.registry.json_gauge\":-2"),
+            std::string::npos)
+      << top["gauges"];
 }
 
 TEST(RegistryTest, ToJsonCarriesHistogramQuantiles) {
@@ -265,6 +303,42 @@ TEST(TraceTest, ExportJsonlCountsDroppedSpans) {
   EXPECT_EQ(records[0]["buffered_spans"], "2");
   buffer.set_capacity(4096);
   buffer.Clear();
+  std::filesystem::remove(path);
+}
+
+// The wire-propagated request trace id: stamped on the record at span
+// destruction, exported in the JSONL line, absent (no field at all) for
+// the untraced hot-path spans.
+TEST(TraceTest, TraceIdPropagatesToRecordsAndExport) {
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Instance();
+  buffer.Clear();
+  uint64_t outer_id = 0;
+  {
+    obs::TraceSpan outer("test.traced.outer", 0, std::string("req-42"));
+    outer_id = outer.id();
+    obs::TraceSpan inner("test.traced.inner", outer.id(),
+                         std::string("req-42"));
+    obs::TraceSpan untraced("test.traced.hot", outer.id());
+  }
+  std::vector<obs::SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Destruction order is untraced, inner, outer.
+  EXPECT_STREQ(spans[0].name, "test.traced.hot");
+  EXPECT_EQ(spans[0].trace_id, "");
+  EXPECT_STREQ(spans[1].name, "test.traced.inner");
+  EXPECT_EQ(spans[1].trace_id, "req-42");
+  EXPECT_EQ(spans[1].parent_id, outer_id);
+  EXPECT_STREQ(spans[2].name, "test.traced.outer");
+  EXPECT_EQ(spans[2].trace_id, "req-42");
+
+  std::string path = TempPath("cqa_obs_trace_id_test.jsonl");
+  std::string error;
+  ASSERT_TRUE(buffer.ExportJsonl(path, &error)) << error;
+  auto records = ReadJsonl(path);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_FALSE(records[1].count("trace_id"));  // Untraced span: no field.
+  EXPECT_EQ(records[2]["trace_id"], "req-42");
+  EXPECT_EQ(records[3]["trace_id"], "req-42");
   std::filesystem::remove(path);
 }
 

@@ -246,6 +246,73 @@ TEST(RequestCodecTest, RejectsBadFields) {
   }
 }
 
+// ------------------------------------------------ trace context codec.
+
+TEST(RequestCodecTest, TraceContextRoundTrips) {
+  Request request;
+  request.op = "query";
+  request.data = "/data/d";
+  request.query = "Q(N) :- item(I, N).";
+  request.trace_id = "client-trace-7";
+  request.trace_parent = 123456789;
+
+  Request decoded;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  ASSERT_TRUE(Request::FromJsonPayload(request.ToJsonPayload(), &decoded,
+                                       &code, &error))
+      << error;
+  EXPECT_EQ(decoded.trace_id, "client-trace-7");
+  EXPECT_EQ(decoded.trace_parent, 123456789u);
+}
+
+TEST(RequestCodecTest, TraceIsOptionalAndWorksOnEveryOp) {
+  Request decoded;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  ASSERT_TRUE(Request::FromJsonPayload(R"({"v": 1, "op": "ping"})",
+                                       &decoded, &code, &error))
+      << error;
+  EXPECT_TRUE(decoded.trace_id.empty());
+  EXPECT_EQ(decoded.trace_parent, 0u);
+  // Ping and stats carry trace context too — every op is traceable.
+  ASSERT_TRUE(Request::FromJsonPayload(
+      R"({"v": 1, "op": "stats", "trace": {"id": "t-1"}})", &decoded,
+      &code, &error))
+      << error;
+  EXPECT_EQ(decoded.trace_id, "t-1");
+}
+
+TEST(RequestCodecTest, RejectsMalformedTrace) {
+  const std::string kPrefix =
+      R"({"v": 1, "op": "query", "data": "d", "query": "q", "trace": )";
+  const std::string kBad[] = {
+      "\"not an object\"}",
+      "{}}",                       // Missing id.
+      "{\"id\": \"\"}}",           // Empty id.
+      "{\"id\": \"t\", \"parent\": -1}}",
+      "{\"id\": \"" + std::string(kMaxTraceIdBytes + 1, 'x') + "\"}}",
+  };
+  for (const std::string& tail : kBad) {
+    Request decoded;
+    ErrorCode code = ErrorCode::kOk;
+    std::string error;
+    EXPECT_FALSE(Request::FromJsonPayload(kPrefix + tail, &decoded, &code,
+                                          &error))
+        << "accepted: " << tail;
+    EXPECT_EQ(code, ErrorCode::kBadRequest) << tail;
+  }
+  // Exactly at the cap is fine.
+  Request decoded;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  EXPECT_TRUE(Request::FromJsonPayload(
+      kPrefix + "{\"id\": \"" + std::string(kMaxTraceIdBytes, 'x') + "\"}}",
+      &decoded, &code, &error))
+      << error;
+  EXPECT_EQ(decoded.trace_id.size(), kMaxTraceIdBytes);
+}
+
 // ------------------------------------------------------ response codec.
 
 TEST(ResponseCodecTest, RoundTripsSuccess) {
@@ -294,6 +361,43 @@ TEST(ResponseCodecTest, RoundTripsError) {
   EXPECT_EQ(decoded.error, "queue full");
   EXPECT_EQ(decoded.id, "req-9");
   EXPECT_EQ(decoded.retry_after_s, 1.25);
+}
+
+TEST(ResponseCodecTest, TimingRoundTripsWhenRecorded) {
+  Response response;
+  response.id = "req-t";
+  response.timing.recorded = true;
+  response.timing.queue_wait_micros = 11;
+  response.timing.cache_micros = 22;
+  response.timing.preprocess_micros = 33;
+  response.timing.sample_micros = 44;
+  response.timing.encode_micros = 5;
+  response.timing.total_micros = 120;
+
+  Response decoded;
+  std::string error;
+  ASSERT_TRUE(Response::FromJsonPayload(response.ToJsonPayload(), &decoded,
+                                        &error))
+      << error;
+  ASSERT_TRUE(decoded.timing.recorded);
+  EXPECT_EQ(decoded.timing.queue_wait_micros, 11u);
+  EXPECT_EQ(decoded.timing.cache_micros, 22u);
+  EXPECT_EQ(decoded.timing.preprocess_micros, 33u);
+  EXPECT_EQ(decoded.timing.sample_micros, 44u);
+  EXPECT_EQ(decoded.timing.encode_micros, 5u);
+  EXPECT_EQ(decoded.timing.total_micros, 120u);
+  EXPECT_EQ(decoded.timing.PhaseSumMicros(), 11u + 22 + 33 + 44 + 5);
+}
+
+TEST(ResponseCodecTest, TimingIsAbsentWhenNotRecorded) {
+  Response response;
+  response.id = "req-u";
+  std::string payload = response.ToJsonPayload();
+  EXPECT_EQ(payload.find("\"timing\""), std::string::npos) << payload;
+  Response decoded;
+  std::string error;
+  ASSERT_TRUE(Response::FromJsonPayload(payload, &decoded, &error)) << error;
+  EXPECT_FALSE(decoded.timing.recorded);
 }
 
 TEST(ResponseCodecTest, ErrorCodeNamesCoverEveryCode) {

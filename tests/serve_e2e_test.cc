@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -18,8 +19,11 @@
 #include "gen/noise.h"
 #include "gen/tpch.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
+#include "serve/access_log.h"
 #include "serve/client.h"
+#include "serve/json.h"
 #include "serve/server.h"
 #include "storage/tbl_io.h"
 #include "storage/tuple.h"
@@ -359,6 +363,179 @@ TEST_F(ServeE2eTest, GracefulDrainCompletesInflightAndRefusesNew) {
   CqaClient late;
   std::string late_error;
   EXPECT_FALSE(late.Connect("127.0.0.1", port, &late_error));
+}
+
+// The tentpole round trip: a client-supplied trace id flows through
+// admission and the engine into (a) the response's phase breakdown,
+// (b) the access log line, and (c) the server's span tree — the same id
+// everywhere, so client and server observations join without guesswork.
+TEST_F(ServeE2eTest, TraceContextRoundTripsIntoTimingLogAndSpans) {
+  const std::filesystem::path log_path =
+      *dir_ / "trace_roundtrip_access.jsonl";
+  AccessLogOptions log_options;
+  log_options.path = log_path.string();
+  AccessLog access_log(log_options);
+  std::string error;
+  ASSERT_TRUE(access_log.Open(&error)) << error;
+
+  ServerOptions options;
+  options.access_log = &access_log;
+  CqadServer server(options);
+  ASSERT_TRUE(server.Start(&error)) << error;
+#ifndef CQABENCH_NO_OBS
+  obs::TraceBuffer::Instance().Clear();
+#endif
+
+  CqaClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  Request request = MakeQueryRequest("KLM", 6);
+  request.id = "rq-trace-1";
+  request.trace_id = "e2e-trace-1";
+  Response response;
+  ASSERT_TRUE(client.Call(request, &response, &error)) << error;
+  ASSERT_TRUE(response.ok()) << response.error;
+
+  // (a) The response carries the full phase breakdown, and the phases
+  // are disjoint sub-intervals of the handler total (1ms slack for the
+  // separate stopwatch reads).
+  ASSERT_TRUE(response.timing.recorded);
+  EXPECT_GT(response.timing.total_micros, 0u);
+  EXPECT_GT(response.timing.sample_micros, 0u);
+  EXPECT_GT(response.timing.preprocess_micros, 0u);  // Cache-miss build.
+  EXPECT_LE(response.timing.PhaseSumMicros(),
+            response.timing.total_micros + 1000);
+
+  server.RequestDrain();
+  server.Wait();
+
+  // (b) Exactly one access-log line, carrying the same trace id and the
+  // same phase fields the response reported.
+  EXPECT_EQ(access_log.lines(), 1u);
+  std::ifstream in(log_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(line, &parsed, &error)) << error << line;
+  EXPECT_EQ(parsed.GetString("trace_id", ""), "e2e-trace-1");
+  EXPECT_EQ(parsed.GetString("id", ""), "rq-trace-1");
+  EXPECT_EQ(parsed.GetString("op", ""), "query");
+  EXPECT_EQ(parsed.GetNumber("code", -1), 0.0);
+  EXPECT_EQ(parsed.GetString("cache", ""), "miss");
+  EXPECT_EQ(parsed.GetNumber("sample_micros", 0),
+            static_cast<double>(response.timing.sample_micros));
+
+#ifndef CQABENCH_NO_OBS
+  // (c) The span tree: one serve.request root stamped with the client's
+  // trace id, with the per-phase child spans linked under it.
+  std::vector<obs::SpanRecord> spans =
+      obs::TraceBuffer::Instance().Snapshot();
+  uint64_t root_id = 0;
+  std::map<std::string, const obs::SpanRecord*> traced;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.trace_id != "e2e-trace-1") continue;
+    traced[span.name] = &span;
+    if (std::string(span.name) == "serve.request") root_id = span.id;
+  }
+  ASSERT_NE(root_id, 0u) << "no serve.request span with the client id";
+  for (const char* name :
+       {"serve.queue_wait", "serve.cache", "serve.preprocess",
+        "serve.sample", "serve.encode"}) {
+    ASSERT_TRUE(traced.count(name)) << name;
+  }
+  EXPECT_EQ(traced["serve.queue_wait"]->parent_id, root_id);
+  EXPECT_EQ(traced["serve.cache"]->parent_id, root_id);
+  EXPECT_EQ(traced["serve.sample"]->parent_id, root_id);
+  EXPECT_EQ(traced["serve.encode"]->parent_id, root_id);
+  // The synopsis build is a child of the cache lookup that ran it.
+  EXPECT_EQ(traced["serve.preprocess"]->parent_id,
+            traced["serve.cache"]->id);
+  EXPECT_EQ(traced["serve.request"]->parent_id, 0u);
+#endif
+}
+
+// Requests without trace context still log (with no trace_id field) and
+// still report timing — tracing is strictly opt-in on the wire.
+TEST_F(ServeE2eTest, UntracedRequestsStillLogAndTime) {
+  const std::filesystem::path log_path = *dir_ / "untraced_access.jsonl";
+  AccessLogOptions log_options;
+  log_options.path = log_path.string();
+  AccessLog access_log(log_options);
+  std::string error;
+  ASSERT_TRUE(access_log.Open(&error)) << error;
+
+  ServerOptions options;
+  options.access_log = &access_log;
+  CqadServer server(options);
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  CqaClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  Request ping;
+  ping.op = "ping";
+  Response response;
+  ASSERT_TRUE(client.Call(ping, &response, &error)) << error;
+  ASSERT_TRUE(client.Call(MakeQueryRequest("Natural", 8), &response, &error))
+      << error;
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_TRUE(response.timing.recorded);
+
+  server.RequestDrain();
+  server.Wait();
+
+  EXPECT_EQ(access_log.lines(), 2u);
+  std::ifstream in(log_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(line, &parsed, &error)) << error << line;
+  EXPECT_EQ(parsed.GetString("op", ""), "ping");
+  EXPECT_EQ(parsed.Find("trace_id"), nullptr);
+  ASSERT_TRUE(std::getline(in, line));
+  ASSERT_TRUE(JsonValue::Parse(line, &parsed, &error)) << error << line;
+  EXPECT_EQ(parsed.GetString("op", ""), "query");
+  EXPECT_EQ(parsed.Find("trace_id"), nullptr);
+}
+
+// Stats surfaces the serving gauges, the trace ring's drop counter, and
+// the access-log sampling state — the in-band view of what /metrics and
+// the log export out-of-band.
+TEST_F(ServeE2eTest, StatsCarriesGaugesTraceDropsAndAccessLogState) {
+  AccessLogOptions log_options;
+  log_options.path = (*dir_ / "stats_access.jsonl").string();
+  log_options.sample_rate = 0.25;
+  AccessLog access_log(log_options);
+  std::string error;
+  ASSERT_TRUE(access_log.Open(&error)) << error;
+
+  ServerOptions options;
+  options.access_log = &access_log;
+  CqadServer server(options);
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  CqaClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  Request stats;
+  stats.op = "stats";
+  Response response;
+  ASSERT_TRUE(client.Call(stats, &response, &error)) << error;
+  ASSERT_TRUE(response.ok()) << response.error;
+
+  JsonValue server_json;
+  ASSERT_TRUE(JsonValue::Parse(response.server_json, &server_json, &error))
+      << error << response.server_json;
+  // The stats connection itself is open right now.
+  EXPECT_GE(server_json.GetNumber("connections_open", -1), 1.0);
+  EXPECT_GE(server_json.GetNumber("admission_inflight", -1), 0.0);
+  EXPECT_GE(server_json.GetNumber("admission_queued", -1), 0.0);
+  EXPECT_GE(server_json.GetNumber("trace_dropped_spans", -1), 0.0);
+  const JsonValue* log_state = server_json.Find("access_log");
+  ASSERT_NE(log_state, nullptr);
+  ASSERT_TRUE(log_state->is_object());
+  EXPECT_EQ(log_state->GetBool("enabled", false), true);
+  EXPECT_EQ(log_state->GetNumber("sample_rate", 0), 0.25);
+
+  server.RequestDrain();
+  server.Wait();
 }
 
 TEST_F(ServeE2eTest, DeadlineIsEnforced) {

@@ -31,6 +31,10 @@ Fast, dependency-free checks that encode conventions the compiler cannot:
      (examples/cqa_cli.cpp), or the serving binaries (serve/cqad.cc,
      serve/cqa_client.cc) is mentioned as --flag somewhere in README.md
      or docs/, so the flag tables cannot silently drift from the code.
+  8. Metric catalog discipline: every metric name registered from
+     non-test source -- CQA_OBS_COUNT/COUNT_N/OBSERVE literals and
+     Registry GetGauge("...") literals -- must appear in docs/metrics.md,
+     so the metric catalog cannot silently drift from the code.
 
 Exit status is 0 iff the tree is clean.  Run from anywhere:
     python3 tools/lint.py
@@ -282,6 +286,45 @@ def check_flag_docs(errors: list[str]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Check 8: every exported metric name is cataloged in docs/metrics.md.
+# ---------------------------------------------------------------------------
+
+GAUGE_CALL = re.compile(r'GetGauge\s*\(\s*"([a-z0-9_.]+)"')
+
+
+def check_metric_docs(errors: list[str]) -> None:
+    catalog_path = REPO / "docs" / "metrics.md"
+    catalog = (catalog_path.read_text(encoding="utf-8", errors="replace")
+               if catalog_path.is_file() else "")
+    seen: dict[str, str] = {}  # metric name -> first declaring site.
+    for d in ["src", "bench", "examples", "serve"]:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES:
+                continue
+            rel = path.relative_to(REPO).as_posix()
+            if rel.startswith("src/obs/"):
+                continue  # The macro/registry definitions themselves.
+            text = path.read_text(encoding="utf-8", errors="replace")
+            stripped = "\n".join(
+                strip_comments(line) for line in text.splitlines())
+            for match in OBS_CALL.finditer(stripped):
+                arg = match.group(2).strip()
+                if METRIC_NAME.match(arg):
+                    seen.setdefault(arg.strip('"'), rel)
+            for match in GAUGE_CALL.finditer(stripped):
+                seen.setdefault(match.group(1), rel)
+    for name in sorted(seen):
+        if f"`{name}`" not in catalog:
+            errors.append(
+                f"{seen[name]}: metric {name} is not cataloged -- add a "
+                f"`{name}` row to docs/metrics.md"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
@@ -313,6 +356,7 @@ def main() -> int:
     check_test_references(errors)
     check_bench_json_flag(errors)
     check_flag_docs(errors)
+    check_metric_docs(errors)
 
     if errors:
         for err in errors:

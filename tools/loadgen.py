@@ -12,6 +12,19 @@ daemon, and reports:
     admission counters, so client- and server-side numbers can be
     compared in one run.
 
+Every query carries a wire trace context ("trace": {"id": "loadgen-N"}),
+so server-side spans and access-log lines join back to client requests.
+Observability cross-checks, all optional:
+
+  * --metrics-port=N (with --spawn) starts cqad's Prometheus listener
+    and --scrape pulls /metrics + /healthz after the run, diffing the
+    client p95 against the scraped cqa_serve_request_micros histogram;
+  * --access-log=FILE (with --spawn) passes --obs_access_log and then
+    validates the JSONL schema and that per-phase micros sum to within
+    10% of each logged total;
+  * --trace-export=FILE (with --spawn) passes --obs_trace and verifies
+    the exported spans carry the loadgen trace ids verbatim.
+
 Typical session against an already-running daemon:
 
     python3 tools/loadgen.py --port=7411 --data=/tmp/tpch \
@@ -144,6 +157,7 @@ def run_worker(args: argparse.Namespace, indices: list[int],
                 "epsilon": args.epsilon,
                 "delta": args.delta,
                 "seed": args.seed_base + (i // len(SCHEMES)) % args.seeds,
+                "trace": {"id": f"loadgen-{i}"},
             }
             if args.deadline > 0:
                 payload["deadline_s"] = args.deadline
@@ -221,12 +235,178 @@ def print_server_report(host: str, port: int) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Prometheus scrape + offline artifact checks.
+# ---------------------------------------------------------------------------
+
+def http_get(host: str, port: int, path: str,
+             timeout: float = 10.0) -> tuple[int, str]:
+    """Minimal HTTP GET (stdlib http.client) returning (status, body)."""
+    import http.client
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Exposition text -> {sample name with labels: value}. Raises on any
+    line that is neither a comment nor 'name[{labels}] value'."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        samples[name] = float(value)
+    return samples
+
+
+def histogram_quantile(samples: dict[str, float], name: str,
+                       q: float) -> float:
+    """q-quantile upper bound (seconds-free, raw unit) from _bucket
+    samples; nan when the histogram is absent or empty."""
+    buckets = []
+    prefix = f'{name}_bucket{{le="'
+    for key, value in samples.items():
+        if key.startswith(prefix):
+            le = key[len(prefix):-2]
+            buckets.append((math.inf if le == "+Inf" else float(le), value))
+    buckets.sort()
+    count = samples.get(f"{name}_count", 0.0)
+    if not buckets or count <= 0:
+        return math.nan
+    target = q * count
+    for le, cumulative in buckets:
+        if cumulative >= target:
+            return le
+    return buckets[-1][0]
+
+
+def scrape_and_compare(args: argparse.Namespace, stats: Stats) -> bool:
+    status, health = http_get(args.host, args.metrics_port, "/healthz")
+    print(f"healthz: {status} {health.strip()!r}")
+    if status != 200:
+        print("FAIL: /healthz not 200 while serving", file=sys.stderr)
+        return False
+    status, body = http_get(args.host, args.metrics_port, "/metrics")
+    if status != 200:
+        print(f"FAIL: /metrics returned {status}", file=sys.stderr)
+        return False
+    try:
+        samples = parse_prometheus(body)
+    except ValueError as err:
+        print(f"FAIL: {err}", file=sys.stderr)
+        return False
+    count = samples.get("cqa_serve_request_micros_count", 0.0)
+    print(f"scraped /metrics: {len(samples)} samples, "
+          f"cqa_serve_request_micros_count={count:.0f}")
+    if count < len(stats.latencies_s):
+        print("FAIL: scraped request histogram count below client request "
+              f"count ({count:.0f} < {len(stats.latencies_s)})",
+              file=sys.stderr)
+        return False
+    client_p95_us = quantile(sorted(stats.latencies_s), 0.95) * 1e6
+    server_p95_us = histogram_quantile(samples, "cqa_serve_request_micros",
+                                       0.95)
+    if not math.isnan(server_p95_us):
+        print(f"p95 compare: client {client_p95_us / 1e3:.2f} ms vs scraped "
+              f"server histogram upper bound {server_p95_us / 1e3:.2f} ms")
+        # Power-of-two buckets report an upper bound: the server value may
+        # be up to 2x above the true latency, and the client adds RTT on
+        # top of the server's view — so only order-of-magnitude agreement
+        # is checkable. A 'bound below client/4' breach means the scrape
+        # and the run measured different things.
+        if server_p95_us * 4 < client_p95_us:
+            print("FAIL: scraped server p95 implausibly below client p95",
+                  file=sys.stderr)
+            return False
+    return True
+
+
+def check_access_log(path: str, requests: int) -> bool:
+    """Validates the JSONL access log: parseable lines, ok-query phase
+    sums within 10% of the logged total, trace ids present."""
+    lines = 0
+    checked = 0
+    traced = 0
+    worst = 0.0
+    phases = ("queue_wait_micros", "cache_micros", "preprocess_micros",
+              "sample_micros", "encode_micros")
+    with open(path, "r", encoding="utf-8") as f:
+        for raw in f:
+            if not raw.strip():
+                continue
+            entry = json.loads(raw)
+            lines += 1
+            if "op" not in entry or "code" not in entry:
+                print(f"FAIL: access-log line missing op/code: {raw!r}",
+                      file=sys.stderr)
+                return False
+            if entry.get("trace_id", "").startswith("loadgen-"):
+                traced += 1
+            if entry["op"] != "query" or entry["code"] != 0:
+                continue
+            total = entry["total_micros"]
+            phase_sum = sum(entry[p] for p in phases)
+            if total >= 1000:
+                checked += 1
+                gap = abs(total - phase_sum) / total
+                worst = max(worst, gap)
+                if gap > 0.10:
+                    print(f"FAIL: phase sum {phase_sum} vs total {total} "
+                          f"({gap:.1%} apart): {raw!r}", file=sys.stderr)
+                    return False
+    print(f"access log: {lines} lines, {traced} with loadgen trace ids, "
+          f"{checked} phase-sum checks passed (worst gap {worst:.1%})")
+    if lines == 0:
+        print("FAIL: access log is empty", file=sys.stderr)
+        return False
+    return True
+
+
+def check_trace_export(path: str, requests: int) -> bool:
+    """Verifies the exported span JSONL carries loadgen trace ids."""
+    span_count = 0
+    traced_ids = set()
+    with open(path, "r", encoding="utf-8") as f:
+        for raw in f:
+            if not raw.strip():
+                continue
+            record = json.loads(raw)
+            if record.get("trace_meta"):
+                print(f"trace export: dropped_spans="
+                      f"{record.get('dropped_spans')}, buffered_spans="
+                      f"{record.get('buffered_spans')}")
+                continue
+            span_count += 1
+            trace_id = record.get("trace_id", "")
+            if trace_id.startswith("loadgen-"):
+                traced_ids.add(trace_id)
+    print(f"trace export: {span_count} spans, {len(traced_ids)} distinct "
+          f"loadgen trace ids")
+    if not traced_ids:
+        print("FAIL: no loadgen trace ids in exported spans", file=sys.stderr)
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
 # Optional daemon / dataset management.
 # ---------------------------------------------------------------------------
 
 def spawn_cqad(args: argparse.Namespace) -> subprocess.Popen:
     cmd = [args.spawn, f"--host={args.host}", f"--port={args.port}",
            f"--workers={args.workers}"]
+    if args.metrics_port >= 0:
+        cmd.append(f"--metrics_port={args.metrics_port}")
+    if args.access_log:
+        cmd.append(f"--obs_access_log={args.access_log}")
+    if args.trace_export:
+        cmd.append(f"--obs_trace={args.trace_export}")
     if args.cqad_flag:
         cmd.extend(args.cqad_flag)
     proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
@@ -238,6 +418,13 @@ def spawn_cqad(args: argparse.Namespace) -> subprocess.Popen:
         proc.kill()
         raise RuntimeError(f"unexpected cqad output: {line!r}")
     args.port = int(line.rsplit(":", 1)[1])
+    if args.metrics_port >= 0:
+        line = proc.stdout.readline()
+        # "cqad metrics on HOST:PORT" — resolves --metrics_port=0.
+        if "cqad metrics on" not in line:
+            proc.kill()
+            raise RuntimeError(f"expected metrics line, got: {line!r}")
+        args.metrics_port = int(line.rsplit(":", 1)[1])
     print(f"spawned cqad pid {proc.pid} on {args.host}:{args.port}")
     return proc
 
@@ -303,6 +490,21 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--cqad-flag", action="append", default=[],
                         help="extra flag passed through to a spawned cqad "
                              "(repeatable), e.g. --cqad-flag=--max_queue=4")
+    parser.add_argument("--metrics-port", type=int, default=-1,
+                        help="with --spawn: start cqad's /metrics listener "
+                             "on this port (0 = ephemeral); without --spawn: "
+                             "the running daemon's metrics port")
+    parser.add_argument("--scrape", action="store_true",
+                        help="after the run, scrape /metrics + /healthz and "
+                             "diff client p95 vs the server histogram "
+                             "(needs --metrics-port)")
+    parser.add_argument("--access-log", default="",
+                        help="with --spawn: pass --obs_access_log=FILE and "
+                             "validate the JSONL (phase sums, trace ids) "
+                             "after the drain")
+    parser.add_argument("--trace-export", default="",
+                        help="with --spawn: pass --obs_trace=FILE and verify "
+                             "loadgen trace ids appear in exported spans")
     parser.add_argument("--gen", default="",
                         help="path to cqa_cli: generate a throwaway dataset")
     parser.add_argument("--sf", type=float, default=0.001,
@@ -348,6 +550,13 @@ def main() -> int:
 
         print_client_report(stats, wall)
         print_server_report(args.host, args.port)
+        if args.scrape:
+            if args.metrics_port < 0:
+                print("error: --scrape needs --metrics-port",
+                      file=sys.stderr)
+                ok = False
+            elif not scrape_and_compare(args, stats):
+                ok = False
         if stats.failures:
             ok = False
             for f in stats.failures[:10]:
@@ -358,6 +567,15 @@ def main() -> int:
     finally:
         if proc is not None:
             if not drain_cqad(proc, timeout=30.0):
+                ok = False
+        # The access log is written live but the trace export lands at
+        # drain; check both once the daemon is down and the files are
+        # final (they only exist when the run got as far as spawning).
+        if args.access_log and os.path.exists(args.access_log):
+            if not check_access_log(args.access_log, args.requests):
+                ok = False
+        if args.trace_export and os.path.exists(args.trace_export):
+            if not check_trace_export(args.trace_export, args.requests):
                 ok = False
         if generated_dir:
             shutil.rmtree(generated_dir, ignore_errors=True)
