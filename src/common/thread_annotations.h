@@ -1,0 +1,147 @@
+#ifndef CQABENCH_COMMON_THREAD_ANNOTATIONS_H_
+#define CQABENCH_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis annotations plus annotated wrappers over
+// the std synchronization primitives. Under clang the macros expand to
+// the TSA attributes and `-Wthread-safety -Werror` (the `tsa` preset)
+// turns every locking-contract violation into a compile error; under
+// GCC/MSVC they expand to nothing and the wrappers are zero-cost
+// veneers. This header is the single place in the tree allowed to
+// touch raw `std::mutex` / `std::condition_variable` (lint check 9).
+
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+
+#if defined(__clang__)
+#define CQA_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define CQA_THREAD_ANNOTATION_ATTRIBUTE__(x)
+#endif
+
+#define CQA_CAPABILITY(x) CQA_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define CQA_SCOPED_CAPABILITY \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define CQA_GUARDED_BY(x) CQA_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define CQA_PT_GUARDED_BY(x) \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define CQA_ACQUIRED_BEFORE(...) \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define CQA_ACQUIRED_AFTER(...) \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define CQA_REQUIRES(...) \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define CQA_ACQUIRE(...) \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define CQA_RELEASE(...) \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define CQA_TRY_ACQUIRE(...) \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define CQA_EXCLUDES(...) \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define CQA_ASSERT_CAPABILITY(x) \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define CQA_RETURN_CAPABILITY(x) \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define CQA_NO_THREAD_SAFETY_ANALYSIS \
+  CQA_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace cqa {
+
+// Annotated mutual-exclusion capability over std::mutex. Non-copyable,
+// non-movable (guarded members reference it by address).
+class CQA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CQA_ACQUIRE() { mu_.lock(); }
+  void Unlock() CQA_RELEASE() { mu_.unlock(); }
+  bool TryLock() CQA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Scoped lock with explicit Unlock/Lock for hand-off sections (the
+// clang-docs "MutexLocker" relockable idiom). The destructor releases
+// only if currently held, which TSA models via the RELEASE annotation
+// on a scoped capability.
+class CQA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CQA_ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() CQA_RELEASE() {
+    if (owned_) mu_.Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Temporarily release the mutex mid-scope (e.g. to run a callback
+  // without holding it); pair with Lock() before the scope ends.
+  void Unlock() CQA_RELEASE() {
+    owned_ = false;
+    mu_.Unlock();
+  }
+  void Lock() CQA_ACQUIRE() {
+    mu_.Lock();
+    owned_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+// Condition variable that waits on an annotated Mutex. Wait requires
+// the caller to hold the mutex, mirroring std::condition_variable's
+// contract; the adopt/release dance hands the already-held native
+// handle to std::condition_variable without double-locking.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) CQA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  // Returns true if the wait timed out without a notification.
+  bool WaitForSeconds(Mutex& mu, double seconds) CQA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const bool timed_out =
+        cv_.wait_for(native, std::chrono::duration<double>(seconds)) ==
+        std::cv_status::timeout;
+    native.release();
+    return timed_out;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cqa
+
+#endif  // CQABENCH_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/macros.h"
 
@@ -9,21 +10,26 @@ namespace cqa {
 ThreadPool::ThreadPool(size_t num_workers) { EnsureWorkers(num_workers); }
 
 ThreadPool::~ThreadPool() {
+  // Joining with mu_ held would deadlock against WorkerLoop's final lock
+  // reacquisition, so move the handles out under the lock and join bare.
+  std::vector<std::thread> workers;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
+    workers = std::move(workers_);
+    workers_.clear();
   }
-  work_cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  work_cv_.NotifyAll();
+  for (std::thread& w : workers) w.join();
 }
 
 size_t ThreadPool::num_workers() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return workers_.size();
 }
 
 size_t ThreadPool::EnsureWorkers(size_t n) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CQA_CHECK(!shutdown_);
   size_t spawned = 0;
   while (workers_.size() < n) {
@@ -33,29 +39,29 @@ size_t ThreadPool::EnsureWorkers(size_t n) {
   return spawned;
 }
 
-void ThreadPool::DrainJob(Job* job, std::unique_lock<std::mutex>& lock) {
+void ThreadPool::DrainJob(Job* job) {
   while (!job->AllClaimed()) {
     size_t task = job->next_task++;
     ++job->outstanding;
-    lock.unlock();
+    mu_.Unlock();
     (*job->fn)(task);
-    lock.lock();
+    mu_.Lock();
     --job->outstanding;
   }
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });
+    while (!shutdown_ && jobs_.empty()) work_cv_.Wait(mu_);
     if (shutdown_) return;
     Job* job = jobs_.front();
-    DrainJob(job, lock);
+    DrainJob(job);
     // This worker claimed the job's last task (or arrived after it was
     // fully claimed); drop it from the queue if still listed.
     auto it = std::find(jobs_.begin(), jobs_.end(), job);
     if (it != jobs_.end()) jobs_.erase(it);
-    if (job->outstanding == 0) done_cv_.notify_all();
+    if (job->outstanding == 0) done_cv_.NotifyAll();
   }
 }
 
@@ -64,17 +70,17 @@ void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
   Job job;
   job.fn = &fn;
   job.num_tasks = num_tasks;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (num_tasks > 1 && !workers_.empty()) {
     jobs_.push_back(&job);
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
   // The caller participates: even with zero free workers (or a nested
   // Run from inside a task) the job completes.
-  DrainJob(&job, lock);
+  DrainJob(&job);
   auto it = std::find(jobs_.begin(), jobs_.end(), &job);
   if (it != jobs_.end()) jobs_.erase(it);
-  done_cv_.wait(lock, [&job] { return job.outstanding == 0; });
+  while (job.outstanding != 0) done_cv_.Wait(mu_);
 }
 
 ThreadPool& ThreadPool::Shared() {

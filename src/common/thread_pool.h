@@ -1,12 +1,12 @@
 #ifndef CQABENCH_COMMON_THREAD_POOL_H_
 #define CQABENCH_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace cqa {
 
@@ -43,15 +43,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t num_workers() const;
+  size_t num_workers() const CQA_EXCLUDES(mu_);
 
   /// Grows the pool to at least `n` workers; returns how many threads
   /// were spawned by this call (0 = pure reuse). Never shrinks.
-  size_t EnsureWorkers(size_t n);
+  size_t EnsureWorkers(size_t n) CQA_EXCLUDES(mu_);
 
   /// Runs fn(t) for every t in [0, num_tasks) across the pool workers and
-  /// the calling thread; returns when all tasks completed.
-  void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
+  /// the calling thread; returns when all tasks completed. Tasks run with
+  /// mu_ released, so fn may itself call Run (nested fork/join).
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn)
+      CQA_EXCLUDES(mu_);
 
   /// The process-wide pool the scheme layer shares. Grown on demand via
   /// EnsureWorkers; workers persist until process exit.
@@ -61,22 +63,25 @@ class ThreadPool {
   struct Job {
     const std::function<void(size_t)>* fn = nullptr;
     size_t num_tasks = 0;
-    size_t next_task = 0;     // Guarded by mu_.
-    size_t outstanding = 0;   // Tasks claimed but not yet finished.
+    // next_task and outstanding are guarded by the owning pool's mu_
+    // (Job has no handle on the pool, so this is a comment contract;
+    // DrainJob, the only mutator, carries CQA_REQUIRES(mu_)).
+    size_t next_task = 0;
+    size_t outstanding = 0;  // Tasks claimed but not yet finished.
     bool AllClaimed() const { return next_task >= num_tasks; }
   };
 
-  void WorkerLoop();
-  /// Claims and runs tasks of `job` until none are left to claim.
-  /// Precondition: mu_ held; reacquires it before returning.
-  void DrainJob(Job* job, std::unique_lock<std::mutex>& lock);
+  void WorkerLoop() CQA_EXCLUDES(mu_);
+  /// Claims and runs tasks of `job` until none are left to claim. Holds
+  /// mu_ at entry and exit but releases it around each fn invocation.
+  void DrainJob(Job* job) CQA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // Workers: a job arrived / shutdown.
-  std::condition_variable done_cv_;  // Callers: a job fully completed.
-  std::vector<std::thread> workers_;
-  std::vector<Job*> jobs_;  // Jobs with unclaimed tasks, FIFO.
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;  // Workers: a job arrived / shutdown.
+  CondVar done_cv_;  // Callers: a job fully completed.
+  std::vector<std::thread> workers_ CQA_GUARDED_BY(mu_);
+  std::vector<Job*> jobs_ CQA_GUARDED_BY(mu_);  // Unclaimed-task jobs, FIFO.
+  bool shutdown_ CQA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cqa

@@ -69,12 +69,12 @@ std::string BenchGitSha() {
 }
 
 void BenchJsonWriter::SetMetadata(const BenchMetadata& metadata) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   metadata_ = metadata;
 }
 
 void BenchJsonWriter::AddRun(const RunRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Cell& cell = cells_[{record.scenario, record.x, record.scheme}];
   cell.x_label = record.x_label;
   cell.wall_seconds.Add(record.total_seconds);
@@ -99,7 +99,7 @@ void BenchJsonWriter::AddSample(const std::string& scenario,
                                 const std::string& x_label, double x,
                                 const std::string& series, double seconds,
                                 double samples, bool timed_out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Cell& cell = cells_[{scenario, x, series}];
   cell.x_label = x_label;
   cell.wall_seconds.Add(seconds);
@@ -109,12 +109,12 @@ void BenchJsonWriter::AddSample(const std::string& scenario,
 }
 
 size_t BenchJsonWriter::num_cells() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cells_.size();
 }
 
 std::string BenchJsonWriter::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"bench_json_version\":";
   out += std::to_string(kBenchJsonVersion);
   out += ",\"name\":";

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <tuple>
 
 #include "common/math_util.h"
+#include "common/thread_annotations.h"
 #include "obs/report.h"
 
 namespace cqa::obs {
@@ -44,23 +44,23 @@ std::string BenchGitSha();
 /// convergence summaries of the runs that recorded them. Thread-safe.
 class BenchJsonWriter {
  public:
-  void SetMetadata(const BenchMetadata& metadata);
+  void SetMetadata(const BenchMetadata& metadata) CQA_EXCLUDES(mu_);
 
   /// Adds one scheme run, as flattened into a run record (the harness
   /// builds these anyway for the JSONL report).
-  void AddRun(const RunRecord& record);
+  void AddRun(const RunRecord& record) CQA_EXCLUDES(mu_);
 
   /// Low-level variant for non-scheme timings (preprocessing, exact
   /// baseline): one observation of `seconds`/`samples` for the cell
   /// (scenario, x, series).
   void AddSample(const std::string& scenario, const std::string& x_label,
                  double x, const std::string& series, double seconds,
-                 double samples, bool timed_out);
+                 double samples, bool timed_out) CQA_EXCLUDES(mu_);
 
-  size_t num_cells() const;
+  size_t num_cells() const CQA_EXCLUDES(mu_);
 
   /// The whole result file as one JSON object.
-  std::string ToJson() const;
+  std::string ToJson() const CQA_EXCLUDES(mu_);
 
   /// Serializes to `path`; returns false and sets *error on I/O failure.
   bool WriteFile(const std::string& path, std::string* error) const;
@@ -83,9 +83,9 @@ class BenchJsonWriter {
 
   using Key = std::tuple<std::string, double, std::string>;
 
-  mutable std::mutex mu_;
-  BenchMetadata metadata_;
-  std::map<Key, Cell> cells_;
+  mutable Mutex mu_;
+  BenchMetadata metadata_ CQA_GUARDED_BY(mu_);
+  std::map<Key, Cell> cells_ CQA_GUARDED_BY(mu_);
 };
 
 }  // namespace cqa::obs

@@ -193,7 +193,7 @@ ConvergenceSeries ConvergenceRecorder::TakeSeries() {
 ConvergenceReporter::~ConvergenceReporter() { Close(); }
 
 bool ConvergenceReporter::Open(const std::string& path, std::string* error) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) std::fclose(file_);
   file_ = std::fopen(path.c_str(), "w");
   num_series_ = 0;
@@ -205,7 +205,7 @@ bool ConvergenceReporter::Open(const std::string& path, std::string* error) {
 }
 
 size_t ConvergenceReporter::num_series() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return num_series_;
 }
 
@@ -227,7 +227,7 @@ void ConvergenceReporter::Add(const std::string& scenario,
   line += ',';
   line.append(series_json, 1, series_json.size() - 1);
   line += '\n';
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) return;
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);
@@ -235,7 +235,7 @@ void ConvergenceReporter::Add(const std::string& scenario,
 }
 
 void ConvergenceReporter::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;

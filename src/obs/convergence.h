@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace cqa::obs {
 
@@ -131,23 +131,27 @@ class ConvergenceReporter {
 
   /// Opens (truncates) the file. Returns false and sets *error on I/O
   /// failure.
-  bool Open(const std::string& path, std::string* error);
+  bool Open(const std::string& path, std::string* error) CQA_EXCLUDES(mu_);
 
-  bool is_open() const { return file_ != nullptr; }
-  size_t num_series() const;
+  bool is_open() const CQA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return file_ != nullptr;
+  }
+  size_t num_series() const CQA_EXCLUDES(mu_);
 
   /// Writes one line: the series JSON extended with
   /// "scenario"/"x_label"/"x"/"scheme" fields. Series with no
   /// checkpoints are skipped.
   void Add(const std::string& scenario, const std::string& x_label, double x,
-           const std::string& scheme, const ConvergenceSeries& series);
+           const std::string& scheme, const ConvergenceSeries& series)
+      CQA_EXCLUDES(mu_);
 
-  void Close();
+  void Close() CQA_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
-  size_t num_series_ = 0;
+  mutable Mutex mu_;
+  std::FILE* file_ CQA_GUARDED_BY(mu_) = nullptr;
+  size_t num_series_ CQA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cqa::obs

@@ -99,34 +99,34 @@ Registry& Registry::Instance() {
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = counters_.emplace(name, nullptr);
   if (inserted) it->second = std::make_unique<Counter>();
   return it->second.get();
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = gauges_.emplace(name, nullptr);
   if (inserted) it->second = std::make_unique<Gauge>();
   return it->second.get();
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = histograms_.emplace(name, nullptr);
   if (inserted) it->second = std::make_unique<Histogram>();
   return it->second.get();
 }
 
 uint64_t Registry::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 int64_t Registry::GaugeValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second->value();
 }
@@ -142,7 +142,7 @@ HistogramSnapshot Histogram::snapshot() const {
 }
 
 std::vector<CounterSnapshot> Registry::Counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<CounterSnapshot> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -152,7 +152,7 @@ std::vector<CounterSnapshot> Registry::Counters() const {
 }
 
 std::vector<GaugeSnapshot> Registry::Gauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<GaugeSnapshot> out;
   out.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
@@ -162,7 +162,7 @@ std::vector<GaugeSnapshot> Registry::Gauges() const {
 }
 
 std::vector<HistogramSnapshot> Registry::Histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<HistogramSnapshot> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
@@ -174,7 +174,7 @@ std::vector<HistogramSnapshot> Registry::Histograms() const {
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace cqa::obs {
 
@@ -111,9 +112,9 @@ class Registry {
 
   /// Returns the counter/gauge/histogram with this name, creating it on
   /// first use. The pointer is stable for the process lifetime.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) CQA_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) CQA_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) CQA_EXCLUDES(mu_);
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool enabled) {
@@ -121,17 +122,17 @@ class Registry {
   }
 
   /// Current value of a counter; 0 when it was never registered.
-  uint64_t CounterValue(const std::string& name) const;
+  uint64_t CounterValue(const std::string& name) const CQA_EXCLUDES(mu_);
 
   /// Current value of a gauge; 0 when it was never registered.
-  int64_t GaugeValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const CQA_EXCLUDES(mu_);
 
-  std::vector<CounterSnapshot> Counters() const;
-  std::vector<GaugeSnapshot> Gauges() const;
-  std::vector<HistogramSnapshot> Histograms() const;
+  std::vector<CounterSnapshot> Counters() const CQA_EXCLUDES(mu_);
+  std::vector<GaugeSnapshot> Gauges() const CQA_EXCLUDES(mu_);
+  std::vector<HistogramSnapshot> Histograms() const CQA_EXCLUDES(mu_);
 
   /// Zeroes every registered metric in place (pointers stay valid).
-  void Reset();
+  void Reset() CQA_EXCLUDES(mu_);
 
   /// One JSON object {"counters": {...}, "gauges": {...},
   /// "histograms": {...}} — the profile dump of the CLI, the harness
@@ -142,10 +143,14 @@ class Registry {
   Registry() = default;
 
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // mu_ guards the maps (registration and iteration); the metric objects
+  // themselves are lock-free atomics updated through stable pointers.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CQA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ CQA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CQA_GUARDED_BY(mu_);
 };
 
 }  // namespace cqa::obs

@@ -91,7 +91,7 @@ std::string RunRecordToJson(const RunRecord& r) {
 RunReporter::~RunReporter() { Close(); }
 
 bool RunReporter::Open(const std::string& path, std::string* error) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) std::fclose(file_);
   file_ = std::fopen(path.c_str(), "w");
   num_records_ = 0;
@@ -103,14 +103,14 @@ bool RunReporter::Open(const std::string& path, std::string* error) {
 }
 
 size_t RunReporter::num_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return num_records_;
 }
 
 void RunReporter::Add(const RunRecord& record) {
   std::string line = RunRecordToJson(record);
   line += '\n';
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) return;
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);
@@ -118,7 +118,7 @@ void RunReporter::Add(const RunRecord& record) {
 }
 
 void RunReporter::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;

@@ -2,10 +2,10 @@
 #define CQABENCH_OBS_REPORT_H_
 
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/convergence.h"
 
 namespace cqa::obs {
@@ -65,19 +65,22 @@ class RunReporter {
 
   /// Opens (truncates) the report file. Returns false and sets *error on
   /// I/O failure.
-  bool Open(const std::string& path, std::string* error);
+  bool Open(const std::string& path, std::string* error) CQA_EXCLUDES(mu_);
 
-  bool is_open() const { return file_ != nullptr; }
-  size_t num_records() const;
+  bool is_open() const CQA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return file_ != nullptr;
+  }
+  size_t num_records() const CQA_EXCLUDES(mu_);
 
-  void Add(const RunRecord& record);
+  void Add(const RunRecord& record) CQA_EXCLUDES(mu_);
 
-  void Close();
+  void Close() CQA_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
-  size_t num_records_ = 0;
+  mutable Mutex mu_;
+  std::FILE* file_ CQA_GUARDED_BY(mu_) = nullptr;
+  size_t num_records_ CQA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cqa::obs

@@ -82,17 +82,17 @@ TraceBuffer& TraceBuffer::Instance() {
 }
 
 bool TraceBuffer::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return enabled_;
 }
 
 void TraceBuffer::set_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   enabled_ = enabled;
 }
 
 void TraceBuffer::set_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity > 0 ? capacity : 1;
   ring_.clear();
   next_ = 0;
@@ -100,7 +100,7 @@ void TraceBuffer::set_capacity(size_t capacity) {
 }
 
 void TraceBuffer::Record(const SpanRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!enabled_) return;
   if (ring_.size() < capacity_) {
     ring_.push_back(record);
@@ -113,7 +113,7 @@ void TraceBuffer::Record(const SpanRecord& record) {
 
 void TraceBuffer::CopyState(std::vector<SpanRecord>* spans,
                             uint64_t* dropped_spans) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans->clear();
   spans->reserve(ring_.size());
   // next_ is the oldest entry once the ring has wrapped.
@@ -131,12 +131,12 @@ std::vector<SpanRecord> TraceBuffer::Snapshot() const {
 }
 
 uint64_t TraceBuffer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_ > ring_.size() ? total_ - ring_.size() : 0;
 }
 
 void TraceBuffer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;

@@ -3,9 +3,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace cqa::obs {
 
@@ -34,21 +35,21 @@ class TraceBuffer {
  public:
   static TraceBuffer& Instance();
 
-  bool enabled() const;
-  void set_enabled(bool enabled);
+  bool enabled() const CQA_EXCLUDES(mu_);
+  void set_enabled(bool enabled) CQA_EXCLUDES(mu_);
 
   /// Resizes the ring (discarding buffered spans). Default 4096.
-  void set_capacity(size_t capacity);
+  void set_capacity(size_t capacity) CQA_EXCLUDES(mu_);
 
-  void Record(const SpanRecord& record);
+  void Record(const SpanRecord& record) CQA_EXCLUDES(mu_);
 
   /// Buffered spans, oldest first.
-  std::vector<SpanRecord> Snapshot() const;
+  std::vector<SpanRecord> Snapshot() const CQA_EXCLUDES(mu_);
 
   /// Spans evicted by the ring since the last Clear().
-  uint64_t dropped() const;
+  uint64_t dropped() const CQA_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() CQA_EXCLUDES(mu_);
 
   /// Writes a meta line {"trace_meta":true,"dropped_spans":...,
   /// "buffered_spans":...} followed by one JSON object per buffered span:
@@ -70,14 +71,14 @@ class TraceBuffer {
 
   /// One consistent (spans, dropped count) pair under a single lock.
   void CopyState(std::vector<SpanRecord>* spans,
-                 uint64_t* dropped_spans) const;
+                 uint64_t* dropped_spans) const CQA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> ring_;
-  size_t capacity_ = 4096;
-  size_t next_ = 0;
-  uint64_t total_ = 0;
-  bool enabled_ = true;
+  mutable Mutex mu_;
+  std::vector<SpanRecord> ring_ CQA_GUARDED_BY(mu_);
+  size_t capacity_ CQA_GUARDED_BY(mu_) = 4096;
+  size_t next_ CQA_GUARDED_BY(mu_) = 0;
+  uint64_t total_ CQA_GUARDED_BY(mu_) = 0;
+  bool enabled_ CQA_GUARDED_BY(mu_) = true;
 };
 
 #ifdef CQABENCH_NO_OBS

@@ -10,12 +10,12 @@ AccessLog::AccessLog(const AccessLogOptions& options)
     : options_(options), rng_(options.seed) {}
 
 AccessLog::~AccessLog() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
 bool AccessLog::Open(std::string* error) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   file_ = std::fopen(options_.path.c_str(), "a");
   if (file_ == nullptr) {
     if (error != nullptr) {
@@ -65,7 +65,7 @@ void AccessLog::Append(const AccessLogEntry& entry) {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) return;
   const bool slow = entry.timing.total_micros >= options_.slow_micros;
   const bool must_log = slow || entry.code != ErrorCode::kOk;
@@ -83,12 +83,12 @@ void AccessLog::Append(const AccessLogEntry& entry) {
 }
 
 uint64_t AccessLog::lines() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lines_;
 }
 
 uint64_t AccessLog::sampled_out() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sampled_out_;
 }
 

@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "serve/protocol.h"
 
 namespace cqa::serve {
@@ -60,16 +60,16 @@ class AccessLog {
   AccessLog& operator=(const AccessLog&) = delete;
 
   /// Opens the log file for appending. False with *error on failure.
-  bool Open(std::string* error);
+  bool Open(std::string* error) CQA_EXCLUDES(mu_);
 
   /// Logs or samples out one request. Safe from any worker thread.
-  void Append(const AccessLogEntry& entry);
+  void Append(const AccessLogEntry& entry) CQA_EXCLUDES(mu_);
 
   double sample_rate() const { return options_.sample_rate; }
   /// Lines actually written so far.
-  uint64_t lines() const;
+  uint64_t lines() const CQA_EXCLUDES(mu_);
   /// Requests dropped by the sampling draw.
-  uint64_t sampled_out() const;
+  uint64_t sampled_out() const CQA_EXCLUDES(mu_);
 
   /// Renders one entry as its JSONL line (without trailing newline
   /// decisions — the returned string ends in '\n'). Exposed for tests.
@@ -78,11 +78,11 @@ class AccessLog {
 
  private:
   const AccessLogOptions options_;
-  mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
-  Rng rng_;
-  uint64_t lines_ = 0;
-  uint64_t sampled_out_ = 0;
+  mutable Mutex mu_;
+  std::FILE* file_ CQA_GUARDED_BY(mu_) = nullptr;
+  Rng rng_ CQA_GUARDED_BY(mu_);
+  uint64_t lines_ CQA_GUARDED_BY(mu_) = 0;
+  uint64_t sampled_out_ CQA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cqa::serve

@@ -1,7 +1,6 @@
 #include "serve/admission.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 
 #include "obs/metrics.h"
@@ -17,7 +16,7 @@ AdmissionController::AdmissionController(const AdmissionOptions& options)
           obs::Registry::Instance().GetGauge("serve.admission_queued")) {}
 
 Admission AdmissionController::Enter(const Deadline& deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (shutdown_) return Admission::kShutdown;
   if (queued_ == 0 && inflight_ < max_inflight_) {
     ++inflight_;
@@ -34,20 +33,19 @@ Admission AdmissionController::Enter(const Deadline& deadline) {
   ++queued_;
   queued_gauge_->Set(static_cast<int64_t>(queued_));
   CQA_OBS_OBSERVE("serve.admission_queue_depth", queued_);
-  auto may_proceed = [&] {
-    return shutdown_ ||
-           (ticket == serving_ticket_ && inflight_ < max_inflight_);
-  };
   bool expired = false;
-  if (deadline.RemainingSeconds() ==
-      std::numeric_limits<double>::infinity()) {
-    slot_cv_.wait(lock, may_proceed);
-  } else {
-    auto until = std::chrono::steady_clock::now() +
-                 std::chrono::duration_cast<std::chrono::nanoseconds>(
-                     std::chrono::duration<double>(
-                         deadline.RemainingSeconds()));
-    expired = !slot_cv_.wait_until(lock, until, may_proceed);
+  while (!(shutdown_ ||
+           (ticket == serving_ticket_ && inflight_ < max_inflight_))) {
+    const double remaining = deadline.RemainingSeconds();
+    if (remaining == std::numeric_limits<double>::infinity()) {
+      slot_cv_.Wait(mu_);
+      continue;
+    }
+    if (remaining <= 0.0) {
+      expired = true;
+      break;
+    }
+    slot_cv_.WaitForSeconds(mu_, remaining);
   }
   --queued_;
   queued_gauge_->Set(static_cast<int64_t>(queued_));
@@ -60,7 +58,7 @@ Admission AdmissionController::Enter(const Deadline& deadline) {
     CQA_OBS_COUNT("serve.admission_expired");
     return Admission::kExpired;
   }
-  // may_proceed held: this waiter is at the head with a free slot.
+  // The wait condition held: this waiter is at the head with a free slot.
   ++serving_ticket_;
   // Tickets abandoned earlier may sit right behind; skip them so the
   // next live waiter sees its turn.
@@ -68,7 +66,7 @@ Admission AdmissionController::Enter(const Deadline& deadline) {
   ++inflight_;
   inflight_gauge_->Set(static_cast<int64_t>(inflight_));
   CQA_OBS_COUNT("serve.admission_admitted");
-  slot_cv_.notify_all();
+  slot_cv_.NotifyAll();
   return Admission::kAdmitted;
 }
 
@@ -79,25 +77,25 @@ void AdmissionController::AdvancePast(uint64_t ticket) {
   if (ticket == serving_ticket_) {
     ++serving_ticket_;
     while (abandoned_.erase(serving_ticket_) > 0) ++serving_ticket_;
-    slot_cv_.notify_all();
+    slot_cv_.NotifyAll();
   } else if (ticket > serving_ticket_) {
     abandoned_.insert(ticket);
   }
 }
 
 void AdmissionController::Leave(double service_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (inflight_ > 0) --inflight_;
   inflight_gauge_->Set(static_cast<int64_t>(inflight_));
   // EWMA with alpha 0.2: smooth enough to ride out one slow query, fresh
   // enough to track a workload shift within a handful of requests.
   ewma_service_seconds_ =
       0.8 * ewma_service_seconds_ + 0.2 * service_seconds;
-  slot_cv_.notify_all();
+  slot_cv_.NotifyAll();
 }
 
 double AdmissionController::RetryAfterSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const double backlog =
       static_cast<double>(queued_ + inflight_) /
       static_cast<double>(max_inflight_);
@@ -105,23 +103,23 @@ double AdmissionController::RetryAfterSeconds() const {
 }
 
 void AdmissionController::Shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   shutdown_ = true;
-  slot_cv_.notify_all();
+  slot_cv_.NotifyAll();
 }
 
 size_t AdmissionController::inflight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return inflight_;
 }
 
 size_t AdmissionController::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queued_;
 }
 
 uint64_t AdmissionController::shed_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shed_total_;
 }
 

@@ -8,13 +8,12 @@
 #ifndef CQABENCH_SERVE_ADMISSION_H_
 #define CQABENCH_SERVE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <set>
 
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace cqa::serve {
@@ -45,29 +44,29 @@ class AdmissionController {
   /// all slots are busy. Returns kShed immediately when the queue is
   /// full, kExpired when `deadline` fires first, kShutdown when
   /// Shutdown() is called while waiting.
-  Admission Enter(const Deadline& deadline);
+  Admission Enter(const Deadline& deadline) CQA_EXCLUDES(mu_);
 
   /// Releases a slot claimed by a successful Enter(). `service_seconds`
   /// feeds the EWMA behind RetryAfterSeconds.
-  void Leave(double service_seconds);
+  void Leave(double service_seconds) CQA_EXCLUDES(mu_);
 
   /// Hint for shed clients: the expected time until a slot frees up,
   /// estimated as (queued + inflight) / max_inflight times the EWMA
   /// service time, clamped to [0.05, 60] seconds.
-  double RetryAfterSeconds() const;
+  double RetryAfterSeconds() const CQA_EXCLUDES(mu_);
 
   /// Wakes every queued waiter with kShutdown and makes all future
   /// Enter() calls return kShutdown. Idempotent.
-  void Shutdown();
+  void Shutdown() CQA_EXCLUDES(mu_);
 
-  size_t inflight() const;
-  size_t queued() const;
-  uint64_t shed_total() const;
+  size_t inflight() const CQA_EXCLUDES(mu_);
+  size_t queued() const CQA_EXCLUDES(mu_);
+  uint64_t shed_total() const CQA_EXCLUDES(mu_);
 
  private:
-  /// Precondition: mu_ held. Removes an abandoned waiter's ticket from
-  /// the FIFO order so later tickets are not stalled behind it.
-  void AdvancePast(uint64_t ticket);
+  /// Removes an abandoned waiter's ticket from the FIFO order so later
+  /// tickets are not stalled behind it.
+  void AdvancePast(uint64_t ticket) CQA_REQUIRES(mu_);
 
   const size_t max_inflight_;
   const size_t max_queue_;
@@ -76,19 +75,19 @@ class AdmissionController {
   // admission state must stay accurate in every build mode.
   obs::Gauge* const inflight_gauge_;
   obs::Gauge* const queued_gauge_;
-  mutable std::mutex mu_;
-  std::condition_variable slot_cv_;
-  size_t inflight_ = 0;
-  size_t queued_ = 0;
+  mutable Mutex mu_;
+  CondVar slot_cv_;  // Signalled when a slot frees or state changes.
+  size_t inflight_ CQA_GUARDED_BY(mu_) = 0;
+  size_t queued_ CQA_GUARDED_BY(mu_) = 0;
   // Ticketing keeps the queue FIFO: waiters are served in Enter order.
-  uint64_t next_ticket_ = 0;
-  uint64_t serving_ticket_ = 0;
-  uint64_t shed_total_ = 0;
+  uint64_t next_ticket_ CQA_GUARDED_BY(mu_) = 0;
+  uint64_t serving_ticket_ CQA_GUARDED_BY(mu_) = 0;
+  uint64_t shed_total_ CQA_GUARDED_BY(mu_) = 0;
   // Tickets whose waiters left the queue (deadline/shutdown) before
   // being served; skipped when the serving counter reaches them.
-  std::set<uint64_t> abandoned_;
-  bool shutdown_ = false;
-  double ewma_service_seconds_ = 0.1;  // Optimistic prior.
+  std::set<uint64_t> abandoned_ CQA_GUARDED_BY(mu_);
+  bool shutdown_ CQA_GUARDED_BY(mu_) = false;
+  double ewma_service_seconds_ CQA_GUARDED_BY(mu_) = 0.1;  // Optimistic prior.
 };
 
 }  // namespace cqa::serve

@@ -16,7 +16,7 @@ namespace {
 bool SendAll(int fd, const std::string& data, std::string* error) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -57,7 +57,7 @@ bool CqaClient::Connect(const std::string& host, int port,
     return false;
   }
   // Request/response framing benefits from immediate sends.
-  int one = 1;
+  const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return true;
 }
@@ -90,13 +90,13 @@ bool CqaClient::ReadFrame(std::string* payload, std::string* error) {
   char buf[1 << 16];
   while (true) {
     std::string frame_error;
-    FrameDecoder::Status status = decoder_.Next(payload, &frame_error);
+    const FrameDecoder::Status status = decoder_.Next(payload, &frame_error);
     if (status == FrameDecoder::Status::kFrame) return true;
     if (status == FrameDecoder::Status::kError) {
       *error = "response framing error: " + frame_error;
       return false;
     }
-    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n == 0) {
       *error = "connection closed by server";
       return false;

@@ -25,7 +25,7 @@ namespace {
 // (the load will then fail with a proper not-found error).
 std::string CanonicalDataPath(const std::string& path) {
   std::error_code ec;
-  std::filesystem::path canonical =
+  const std::filesystem::path canonical =
       std::filesystem::weakly_canonical(path, ec);
   if (ec) return path;
   return canonical.string();
@@ -52,7 +52,7 @@ std::shared_ptr<LoadedDatabase> CqaEngine::GetDatabase(
   // (the LRU holds the working set) and concurrent loads of one directory
   // would duplicate hundreds of MB; serializing them is the simple safe
   // choice. See docs/architecture.md §cqad.
-  std::lock_guard<std::mutex> lock(db_mu_);
+  MutexLock lock(db_mu_);
   for (auto it = db_cache_.begin(); it != db_cache_.end(); ++it) {
     if (it->first == key) {
       db_cache_.splice(db_cache_.begin(), db_cache_, it);
@@ -89,7 +89,7 @@ Response CqaEngine::ExecuteQuery(const Request& request,
   Response response;
   response.id = request.id;
 
-  std::optional<SchemeKind> scheme = ParseSchemeKind(request.scheme);
+  const std::optional<SchemeKind> scheme = ParseSchemeKind(request.scheme);
   if (!scheme.has_value()) {
     return Response::MakeError(ErrorCode::kBadRequest,
                                "unknown scheme: " + request.scheme,
@@ -99,10 +99,10 @@ Response CqaEngine::ExecuteQuery(const Request& request,
   // The preprocess phase accumulates everything that stands between the
   // wire request and runnable synopses: database load, query parse, and
   // (on a cache miss) the synopsis build inside the cache's flight.
-  Stopwatch preprocess_watch;
+  const Stopwatch preprocess_watch;
   ErrorCode code = ErrorCode::kOk;
   std::string error;
-  std::shared_ptr<LoadedDatabase> db =
+  const std::shared_ptr<LoadedDatabase> db =
       GetDatabase(request.schema, request.data, &code, &error);
   if (db == nullptr) return Response::MakeError(code, error, request.id);
 
@@ -120,7 +120,7 @@ Response CqaEngine::ExecuteQuery(const Request& request,
   bool cache_hit = false;
   uint64_t build_micros = 0;
   std::shared_ptr<const PreprocessResult> pre;
-  Stopwatch cache_watch;
+  const Stopwatch cache_watch;
   {
     obs::TraceSpan cache_span("serve.cache", parent_span, request.trace_id);
     pre = synopsis_cache_.GetOrBuild(
@@ -129,10 +129,10 @@ Response CqaEngine::ExecuteQuery(const Request& request,
             -> std::shared_ptr<const PreprocessResult> {
           obs::TraceSpan build_span("serve.preprocess", cache_span.id(),
                                     request.trace_id);
-          Stopwatch build_watch;
+          const Stopwatch build_watch;
           // DatabaseIndexCache is single-threaded; one build at a time per
           // database (builds for *other* databases proceed in parallel).
-          std::lock_guard<std::mutex> build_lock(db->preprocess_mu);
+          MutexLock build_lock(db->preprocess_mu);
           PreprocessResult result =
               BuildSynopses(db->db, query, &db->index_cache);
           (void)build_error;
@@ -166,7 +166,7 @@ Response CqaEngine::ExecuteQuery(const Request& request,
   params.delta = request.delta;
   params.num_threads = request.threads;
   Rng rng(request.seed);
-  Stopwatch watch;
+  const Stopwatch watch;
   CqaRunResult run;
   {
     obs::TraceSpan sample_span("serve.sample", parent_span, request.trace_id);
@@ -176,7 +176,7 @@ Response CqaEngine::ExecuteQuery(const Request& request,
   response.timing.sample_micros =
       static_cast<uint64_t>(total_seconds * 1e6);
 
-  Stopwatch encode_watch;
+  const Stopwatch encode_watch;
   {
     obs::TraceSpan encode_span("serve.encode", parent_span, request.trace_id);
     response.code = ErrorCode::kOk;

@@ -11,9 +11,9 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "cqa/apx_cqa.h"
 #include "obs/report.h"
 #include "query/evaluator.h"
@@ -43,8 +43,10 @@ struct EngineOptions {
 struct LoadedDatabase {
   Schema schema;
   Database db;
-  DatabaseIndexCache index_cache;
-  std::mutex preprocess_mu;
+  // mutable so a const LoadedDatabase can still serialize builds: the
+  // lock protects scratch (the evaluator's indexes), not logical state.
+  mutable Mutex preprocess_mu;
+  DatabaseIndexCache index_cache CQA_GUARDED_BY(preprocess_mu);
 
   // The schema must be complete before the Database is constructed (the
   // Database sizes its relation store from it), hence by-value injection
@@ -87,15 +89,16 @@ class CqaEngine {
   std::shared_ptr<LoadedDatabase> GetDatabase(const std::string& schema,
                                               const std::string& data_path,
                                               ErrorCode* code,
-                                              std::string* error);
+                                              std::string* error)
+      CQA_EXCLUDES(db_mu_);
 
   const EngineOptions options_;
   SynopsisCache synopsis_cache_;
 
-  std::mutex db_mu_;
+  mutable Mutex db_mu_;
   // Tiny LRU of loaded databases, most recent at the front.
   std::list<std::pair<std::string, std::shared_ptr<LoadedDatabase>>>
-      db_cache_;
+      db_cache_ CQA_GUARDED_BY(db_mu_);
 };
 
 }  // namespace cqa::serve

@@ -111,7 +111,7 @@ class Parser {
           if (pos_ + 4 >= text_.size()) return Fail("short \\u escape");
           unsigned code = 0;
           for (int i = 1; i <= 4; ++i) {
-            char h = text_[pos_ + i];
+            const char h = text_[pos_ + i];
             code <<= 4;
             if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
             else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
@@ -142,7 +142,7 @@ class Parser {
   }
 
   bool ParseNumber(JsonValue* out) {
-    size_t start = pos_;
+    const size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
@@ -151,9 +151,9 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) return Fail("expected a value");
-    std::string token = text_.substr(start, pos_ - start);
+    const std::string token = text_.substr(start, pos_ - start);
     char* end = nullptr;
-    double value = std::strtod(token.c_str(), &end);
+    const double value = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
       pos_ = start;
       return Fail("bad number");
@@ -234,7 +234,7 @@ void SerializeTo(const JsonValue& v, std::string* out) {
       return;
     case JsonValue::Kind::kNumber: {
       char buf[32];
-      double n = v.AsNumber();
+      const double n = v.AsNumber();
       // Integers print exactly (seeds, counts, error codes); everything
       // else gets round-trippable precision.
       if (n == static_cast<double>(static_cast<long long>(n)) &&

@@ -30,7 +30,7 @@ std::string HttpResponse(int status, const std::string& reason,
 bool SendAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -54,7 +54,7 @@ bool MetricsHttpServer::Start(std::string* error) {
     *error = std::string("socket: ") + std::strerror(errno);
     return false;
   }
-  int one = 1;
+  const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -106,10 +106,10 @@ void MetricsHttpServer::Loop() {
   pfd.events = POLLIN;
   while (!stop_.load()) {
     pfd.revents = 0;
-    int ready = ::poll(&pfd, 1, kPollTickMs);
+    const int ready = ::poll(&pfd, 1, kPollTickMs);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     ServeOne(fd);
   }
@@ -125,13 +125,13 @@ void MetricsHttpServer::ServeOne(int fd) {
   pfd.events = POLLIN;
   for (int ticks = 0; ticks < 20 && head.size() < kMaxRequestBytes; ++ticks) {
     pfd.revents = 0;
-    int ready = ::poll(&pfd, 1, kPollTickMs);
+    const int ready = ::poll(&pfd, 1, kPollTickMs);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) {
       if (stop_.load()) break;
       continue;
     }
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
     head.append(buf, static_cast<size_t>(n));
     if (head.find("\r\n\r\n") != std::string::npos ||

@@ -146,7 +146,7 @@ bool Request::FromJsonPayload(const std::string& payload, Request* out,
                " bytes";
       return false;
     }
-    double parent = trace->GetNumber("parent", 0.0);
+    const double parent = trace->GetNumber("parent", 0.0);
     if (parent < 0.0) {
       *code = ErrorCode::kBadRequest;
       *error = "trace parent must be a non-negative span id";
@@ -263,7 +263,7 @@ bool Response::FromJsonPayload(const std::string& payload, Response* out,
   }
   out->version = static_cast<int>(root.GetNumber("v", 0));
   out->id = root.GetString("id", "");
-  std::string status = root.GetString("status", "");
+  const std::string status = root.GetString("status", "");
   if (status == "error") {
     out->code = static_cast<ErrorCode>(
         static_cast<int>(root.GetNumber("code", 500)));

@@ -35,7 +35,7 @@ constexpr int kPollTickMs = 100;
 bool SendAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -82,7 +82,7 @@ bool CqadServer::Start(std::string* error) {
     *error = std::string("socket: ") + std::strerror(errno);
     return false;
   }
-  int one = 1;
+  const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr;
@@ -133,7 +133,7 @@ void CqadServer::RequestDrain() {
   admission_.Shutdown();
   // Workers parked on the hand-off queue wake to flush it with
   // kDraining replies, then exit.
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 void CqadServer::Wait() {
@@ -153,24 +153,24 @@ void CqadServer::AcceptorLoop() {
       break;
     }
     pfd.revents = 0;
-    int ready = ::poll(&pfd, 1, kPollTickMs);
+    const int ready = ::poll(&pfd, 1, kPollTickMs);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     ++connections_total_;
     CQA_OBS_COUNT("serve.connections");
-    std::unique_lock<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (conn_queue_.size() >= options_.max_pending_connections) {
-      lock.unlock();
+      lock.Unlock();
       CQA_OBS_COUNT("serve.connections_shed");
       SendErrorAndClose(fd, ErrorCode::kOverloaded,
                         "connection backlog full");
       continue;
     }
     conn_queue_.push_back(fd);
-    lock.unlock();
-    queue_cv_.notify_one();
+    lock.Unlock();
+    queue_cv_.NotifyOne();
   }
   // Drain step 1: stop accepting — close the listening socket so new
   // connects are refused at the TCP layer.
@@ -186,7 +186,7 @@ void CqadServer::AcceptorLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       if (conn_queue_.empty()) break;
       fd = conn_queue_.front();
       conn_queue_.pop_front();
@@ -202,10 +202,10 @@ void CqadServer::WorkerLoop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] {
-        return draining_.load() || !conn_queue_.empty();
-      });
+      MutexLock lock(queue_mu_);
+      while (!draining_.load() && conn_queue_.empty()) {
+        queue_cv_.Wait(queue_mu_);
+      }
       if (conn_queue_.empty()) return;  // Draining and nothing queued.
       fd = conn_queue_.front();
       conn_queue_.pop_front();
@@ -222,7 +222,7 @@ void CqadServer::WorkerLoop() {
 
 void CqadServer::ServeConnection(int fd) {
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     open_conns_.insert(fd);
     connections_gauge_->Set(static_cast<int64_t>(open_conns_.size()));
   }
@@ -234,7 +234,7 @@ void CqadServer::ServeConnection(int fd) {
   bool keep = true;
   while (keep) {
     pfd.revents = 0;
-    int ready = ::poll(&pfd, 1, kPollTickMs);
+    const int ready = ::poll(&pfd, 1, kPollTickMs);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) {
       // Idle tick: under drain, an idle connection is closed rather
@@ -242,7 +242,7 @@ void CqadServer::ServeConnection(int fd) {
       if (draining_.load()) break;
       continue;
     }
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;  // EOF or error.
     decoder.Append(buf, static_cast<size_t>(n));
     while (keep) {
@@ -255,7 +255,7 @@ void CqadServer::ServeConnection(int fd) {
             frame_error.find("exceeds") != std::string::npos
                 ? ErrorCode::kFrameTooLarge
                 : ErrorCode::kBadRequest;
-        Response reply = Response::MakeError(code, frame_error);
+        const Response reply = Response::MakeError(code, frame_error);
         SendAll(fd, EncodeFrame(reply.ToJsonPayload()));
         keep = false;  // Framing is unrecoverable; close.
         break;
@@ -264,7 +264,7 @@ void CqadServer::ServeConnection(int fd) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     open_conns_.erase(fd);
     connections_gauge_->Set(static_cast<int64_t>(open_conns_.size()));
   }
@@ -272,7 +272,7 @@ void CqadServer::ServeConnection(int fd) {
 }
 
 bool CqadServer::HandleFrame(int fd, const std::string& payload) {
-  Stopwatch request_watch;
+  const Stopwatch request_watch;
   ++requests_total_;
   CQA_OBS_COUNT("serve.requests");
 
@@ -347,14 +347,14 @@ Response CqadServer::ExecuteWithAdmission(const Request& request,
   }
   // The deadline starts here, before the admission wait, so time spent
   // queued counts against the request's budget.
-  Deadline deadline = engine_.MakeDeadline(request);
-  Stopwatch service_watch;
+  const Deadline deadline = engine_.MakeDeadline(request);
+  const Stopwatch service_watch;
   Admission decision;
   uint64_t queue_wait_micros = 0;
   {
     obs::TraceSpan queue_span("serve.queue_wait", root_span,
                               request.trace_id);
-    Stopwatch queue_watch;
+    const Stopwatch queue_watch;
     decision = admission_.Enter(deadline);
     queue_wait_micros =
         static_cast<uint64_t>(queue_watch.ElapsedSeconds() * 1e6);
@@ -395,16 +395,16 @@ void CqadServer::SendErrorAndClose(int fd, ErrorCode code,
 }
 
 void CqadServer::ForceCloseStragglers() {
-  Deadline grace(options_.drain_timeout_s);
+  const Deadline grace(options_.drain_timeout_s);
   while (!grace.Expired()) {
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       if (open_conns_.empty()) return;
     }
     struct timespec ts = {0, 20 * 1000 * 1000};  // 20ms.
     ::nanosleep(&ts, nullptr);
   }
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  MutexLock lock(conns_mu_);
   for (int fd : open_conns_) {
     // shutdown(), not close(): the owning worker still holds the fd and
     // will observe recv()/send() failing, then close it itself.

@@ -10,15 +10,14 @@
 #define CQABENCH_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 
+#include "common/thread_annotations.h"
 #include "serve/access_log.h"
 #include "serve/admission.h"
 #include "serve/engine.h"
@@ -99,10 +98,10 @@ class CqadServer {
   std::string StatsJson() const;
 
  private:
-  void AcceptorLoop();
-  void WorkerLoop();
+  void AcceptorLoop() CQA_EXCLUDES(queue_mu_, conns_mu_);
+  void WorkerLoop() CQA_EXCLUDES(queue_mu_);
   /// Serves one connection until EOF, protocol error, or drain.
-  void ServeConnection(int fd);
+  void ServeConnection(int fd) CQA_EXCLUDES(conns_mu_);
   /// Decodes and answers one frame. False → close the connection.
   bool HandleFrame(int fd, const std::string& payload);
   /// Runs a query op through admission; `root_span` parents the
@@ -113,7 +112,7 @@ class CqadServer {
   void SendErrorAndClose(int fd, ErrorCode code, const std::string& message);
   /// After drain_timeout_s, force-close connections still open so workers
   /// blocked on socket I/O fail fast.
-  void ForceCloseStragglers();
+  void ForceCloseStragglers() CQA_EXCLUDES(conns_mu_);
 
   const ServerOptions options_;
   CqaEngine engine_;
@@ -127,12 +126,12 @@ class CqadServer {
   std::thread acceptor_;
   std::thread dispatcher_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> conn_queue_;
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;  // Signalled on hand-off push and on drain.
+  std::deque<int> conn_queue_ CQA_GUARDED_BY(queue_mu_);
 
-  mutable std::mutex conns_mu_;
-  std::set<int> open_conns_;
+  mutable Mutex conns_mu_;
+  std::set<int> open_conns_ CQA_GUARDED_BY(conns_mu_);
   // Mirrors open_conns_.size() as the serve.connections_open gauge
   // (updated unconditionally; serving state is not NO_OBS-gated).
   obs::Gauge* const connections_gauge_;

@@ -19,8 +19,8 @@ SynopsisCache::SynopsisCache(size_t capacity)
 
 std::shared_ptr<const PreprocessResult> SynopsisCache::Get(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
+  MutexLock lock(mu_);
+  const auto it = entries_.find(key);
   if (it == entries_.end() || it->second.value == nullptr) {
     ++misses_;
     CQA_OBS_COUNT("serve.cache_misses");
@@ -35,9 +35,9 @@ std::shared_ptr<const PreprocessResult> SynopsisCache::Get(
 std::shared_ptr<const PreprocessResult> SynopsisCache::GetOrBuild(
     const std::string& key, const Builder& build, bool* hit,
     std::string* error) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    auto it = entries_.find(key);
+    const auto it = entries_.find(key);
     if (it == entries_.end()) break;
     Entry& entry = it->second;
     if (entry.value != nullptr) {
@@ -51,10 +51,11 @@ std::shared_ptr<const PreprocessResult> SynopsisCache::GetOrBuild(
       // Another request is preprocessing this key right now; wait for it
       // instead of duplicating the work (single-flight).
       CQA_OBS_COUNT("serve.cache_build_waits");
-      build_cv_.wait(lock, [&] {
-        auto current = entries_.find(key);
-        return current == entries_.end() || !current->second.building;
-      });
+      while (true) {
+        const auto current = entries_.find(key);
+        if (current == entries_.end() || !current->second.building) break;
+        build_cv_.Wait(mu_);
+      }
       continue;  // Re-examine: value, failure, or entry vanished.
     }
     if (entry.failed) {
@@ -72,13 +73,13 @@ std::shared_ptr<const PreprocessResult> SynopsisCache::GetOrBuild(
   if (hit != nullptr) *hit = false;
   Entry& entry = entries_[key];
   entry.building = true;
-  lock.unlock();
+  lock.Unlock();
 
   std::string build_error;
-  std::shared_ptr<const PreprocessResult> value = build(&build_error);
+  const std::shared_ptr<const PreprocessResult> value = build(&build_error);
 
-  lock.lock();
-  auto it = entries_.find(key);
+  lock.Lock();
+  const auto it = entries_.find(key);
   CQA_CHECK_MSG(it != entries_.end() && it->second.building,
                 "cache entry vanished under its own build");
   if (value == nullptr) {
@@ -86,7 +87,7 @@ std::shared_ptr<const PreprocessResult> SynopsisCache::GetOrBuild(
     it->second.failed = true;
     it->second.build_error = build_error;
     // Failures are not cached: drop the tombstone once waiters saw it.
-    build_cv_.notify_all();
+    build_cv_.NotifyAll();
     entries_.erase(it);
     if (error != nullptr) *error = build_error;
     return nullptr;
@@ -97,12 +98,12 @@ std::shared_ptr<const PreprocessResult> SynopsisCache::GetOrBuild(
   it->second.lru_it = lru_.begin();
   EvictOverflow();
   entries_gauge_->Set(static_cast<int64_t>(lru_.size()));
-  build_cv_.notify_all();
+  build_cv_.NotifyAll();
   return value;
 }
 
 void SynopsisCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.building) {
       ++it;  // The build will re-insert; leave its entry alone.
@@ -115,22 +116,22 @@ void SynopsisCache::Clear() {
 }
 
 size_t SynopsisCache::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 
 uint64_t SynopsisCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t SynopsisCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 uint64_t SynopsisCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return evictions_;
 }
 

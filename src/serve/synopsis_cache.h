@@ -7,15 +7,14 @@
 #ifndef CQABENCH_SERVE_SYNOPSIS_CACHE_H_
 #define CQABENCH_SERVE_SYNOPSIS_CACHE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "cqa/preprocess.h"
 #include "obs/metrics.h"
 
@@ -69,20 +68,22 @@ class SynopsisCache {
   std::shared_ptr<const PreprocessResult> GetOrBuild(const std::string& key,
                                                      const Builder& build,
                                                      bool* hit,
-                                                     std::string* error);
+                                                     std::string* error)
+      CQA_EXCLUDES(mu_);
 
   /// Lookup without building; nullptr on miss. Counts hit/miss metrics.
-  std::shared_ptr<const PreprocessResult> Get(const std::string& key);
+  std::shared_ptr<const PreprocessResult> Get(const std::string& key)
+      CQA_EXCLUDES(mu_);
 
   /// Drops every cached entry (in-flight builds are unaffected and will
   /// re-insert their results).
-  void Clear();
+  void Clear() CQA_EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
-  size_t entries() const;
-  uint64_t hits() const;
-  uint64_t misses() const;
-  uint64_t evictions() const;
+  size_t entries() const CQA_EXCLUDES(mu_);
+  uint64_t hits() const CQA_EXCLUDES(mu_);
+  uint64_t misses() const CQA_EXCLUDES(mu_);
+  uint64_t evictions() const CQA_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -93,23 +94,23 @@ class SynopsisCache {
     std::list<std::string>::iterator lru_it;  // Valid iff value != null.
   };
 
-  /// Precondition: mu_ held; entry holds a value. Moves it to MRU.
-  void Touch(Entry* entry, const std::string& key);
-  /// Precondition: mu_ held. Evicts LRU entries down to capacity.
-  void EvictOverflow();
+  /// Entry holds a value; moves it to MRU.
+  void Touch(Entry* entry, const std::string& key) CQA_REQUIRES(mu_);
+  /// Evicts LRU entries down to capacity.
+  void EvictOverflow() CQA_REQUIRES(mu_);
 
   const size_t capacity_;
   // Mirrors lru_.size() for /metrics and `stats`; updated directly (no
   // NO_OBS gating) so the gauge is live in every build mode.
   obs::Gauge* const entries_gauge_;
-  mutable std::mutex mu_;
-  std::condition_variable build_cv_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  CondVar build_cv_;  // Signalled when a single-flight build completes.
+  std::map<std::string, Entry> entries_ CQA_GUARDED_BY(mu_);
   // LRU order, most recent at the front; only completed entries appear.
-  std::list<std::string> lru_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  std::list<std::string> lru_ CQA_GUARDED_BY(mu_);
+  uint64_t hits_ CQA_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ CQA_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ CQA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cqa::serve

@@ -35,6 +35,15 @@ Fast, dependency-free checks that encode conventions the compiler cannot:
      non-test source -- CQA_OBS_COUNT/COUNT_N/OBSERVE literals and
      Registry GetGauge("...") literals -- must appear in docs/metrics.md,
      so the metric catalog cannot silently drift from the code.
+  9. Concurrency discipline: non-test source synchronizes only through
+     the annotated cqa::Mutex/MutexLock/CondVar wrappers
+     (src/common/thread_annotations.h) so Clang Thread Safety Analysis
+     sees every lock; raw std::mutex/std::condition_variable/
+     std::lock_guard/std::unique_lock use outside that header is
+     rejected.  Naked std::thread construction is confined to the pool
+     (src/common/thread_pool.cc) and the daemon's dedicated
+     acceptor/dispatcher and metrics-scrape threads
+     (src/serve/server.cc, src/serve/metrics_http.cc).
 
 Exit status is 0 iff the tree is clean.  Run from anywhere:
     python3 tools/lint.py
@@ -325,6 +334,57 @@ def check_metric_docs(errors: list[str]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Check 9: concurrency discipline -- annotated wrappers and thread sites.
+# ---------------------------------------------------------------------------
+
+# Raw synchronization primitives the TSA annotations cannot see.  The
+# annotated wrappers in src/common/thread_annotations.h are the only
+# place allowed to touch them.
+RAW_SYNC_PATTERN = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable_any|"
+    r"condition_variable|lock_guard|unique_lock|scoped_lock)\b"
+)
+RAW_SYNC_ALLOWED = {"src/common/thread_annotations.h"}
+
+# std::thread construction (a ctor call with arguments -- bare member
+# declarations, std::thread::id, and hardware_concurrency() don't match).
+THREAD_CTOR_PATTERN = re.compile(r"std::j?thread\s*[({]")
+THREAD_CTOR_ALLOWED = {
+    # The shared worker pool: the one sanctioned thread factory.
+    "src/common/thread_pool.cc",
+    # cqad's dedicated acceptor + dispatcher threads.
+    "src/serve/server.cc",
+    # The /metrics HTTP listener's scrape thread.
+    "src/serve/metrics_http.cc",
+}
+
+
+def check_concurrency_discipline(path: Path, rel: str, text: str,
+                                 errors: list[str]) -> None:
+    if rel.startswith("tests/"):
+        return  # Tests may exercise raw primitives directly.
+    for lineno, line in enumerate(text.splitlines(), 1):
+        code = strip_comments(line)
+        if rel not in RAW_SYNC_ALLOWED:
+            match = RAW_SYNC_PATTERN.search(code)
+            if match:
+                errors.append(
+                    f"{rel}:{lineno}: raw {match.group(0)}; use the "
+                    f"annotated cqa::Mutex/MutexLock/CondVar wrappers "
+                    f"(src/common/thread_annotations.h) so Clang Thread "
+                    f"Safety Analysis checks the locking contract"
+                )
+        if rel not in THREAD_CTOR_ALLOWED and THREAD_CTOR_PATTERN.search(code):
+            errors.append(
+                f"{rel}:{lineno}: naked std::thread construction; run work "
+                f"on cqa::ThreadPool (src/common/thread_pool.h) or add the "
+                f"site to THREAD_CTOR_ALLOWED in tools/lint.py with a "
+                f"rationale"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
@@ -353,6 +413,7 @@ def main() -> int:
         check_include_guard(path, rel, text, errors)
         check_drawbatch_overrides(path, rel, text, errors)
         check_header_file_comment(path, rel, text, errors)
+        check_concurrency_discipline(path, rel, text, errors)
     check_test_references(errors)
     check_bench_json_flag(errors)
     check_flag_docs(errors)
