@@ -10,6 +10,9 @@
 #include "bench/harness.h"
 #include "obs/bench_json.h"
 #include "obs/convergence.h"
+#ifndef CQABENCH_NO_OBS
+#include "obs/profiler.h"
+#endif
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -42,6 +45,16 @@ struct BenchFlags {
   /// empty = off. Also turns on convergence recording (the file carries
   /// convergence summaries).
   std::string bench_json;
+  /// Gzipped pprof CPU-profile output path; empty = off. Setting either
+  /// profile path samples the whole grid run (obs/profiler.h). Rejected
+  /// loudly in CQABENCH_NO_OBS builds, where the profiler is absent.
+  std::string obs_profile;
+  /// Collapsed-stack (flamegraph.pl / speedscope) output path; empty =
+  /// off. May be combined with --obs_profile.
+  std::string obs_profile_fold;
+  /// Sampling rate for --obs_profile/--obs_profile_fold, per thread, in
+  /// samples per second of CPU time.
+  int obs_profile_hz = 99;
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -85,6 +98,36 @@ struct BenchFlags {
           std::fprintf(stderr, "--bench_json needs a path\n");
           std::exit(1);
         }
+      } else if (std::strncmp(arg, "--obs_profile=", 14) == 0 ||
+                 std::strncmp(arg, "--obs_profile_fold=", 19) == 0 ||
+                 std::strncmp(arg, "--obs_profile_hz=", 17) == 0) {
+#ifdef CQABENCH_NO_OBS
+        std::fprintf(stderr,
+                     "error: %s requires an observability build; this "
+                     "binary was compiled with CQABENCH_NO_OBS\n",
+                     arg);
+        std::exit(1);
+#else
+        if (std::strncmp(arg, "--obs_profile=", 14) == 0) {
+          flags.obs_profile = arg + 14;
+          if (flags.obs_profile.empty()) {
+            std::fprintf(stderr, "--obs_profile needs a path\n");
+            std::exit(1);
+          }
+        } else if (std::strncmp(arg, "--obs_profile_fold=", 19) == 0) {
+          flags.obs_profile_fold = arg + 19;
+          if (flags.obs_profile_fold.empty()) {
+            std::fprintf(stderr, "--obs_profile_fold needs a path\n");
+            std::exit(1);
+          }
+        } else {
+          flags.obs_profile_hz = std::atoi(arg + 17);
+          if (flags.obs_profile_hz < 1 || flags.obs_profile_hz > 1000) {
+            std::fprintf(stderr, "--obs_profile_hz must be in [1, 1000]\n");
+            std::exit(1);
+          }
+        }
+#endif  // CQABENCH_NO_OBS
       } else if (std::strcmp(arg, "--full") == 0) {
         flags.full = true;
         flags.queries_per_level = 5;
@@ -94,7 +137,8 @@ struct BenchFlags {
             "--seed=<n> --queries=<per level> --full "
             "--obs_report=<jsonl path> --obs_trace=<jsonl path> "
             "--obs_trace_chrome=<json path> --obs_convergence=<jsonl path> "
-            "--bench_json=<json path>\n");
+            "--bench_json=<json path> --obs_profile=<pprof.gz path> "
+            "--obs_profile_fold=<folded path> --obs_profile_hz=<1..1000>\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag %s (see --help)\n", arg);
@@ -105,7 +149,8 @@ struct BenchFlags {
     // has run (those exports happen last; a typo'd directory would
     // otherwise cost the entire run its output).
     for (const std::string* path :
-         {&flags.obs_trace, &flags.obs_trace_chrome, &flags.bench_json}) {
+         {&flags.obs_trace, &flags.obs_trace_chrome, &flags.bench_json,
+          &flags.obs_profile, &flags.obs_profile_fold}) {
       if (path->empty()) continue;
       std::FILE* probe = std::fopen(path->c_str(), "w");
       if (probe == nullptr) {
@@ -187,6 +232,18 @@ struct BenchObs {
   RunSinks sinks;
 
   BenchObs(const BenchFlags& flags, const char* bench_name) : flags_(flags) {
+#ifndef CQABENCH_NO_OBS
+    if (!flags.obs_profile.empty() || !flags.obs_profile_fold.empty()) {
+      obs::ProfilerOptions popts;
+      popts.hz = flags.obs_profile_hz;
+      std::string error;
+      if (!obs::Profiler::Instance().Start(popts, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        std::exit(1);
+      }
+      profiling_ = true;
+    }
+#endif
     sinks.report = flags.MaybeOpenReport(&report);
     if (!flags.obs_convergence.empty()) {
       std::string error;
@@ -211,7 +268,8 @@ struct BenchObs {
   BenchObs(const BenchObs&) = delete;
   BenchObs& operator=(const BenchObs&) = delete;
 
-  /// Writes the BENCH_*.json file (when asked for) and exports traces.
+  /// Writes the BENCH_*.json file (when asked for), exports traces, and
+  /// stops + writes the CPU profile (when profiling was on).
   void Finish() {
     if (sinks.bench_json != nullptr) {
       std::string error;
@@ -223,10 +281,40 @@ struct BenchObs {
                   bench_json.num_cells());
     }
     flags_.MaybeExportTrace();
+#ifndef CQABENCH_NO_OBS
+    if (profiling_) {
+      obs::Profiler& profiler = obs::Profiler::Instance();
+      profiler.Stop();
+      const obs::ProfilerStats stats = profiler.stats();
+      if (!flags_.obs_profile.empty()) {
+        WriteOrDie(flags_.obs_profile, profiler.PprofGzipped());
+      }
+      if (!flags_.obs_profile_fold.empty()) {
+        WriteOrDie(flags_.obs_profile_fold, profiler.FoldedText());
+      }
+      std::printf("# cpu profile: %llu samples, %llu stacks, %llu dropped\n",
+                  static_cast<unsigned long long>(stats.samples),
+                  static_cast<unsigned long long>(stats.distinct_stacks),
+                  static_cast<unsigned long long>(stats.dropped_ring +
+                                                  stats.dropped_untracked));
+      profiling_ = false;
+    }
+#endif
   }
 
  private:
+  static void WriteOrDie(const std::string& path, const std::string& data) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr || std::fwrite(data.data(), 1, data.size(), f) !=
+                            data.size()) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::fclose(f);
+  }
+
   BenchFlags flags_;
+  bool profiling_ = false;
 };
 
 }  // namespace cqa

@@ -33,6 +33,9 @@
 #include "obs/bench_json.h"
 #include "obs/convergence.h"
 #include "obs/metrics.h"
+#ifndef CQABENCH_NO_OBS
+#include "obs/profiler.h"
+#endif
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "query/parser.h"
@@ -83,7 +86,9 @@ int Usage() {
                " [--epsilon=F --delta=F] [--timeout=S] [--seed=N]"
                " [--obs_report=FILE] [--obs_trace=FILE]"
                " [--obs_trace_chrome=FILE] [--obs_convergence=FILE]"
-               " [--obs_metrics=FILE] [--bench_json=FILE]\n"
+               " [--obs_metrics=FILE] [--bench_json=FILE]"
+               " [--obs_profile=FILE] [--obs_profile_hz=N]"
+               " [--obs_profile_fold=FILE]\n"
                "  prep   --data=DIR --query=Q --out=FILE\n"
                "  approx --syn=FILE [--scheme=...] [--epsilon=F --delta=F]\n"
                "  profile --data=DIR --query=Q\n"
@@ -193,9 +198,36 @@ int CmdRun(const Args& args) {
   if (!args.ValidateKeys({"schema", "data", "query", "scheme", "epsilon",
                           "delta", "timeout", "seed", "obs_report",
                           "obs_trace", "obs_trace_chrome", "obs_convergence",
-                          "obs_metrics", "bench_json"})) {
+                          "obs_metrics", "bench_json", "obs_profile",
+                          "obs_profile_hz", "obs_profile_fold"})) {
     return Usage();
   }
+  const std::string profile_path = args.Get("obs_profile", "");
+  const std::string profile_fold_path = args.Get("obs_profile_fold", "");
+  const bool profiling = !profile_path.empty() || !profile_fold_path.empty();
+#ifdef CQABENCH_NO_OBS
+  if (profiling || args.flags.count("obs_profile_hz") != 0) {
+    std::fprintf(stderr,
+                 "error: --obs_profile* requires an observability build; "
+                 "this binary was compiled with CQABENCH_NO_OBS\n");
+    return 1;
+  }
+#else
+  if (profiling) {
+    obs::ProfilerOptions popts;
+    const double hz = args.GetDouble("obs_profile_hz", popts.hz);
+    if (hz < 1 || hz > 1000) {
+      std::fprintf(stderr, "error: --obs_profile_hz must be in [1, 1000]\n");
+      return 1;
+    }
+    popts.hz = static_cast<int>(hz);
+    std::string error;
+    if (!obs::Profiler::Instance().Start(popts, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+#endif  // CQABENCH_NO_OBS
   Schema schema = MakeSchema(args.Get("schema", "tpch"));
   Database db(&schema);
   if (!LoadData(args.Get("data", "."), &db)) return 1;
@@ -297,6 +329,24 @@ int CmdRun(const Args& args) {
       return 1;
     }
   }
+#ifndef CQABENCH_NO_OBS
+  if (profiling) {
+    obs::Profiler& profiler = obs::Profiler::Instance();
+    profiler.Stop();
+    if (!profile_path.empty() &&
+        !WriteTextFile(profile_path, profiler.PprofGzipped())) {
+      return 1;
+    }
+    if (!profile_fold_path.empty() &&
+        !WriteTextFile(profile_fold_path, profiler.FoldedText())) {
+      return 1;
+    }
+    const obs::ProfilerStats stats = profiler.stats();
+    std::printf("# cpu profile: %llu samples, %llu stacks\n",
+                static_cast<unsigned long long>(stats.samples),
+                static_cast<unsigned long long>(stats.distinct_stacks));
+  }
+#endif  // CQABENCH_NO_OBS
   return 0;
 }
 

@@ -10,14 +10,16 @@
 //        [--default_deadline=30] [--obs_report=FILE]
 //        [--metrics_port=N] [--obs_access_log=FILE]
 //        [--obs_access_sample=P] [--obs_access_slow_ms=N]
-//        [--obs_trace=FILE]
+//        [--obs_trace=FILE] [--obs_resource_interval=S]
 //
 // Prints one line "cqad listening on HOST:PORT" once ready (loadgen and
 // the e2e tests parse it), then — when --metrics_port was given — a
 // second line "cqad metrics on HOST:PORT" for the Prometheus /metrics +
-// /healthz listener. Serves until SIGTERM/SIGINT, which triggers the
-// graceful drain documented in DESIGN.md §9; --obs_trace exports the
-// span ring as JSONL after the drain completes.
+// /healthz + /debug/pprof listener. Serves until SIGTERM/SIGINT, which
+// triggers the graceful drain documented in DESIGN.md §9; --obs_trace
+// exports the span ring as JSONL after the drain completes.
+// --obs_resource_interval (default 1s; 0 disables) sets the tick of the
+// background resource sampler publishing the proc.* gauges.
 
 #include <cstdio>
 #include <cstring>
@@ -26,6 +28,7 @@
 
 #include "obs/exposition.h"
 #include "obs/report.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "serve/access_log.h"
 #include "serve/metrics_http.h"
@@ -70,7 +73,7 @@ int Usage() {
       "            [--default_deadline=S] [--obs_report=FILE]\n"
       "            [--metrics_port=N] [--obs_access_log=FILE]\n"
       "            [--obs_access_sample=P] [--obs_access_slow_ms=N]\n"
-      "            [--obs_trace=FILE]\n");
+      "            [--obs_trace=FILE] [--obs_resource_interval=S]\n");
   return 2;
 }
 
@@ -91,7 +94,7 @@ int main(int argc, char** argv) {
                           "db_cache_entries", "default_deadline",
                           "obs_report", "metrics_port", "obs_access_log",
                           "obs_access_sample", "obs_access_slow_ms",
-                          "obs_trace"})) {
+                          "obs_trace", "obs_resource_interval"})) {
     return Usage();
   }
 
@@ -139,6 +142,16 @@ int main(int argc, char** argv) {
     options.access_log = &access_log;
   }
 
+  const double resource_interval = args.GetDouble("obs_resource_interval", 1.0);
+  if (resource_interval > 0.0) {
+    std::string resource_error;
+    if (!obs::ResourceSampler::Instance().Start(resource_interval,
+                                                &resource_error)) {
+      std::fprintf(stderr, "error: %s\n", resource_error.c_str());
+      return 1;
+    }
+  }
+
   serve::CqadServer::InstallSignalHandlers();
   serve::CqadServer server(options);
   std::string error;
@@ -169,6 +182,7 @@ int main(int argc, char** argv) {
 
   server.Wait();
   metrics_http.Stop();
+  obs::ResourceSampler::Instance().Stop();
   std::string trace_path = args.Get("obs_trace", "");
   if (!trace_path.empty()) {
     std::string trace_error;

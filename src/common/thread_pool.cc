@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "common/macros.h"
+// Header-only by design so this file inherits no cqa_obs link
+// dependency; under CQABENCH_NO_OBS both calls below are no-op stubs.
+#include "obs/profile_region.h"
 
 namespace cqa {
 
@@ -44,7 +47,12 @@ void ThreadPool::DrainJob(Job* job) {
     size_t task = job->next_task++;
     ++job->outstanding;
     mu_.Unlock();
-    (*job->fn)(task);
+    if (job->region != nullptr) {
+      obs::ScopedProfileRegion region(job->region);
+      (*job->fn)(task);
+    } else {
+      (*job->fn)(task);
+    }
     mu_.Lock();
     --job->outstanding;
   }
@@ -70,6 +78,7 @@ void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
   Job job;
   job.fn = &fn;
   job.num_tasks = num_tasks;
+  job.region = obs::CurrentProfileRegion();
   MutexLock lock(mu_);
   if (num_tasks > 1 && !workers_.empty()) {
     jobs_.push_back(&job);

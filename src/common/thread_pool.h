@@ -63,6 +63,11 @@ class ThreadPool {
   struct Job {
     const std::function<void(size_t)>* fn = nullptr;
     size_t num_tasks = 0;
+    /// The submitting thread's innermost profile region (a string
+    /// literal or nullptr), re-established around each task so CPU
+    /// samples on pool workers attribute to the phase that spawned the
+    /// work rather than to an anonymous worker loop.
+    const char* region = nullptr;
     // next_task and outstanding are guarded by the owning pool's mu_
     // (Job has no handle on the pool, so this is a comment contract;
     // DrainJob, the only mutator, carries CQA_REQUIRES(mu_)).

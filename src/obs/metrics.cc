@@ -215,6 +215,8 @@ std::string Registry::ToJson() const {
     AppendDouble(&out, h.Quantile(0.95));
     out += ",\"p99\":";
     AppendDouble(&out, h.Quantile(0.99));
+    out += ",\"p999\":";
+    AppendDouble(&out, h.Quantile(0.999));
     out += '}';
   }
   out += "}}";

@@ -1,0 +1,94 @@
+// obs/profile_region — the thread-local region stack that joins CPU
+// profiles to the span taxonomy. ScopedProfileRegion pushes a string
+// literal ("serve.sample") for its scope; the sampling profiler's signal
+// handler copies the stack into each sample, so folded stacks and pprof
+// profiles carry "[serve.sample]"-style synthetic frames that line up
+// with the serve.phase_* metrics and trace spans. TraceSpan pushes its
+// own name automatically, so every instrumented phase is a region for
+// free.
+//
+// Header-only on purpose: src/common (the thread pool) tags worker tasks
+// with the submitting caller's region without linking cqa_obs. All state
+// is one thread_local of lock-free atomics — async-signal-safe to read
+// from this thread's SIGPROF handler, two relaxed stores to update, and
+// the whole thing compiles out under CQABENCH_NO_OBS.
+#ifndef CQABENCH_OBS_PROFILE_REGION_H_
+#define CQABENCH_OBS_PROFILE_REGION_H_
+
+#ifndef CQABENCH_NO_OBS
+#include <atomic>
+#endif
+
+namespace cqa::obs {
+
+#ifdef CQABENCH_NO_OBS
+
+/// Compiled-out stub: construction and destruction are empty inline
+/// functions the optimizer erases entirely.
+class ScopedProfileRegion {
+ public:
+  explicit ScopedProfileRegion(const char* /*name*/) {}
+  ScopedProfileRegion(const ScopedProfileRegion&) = delete;
+  ScopedProfileRegion& operator=(const ScopedProfileRegion&) = delete;
+};
+
+inline const char* CurrentProfileRegion() { return nullptr; }
+
+#else  // !CQABENCH_NO_OBS
+
+/// Per-thread stack of active region names. `names[i]` must be string
+/// literals (never freed), so the signal handler may copy the pointers
+/// and the aggregator may read them later without lifetime concerns.
+///
+/// Signal-safety contract: the owning thread pushes by storing the name
+/// *before* incrementing depth and pops by decrementing depth only, so a
+/// SIGPROF handler interrupting at any point sees a consistent prefix.
+/// Slots are lock-free atomics (guaranteed tear-free in a handler);
+/// pushes beyond kMaxDepth keep counting depth but drop the name, and
+/// the matching pops just decrement, so over-deep nesting degrades to a
+/// truncated tag instead of corruption.
+struct ProfileRegionStack {
+  static constexpr int kMaxDepth = 8;
+  std::atomic<const char*> names[kMaxDepth] = {};
+  std::atomic<int> depth{0};
+};
+
+inline thread_local ProfileRegionStack g_profile_region_stack;
+
+/// RAII region tag: CPU samples taken on this thread while the object is
+/// in scope carry `name` (a string literal). Nest freely; the innermost
+/// region is the sample's primary attribution.
+class ScopedProfileRegion {
+ public:
+  explicit ScopedProfileRegion(const char* name) {
+    ProfileRegionStack& s = g_profile_region_stack;
+    const int d = s.depth.load(std::memory_order_relaxed);
+    if (d < ProfileRegionStack::kMaxDepth) {
+      s.names[d].store(name, std::memory_order_relaxed);
+    }
+    s.depth.store(d + 1, std::memory_order_release);
+  }
+  ~ScopedProfileRegion() {
+    ProfileRegionStack& s = g_profile_region_stack;
+    s.depth.store(s.depth.load(std::memory_order_relaxed) - 1,
+                  std::memory_order_release);
+  }
+  ScopedProfileRegion(const ScopedProfileRegion&) = delete;
+  ScopedProfileRegion& operator=(const ScopedProfileRegion&) = delete;
+};
+
+/// The innermost active region on this thread (nullptr when none) — what
+/// the thread pool captures at Run() to tag tasks it hands to workers.
+inline const char* CurrentProfileRegion() {
+  ProfileRegionStack& s = g_profile_region_stack;
+  int d = s.depth.load(std::memory_order_relaxed);
+  if (d <= 0) return nullptr;
+  if (d > ProfileRegionStack::kMaxDepth) d = ProfileRegionStack::kMaxDepth;
+  return s.names[d - 1].load(std::memory_order_relaxed);
+}
+
+#endif  // CQABENCH_NO_OBS
+
+}  // namespace cqa::obs
+
+#endif  // CQABENCH_OBS_PROFILE_REGION_H_

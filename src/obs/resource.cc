@@ -1,0 +1,322 @@
+#include "obs/resource.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace cqa::obs {
+
+namespace {
+
+// Pulls "Key:   <number>" out of a /proc/self/status line; returns
+// false when the line is a different key.
+bool StatusField(const char* line, const char* key, int64_t* out) {
+  const size_t key_len = std::strlen(key);
+  if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') {
+    return false;
+  }
+  *out = std::strtoll(line + key_len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+ResourceSample SampleResources() {
+  ResourceSample s;
+
+  // /proc/self/status: sizes are in kB, switch counts are raw.
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return s;
+  char line[256];
+  int64_t v = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (StatusField(line, "VmRSS", &v)) s.rss_bytes = v * 1024;
+    else if (StatusField(line, "VmSize", &v)) s.vm_bytes = v * 1024;
+    else if (StatusField(line, "Threads", &v)) s.threads = v;
+    else if (StatusField(line, "voluntary_ctxt_switches", &v)) {
+      s.voluntary_ctxt_switches = v;
+    } else if (StatusField(line, "nonvoluntary_ctxt_switches", &v)) {
+      s.involuntary_ctxt_switches = v;
+    }
+  }
+  std::fclose(status);
+
+  // /proc/self/stat: fields 10/12 are minflt/majflt, 14/15 utime/stime
+  // in clock ticks — but field 2 (comm) may embed spaces, so parse from
+  // the closing ')'.
+  std::FILE* stat = std::fopen("/proc/self/stat", "r");
+  if (stat != nullptr) {
+    char buf[1024] = {};
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, stat);
+    std::fclose(stat);
+    (void)n;
+    const char* after_comm = std::strrchr(buf, ')');
+    if (after_comm != nullptr) {
+      long long minflt = 0;
+      long long majflt = 0;
+      long long utime = 0;
+      long long stime = 0;
+      // after ')' comes " state ppid pgrp session tty tpgid flags
+      // minflt cminflt majflt cmajflt utime stime ..."
+      const int matched = std::sscanf(
+          after_comm + 1, " %*c %*d %*d %*d %*d %*d %*u %lld %*u %lld %*u"
+          " %lld %lld",
+          &minflt, &majflt, &utime, &stime);
+      if (matched == 4) {
+        const long ticks_per_sec = ::sysconf(_SC_CLK_TCK);
+        const long long us_per_tick =
+            ticks_per_sec > 0 ? 1000000 / ticks_per_sec : 10000;
+        s.minor_faults = minflt;
+        s.major_faults = majflt;
+        s.cpu_user_micros = utime * us_per_tick;
+        s.cpu_system_micros = stime * us_per_tick;
+      }
+    }
+  }
+
+  // /proc/self/schedstat: "<run_ns> <wait_ns> <timeslices>" for the
+  // thread-group leader — a run-queue pressure signal, not a per-thread
+  // total (documented in docs/metrics.md).
+  std::FILE* sched = std::fopen("/proc/self/schedstat", "r");
+  if (sched != nullptr) {
+    long long run_ns = 0;
+    long long wait_ns = 0;
+    if (std::fscanf(sched, "%lld %lld", &run_ns, &wait_ns) == 2) {
+      s.sched_wait_micros = wait_ns / 1000;
+    }
+    std::fclose(sched);
+  }
+
+  s.ok = true;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ResourceSampler
+// ---------------------------------------------------------------------------
+
+struct ResourceSampler::Impl {
+  mutable Mutex mu;
+  CondVar cv;
+  bool stop CQA_GUARDED_BY(mu) = false;
+  bool running CQA_GUARDED_BY(mu) = false;
+  double interval_seconds CQA_GUARDED_BY(mu) = 1.0;
+  std::thread thread;  // Touched only under mu from Start/Stop.
+
+  // Utilization derivation state: previous tick's cumulative CPU and
+  // wall clock. Guarded by mu; SampleNow is cheap enough to serialize.
+  int64_t prev_cpu_micros CQA_GUARDED_BY(mu) = -1;
+  std::chrono::steady_clock::time_point prev_wall CQA_GUARDED_BY(mu);
+
+  void Tick() CQA_EXCLUDES(mu) {
+    const ResourceSample s = SampleResources();
+    if (!s.ok) return;
+    Registry& reg = Registry::Instance();
+    reg.GetGauge("proc.rss_bytes")->Set(s.rss_bytes);
+    reg.GetGauge("proc.vm_bytes")->Set(s.vm_bytes);
+    reg.GetGauge("proc.threads")->Set(s.threads);
+    reg.GetGauge("proc.minor_faults")->Set(s.minor_faults);
+    reg.GetGauge("proc.major_faults")->Set(s.major_faults);
+    reg.GetGauge("proc.voluntary_ctxt_switches")
+        ->Set(s.voluntary_ctxt_switches);
+    reg.GetGauge("proc.involuntary_ctxt_switches")
+        ->Set(s.involuntary_ctxt_switches);
+    reg.GetGauge("proc.cpu_user_micros")->Set(s.cpu_user_micros);
+    reg.GetGauge("proc.cpu_system_micros")->Set(s.cpu_system_micros);
+    reg.GetGauge("proc.sched_wait_micros")->Set(s.sched_wait_micros);
+
+    const int64_t cpu_micros = s.cpu_user_micros + s.cpu_system_micros;
+    const auto now = std::chrono::steady_clock::now();
+    int64_t permille = -1;
+    {
+      MutexLock lock(mu);
+      if (prev_cpu_micros >= 0) {
+        const double wall_s =
+            std::chrono::duration<double>(now - prev_wall).count();
+        if (wall_s > 1e-3) {
+          const double cpu_s =
+              static_cast<double>(cpu_micros - prev_cpu_micros) / 1e6;
+          permille = static_cast<int64_t>(cpu_s / wall_s * 1000.0 + 0.5);
+          if (permille < 0) permille = 0;
+        }
+      }
+      prev_cpu_micros = cpu_micros;
+      prev_wall = now;
+    }
+    if (permille >= 0) {
+      reg.GetGauge("proc.cpu_utilization_permille")->Set(permille);
+    }
+  }
+
+  void Loop() CQA_EXCLUDES(mu) {
+    for (;;) {
+      Tick();
+      MutexLock lock(mu);
+      if (stop) return;
+      cv.WaitForSeconds(mu, interval_seconds);
+      if (stop) return;
+    }
+  }
+};
+
+ResourceSampler& ResourceSampler::Instance() {
+  static ResourceSampler* instance = new ResourceSampler;
+  return *instance;
+}
+
+ResourceSampler::Impl* ResourceSampler::impl() {
+  static Impl* impl = new Impl;  // Leaked: see header.
+  return impl;
+}
+
+bool ResourceSampler::Start(double interval_seconds, std::string* error) {
+  if (!(interval_seconds > 0.0) || interval_seconds > 3600.0) {
+    if (error != nullptr) {
+      *error = "resource sampler interval must be in (0, 3600] seconds";
+    }
+    return false;
+  }
+  Impl* i = impl();
+  MutexLock lock(i->mu);
+  if (i->running) {
+    if (error != nullptr) *error = "resource sampler already running";
+    return false;
+  }
+  i->stop = false;
+  i->interval_seconds = interval_seconds;
+  i->running = true;
+  i->thread = std::thread([i] { i->Loop(); });
+  return true;
+}
+
+void ResourceSampler::Stop() {
+  Impl* i = impl();
+  std::thread to_join;
+  {
+    MutexLock lock(i->mu);
+    if (!i->running) return;
+    i->stop = true;
+    i->running = false;
+    to_join = std::move(i->thread);
+  }
+  i->cv.NotifyAll();
+  if (to_join.joinable()) to_join.join();
+}
+
+bool ResourceSampler::running() const {
+  Impl* i = const_cast<ResourceSampler*>(this)->impl();
+  MutexLock lock(i->mu);
+  return i->running;
+}
+
+void ResourceSampler::SampleNow() { impl()->Tick(); }
+
+// ---------------------------------------------------------------------------
+// ThreadListText / HeapProfileText
+// ---------------------------------------------------------------------------
+
+std::string ThreadListText() {
+  std::string out = "tid        cpu_s      name\n";
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) return out + "(/proc/self/task unavailable)\n";
+  const long ticks_per_sec = ::sysconf(_SC_CLK_TCK);
+  struct dirent* entry;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    const int tid = std::atoi(entry->d_name);
+    if (tid <= 0) continue;
+    char path[64];
+    std::snprintf(path, sizeof(path), "/proc/self/task/%d/stat", tid);
+    std::FILE* stat = std::fopen(path, "r");
+    if (stat == nullptr) continue;
+    char buf[1024] = {};
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, stat);
+    std::fclose(stat);
+    (void)n;
+    // "<tid> (comm) state ... utime stime ..." — comm may hold spaces,
+    // so find its bounds from the parens and parse onward from there.
+    const char* comm_start = std::strchr(buf, '(');
+    const char* comm_end = std::strrchr(buf, ')');
+    if (comm_start == nullptr || comm_end == nullptr ||
+        comm_end < comm_start) {
+      continue;
+    }
+    const std::string comm(comm_start + 1,
+                           static_cast<size_t>(comm_end - comm_start - 1));
+    long long utime = 0;
+    long long stime = 0;
+    const int matched = std::sscanf(
+        comm_end + 1, " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u"
+        " %lld %lld",
+        &utime, &stime);
+    double cpu_s = 0.0;
+    if (matched == 2 && ticks_per_sec > 0) {
+      cpu_s = static_cast<double>(utime + stime) /
+              static_cast<double>(ticks_per_sec);
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-10d %-10.3f %s\n", tid, cpu_s,
+                  comm.c_str());
+    out += line;
+  }
+  ::closedir(dir);
+  return out;
+}
+
+std::string HeapProfileText() {
+  std::string out =
+      "heap: allocator counter snapshot (no per-site allocation "
+      "tracking)\n";
+  char line[128];
+#if defined(__GLIBC__) && defined(__GLIBC_PREREQ)
+#if __GLIBC_PREREQ(2, 33)
+  const struct mallinfo2 mi = ::mallinfo2();
+  std::snprintf(line, sizeof(line), "malloc_arena_bytes: %zu\n",
+                static_cast<size_t>(mi.arena));
+  out += line;
+  std::snprintf(line, sizeof(line), "malloc_in_use_bytes: %zu\n",
+                static_cast<size_t>(mi.uordblks));
+  out += line;
+  std::snprintf(line, sizeof(line), "malloc_free_bytes: %zu\n",
+                static_cast<size_t>(mi.fordblks));
+  out += line;
+  std::snprintf(line, sizeof(line), "malloc_mmap_bytes: %zu\n",
+                static_cast<size_t>(mi.hblkhd));
+  out += line;
+#else
+  out += "mallinfo2: unavailable (glibc < 2.33)\n";
+#endif
+#else
+  out += "mallinfo2: unavailable (not glibc)\n";
+#endif
+  // /proc/self/statm: "<total> <resident> ..." in pages.
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm != nullptr) {
+    long long vm_pages = 0;
+    long long rss_pages = 0;
+    if (std::fscanf(statm, "%lld %lld", &vm_pages, &rss_pages) == 2) {
+      const long page = ::sysconf(_SC_PAGESIZE);
+      std::snprintf(line, sizeof(line), "vm_bytes: %lld\n",
+                    vm_pages * page);
+      out += line;
+      std::snprintf(line, sizeof(line), "rss_bytes: %lld\n",
+                    rss_pages * page);
+      out += line;
+    }
+    std::fclose(statm);
+  }
+  return out;
+}
+
+}  // namespace cqa::obs

@@ -1,0 +1,86 @@
+// obs/resource — runtime resource telemetry. A background sampler reads
+// /proc/self/{status,stat,schedstat} on a fixed tick and publishes the
+// process's physical footprint as registry Gauges (`proc.*`): RSS,
+// virtual size, thread count, minor/major faults, voluntary/involuntary
+// context switches, cumulative user/system CPU, a CPU-utilization rate
+// derived from consecutive ticks, and scheduler wait time. These ride
+// the existing /metrics exposition and `stats` op for free, giving every
+// latency regression a memory/CPU/scheduling context to correlate with.
+//
+// Unlike the sampling profiler this module is NOT compiled out under
+// CQABENCH_NO_OBS: gauges follow the registry's standing policy that
+// serving state must stay accurate in every build mode (see
+// src/obs/metrics.h), and reading five /proc files per second is free.
+#ifndef CQABENCH_OBS_RESOURCE_H_
+#define CQABENCH_OBS_RESOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cqa::obs {
+
+/// One point-in-time reading of the /proc counters, unconverted side
+/// effects excluded (no registry writes). `ok` is false when /proc was
+/// unreadable (non-Linux); numeric fields are then zero.
+struct ResourceSample {
+  bool ok = false;
+  int64_t rss_bytes = 0;
+  int64_t vm_bytes = 0;
+  int64_t threads = 0;
+  int64_t minor_faults = 0;
+  int64_t major_faults = 0;
+  int64_t voluntary_ctxt_switches = 0;
+  int64_t involuntary_ctxt_switches = 0;
+  int64_t cpu_user_micros = 0;
+  int64_t cpu_system_micros = 0;
+  int64_t sched_wait_micros = 0;  // Run-queue wait (thread-group leader).
+};
+
+/// Reads /proc/self/{status,stat,schedstat} once. Pure read, no gauges.
+ResourceSample SampleResources();
+
+/// Background publisher: every `interval_seconds` it takes a
+/// ResourceSample and Set()s the `proc.*` gauges, plus
+/// `proc.cpu_utilization_permille` (CPU seconds burned per wall second
+/// over the last tick, in thousandths — 1000 = one saturated core).
+/// Start/Stop are idempotent and may be called from any thread.
+class ResourceSampler {
+ public:
+  static ResourceSampler& Instance();
+
+  /// Starts the tick thread. False (+ *error) when already running or
+  /// when `interval_seconds` is out of (0, 3600].
+  bool Start(double interval_seconds, std::string* error);
+
+  /// Stops and joins the tick thread. The last published gauge values
+  /// remain visible in the registry.
+  void Stop();
+
+  bool running() const;
+
+  /// One synchronous sample-and-publish tick (also what the background
+  /// thread calls). Safe without Start — bench binaries use this to
+  /// stamp final gauge values before export.
+  void SampleNow();
+
+ private:
+  ResourceSampler() = default;
+  struct Impl;
+  Impl* impl();  // Lazily built, leaked (tick thread may outlive statics).
+};
+
+/// One line per live thread — tid, cumulative CPU seconds
+/// (utime+stime from /proc/self/task/<tid>/stat), comm — for
+/// /debug/pprof/threads. Works in every build mode; the profiler's
+/// ThreadsText() adds sample/drop counts when a collection ran.
+std::string ThreadListText();
+
+/// Human-readable allocator + footprint report for /debug/pprof/heap:
+/// glibc mallinfo2 arena/in-use/free/mmap byte counts (when available)
+/// plus /proc/self/statm RSS and virtual size. This is a counters
+/// snapshot, not an allocation-site profile — honest about its limits.
+std::string HeapProfileText();
+
+}  // namespace cqa::obs
+
+#endif  // CQABENCH_OBS_RESOURCE_H_

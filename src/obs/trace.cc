@@ -231,7 +231,8 @@ std::atomic<uint64_t> g_next_span_id{1};
 TraceSpan::TraceSpan(const char* name, uint64_t parent_id)
     : name_(name),
       id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
-      parent_id_(parent_id) {
+      parent_id_(parent_id),
+      region_(name) {
   Epoch();  // Pin the epoch no later than the first span's start.
   start_ = SteadyClock::now();
 }
@@ -241,7 +242,8 @@ TraceSpan::TraceSpan(const char* name, uint64_t parent_id,
     : name_(name),
       id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
       parent_id_(parent_id),
-      trace_id_(trace_id) {
+      trace_id_(trace_id),
+      region_(name) {
   Epoch();
   start_ = SteadyClock::now();
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "obs/profile_region.h"
 
 namespace cqa::obs {
 
@@ -106,6 +107,11 @@ class TraceSpan {
 /// additionally stamps the span with a request trace id (the serving
 /// layer's wire-propagated TraceContext); pay the string copy only on
 /// request spans, never on the sampling hot path.
+///
+/// Every span also pushes its name onto the thread's profile-region
+/// stack for its lifetime (obs/profile_region.h), so CPU samples taken
+/// while a span is open carry "[span name]" tags — traces, phase
+/// metrics, and profiles share one taxonomy with no extra call sites.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, uint64_t parent_id = 0);
@@ -123,6 +129,7 @@ class TraceSpan {
   uint64_t parent_id_;
   std::string trace_id_;
   std::chrono::steady_clock::time_point start_;
+  ScopedProfileRegion region_;
 };
 
 #endif  // CQABENCH_NO_OBS

@@ -7,7 +7,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <utility>
+
+#include "obs/resource.h"
+#ifndef CQABENCH_NO_OBS
+#include "obs/profiler.h"
+#endif
 
 namespace cqa::serve {
 
@@ -27,6 +35,11 @@ std::string HttpResponse(int status, const std::string& reason,
   return out;
 }
 
+std::string TextResponse(int status, const std::string& reason,
+                         const std::string& body) {
+  return HttpResponse(status, reason, "text/plain; charset=utf-8", body);
+}
+
 bool SendAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
@@ -40,6 +53,46 @@ bool SendAll(int fd, const std::string& data) {
   }
   return true;
 }
+
+/// "seconds=2&hz=99" -> {{"seconds","2"},{"hz","99"}}. No %-decoding:
+/// the recognized keys and values are plain numerics.
+std::map<std::string, std::string> ParseQuery(const std::string& query) {
+  std::map<std::string, std::string> params;
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      params[pair.substr(0, eq)] = pair.substr(eq + 1);
+    } else if (!pair.empty()) {
+      params[pair] = "";
+    }
+    pos = amp + 1;
+  }
+  return params;
+}
+
+double ParamDouble(const std::map<std::string, std::string>& params,
+                   const std::string& key, double fallback) {
+  const auto it = params.find(key);
+  if (it == params.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) return fallback;
+  return v;
+}
+
+const char kPprofIndex[] =
+    "cqad /debug/pprof endpoints:\n"
+    "  /debug/pprof/profile?seconds=N[&hz=H][&fold=1]\n"
+    "      CPU profile over N seconds (default 1): gzipped pprof\n"
+    "      profile.proto, or collapsed stacks with fold=1.\n"
+    "      409 = a collection is already running; 503 = draining;\n"
+    "      501 = this build cannot profile.\n"
+    "  /debug/pprof/heap     allocator counter snapshot\n"
+    "  /debug/pprof/threads  live threads + sampler statistics\n";
 
 }  // namespace
 
@@ -89,14 +142,40 @@ bool MetricsHttpServer::Start(std::string* error) {
 }
 
 void MetricsHttpServer::Stop() {
-  if (stop_.exchange(true)) {
-    if (thread_.joinable()) thread_.join();
-    return;
+  if (!stop_.exchange(true)) {
+    // First Stop: the acceptor exits on its next tick; any in-flight
+    // profile collection notices stop_ through its keep-going probe.
   }
   if (thread_.joinable()) thread_.join();
+  ReapConnections(/*all=*/true);
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::ReapConnections(bool all) {
+  // Joining with conn_mu_ held would deadlock against a finishing
+  // handler registering in done_, so move the handles out first.
+  std::vector<std::thread> to_join;
+  {
+    MutexLock lock(conn_mu_);
+    if (all) {
+      for (auto& [id, thread] : conns_) to_join.push_back(std::move(thread));
+      conns_.clear();
+      done_.clear();
+    } else {
+      for (const uint64_t id : done_) {
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        to_join.push_back(std::move(it->second));
+        conns_.erase(it);
+      }
+      done_.clear();
+    }
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
   }
 }
 
@@ -107,11 +186,25 @@ void MetricsHttpServer::Loop() {
   while (!stop_.load()) {
     pfd.revents = 0;
     const int ready = ::poll(&pfd, 1, kPollTickMs);
+    ReapConnections(/*all=*/false);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    ServeOne(fd);
+    MutexLock lock(conn_mu_);
+    if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+      lock.Unlock();
+      SendAll(fd, TextResponse(503, "Service Unavailable", "busy\n"));
+      ::close(fd);
+      lock.Lock();
+      continue;
+    }
+    const uint64_t id = next_conn_id_++;
+    conns_.emplace(id, std::thread([this, fd, id] {
+      ServeOne(fd);
+      MutexLock done_lock(conn_mu_);
+      done_.push_back(id);
+    }));
   }
 }
 
@@ -146,24 +239,75 @@ void MetricsHttpServer::ServeOne(int fd) {
   ::close(fd);
 }
 
+std::string MetricsHttpServer::HandleProfile(
+    const std::map<std::string, std::string>& params) const {
+#ifdef CQABENCH_NO_OBS
+  (void)params;
+  return TextResponse(501, "Not Implemented",
+                      "profiler compiled out (CQABENCH_NO_OBS build)\n");
+#else
+  if (!obs::Profiler::kAvailable) {
+    return TextResponse(501, "Not Implemented",
+                        "profiler unavailable in sanitizer builds\n");
+  }
+  const bool healthy = options_.healthy ? options_.healthy() : true;
+  if (!healthy) {
+    return TextResponse(503, "Service Unavailable", "draining\n");
+  }
+  double seconds = ParamDouble(params, "seconds", 1.0);
+  if (!(seconds > 0.0)) seconds = 1.0;
+  if (seconds > options_.max_profile_seconds) {
+    seconds = options_.max_profile_seconds;
+  }
+  obs::ProfilerOptions popts;
+  const double hz = ParamDouble(params, "hz", popts.hz);
+  if (hz >= 1.0 && hz <= 1000.0) popts.hz = static_cast<int>(hz);
+
+  // A drain or server Stop arriving mid-collection cuts the window
+  // short; whatever was captured by then still goes out (200).
+  const auto keep_going = [this] {
+    if (stop_.load()) return false;
+    return options_.healthy ? options_.healthy() : true;
+  };
+  std::string error;
+  obs::Profiler& profiler = obs::Profiler::Instance();
+  const auto result = profiler.CollectFor(seconds, popts, keep_going, &error);
+  switch (result) {
+    case obs::Profiler::CollectResult::kBusy:
+      return TextResponse(409, "Conflict", error + "\n");
+    case obs::Profiler::CollectResult::kError:
+      return TextResponse(500, "Internal Server Error", error + "\n");
+    case obs::Profiler::CollectResult::kOk:
+      break;
+  }
+  if (params.count("fold") != 0 && params.at("fold") != "0") {
+    return TextResponse(200, "OK", profiler.FoldedText());
+  }
+  return HttpResponse(200, "OK", "application/octet-stream",
+                      profiler.PprofGzipped());
+#endif  // CQABENCH_NO_OBS
+}
+
 std::string MetricsHttpServer::HandleRequestLine(
     const std::string& request_line) const {
   // "GET /path HTTP/1.1" — method, one space, target, one space, rest.
   const size_t sp1 = request_line.find(' ');
   if (sp1 == std::string::npos) {
-    return HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
-                        "bad request\n");
+    return TextResponse(400, "Bad Request", "bad request\n");
   }
   const std::string method = request_line.substr(0, sp1);
   const size_t sp2 = request_line.find(' ', sp1 + 1);
   std::string target = sp2 == std::string::npos
                            ? request_line.substr(sp1 + 1)
                            : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::map<std::string, std::string> params;
   const size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
+  if (query != std::string::npos) {
+    params = ParseQuery(target.substr(query + 1));
+    target.resize(query);
+  }
   if (method != "GET") {
-    return HttpResponse(405, "Method Not Allowed",
-                        "text/plain; charset=utf-8", "GET only\n");
+    return TextResponse(405, "Method Not Allowed", "GET only\n");
   }
   if (target == "/metrics") {
     const std::string body =
@@ -174,13 +318,37 @@ std::string MetricsHttpServer::HandleRequestLine(
   if (target == "/healthz") {
     const bool healthy = options_.healthy ? options_.healthy() : true;
     if (healthy) {
-      return HttpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
+      return TextResponse(200, "OK", "ok\n");
     }
-    return HttpResponse(503, "Service Unavailable",
-                        "text/plain; charset=utf-8", "draining\n");
+    return TextResponse(503, "Service Unavailable", "draining\n");
   }
-  return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
-                      "not found\n");
+  if (target == "/debug/pprof" || target == "/debug/pprof/") {
+    return TextResponse(200, "OK", kPprofIndex);
+  }
+  if (target == "/debug/pprof/profile") {
+    return HandleProfile(params);
+  }
+  if (target == "/debug/pprof/heap") {
+    return TextResponse(200, "OK", obs::HeapProfileText());
+  }
+  if (target == "/debug/pprof/threads") {
+    std::string body = obs::ThreadListText();
+#ifndef CQABENCH_NO_OBS
+    const obs::ProfilerStats stats = obs::Profiler::Instance().stats();
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "\nsampler: samples=%llu dropped_ring=%llu "
+                  "dropped_untracked=%llu distinct_stacks=%llu\n",
+                  static_cast<unsigned long long>(stats.samples),
+                  static_cast<unsigned long long>(stats.dropped_ring),
+                  static_cast<unsigned long long>(stats.dropped_untracked),
+                  static_cast<unsigned long long>(stats.distinct_stacks));
+    body += line;
+    body += obs::Profiler::Instance().ThreadsText();
+#endif
+    return TextResponse(200, "OK", body);
+  }
+  return TextResponse(404, "Not Found", "not found\n");
 }
 
 }  // namespace cqa::serve

@@ -1,21 +1,41 @@
 // serve/metrics_http — a deliberately tiny HTTP/1.1 listener serving
-// exactly two read-only endpoints next to the cqad frame protocol:
-//   GET /metrics  — Prometheus text exposition of the metrics registry
-//                   (obs/exposition), so stock scrapers work unmodified;
-//   GET /healthz  — "ok" with 200 while serving, "draining" with 503
-//                   once drain begins, so load balancers stop routing
-//                   before the listener disappears.
-// It is NOT a general HTTP server: one short-lived connection at a time,
-// requests over 8 KiB rejected, anything but GET answered 405, any other
-// path 404. That scope keeps the hand-rolled parser safe — it only ever
-// inspects the request line.
+// read-only operational endpoints next to the cqad frame protocol:
+//   GET /metrics         — Prometheus text exposition of the registry
+//                          (obs/exposition), stock scrapers work as-is;
+//   GET /healthz         — "ok" 200 while serving, "draining" 503 once
+//                          drain begins, so load balancers stop routing
+//                          before the listener disappears;
+//   GET /debug/pprof/    — index of the profiling endpoints below;
+//   GET /debug/pprof/profile?seconds=N[&hz=H][&fold=1]
+//                        — runs the in-process CPU sampling profiler for
+//                          N seconds and returns the gzipped pprof
+//                          protobuf (or collapsed stacks with fold=1).
+//                          409 while another collection runs, 503 when
+//                          drain has begun, 501 when the build cannot
+//                          profile (CQABENCH_NO_OBS or sanitizers); a
+//                          drain arriving mid-collection cuts it short
+//                          and returns the partial profile with 200;
+//   GET /debug/pprof/heap    — allocator counter snapshot (mallinfo2);
+//   GET /debug/pprof/threads — live thread table + sampler stats.
+// It is NOT a general HTTP server: a handful of short-lived connections
+// (one thread each, hard cap, 503 when saturated), requests over 8 KiB
+// rejected, anything but GET answered 405, any other path 404. That
+// scope keeps the hand-rolled parser safe — it only ever inspects the
+// request line. Connections get a thread each (not a serial loop)
+// because a profile collection holds its connection open for seconds
+// and must not block scrapes or health probes.
 #ifndef CQABENCH_SERVE_METRICS_HTTP_H_
 #define CQABENCH_SERVE_METRICS_HTTP_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace cqa::serve {
 
@@ -27,14 +47,22 @@ struct MetricsHttpOptions {
   /// Body provider for GET /metrics (normally RegistryPrometheusText).
   std::function<std::string()> metrics_body;
   /// Health probe for GET /healthz: true = 200 "ok", false = 503
-  /// "draining" (normally wired to !CqadServer::draining()).
+  /// "draining" (normally wired to !CqadServer::draining()). The
+  /// profile endpoint also polls it to cut a collection short when
+  /// drain begins mid-profile.
   std::function<bool()> healthy;
+  /// Hard cap on concurrent connection threads; excess connections get
+  /// an immediate 503 "busy". One long profile + a scrape + a health
+  /// probe fit comfortably under the default.
+  int max_connections = 8;
+  /// Ceiling for /debug/pprof/profile?seconds=N.
+  double max_profile_seconds = 60.0;
 };
 
-/// One background thread accepting scrape connections serially —
-/// Prometheus scrapes arrive every few seconds, so concurrency would be
-/// pure complexity. Start() binds and spawns the thread; Stop() closes
-/// the listener and joins.
+/// One background accept thread; each accepted connection is served on
+/// its own short-lived thread (bounded by max_connections). Start()
+/// binds and spawns the acceptor; Stop() closes the listener, aborts
+/// any in-flight profile collection, and joins every thread.
 class MetricsHttpServer {
  public:
   explicit MetricsHttpServer(const MetricsHttpOptions& options);
@@ -50,18 +78,32 @@ class MetricsHttpServer {
   int port() const { return port_; }
 
   /// Renders the full HTTP response for one request line ("GET /metrics
-  /// HTTP/1.1"). Exposed for tests — routing without sockets.
+  /// HTTP/1.1"). Exposed for tests — routing without sockets. May block
+  /// for the requested duration on /debug/pprof/profile.
   std::string HandleRequestLine(const std::string& request_line) const;
 
  private:
   void Loop();
   void ServeOne(int fd);
+  /// Joins finished connection threads (called from the accept loop
+  /// tick and from Stop).
+  void ReapConnections(bool all) CQA_EXCLUDES(conn_mu_);
+
+  std::string HandleProfile(
+      const std::map<std::string, std::string>& params) const;
 
   const MetricsHttpOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stop_{false};
   std::thread thread_;
+
+  mutable Mutex conn_mu_;
+  /// Live connection threads by id; ids move to done_ when the handler
+  /// finishes, and the accept loop joins + erases them on its next tick.
+  std::map<uint64_t, std::thread> conns_ CQA_GUARDED_BY(conn_mu_);
+  std::vector<uint64_t> done_ CQA_GUARDED_BY(conn_mu_);
+  uint64_t next_conn_id_ CQA_GUARDED_BY(conn_mu_) = 1;
 };
 
 }  // namespace cqa::serve

@@ -307,8 +307,33 @@ TEST(InvariantsDeathTest, StaleIndexKillsRepairEnumeration) {
 
 #else
 
-TEST(InvariantsDeathTest, SkippedWithoutAudits) {
-  GTEST_SKIP() << "CQA_AUDIT compiled out (Release without CQABENCH_AUDIT)";
+// In Release-without-CQABENCH_AUDIT builds the audit macros compile to
+// unevaluated-sizeof forms; instead of skipping (which read as 561/562
+// in every Release run), prove the compiled-out contract directly: the
+// argument expressions must never run and a failing predicate must not
+// abort. This is what Release benchmark numbers rely on — the audits
+// cost literally zero evaluations.
+
+namespace {
+int g_audit_side_effects = 0;
+bool AlwaysFalseAudit(int /*arg*/, std::string* /*why*/) { return false; }
+int CountingArg() {
+  ++g_audit_side_effects;
+  return 1;
+}
+}  // namespace
+
+TEST(InvariantsDeathTest, DisabledAuditMacrosAreInert) {
+  g_audit_side_effects = 0;
+  // A failing predicate with a side-effecting argument: the disabled
+  // CQA_AUDIT must neither evaluate the argument nor abort.
+  CQA_AUDIT(AlwaysFalseAudit, CountingArg());
+  EXPECT_EQ(g_audit_side_effects, 0);
+  // Same for CQA_DCHECK: a false condition must not abort and its
+  // operand must not run.
+  CQA_DCHECK(CountingArg() == 2);
+  CQA_DCHECK_MSG(CountingArg() == 2, "never evaluated");
+  EXPECT_EQ(g_audit_side_effects, 0);
 }
 
 #endif  // CQA_AUDIT_ENABLED

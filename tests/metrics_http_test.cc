@@ -1,6 +1,8 @@
 // Tests of serve/metrics_http — request-line routing (the whole parser
-// surface), the health flip between serving and draining, and one real
-// socket round trip against the background accept loop.
+// surface), the health flip between serving and draining, real socket
+// round trips against the background accept loop, and the concurrency
+// semantics of /debug/pprof/profile (overlap → 409, drain mid-profile
+// → partial 200 while /metrics scrapes keep answering).
 
 #include "serve/metrics_http.h"
 
@@ -9,13 +11,30 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#ifndef CQABENCH_NO_OBS
+#include "obs/profiler.h"
+#endif
+
 namespace cqa::serve {
 namespace {
+
+// True when this build can actually run a collection (the endpoint
+// answers 501 otherwise — NO_OBS or sanitizer builds).
+bool ProfilerUsable() {
+#ifdef CQABENCH_NO_OBS
+  return false;
+#else
+  return obs::Profiler::kAvailable;
+#endif
+}
 
 MetricsHttpOptions TestOptions(bool healthy) {
   MetricsHttpOptions options;
@@ -103,6 +122,66 @@ TEST(MetricsHttpSocketTest, ServesScrapesOverTcp) {
   server.Stop();  // Idempotent.
 }
 
+TEST(MetricsHttpRoutingTest, PprofEndpointsRoute) {
+  MetricsHttpServer server(TestOptions(true));
+  const std::string index =
+      server.HandleRequestLine("GET /debug/pprof/ HTTP/1.1");
+  EXPECT_NE(index.find("200 OK"), std::string::npos);
+  EXPECT_NE(index.find("profile?seconds="), std::string::npos);
+  // Both spellings of the index route.
+  EXPECT_NE(server.HandleRequestLine("GET /debug/pprof HTTP/1.1")
+                .find("200 OK"),
+            std::string::npos);
+
+  const std::string heap =
+      server.HandleRequestLine("GET /debug/pprof/heap HTTP/1.1");
+  EXPECT_NE(heap.find("200 OK"), std::string::npos);
+  EXPECT_NE(heap.find("rss_bytes"), std::string::npos);
+
+  const std::string threads =
+      server.HandleRequestLine("GET /debug/pprof/threads HTTP/1.1");
+  EXPECT_NE(threads.find("200 OK"), std::string::npos);
+  EXPECT_NE(threads.find("tid"), std::string::npos);
+
+  EXPECT_NE(server.HandleRequestLine("GET /debug/pprof/goroutine HTTP/1.1")
+                .find("404"),
+            std::string::npos);
+}
+
+TEST(MetricsHttpRoutingTest, ProfileRefusesWhileDraining) {
+  MetricsHttpServer draining(TestOptions(false));
+  const std::string response = draining.HandleRequestLine(
+      "GET /debug/pprof/profile?seconds=1 HTTP/1.1");
+  if (!ProfilerUsable()) {
+    EXPECT_NE(response.find("501"), std::string::npos);
+    return;
+  }
+  EXPECT_NE(response.find("503 Service Unavailable"), std::string::npos);
+  EXPECT_NE(response.find("draining"), std::string::npos);
+}
+
+TEST(MetricsHttpRoutingTest, ProfileServesGzipAndFoldedFormats) {
+  if (!ProfilerUsable()) {
+    GTEST_SKIP() << "profiler compiled out or sanitizer build: the "
+                    "endpoint answers 501 (covered above)";
+  }
+  MetricsHttpServer server(TestOptions(true));
+  const std::string gz = server.HandleRequestLine(
+      "GET /debug/pprof/profile?seconds=0.2&hz=199 HTTP/1.1");
+  EXPECT_NE(gz.find("200 OK"), std::string::npos);
+  EXPECT_NE(gz.find("application/octet-stream"), std::string::npos);
+  const size_t body = gz.find("\r\n\r\n");
+  ASSERT_NE(body, std::string::npos);
+  ASSERT_GT(gz.size(), body + 6);
+  EXPECT_EQ(static_cast<uint8_t>(gz[body + 4]), 0x1F);  // gzip magic
+  EXPECT_EQ(static_cast<uint8_t>(gz[body + 5]), 0x8B);
+
+  const std::string folded = server.HandleRequestLine(
+      "GET /debug/pprof/profile?seconds=0.2&hz=199&fold=1 HTTP/1.1");
+  EXPECT_NE(folded.find("200 OK"), std::string::npos);
+  EXPECT_NE(folded.find("text/plain"), std::string::npos);
+}
+
 TEST(MetricsHttpSocketTest, StartFailsOnOccupiedPort) {
   MetricsHttpServer first(TestOptions(true));
   std::string error;
@@ -113,6 +192,139 @@ TEST(MetricsHttpSocketTest, StartFailsOnOccupiedPort) {
   EXPECT_FALSE(second.Start(&error));
   EXPECT_FALSE(error.empty());
   first.Stop();
+}
+
+// Raw-socket GET helper for the concurrency tests below.
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// Two profile collections racing: exactly one may run (the other gets
+// 409 Conflict). This is the overlap contract the /debug/pprof/profile
+// docs promise.
+TEST(MetricsHttpConcurrencyTest, OverlappingProfileRequestsConflict) {
+  if (!ProfilerUsable()) {
+    GTEST_SKIP() << "profiler compiled out or sanitizer build; overlap "
+                    "handling needs a live collection";
+  }
+  MetricsHttpServer server(TestOptions(true));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  std::string first;
+  std::string second;
+  std::thread a([&first, &server] {
+    first = HttpGet(server.port(), "/debug/pprof/profile?seconds=1");
+  });
+  // Let the first collection actually begin before colliding with it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  std::thread b([&second, &server] {
+    second = HttpGet(server.port(), "/debug/pprof/profile?seconds=1");
+  });
+  a.join();
+  b.join();
+  server.Stop();
+
+  EXPECT_NE(first.find("200 OK"), std::string::npos) << first;
+  EXPECT_NE(second.find("409 Conflict"), std::string::npos) << second;
+  EXPECT_NE(second.find("in progress"), std::string::npos) << second;
+}
+
+// A long profile in flight must not block scrapes or health probes
+// (connections get a thread each), and a drain beginning mid-profile
+// cuts the window short: the profile returns early with 200 + whatever
+// was captured, while /healthz flips to 503.
+TEST(MetricsHttpConcurrencyTest, ScrapesAnswerDuringProfileAndDrainAborts) {
+  if (!ProfilerUsable()) {
+    GTEST_SKIP() << "profiler compiled out or sanitizer build; the drain "
+                    "abort needs a live collection";
+  }
+  std::atomic<bool> healthy{true};
+  MetricsHttpOptions options;
+  options.metrics_body = [] { return std::string("cqa_up 1\n"); };
+  options.healthy = [&healthy] { return healthy.load(); };
+  MetricsHttpServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::string profile;
+  std::thread collector([&profile, &server] {
+    profile = HttpGet(server.port(), "/debug/pprof/profile?seconds=30");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Mid-profile, the other endpoints keep answering.
+  EXPECT_NE(HttpGet(server.port(), "/metrics").find("cqa_up 1"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+
+  // Graceful drain begins: healthz flips, the collection aborts early.
+  healthy.store(false);
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("503"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/metrics").find("cqa_up 1"),
+            std::string::npos)
+      << "scrapes must keep working during drain";
+  collector.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.Stop();
+
+  EXPECT_NE(profile.find("200 OK"), std::string::npos)
+      << "partial profile still ships";
+  EXPECT_LT(elapsed, 10.0) << "drain must cut the 30s window short";
+}
+
+// The connection cap answers 503 busy instead of queueing behind a
+// long-running profile.
+TEST(MetricsHttpConcurrencyTest, ConnectionCapAnswersBusy) {
+  if (!ProfilerUsable()) {
+    GTEST_SKIP() << "needs a long-running profile to hold the only slot";
+  }
+  MetricsHttpOptions options = TestOptions(true);
+  options.max_connections = 1;
+  MetricsHttpServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  std::string profile;
+  std::thread collector([&profile, &server] {
+    profile = HttpGet(server.port(), "/debug/pprof/profile?seconds=2");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const std::string scrape = HttpGet(server.port(), "/metrics");
+  collector.join();
+  server.Stop();
+
+  EXPECT_NE(scrape.find("503"), std::string::npos) << scrape;
+  EXPECT_NE(scrape.find("busy"), std::string::npos) << scrape;
+  EXPECT_NE(profile.find("200 OK"), std::string::npos) << profile;
 }
 
 }  // namespace

@@ -117,6 +117,21 @@ TEST(RegistryTest, ToJsonCarriesHistogramQuantiles) {
   EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"p95\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos) << json;
+}
+
+TEST(RegistryTest, ToJsonP999TracksTailValues) {
+  obs::Registry& reg = obs::Registry::Instance();
+  obs::Histogram* h = reg.GetHistogram("test.registry.p999_json");
+  h->Reset();
+  // 500 fast observations and one large outlier: p99 sits in the bulk,
+  // p999 (target rank 500.5 of 501) must reach the outlier's bucket.
+  for (int i = 0; i < 500; ++i) h->Observe(10);
+  h->Observe(100000);
+  obs::HistogramSnapshot snap = h->snapshot();
+  EXPECT_LE(snap.Quantile(0.99), 100.0);
+  EXPECT_GE(snap.Quantile(0.999), 1000.0);
+  EXPECT_LE(snap.Quantile(0.999), 100000.0);
 }
 
 TEST(HistogramQuantileTest, EmptyAndZeroOnlyDistributions) {

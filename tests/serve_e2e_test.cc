@@ -4,7 +4,10 @@
 // the synopsis cache eliminates Preprocess work, wire-level protocol
 // rejections, overload shedding, and graceful drain.
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <filesystem>
@@ -24,7 +27,12 @@
 #include "serve/access_log.h"
 #include "serve/client.h"
 #include "serve/json.h"
+#include "serve/metrics_http.h"
 #include "serve/server.h"
+#include "obs/exposition.h"
+#ifndef CQABENCH_NO_OBS
+#include "obs/profiler.h"
+#endif
 #include "storage/tbl_io.h"
 #include "storage/tuple.h"
 
@@ -363,6 +371,98 @@ TEST_F(ServeE2eTest, GracefulDrainCompletesInflightAndRefusesNew) {
   CqaClient late;
   std::string late_error;
   EXPECT_FALSE(late.Connect("127.0.0.1", port, &late_error));
+}
+
+// Raw-socket GET against the metrics sidecar (the frame-protocol
+// CqaClient can't speak HTTP).
+std::string SidecarGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// The deployment wiring cqad uses — metrics sidecar health probe bound
+// to !server.draining() — under a drain that begins while a profile
+// collection and a scrape are in flight: the scrape answers during
+// drain, /healthz flips to 503, and the collection is cut short with a
+// partial 200 instead of pinning the shutdown for its full window.
+TEST_F(ServeE2eTest, MetricsSidecarSurvivesDrainAndAbortsProfile) {
+  CqadServer server(ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  serve::MetricsHttpServer sidecar(serve::MetricsHttpOptions{
+      "127.0.0.1", 0, [] { return obs::RegistryPrometheusText(); },
+      [&server] { return !server.draining(); }});
+  ASSERT_TRUE(sidecar.Start(&error)) << error;
+
+  // Real traffic so the registry has serving metrics to scrape.
+  CqaClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  Response response;
+  ASSERT_TRUE(client.Call(MakeQueryRequest("Natural", 11), &response, &error))
+      << error;
+  ASSERT_TRUE(response.ok()) << response.error;
+
+  EXPECT_NE(SidecarGet(sidecar.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+
+#ifndef CQABENCH_NO_OBS
+  const bool profiler_usable = obs::Profiler::kAvailable;
+#else
+  const bool profiler_usable = false;
+#endif
+  std::string profile;
+  std::thread collector;
+  if (profiler_usable) {
+    collector = std::thread([&profile, &sidecar] {
+      profile = SidecarGet(sidecar.port(), "/debug/pprof/profile?seconds=30");
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  }
+
+  const auto drain_start = std::chrono::steady_clock::now();
+  server.RequestDrain();
+  // Racing the drain: the exposition must keep answering so the last
+  // scrape of a shutting-down process isn't lost.
+  const std::string scrape = SidecarGet(sidecar.port(), "/metrics");
+  EXPECT_NE(scrape.find("200 OK"), std::string::npos);
+  // Gauges are live in every build mode (counters compile out under
+  // CQABENCH_NO_OBS), so assert on one the accept loop always sets.
+  EXPECT_NE(scrape.find("cqa_serve_connections_open"), std::string::npos)
+      << scrape.substr(0, 400);
+  EXPECT_NE(SidecarGet(sidecar.port(), "/healthz").find("503"),
+            std::string::npos);
+  server.Wait();
+  if (collector.joinable()) collector.join();
+  const double drain_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    drain_start)
+          .count();
+  sidecar.Stop();
+
+  if (profiler_usable) {
+    EXPECT_NE(profile.find("200 OK"), std::string::npos)
+        << "aborted collection still returns the partial profile";
+    EXPECT_LT(drain_seconds, 10.0)
+        << "a 30s profile window must not pin the drain";
+  }
 }
 
 // The tentpole round trip: a client-supplied trace id flows through

@@ -91,8 +91,9 @@ METRIC_NAME = re.compile(r'^"[a-z0-9_]+(\.[a-z0-9_]+)+"$')
 
 
 def check_obs_macros(path: Path, rel: str, text: str, errors: list[str]) -> None:
-    if rel.startswith("src/obs/"):
-        return  # The macro definitions themselves.
+    if rel in ("src/obs/metrics.h", "src/obs/metrics.cc"):
+        return  # The macro definitions themselves; other obs sources
+        # (profiler, resource) are call sites like everyone else.
     # Strip comments but keep newlines so offsets map back to line numbers;
     # calls may wrap, so match across lines.
     stripped = "\n".join(strip_comments(line) for line in text.splitlines())
@@ -314,8 +315,10 @@ def check_metric_docs(errors: list[str]) -> None:
             if path.suffix not in CXX_SUFFIXES:
                 continue
             rel = path.relative_to(REPO).as_posix()
-            if rel.startswith("src/obs/"):
-                continue  # The macro/registry definitions themselves.
+            if rel in ("src/obs/metrics.h", "src/obs/metrics.cc"):
+                continue  # The macro/registry definitions themselves; other
+                # obs sources (profiler, resource) register real metrics
+                # and must catalog them like everyone else.
             text = path.read_text(encoding="utf-8", errors="replace")
             stripped = "\n".join(
                 strip_comments(line) for line in text.splitlines())
@@ -355,8 +358,15 @@ THREAD_CTOR_ALLOWED = {
     "src/common/thread_pool.cc",
     # cqad's dedicated acceptor + dispatcher threads.
     "src/serve/server.cc",
-    # The /metrics HTTP listener's scrape thread.
+    # The /metrics HTTP listener: acceptor + per-connection threads (a
+    # profile collection holds its connection for seconds and must not
+    # block scrapes or health probes).
     "src/serve/metrics_http.cc",
+    # The profiler's ring-drain aggregator: it must keep running while
+    # pool workers are being sampled, so it cannot be a pool task.
+    "src/obs/profiler.cc",
+    # The resource sampler's once-a-second /proc tick.
+    "src/obs/resource.cc",
 }
 
 

@@ -23,7 +23,10 @@ Observability cross-checks, all optional:
     validates the JSONL schema and that per-phase micros sum to within
     10% of each logged total;
   * --trace-export=FILE (with --spawn) passes --obs_trace and verifies
-    the exported spans carry the loadgen trace ids verbatim.
+    the exported spans carry the loadgen trace ids verbatim;
+  * --pprof (needs --metrics-port) pulls /debug/pprof/profile while the
+    load runs and asserts the serve.sample phase dominates the CPU
+    samples — the sampling profiler cross-checked against phase timing.
 
 Typical session against an already-running daemon:
 
@@ -202,7 +205,8 @@ def print_client_report(stats: Stats, wall_s: float) -> None:
     print(f"  cache hits: {stats.cache_hits}")
     if lat:
         print("client-side latency:")
-        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99),
+                        ("p99.9", 0.999)):
             print(f"  {name}: {quantile(lat, q) * 1e3:9.2f} ms")
         print(f"  max: {lat[-1] * 1e3:9.2f} ms")
 
@@ -225,8 +229,9 @@ def print_server_report(host: str, port: int) -> None:
     micros = histograms.get("serve.request_micros")
     if micros:
         print("  serve.request_micros histogram:")
-        for name in ("p50", "p95", "p99"):
-            print(f"    {name}: {float(micros[name]) / 1e3:9.2f} ms")
+        for name in ("p50", "p95", "p99", "p999"):
+            if name in micros:
+                print(f"    {name}: {float(micros[name]) / 1e3:9.2f} ms")
         print(f"    count: {micros['count']}, max: "
               f"{float(micros['max']) / 1e3:.2f} ms")
     builds = counters.get("preprocess.builds")
@@ -238,17 +243,23 @@ def print_server_report(host: str, port: int) -> None:
 # Prometheus scrape + offline artifact checks.
 # ---------------------------------------------------------------------------
 
-def http_get(host: str, port: int, path: str,
-             timeout: float = 10.0) -> tuple[int, str]:
+def http_get_bytes(host: str, port: int, path: str,
+                   timeout: float = 10.0) -> tuple[int, bytes]:
     """Minimal HTTP GET (stdlib http.client) returning (status, body)."""
     import http.client
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         conn.request("GET", path)
         resp = conn.getresponse()
-        return resp.status, resp.read().decode("utf-8")
+        return resp.status, resp.read()
     finally:
         conn.close()
+
+
+def http_get(host: str, port: int, path: str,
+             timeout: float = 10.0) -> tuple[int, str]:
+    status, body = http_get_bytes(host, port, path, timeout)
+    return status, body.decode("utf-8")
 
 
 def parse_prometheus(text: str) -> dict[str, float]:
@@ -324,6 +335,63 @@ def scrape_and_compare(args: argparse.Namespace, stats: Stats) -> bool:
             print("FAIL: scraped server p95 implausibly below client p95",
                   file=sys.stderr)
             return False
+    return True
+
+
+def pprof_worker(args: argparse.Namespace, result: dict) -> None:
+    """Fetches /debug/pprof/profile while the load runs (own thread)."""
+    try:
+        status, body = http_get_bytes(
+            args.host, args.metrics_port,
+            f"/debug/pprof/profile?seconds={args.pprof_seconds}",
+            timeout=args.pprof_seconds + 30.0)
+        result["status"] = status
+        result["body"] = body
+    except OSError as err:
+        result["error"] = str(err)
+
+
+def check_pprof(args: argparse.Namespace, result: dict) -> bool:
+    """Decodes the profile collected under load and asserts the sampler
+    phase ([serve.sample] region frames) dominates the samples — the
+    profiler agreeing with what the phase timings already say the
+    daemon spends its CPU on."""
+    import gzip
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import profile_view
+
+    if "error" in result:
+        print(f"FAIL: pprof fetch: {result['error']}", file=sys.stderr)
+        return False
+    status = result.get("status")
+    if status == 501:
+        print("pprof check skipped: this build cannot profile "
+              "(CQABENCH_NO_OBS or sanitizers; endpoint answered 501)")
+        return True
+    if status != 200:
+        print(f"FAIL: /debug/pprof/profile returned {status}",
+              file=sys.stderr)
+        return False
+    try:
+        folded = profile_view.decode_profile(gzip.decompress(result["body"]))
+    except (OSError, ValueError) as err:
+        print(f"FAIL: profile did not decode: {err}", file=sys.stderr)
+        return False
+    total = sum(count for _, count in folded)
+    if total == 0:
+        print("FAIL: profile holds zero samples under load", file=sys.stderr)
+        return False
+    share = profile_view.share_of(folded, "serve.sample")
+    print(f"pprof under load: {total} samples, "
+          f"serve.sample share {share:.1%} "
+          f"(required ≥ {args.pprof_min_sample_share:.1%})")
+    if share < args.pprof_min_sample_share:
+        print(f"FAIL: serve.sample share {share:.1%} below "
+              f"{args.pprof_min_sample_share:.1%} — the profiler and the "
+              f"phase timings disagree about where CPU goes",
+              file=sys.stderr)
+        return False
     return True
 
 
@@ -494,6 +562,15 @@ def parse_args() -> argparse.Namespace:
                         help="with --spawn: start cqad's /metrics listener "
                              "on this port (0 = ephemeral); without --spawn: "
                              "the running daemon's metrics port")
+    parser.add_argument("--pprof", action="store_true",
+                        help="while the load runs, pull /debug/pprof/profile "
+                             "and assert the serve.sample phase dominates "
+                             "the CPU samples (needs --metrics-port)")
+    parser.add_argument("--pprof-seconds", type=float, default=3.0,
+                        help="profile collection window for --pprof")
+    parser.add_argument("--pprof-min-sample-share", type=float, default=0.8,
+                        help="minimum fraction of samples that must carry "
+                             "the serve.sample region for --pprof to pass")
     parser.add_argument("--scrape", action="store_true",
                         help="after the run, scrape /metrics + /healthz and "
                              "diff client p95 vs the server histogram "
@@ -537,6 +614,12 @@ def main() -> int:
         for i in range(args.requests):
             slices[i % args.concurrency].append(i)
         stats = Stats()
+        pprof_result: dict = {}
+        pprof_thread = None
+        if args.pprof:
+            if args.metrics_port < 0:
+                print("error: --pprof needs --metrics-port", file=sys.stderr)
+                return 2
         start = time.monotonic()
         threads = [
             threading.Thread(target=run_worker, args=(args, s, stats))
@@ -544,9 +627,17 @@ def main() -> int:
         ]
         for t in threads:
             t.start()
+        if args.pprof:
+            # Collect while the workers saturate the daemon (per-thread
+            # CPU-time timers mean post-load idle adds ~no samples).
+            pprof_thread = threading.Thread(target=pprof_worker,
+                                            args=(args, pprof_result))
+            pprof_thread.start()
         for t in threads:
             t.join()
         wall = time.monotonic() - start
+        if pprof_thread is not None:
+            pprof_thread.join()
 
         print_client_report(stats, wall)
         print_server_report(args.host, args.port)
@@ -557,6 +648,8 @@ def main() -> int:
                 ok = False
             elif not scrape_and_compare(args, stats):
                 ok = False
+        if args.pprof and not check_pprof(args, pprof_result):
+            ok = False
         if stats.failures:
             ok = False
             for f in stats.failures[:10]:

@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Renderer for the profiles cqabench's sampling profiler emits.
+
+Reads a pprof profile.proto — gzipped (what /debug/pprof/profile and
+--obs_profile write) or raw — or an already-collapsed stack file, using
+nothing but the Python standard library: the protobuf wire format is
+decoded with a hand-rolled varint scanner, matching the hand-rolled
+encoder on the C++ side (src/obs/profiler.cc).
+
+Default output is a top-N table ranked by self samples, with cumulative
+counts alongside (a frame's cumulative count includes every sample where
+it appears anywhere on the stack; recursion is counted once per sample):
+
+    python3 tools/profile_view.py profile.pb.gz
+    curl -s 'localhost:7412/debug/pprof/profile?seconds=5' | \
+        python3 tools/profile_view.py -
+
+`--fold` prints collapsed "frame;frame;... count" lines instead —
+root-first, profile-region tags as leading "[serve.sample]" frames —
+ready for flamegraph.pl or speedscope. `--filter=SUBSTR` keeps only
+stacks containing the substring; `--share=SUBSTR` prints (and returns in
+the exit status) the fraction of samples whose stack mentions it, which
+is what CI and tools/loadgen.py --pprof use to assert a phase dominates:
+
+    python3 tools/profile_view.py --share=serve.sample --min-share=0.8 p.gz
+
+Exit status: 0 on success, 1 on a --min-share breach, 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import sys
+
+# ---------------------------------------------------------------------------
+# Protobuf wire scanning (varints and length-delimited fields only — the
+# profiler's encoder emits nothing else).
+# ---------------------------------------------------------------------------
+
+
+def read_varint(buf: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while pos < len(buf):
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            break
+    raise ValueError("truncated varint")
+
+
+def iter_fields(buf: bytes):
+    """Yields (field_number, wire_type, value) where value is an int for
+    varint fields and a bytes slice for length-delimited ones."""
+    pos = 0
+    while pos < len(buf):
+        tag, pos = read_varint(buf, pos)
+        field, wire = tag >> 3, tag & 7
+        if wire == 0:
+            value, pos = read_varint(buf, pos)
+            yield field, wire, value
+        elif wire == 2:
+            length, pos = read_varint(buf, pos)
+            if pos + length > len(buf):
+                raise ValueError("truncated length-delimited field")
+            yield field, wire, buf[pos:pos + length]
+            pos += length
+        else:
+            raise ValueError(f"unsupported wire type {wire}")
+
+
+def packed_varints(buf: bytes) -> list[int]:
+    out, pos = [], 0
+    while pos < len(buf):
+        value, pos = read_varint(buf, pos)
+        out.append(value)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# profile.proto -> folded stacks.
+# ---------------------------------------------------------------------------
+
+
+def decode_profile(data: bytes) -> list[tuple[list[str], int]]:
+    """pprof bytes -> [(root-first frame names, sample count)]."""
+    strings: list[str] = []
+    functions: dict[int, int] = {}      # function id -> name string index
+    locations: dict[int, list[int]] = {}  # location id -> function ids
+    samples: list[tuple[list[int], int]] = []  # (leaf-first loc ids, count)
+
+    for field, wire, value in iter_fields(data):
+        if field == 6 and wire == 2:
+            strings.append(value.decode("utf-8", "replace"))
+        elif field == 2 and wire == 2:  # Sample
+            loc_ids: list[int] = []
+            count = 0
+            for sfield, swire, svalue in iter_fields(value):
+                if sfield == 1:
+                    loc_ids.extend(packed_varints(svalue)
+                                   if swire == 2 else [svalue])
+                elif sfield == 2:
+                    values = (packed_varints(svalue)
+                              if swire == 2 else [svalue])
+                    if values:
+                        count = values[0]
+            samples.append((loc_ids, count))
+        elif field == 4 and wire == 2:  # Location
+            loc_id = 0
+            func_ids: list[int] = []
+            for lfield, lwire, lvalue in iter_fields(value):
+                if lfield == 1:
+                    loc_id = lvalue
+                elif lfield == 4 and lwire == 2:  # Line
+                    for nfield, _, nvalue in iter_fields(lvalue):
+                        if nfield == 1:
+                            func_ids.append(nvalue)
+            locations[loc_id] = func_ids
+        elif field == 5 and wire == 2:  # Function
+            func_id = name_idx = 0
+            for ffield, _, fvalue in iter_fields(value):
+                if ffield == 1:
+                    func_id = fvalue
+                elif ffield == 2:
+                    name_idx = fvalue
+            functions[func_id] = name_idx
+
+    def location_name(loc_id: int) -> str:
+        for func_id in locations.get(loc_id, []):
+            idx = functions.get(func_id)
+            if idx is not None and 0 <= idx < len(strings):
+                return strings[idx]
+        return f"0x{loc_id:x}"
+
+    folded = []
+    for loc_ids, count in samples:
+        if count <= 0:
+            continue
+        # pprof stacks are leaf-first; folded output is root-first.
+        frames = [location_name(loc) for loc in reversed(loc_ids)]
+        folded.append((frames, count))
+    return folded
+
+
+def parse_folded(text: str) -> list[tuple[list[str], int]]:
+    out = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack or not count.isdigit():
+            raise ValueError(f"not a folded stack line: {line!r}")
+        out.append((stack.split(";"), int(count)))
+    return out
+
+
+def load(path: str) -> list[tuple[list[str], int]]:
+    data = sys.stdin.buffer.read() if path == "-" else open(path, "rb").read()
+    if data[:2] == b"\x1f\x8b":
+        data = gzip.decompress(data)
+    # Heuristic: folded input is printable text with " <count>" line ends;
+    # proto input starts with a field tag byte and is generally binary.
+    try:
+        return parse_folded(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return decode_profile(data)
+
+
+# ---------------------------------------------------------------------------
+# Reports.
+# ---------------------------------------------------------------------------
+
+
+def print_top(folded: list[tuple[list[str], int]], top_n: int) -> None:
+    total = sum(count for _, count in folded)
+    self_counts: dict[str, int] = {}
+    cum_counts: dict[str, int] = {}
+    for frames, count in folded:
+        if not frames:
+            continue
+        leaf = frames[-1]
+        self_counts[leaf] = self_counts.get(leaf, 0) + count
+        for frame in set(frames):  # Recursion counts once per sample.
+            cum_counts[frame] = cum_counts.get(frame, 0) + count
+    print(f"total samples: {total} across {len(folded)} distinct stacks")
+    print(f"{'self':>8} {'self%':>7} {'cum':>8} {'cum%':>7}  frame")
+    ranked = sorted(self_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    for frame, self_count in ranked[:top_n]:
+        cum = cum_counts[frame]
+        print(f"{self_count:8d} {self_count / total:7.1%} "
+              f"{cum:8d} {cum / total:7.1%}  {frame}")
+
+
+def share_of(folded: list[tuple[list[str], int]], needle: str) -> float:
+    total = matched = 0
+    for frames, count in folded:
+        total += count
+        if any(needle in frame for frame in frames):
+            matched += count
+    return matched / total if total else 0.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("input",
+                        help="profile: .pb.gz / raw proto / folded text; "
+                             "'-' reads stdin")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows in the self/cum table (default 20)")
+    parser.add_argument("--fold", action="store_true",
+                        help="print collapsed stacks instead of the table")
+    parser.add_argument("--filter", default="",
+                        help="keep only stacks containing this substring")
+    parser.add_argument("--share", default="",
+                        help="report the fraction of samples whose stack "
+                             "contains this substring")
+    parser.add_argument("--min-share", type=float, default=-1.0,
+                        help="with --share: exit 1 when the fraction is "
+                             "below this bound")
+    args = parser.parse_args()
+
+    try:
+        folded = load(args.input)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if not folded:
+        print("error: no samples in profile", file=sys.stderr)
+        return 2
+    if args.filter:
+        folded = [(frames, count) for frames, count in folded
+                  if any(args.filter in frame for frame in frames)]
+        if not folded:
+            print(f"error: no stacks match filter {args.filter!r}",
+                  file=sys.stderr)
+            return 2
+
+    if args.fold:
+        for frames, count in folded:
+            print(";".join(frames), count)
+    else:
+        print_top(folded, args.top)
+
+    if args.share:
+        fraction = share_of(folded, args.share)
+        print(f"share[{args.share}]: {fraction:.1%}")
+        if 0.0 <= args.min_share and fraction < args.min_share:
+            print(f"FAIL: share {fraction:.1%} below required "
+                  f"{args.min_share:.1%}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
