@@ -4,13 +4,17 @@
 //              [--host=ADDR] [--schema=tpch|tpcds]
 //              [--scheme=Natural|KL|KLM|Cover] [--epsilon=F] [--delta=F]
 //              [--deadline=S] [--seed=N] [--threads=N] [--record=1]
-//              [--id=STR] [--trace=STR]
-//   cqa_client stats --port=N [--host=ADDR]
-//   cqa_client ping  --port=N [--host=ADDR]
+//              [--id=STR] [--trace=STR] [--codec=json|binary]
+//   cqa_client stats --port=N [--host=ADDR] [--codec=json|binary]
+//   cqa_client ping  --port=N [--host=ADDR] [--codec=json|binary]
 //
 // --trace attaches the given id as the request's trace context; the
 // server stamps its spans and access-log line with it, and the reply's
 // phase breakdown is printed as a "# timing" comment line.
+//
+// --codec picks the wire payload codec: v1 JSON (default) or the v2
+// tagged binary codec. The server answers in the codec the request
+// arrived in, so the printed output is identical either way.
 //
 // `query` prints the same answer lines as `cqa_cli run` (tuple TAB
 // frequency) so outputs diff cleanly against a local run with the same
@@ -62,9 +66,9 @@ int Usage() {
       "  query --data=DIR --query=Q [--schema=tpch|tpcds]\n"
       "        [--scheme=Natural|KL|KLM|Cover] [--epsilon=F] [--delta=F]\n"
       "        [--deadline=S] [--seed=N] [--threads=N] [--record=1]\n"
-      "        [--id=STR] [--trace=STR]\n"
-      "  stats\n"
-      "  ping\n");
+      "        [--id=STR] [--trace=STR] [--codec=json|binary]\n"
+      "  stats [--codec=json|binary]\n"
+      "  ping  [--codec=json|binary]\n");
   return 2;
 }
 
@@ -96,7 +100,7 @@ int main(int argc, char** argv) {
   if (args.command == "query") {
     if (!args.ValidateKeys({"host", "port", "data", "query", "schema",
                             "scheme", "epsilon", "delta", "deadline", "seed",
-                            "threads", "record", "id", "trace"})) {
+                            "threads", "record", "id", "trace", "codec"})) {
       return Usage();
     }
     request.op = "query";
@@ -117,13 +121,20 @@ int main(int argc, char** argv) {
       return Usage();
     }
   } else if (args.command == "stats" || args.command == "ping") {
-    if (!args.ValidateKeys({"host", "port"})) return Usage();
+    if (!args.ValidateKeys({"host", "port", "codec"})) return Usage();
     request.op = args.command;
   } else {
     return Usage();
   }
+  const std::string codec_name = args.Get("codec", "json");
+  if (codec_name != "json" && codec_name != "binary") {
+    std::fprintf(stderr, "error: --codec must be json or binary\n");
+    return Usage();
+  }
 
   serve::CqaClient client;
+  client.set_codec(codec_name == "binary" ? serve::WireCodec::kBinary
+                                          : serve::WireCodec::kJson);
   std::string error;
   if (!client.Connect(args.Get("host", "127.0.0.1"),
                       static_cast<int>(args.GetDouble("port", 0)), &error)) {

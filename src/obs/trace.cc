@@ -265,6 +265,34 @@ TraceSpan::~TraceSpan() {
   TraceBuffer::Instance().Record(record);
 }
 
+CrossThreadSpan::CrossThreadSpan(const char* name, uint64_t parent_id,
+                                 const std::string& trace_id)
+    : name_(name),
+      id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
+      parent_id_(parent_id),
+      trace_id_(trace_id) {
+  Epoch();
+  start_ = SteadyClock::now();
+}
+
+CrossThreadSpan::~CrossThreadSpan() { Finish(); }
+
+void CrossThreadSpan::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  SpanRecord record;
+  record.name = name_;
+  record.start_seconds =
+      std::chrono::duration<double>(start_ - Epoch()).count();
+  record.duration_seconds =
+      std::chrono::duration<double>(SteadyClock::now() - start_).count();
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.thread_id = ThisThreadId();
+  record.trace_id = trace_id_;
+  TraceBuffer::Instance().Record(record);
+}
+
 #endif  // !CQABENCH_NO_OBS
 
 }  // namespace cqa::obs

@@ -98,6 +98,18 @@ class TraceSpan {
   double ElapsedSeconds() const { return 0.0; }
 };
 
+/// Compiled-out cross-thread span.
+class CrossThreadSpan {
+ public:
+  CrossThreadSpan(const char* /*name*/, uint64_t /*parent_id*/,
+                  const std::string& /*trace_id*/) {}
+  CrossThreadSpan(const CrossThreadSpan&) = delete;
+  CrossThreadSpan& operator=(const CrossThreadSpan&) = delete;
+
+  uint64_t id() const { return 0; }
+  void Finish() {}
+};
+
 #else  // !CQABENCH_NO_OBS
 
 /// RAII phase marker: records a SpanRecord into the TraceBuffer at
@@ -130,6 +142,39 @@ class TraceSpan {
   std::string trace_id_;
   std::chrono::steady_clock::time_point start_;
   ScopedProfileRegion region_;
+};
+
+/// A span whose lifetime crosses threads: a request handed from an
+/// event loop to an executor starts its span where it is received and
+/// ends it where it finishes. TraceSpan is strictly same-thread RAII —
+/// its profile-region push/pop mutates *thread-local* state, so
+/// destroying one on another thread corrupts that thread's region
+/// stack. CrossThreadSpan allocates its id at construction and records
+/// at Finish() (idempotent; the destructor calls it as a backstop),
+/// never touching the profile-region stack; the recorded thread_id is
+/// the finishing thread's. Callers serialize construction, Finish(),
+/// and destruction themselves (the serving layer orders them through
+/// its dispatcher handoff).
+class CrossThreadSpan {
+ public:
+  CrossThreadSpan(const char* name, uint64_t parent_id,
+                  const std::string& trace_id);
+  ~CrossThreadSpan();
+  CrossThreadSpan(const CrossThreadSpan&) = delete;
+  CrossThreadSpan& operator=(const CrossThreadSpan&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  /// Records the span now; later calls (and the destructor) no-op.
+  void Finish();
+
+ private:
+  const char* name_;
+  uint64_t id_;
+  uint64_t parent_id_;
+  std::string trace_id_;
+  std::chrono::steady_clock::time_point start_;
+  bool finished_ = false;
 };
 
 #endif  // CQABENCH_NO_OBS

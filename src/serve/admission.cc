@@ -97,7 +97,7 @@ void AdmissionController::Leave(double service_seconds) {
 double AdmissionController::RetryAfterSeconds() const {
   MutexLock lock(mu_);
   const double backlog =
-      static_cast<double>(queued_ + inflight_) /
+      static_cast<double>(queued_ + external_queued_ + inflight_) /
       static_cast<double>(max_inflight_);
   return std::clamp(backlog * ewma_service_seconds_, 0.05, 60.0);
 }
@@ -115,7 +115,32 @@ size_t AdmissionController::inflight() const {
 
 size_t AdmissionController::queued() const {
   MutexLock lock(mu_);
-  return queued_;
+  return queued_ + external_queued_;
+}
+
+void AdmissionController::NoteQueued(int64_t delta) {
+  MutexLock lock(mu_);
+  if (delta < 0 && external_queued_ < static_cast<size_t>(-delta)) {
+    external_queued_ = 0;  // Defensive: never underflow the gauge.
+  } else {
+    external_queued_ += delta;
+  }
+  queued_gauge_->Set(static_cast<int64_t>(queued_ + external_queued_));
+  if (delta > 0) {
+    CQA_OBS_OBSERVE("serve.admission_queue_depth",
+                    queued_ + external_queued_);
+  }
+}
+
+void AdmissionController::NoteShed() {
+  MutexLock lock(mu_);
+  ++shed_total_;
+  CQA_OBS_COUNT("serve.admission_shed");
+}
+
+void AdmissionController::NoteExpired() {
+  MutexLock lock(mu_);
+  CQA_OBS_COUNT("serve.admission_expired");
 }
 
 uint64_t AdmissionController::shed_total() const {

@@ -63,6 +63,24 @@ class AdmissionController {
   size_t queued() const CQA_EXCLUDES(mu_);
   uint64_t shed_total() const CQA_EXCLUDES(mu_);
 
+  // --- External-queue bookkeeping (reactor mode) -----------------------
+  // The reactor parks waiting requests in the QueryDispatcher's queue
+  // instead of blocking threads inside Enter(); these hooks keep the
+  // queued gauge, shed counter, and RetryAfterSeconds' backlog estimate
+  // accurate while the dispatcher owns the actual FIFO. Enter()/Leave()
+  // still bracket every execution, so inflight and the EWMA are exact.
+
+  /// Adjusts the externally-queued request count by delta (+1 enqueue,
+  /// -1 dequeue). Reflected in queued() and the queued gauge.
+  void NoteQueued(int64_t delta) CQA_EXCLUDES(mu_);
+
+  /// Records one shed decision made by an external queue (full FIFO).
+  void NoteShed() CQA_EXCLUDES(mu_);
+
+  /// Records one externally-queued request whose deadline expired
+  /// before execution started.
+  void NoteExpired() CQA_EXCLUDES(mu_);
+
  private:
   /// Removes an abandoned waiter's ticket from the FIFO order so later
   /// tickets are not stalled behind it.
@@ -86,6 +104,9 @@ class AdmissionController {
   // Tickets whose waiters left the queue (deadline/shutdown) before
   // being served; skipped when the serving counter reaches them.
   std::set<uint64_t> abandoned_ CQA_GUARDED_BY(mu_);
+  // Requests waiting in an external FIFO (see NoteQueued); added to
+  // queued_ for the gauge, queued() and the retry-after backlog.
+  size_t external_queued_ CQA_GUARDED_BY(mu_) = 0;
   bool shutdown_ CQA_GUARDED_BY(mu_) = false;
   double ewma_service_seconds_ CQA_GUARDED_BY(mu_) = 0.1;  // Optimistic prior.
 };

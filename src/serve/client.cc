@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 namespace cqa::serve {
 
@@ -68,12 +69,65 @@ bool CqaClient::Call(const Request& request, Response* response,
     *error = "not connected";
     return false;
   }
-  if (!SendAll(fd_, EncodeFrame(request.ToJsonPayload()), error)) {
+  if (!in_flight_.empty()) {
+    *error = "blocking Call with pipelined requests in flight";
+    return false;
+  }
+  if (!SendAll(fd_, EncodeFrame(request.ToPayload(codec_)), error)) {
     return false;
   }
   std::string payload;
   if (!ReadFrame(&payload, error)) return false;
-  return Response::FromJsonPayload(payload, response, error);
+  return Response::FromPayload(payload, response, error);
+}
+
+bool CqaClient::Send(const Request& request, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (request.id.empty()) {
+    *error = "pipelined requests need a non-empty id";
+    return false;
+  }
+  if (in_flight_.count(request.id) != 0 || ready_.count(request.id) != 0) {
+    *error = "duplicate in-flight request id \"" + request.id + "\"";
+    return false;
+  }
+  if (!SendAll(fd_, EncodeFrame(request.ToPayload(codec_)), error)) {
+    return false;
+  }
+  in_flight_.insert(request.id);
+  return true;
+}
+
+bool CqaClient::Await(const std::string& id, Response* response,
+                      std::string* error) {
+  const auto stashed = ready_.find(id);
+  if (stashed != ready_.end()) {
+    *response = std::move(stashed->second);
+    ready_.erase(stashed);
+    return true;
+  }
+  if (in_flight_.count(id) == 0) {
+    *error = "id \"" + id + "\" is not in flight";
+    return false;
+  }
+  for (;;) {
+    std::string payload;
+    if (!ReadFrame(&payload, error)) return false;
+    Response next;
+    if (!Response::FromPayload(payload, &next, error)) return false;
+    if (next.id == id) {
+      in_flight_.erase(id);
+      *response = std::move(next);
+      return true;
+    }
+    // Some other in-flight request's response (out-of-order delivery is
+    // the pipelining contract); stash it for its own Await.
+    in_flight_.erase(next.id);
+    ready_[next.id] = std::move(next);
+  }
 }
 
 bool CqaClient::RawCall(const std::string& bytes,
@@ -116,6 +170,8 @@ void CqaClient::Close() {
     fd_ = -1;
   }
   decoder_ = FrameDecoder();
+  in_flight_.clear();
+  ready_.clear();
 }
 
 }  // namespace cqa::serve

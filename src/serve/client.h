@@ -1,12 +1,23 @@
-// serve/client — the blocking TCP client behind cqa_client and the e2e
-// tests: connect, frame a Request, read back one Response frame. One
-// CqaClient owns one connection and is single-threaded; concurrency is
-// achieved by opening one client per thread (connections are cheap, the
-// server multiplexes them across its workers).
+// serve/client — the TCP client behind cqa_client, loadgen parity
+// checks, and the e2e tests. One CqaClient owns one connection and is
+// single-threaded; concurrency is achieved by opening one client per
+// thread, or — against the reactor server — by pipelining many
+// requests on one connection. Two modes share the socket:
+//   blocking   — Call(): send one request, wait for its response;
+//   pipelined  — Send() many requests (each with a unique id), then
+//                Await() each id, tntcxx-Connection-style: Await drives
+//                the shared read loop and stashes other ids' responses
+//                until their own Await asks for them. Responses may
+//                arrive in any order; the id is the join key.
+// set_codec() switches the payload codec (JSON v1 / binary v2) for
+// everything sent afterwards.
 #ifndef CQABENCH_SERVE_CLIENT_H_
 #define CQABENCH_SERVE_CLIENT_H_
 
+#include <cstddef>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "serve/protocol.h"
 
@@ -25,10 +36,28 @@ class CqaClient {
 
   bool connected() const { return fd_ >= 0; }
 
+  /// Payload codec used by Call() and Send(). Default JSON (v1).
+  void set_codec(WireCodec codec) { codec_ = codec; }
+  WireCodec codec() const { return codec_; }
+
   /// Sends `request` and blocks for the matching response. False with
   /// *error on transport failure (send/recv/frame decode); a server-side
-  /// error is a *successful* call with response->ok() == false.
+  /// error is a *successful* call with response->ok() == false. Not
+  /// mixable with in-flight pipelined requests.
   bool Call(const Request& request, Response* response, std::string* error);
+
+  /// Pipelined mode: sends `request` without waiting. request.id must
+  /// be non-empty and unique among this connection's in-flight ids
+  /// (the server echoes it so responses can be matched out of order).
+  bool Send(const Request& request, std::string* error);
+
+  /// Blocks until the response for `id` arrives (draining the socket
+  /// and stashing other in-flight ids' responses on the way). False
+  /// with *error on transport failure or if `id` is not in flight.
+  bool Await(const std::string& id, Response* response, std::string* error);
+
+  /// Requests sent via Send() whose responses have not been Await()ed.
+  size_t pending() const { return in_flight_.size(); }
 
   /// Transport-level escape hatch for protocol tests: sends raw bytes
   /// verbatim (no framing added) and reads back one response frame.
@@ -43,6 +72,9 @@ class CqaClient {
 
   int fd_ = -1;
   FrameDecoder decoder_;
+  WireCodec codec_ = WireCodec::kJson;
+  std::unordered_set<std::string> in_flight_;
+  std::unordered_map<std::string, Response> ready_;  // Stashed by Await.
 };
 
 }  // namespace cqa::serve

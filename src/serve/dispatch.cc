@@ -1,0 +1,163 @@
+#include "serve/dispatch.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace cqa::serve {
+
+namespace {
+
+// executors + max_queue with saturation (max_queue may be huge).
+size_t SaturatingAdd(size_t a, size_t b) {
+  return a > std::numeric_limits<size_t>::max() - b
+             ? std::numeric_limits<size_t>::max()
+             : a + b;
+}
+
+}  // namespace
+
+QueryDispatcher::QueryDispatcher(size_t executors, size_t max_queue,
+                                 size_t workers, size_t wait_cap,
+                                 AdmissionController* admission)
+    : executors_(executors),
+      max_queue_(max_queue),
+      window_(std::max(workers, SaturatingAdd(executors, max_queue))),
+      wait_cap_(wait_cap),
+      admission_(admission) {}
+
+void QueryDispatcher::Submit(QueryJob job) {
+  std::vector<QueryJob> shed;
+  size_t committed = 0;
+  {
+    cqa::MutexLock lock(mu_);
+    if (draining_) {
+      lock.Unlock();
+      job.reject(ErrorCode::kDraining);
+      return;
+    }
+    if (wait_q_.size() >= wait_cap_) {
+      lock.Unlock();
+      admission_->NoteShed();
+      job.reject(ErrorCode::kOverloaded);
+      return;
+    }
+    wait_q_.push_back(std::move(job));
+    PumpLocked(&shed, &committed);
+  }
+  FinishPump(&shed, committed);
+}
+
+void QueryDispatcher::PumpLocked(std::vector<QueryJob>* shed,
+                                 size_t* committed) {
+  while (!wait_q_.empty() && busy_ + queue_.size() < window_) {
+    QueryJob job = std::move(wait_q_.front());
+    wait_q_.pop_front();
+    // The old Enter() shed condition: every inflight slot taken AND the
+    // admission queue at capacity. Committed-but-unpicked jobs count as
+    // inflight — the blocking server's Enter() claimed its slot
+    // synchronously, before any executor ran.
+    if (busy_ + queue_.size() >= SaturatingAdd(executors_, max_queue_)) {
+      shed->push_back(std::move(job));
+      continue;
+    }
+    queue_.push_back(std::move(job));
+    ++*committed;
+  }
+}
+
+void QueryDispatcher::FinishPump(std::vector<QueryJob>* shed,
+                                 size_t committed) {
+  for (size_t i = 0; i < committed; ++i) {
+    admission_->NoteQueued(+1);
+    work_cv_.NotifyOne();
+  }
+  for (QueryJob& job : *shed) {
+    admission_->NoteShed();
+    job.reject(ErrorCode::kOverloaded);
+  }
+}
+
+void QueryDispatcher::RunExecutor() {
+  for (;;) {
+    QueryJob job;
+    {
+      cqa::MutexLock lock(mu_);
+      while (queue_.empty() && !draining_) work_cv_.Wait(mu_);
+      if (queue_.empty()) return;  // Draining and nothing left.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_;
+    }
+    admission_->NoteQueued(-1);
+    RunOne(&job);
+    std::vector<QueryJob> shed;
+    size_t committed = 0;
+    {
+      cqa::MutexLock lock(mu_);
+      --busy_;
+      // A finished job frees an active-window slot: promote waiters.
+      PumpLocked(&shed, &committed);
+    }
+    FinishPump(&shed, committed);
+  }
+}
+
+void QueryDispatcher::RunOne(QueryJob* job) {
+  if (job->deadline.Expired()) {
+    admission_->NoteExpired();
+    job->reject(ErrorCode::kDeadlineExceeded);
+    return;
+  }
+  // With at most `max_inflight` executors, Enter always admits
+  // instantly (the FIFO above is the real queue); it is kept so the
+  // inflight gauge and the EWMA behind retry_after_s stay exact.
+  const Admission admission = admission_->Enter(job->deadline);
+  if (admission == Admission::kShutdown) {
+    job->reject(ErrorCode::kDraining);
+    return;
+  }
+  if (admission != Admission::kAdmitted) {
+    job->reject(admission == Admission::kExpired
+                    ? ErrorCode::kDeadlineExceeded
+                    : ErrorCode::kOverloaded);
+    return;
+  }
+  Stopwatch service;
+  job->run();
+  admission_->Leave(service.ElapsedSeconds());
+}
+
+void QueryDispatcher::Drain() {
+  std::vector<QueryJob> flushed;
+  size_t was_committed = 0;
+  {
+    cqa::MutexLock lock(mu_);
+    if (draining_ && queue_.empty() && wait_q_.empty()) {
+      work_cv_.NotifyAll();
+      return;
+    }
+    draining_ = true;
+    was_committed = queue_.size();
+    while (!queue_.empty()) {
+      flushed.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    while (!wait_q_.empty()) {
+      flushed.push_back(std::move(wait_q_.front()));
+      wait_q_.pop_front();
+    }
+  }
+  for (size_t i = 0; i < flushed.size(); ++i) {
+    if (i < was_committed) admission_->NoteQueued(-1);
+    flushed[i].reject(ErrorCode::kDraining);
+  }
+  work_cv_.NotifyAll();
+}
+
+size_t QueryDispatcher::queue_depth() const {
+  cqa::MutexLock lock(mu_);
+  return wait_q_.size() + queue_.size();
+}
+
+}  // namespace cqa::serve

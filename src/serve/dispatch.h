@@ -1,0 +1,117 @@
+// serve/dispatch — the bounded hand-off between reactor event loops and
+// query execution. Event loops must never block on sampling, so parsed
+// query requests are queued here and executed by `executors` long-lived
+// loops parked on the shared ThreadPool (the server hosts them; this
+// class creates no threads).
+//
+// Two-stage queue, reproducing the blocking server's observable
+// admission behaviour. That server had `workers` request threads, each
+// carrying one connection's request through AdmissionController::Enter:
+// at most `workers` requests contended for admission at once, and every
+// connection beyond that waited in the acceptor's fd queue (capped at
+// max_pending_connections) without shedding. Here the same shape is:
+//   outer wait queue  — requests beyond the active window park here,
+//                       FIFO, capped at `wait_cap`; beyond the cap they
+//                       shed with kOverloaded (the old accept-time
+//                       "connection backlog full").
+//   active window     — at most max(workers, executors + max_queue)
+//                       requests are "active" (executing or committed
+//                       for execution); a request pumped into the window
+//                       sheds with kOverloaded iff the inner stage is
+//                       full (busy >= executors AND pending >= max_queue
+//                       — exactly the old Enter shed condition, which
+//                       therefore only fires when workers exceeds
+//                       executors + max_queue, as before).
+// Deadlines are re-checked at dequeue (kDeadlineExceeded) and a drain
+// flushes both stages with kDraining. AdmissionController::Enter/Leave
+// still bracket each execution, so the inflight gauge and the
+// retry-after EWMA stay exact; NoteQueued/NoteShed/NoteExpired mirror
+// this queue into the gauges.
+#ifndef CQABENCH_SERVE_DISPATCH_H_
+#define CQABENCH_SERVE_DISPATCH_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_annotations.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+
+namespace cqa::serve {
+
+/// One unit of deferred query work.
+struct QueryJob {
+  Deadline deadline = Deadline::Infinite();
+  /// Admitted path: execute the query and deliver its response. Runs on
+  /// an executor loop, bracketed by admission Enter/Leave.
+  std::function<void()> run;
+  /// Rejection path: deliver an error response (kOverloaded /
+  /// kDeadlineExceeded / kDraining). Runs on the enqueuing thread for
+  /// shed/drain-time rejections, on an executor for expiries.
+  std::function<void(ErrorCode)> reject;
+};
+
+/// Thread-safe two-stage FIFO of QueryJobs. The server calls Submit
+/// from event loops, hosts `executors` calls to RunExecutor on pool
+/// threads, and Drains on shutdown.
+class QueryDispatcher {
+ public:
+  /// `executors` is how many RunExecutor loops the server will host
+  /// (the old max_inflight); `workers` is the old request-thread count
+  /// that bounded concurrent admission attempts; `wait_cap` caps the
+  /// outer wait queue (the old max_pending_connections backlog).
+  /// admission must outlive the dispatcher.
+  QueryDispatcher(size_t executors, size_t max_queue, size_t workers,
+                  size_t wait_cap, AdmissionController* admission);
+
+  /// Queues job, or rejects it immediately (kOverloaded when both
+  /// stages are full, kDraining after Drain). Never blocks.
+  void Submit(QueryJob job) CQA_EXCLUDES(mu_);
+
+  /// Executor loop: pops jobs until Drain() empties the queue. The
+  /// server parks `max_inflight` of these on the shared ThreadPool.
+  void RunExecutor() CQA_EXCLUDES(mu_);
+
+  /// Stops intake, flushes queued jobs with kDraining, and releases the
+  /// executor loops once the queue is empty. Idempotent.
+  void Drain() CQA_EXCLUDES(mu_);
+
+  /// Jobs waiting in either stage (excludes executing jobs).
+  size_t queue_depth() const CQA_EXCLUDES(mu_);
+
+ private:
+  /// Moves outer-queue jobs into the active window while it has room,
+  /// splitting them into committed (inner queue) and shed. Callers
+  /// notify work_cv_ / reject the shed jobs after releasing mu_ (reject
+  /// closures take other locks; keeping them outside mu_ pins the lock
+  /// order at dispatcher → admission/loop-mailbox).
+  void PumpLocked(std::vector<QueryJob>* shed, size_t* committed)
+      CQA_REQUIRES(mu_);
+
+  /// Rejects every job in `shed` with kOverloaded and notifies one
+  /// executor per committed job.
+  void FinishPump(std::vector<QueryJob>* shed, size_t committed)
+      CQA_EXCLUDES(mu_);
+
+  /// Runs or rejects one dequeued job under admission bracketing.
+  void RunOne(QueryJob* job) CQA_EXCLUDES(mu_);
+
+  const size_t executors_;
+  const size_t max_queue_;
+  const size_t window_;    // max(workers, executors + max_queue).
+  const size_t wait_cap_;
+  AdmissionController* const admission_;
+  mutable cqa::Mutex mu_;
+  cqa::CondVar work_cv_;  // Signalled on commit and Drain.
+  std::deque<QueryJob> wait_q_ CQA_GUARDED_BY(mu_);  // Outer stage.
+  std::deque<QueryJob> queue_ CQA_GUARDED_BY(mu_);   // Committed stage.
+  size_t busy_ CQA_GUARDED_BY(mu_) = 0;  // Executors running a job.
+  bool draining_ CQA_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace cqa::serve
+
+#endif  // CQABENCH_SERVE_DISPATCH_H_

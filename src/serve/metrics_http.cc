@@ -2,7 +2,6 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,6 +12,7 @@
 #include <utility>
 
 #include "obs/resource.h"
+#include "serve/reactor.h"
 #ifndef CQABENCH_NO_OBS
 #include "obs/profiler.h"
 #endif
@@ -180,15 +180,11 @@ void MetricsHttpServer::ReapConnections(bool all) {
 }
 
 void MetricsHttpServer::Loop() {
-  pollfd pfd;
-  pfd.fd = listen_fd_;
-  pfd.events = POLLIN;
   while (!stop_.load()) {
-    pfd.revents = 0;
-    const int ready = ::poll(&pfd, 1, kPollTickMs);
+    const int ready = PollReadable(listen_fd_, kPollTickMs);
     ReapConnections(/*all=*/false);
     if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     MutexLock lock(conn_mu_);
@@ -213,12 +209,8 @@ void MetricsHttpServer::ServeOne(int fd) {
   // Scrapers send tiny GETs; ~2s of patience is plenty.
   std::string head;
   char buf[2048];
-  pollfd pfd;
-  pfd.fd = fd;
-  pfd.events = POLLIN;
   for (int ticks = 0; ticks < 20 && head.size() < kMaxRequestBytes; ++ticks) {
-    pfd.revents = 0;
-    const int ready = ::poll(&pfd, 1, kPollTickMs);
+    const int ready = PollReadable(fd, kPollTickMs);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) {
       if (stop_.load()) break;

@@ -1,14 +1,20 @@
-// serve/protocol — the cqad wire protocol: length-prefixed JSON frames
-// with explicit versioning and HTTP-inspired error codes. This header is
+// serve/protocol — the cqad wire protocol: length-prefixed frames with
+// explicit versioning and HTTP-inspired error codes. This header is
 // the single source of truth for the on-wire contract; the narrative
 // reference lives in docs/protocol.md and the two must agree (lint
 // check 7 ties every flag and field to the docs).
 //
 // Frame layout: a 4-byte big-endian unsigned payload length, then that
-// many bytes of UTF-8 JSON (one object per frame). Length 0 and lengths
-// above the negotiated maximum are protocol errors, not just bad
-// requests: the receiver cannot resynchronize after them, so both sides
-// must close the connection.
+// many payload bytes. Length 0 and lengths above the negotiated maximum
+// are protocol errors, not just bad requests: the receiver cannot
+// resynchronize after them, so both sides must close the connection.
+//
+// Two payload codecs share that outer framing, distinguished by the
+// payload's first byte: '{' opens the v1 UTF-8 JSON object codec, and
+// kBinaryMagic (0x02) opens the v2 tagged binary codec (varint /
+// fixed64 / length-delimited fields, packed answer arrays). Codec
+// choice is per request; the server always answers in the codec the
+// request arrived in.
 #ifndef CQABENCH_SERVE_PROTOCOL_H_
 #define CQABENCH_SERVE_PROTOCOL_H_
 
@@ -21,10 +27,31 @@
 
 namespace cqa::serve {
 
-/// Protocol version carried in every request's "v" field. The server
-/// rejects any other value with kBadVersion; versioning policy (when the
-/// number bumps, what stays compatible) is documented in docs/protocol.md.
+/// Protocol version carried in every request's "v" field. JSON payloads
+/// must say 1 and binary payloads must say 2; the server rejects any
+/// other value with kBadVersion. Versioning policy (when the number
+/// bumps, what stays compatible) is documented in docs/protocol.md.
 inline constexpr int kProtocolVersion = 1;
+
+/// Version spoken by the tagged binary codec. A binary payload *is* the
+/// version negotiation: its leading kBinaryMagic byte cannot appear at
+/// the start of a JSON object, so the decoder dispatches per payload.
+inline constexpr int kProtocolVersionBinary = 2;
+
+/// First payload byte of every binary (v2) frame. 0x02 is illegal as the
+/// first byte of JSON text, so codec detection needs no extra header.
+inline constexpr unsigned char kBinaryMagic = 0x02;
+
+/// Payload codec of one frame, detected from its first byte.
+enum class WireCodec {
+  kJson = 1,    // '{' — v1 UTF-8 JSON object.
+  kBinary = 2,  // kBinaryMagic — v2 tagged binary.
+};
+
+/// Detects the codec from the payload's first byte (leading JSON
+/// whitespace is tolerated). Returns false for an empty payload or an
+/// unrecognizable first byte; the server answers kBadRequest in JSON.
+bool DetectCodec(const std::string& payload, WireCodec* codec);
 
 /// Default cap on one frame's payload. Requests are tiny; responses carry
 /// answer lists and run records, which stay far below this for any
@@ -141,11 +168,30 @@ struct Request {
   /// Serializes as one request frame payload (client side).
   std::string ToJsonPayload() const;
 
+  /// Serializes with the v2 tagged binary codec (magic + kind header,
+  /// then tag-prefixed fields; layout table in docs/protocol.md).
+  std::string ToBinaryPayload() const;
+
+  /// Serializes with the given codec.
+  std::string ToPayload(WireCodec codec) const;
+
   /// Decodes a request payload. On failure returns false with *code set
   /// to the rejection the server should answer with and *error to a
   /// human-readable reason.
   static bool FromJsonPayload(const std::string& payload, Request* out,
                               ErrorCode* code, std::string* error);
+
+  /// Decodes a v2 binary request payload; same failure contract as the
+  /// JSON decoder, and identical semantic validation of the fields.
+  static bool FromBinaryPayload(const std::string& payload, Request* out,
+                                ErrorCode* code, std::string* error);
+
+  /// Detects the codec and dispatches to the matching decoder. Sets
+  /// *codec to the detected codec whenever detection itself succeeds,
+  /// so error replies can be encoded in the codec the client spoke.
+  static bool FromPayload(const std::string& payload, Request* out,
+                          WireCodec* codec, ErrorCode* code,
+                          std::string* error);
 };
 
 /// One candidate answer in a query response.
@@ -182,8 +228,24 @@ struct Response {
   bool ok() const { return code == ErrorCode::kOk; }
 
   std::string ToJsonPayload() const;
+
+  /// v2 binary encoding; the embedded raw-JSON blobs (run record,
+  /// metrics, server state) ride along as length-delimited strings.
+  std::string ToBinaryPayload() const;
+
+  /// Serializes with the given codec (the codec the request arrived in).
+  std::string ToPayload(WireCodec codec) const;
+
   static bool FromJsonPayload(const std::string& payload, Response* out,
                               std::string* error);
+
+  /// Decodes a v2 binary response payload.
+  static bool FromBinaryPayload(const std::string& payload, Response* out,
+                                std::string* error);
+
+  /// Detects the codec and dispatches to the matching decoder.
+  static bool FromPayload(const std::string& payload, Response* out,
+                          std::string* error);
 
   /// Shorthand for error replies.
   static Response MakeError(ErrorCode code, const std::string& message,

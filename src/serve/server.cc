@@ -2,14 +2,18 @@
 
 #include <arpa/inet.h>
 #include <csignal>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
+#include <utility>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -26,34 +30,280 @@ std::atomic<bool> g_terminate{false};
 
 void HandleTerminate(int /*signum*/) { g_terminate.store(true); }
 
-// Poll tick for every blocking socket wait: drain and terminate flags
-// are observed within this interval.
-constexpr int kPollTickMs = 100;
+// How often the signal watcher and the drain grace loop re-check their
+// flags. Connection I/O itself is purely event-driven (no ticks).
+constexpr long kWatchTickNs = 10 * 1000 * 1000;  // 10ms.
 
-// Writes the whole buffer, retrying on partial sends. False on error
-// (peer gone); MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE.
-bool SendAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
+void SleepTick() {
+  struct timespec ts = {0, kWatchTickNs};
+  ::nanosleep(&ts, nullptr);
 }
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// One best-effort non-blocking send for connections rejected before
+// they ever reach a loop (accept-time shed). MSG_NOSIGNAL keeps a dead
+// peer from raising SIGPIPE.
+void BestEffortSend(int fd, const std::string& data) {
+  [[maybe_unused]] ssize_t n =
+      ::send(fd, data.data(), data.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+}
+
+const char* RejectMessage(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverloaded: return "admission queue full";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline expired in admission queue";
+    case ErrorCode::kDraining: return "server is draining";
+    default: return "request rejected";
+  }
+}
+
+// The spans bracketing one asynchronous query. Held via shared_ptr by
+// both the run and reject closures, which execute on executor threads
+// while construction happened on a loop thread — hence CrossThreadSpan,
+// not the same-thread RAII TraceSpan. Finish() is called at the exact
+// moments the old blocking server destroyed the equivalent scoped spans
+// (queue_wait ends when execution starts, the request root ends before
+// the response is handed back), so span durations and the recording
+// order stay faithful.
+struct PendingSpans {
+  PendingSpans(const std::string& trace_id, uint64_t trace_parent)
+      : root("serve.request", trace_parent, trace_id),
+        queue("serve.queue_wait", root.id(), trace_id) {}
+  obs::CrossThreadSpan root;
+  obs::CrossThreadSpan queue;
+};
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Per-connection state machine. Every member is confined to the owning
+// loop's thread: events, mailbox deliveries, and drain sweeps all run
+// there, so no locking is needed (TSA has nothing to annotate — the
+// confinement is the discipline, see docs/architecture.md).
+// ---------------------------------------------------------------------------
+
+class CqadServer::Conn : public EpollHandler {
+ public:
+  Conn(CqadServer* server, EventLoop* loop, size_t loop_index, uint64_t id,
+       int fd)
+      : server_(server),
+        loop_(loop),
+        loop_index_(loop_index),
+        id_(id),
+        fd_(fd),
+        decoder_(server->options_.max_frame_bytes) {}
+
+  ~Conn() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  uint64_t id() const { return id_; }
+  size_t loop_index() const { return loop_index_; }
+
+  void OnEvents(uint32_t events) override {
+    if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+      ShutdownNow();
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) {
+      if (!Flush()) {
+        ShutdownNow();
+        return;
+      }
+      if (MaybeCloseAfterFlush()) return;
+    }
+    if ((events & (EPOLLIN | EPOLLRDHUP)) != 0) OnReadable();
+  }
+
+  /// Reads until EAGAIN (edge-triggered contract) and handles every
+  /// complete frame. May destroy the connection; callers must not touch
+  /// it afterwards.
+  void OnReadable() {
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        decoder_.Append(buf, static_cast<size_t>(n));
+        if (!DrainFrames()) return;  // Closed (or closing after flush).
+        continue;
+      }
+      if (n == 0) {  // EOF.
+        ShutdownNow();
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      ShutdownNow();
+      return;
+    }
+  }
+
+  /// Queues an encoded frame and flushes as much as the socket takes.
+  void QueueWrite(std::string frame) {
+    write_q_.push_back(std::move(frame));
+    if (!Flush()) {
+      ShutdownNow();
+      return;
+    }
+    MaybeCloseAfterFlush();
+  }
+
+  /// One pipelined response came back from an executor.
+  void CompleteOne(std::string frame) {
+    if (outstanding_ > 0) --outstanding_;
+    QueueWrite(std::move(frame));
+  }
+
+  void NoteSubmitted() { ++outstanding_; }
+
+  /// Drain sweep: idle connections close now; connections with pending
+  /// responses or unflushed bytes close once those flush.
+  void DrainSweep() {
+    if (outstanding_ == 0 && write_q_.empty()) {
+      ShutdownNow();
+    } else {
+      close_after_flush_ = true;
+    }
+  }
+
+  /// Arms close-on-flush for fatal protocol errors (poisoned framing).
+  void CloseAfterFlush() {
+    close_after_flush_ = true;
+    MaybeCloseAfterFlush();
+  }
+
+  /// Unregisters, removes from the server registry, and schedules
+  /// destruction. Safe to call at most once; the object may be deleted
+  /// before this returns (when called off the epoll dispatch path).
+  void ShutdownNow() {
+    if (closed_) return;
+    closed_ = true;
+    server_->conns_[loop_index_].erase(id_);
+    const int64_t open = server_->open_conns_.fetch_sub(1) - 1;
+    server_->connections_gauge_->Set(open);
+    loop_->Destroy(fd_, this);  // ~Conn closes fd_.
+  }
+
+ private:
+  /// Pops decoded frames into the server. False when the connection
+  /// closed (fatal framing error or handler said stop).
+  bool DrainFrames() {
+    for (;;) {
+      std::string payload;
+      std::string frame_error;
+      const FrameDecoder::Status status =
+          decoder_.Next(&payload, &frame_error);
+      if (status == FrameDecoder::Status::kNeedMore) return true;
+      if (status == FrameDecoder::Status::kError) {
+        const ErrorCode code =
+            frame_error.find("exceeds") != std::string::npos
+                ? ErrorCode::kFrameTooLarge
+                : ErrorCode::kBadRequest;
+        const Response reply = Response::MakeError(code, frame_error);
+        write_q_.push_back(EncodeFrame(reply.ToJsonPayload()));
+        if (!Flush()) {
+          ShutdownNow();
+          return false;
+        }
+        CloseAfterFlush();  // Framing is unrecoverable; close.
+        return false;
+      }
+      if (!server_->HandleFrame(this, payload)) {
+        ShutdownNow();
+        return false;
+      }
+      if (closed_) return false;
+    }
+  }
+
+  /// writev-flushes the queue until empty or EAGAIN. False on a fatal
+  /// socket error (caller closes).
+  bool Flush() {
+    while (!write_q_.empty()) {
+      struct iovec iov[64];
+      int iovcnt = 0;
+      size_t off = write_off_;
+      for (const std::string& buf : write_q_) {
+        if (iovcnt == 64) break;
+        iov[iovcnt].iov_base = const_cast<char*>(buf.data() + off);
+        iov[iovcnt].iov_len = buf.size() - off;
+        ++iovcnt;
+        off = 0;
+      }
+      struct msghdr msg;
+      std::memset(&msg, 0, sizeof(msg));
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<size_t>(iovcnt);
+      const ssize_t sent = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+      size_t remaining = static_cast<size_t>(sent);
+      while (remaining > 0 && !write_q_.empty()) {
+        const size_t avail = write_q_.front().size() - write_off_;
+        if (remaining >= avail) {
+          remaining -= avail;
+          write_q_.pop_front();
+          write_off_ = 0;
+        } else {
+          write_off_ += remaining;
+          remaining = 0;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// True when the connection was closed by the pending-close rule.
+  bool MaybeCloseAfterFlush() {
+    if (close_after_flush_ && write_q_.empty() && outstanding_ == 0) {
+      ShutdownNow();
+      return true;
+    }
+    return false;
+  }
+
+  CqadServer* const server_;
+  EventLoop* const loop_;
+  const size_t loop_index_;
+  const uint64_t id_;
+  const int fd_;
+  FrameDecoder decoder_;
+  std::deque<std::string> write_q_;  // Encoded frames awaiting the socket.
+  size_t write_off_ = 0;             // Bytes of the front frame already sent.
+  size_t outstanding_ = 0;           // Queries submitted, response pending.
+  bool close_after_flush_ = false;
+  bool closed_ = false;
+};
+
+// Accept handler: loop 0 owns the listening socket.
+class CqadServer::Listener : public EpollHandler {
+ public:
+  explicit Listener(CqadServer* server) : server_(server) {}
+  void OnEvents(uint32_t /*events*/) override { server_->AcceptReady(); }
+
+ private:
+  CqadServer* const server_;
+};
+
 CqadServer::CqadServer(const ServerOptions& options)
     : options_(options),
+      executors_(options.max_inflight == 0 ? options.workers
+                                           : options.max_inflight),
       engine_(options.engine),
       admission_(AdmissionOptions{
           options.max_inflight == 0 ? options.workers : options.max_inflight,
           options.max_queue}),
+      dispatcher_(executors_, options.max_queue,
+                  options.workers == 0 ? 1 : options.workers,
+                  options.max_pending_connections, &admission_),
       connections_gauge_(
           obs::Registry::Instance().GetGauge("serve.connections_open")) {}
 
@@ -71,8 +321,8 @@ void CqadServer::InstallSignalHandlers() {
   sa.sa_handler = HandleTerminate;
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
-  // A client closing mid-response must not kill the process; SendAll
-  // already handles the send() error path.
+  // A client closing mid-response must not kill the process; every send
+  // already uses MSG_NOSIGNAL and handles the error path.
   ::signal(SIGPIPE, SIG_IGN);
 }
 
@@ -103,8 +353,14 @@ bool CqadServer::Start(std::string* error) {
     listen_fd_ = -1;
     return false;
   }
-  if (::listen(listen_fd_, 128) != 0) {
+  if (::listen(listen_fd_, 1024) != 0) {
     *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (!SetNonBlocking(listen_fd_)) {
+    *error = std::string("fcntl(listen): ") + std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     return false;
@@ -115,211 +371,236 @@ bool CqadServer::Start(std::string* error) {
                 &bound_len);
   port_ = ntohs(bound.sin_port);
 
-  acceptor_ = std::thread([this] { AcceptorLoop(); });
-  // The connection loops run as ONE fork/join job on the shared pool:
-  // the dispatcher parks here until every worker loop exits at drain.
-  dispatcher_ = std::thread([this] {
+  const size_t n_loops = options_.workers == 0 ? 1 : options_.workers;
+  conns_.resize(n_loops);
+  for (size_t i = 0; i < n_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>("loop-" + std::to_string(i));
+    if (!loop->ok()) {
+      *error = "epoll setup failed for event loop " + std::to_string(i);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      loops_.clear();
+      return false;
+    }
+    loops_.push_back(std::move(loop));
+  }
+  listener_ = std::make_unique<Listener>(this);
+  if (!loops_[0]->Add(listen_fd_, EPOLLIN | EPOLLET, listener_.get())) {
+    *error = std::string("epoll_ctl(listen): ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    loops_.clear();
+    return false;
+  }
+
+  for (auto& loop : loops_) {
+    EventLoop* raw = loop.get();
+    loop_threads_.emplace_back([raw] { raw->Run(); });
+  }
+  // Executor loops run as ONE fork/join job on the shared pool: this
+  // host thread parks until every executor exits at drain.
+  executor_host_ = std::thread([this] {
     ThreadPool& pool = ThreadPool::Shared();
-    pool.EnsureWorkers(options_.workers);
-    pool.Run(options_.workers, [this](size_t) { WorkerLoop(); });
+    pool.EnsureWorkers(executors_);
+    pool.Run(executors_, [this](size_t) { dispatcher_.RunExecutor(); });
   });
+  signal_watcher_ = std::thread([this] {
+    while (!stopping_.load()) {
+      if (g_terminate.load()) {
+        RequestDrain();
+        return;
+      }
+      SleepTick();
+    }
+  });
+  drainer_ = std::thread([this] { DrainSequence(); });
   started_ = true;
   return true;
 }
 
 void CqadServer::RequestDrain() {
   if (draining_.exchange(true)) return;
-  // Queued admission waiters wake with kShutdown → answered kDraining.
-  admission_.Shutdown();
-  // Workers parked on the hand-off queue wake to flush it with
-  // kDraining replies, then exit.
-  queue_cv_.NotifyAll();
+  {
+    cqa::MutexLock lock(drain_mu_);
+    drain_requested_ = true;
+  }
+  drain_cv_.NotifyAll();
 }
 
 void CqadServer::Wait() {
   if (!started_) return;
-  if (acceptor_.joinable()) acceptor_.join();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  if (drainer_.joinable()) drainer_.join();
+  for (std::thread& t : loop_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (signal_watcher_.joinable()) signal_watcher_.join();
   started_ = false;
 }
 
-void CqadServer::AcceptorLoop() {
-  pollfd pfd;
-  pfd.fd = listen_fd_;
-  pfd.events = POLLIN;
-  while (!draining_.load()) {
-    if (g_terminate.load()) {
-      RequestDrain();
-      break;
+void CqadServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or the listen socket was shut down for drain.
     }
-    pfd.revents = 0;
-    const int ready = ::poll(&pfd, 1, kPollTickMs);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
     ++connections_total_;
     CQA_OBS_COUNT("serve.connections");
-    MutexLock lock(queue_mu_);
-    if (conn_queue_.size() >= options_.max_pending_connections) {
-      lock.Unlock();
-      CQA_OBS_COUNT("serve.connections_shed");
-      SendErrorAndClose(fd, ErrorCode::kOverloaded,
-                        "connection backlog full");
-      continue;
-    }
-    conn_queue_.push_back(fd);
-    lock.Unlock();
-    queue_cv_.NotifyOne();
-  }
-  // Drain step 1: stop accepting — close the listening socket so new
-  // connects are refused at the TCP layer.
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  RequestDrain();
-  // Drain step 2 fallback: a connection this thread queued in the same
-  // instant the workers took their final (empty-queue) look would never
-  // be flushed by them and would hang its client on recv. The acceptor
-  // is the only producer and is now past its last push, so flushing
-  // here — racing harmlessly with any worker still popping, both sides
-  // answer kDraining under queue_mu_ — leaves nothing stranded.
-  for (;;) {
-    int fd = -1;
-    {
-      MutexLock lock(queue_mu_);
-      if (conn_queue_.empty()) break;
-      fd = conn_queue_.front();
-      conn_queue_.pop_front();
-    }
-    SendErrorAndClose(fd, ErrorCode::kDraining, "server is draining");
-  }
-  // Drain step 3: give in-flight requests drain_timeout_s to finish,
-  // then force-close whatever is left so blocked workers fail fast.
-  ForceCloseStragglers();
-}
-
-void CqadServer::WorkerLoop() {
-  while (true) {
-    int fd = -1;
-    {
-      MutexLock lock(queue_mu_);
-      while (!draining_.load() && conn_queue_.empty()) {
-        queue_cv_.Wait(queue_mu_);
-      }
-      if (conn_queue_.empty()) return;  // Draining and nothing queued.
-      fd = conn_queue_.front();
-      conn_queue_.pop_front();
-    }
     if (draining_.load()) {
-      // Drain step 2: connections that never reached a worker get an
-      // honest kDraining instead of a hung socket.
-      SendErrorAndClose(fd, ErrorCode::kDraining, "server is draining");
+      const Response reply = Response::MakeError(ErrorCode::kDraining,
+                                                 "server is draining");
+      BestEffortSend(fd, EncodeFrame(reply.ToJsonPayload()));
+      ::close(fd);
       continue;
     }
-    ServeConnection(fd);
+    if (open_conns_.load() >=
+        static_cast<int64_t>(options_.max_pending_connections)) {
+      CQA_OBS_COUNT("serve.connections_shed");
+      Response reply = Response::MakeError(ErrorCode::kOverloaded,
+                                           "connection backlog full");
+      reply.retry_after_s = admission_.RetryAfterSeconds();
+      BestEffortSend(fd, EncodeFrame(reply.ToJsonPayload()));
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_gauge_->Set(open_conns_.fetch_add(1) + 1);
+    AdoptConnection(next_loop_++ % loops_.size(), fd);
   }
 }
 
-void CqadServer::ServeConnection(int fd) {
-  {
-    MutexLock lock(conns_mu_);
-    open_conns_.insert(fd);
-    connections_gauge_->Set(static_cast<int64_t>(open_conns_.size()));
-  }
-  FrameDecoder decoder(options_.max_frame_bytes);
-  char buf[1 << 16];
-  pollfd pfd;
-  pfd.fd = fd;
-  pfd.events = POLLIN;
-  bool keep = true;
-  while (keep) {
-    pfd.revents = 0;
-    const int ready = ::poll(&pfd, 1, kPollTickMs);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) {
-      // Idle tick: under drain, an idle connection is closed rather
-      // than held open past shutdown.
-      if (draining_.load()) break;
-      continue;
+void CqadServer::AdoptConnection(size_t loop_index, int fd) {
+  EventLoop* loop = loops_[loop_index].get();
+  const uint64_t conn_id = next_conn_id_.fetch_add(1);
+  loop->Post([this, loop, loop_index, fd, conn_id] {
+    Conn* conn = new Conn(this, loop, loop_index, conn_id, fd);
+    if (!loop->Add(fd, EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP, conn)) {
+      connections_gauge_->Set(open_conns_.fetch_sub(1) - 1);
+      delete conn;  // ~Conn closes fd.
+      return;
     }
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;  // EOF or error.
-    decoder.Append(buf, static_cast<size_t>(n));
-    while (keep) {
-      std::string payload;
-      std::string frame_error;
-      FrameDecoder::Status status = decoder.Next(&payload, &frame_error);
-      if (status == FrameDecoder::Status::kNeedMore) break;
-      if (status == FrameDecoder::Status::kError) {
-        const ErrorCode code =
-            frame_error.find("exceeds") != std::string::npos
-                ? ErrorCode::kFrameTooLarge
-                : ErrorCode::kBadRequest;
-        const Response reply = Response::MakeError(code, frame_error);
-        SendAll(fd, EncodeFrame(reply.ToJsonPayload()));
-        keep = false;  // Framing is unrecoverable; close.
-        break;
-      }
-      keep = HandleFrame(fd, payload);
-    }
-  }
-  {
-    MutexLock lock(conns_mu_);
-    open_conns_.erase(fd);
-    connections_gauge_->Set(static_cast<int64_t>(open_conns_.size()));
-  }
-  ::close(fd);
+    conns_[loop_index].emplace(conn_id, conn);
+    // Bytes that landed before registration produce no further edge;
+    // read once now (a spurious extra EAGAIN read is harmless).
+    conn->OnReadable();
+  });
 }
 
-bool CqadServer::HandleFrame(int fd, const std::string& payload) {
+bool CqadServer::HandleFrame(Conn* conn, const std::string& payload) {
   const Stopwatch request_watch;
   ++requests_total_;
   CQA_OBS_COUNT("serve.requests");
 
   Request request;
+  WireCodec codec = WireCodec::kJson;
   ErrorCode code = ErrorCode::kOk;
   std::string error;
-  Response response;
-  const bool parsed = Request::FromJsonPayload(payload, &request, &code,
-                                               &error);
+  const bool parsed =
+      Request::FromPayload(payload, &request, &codec, &code, &error);
   if (!parsed) {
-    response = Response::MakeError(code, error);
-  } else {
-    // The per-request root span. The client's trace context hangs the
-    // whole server-side tree under its own span id; an untraced request
-    // still gets a root span (with an empty trace id) so the ring shows
-    // every request.
-    obs::TraceSpan root_span("serve.request", request.trace_parent,
-                             request.trace_id);
-    if (request.op == "ping") {
-      response.id = request.id;
-      response.pong = true;
-    } else if (request.op == "stats") {
-      response.id = request.id;
-      response.metrics_json = obs::Registry::Instance().ToJson();
-      response.server_json = StatsJson();
-    } else {  // "query" — FromJsonPayload rejected any other op.
-      response = ExecuteWithAdmission(request, root_span.id());
-    }
+    Response response = Response::MakeError(code, error);
+    conn->QueueWrite(
+        FinishRequest(request, false, &response, request_watch, codec));
+    return true;  // Bad requests keep the connection open.
   }
-  if (!response.ok()) CQA_OBS_COUNT("serve.request_errors");
+  if (request.op == "ping" || request.op == "stats") {
+    Response response;
+    response.id = request.id;
+    {
+      // The per-request root span; see SubmitQuery for the query path.
+      obs::TraceSpan root_span("serve.request", request.trace_parent,
+                               request.trace_id);
+      if (request.op == "ping") {
+        response.pong = true;
+      } else {
+        response.metrics_json = obs::Registry::Instance().ToJson();
+        response.server_json = StatsJson();
+      }
+    }
+    conn->QueueWrite(
+        FinishRequest(request, true, &response, request_watch, codec));
+    return true;
+  }
+  SubmitQuery(conn, std::move(request), codec, request_watch);
+  return true;
+}
+
+void CqadServer::SubmitQuery(Conn* conn, Request request, WireCodec codec,
+                             const Stopwatch& watch) {
+  if (draining_.load()) {
+    Response response = Response::MakeError(
+        ErrorCode::kDraining, "server is draining", request.id);
+    conn->QueueWrite(FinishRequest(request, true, &response, watch, codec));
+    return;
+  }
+  const size_t loop_index = conn->loop_index();
+  const uint64_t conn_id = conn->id();
+  // The deadline starts here, before the dispatcher queue, so time
+  // spent queued counts against the request's budget.
+  const Deadline deadline = engine_.MakeDeadline(request);
+  // The root span hangs the whole server-side tree under the client's
+  // trace context; queue_wait ends exactly when execution starts.
+  auto spans = std::make_shared<PendingSpans>(request.trace_id,
+                                              request.trace_parent);
+  const uint64_t root_id = spans->root.id();
+  auto req = std::make_shared<Request>(std::move(request));
+  const Stopwatch queue_watch;
+  conn->NoteSubmitted();
+
+  QueryJob job;
+  job.deadline = deadline;
+  job.run = [this, req, codec, watch, queue_watch, spans, root_id,
+             loop_index, conn_id, deadline] {
+    const uint64_t queue_wait_micros =
+        static_cast<uint64_t>(queue_watch.ElapsedSeconds() * 1e6);
+    spans->queue.Finish();
+    Response response = engine_.ExecuteQuery(*req, deadline, root_id);
+    if (response.timing.recorded) {
+      response.timing.queue_wait_micros = queue_wait_micros;
+    }
+    spans->root.Finish();  // Recorded before the response is delivered.
+    DeliverFrame(loop_index, conn_id,
+                 FinishRequest(*req, true, &response, watch, codec));
+  };
+  job.reject = [this, req, codec, watch, spans, loop_index,
+                conn_id](ErrorCode code) {
+    spans->queue.Finish();
+    Response response =
+        Response::MakeError(code, RejectMessage(code), req->id);
+    if (code == ErrorCode::kOverloaded) {
+      response.retry_after_s = admission_.RetryAfterSeconds();
+    }
+    spans->root.Finish();
+    DeliverFrame(loop_index, conn_id,
+                 FinishRequest(*req, true, &response, watch, codec));
+  };
+  dispatcher_.Submit(std::move(job));
+}
+
+std::string CqadServer::FinishRequest(const Request& request, bool parsed,
+                                      Response* response,
+                                      const Stopwatch& watch,
+                                      WireCodec codec) {
+  if (!response->ok()) CQA_OBS_COUNT("serve.request_errors");
   // Total handling time ends here, before frame serialization, so the
   // response's own phase breakdown can sum close to it (the residual is
   // dispatch glue, not a hidden phase).
   const uint64_t total_micros =
-      static_cast<uint64_t>(request_watch.ElapsedSeconds() * 1e6);
-  if (response.timing.recorded) {
-    response.timing.total_micros = total_micros;
+      static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6);
+  if (response->timing.recorded) {
+    response->timing.total_micros = total_micros;
     CQA_OBS_OBSERVE("serve.phase_queue_wait_micros",
-                    response.timing.queue_wait_micros);
+                    response->timing.queue_wait_micros);
     CQA_OBS_OBSERVE("serve.phase_cache_micros",
-                    response.timing.cache_micros);
+                    response->timing.cache_micros);
     CQA_OBS_OBSERVE("serve.phase_preprocess_micros",
-                    response.timing.preprocess_micros);
+                    response->timing.preprocess_micros);
     CQA_OBS_OBSERVE("serve.phase_sample_micros",
-                    response.timing.sample_micros);
+                    response->timing.sample_micros);
     CQA_OBS_OBSERVE("serve.phase_encode_micros",
-                    response.timing.encode_micros);
+                    response->timing.encode_micros);
   }
   CQA_OBS_OBSERVE("serve.request_micros", total_micros);
   if (options_.access_log != nullptr) {
@@ -328,89 +609,86 @@ bool CqadServer::HandleFrame(int fd, const std::string& payload) {
     entry.trace_id = request.trace_id;
     entry.request_id = request.id;
     entry.scheme = request.scheme;
-    entry.cache_hit = response.cache_hit;
-    entry.code = response.code;
-    entry.timed_out = response.timed_out;
-    entry.timing = response.timing;
+    entry.cache_hit = response->cache_hit;
+    entry.code = response->code;
+    entry.timed_out = response->timed_out;
+    entry.timing = response->timing;
     entry.timing.total_micros = total_micros;  // Set even when !recorded.
-    entry.total_samples = response.total_samples;
+    entry.total_samples = response->total_samples;
     options_.access_log->Append(entry);
   }
-  return SendAll(fd, EncodeFrame(response.ToJsonPayload()));
+  response->version = codec == WireCodec::kBinary ? kProtocolVersionBinary
+                                                  : kProtocolVersion;
+  return EncodeFrame(response->ToPayload(codec));
 }
 
-Response CqadServer::ExecuteWithAdmission(const Request& request,
-                                          uint64_t root_span) {
-  if (draining_.load()) {
-    return Response::MakeError(ErrorCode::kDraining, "server is draining",
-                               request.id);
-  }
-  // The deadline starts here, before the admission wait, so time spent
-  // queued counts against the request's budget.
-  const Deadline deadline = engine_.MakeDeadline(request);
-  const Stopwatch service_watch;
-  Admission decision;
-  uint64_t queue_wait_micros = 0;
+void CqadServer::DeliverFrame(size_t loop_index, uint64_t conn_id,
+                              std::string frame) {
+  loops_[loop_index]->Post(
+      [this, loop_index, conn_id, frame = std::move(frame)]() mutable {
+        auto& registry = conns_[loop_index];
+        const auto it = registry.find(conn_id);
+        if (it == registry.end()) return;  // Connection closed; drop.
+        it->second->CompleteOne(std::move(frame));
+      });
+}
+
+void CqadServer::DrainSequence() {
   {
-    obs::TraceSpan queue_span("serve.queue_wait", root_span,
-                              request.trace_id);
-    const Stopwatch queue_watch;
-    decision = admission_.Enter(deadline);
-    queue_wait_micros =
-        static_cast<uint64_t>(queue_watch.ElapsedSeconds() * 1e6);
+    cqa::MutexLock lock(drain_mu_);
+    while (!drain_requested_) drain_cv_.Wait(drain_mu_);
   }
-  switch (decision) {
-    case Admission::kShed: {
-      Response response = Response::MakeError(
-          ErrorCode::kOverloaded, "admission queue full", request.id);
-      response.retry_after_s = admission_.RetryAfterSeconds();
-      return response;
+  // Drain step 1: stop accepting. shutdown() empties and closes the
+  // listen queue at the TCP layer; the fd itself is closed on loop 0 so
+  // it cannot race an in-flight accept with a recycled descriptor.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  loops_[0]->Post([this] {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);  // epoll forgets closed fds automatically.
+      listen_fd_ = -1;
     }
-    case Admission::kExpired:
-      return Response::MakeError(ErrorCode::kDeadlineExceeded,
-                                 "deadline expired in admission queue",
-                                 request.id);
-    case Admission::kShutdown:
-      return Response::MakeError(ErrorCode::kDraining,
-                                 "server is draining", request.id);
-    case Admission::kAdmitted:
-      break;
+  });
+  // Drain step 2: flush queued work with kDraining, finish in-flight
+  // executions, and deliver every pending response.
+  admission_.Shutdown();
+  dispatcher_.Drain();
+  if (executor_host_.joinable()) executor_host_.join();
+  // All completions are now queued in loop mailboxes; the sweep posted
+  // behind them closes idle connections and marks the rest
+  // close-on-flush (mailboxes are FIFO per loop).
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->Post([this, i] {
+      std::vector<Conn*> conns;
+      conns.reserve(conns_[i].size());
+      for (const auto& [id, conn] : conns_[i]) conns.push_back(conn);
+      for (Conn* conn : conns) conn->DrainSweep();
+    });
   }
-  Response response = engine_.ExecuteQuery(request, deadline, root_span);
-  admission_.Leave(service_watch.ElapsedSeconds());
-  if (response.timing.recorded) {
-    response.timing.queue_wait_micros = queue_wait_micros;
-  }
-  return response;
-}
-
-void CqadServer::SendErrorAndClose(int fd, ErrorCode code,
-                                   const std::string& message) {
-  Response reply = Response::MakeError(code, message);
-  if (code == ErrorCode::kOverloaded) {
-    reply.retry_after_s = admission_.RetryAfterSeconds();
-  }
-  SendAll(fd, EncodeFrame(reply.ToJsonPayload()));
-  ::close(fd);
+  // Drain step 3: give pending flushes drain_timeout_s, then force.
+  ForceCloseStragglers();
+  for (auto& loop : loops_) loop->Stop();
+  stopping_.store(true);
 }
 
 void CqadServer::ForceCloseStragglers() {
   const Deadline grace(options_.drain_timeout_s);
   while (!grace.Expired()) {
-    {
-      MutexLock lock(conns_mu_);
-      if (open_conns_.empty()) return;
-    }
-    struct timespec ts = {0, 20 * 1000 * 1000};  // 20ms.
-    ::nanosleep(&ts, nullptr);
+    if (open_conns_.load() == 0) return;
+    SleepTick();
   }
-  MutexLock lock(conns_mu_);
-  for (int fd : open_conns_) {
-    // shutdown(), not close(): the owning worker still holds the fd and
-    // will observe recv()/send() failing, then close it itself.
-    ::shutdown(fd, SHUT_RDWR);
-    CQA_OBS_COUNT("serve.connections_force_closed");
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->Post([this, i] {
+      std::vector<Conn*> conns;
+      conns.reserve(conns_[i].size());
+      for (const auto& [id, conn] : conns_[i]) conns.push_back(conn);
+      for (Conn* conn : conns) {
+        CQA_OBS_COUNT("serve.connections_force_closed");
+        conn->ShutdownNow();
+      }
+    });
   }
+  // Give the force-close posts a moment to run before loops stop.
+  while (open_conns_.load() > 0) SleepTick();
 }
 
 std::string CqadServer::StatsJson() const {

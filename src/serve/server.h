@@ -1,10 +1,15 @@
-// serve/server — the TCP transport of cqad. A single acceptor thread
-// owns the listening socket; accepted connections go through a bounded
-// hand-off queue to connection workers that run as one long-lived job on
-// the process-wide ThreadPool (no per-connection thread spawning).
-// Admission control bounds concurrent query executions, and a SIGTERM /
-// RequestDrain() triggers the graceful drain documented in DESIGN.md §9:
-// stop accepting, answer queued work with kDraining, finish in-flight
+// serve/server — the TCP transport of cqad, built on the epoll reactor
+// in serve/reactor.h. `workers` edge-triggered event loops own all
+// connection I/O (loop 0 additionally owns the listening socket and
+// hands accepted fds out round-robin); each connection is a small state
+// machine with growable read/write buffers that supports pipelining —
+// many outstanding requests per connection, responses matched by the
+// client-assigned `id` and possibly delivered out of order. Query
+// execution never runs on an event loop: parsed requests go through the
+// bounded QueryDispatcher to executor loops parked on the process-wide
+// ThreadPool, bracketed by admission control. A SIGTERM/RequestDrain()
+// triggers the graceful drain documented in DESIGN.md §9: stop
+// accepting, flush queued work with kDraining, finish in-flight
 // requests, force-close stragglers after a timeout.
 #ifndef CQABENCH_SERVE_SERVER_H_
 #define CQABENCH_SERVE_SERVER_H_
@@ -12,16 +17,19 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <set>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "common/thread_annotations.h"
 #include "serve/access_log.h"
 #include "serve/admission.h"
+#include "serve/dispatch.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
+#include "serve/reactor.h"
 
 namespace cqa::serve {
 
@@ -31,15 +39,15 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 picks an ephemeral port (read it back via port()).
   int port = 0;
-  /// Connection workers — also the ceiling on concurrently *serviced*
-  /// connections. Runs as one job on ThreadPool::Shared().
+  /// Event-loop threads. Each loop multiplexes an unbounded share of
+  /// the open connections; loops never block on query execution.
   size_t workers = 4;
-  /// Accepted connections allowed to wait for a free worker before new
-  /// arrivals are answered with kOverloaded and closed.
+  /// Cap on concurrently open connections; accepts beyond it are
+  /// answered with kOverloaded and closed immediately.
   size_t max_pending_connections = 256;
-  /// Admission bound on concurrent query executions. 0 = `workers`.
+  /// Executor loops bounding concurrent query executions. 0 = `workers`.
   size_t max_inflight = 0;
-  /// Admission queue length; beyond it requests shed with kOverloaded.
+  /// Dispatcher queue length; beyond it requests shed with kOverloaded.
   size_t max_queue = 64;
   /// Cap on one request frame's payload bytes.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
@@ -56,10 +64,11 @@ struct ServerOptions {
 /// The cqad server. Lifecycle: Start() → (clients connect) →
 /// RequestDrain() or SIGTERM → Wait() returns once drained.
 ///
-/// Thread model: one acceptor thread (poll + accept, 200ms tick) and one
-/// dispatcher thread that parks `workers` connection loops on
-/// ThreadPool::Shared(). Every blocking socket wait is a poll with a
-/// short tick so drain flags are observed promptly.
+/// Thread model: `workers` event-loop threads (epoll, edge-triggered),
+/// `max_inflight` executor loops parked on ThreadPool::Shared() via one
+/// host thread, a signal-watcher thread, and a drainer thread that runs
+/// the three-step shutdown. Connection state is confined to its owning
+/// loop thread; cross-thread work enters a loop only via Post().
 class CqadServer {
  public:
   explicit CqadServer(const ServerOptions& options);
@@ -68,8 +77,8 @@ class CqadServer {
   CqadServer(const CqadServer&) = delete;
   CqadServer& operator=(const CqadServer&) = delete;
 
-  /// Binds, listens, and starts the acceptor + worker threads. False with
-  /// *error on socket failure.
+  /// Binds, listens, and starts the reactor + executor threads. False
+  /// with *error on socket failure.
   bool Start(std::string* error);
 
   /// The bound port (useful with options.port == 0).
@@ -89,8 +98,8 @@ class CqadServer {
   AdmissionController& admission() { return admission_; }
 
   /// Registers a process-wide SIGTERM/SIGINT handler that flips an
-  /// async-signal-safe flag; every running CqadServer's acceptor notices
-  /// it within one poll tick and begins draining.
+  /// async-signal-safe flag; the signal watcher notices it within a few
+  /// milliseconds and begins draining.
   static void InstallSignalHandlers();
 
   /// The server-state JSON object served by op == "stats" (connections,
@@ -98,42 +107,71 @@ class CqadServer {
   std::string StatsJson() const;
 
  private:
-  void AcceptorLoop() CQA_EXCLUDES(queue_mu_, conns_mu_);
-  void WorkerLoop() CQA_EXCLUDES(queue_mu_);
-  /// Serves one connection until EOF, protocol error, or drain.
-  void ServeConnection(int fd) CQA_EXCLUDES(conns_mu_);
-  /// Decodes and answers one frame. False → close the connection.
-  bool HandleFrame(int fd, const std::string& payload);
-  /// Runs a query op through admission; `root_span` parents the
-  /// queue-wait and engine phase spans.
-  Response ExecuteWithAdmission(const Request& request, uint64_t root_span);
-  /// Best-effort single-frame error reply for connections shed before a
-  /// worker ever serviced them.
-  void SendErrorAndClose(int fd, ErrorCode code, const std::string& message);
-  /// After drain_timeout_s, force-close connections still open so workers
-  /// blocked on socket I/O fail fast.
-  void ForceCloseStragglers() CQA_EXCLUDES(conns_mu_);
+  class Conn;      // Per-connection state machine (loop-thread-only).
+  class Listener;  // Accept handler on loop 0.
+  friend class Conn;
+  friend class Listener;
+
+  /// Accepts until EAGAIN; runs on loop 0.
+  void AcceptReady();
+  /// Registers an accepted fd with its owning loop (posted there).
+  void AdoptConnection(size_t loop_index, int fd);
+  /// Handles one decoded frame payload from a connection. Runs on the
+  /// connection's loop thread. False → close the connection.
+  bool HandleFrame(Conn* conn, const std::string& payload);
+  /// Builds the query job (spans, deadline, completion) and submits it.
+  /// `watch` started when the frame was decoded; `codec` is echoed in
+  /// the response.
+  void SubmitQuery(Conn* conn, Request request, WireCodec codec,
+                   const Stopwatch& watch);
+  /// Post-execution accounting shared by every op: phase metrics,
+  /// access log, response encode. Returns the encoded frame.
+  std::string FinishRequest(const Request& request, bool parsed,
+                            Response* response, const Stopwatch& watch,
+                            WireCodec codec);
+  /// Posts an encoded response frame back to the owning loop's conn;
+  /// dropped silently if the connection closed meanwhile.
+  void DeliverFrame(size_t loop_index, uint64_t conn_id, std::string frame);
+  /// Runs the three-step drain; body of the drainer thread.
+  void DrainSequence();
+  /// After drain_timeout_s, force-close connections still open.
+  void ForceCloseStragglers();
 
   const ServerOptions options_;
+  const size_t executors_;  // Effective max_inflight.
   CqaEngine engine_;
   AdmissionController admission_;
+  QueryDispatcher dispatcher_;
 
   int listen_fd_ = -1;
   int port_ = 0;
   bool started_ = false;
 
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::thread> loop_threads_;
+  std::thread executor_host_;  // Parks executor loops on the ThreadPool.
+  std::thread signal_watcher_;
+  std::thread drainer_;
+  std::unique_ptr<Listener> listener_;
+
   std::atomic<bool> draining_{false};
-  std::thread acceptor_;
-  std::thread dispatcher_;
+  std::atomic<bool> stopping_{false};  // Flips when drain completes.
+  cqa::Mutex drain_mu_;
+  cqa::CondVar drain_cv_;  // Wakes the drainer thread.
+  bool drain_requested_ CQA_GUARDED_BY(drain_mu_) = false;
 
-  mutable Mutex queue_mu_;
-  CondVar queue_cv_;  // Signalled on hand-off push and on drain.
-  std::deque<int> conn_queue_ CQA_GUARDED_BY(queue_mu_);
+  // Live connections, one registry per loop. Each registry is confined
+  // to its loop's thread (created, read, and erased there only), so no
+  // lock guards it — the confinement is the synchronization.
+  std::vector<std::unordered_map<uint64_t, Conn*>> conns_;
 
-  mutable Mutex conns_mu_;
-  std::set<int> open_conns_ CQA_GUARDED_BY(conns_mu_);
-  // Mirrors open_conns_.size() as the serve.connections_open gauge
-  // (updated unconditionally; serving state is not NO_OBS-gated).
+  // Round-robin accept distribution (only touched on loop 0).
+  size_t next_loop_ = 0;
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<int64_t> open_conns_{0};
+
+  // Mirrors open_conns_ as the serve.connections_open gauge (updated
+  // unconditionally; serving state is not NO_OBS-gated).
   obs::Gauge* const connections_gauge_;
 
   std::atomic<uint64_t> connections_total_{0};

@@ -1,0 +1,123 @@
+// Robustness: the wire-protocol stack (frame reassembly + both payload
+// codecs) must never crash on arbitrary bytes, never poison a stream
+// silently, and never accept a request it cannot round-trip. The seeded
+// tests below are the always-on regression tier; the same driver is
+// built as a libFuzzer harness for open-ended exploration (see
+// fuzz/frame_fuzzer.cc and the `fuzz` CMake preset).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/rng.h"
+#include "fuzz/frame_fuzz_driver.h"
+#include "serve/protocol.h"
+
+namespace cqa {
+namespace {
+
+using serve::EncodeFrame;
+using serve::Request;
+
+void RunDriver(const std::string& bytes) {
+  fuzz::FrameOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                      bytes.size());
+}
+
+TEST(FrameFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t len = rng.UniformIndex(120);
+    std::string bytes;
+    bytes.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformIndex(256)));
+    }
+    RunDriver(bytes);
+  }
+}
+
+TEST(FrameFuzzTest, MutatedValidFramesNeverCrash) {
+  Request request;
+  request.op = "query";
+  request.id = "fz";
+  request.data = "/data";
+  request.query = "Q(N) :- nation(K, N, R, C).";
+  Rng rng(77);
+  for (serve::WireCodec codec :
+       {serve::WireCodec::kJson, serve::WireCodec::kBinary}) {
+    const std::string base = EncodeFrame(request.ToPayload(codec));
+    for (int trial = 0; trial < 2000; ++trial) {
+      std::string bytes = base;
+      size_t mutations = 1 + rng.UniformIndex(4);
+      for (size_t m = 0; m < mutations; ++m) {
+        size_t pos = rng.UniformIndex(bytes.size());
+        switch (rng.UniformIndex(3)) {
+          case 0:
+            bytes[pos] = static_cast<char>(rng.UniformIndex(256));
+            break;
+          case 1:
+            bytes.erase(pos, 1);
+            break;
+          case 2:
+            bytes.insert(pos, 1, static_cast<char>(rng.UniformIndex(256)));
+            break;
+        }
+        if (bytes.empty()) bytes = "\x00";
+      }
+      RunDriver(bytes);
+    }
+  }
+}
+
+TEST(FrameFuzzTest, PipelinedFramesSurviveTruncationAtEveryByte) {
+  Request ping;
+  ping.op = "ping";
+  ping.id = "p";
+  Request stats;
+  stats.op = "stats";
+  stats.id = "s";
+  const std::string stream =
+      EncodeFrame(ping.ToPayload(serve::WireCodec::kBinary)) +
+      EncodeFrame(stats.ToPayload(serve::WireCodec::kJson)) +
+      EncodeFrame(ping.ToPayload(serve::WireCodec::kJson));
+  for (size_t n = 0; n <= stream.size(); ++n) {
+    RunDriver(stream.substr(0, n));
+  }
+}
+
+// Replays every checked-in fuzz corpus entry (seeds plus minimized past
+// crashers) through the exact driver the libFuzzer harness uses, so
+// corpus regressions stay covered even in builds without clang.
+TEST(FrameFuzzTest, CorpusEntriesNeverCrash) {
+  const std::filesystem::path corpus(CQABENCH_FRAME_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(corpus)) << corpus;
+  size_t entries = 0;
+  for (const auto& item : std::filesystem::directory_iterator(corpus)) {
+    if (!item.is_regular_file()) continue;
+    std::ifstream in(item.path(), std::ios::binary);
+    ASSERT_TRUE(in) << item.path();
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    RunDriver(bytes);
+    ++entries;
+  }
+  EXPECT_GE(entries, 6u) << "corpus looks truncated: " << corpus;
+}
+
+// The driver itself honours the harness contract on edge inputs.
+TEST(FrameFuzzTest, DriverHandlesEmptyAndPathologicalInput) {
+  EXPECT_EQ(fuzz::FrameOneInput(nullptr, 0), 0);
+  // Oversize length prefix: must poison, not allocate 4 GiB.
+  RunDriver(std::string("\xff\xff\xff\xff", 4));
+  // Zero-length frame: framing violation.
+  RunDriver(std::string(4, '\0'));
+  // Length prefix promising more than the stream carries.
+  RunDriver(std::string("\x00\x00\x00\x64only-ten", 13));
+}
+
+}  // namespace
+}  // namespace cqa

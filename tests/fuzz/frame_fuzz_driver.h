@@ -1,0 +1,98 @@
+#ifndef CQABENCH_TESTS_FUZZ_FRAME_FUZZ_DRIVER_H_
+#define CQABENCH_TESTS_FUZZ_FRAME_FUZZ_DRIVER_H_
+
+// Shared driver between the libFuzzer harness (fuzz/frame_fuzzer.cc,
+// built with CQABENCH_FUZZ=ON under clang) and the seeded gtest
+// regression runner (tests/frame_fuzz_test.cc), so every corpus input
+// exercises identical code in both.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace cqa::fuzz {
+
+/// Feeds one byte stream through the cqad wire-protocol stack: frame
+/// reassembly (twice, with different chunkings — frame boundaries must
+/// not depend on read sizes), then every reassembled payload through the
+/// request and response codecs. Contract under fuzzing:
+///   - nothing crashes, hangs, or allocates proportional to a length
+///     field rather than to the input;
+///   - a rejected payload always carries a diagnostic;
+///   - an accepted request re-encodes (same codec) to a payload the
+///     decoder accepts again — what the server validated, the client
+///     can put back on the wire.
+/// Violations abort, which libFuzzer and gtest both report with the
+/// offending input. Payload caps are small here so the fuzzer can reach
+/// the oversize path without 8 MiB inputs.
+inline int FrameOneInput(const uint8_t* data, size_t size) {
+  constexpr size_t kMaxFrame = 4096;
+  const char* bytes = reinterpret_cast<const char*>(data);
+
+  // Pass 1: one Append per input. Pass 2: drip-feed in small chunks
+  // derived from the first byte. Both must agree on the frame sequence.
+  serve::FrameDecoder whole(kMaxFrame);
+  whole.Append(bytes, size);
+  serve::FrameDecoder dripped(kMaxFrame);
+  const size_t chunk = size == 0 ? 1 : 1 + data[0] % 7;
+  for (size_t off = 0; off < size; off += chunk) {
+    dripped.Append(bytes + off, std::min(chunk, size - off));
+  }
+  for (;;) {
+    std::string payload_a, payload_b, err_a, err_b;
+    const auto status_a = whole.Next(&payload_a, &err_a);
+    const auto status_b = dripped.Next(&payload_b, &err_b);
+    if (status_a != status_b) std::abort();  // Chunking changed framing.
+    if (status_a != serve::FrameDecoder::Status::kFrame) {
+      if (status_a == serve::FrameDecoder::Status::kError && err_a.empty()) {
+        std::abort();  // Silent poisoning: no diagnostic.
+      }
+      break;
+    }
+    if (payload_a != payload_b) std::abort();
+
+    serve::Request request;
+    serve::WireCodec codec = serve::WireCodec::kJson;
+    serve::ErrorCode code = serve::ErrorCode::kOk;
+    std::string error;
+    if (serve::Request::FromPayload(payload_a, &request, &codec, &code,
+                                    &error)) {
+      // Round trip: re-encode in the codec it arrived in and re-decode.
+      // deadline_s is the one double the validator leaves unbounded, and
+      // a non-finite value has no JSON rendering — skip those.
+      if (std::isfinite(request.deadline_s)) {
+        serve::Request again;
+        serve::ErrorCode code2 = serve::ErrorCode::kOk;
+        std::string error2;
+        const std::string reencoded =
+            codec == serve::WireCodec::kBinary ? request.ToBinaryPayload()
+                                               : request.ToJsonPayload();
+        const bool ok = codec == serve::WireCodec::kBinary
+                            ? serve::Request::FromBinaryPayload(
+                                  reencoded, &again, &code2, &error2)
+                            : serve::Request::FromJsonPayload(
+                                  reencoded, &again, &code2, &error2);
+        if (!ok) std::abort();  // Accepted once, rejected re-encoded.
+      }
+    } else if (error.empty()) {
+      std::abort();  // Rejected without a diagnostic.
+    }
+
+    serve::Response response;
+    error.clear();
+    if (!serve::Response::FromPayload(payload_a, &response, &error) &&
+        error.empty()) {
+      std::abort();
+    }
+  }
+  return 0;
+}
+
+}  // namespace cqa::fuzz
+
+#endif  // CQABENCH_TESTS_FUZZ_FRAME_FUZZ_DRIVER_H_

@@ -1,0 +1,16 @@
+// libFuzzer entry point for the cqad wire protocol: frame reassembly
+// plus the JSON (v1) and binary (v2) payload codecs. Build with the
+// `fuzz` preset (clang only):
+//   cmake --preset fuzz && cmake --build --preset fuzz
+//   ./build-fuzz/tests/frame_fuzzer tests/fuzz/frame_corpus
+// New crashers should be minimized and checked into tests/fuzz/corpus/ so
+// the gtest corpus runner keeps replaying them in every build.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "frame_fuzz_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return cqa::fuzz::FrameOneInput(data, size);
+}

@@ -410,5 +410,304 @@ TEST(ResponseCodecTest, ErrorCodeNamesCoverEveryCode) {
   }
 }
 
+// ------------------------------------------------- Binary (v2) codec.
+
+// A fully-populated query request for round-trip property tests.
+Request FullQueryRequest() {
+  Request request;
+  request.op = "query";
+  request.id = "req-bin-1";
+  request.schema = "tpcds";
+  request.data = "/data/noisy";
+  request.query = "Q(N) :- item(I, N).";
+  request.scheme = "Cover";
+  request.epsilon = 0.05;
+  request.delta = 0.1;
+  request.deadline_s = 2.5;
+  request.seed = 99;
+  request.threads = 3;
+  request.want_record = true;
+  request.trace_id = "trace-bin";
+  request.trace_parent = 41;
+  return request;
+}
+
+// Property: decoding the binary payload must yield exactly the request
+// the JSON codec yields, field for field (version differs by design:
+// the codec *is* the version).
+void ExpectSameRequest(const Request& bin, const Request& json) {
+  EXPECT_EQ(bin.version, kProtocolVersionBinary);
+  EXPECT_EQ(json.version, kProtocolVersion);
+  EXPECT_EQ(bin.op, json.op);
+  EXPECT_EQ(bin.id, json.id);
+  EXPECT_EQ(bin.schema, json.schema);
+  EXPECT_EQ(bin.data, json.data);
+  EXPECT_EQ(bin.query, json.query);
+  EXPECT_EQ(bin.scheme, json.scheme);
+  EXPECT_EQ(bin.epsilon, json.epsilon);
+  EXPECT_EQ(bin.delta, json.delta);
+  EXPECT_EQ(bin.deadline_s, json.deadline_s);
+  EXPECT_EQ(bin.seed, json.seed);
+  EXPECT_EQ(bin.threads, json.threads);
+  EXPECT_EQ(bin.want_record, json.want_record);
+  EXPECT_EQ(bin.trace_id, json.trace_id);
+  EXPECT_EQ(bin.trace_parent, json.trace_parent);
+}
+
+TEST(BinaryCodecTest, DetectsCodecFromFirstByte) {
+  WireCodec codec = WireCodec::kBinary;
+  ASSERT_TRUE(DetectCodec("{\"v\":1}", &codec));
+  EXPECT_EQ(codec, WireCodec::kJson);
+  ASSERT_TRUE(DetectCodec("  \n\t {\"v\":1}", &codec));
+  EXPECT_EQ(codec, WireCodec::kJson);
+  ASSERT_TRUE(DetectCodec(std::string("\x02\x01", 2), &codec));
+  EXPECT_EQ(codec, WireCodec::kBinary);
+  EXPECT_FALSE(DetectCodec("", &codec));
+  EXPECT_FALSE(DetectCodec("GET / HTTP/1.1", &codec));
+  EXPECT_FALSE(DetectCodec(std::string(1, '\0'), &codec));
+}
+
+TEST(BinaryCodecTest, RequestRoundTripMatchesJsonCodec) {
+  const Request request = FullQueryRequest();
+
+  Request from_binary;
+  Request from_json;
+  WireCodec codec = WireCodec::kJson;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  ASSERT_TRUE(Request::FromPayload(request.ToBinaryPayload(), &from_binary,
+                                   &codec, &code, &error))
+      << error;
+  EXPECT_EQ(codec, WireCodec::kBinary);
+  ASSERT_TRUE(Request::FromPayload(request.ToJsonPayload(), &from_json,
+                                   &codec, &code, &error))
+      << error;
+  EXPECT_EQ(codec, WireCodec::kJson);
+  ExpectSameRequest(from_binary, from_json);
+}
+
+TEST(BinaryCodecTest, RequestRoundTripsEveryOp) {
+  for (const char* op : {"query", "stats", "ping"}) {
+    Request request = FullQueryRequest();
+    request.op = op;
+    Request decoded;
+    ErrorCode code = ErrorCode::kOk;
+    std::string error;
+    ASSERT_TRUE(Request::FromBinaryPayload(request.ToBinaryPayload(),
+                                           &decoded, &code, &error))
+        << op << ": " << error;
+    EXPECT_EQ(decoded.op, op);
+    EXPECT_EQ(decoded.id, request.id);
+    EXPECT_EQ(decoded.trace_id, request.trace_id);
+    EXPECT_EQ(decoded.trace_parent, request.trace_parent);
+  }
+}
+
+TEST(BinaryCodecTest, RequestValidationMatchesJsonCodec) {
+  // The binary decoder funnels through the same semantic validator as
+  // the JSON decoder, so out-of-range fields are rejected identically.
+  Request request = FullQueryRequest();
+  request.epsilon = 1.5;
+  Request decoded;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  EXPECT_FALSE(Request::FromBinaryPayload(request.ToBinaryPayload(),
+                                          &decoded, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadRequest);
+
+  request = FullQueryRequest();
+  request.data.clear();
+  code = ErrorCode::kOk;
+  EXPECT_FALSE(Request::FromBinaryPayload(request.ToBinaryPayload(),
+                                          &decoded, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadRequest);
+}
+
+TEST(BinaryCodecTest, RequestRejectsWrongKindByte) {
+  // Kind 2 is a response; a request decoder must not accept it.
+  Request decoded;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  EXPECT_FALSE(Request::FromBinaryPayload(std::string("\x02\x02", 2),
+                                          &decoded, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadRequest);
+  EXPECT_FALSE(Request::FromBinaryPayload(std::string("\x02", 1), &decoded,
+                                          &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadRequest);
+}
+
+TEST(BinaryCodecTest, RequestSkipsUnknownFieldsForForwardCompat) {
+  std::string payload = FullQueryRequest().ToBinaryPayload();
+  // Field 60 varint 7: tag = (60 << 3) | 0 = 480 → varint e0 03.
+  payload.push_back(static_cast<char>(0xe0));
+  payload.push_back(static_cast<char>(0x03));
+  payload.push_back(static_cast<char>(0x07));
+  // Field 61 length-delimited "xx": tag = (61 << 3) | 2 = 490 → ea 03.
+  payload.push_back(static_cast<char>(0xea));
+  payload.push_back(static_cast<char>(0x03));
+  payload.push_back(static_cast<char>(0x02));
+  payload += "xx";
+  Request decoded;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  ASSERT_TRUE(Request::FromBinaryPayload(payload, &decoded, &code, &error))
+      << error;
+  EXPECT_EQ(decoded.id, "req-bin-1");
+  EXPECT_EQ(decoded.query, "Q(N) :- item(I, N).");
+}
+
+TEST(BinaryCodecTest, TruncatedRequestNeverCrashesAndFailsMidField) {
+  const std::string payload = FullQueryRequest().ToBinaryPayload();
+  Request decoded;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  ASSERT_TRUE(
+      Request::FromBinaryPayload(payload, &decoded, &code, &error));
+  size_t rejected = 0;
+  for (size_t n = 0; n < payload.size(); ++n) {
+    Request scratch;
+    code = ErrorCode::kOk;
+    // A prefix cut at a field boundary may decode (the tail fields were
+    // optional); a mid-field cut must fail with kBadRequest. Either
+    // way: no crash, no undefined state.
+    if (!Request::FromBinaryPayload(payload.substr(0, n), &scratch, &code,
+                                    &error)) {
+      EXPECT_EQ(code, ErrorCode::kBadRequest) << "prefix " << n;
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, payload.size() / 2);
+}
+
+TEST(BinaryCodecTest, GarbageAfterMagicNeverCrashes) {
+  // Deterministic pseudo-random garbage bodies behind a valid header.
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int round = 0; round < 64; ++round) {
+    std::string payload("\x02\x01", 2);
+    const size_t len = static_cast<size_t>(round) * 3 + 1;
+    for (size_t i = 0; i < len; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      payload.push_back(static_cast<char>(state >> 33));
+    }
+    Request decoded;
+    ErrorCode code = ErrorCode::kOk;
+    std::string error;
+    // Must terminate and either reject cleanly or decode to a request
+    // that passed full semantic validation.
+    if (Request::FromBinaryPayload(payload, &decoded, &code, &error)) {
+      EXPECT_TRUE(decoded.op == "query" || decoded.op == "stats" ||
+                  decoded.op == "ping");
+    } else {
+      EXPECT_EQ(code, ErrorCode::kBadRequest);
+    }
+  }
+}
+
+TEST(BinaryCodecTest, ResponseRoundTripsSuccessWithAnswersAndTiming) {
+  Response response;
+  response.id = "req-bin-7";
+  response.answers.push_back(ResponseAnswer{"(1, 'Bob')", 0.5});
+  response.answers.push_back(ResponseAnswer{"(2, 'Alice')", 1.0});
+  response.answers.push_back(ResponseAnswer{"", 0.0});  // Empty tuple.
+  response.cache_hit = true;
+  response.timed_out = true;
+  response.preprocess_seconds = 0.25;
+  response.scheme_seconds = 1.5;
+  response.total_samples = 1234567890123ull;
+  response.run_record_json = R"({"scheme":"KLM"})";
+  response.timing.recorded = true;
+  response.timing.queue_wait_micros = 11;
+  response.timing.cache_micros = 22;
+  response.timing.preprocess_micros = 33;
+  response.timing.sample_micros = 44;
+  response.timing.encode_micros = 5;
+  response.timing.total_micros = 120;
+
+  Response decoded;
+  std::string error;
+  ASSERT_TRUE(Response::FromPayload(response.ToBinaryPayload(), &decoded,
+                                    &error))
+      << error;
+  EXPECT_EQ(decoded.version, kProtocolVersionBinary);
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.id, "req-bin-7");
+  ASSERT_EQ(decoded.answers.size(), 3u);
+  EXPECT_EQ(decoded.answers[0].tuple, "(1, 'Bob')");
+  EXPECT_EQ(decoded.answers[0].frequency, 0.5);
+  EXPECT_EQ(decoded.answers[1].tuple, "(2, 'Alice')");
+  EXPECT_EQ(decoded.answers[1].frequency, 1.0);
+  EXPECT_EQ(decoded.answers[2].tuple, "");
+  EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_TRUE(decoded.timed_out);
+  EXPECT_EQ(decoded.preprocess_seconds, 0.25);
+  EXPECT_EQ(decoded.scheme_seconds, 1.5);
+  EXPECT_EQ(decoded.total_samples, 1234567890123ull);
+  EXPECT_EQ(decoded.run_record_json, R"({"scheme":"KLM"})");
+  ASSERT_TRUE(decoded.timing.recorded);
+  EXPECT_EQ(decoded.timing.PhaseSumMicros(), 11u + 22 + 33 + 44 + 5);
+  EXPECT_EQ(decoded.timing.total_micros, 120u);
+}
+
+TEST(BinaryCodecTest, ResponseRoundTripsErrorPongAndStats) {
+  Response err = Response::MakeError(ErrorCode::kOverloaded, "queue full",
+                                     "req-9");
+  err.retry_after_s = 1.25;
+  Response decoded;
+  std::string error;
+  ASSERT_TRUE(Response::FromBinaryPayload(err.ToBinaryPayload(), &decoded,
+                                          &error))
+      << error;
+  EXPECT_EQ(decoded.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(decoded.error, "queue full");
+  EXPECT_EQ(decoded.id, "req-9");
+  EXPECT_EQ(decoded.retry_after_s, 1.25);
+
+  Response pong;
+  pong.id = "p";
+  pong.pong = true;
+  decoded = Response();
+  ASSERT_TRUE(Response::FromBinaryPayload(pong.ToBinaryPayload(), &decoded,
+                                          &error))
+      << error;
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.pong);
+
+  Response stats;
+  stats.id = "s";
+  stats.metrics_json = R"({"serve.requests_total":4})";
+  stats.server_json = R"({"draining":false})";
+  decoded = Response();
+  ASSERT_TRUE(Response::FromBinaryPayload(stats.ToBinaryPayload(), &decoded,
+                                          &error))
+      << error;
+  EXPECT_EQ(decoded.metrics_json, R"({"serve.requests_total":4})");
+  EXPECT_EQ(decoded.server_json, R"({"draining":false})");
+}
+
+TEST(BinaryCodecTest, TruncatedResponseNeverCrashes) {
+  Response response;
+  response.id = "req-t";
+  response.answers.push_back(ResponseAnswer{"(1)", 0.25});
+  response.timing.recorded = true;
+  response.timing.total_micros = 9;
+  const std::string payload = response.ToBinaryPayload();
+  for (size_t n = 0; n < payload.size(); ++n) {
+    Response scratch;
+    std::string error;
+    // Same contract as the request decoder: terminate, no crash.
+    Response::FromBinaryPayload(payload.substr(0, n), &scratch, &error);
+  }
+  // A corrupted packed-answers block (count says 200, bytes say one) is
+  // a malformed field, not an allocation bomb.
+  std::string corrupt("\x02\x02", 2);
+  corrupt.push_back(static_cast<char>((10 << 3) | 2));  // kRespAnswers, len.
+  corrupt.push_back(2);
+  corrupt.push_back(static_cast<char>(200));  // varint 200 needs 2 bytes...
+  corrupt.push_back(1);                       // ...count = 200, no payload.
+  Response scratch;
+  std::string error;
+  EXPECT_FALSE(Response::FromBinaryPayload(corrupt, &scratch, &error));
+}
+
 }  // namespace
 }  // namespace cqa::serve

@@ -1,0 +1,367 @@
+// Reactor-layer unit tests: EventLoop (edge-triggered epoll + mailbox,
+// deferred handler deletion) and QueryDispatcher (the two-stage hand-off
+// between event loops and query executors). The e2e tier exercises both
+// through a live cqad; these tests pin the contracts in isolation.
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "serve/admission.h"
+#include "serve/dispatch.h"
+#include "serve/reactor.h"
+
+namespace cqa::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PollReadable
+// ---------------------------------------------------------------------------
+
+TEST(PollReadableTest, ReportsReadinessAndTimeout) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_EQ(PollReadable(fds[0], 0), 0);  // Nothing buffered: timeout.
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  EXPECT_GT(PollReadable(fds[0], 1000), 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop
+// ---------------------------------------------------------------------------
+
+class LoopFixture : public ::testing::Test {
+ protected:
+  LoopFixture() : loop_("test-loop") {
+    EXPECT_TRUE(loop_.ok());
+    thread_ = std::thread([this] { loop_.Run(); });
+  }
+
+  ~LoopFixture() override {
+    loop_.Stop();
+    thread_.join();
+  }
+
+  EventLoop loop_;
+  std::thread thread_;
+};
+
+TEST_F(LoopFixture, PostRunsClosureOnLoopThread) {
+  std::atomic<bool> ran{false};
+  std::atomic<bool> on_loop_thread{false};
+  loop_.Post([&] {
+    on_loop_thread.store(loop_.InLoopThread());
+    ran.store(true);
+  });
+  const Deadline deadline(5.0);
+  while (!ran.load() && !deadline.Expired()) {
+  }
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(on_loop_thread.load());
+  EXPECT_FALSE(loop_.InLoopThread());  // The test thread is not the loop.
+}
+
+TEST_F(LoopFixture, PostPreservesFifoOrder) {
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    loop_.Post([&, i] {
+      order.push_back(i);  // Loop-thread confined: no lock needed.
+      done.fetch_add(1);
+    });
+  }
+  const Deadline deadline(5.0);
+  while (done.load() < 16 && !deadline.Expired()) {
+  }
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+/// Reads its pipe end and counts bytes; optionally destroys itself on
+/// the first event (the self-deletion path every Conn close exercises).
+class PipeReader : public EpollHandler {
+ public:
+  PipeReader(EventLoop* loop, int fd, bool self_destroy,
+             std::atomic<int>* bytes, std::atomic<int>* deleted)
+      : loop_(loop),
+        fd_(fd),
+        self_destroy_(self_destroy),
+        bytes_(bytes),
+        deleted_(deleted) {}
+
+  ~PipeReader() override {
+    deleted_->fetch_add(1);
+    ::close(fd_);
+  }
+
+  void OnEvents(uint32_t events) override {
+    if ((events & EPOLLIN) == 0) return;
+    char buf[256];
+    ssize_t n;
+    while ((n = ::read(fd_, buf, sizeof(buf))) > 0) {
+      bytes_->fetch_add(static_cast<int>(n));
+    }
+    if (self_destroy_) {
+      loop_->Destroy(fd_, this);
+      // The loop defers deletion: members must still be readable here
+      // (this is the invariant the deferred graveyard exists for).
+      EXPECT_TRUE(self_destroy_);
+    }
+  }
+
+ private:
+  EventLoop* const loop_;
+  const int fd_;
+  const bool self_destroy_;
+  std::atomic<int>* const bytes_;
+  std::atomic<int>* const deleted_;
+};
+
+TEST_F(LoopFixture, EdgeTriggeredHandlerSeesAllBytes) {
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK), 0);
+  std::atomic<int> bytes{0};
+  std::atomic<int> deleted{0};
+  auto* reader = new PipeReader(&loop_, fds[0], /*self_destroy=*/false,
+                                &bytes, &deleted);
+  loop_.Post([&, reader] {
+    ASSERT_TRUE(loop_.Add(fds[0], EPOLLIN | EPOLLET, reader));
+  });
+  ASSERT_EQ(::write(fds[1], "hello", 5), 5);
+  Deadline deadline(5.0);
+  while (bytes.load() < 5 && !deadline.Expired()) {
+  }
+  EXPECT_EQ(bytes.load(), 5);
+  loop_.Post([&, reader] { loop_.Destroy(fds[0], reader); });
+  deadline = Deadline(5.0);
+  while (deleted.load() == 0 && !deadline.Expired()) {
+  }
+  EXPECT_EQ(deleted.load(), 1);
+  ::close(fds[1]);
+}
+
+TEST_F(LoopFixture, SelfDestroyingHandlerIsDeletedOnceAfterDispatch) {
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK), 0);
+  std::atomic<int> bytes{0};
+  std::atomic<int> deleted{0};
+  auto* reader = new PipeReader(&loop_, fds[0], /*self_destroy=*/true,
+                                &bytes, &deleted);
+  loop_.Post([&, reader] {
+    ASSERT_TRUE(loop_.Add(fds[0], EPOLLIN | EPOLLET, reader));
+  });
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  const Deadline deadline(5.0);
+  while (deleted.load() == 0 && !deadline.Expired()) {
+  }
+  EXPECT_EQ(deleted.load(), 1);
+  EXPECT_EQ(bytes.load(), 1);
+  ::close(fds[1]);
+}
+
+TEST(EventLoopTest, StopWithPendingPostsStillRunsThem) {
+  EventLoop loop("stop-loop");
+  ASSERT_TRUE(loop.ok());
+  std::thread t([&] { loop.Run(); });
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    loop.Post([&] { ran.fetch_add(1); });
+  }
+  loop.Stop();
+  t.join();
+  // Posts enqueued before Stop() are drained by the final mailbox runs
+  // (in Run's stop path or the destructor).
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// QueryDispatcher
+// ---------------------------------------------------------------------------
+
+struct DispatchHarness {
+  explicit DispatchHarness(size_t executors, size_t max_queue,
+                           size_t workers, size_t wait_cap)
+      : admission(AdmissionOptions{executors, max_queue}),
+        dispatcher(executors, max_queue, workers, wait_cap, &admission) {}
+
+  QueryJob Job(std::atomic<int>* ran, std::vector<ErrorCode>* rejects,
+               cqa::Mutex* reject_mu,
+               Deadline deadline = Deadline::Infinite()) {
+    QueryJob job;
+    job.deadline = deadline;
+    job.run = [ran] { ran->fetch_add(1); };
+    job.reject = [rejects, reject_mu](ErrorCode code) {
+      cqa::MutexLock lock(*reject_mu);
+      rejects->push_back(code);
+    };
+    return job;
+  }
+
+  AdmissionController admission;
+  QueryDispatcher dispatcher;
+};
+
+TEST(QueryDispatcherTest, RunsSubmittedJobsFifo) {
+  DispatchHarness h(/*executors=*/1, /*max_queue=*/64, /*workers=*/4,
+                    /*wait_cap=*/256);
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  cqa::Mutex order_mu;
+  for (int i = 0; i < 8; ++i) {
+    QueryJob job;
+    job.run = [&, i] {
+      cqa::MutexLock lock(order_mu);
+      order.push_back(i);
+      done.fetch_add(1);
+    };
+    job.reject = [](ErrorCode) { FAIL() << "unexpected reject"; };
+    h.dispatcher.Submit(std::move(job));
+  }
+  std::thread executor([&] { h.dispatcher.RunExecutor(); });
+  const Deadline deadline(5.0);
+  while (done.load() < 8 && !deadline.Expired()) {
+  }
+  h.dispatcher.Drain();
+  executor.join();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(QueryDispatcherTest, ShedsWhenWorkersExceedInflightPlusQueue) {
+  // The blocking server shed when a request thread found every inflight
+  // slot taken and the admission queue full: workers=8 against
+  // max_inflight=1, max_queue=0 sheds 7 of 8 concurrent submissions.
+  DispatchHarness h(/*executors=*/1, /*max_queue=*/0, /*workers=*/8,
+                    /*wait_cap=*/256);
+  std::atomic<int> ran{0};
+  std::vector<ErrorCode> rejects;
+  cqa::Mutex reject_mu;
+  for (int i = 0; i < 8; ++i) {
+    h.dispatcher.Submit(h.Job(&ran, &rejects, &reject_mu));
+  }
+  {
+    cqa::MutexLock lock(reject_mu);
+    EXPECT_EQ(rejects.size(), 7u);
+    for (ErrorCode code : rejects) EXPECT_EQ(code, ErrorCode::kOverloaded);
+  }
+  EXPECT_EQ(h.admission.shed_total(), 7u);
+  std::thread executor([&] { h.dispatcher.RunExecutor(); });
+  const Deadline deadline(5.0);
+  while (ran.load() < 1 && !deadline.Expired()) {
+  }
+  EXPECT_EQ(ran.load(), 1);
+  h.dispatcher.Drain();
+  executor.join();
+}
+
+TEST(QueryDispatcherTest, NeverShedsWhenInflightMatchesWorkers) {
+  // max_inflight == workers (the default wiring) never shed in the
+  // blocking server regardless of load; the backlog waits instead.
+  DispatchHarness h(/*executors=*/2, /*max_queue=*/0, /*workers=*/2,
+                    /*wait_cap=*/1024);
+  std::atomic<int> ran{0};
+  std::vector<ErrorCode> rejects;
+  cqa::Mutex reject_mu;
+  for (int i = 0; i < 100; ++i) {
+    h.dispatcher.Submit(h.Job(&ran, &rejects, &reject_mu));
+  }
+  std::vector<std::thread> executors;
+  for (int i = 0; i < 2; ++i) {
+    executors.emplace_back([&] { h.dispatcher.RunExecutor(); });
+  }
+  const Deadline deadline(10.0);
+  while (ran.load() < 100 && !deadline.Expired()) {
+  }
+  EXPECT_EQ(ran.load(), 100);
+  {
+    cqa::MutexLock lock(reject_mu);
+    EXPECT_TRUE(rejects.empty());
+  }
+  h.dispatcher.Drain();
+  for (std::thread& t : executors) t.join();
+}
+
+TEST(QueryDispatcherTest, WaitQueueCapSheds) {
+  // Nothing consumes jobs (no executor): the active window fills, then
+  // the outer wait queue, then submissions shed.
+  DispatchHarness h(/*executors=*/1, /*max_queue=*/1, /*workers=*/1,
+                    /*wait_cap=*/2);
+  std::atomic<int> ran{0};
+  std::vector<ErrorCode> rejects;
+  cqa::Mutex reject_mu;
+  // Window = max(1, 1+1) = 2 committed + 2 waiting = 4 absorbed.
+  for (int i = 0; i < 6; ++i) {
+    h.dispatcher.Submit(h.Job(&ran, &rejects, &reject_mu));
+  }
+  cqa::MutexLock lock(reject_mu);
+  EXPECT_EQ(rejects.size(), 2u);
+  for (ErrorCode code : rejects) EXPECT_EQ(code, ErrorCode::kOverloaded);
+}
+
+TEST(QueryDispatcherTest, ExpiredDeadlineRejectsAtDequeue) {
+  DispatchHarness h(/*executors=*/1, /*max_queue=*/8, /*workers=*/1,
+                    /*wait_cap=*/256);
+  std::atomic<int> ran{0};
+  std::vector<ErrorCode> rejects;
+  cqa::Mutex reject_mu;
+  h.dispatcher.Submit(
+      h.Job(&ran, &rejects, &reject_mu, Deadline(/*seconds=*/0.0)));
+  Stopwatch settle;
+  while (settle.ElapsedSeconds() < 0.01) {
+  }
+  std::thread executor([&] { h.dispatcher.RunExecutor(); });
+  const Deadline deadline(5.0);
+  for (;;) {
+    {
+      cqa::MutexLock lock(reject_mu);
+      if (!rejects.empty()) break;
+    }
+    if (deadline.Expired()) break;
+  }
+  h.dispatcher.Drain();
+  executor.join();
+  cqa::MutexLock lock(reject_mu);
+  ASSERT_EQ(rejects.size(), 1u);
+  EXPECT_EQ(rejects[0], ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(QueryDispatcherTest, DrainFlushesBothStagesAndRejectsLateSubmits) {
+  DispatchHarness h(/*executors=*/1, /*max_queue=*/1, /*workers=*/1,
+                    /*wait_cap=*/8);
+  std::atomic<int> ran{0};
+  std::vector<ErrorCode> rejects;
+  cqa::Mutex reject_mu;
+  for (int i = 0; i < 5; ++i) {  // 2 committed (window), 3 outer-waiting.
+    h.dispatcher.Submit(h.Job(&ran, &rejects, &reject_mu));
+  }
+  h.dispatcher.Drain();
+  {
+    cqa::MutexLock lock(reject_mu);
+    EXPECT_EQ(rejects.size(), 5u);
+    for (ErrorCode code : rejects) EXPECT_EQ(code, ErrorCode::kDraining);
+  }
+  h.dispatcher.Submit(h.Job(&ran, &rejects, &reject_mu));
+  {
+    cqa::MutexLock lock(reject_mu);
+    ASSERT_EQ(rejects.size(), 6u);
+    EXPECT_EQ(rejects.back(), ErrorCode::kDraining);
+  }
+  // Executors started after Drain return immediately.
+  std::thread executor([&] { h.dispatcher.RunExecutor(); });
+  executor.join();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(h.dispatcher.queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace cqa::serve

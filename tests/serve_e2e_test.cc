@@ -661,5 +661,123 @@ TEST_F(ServeE2eTest, DeadlineIsEnforced) {
   server.Wait();
 }
 
+// The reactor accepts on an epoll-driven listener: a new connection is
+// serviceable the moment the kernel signals it, not on the next tick of
+// a 200ms acceptor poll. Budget is 10ms for connect + ping round trip
+// on loopback under no load; best-of-three to keep a scheduler hiccup
+// on a loaded CI box from failing the run.
+TEST_F(ServeE2eTest, AcceptUnderNoLoadIsImmediate) {
+  CqadServer server(ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  double best_seconds = 1e9;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto start = std::chrono::steady_clock::now();
+    CqaClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+    Request ping;
+    ping.op = "ping";
+    ping.id = "accept-" + std::to_string(attempt);
+    Response response;
+    ASSERT_TRUE(client.Call(ping, &response, &error)) << error;
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_TRUE(response.pong);
+    best_seconds = std::min(
+        best_seconds,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+  }
+  EXPECT_LT(best_seconds, 0.010)
+      << "accept+ping took " << best_seconds * 1e3
+      << " ms — an acceptor poll tick is back in the path";
+
+  server.RequestDrain();
+  server.Wait();
+}
+
+// Pipelining on one connection: many requests in flight, client-chosen
+// ids, responses awaited in reverse send order. Every answer set must
+// still match the single-process ground truth for its scheme/seed.
+TEST_F(ServeE2eTest, PipelinedRequestsResolveOutOfOrderById) {
+  ServerOptions options;
+  options.workers = 4;
+  CqadServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  CqaClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  constexpr int kInFlight = 12;
+  for (int i = 0; i < kInFlight; ++i) {
+    Request request = MakeQueryRequest(kSchemes[i % 4], 21 + i % 2);
+    request.id = "pipe-" + std::to_string(i);
+    ASSERT_TRUE(client.Send(request, &error)) << error;
+  }
+  EXPECT_EQ(client.pending(), static_cast<size_t>(kInFlight));
+
+  for (int i = kInFlight - 1; i >= 0; --i) {
+    Response response;
+    ASSERT_TRUE(client.Await("pipe-" + std::to_string(i), &response, &error))
+        << error;
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.id, "pipe-" + std::to_string(i));
+    const std::map<std::string, double> expected =
+        LocalAnswers(kSchemes[i % 4], 21 + i % 2);
+    ASSERT_EQ(response.answers.size(), expected.size());
+    for (const ResponseAnswer& a : response.answers) {
+      auto it = expected.find(a.tuple);
+      ASSERT_NE(it, expected.end()) << a.tuple;
+      EXPECT_EQ(a.frequency, it->second) << a.tuple;
+    }
+  }
+  EXPECT_EQ(client.pending(), 0u);
+
+  server.RequestDrain();
+  server.Wait();
+}
+
+// Codec transparency: the same query asked in v1 JSON and v2 binary
+// returns bit-for-bit identical answers (same tuples, same frequency
+// doubles), both matching the single-process ground truth.
+TEST_F(ServeE2eTest, BinaryCodecAnswersMatchJsonBitForBit) {
+  CqadServer server(ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Response json_response;
+  Response binary_response;
+  for (auto [codec, response] :
+       {std::pair<WireCodec, Response*>{WireCodec::kJson, &json_response},
+        {WireCodec::kBinary, &binary_response}}) {
+    CqaClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+    client.set_codec(codec);
+    Request request = MakeQueryRequest("KL", 33);
+    request.id = "codec-kl";
+    ASSERT_TRUE(client.Call(request, response, &error)) << error;
+    ASSERT_TRUE(response->ok()) << response->error;
+  }
+
+  ASSERT_EQ(json_response.answers.size(), binary_response.answers.size());
+  for (size_t i = 0; i < json_response.answers.size(); ++i) {
+    EXPECT_EQ(json_response.answers[i].tuple,
+              binary_response.answers[i].tuple);
+    EXPECT_EQ(json_response.answers[i].frequency,
+              binary_response.answers[i].frequency);
+  }
+  const std::map<std::string, double> expected = LocalAnswers("KL", 33);
+  ASSERT_EQ(binary_response.answers.size(), expected.size());
+  for (const ResponseAnswer& a : binary_response.answers) {
+    auto it = expected.find(a.tuple);
+    ASSERT_NE(it, expected.end()) << a.tuple;
+    EXPECT_EQ(a.frequency, it->second) << a.tuple;
+  }
+
+  server.RequestDrain();
+  server.Wait();
+}
+
 }  // namespace
 }  // namespace cqa::serve

@@ -170,7 +170,7 @@ def main() -> int:
         lines.append(
             f"| {fmt_key(key)} | {b_wall:.6f} | {c_wall:.6f} "
             f"| {fmt_delta(b_wall, c_wall)} "
-            f"| {fmt_delta(b['samples']['mean'], c['samples']['mean'])} "
+            f"| {fmt_delta(b.get('samples', {}).get('mean', 0.0), c.get('samples', {}).get('mean', 0.0))} "
             f"| {flag} |"
         )
     for key in missing:

@@ -44,6 +44,11 @@ Fast, dependency-free checks that encode conventions the compiler cannot:
      (src/common/thread_pool.cc) and the daemon's dedicated
      acceptor/dispatcher and metrics-scrape threads
      (src/serve/server.cc, src/serve/metrics_http.cc).
+ 10. Event-demultiplexing discipline: raw epoll_*/poll/ppoll calls are
+     confined to src/serve/reactor.* (the event-loop single owner).
+     Everyone else goes through reactor's EventLoop/PollReadable so fd
+     readiness has one implementation to audit for edge-trigger and
+     EINTR handling.
 
 Exit status is 0 iff the tree is clean.  Run from anywhere:
     python3 tools/lint.py
@@ -395,8 +400,37 @@ def check_concurrency_discipline(path: Path, rel: str, text: str,
 
 
 # ---------------------------------------------------------------------------
+# Check 10: event demultiplexing -- epoll/poll confined to the reactor.
+# ---------------------------------------------------------------------------
+
+RAW_EVENT_PATTERN = re.compile(r"\b(?:epoll_\w+|ppoll|poll)\s*\(")
+RAW_EVENT_ALLOWED = {"src/serve/reactor.cc", "src/serve/reactor.h"}
+
+
+def check_event_demux_discipline(path: Path, rel: str, text: str,
+                                 errors: list[str]) -> None:
+    if rel in RAW_EVENT_ALLOWED:
+        return
+    for lineno, line in enumerate(text.splitlines(), 1):
+        code = strip_strings(strip_comments(line))
+        match = RAW_EVENT_PATTERN.search(code)
+        if match:
+            errors.append(
+                f"{rel}:{lineno}: raw {match.group(0).strip()}...) call; fd "
+                f"readiness goes through serve/reactor (EventLoop or "
+                f"PollReadable) so edge-trigger and EINTR handling have a "
+                f"single audited owner"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
+
+
+def strip_strings(line: str) -> str:
+    """Empties double-quoted string literals (best-effort, single line)."""
+    return re.sub(r'"(?:\\.|[^"\\])*"', '""', line)
 
 def strip_comments(line: str) -> str:
     """Removes // comments and string-free best-effort /* */ spans."""
@@ -424,6 +458,7 @@ def main() -> int:
         check_drawbatch_overrides(path, rel, text, errors)
         check_header_file_comment(path, rel, text, errors)
         check_concurrency_discipline(path, rel, text, errors)
+        check_event_demux_discipline(path, rel, text, errors)
     check_test_references(errors)
     check_bench_json_flag(errors)
     check_flag_docs(errors)

@@ -2,9 +2,12 @@
 """Load generator for cqad, the persistent CQA query service.
 
 Speaks the wire protocol from docs/protocol.md (4-byte big-endian length
-prefix + one JSON object per frame) with nothing but the Python standard
-library, drives a configurable number of concurrent connections at the
-daemon, and reports:
+prefix + one payload per frame, v1 JSON or v2 binary via --codec) with
+nothing but the Python standard library. A single-threaded selectors
+engine drives a configurable number of concurrent connections — scaling
+to thousands — each keeping up to --pipeline requests in flight
+(responses match requests by client-assigned id and may arrive out of
+order). It reports:
 
   * client-side latency quantiles (p50/p95/p99) measured per request,
   * the server's own view, read back through the `stats` op: the
@@ -53,9 +56,11 @@ fails.
 from __future__ import annotations
 
 import argparse
+import collections
 import json
 import math
 import os
+import selectors
 import shutil
 import signal
 import socket
@@ -109,13 +114,188 @@ def call(host: str, port: int, payload: dict, timeout: float = 60.0) -> dict:
 
 
 # ---------------------------------------------------------------------------
-# Worker pool.
+# Binary (v2) codec. Field tables mirror src/serve/protocol.cc and the
+# layout section of docs/protocol.md.
+# ---------------------------------------------------------------------------
+
+BINARY_MAGIC = 0x02
+KIND_REQUEST = 0x01
+KIND_RESPONSE = 0x02
+OPS = {"query": 0, "stats": 1, "ping": 2}
+SCHEMAS = {"tpch": 0, "tpcds": 1}
+
+
+def _varint(v: int) -> bytes:
+    out = bytearray()
+    while True:
+        b = v & 0x7F
+        v >>= 7
+        if v:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return bytes(out)
+
+
+def _vf(field: int, v: int) -> bytes:          # varint field
+    return _varint(field << 3) + _varint(v)
+
+
+def _lf(field: int, data: bytes) -> bytes:     # length-delimited field
+    return _varint((field << 3) | 2) + _varint(len(data)) + data
+
+
+def _ff(field: int, x: float) -> bytes:        # fixed64 (double) field
+    return _varint((field << 3) | 1) + struct.pack("<d", x)
+
+
+def encode_request(payload: dict, codec: str) -> bytes:
+    """Serializes one request payload in the chosen codec."""
+    if codec == "json":
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    out = bytearray((BINARY_MAGIC, KIND_REQUEST))
+    out += _vf(1, OPS[payload["op"]])
+    if payload.get("id"):
+        out += _lf(2, payload["id"].encode("utf-8"))
+    trace = payload.get("trace", {})
+    if trace.get("id"):
+        out += _lf(13, trace["id"].encode("utf-8"))
+        if trace.get("parent"):
+            out += _vf(14, trace["parent"])
+    if payload["op"] == "query":
+        out += _vf(3, SCHEMAS[payload.get("schema", "tpch")])
+        out += _lf(4, payload.get("data", "").encode("utf-8"))
+        out += _lf(5, payload.get("query", "").encode("utf-8"))
+        out += _lf(6, payload.get("scheme", "KLM").encode("utf-8"))
+        out += _ff(7, payload.get("epsilon", 0.1))
+        out += _ff(8, payload.get("delta", 0.25))
+        if payload.get("deadline_s", 0) > 0:
+            out += _ff(9, payload["deadline_s"])
+        out += _vf(10, payload.get("seed", 7))
+        if payload.get("threads", 1) > 1:
+            out += _vf(11, payload["threads"])
+        if payload.get("want_record"):
+            out += _vf(12, 1)
+    return bytes(out)
+
+
+class _BinReader:
+    def __init__(self, body: bytes) -> None:
+        self.body = body
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.body)
+
+    def varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            if self.pos >= len(self.body) or shift > 63:
+                raise ValueError("truncated varint")
+            b = self.body[self.pos]
+            self.pos += 1
+            value |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return value
+            shift += 7
+
+    def fixed64(self) -> float:
+        if self.pos + 8 > len(self.body):
+            raise ValueError("truncated fixed64")
+        (v,) = struct.unpack_from("<d", self.body, self.pos)
+        self.pos += 8
+        return v
+
+    def bytes_field(self) -> bytes:
+        n = self.varint()
+        if self.pos + n > len(self.body):
+            raise ValueError("truncated length-delimited field")
+        out = self.body[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+
+def decode_response(body: bytes) -> dict:
+    """Decodes a response payload (either codec) into the JSON dict shape
+    the rest of this tool consumes."""
+    if not body:
+        raise ValueError("empty response payload")
+    if body[0] != BINARY_MAGIC:
+        return json.loads(body.decode("utf-8"))
+    if len(body) < 2 or body[1] != KIND_RESPONSE:
+        raise ValueError("binary payload is not a response")
+    reply: dict = {"v": 2, "status": "ok", "code": 0}
+    r = _BinReader(body[2:])
+    while not r.at_end():
+        tag = r.varint()
+        field, wire = tag >> 3, tag & 0x7
+        if field == 1:
+            reply["id"] = r.bytes_field().decode("utf-8")
+        elif field == 2:
+            reply["code"] = r.varint()
+            reply["status"] = "error" if reply["code"] else "ok"
+        elif field == 3:
+            reply["error"] = r.bytes_field().decode("utf-8")
+        elif field == 4:
+            reply["retry_after_s"] = r.fixed64()
+        elif field == 5:
+            flags = r.varint()
+            if flags & 1:
+                reply["cache"] = "hit"
+            if flags & 2:
+                reply["timed_out"] = True
+            if flags & 4:
+                reply["pong"] = True
+        elif field == 6:
+            reply["preprocess_seconds"] = r.fixed64()
+        elif field == 7:
+            reply["scheme_seconds"] = r.fixed64()
+        elif field == 8:
+            reply["total_samples"] = r.varint()
+        elif field == 9:
+            t = _BinReader(r.bytes_field())
+            reply["timing"] = {
+                name: t.varint()
+                for name in ("queue_wait_micros", "cache_micros",
+                             "preprocess_micros", "sample_micros",
+                             "encode_micros", "total_micros")
+            }
+        elif field == 10:
+            a = _BinReader(r.bytes_field())
+            count = a.varint()
+            tuples = [a.bytes_field().decode("utf-8") for _ in range(count)]
+            reply["answers"] = [
+                {"tuple": t, "frequency": a.fixed64()} for t in tuples
+            ]
+        elif field == 11:
+            reply["record"] = json.loads(r.bytes_field().decode("utf-8"))
+        elif field == 12:
+            reply["metrics"] = json.loads(r.bytes_field().decode("utf-8"))
+        elif field == 13:
+            reply["server"] = json.loads(r.bytes_field().decode("utf-8"))
+        elif wire == 0:
+            r.varint()
+        elif wire == 1:
+            r.fixed64()
+        elif wire == 2:
+            r.bytes_field()
+        else:
+            raise ValueError(f"reserved wire type {wire}")
+    return reply
+
+
+# ---------------------------------------------------------------------------
+# Pipelined connection engine: one thread, selectors, N connections each
+# keeping up to `depth` requests in flight (client-assigned ids match
+# responses back to requests; the server may complete them out of order).
 # ---------------------------------------------------------------------------
 
 class Stats:
     def __init__(self) -> None:
         self.lock = threading.Lock()
         self.latencies_s: list[float] = []
+        self.samples: list[float] = []
         self.by_status: dict[str, int] = {}
         self.cache_hits = 0
         self.shed = 0
@@ -126,6 +306,8 @@ class Stats:
         code = int(reply.get("code", 0))
         with self.lock:
             self.latencies_s.append(elapsed)
+            if "total_samples" in reply:
+                self.samples.append(float(reply["total_samples"]))
             key = status if status == "ok" else f"error {code}"
             self.by_status[key] = self.by_status.get(key, 0) + 1
             if reply.get("cache") == "hit":
@@ -137,48 +319,158 @@ class Stats:
         with self.lock:
             self.failures.append(message)
 
+    def merge(self, other: "Stats") -> None:
+        with self.lock:
+            self.latencies_s.extend(other.latencies_s)
+            self.samples.extend(other.samples)
+            for key, n in other.by_status.items():
+                self.by_status[key] = self.by_status.get(key, 0) + n
+            self.cache_hits += other.cache_hits
+            self.shed += other.shed
+            self.failures.extend(other.failures)
 
-def run_worker(args: argparse.Namespace, indices: list[int],
-               stats: Stats) -> None:
-    """One persistent connection issuing its slice of the request stream."""
-    try:
-        sock = socket.create_connection((args.host, args.port), timeout=60.0)
-    except OSError as err:
-        stats.fail(f"connect: {err}")
-        return
-    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    try:
-        for i in indices:
-            payload = {
-                "v": 1,
-                "op": "query",
-                "id": f"loadgen-{i}",
-                "schema": args.schema,
-                "data": args.data,
-                "query": args.query,
-                "scheme": args.scheme or SCHEMES[i % len(SCHEMES)],
-                "epsilon": args.epsilon,
-                "delta": args.delta,
-                "seed": args.seed_base + (i // len(SCHEMES)) % args.seeds,
-                "trace": {"id": f"loadgen-{i}"},
-            }
-            if args.deadline > 0:
-                payload["deadline_s"] = args.deadline
-            start = time.monotonic()
-            try:
-                send_frame(sock, payload)
-                reply = recv_frame(sock)
-            except (OSError, ConnectionError, ValueError) as err:
-                stats.fail(f"request {i}: {err}")
-                return
-            stats.record(time.monotonic() - start, reply)
-            status = reply.get("status")
-            code = int(reply.get("code", 0))
-            if status != "ok" and not (code == 503 and args.allow_shed):
-                stats.fail(
-                    f"request {i}: error {code}: {reply.get('error', '')}")
-    finally:
-        sock.close()
+
+def build_payload(args: argparse.Namespace, i: int) -> dict:
+    payload = {
+        "v": 1,
+        "op": "query",
+        "id": f"loadgen-{i}",
+        "schema": args.schema,
+        "data": args.data,
+        "query": args.query,
+        "scheme": args.scheme or SCHEMES[i % len(SCHEMES)],
+        "epsilon": args.epsilon,
+        "delta": args.delta,
+        "seed": args.seed_base + (i // len(SCHEMES)) % args.seeds,
+        "trace": {"id": f"loadgen-{i}"},
+    }
+    if args.deadline > 0:
+        payload["deadline_s"] = args.deadline
+    return payload
+
+
+class Conn:
+    """One pipelined connection working through its slice of requests."""
+
+    def __init__(self, args: argparse.Namespace, indices: list[int],
+                 stats: Stats, depth: int) -> None:
+        self.args = args
+        self.stats = stats
+        self.depth = depth
+        self.pending = collections.deque(indices)
+        self.inflight: dict[str, tuple[int, float]] = {}
+        self.outbuf = bytearray()
+        self.inbuf = bytearray()
+        self.done = False
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setblocking(False)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock.connect_ex((args.host, args.port))
+        self.fill()
+
+    def fill(self) -> None:
+        """Encodes requests into outbuf until the window is full."""
+        while self.pending and len(self.inflight) < self.depth:
+            i = self.pending.popleft()
+            payload = build_payload(self.args, i)
+            body = encode_request(payload, self.args.codec)
+            self.outbuf += struct.pack(">I", len(body)) + body
+            self.inflight[payload["id"]] = (i, time.monotonic())
+
+    def events(self) -> int:
+        return selectors.EVENT_READ | (
+            selectors.EVENT_WRITE if self.outbuf else 0)
+
+    def finish(self, error: str | None = None) -> None:
+        if error is not None:
+            self.stats.fail(error)
+        self.done = True
+
+    def on_frame(self, body: bytes) -> None:
+        if self.args.codec == "binary" and body[:1] == b"{":
+            # The server must answer in the codec the request arrived
+            # in; a JSON reply to a binary request means it silently
+            # negotiated down to v1 — a protocol bug, never tolerated.
+            raise ValueError(
+                "server negotiated binary request down to v1 JSON: "
+                f"{body[:80]!r}")
+        reply = decode_response(body)
+        rid = reply.get("id", "")
+        entry = self.inflight.pop(rid, None)
+        if entry is None:
+            raise ValueError(f"response for unknown id {rid!r}")
+        i, start = entry
+        self.stats.record(time.monotonic() - start, reply)
+        code = int(reply.get("code", 0))
+        if reply.get("status") != "ok" and not (
+                code == 503 and self.args.allow_shed):
+            self.finish(f"request {i}: error {code}: "
+                        f"{reply.get('error', '')}")
+
+    def on_ready(self, mask: int) -> None:
+        try:
+            if mask & selectors.EVENT_WRITE and self.outbuf:
+                sent = self.sock.send(self.outbuf)
+                del self.outbuf[:sent]
+            if mask & selectors.EVENT_READ:
+                chunk = self.sock.recv(1 << 16)
+                if not chunk:
+                    raise ConnectionError("peer closed mid-stream")
+                self.inbuf += chunk
+                while len(self.inbuf) >= 4 and not self.done:
+                    (length,) = struct.unpack_from(">I", self.inbuf)
+                    if length == 0 or length > MAX_FRAME:
+                        raise ConnectionError(f"bad frame length {length}")
+                    if len(self.inbuf) < 4 + length:
+                        break
+                    body = bytes(self.inbuf[4:4 + length])
+                    del self.inbuf[:4 + length]
+                    self.on_frame(body)
+                self.fill()
+            if not self.done and not self.pending and not self.inflight:
+                self.finish()
+        except BlockingIOError:
+            pass
+        except (OSError, ConnectionError, ValueError) as err:
+            self.finish(f"connection: {err}")
+
+
+def run_load(args: argparse.Namespace, depth: int, stats: Stats) -> float:
+    """Drives args.requests requests over args.concurrency pipelined
+    connections at the given depth. Returns the wall time."""
+    slices: list[list[int]] = [[] for _ in range(args.concurrency)]
+    # Deal request indices round-robin so every connection sees the same
+    # scheme/seed mix and cache misses are front-loaded evenly.
+    for i in range(args.requests):
+        slices[i % args.concurrency].append(i)
+    sel = selectors.DefaultSelector()
+    start = time.monotonic()
+    live = 0
+    for s in slices:
+        if not s:
+            continue
+        conn = Conn(args, s, stats, depth)
+        sel.register(conn.sock, conn.events(), conn)
+        live += 1
+    while live > 0:
+        ready = sel.select(timeout=120.0)
+        if not ready:
+            for key in list(sel.get_map().values()):
+                key.data.finish("timed out waiting for responses")
+                sel.unregister(key.fileobj)
+                key.data.sock.close()
+            break
+        for key, mask in ready:
+            conn: Conn = key.data
+            conn.on_ready(mask)
+            if conn.done:
+                sel.unregister(conn.sock)
+                conn.sock.close()
+                live -= 1
+            else:
+                sel.modify(conn.sock, conn.events(), conn)
+    sel.close()
+    return time.monotonic() - start
 
 
 # ---------------------------------------------------------------------------
@@ -209,6 +501,88 @@ def print_client_report(stats: Stats, wall_s: float) -> None:
                         ("p99.9", 0.999)):
             print(f"  {name}: {quantile(lat, q) * 1e3:9.2f} ms")
         print(f"  max: {lat[-1] * 1e3:9.2f} ms")
+
+
+def print_depth_table(args: argparse.Namespace,
+                      cells: list[tuple[str, int, Stats, float]]) -> None:
+    """One latency column per (codec, pipeline depth), quantile rows."""
+    print(f"pipeline sweep: codec={args.codec}, "
+          f"connections={args.concurrency}, "
+          f"{args.requests} requests per cell")
+    header = f"  {'':>10}" + "".join(
+        f"  {codec[:4]}:{d:<6}" for codec, d, _, _ in cells)
+    print(header)
+    rows: list[tuple[str, list[str]]] = []
+    quantiles = (("p50 ms", 0.50), ("p95 ms", 0.95), ("p99 ms", 0.99),
+                 ("p99.9 ms", 0.999))
+    for name, q in quantiles:
+        row = []
+        for _, _, stats, _ in cells:
+            lat = sorted(stats.latencies_s)
+            row.append(f"{quantile(lat, q) * 1e3:11.2f}")
+        rows.append((name, row))
+    rows.append(("req/s", [
+        f"{len(s.latencies_s) / wall:11.1f}" if wall > 0 else f"{'-':>11}"
+        for _, _, s, wall in cells
+    ]))
+    rows.append(("shed", [f"{s.shed:11d}" for _, _, s, _ in cells]))
+    for name, row in rows:
+        print(f"  {name:>10}" + "  ".join([""] + row))
+
+
+def write_bench_json(args: argparse.Namespace,
+                     cells: list[tuple[str, int, Stats, float]]) -> None:
+    """Writes the sweep as a bench_json v1 artifact so bench_compare.py
+    can diff serving latency across commits."""
+    import platform
+
+    results = []
+    for codec, depth, stats, wall in cells:
+        lat = sorted(stats.latencies_s)
+        mean = sum(lat) / len(lat) if lat else math.nan
+        var = (sum((x - mean) ** 2 for x in lat) / (len(lat) - 1)
+               if len(lat) > 1 else 0.0)
+        smp = stats.samples
+        smp_mean = sum(smp) / len(smp) if smp else 0.0
+        smp_var = (sum((x - smp_mean) ** 2 for x in smp) / (len(smp) - 1)
+                   if len(smp) > 1 else 0.0)
+        results.append({
+            "scenario": "ServeLatency",
+            "x_label": "pipeline_depth",
+            "x": depth,
+            "series": f"{codec}-c{args.concurrency}",
+            "runs": len(lat),
+            "timeouts": 0,
+            "wall_seconds": {"mean": mean, "stddev": math.sqrt(var)},
+            "samples": {"mean": smp_mean, "stddev": math.sqrt(smp_var)},
+            "p99_seconds": quantile(lat, 0.99),
+            "throughput_rps": len(lat) / wall if wall > 0 else 0.0,
+        })
+    doc = {
+        "bench_json_version": 1,
+        "name": "bench_serve",
+        "git_sha": os.environ.get("GIT_SHA", "unknown"),
+        "build": "Release",
+        "no_obs": False,
+        "unix_time": int(time.time()),
+        "host": {
+            "os": platform.system(),
+            "machine": platform.machine(),
+            "hardware_concurrency": os.cpu_count() or 1,
+        },
+        "config": {
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "codec": args.codec,
+            "epsilon": args.epsilon,
+            "delta": args.delta,
+        },
+        "results": results,
+    }
+    with open(args.bench_out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"wrote bench json: {args.bench_out}")
 
 
 def print_server_report(host: str, port: int) -> None:
@@ -546,6 +920,22 @@ def parse_args() -> argparse.Namespace:
                         help="per-request deadline seconds (0 = server default)")
     parser.add_argument("--requests", type=int, default=100)
     parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--pipeline", default="1",
+                        help="requests kept in flight per connection; a "
+                             "comma list (e.g. 1,4,16) sweeps the depths "
+                             "and prints one latency column per depth")
+    parser.add_argument("--codec", default="json",
+                        help="wire codec for query requests: v1 json or "
+                             "v2 binary (fails loudly if the server "
+                             "answers a binary request in JSON); a comma "
+                             "list (json,binary) sweeps both codecs")
+    parser.add_argument("--bench-out", default="",
+                        help="write the run as a bench_json v1 file "
+                             "(BENCH_serve.json) for bench_compare.py")
+    parser.add_argument("--max-p99", type=float, default=0.0,
+                        help="fail if any depth's client-side p99 "
+                             "latency exceeds this many seconds "
+                             "(0 = no gate)")
     parser.add_argument("--seeds", type=int, default=2,
                         help="distinct seeds to rotate through")
     parser.add_argument("--seed-base", type=int, default=1)
@@ -608,11 +998,20 @@ def main() -> int:
             print("error: --port (or --spawn) is required", file=sys.stderr)
             return 2
 
-        # Deal request indices round-robin so every worker sees the same
-        # scheme/seed mix and cache misses are front-loaded evenly.
-        slices: list[list[int]] = [[] for _ in range(args.concurrency)]
-        for i in range(args.requests):
-            slices[i % args.concurrency].append(i)
+        try:
+            depths = [int(d) for d in str(args.pipeline).split(",") if d]
+        except ValueError:
+            print(f"error: bad --pipeline {args.pipeline!r}",
+                  file=sys.stderr)
+            return 2
+        if not depths or min(depths) < 1:
+            print("error: --pipeline depths must be >= 1", file=sys.stderr)
+            return 2
+        codecs = [c for c in str(args.codec).split(",") if c]
+        if not codecs or any(c not in ("json", "binary") for c in codecs):
+            print(f"error: bad --codec {args.codec!r} (json, binary, or "
+                  "a comma list of both)", file=sys.stderr)
+            return 2
         stats = Stats()
         pprof_result: dict = {}
         pprof_thread = None
@@ -620,26 +1019,41 @@ def main() -> int:
             if args.metrics_port < 0:
                 print("error: --pprof needs --metrics-port", file=sys.stderr)
                 return 2
-        start = time.monotonic()
-        threads = [
-            threading.Thread(target=run_worker, args=(args, s, stats))
-            for s in slices if s
-        ]
-        for t in threads:
-            t.start()
-        if args.pprof:
-            # Collect while the workers saturate the daemon (per-thread
+            # Collect while the engine saturates the daemon (per-thread
             # CPU-time timers mean post-load idle adds ~no samples).
             pprof_thread = threading.Thread(target=pprof_worker,
                                             args=(args, pprof_result))
             pprof_thread.start()
-        for t in threads:
-            t.join()
-        wall = time.monotonic() - start
+        cells: list[tuple[str, int, Stats, float]] = []
+        wall = 0.0
+        for codec in codecs:
+            args.codec = codec
+            for depth in depths:
+                depth_stats = Stats()
+                depth_wall = run_load(args, depth, depth_stats)
+                cells.append((codec, depth, depth_stats, depth_wall))
+                stats.merge(depth_stats)
+                wall += depth_wall
+        args.codec = ",".join(codecs)
         if pprof_thread is not None:
             pprof_thread.join()
 
-        print_client_report(stats, wall)
+        if len(cells) == 1:
+            print_client_report(stats, wall)
+        else:
+            print_depth_table(args, cells)
+        if args.bench_out:
+            write_bench_json(args, cells)
+        if args.max_p99 > 0:
+            for codec, depth, depth_stats, _ in cells:
+                lat = sorted(depth_stats.latencies_s)
+                p99 = quantile(lat, 0.99) if lat else math.inf
+                if p99 > args.max_p99:
+                    print(f"FAIL: {codec} depth {depth} p99 "
+                          f"{p99 * 1e3:.1f} ms exceeds --max-p99 "
+                          f"{args.max_p99 * 1e3:.1f} ms",
+                          file=sys.stderr)
+                    ok = False
         print_server_report(args.host, args.port)
         if args.scrape:
             if args.metrics_port < 0:
