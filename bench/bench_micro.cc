@@ -9,11 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
 
 #include "bench/harness.h"
 #include "cqa/coverage.h"
@@ -149,6 +153,85 @@ void BM_PreprocessTpch(benchmark::State& state) {
 }
 BENCHMARK(BM_PreprocessTpch);
 
+/// Scan-throughput ablation, row path: materialize every row as a Tuple
+/// (the pre-columnar access pattern) and filter one column against a
+/// constant. Pays a vector + string allocation per row.
+void BM_ScanRowView(benchmark::State& state) {
+  TpchOptions options;
+  options.scale_factor = 0.0005;
+  Dataset d = GenerateTpch(options);
+  const Relation& rel = d.db->relation("customer");
+  const Value want("BUILDING");
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (size_t row = 0; row < rel.size(); ++row) {
+      Tuple t = rel.row(row);
+      if (t[6] == want) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * rel.size());
+}
+BENCHMARK(BM_ScanRowView);
+
+/// Scan-throughput ablation, columnar path: consume the same column as
+/// raw runs, resolving the constant to a dictionary code once per chunk
+/// and comparing uint32 codes row-wise. No allocation, no materialized
+/// tuples.
+void BM_ScanColumnRuns(benchmark::State& state) {
+  TpchOptions options;
+  options.scale_factor = 0.0005;
+  Dataset d = GenerateTpch(options);
+  const Relation& rel = d.db->relation("customer");
+  const std::string want = "BUILDING";
+  for (auto _ : state) {
+    size_t hits = 0;
+    rel.ForEachRun(6, [&](const ColumnRun& run) {
+      if (run.encoding == SegmentEncoding::kDictionary) {
+        const std::string* end = run.string_dict + run.dict_size;
+        const std::string* it =
+            std::lower_bound(run.string_dict, end, want);
+        if (it == end || *it != want) return;
+        uint32_t code = static_cast<uint32_t>(it - run.string_dict);
+        for (size_t i = 0; i < run.length; ++i) {
+          if (run.codes[i] == code) ++hits;
+        }
+      } else {
+        for (size_t i = 0; i < run.length; ++i) {
+          if (run.strings[i] == want) ++hits;
+        }
+      }
+    });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * rel.size());
+}
+BENCHMARK(BM_ScanColumnRuns);
+
+/// Scan-throughput ablation, pruned point lookup: ScanMatching on the
+/// (strictly ascending) customer key, where chunk min/max statistics
+/// prune every chunk but the one holding the key.
+void BM_ScanMatchingPruned(benchmark::State& state) {
+  TpchOptions options;
+  options.scale_factor = 0.0005;
+  Dataset d = GenerateTpch(options);
+  const Relation& rel = d.db->relation("customer");
+  const std::vector<size_t> positions = {0};
+  int64_t key = static_cast<int64_t>(rel.size() / 2);
+  for (auto _ : state) {
+    size_t hits = 0;
+    rel.ScanMatching(positions, {Value(key)}, [&](size_t) {
+      ++hits;
+      return true;
+    });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * rel.size());
+  state.counters["chunks_pruned"] =
+      static_cast<double>(rel.chunks_pruned());
+}
+BENCHMARK(BM_ScanMatchingPruned);
+
 /// Ablation: the synopsis abstraction itself — approximating over the
 /// synopsis vs the cost of even *scanning* the whole database once per
 /// sample (what a synopsis-free implementation would pay).
@@ -171,9 +254,59 @@ BENCHMARK(BM_WholeDatabaseScan);
 /// a noisy TPC-H pair — repeated trials per cell, with convergence
 /// recording — and write the versioned BENCH_*.json the regression gate
 /// (tools/bench_compare.py) consumes.
+/// The preprocess-and-scan row (--scan_sf=): builds a noisy TPC-H pair at
+/// the given scale factor and records, as plain timing cells, synopsis
+/// preprocessing plus the row-view and column-run scan ablations over the
+/// customer relation. Gated by tools/bench_compare.py like every other
+/// cell of BENCH_micro.json.
+void RunScanCells(obs::BenchJsonWriter* writer, uint64_t seed,
+                  double scan_sf) {
+  TpchOptions options;
+  options.scale_factor = scan_sf;
+  options.seed = seed;
+  Dataset d = GenerateTpch(options);
+  ConjunctiveQuery q = MustParseCq(
+      *d.schema,
+      "Q(CK) :- customer(CK, CN, CA, NK, CP, CB, 'BUILDING', CC),"
+      " orders(OK, CK, OS, TP, OD, OP, CL, SP, OC).");
+  Rng rng(seed ^ 0x9E3779B9);
+  NoiseOptions noise;
+  noise.p = 0.3;
+  AddQueryAwareNoise(d.db.get(), q, noise, rng);
+  const Relation& rel = d.db->relation("customer");
+  const double rows = static_cast<double>(rel.size());
+  const Value want("BUILDING");
+  for (int trial = 0; trial < 3; ++trial) {
+    Stopwatch pre_watch;
+    PreprocessResult pre = BuildSynopses(*d.db, q);
+    writer->AddSample("Scan", "sf", scan_sf, "Preprocess",
+                      pre_watch.ElapsedSeconds(),
+                      static_cast<double>(pre.NumAnswers()), false);
+
+    Stopwatch row_watch;
+    size_t row_hits = 0;
+    for (size_t row = 0; row < rel.size(); ++row) {
+      Tuple t = rel.row(row);
+      if (t[6] == want) ++row_hits;
+    }
+    writer->AddSample("Scan", "sf", scan_sf, "RowScan",
+                      row_watch.ElapsedSeconds(), rows, false);
+
+    Stopwatch col_watch;
+    size_t col_hits = 0;
+    rel.ScanMatching({6}, {want}, [&](size_t) {
+      ++col_hits;
+      return true;
+    });
+    writer->AddSample("Scan", "sf", scan_sf, "ColumnScan",
+                      col_watch.ElapsedSeconds(), rows, false);
+    CQA_CHECK(row_hits == col_hits);
+  }
+}
+
 int RunConvergenceMatrix(const std::string& json_path, uint64_t seed,
                          const std::string& convergence_path,
-                         const std::string& chrome_path) {
+                         const std::string& chrome_path, double scan_sf) {
   const double kTimeoutSeconds = 5.0;
   obs::BenchJsonWriter writer;
   obs::BenchMetadata meta;
@@ -218,6 +351,8 @@ int RunConvergenceMatrix(const std::string& json_path, uint64_t seed,
     }
   }
 
+  if (scan_sf > 0.0) RunScanCells(&writer, seed, scan_sf);
+
   if (!json_path.empty()) {
     if (!writer.WriteFile(json_path, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -245,6 +380,7 @@ int main(int argc, char** argv) {
   // sees the command line (it rejects flags it does not know).
   std::string bench_json, obs_convergence, obs_trace_chrome;
   uint64_t seed = 20210620;
+  double scan_sf = 0.0;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -257,6 +393,8 @@ int main(int argc, char** argv) {
       obs_trace_chrome = arg + 19;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--scan_sf=", 10) == 0) {
+      scan_sf = std::strtod(arg + 10, nullptr);
     } else {
       passthrough.push_back(arg);
     }
@@ -264,7 +402,7 @@ int main(int argc, char** argv) {
   if (!bench_json.empty() || !obs_convergence.empty() ||
       !obs_trace_chrome.empty()) {
     return cqa::RunConvergenceMatrix(bench_json, seed, obs_convergence,
-                                     obs_trace_chrome);
+                                     obs_trace_chrome, scan_sf);
   }
   int pargc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pargc, passthrough.data());

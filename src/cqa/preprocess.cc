@@ -92,6 +92,9 @@ PreprocessResult BuildSynopses(const Database& db, const ConjunctiveQuery& q,
   Stopwatch watch;
   obs::TraceSpan span("preprocess.build_synopses");
   CQA_OBS_COUNT("preprocess.builds");
+  // The columnar plane (chunk tiling, dictionaries, pruning statistics)
+  // must be structurally sound before block construction trusts it.
+  CQA_AUDIT(audit::CheckColumnarStorage, db);
   BlockIndex block_index = BlockIndex::Build(db);
   // Synopses encode blocks by (relation, block, tid) coordinates; a block
   // structure that fails to partition the relations corrupts every

@@ -88,6 +88,9 @@ NoiseStats AddQueryAwareNoise(Database* db, const ConjunctiveQuery& q,
   for (size_t rid = 0; rid < relevant.size(); ++rid) {
     InflateBlocks(db, rid, relevant[rid], options, rng, &stats);
   }
+  // The injected facts sat in the relations' tails; seal them into chunks
+  // so the noisy instance is as columnar as the base it extends.
+  db->SealStorage();
   return stats;
 }
 
@@ -106,6 +109,7 @@ NoiseStats AddObliviousNoise(Database* db, const NoiseOptions& options,
     stats.relevant_facts += rows.size();
     InflateBlocks(db, rid, rows, options, rng, &stats);
   }
+  db->SealStorage();
   return stats;
 }
 

@@ -19,8 +19,8 @@ ConstantPool ConstantPool::FromDatabase(const Database& db,
       std::vector<Value> values;
       for (size_t row = 0; row < rel.size() && values.size() < max_per_attr;
            ++row) {
-        const Value& v = rel.row(row)[attr];
-        if (seen.insert(v).second) values.push_back(v);
+        Value v = rel.ValueAt(row, attr);
+        if (seen.insert(v).second) values.push_back(std::move(v));
       }
       if (!values.empty()) {
         pool.pool_.emplace((static_cast<uint64_t>(rid) << 32) | attr,

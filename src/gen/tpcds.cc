@@ -270,6 +270,9 @@ Dataset GenerateTpcds(const TpcdsOptions& options) {
   fk("inventory", "inv_item_sk", "item", "i_item_sk");
   fk("inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk");
 
+  // Seal so generated instances carry encodings and chunk statistics from
+  // the start instead of living in the plain tail buffers.
+  db.SealStorage();
   CQA_CHECK(db.SatisfiesKeys());
   return dataset;
 }

@@ -260,6 +260,9 @@ Dataset GenerateTpch(const TpchOptions& options) {
   fk("lineitem", "l_partkey", "part", "p_partkey");
   fk("lineitem", "l_suppkey", "supplier", "s_suppkey");
 
+  // Seal so generated instances carry encodings and chunk statistics from
+  // the start instead of living in the plain tail buffers.
+  db.SealStorage();
   CQA_CHECK(db.SatisfiesKeys());
   return dataset;
 }

@@ -13,8 +13,7 @@ RelationIndex RelationIndex::Build(const Relation& rel,
   index.positions_ = std::move(positions);
   index.buckets_.reserve(rel.size());
   for (size_t row = 0; row < rel.size(); ++row) {
-    index.buckets_[ProjectTuple(rel.row(row), index.positions_)].push_back(
-        row);
+    index.buckets_[rel.ProjectRow(row, index.positions_)].push_back(row);
   }
   return index;
 }
@@ -122,26 +121,26 @@ struct SearchState {
     }
 
     auto try_row = [&](size_t row) -> bool {
-      const Tuple& fact = rel.row(row);
-      // Unify unbound positions; repeated fresh variables within the atom
-      // (e.g. R(x, x)) are handled by binding on first occurrence.
+      // Unify against the fact's columns in place (no tuple
+      // materialization, no string copies); repeated fresh variables
+      // within the atom (e.g. R(x, x)) bind on first occurrence.
       std::vector<size_t> newly_bound;
       bool ok = true;
       for (size_t pos = 0; pos < atom.terms.size(); ++pos) {
         const Term& t = atom.terms[pos];
         if (t.is_constant()) {
-          if (t.constant() != fact[pos]) {
+          if (!rel.ValueEquals(row, pos, t.constant())) {
             ok = false;
             break;
           }
         } else if (bound[t.var()]) {
-          if (h.assignment[t.var()] != fact[pos]) {
+          if (!rel.ValueEquals(row, pos, h.assignment[t.var()])) {
             ok = false;
             break;
           }
         } else {
           bound[t.var()] = true;
-          h.assignment[t.var()] = fact[pos];
+          h.assignment[t.var()] = rel.ValueAt(row, pos);
           newly_bound.push_back(t.var());
         }
       }
@@ -161,6 +160,32 @@ struct SearchState {
         if (stopped) return false;
       }
       return true;
+    }
+
+    // The first atom is matched exactly once, so when its bound positions
+    // are all constants a statistics-pruned column scan beats building a
+    // hash index over the whole relation. Enumeration stays in ascending
+    // row order — the same order the index bucket would yield.
+    if (depth == 0) {
+      bool all_constant = true;
+      for (size_t pos : bound_positions) {
+        if (!atom.terms[pos].is_constant()) {
+          all_constant = false;
+          break;
+        }
+      }
+      if (all_constant) {
+        Tuple key;
+        key.reserve(bound_positions.size());
+        for (size_t pos : bound_positions) {
+          key.push_back(atom.terms[pos].constant());
+        }
+        rel.ScanMatching(bound_positions, key, [&](size_t row) {
+          try_row(row);
+          return !stopped;
+        });
+        return !stopped;
+      }
     }
 
     // Index lookup on the bound positions.

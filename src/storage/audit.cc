@@ -107,4 +107,102 @@ bool CheckRepairSelection(const Database& db, const BlockIndex& index,
   return true;
 }
 
+bool CheckColumnarStorage(const Database& db, std::string* why) {
+  for (size_t rid = 0; rid < db.NumRelations(); ++rid) {
+    const Relation& rel = db.relation(rid);
+    size_t arity = rel.schema().arity();
+    size_t expected_row0 = 0;
+    for (size_t c = 0; c < rel.NumChunks(); ++c) {
+      if (rel.chunk_row0(c) != expected_row0) {
+        return Fail(why, "relation %zu: chunk %zu starts at row %zu, "
+                         "leaving a gap",
+                    rid, c, rel.chunk_row0(c));
+      }
+      size_t rows = rel.chunk_rows(c);
+      if (rows == 0) {
+        return Fail(why, "relation %zu: chunk %zu is empty (%zu)", rid, c, 0);
+      }
+      expected_row0 += rows;
+      for (size_t col = 0; col < arity; ++col) {
+        const Segment& segment = rel.chunk_segment(c, col);
+        if (segment.size() != rows) {
+          return Fail(why, "relation %zu: chunk %zu column segment holds "
+                           "%zu values, expected the chunk's rows",
+                      rid, c, segment.size());
+        }
+        if (segment.type() != rel.schema().attribute(col).type) {
+          return Fail(why, "relation %zu: chunk %zu column %zu type "
+                           "mismatches the schema",
+                      rid, c, col);
+        }
+        const ColumnRun run = segment.Run(rel.chunk_row0(c));
+        if (segment.encoding() == SegmentEncoding::kDictionary) {
+          size_t ds = run.dict_size;
+          if (ds == 0 || ds > rows) {
+            return Fail(why, "relation %zu: chunk %zu dictionary has %zu "
+                             "entries for a smaller chunk",
+                        rid, c, ds);
+          }
+          for (size_t e = 1; e < ds; ++e) {
+            bool sorted = run.int_dict != nullptr
+                              ? run.int_dict[e - 1] < run.int_dict[e]
+                              : run.string_dict[e - 1] < run.string_dict[e];
+            if (!sorted) {
+              return Fail(why, "relation %zu: chunk %zu dictionary entry "
+                               "%zu out of order",
+                          rid, c, e);
+            }
+          }
+          for (size_t i = 0; i < rows; ++i) {
+            if (run.codes[i] >= ds) {
+              return Fail(why, "relation %zu: chunk %zu code at offset %zu "
+                               "exceeds the dictionary",
+                          rid, c, i);
+            }
+          }
+        }
+        const ChunkColumnStats& stats = rel.chunk_stats(c, col);
+        if (!stats.valid) {
+          return Fail(why, "relation %zu: chunk %zu column %zu has no "
+                           "statistics",
+                      rid, c, col);
+        }
+        if (segment.encoding() == SegmentEncoding::kDictionary &&
+            stats.distinct != segment.dict_size()) {
+          return Fail(why, "relation %zu: chunk %zu column %zu distinct "
+                           "count disagrees with the dictionary",
+                      rid, c, col);
+        }
+        if (stats.has_histogram) {
+          size_t total = 0;
+          for (size_t b = 0; b < ChunkColumnStats::kHistogramBins; ++b) {
+            total += stats.bins[b];
+          }
+          if (total != rows) {
+            return Fail(why, "relation %zu: chunk %zu histogram counts %zu "
+                             "values, expected the chunk's rows",
+                        rid, c, total);
+          }
+        }
+        // The one-sided pruning contract: statistics must never prove the
+        // absence of a value the chunk actually holds.
+        for (size_t i = 0; i < rows; ++i) {
+          Value v = segment.GetValue(i);
+          if (v < stats.min || stats.max < v ||
+              !stats.MayContainEqual(v)) {
+            return Fail(why, "relation %zu: chunk %zu statistics reject a "
+                             "stored value at offset %zu",
+                        rid, c, i);
+          }
+        }
+      }
+    }
+    if (expected_row0 + rel.tail_rows() != rel.size()) {
+      return Fail(why, "relation %zu: chunks and tail cover %zu of %zu rows",
+                  rid, expected_row0 + rel.tail_rows(), rel.size());
+    }
+  }
+  return true;
+}
+
 }  // namespace cqa::audit

@@ -1,3 +1,7 @@
+// Audit predicates for the storage layer (CQA_AUDIT): block-partition and
+// repair-selection invariants plus the structural checks of the columnar
+// plane — chunk tiling, dictionary order, and the one-sided chunk
+// statistics contract pruning correctness rests on.
 #ifndef CQABENCH_STORAGE_AUDIT_H_
 #define CQABENCH_STORAGE_AUDIT_H_
 
@@ -28,6 +32,14 @@ bool CheckBlockPartition(const Database& db, const BlockIndex& index,
 bool CheckRepairSelection(const Database& db, const BlockIndex& index,
                           const std::vector<FactRef>& selection,
                           std::string* why);
+
+/// Structural invariants of the columnar storage plane, for every relation
+/// of `db`: chunks tile the row space contiguously, each segment holds
+/// exactly its chunk's rows, dictionaries are sorted and duplicate-free
+/// with every code in range, and chunk statistics honor their one-sided
+/// contract (min/max bound each stored value, histogram bins sum to the
+/// row count, MayContainEqual never rejects a value the chunk holds).
+bool CheckColumnarStorage(const Database& db, std::string* why);
 
 }  // namespace cqa::audit
 

@@ -1,37 +1,265 @@
 #include "storage/block_index.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace cqa {
 
+namespace {
+
+/// Flattens an int column (decoding dictionary chunks) into one vector.
+std::vector<int64_t> DecodeIntColumn(const Relation& rel, size_t col) {
+  std::vector<int64_t> out;
+  out.reserve(rel.size());
+  rel.ForEachRun(col, [&](const ColumnRun& run) {
+    if (run.encoding == SegmentEncoding::kDictionary) {
+      for (size_t i = 0; i < run.length; ++i) {
+        out.push_back(run.int_dict[run.codes[i]]);
+      }
+    } else {
+      out.insert(out.end(), run.ints, run.ints + run.length);
+    }
+  });
+  return out;
+}
+
+/// Chunk-statistics prefilter for the sorted-key fast path: can the key
+/// column still be strictly ascending? Rejects without touching values
+/// when a dictionary chunk holds duplicates (distinct < rows) or when
+/// consecutive chunk [min, max] ranges fail to increase. `weak_bounds`
+/// allows equal boundary values (the int-pair path, where ties break on
+/// the second column).
+bool ChunkBoundsAscending(const Relation& rel, size_t col, bool weak_bounds) {
+  for (size_t c = 0; c < rel.NumChunks(); ++c) {
+    const ChunkColumnStats& stats = rel.chunk_stats(c, col);
+    if (!stats.valid) continue;
+    if (!weak_bounds && stats.distinct != 0 &&
+        stats.distinct < rel.chunk_rows(c)) {
+      return false;
+    }
+    if (c > 0) {
+      const ChunkColumnStats& prev = rel.chunk_stats(c - 1, col);
+      if (prev.valid) {
+        bool ok = weak_bounds ? !(stats.min < prev.max)
+                              : prev.max < stats.min;
+        if (!ok) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool StrictlyAscending(const std::vector<int64_t>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] <= v[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 RelationBlockIndex RelationBlockIndex::Build(const Relation& rel) {
   RelationBlockIndex index;
   index.annotations_.resize(rel.size());
-  index.block_by_key_.reserve(rel.size());
-  for (size_t row = 0; row < rel.size(); ++row) {
-    Tuple key = rel.KeyOf(row);
-    auto [it, inserted] =
-        index.block_by_key_.emplace(std::move(key), index.blocks_.size());
-    if (inserted) index.blocks_.emplace_back();
-    std::vector<size_t>& block = index.blocks_[it->second];
-    index.annotations_[row] =
-        BlockAnnotation{it->second, block.size(), /*block_size=*/0};
-    block.push_back(row);
+  if (rel.empty()) return index;
+
+  const RelationSchema& rs = rel.schema();
+  const std::vector<size_t>& kp = rs.key_positions();
+  auto is_int = [&](size_t pos) {
+    return rs.attribute(pos).type == ValueType::kInt;
+  };
+  if (rs.has_key() && kp.size() == 1 && is_int(kp[0])) {
+    index.BuildIntKey(rel, kp[0]);
+  } else if (rs.has_key() && kp.size() == 1 &&
+             rs.attribute(kp[0]).type == ValueType::kString) {
+    index.BuildStringKey(rel, kp[0]);
+  } else if (rs.has_key() && kp.size() == 2 && is_int(kp[0]) &&
+             is_int(kp[1])) {
+    index.BuildIntPairKey(rel, kp[0], kp[1]);
+  } else {
+    index.BuildTupleKey(rel);
   }
-  for (size_t bid = 0; bid < index.blocks_.size(); ++bid) {
-    const std::vector<size_t>& block = index.blocks_[bid];
-    if (block.size() > 1) ++index.conflicting_blocks_;
-    for (size_t row : block) {
-      index.annotations_[row].block_size = block.size();
-    }
-  }
+  index.FinishSizes();
   return index;
 }
 
+void RelationBlockIndex::BuildIntKey(const Relation& rel, size_t col) {
+  std::vector<int64_t> keys = DecodeIntColumn(rel, col);
+  // Sorted-distinct fast path: when chunk statistics allow it and the
+  // decoded column verifies strictly ascending, every key is distinct —
+  // every block is a singleton with block id == row index, and grouping
+  // needs no hash table at all.
+  if (ChunkBoundsAscending(rel, col, /*weak_bounds=*/false) &&
+      StrictlyAscending(keys)) {
+    build_path_ = BuildPath::kSortedInt;
+    blocks_.resize(keys.size());
+    for (size_t row = 0; row < keys.size(); ++row) {
+      blocks_[row].push_back(row);
+      annotations_[row] = BlockAnnotation{row, 0, 0};
+    }
+    sorted_ints_ = std::move(keys);
+    return;
+  }
+  build_path_ = BuildPath::kInt;
+  block_by_int_.reserve(keys.size());
+  for (size_t row = 0; row < keys.size(); ++row) {
+    auto [it, inserted] = block_by_int_.emplace(keys[row], blocks_.size());
+    if (inserted) blocks_.emplace_back();
+    std::vector<size_t>& block = blocks_[it->second];
+    annotations_[row] = BlockAnnotation{it->second, block.size(), 0};
+    block.push_back(row);
+  }
+}
+
+void RelationBlockIndex::BuildStringKey(const Relation& rel, size_t col) {
+  build_path_ = BuildPath::kString;
+  block_by_string_.reserve(rel.size());
+  std::vector<size_t> code_block;  // Per-chunk code -> block id cache.
+  rel.ForEachRun(col, [&](const ColumnRun& run) {
+    if (run.encoding == SegmentEncoding::kDictionary) {
+      // One string hash per distinct code per chunk; repeats hit the
+      // interning cache instead of rehashing the string.
+      code_block.assign(run.dict_size, SIZE_MAX);
+      for (size_t i = 0; i < run.length; ++i) {
+        uint32_t code = run.codes[i];
+        size_t& cached = code_block[code];
+        if (cached == SIZE_MAX) {
+          auto [it, inserted] =
+              block_by_string_.emplace(run.string_dict[code], blocks_.size());
+          if (inserted) blocks_.emplace_back();
+          cached = it->second;
+        }
+        std::vector<size_t>& block = blocks_[cached];
+        annotations_[run.row0 + i] =
+            BlockAnnotation{cached, block.size(), 0};
+        block.push_back(run.row0 + i);
+      }
+    } else {
+      for (size_t i = 0; i < run.length; ++i) {
+        auto [it, inserted] =
+            block_by_string_.emplace(run.strings[i], blocks_.size());
+        if (inserted) blocks_.emplace_back();
+        std::vector<size_t>& block = blocks_[it->second];
+        annotations_[run.row0 + i] =
+            BlockAnnotation{it->second, block.size(), 0};
+        block.push_back(run.row0 + i);
+      }
+    }
+  });
+}
+
+void RelationBlockIndex::BuildIntPairKey(const Relation& rel, size_t col_a,
+                                         size_t col_b) {
+  std::vector<int64_t> a = DecodeIntColumn(rel, col_a);
+  std::vector<int64_t> b = DecodeIntColumn(rel, col_b);
+  CQA_DCHECK(a.size() == b.size());
+  // Sorted fast path under the lexicographic order: the first column's
+  // chunk bounds must be non-decreasing, and the pairs strictly ascend.
+  if (ChunkBoundsAscending(rel, col_a, /*weak_bounds=*/true)) {
+    bool ascending = true;
+    for (size_t i = 1; i < a.size() && ascending; ++i) {
+      ascending = a[i - 1] < a[i] || (a[i - 1] == a[i] && b[i - 1] < b[i]);
+    }
+    if (ascending) {
+      build_path_ = BuildPath::kSortedIntPair;
+      blocks_.resize(a.size());
+      sorted_int_pairs_.reserve(a.size());
+      for (size_t row = 0; row < a.size(); ++row) {
+        blocks_[row].push_back(row);
+        annotations_[row] = BlockAnnotation{row, 0, 0};
+        sorted_int_pairs_.emplace_back(a[row], b[row]);
+      }
+      return;
+    }
+  }
+  build_path_ = BuildPath::kIntPair;
+  block_by_int_pair_.reserve(a.size());
+  for (size_t row = 0; row < a.size(); ++row) {
+    auto [it, inserted] = block_by_int_pair_.emplace(
+        std::make_pair(a[row], b[row]), blocks_.size());
+    if (inserted) blocks_.emplace_back();
+    std::vector<size_t>& block = blocks_[it->second];
+    annotations_[row] = BlockAnnotation{it->second, block.size(), 0};
+    block.push_back(row);
+  }
+}
+
+void RelationBlockIndex::BuildTupleKey(const Relation& rel) {
+  build_path_ = BuildPath::kTuple;
+  block_by_tuple_.reserve(rel.size());
+  for (size_t row = 0; row < rel.size(); ++row) {
+    Tuple key = rel.KeyOf(row);
+    auto [it, inserted] =
+        block_by_tuple_.emplace(std::move(key), blocks_.size());
+    if (inserted) blocks_.emplace_back();
+    std::vector<size_t>& block = blocks_[it->second];
+    annotations_[row] = BlockAnnotation{it->second, block.size(), 0};
+    block.push_back(row);
+  }
+}
+
+void RelationBlockIndex::FinishSizes() {
+  for (size_t bid = 0; bid < blocks_.size(); ++bid) {
+    const std::vector<size_t>& block = blocks_[bid];
+    if (block.size() > 1) ++conflicting_blocks_;
+    for (size_t row : block) {
+      annotations_[row].block_size = block.size();
+    }
+  }
+}
+
 std::optional<size_t> RelationBlockIndex::FindBlock(const Tuple& key) const {
-  auto it = block_by_key_.find(key);
-  if (it == block_by_key_.end()) return std::nullopt;
-  return it->second;
+  switch (build_path_) {
+    case BuildPath::kEmpty:
+      return std::nullopt;
+    case BuildPath::kTuple: {
+      auto it = block_by_tuple_.find(key);
+      if (it == block_by_tuple_.end()) return std::nullopt;
+      return it->second;
+    }
+    case BuildPath::kInt: {
+      if (key.size() != 1 || !key[0].is_int()) return std::nullopt;
+      auto it = block_by_int_.find(key[0].AsInt());
+      if (it == block_by_int_.end()) return std::nullopt;
+      return it->second;
+    }
+    case BuildPath::kString: {
+      if (key.size() != 1 || !key[0].is_string()) return std::nullopt;
+      auto it = block_by_string_.find(key[0].AsString());
+      if (it == block_by_string_.end()) return std::nullopt;
+      return it->second;
+    }
+    case BuildPath::kIntPair: {
+      if (key.size() != 2 || !key[0].is_int() || !key[1].is_int()) {
+        return std::nullopt;
+      }
+      auto it = block_by_int_pair_.find(
+          std::make_pair(key[0].AsInt(), key[1].AsInt()));
+      if (it == block_by_int_pair_.end()) return std::nullopt;
+      return it->second;
+    }
+    case BuildPath::kSortedInt: {
+      if (key.size() != 1 || !key[0].is_int()) return std::nullopt;
+      auto it = std::lower_bound(sorted_ints_.begin(), sorted_ints_.end(),
+                                 key[0].AsInt());
+      if (it == sorted_ints_.end() || *it != key[0].AsInt()) {
+        return std::nullopt;
+      }
+      return static_cast<size_t>(it - sorted_ints_.begin());
+    }
+    case BuildPath::kSortedIntPair: {
+      if (key.size() != 2 || !key[0].is_int() || !key[1].is_int()) {
+        return std::nullopt;
+      }
+      std::pair<int64_t, int64_t> want{key[0].AsInt(), key[1].AsInt()};
+      auto it = std::lower_bound(sorted_int_pairs_.begin(),
+                                 sorted_int_pairs_.end(), want);
+      if (it == sorted_int_pairs_.end() || *it != want) return std::nullopt;
+      return static_cast<size_t>(it - sorted_int_pairs_.begin());
+    }
+  }
+  return std::nullopt;
 }
 
 BlockIndex BlockIndex::Build(const Database& db) {

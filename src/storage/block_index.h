@@ -1,8 +1,19 @@
+// Conflict-block construction over the columnar storage plane: groups each
+// relation's facts by primary-key value into blocks, the in-memory
+// equivalent of the paper's Q_R view. Block ids and tuple ids are assigned
+// by first appearance in row order — identical across every build path, so
+// synopses stay bit-for-bit reproducible. Construction is vectorized over
+// column runs: single-int, single-string and int-pair keys group through
+// typed hash maps with one dictionary probe per distinct code per chunk,
+// and key columns that chunk statistics prove strictly ascending skip
+// hashing entirely (every block is a singleton). Everything else falls
+// back to tuple-keyed grouping.
 #ifndef CQABENCH_STORAGE_BLOCK_INDEX_H_
 #define CQABENCH_STORAGE_BLOCK_INDEX_H_
 
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "storage/database.h"
@@ -27,8 +38,8 @@ class RelationBlockIndex {
  public:
   RelationBlockIndex() = default;
 
-  /// Builds the index over `rel`. A relation without a key yields singleton
-  /// blocks only (each fact is its own block).
+  /// Builds the index over `rel`. A relation without a key yields one
+  /// block per distinct whole tuple (its facts are never in conflict).
   static RelationBlockIndex Build(const Relation& rel);
 
   size_t NumBlocks() const { return blocks_.size(); }
@@ -46,11 +57,40 @@ class RelationBlockIndex {
   /// Number of non-singleton blocks (blocks witnessing inconsistency).
   size_t NumConflictingBlocks() const { return conflicting_blocks_; }
 
+  /// Which grouping strategy Build picked (bench/test observability).
+  enum class BuildPath { kEmpty, kTuple, kInt, kString, kIntPair,
+                         kSortedInt, kSortedIntPair };
+  BuildPath build_path() const { return build_path_; }
+
  private:
+  struct IntPairHash {
+    size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+      size_t seed = std::hash<int64_t>()(p.first);
+      HashCombine(seed, std::hash<int64_t>()(p.second));
+      return seed;
+    }
+  };
+
+  void BuildIntKey(const Relation& rel, size_t col);
+  void BuildStringKey(const Relation& rel, size_t col);
+  void BuildIntPairKey(const Relation& rel, size_t col_a, size_t col_b);
+  void BuildTupleKey(const Relation& rel);
+  void FinishSizes();
+
   std::vector<std::vector<size_t>> blocks_;
   std::vector<BlockAnnotation> annotations_;
-  std::unordered_map<Tuple, size_t, TupleHash> block_by_key_;
   size_t conflicting_blocks_ = 0;
+  BuildPath build_path_ = BuildPath::kEmpty;
+
+  // Key lookup: the structure matching build_path_ is populated.
+  std::unordered_map<Tuple, size_t, TupleHash> block_by_tuple_;
+  std::unordered_map<int64_t, size_t> block_by_int_;
+  std::unordered_map<std::string, size_t> block_by_string_;
+  std::unordered_map<std::pair<int64_t, int64_t>, size_t, IntPairHash>
+      block_by_int_pair_;
+  // Sorted paths: block id == row index; lookup is a binary search.
+  std::vector<int64_t> sorted_ints_;
+  std::vector<std::pair<int64_t, int64_t>> sorted_int_pairs_;
 };
 
 /// Block structure of a whole database: one RelationBlockIndex per relation.

@@ -52,7 +52,7 @@ std::vector<KeyViolation> Database::FindKeyViolations(size_t limit) const {
     for (size_t row = 0; row < rel.size(); ++row) {
       Tuple key = rel.KeyOf(row);
       auto [it, inserted] = first_row.emplace(std::move(key), row);
-      if (!inserted && rel.row(it->second) != rel.row(row)) {
+      if (!inserted && !rel.RowsEqual(it->second, row)) {
         violations.push_back(
             KeyViolation{FactRef{id, it->second}, FactRef{id, row}});
         if (limit != 0 && violations.size() >= limit) return violations;
@@ -60,6 +60,16 @@ std::vector<KeyViolation> Database::FindKeyViolations(size_t limit) const {
     }
   }
   return violations;
+}
+
+void Database::SealStorage() {
+  for (Relation& r : relations_) r.SealTail();
+}
+
+size_t Database::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Relation& r : relations_) bytes += r.MemoryBytes();
+  return bytes;
 }
 
 Database Database::Clone() const {

@@ -1,3 +1,6 @@
+// An in-memory database instance: one chunked-columnar Relation per
+// relation of a shared Schema, plus key-violation detection, storage
+// sealing (SealStorage) and the deep Clone the noise generator extends.
 #ifndef CQABENCH_STORAGE_DATABASE_H_
 #define CQABENCH_STORAGE_DATABASE_H_
 
@@ -40,9 +43,17 @@ class Database {
   /// Total number of facts across relations.
   size_t NumFacts() const;
 
-  const Tuple& FactTuple(const FactRef& f) const {
+  /// Materializes the fact's tuple from its relation's column segments.
+  Tuple FactTuple(const FactRef& f) const {
     return relations_[f.relation_id].row(f.row);
   }
+
+  /// Seals every relation's open tail (see Relation::SealTail) so freshly
+  /// built instances carry encodings and chunk statistics end to end.
+  void SealStorage();
+
+  /// Heap footprint of all relations' storage, in bytes.
+  size_t MemoryBytes() const;
 
   /// True iff the instance satisfies every primary key of the schema.
   bool SatisfiesKeys() const;

@@ -1,9 +1,21 @@
+// A relation stored as chunked columnar segments. Facts append into plain
+// per-column tail buffers; every kDefaultChunkCapacity rows the tail is
+// sealed into an immutable chunk of typed Segments (dictionary-encoded
+// where profitable) with per-column ChunkColumnStats. Row indexes are
+// stable (no deletion), which keeps FactRef, block ids and tuple ids valid
+// while noise is injected. Readers either consume column runs through
+// ForEachRun/ScanMatching (the vectorized path) or materialize tuples
+// through the row-view adapter (row/rows/KeyOf), which preserves the
+// pre-columnar API. See docs/storage.md for the full storage contract.
 #ifndef CQABENCH_STORAGE_RELATION_H_
 #define CQABENCH_STORAGE_RELATION_H_
 
+#include <functional>
 #include <vector>
 
+#include "storage/chunk_stats.h"
 #include "storage/schema.h"
+#include "storage/segment.h"
 #include "storage/tuple.h"
 
 namespace cqa {
@@ -30,31 +42,132 @@ struct FactRefHash {
   }
 };
 
-/// An in-memory instance of one relation: a bag of tuples in insertion
-/// order. Row indexes are stable (no deletion), which lets FactRef, block
-/// ids and tuple ids stay valid while noise is injected.
+/// An in-memory instance of one relation: a bag of facts in insertion
+/// order, stored column-wise in chunks.
 class Relation {
  public:
-  explicit Relation(const RelationSchema* schema) : schema_(schema) {}
+  /// Rows per sealed chunk. Small enough that a chunk's working set stays
+  /// cache-resident during scans, large enough to amortize the dictionary
+  /// sort at seal time.
+  static constexpr size_t kDefaultChunkCapacity = 4096;
+
+  explicit Relation(const RelationSchema* schema,
+                    size_t chunk_capacity = kDefaultChunkCapacity);
 
   const RelationSchema& schema() const { return *schema_; }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
-  const Tuple& row(size_t i) const { return rows_[i]; }
-  const std::vector<Tuple>& rows() const { return rows_; }
+  // --- Row-view compatibility adapter -----------------------------------
+  // The pre-columnar tuple API, kept source-compatible for samplers,
+  // repairs, audits and tests. row() and rows() materialize: hot paths
+  // should use ValueAt/ValueEquals/ForEachRun instead.
 
-  /// Appends a tuple; aborts if the arity does not match the schema.
-  /// Returns the new row index.
-  size_t Insert(Tuple t);
+  /// Materializes row `i` as a tuple.
+  Tuple row(size_t i) const;
 
-  /// Extracts the key value of row `i` (the key projection; the whole tuple
-  /// if the relation has no key).
+  /// Materializes every row (test/tooling convenience, O(facts) copies).
+  std::vector<Tuple> rows() const;
+
+  /// Extracts the key value of row `i` (the key projection; the whole
+  /// tuple if the relation has no key).
   Tuple KeyOf(size_t i) const;
 
+  /// Projects row `i` onto `positions`, reading only those columns.
+  Tuple ProjectRow(size_t i, const std::vector<size_t>& positions) const;
+
+  // --- Point access over columns ----------------------------------------
+
+  /// Materializes the value at (row, column).
+  Value ValueAt(size_t row, size_t col) const;
+
+  /// Compares the value at (row, column) against `v` without
+  /// materializing (no string copies).
+  bool ValueEquals(size_t row, size_t col, const Value& v) const;
+
+  /// True iff rows `a` and `b` agree on every column.
+  bool RowsEqual(size_t a, size_t b) const;
+
+  // --- Mutation ---------------------------------------------------------
+
+  /// Appends a tuple; aborts if the arity or a value type does not match
+  /// the schema. Returns the new row index.
+  size_t Insert(Tuple t);
+
+  /// Seals the open tail into a (possibly short) chunk so its values gain
+  /// an encoding and statistics. Called by the generators and tbl loader
+  /// after bulk builds; appending afterwards opens a fresh tail.
+  void SealTail();
+
+  // --- Chunked columnar structure ---------------------------------------
+
+  /// Number of sealed chunks (the open tail is not a chunk).
+  size_t NumChunks() const { return chunks_.size(); }
+  size_t chunk_rows(size_t c) const { return chunks_[c].rows; }
+  size_t chunk_row0(size_t c) const { return chunks_[c].row0; }
+  const Segment& chunk_segment(size_t c, size_t col) const {
+    return chunks_[c].columns[col];
+  }
+  const ChunkColumnStats& chunk_stats(size_t c, size_t col) const {
+    return chunks_[c].stats[col];
+  }
+  /// Rows living in the unsealed tail.
+  size_t tail_rows() const { return tail_rows_; }
+
+  // --- Segment iteration ------------------------------------------------
+
+  /// Calls `fn(const ColumnRun&)` for each run of column `col`: sealed
+  /// chunks in order, then the open tail (as a plain run).
+  void ForEachRun(size_t col, const std::function<void(const ColumnRun&)>& fn)
+      const;
+
+  /// Enumerates rows whose columns at `positions` equal `key` pairwise, in
+  /// ascending row order, skipping chunks whose statistics prove a
+  /// mismatch. Dictionary columns compare codes (one dictionary probe per
+  /// chunk). `fn` returns false to stop. Returns false iff stopped.
+  bool ScanMatching(const std::vector<size_t>& positions, const Tuple& key,
+                    const std::function<bool(size_t)>& fn) const;
+
+  /// Chunks skipped by ScanMatching statistics since construction
+  /// (bench/test observability).
+  size_t chunks_pruned() const { return chunks_pruned_; }
+
+  /// Heap footprint of all segments and tail buffers, in bytes.
+  size_t MemoryBytes() const;
+
  private:
+  struct Chunk {
+    size_t row0 = 0;
+    size_t rows = 0;
+    std::vector<Segment> columns;        // One per attribute.
+    std::vector<ChunkColumnStats> stats; // Parallel to columns.
+  };
+
+  /// Plain append buffer of one column (only the schema-typed vector is
+  /// used).
+  struct TailColumn {
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+  };
+
+  /// (chunk index or kTailChunk, offset within it) of a global row.
+  static constexpr size_t kTailChunk = SIZE_MAX;
+  size_t ChunkOf(size_t row, size_t* offset) const;
+
+  void SealTailChunk();
+  Value TailValue(size_t offset, size_t col) const;
+
   const RelationSchema* schema_;  // Owned by the Database's Schema.
-  std::vector<Tuple> rows_;
+  size_t chunk_capacity_;
+  size_t num_rows_ = 0;
+  size_t tail_rows_ = 0;
+  std::vector<Chunk> chunks_;
+  std::vector<TailColumn> tail_;
+  // True while every sealed chunk holds exactly chunk_capacity_ rows, so
+  // row -> chunk is a division instead of a binary search.
+  bool regular_ = true;
+  mutable size_t chunks_pruned_ = 0;
 };
 
 }  // namespace cqa

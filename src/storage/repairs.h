@@ -1,3 +1,6 @@
+// Repair counting and enumeration over the conflict-block structure: the
+// exponential-time oracles (|rep(D, Σ)|, ForEachRepair, MaterializeRepair)
+// that tests and exact baselines check the approximation schemes against.
 #ifndef CQABENCH_STORAGE_REPAIRS_H_
 #define CQABENCH_STORAGE_REPAIRS_H_
 

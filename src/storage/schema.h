@@ -1,3 +1,7 @@
+// Relational schemas: typed attributes per relation plus the primary-key
+// constraint set Σ the paper's consistency notion is defined against. A
+// Schema is shared (not owned) by every Database instantiated over it and
+// fixes the per-column value types the columnar segments are built from.
 #ifndef CQABENCH_STORAGE_SCHEMA_H_
 #define CQABENCH_STORAGE_SCHEMA_H_
 

@@ -14,19 +14,28 @@ bool Fail(std::string* error, const std::string& message) {
   return false;
 }
 
-bool AppendField(const Value& v, std::string* line, std::string* error) {
-  switch (v.type()) {
-    case ValueType::kInt:
-      line->append(std::to_string(v.AsInt()));
+/// Emits the value at run-local index `i` of `run` without materializing a
+/// Value (dictionary runs read the dict entry in place).
+bool AppendRunField(const ColumnRun& run, size_t i, std::string* line,
+                    std::string* error) {
+  switch (run.type) {
+    case ValueType::kInt: {
+      int64_t v = run.encoding == SegmentEncoding::kDictionary
+                      ? run.int_dict[run.codes[i]]
+                      : run.ints[i];
+      line->append(std::to_string(v));
       break;
+    }
     case ValueType::kDouble: {
       char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      std::snprintf(buf, sizeof(buf), "%.17g", run.doubles[i]);
       line->append(buf);
       break;
     }
     case ValueType::kString: {
-      const std::string& s = v.AsString();
+      const std::string& s = run.encoding == SegmentEncoding::kDictionary
+                                 ? run.string_dict[run.codes[i]]
+                                 : run.strings[i];
       if (s.find('|') != std::string::npos ||
           s.find('\n') != std::string::npos) {
         return Fail(error, "string value contains '|' or newline: " + s);
@@ -73,14 +82,28 @@ bool WriteTblFile(const Relation& relation, const std::string& path,
                   std::string* error) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Fail(error, "cannot open " + path + " for writing");
+  // Zip the columns' runs (run boundaries agree across columns: the same
+  // chunks, then the tail) and emit row-major without materializing tuples.
+  size_t arity = relation.schema().arity();
+  if (arity == 0 || relation.empty()) {
+    out.flush();
+    return out ? true : Fail(error, "write error on " + path);
+  }
+  std::vector<std::vector<ColumnRun>> runs(arity);
+  for (size_t col = 0; col < arity; ++col) {
+    relation.ForEachRun(
+        col, [&](const ColumnRun& run) { runs[col].push_back(run); });
+  }
   std::string line;
-  for (size_t row = 0; row < relation.size(); ++row) {
-    line.clear();
-    for (const Value& v : relation.row(row)) {
-      if (!AppendField(v, &line, error)) return false;
+  for (size_t r = 0; r < runs[0].size(); ++r) {
+    for (size_t offset = 0; offset < runs[0][r].length; ++offset) {
+      line.clear();
+      for (size_t col = 0; col < arity; ++col) {
+        if (!AppendRunField(runs[col][r], offset, &line, error)) return false;
+      }
+      line.push_back('\n');
+      out << line;
     }
-    line.push_back('\n');
-    out << line;
   }
   out.flush();
   if (!out) return Fail(error, "write error on " + path);
@@ -140,6 +163,9 @@ bool ReadTblFile(Database* db, const std::string& relation_name,
     }
     db->Insert(*relation_id, std::move(tuple));
   }
+  // Seal so the freshly loaded relation carries encodings and chunk
+  // statistics even when its size is not a chunk-capacity multiple.
+  db->relation(*relation_id).SealTail();
   return true;
 }
 

@@ -1,3 +1,7 @@
+// dbgen-compatible `.tbl` readers and writers. Writing streams straight
+// out of column runs (no tuple materialization); reading appends into the
+// relations' tail buffers and seals them, so loaded instances carry
+// segment encodings and chunk statistics end to end.
 #ifndef CQABENCH_STORAGE_TBL_IO_H_
 #define CQABENCH_STORAGE_TBL_IO_H_
 
@@ -23,7 +27,8 @@ bool WriteTblDirectory(const Database& db, const std::string& dir,
                        std::string* error);
 
 /// Appends the facts of `path` to the named relation of *db, validating
-/// arity and coercing each field to the attribute type.
+/// arity and coercing each field to the attribute type. Seals the
+/// relation's tail afterwards, so loaded instances are fully columnar.
 bool ReadTblFile(Database* db, const std::string& relation_name,
                  const std::string& path, std::string* error);
 

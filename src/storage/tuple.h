@@ -1,3 +1,7 @@
+// Row-view tuples: the materialized form of a fact. Storage itself is
+// columnar (storage/relation.h); a Tuple is what Relation::row() and the
+// compatibility adapters hand to samplers, repairs and tests, and what
+// Insert accepts on the way in.
 #ifndef CQABENCH_STORAGE_TUPLE_H_
 #define CQABENCH_STORAGE_TUPLE_H_
 

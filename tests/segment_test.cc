@@ -1,0 +1,149 @@
+#include "storage/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cqa {
+namespace {
+
+TEST(SegmentTest, IntRoundTripPlain) {
+  // All-distinct ints: 2*distinct > n, so the segment must stay plain.
+  std::vector<int64_t> values = {5, -3, 9, 0, 42};
+  Segment s = Segment::SealInts(std::vector<int64_t>(values));
+  EXPECT_EQ(s.encoding(), SegmentEncoding::kPlain);
+  EXPECT_EQ(s.type(), ValueType::kInt);
+  ASSERT_EQ(s.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(s.GetValue(i), Value(values[i]));
+    EXPECT_TRUE(s.ValueEquals(i, Value(values[i])));
+    EXPECT_FALSE(s.ValueEquals(i, Value(values[i] + 1)));
+    EXPECT_FALSE(s.ValueEquals(i, Value("5")));
+  }
+  EXPECT_EQ(s.dict_size(), 0u);
+}
+
+TEST(SegmentTest, IntRoundTripDictionary) {
+  // Two distinct values over eight rows: 2*2 <= 8 — dictionary-encoded.
+  std::vector<int64_t> values = {7, 7, 1, 7, 1, 1, 7, 7};
+  Segment s = Segment::SealInts(std::vector<int64_t>(values));
+  EXPECT_EQ(s.encoding(), SegmentEncoding::kDictionary);
+  EXPECT_EQ(s.dict_size(), 2u);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(s.GetValue(i), Value(values[i]));
+    EXPECT_TRUE(s.ValueEquals(i, Value(values[i])));
+  }
+  // The dictionary is sorted: code order mirrors value order.
+  ColumnRun run = s.Run(0);
+  ASSERT_EQ(run.dict_size, 2u);
+  EXPECT_EQ(run.int_dict[0], 1);
+  EXPECT_EQ(run.int_dict[1], 7);
+  EXPECT_EQ(s.FindCode(Value(int64_t{1})), 0u);
+  EXPECT_EQ(s.FindCode(Value(int64_t{7})), 1u);
+  EXPECT_EQ(s.FindCode(Value(int64_t{3})), Segment::kNoCode);
+}
+
+TEST(SegmentTest, IntBoundaryStaysPlain) {
+  // 2*distinct == n dictionary-encodes; one distinct more stays plain.
+  std::vector<int64_t> exactly_half = {1, 1, 2, 2};
+  EXPECT_EQ(Segment::SealInts(std::move(exactly_half)).encoding(),
+            SegmentEncoding::kDictionary);
+  std::vector<int64_t> over_half = {1, 1, 2, 3};
+  EXPECT_EQ(Segment::SealInts(std::move(over_half)).encoding(),
+            SegmentEncoding::kPlain);
+}
+
+TEST(SegmentTest, DoubleRoundTripAlwaysPlain) {
+  std::vector<double> values = {0.5, 0.5, 0.5, -1.25};
+  Segment s = Segment::SealDoubles(std::vector<double>(values));
+  EXPECT_EQ(s.encoding(), SegmentEncoding::kPlain);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(s.GetValue(i), Value(values[i]));
+    EXPECT_TRUE(s.ValueEquals(i, Value(values[i])));
+  }
+}
+
+TEST(SegmentTest, StringRoundTripDictionary) {
+  // Any repeated string triggers dictionary encoding.
+  std::vector<std::string> values = {"BUILDING", "AUTO", "BUILDING", "MAIL"};
+  Segment s = Segment::SealStrings(std::vector<std::string>(values));
+  EXPECT_EQ(s.encoding(), SegmentEncoding::kDictionary);
+  EXPECT_EQ(s.dict_size(), 3u);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(s.GetValue(i), Value(values[i]));
+    EXPECT_TRUE(s.ValueEquals(i, Value(values[i])));
+  }
+  ColumnRun run = s.Run(4);
+  EXPECT_EQ(run.row0, 4u);
+  ASSERT_EQ(run.dict_size, 3u);
+  EXPECT_EQ(run.string_dict[0], "AUTO");
+  EXPECT_EQ(run.string_dict[1], "BUILDING");
+  EXPECT_EQ(run.string_dict[2], "MAIL");
+  EXPECT_EQ(s.FindCode(Value("MAIL")), 2u);
+  EXPECT_EQ(s.FindCode(Value("TRUCK")), Segment::kNoCode);
+}
+
+TEST(SegmentTest, AllDistinctStringsStayPlain) {
+  // A dictionary over all-distinct strings would add the code array on
+  // top of the same string payload — kept plain by design.
+  std::vector<std::string> values = {"a", "b", "c"};
+  Segment s = Segment::SealStrings(std::move(values));
+  EXPECT_EQ(s.encoding(), SegmentEncoding::kPlain);
+  EXPECT_EQ(s.dict_size(), 0u);
+  EXPECT_EQ(s.FindCode(Value("a")), Segment::kNoCode);
+}
+
+TEST(SegmentTest, SingleValueColumn) {
+  std::vector<std::string> values(100, "only");
+  Segment s = Segment::SealStrings(std::move(values));
+  EXPECT_EQ(s.encoding(), SegmentEncoding::kDictionary);
+  EXPECT_EQ(s.dict_size(), 1u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(s.ValueEquals(i, Value("only")));
+  }
+}
+
+TEST(SegmentTest, EmptySegments) {
+  EXPECT_EQ(Segment::SealInts({}).size(), 0u);
+  EXPECT_EQ(Segment::SealInts({}).encoding(), SegmentEncoding::kPlain);
+  EXPECT_EQ(Segment::SealStrings({}).size(), 0u);
+  EXPECT_EQ(Segment::SealStrings({}).encoding(), SegmentEncoding::kPlain);
+  EXPECT_EQ(Segment::SealDoubles({}).size(), 0u);
+}
+
+TEST(SegmentTest, RunValueAtMatchesGetValue) {
+  Rng rng(20240807);
+  std::vector<int64_t> ints;
+  std::vector<std::string> strings;
+  for (size_t i = 0; i < 500; ++i) {
+    ints.push_back(rng.UniformInt(0, 9));  // Low cardinality: dictionary.
+    strings.push_back("s" + std::to_string(rng.UniformInt(0, 999)));
+  }
+  Segment si = Segment::SealInts(std::vector<int64_t>(ints));
+  Segment ss = Segment::SealStrings(std::vector<std::string>(strings));
+  ColumnRun ri = si.Run(17);
+  ColumnRun rs = ss.Run(17);
+  ASSERT_EQ(ri.length, 500u);
+  ASSERT_EQ(rs.length, 500u);
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(ri.ValueAt(i), Value(ints[i]));
+    EXPECT_EQ(rs.ValueAt(i), Value(strings[i]));
+  }
+}
+
+TEST(SegmentTest, MemoryBytesShrinksUnderDictionary) {
+  // 4096 rows of 16 distinct ints: codes (4B) + dict beats plain (8B).
+  std::vector<int64_t> values;
+  for (size_t i = 0; i < 4096; ++i) {
+    values.push_back(static_cast<int64_t>(i % 16));
+  }
+  Segment dict = Segment::SealInts(std::vector<int64_t>(values));
+  ASSERT_EQ(dict.encoding(), SegmentEncoding::kDictionary);
+  EXPECT_LT(dict.MemoryBytes(), 4096 * sizeof(int64_t));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -230,7 +230,7 @@ def check_drawbatch_overrides(path: Path, rel: str, text: str,
 # ---------------------------------------------------------------------------
 
 # Directories whose public headers must open with a file-level comment.
-DOC_HEADER_DIRS = ("src/cqa/", "src/serve/")
+DOC_HEADER_DIRS = ("src/cqa/", "src/serve/", "src/storage/")
 
 # Flag-registering sources and how to extract their flag names.
 FLAG_VALIDATE_SOURCES = [
@@ -238,7 +238,7 @@ FLAG_VALIDATE_SOURCES = [
     "serve/cqad.cc",
     "serve/cqa_client.cc",
 ]
-FLAG_LITERAL_SOURCES = ["bench/bench_flags.h"]
+FLAG_LITERAL_SOURCES = ["bench/bench_flags.h", "bench/bench_micro.cc"]
 VALIDATE_KEYS = re.compile(r"ValidateKeys\s*\(\s*\{([^}]*)\}", re.DOTALL)
 QUOTED_NAME = re.compile(r'"([A-Za-z0-9_]+)"')
 LITERAL_FLAG = re.compile(r'"--([A-Za-z0-9_]+)[="]')
